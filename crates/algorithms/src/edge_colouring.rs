@@ -1,0 +1,468 @@
+//! Edge `(2d+1)`-colouring of grids in `O(log* n)` (§10, Theorem 15).
+//!
+//! For `d = 2` (five colours): dimension `q ∈ {rows, columns}` owns two
+//! exclusive colours; the fifth colour cuts every row of every dimension
+//! into bounded pieces that are then coloured alternately. The cutting
+//! edges are chosen by `j,k`-independent sets (Definition 18): per-row
+//! anchor sets that are (1) dense along their row and (2) so sparse in L∞
+//! that their radius-`k` balls are pairwise disjoint, built by the
+//! move-east phase algorithm of §10 and used to mark one cut edge each
+//! (Figure 6).
+//!
+//! The paper's constants (`k = 2d`, spacing `2(4k+1)^d`, phases =
+//! `(8k+1)^d` colours) guarantee the process; the practical profile runs
+//! the same algorithm with small constants, verifies Definition 18 post
+//! hoc, and escalates on failure.
+
+use crate::Profile;
+use lcl_core::problems::edge_label_encode;
+use lcl_grid::{CycleGraph, Metric, Pos, Torus2};
+use lcl_local::{GridInstance, Rounds};
+use lcl_symmetry::{colour_delta_plus_one, mis_with_ids, CyclePower};
+
+/// Which grid dimension a `j,k`-independent set belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Dim {
+    /// Rows (east-west edges).
+    Rows,
+    /// Columns (north-south edges).
+    Cols,
+}
+
+/// The result of an edge-colouring run.
+#[derive(Clone, Debug)]
+pub struct EdgeColouringRun {
+    /// One label per node: `edge_label_encode(east, north, 5)`.
+    pub labels: Vec<u16>,
+    /// The `k` (ball radius) that succeeded.
+    pub k: usize,
+    /// The row spacing that succeeded.
+    pub spacing: usize,
+    /// Measured maximal gap along a row to the nearest marked node (the
+    /// empirical `j` of Definition 18).
+    pub measured_j: usize,
+    /// Round ledger.
+    pub rounds: Rounds,
+}
+
+/// The §10 algorithm with a parameter profile.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeColouring {
+    profile: Profile,
+}
+
+impl EdgeColouring {
+    /// Creates the algorithm under the given profile.
+    pub fn new(profile: Profile) -> EdgeColouring {
+        EdgeColouring { profile }
+    }
+
+    /// Initial `(k, spacing)` parameters for `d = 2`.
+    ///
+    /// The spacing must exceed the band-saturation bound `(4k+1)²` (a
+    /// `(4k+1)`-row band holds `(4k+1)·w/spacing` members whose disjoint
+    /// radius-`2k` balls need `(4k+1)` columns each), which is where the
+    /// paper's `2(4k+1)^d` comes from.
+    fn initial_params(&self) -> (usize, usize) {
+        match self.profile {
+            // k = 2d = 4, spacing 2(4k+1)^d = 2·17² = 578.
+            Profile::Paper => (4, 578),
+            Profile::Practical => (1, 36),
+        }
+    }
+
+    /// Runs the algorithm, escalating the spacing until Definition 18 is
+    /// met.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no parameterisation up to `spacing = n` succeeds (cannot
+    /// happen for `n ≥ 4k + 4`: the paper constants are an upper bound).
+    pub fn solve(&self, instance: &GridInstance) -> EdgeColouringRun {
+        let (k, mut spacing) = self.initial_params();
+        let n = instance.n();
+        assert!(n > 2 * spacing.min(n / 2), "torus too small");
+        loop {
+            if let Some(run) = self.attempt(instance, k, spacing) {
+                return run;
+            }
+            spacing += spacing / 2;
+            assert!(spacing <= n, "j,k-independent set construction kept failing");
+        }
+    }
+
+    fn attempt(&self, instance: &GridInstance, k: usize, spacing: usize) -> Option<EdgeColouringRun> {
+        let torus = instance.torus();
+        let mut rounds = Rounds::new();
+
+        // j,k-independent sets for both dimensions.
+        let rows_set = jk_independent(instance, Dim::Rows, k, spacing, &mut rounds)?;
+        let cols_set = jk_independent(instance, Dim::Cols, k, spacing, &mut rounds)?;
+        let measured_j = measure_j(&torus, &rows_set, Dim::Rows)
+            .max(measure_j(&torus, &cols_set, Dim::Cols));
+
+        // Mark one cut edge per anchor, never adjacent to a marked edge.
+        // Edge identity: (node, horizontal?) = edge from node to its east
+        // (horizontal) or north (vertical) neighbour.
+        let mut marked_h = vec![false; torus.node_count()];
+        let mut marked_v = vec![false; torus.node_count()];
+        for (dim, set) in [(Dim::Rows, &rows_set), (Dim::Cols, &cols_set)] {
+            for v in 0..torus.node_count() {
+                if !set[v] {
+                    continue;
+                }
+                let u = torus.pos(v);
+                if !mark_one_edge(&torus, u, dim, k, &mut marked_h, &mut marked_v) {
+                    return None; // no free edge in the ball: escalate
+                }
+            }
+        }
+        rounds.charge("edge-marking", (2 * k) as u64);
+
+        // Every row and column must be cut at least once.
+        for y in 0..torus.height() {
+            if !(0..torus.width()).any(|x| marked_h[torus.index(Pos::new(x, y))]) {
+                return None;
+            }
+        }
+        for x in 0..torus.width() {
+            if !(0..torus.height()).any(|y| marked_v[torus.index(Pos::new(x, y))]) {
+                return None;
+            }
+        }
+
+        // Colour: marked → 4; rows alternate {0,1} between cuts; columns
+        // alternate {2,3}.
+        let east = colour_lines(&torus, &marked_h, Dim::Rows);
+        let north = colour_lines(&torus, &marked_v, Dim::Cols);
+        rounds.charge("alternating-fill", (2 * spacing) as u64);
+
+        let labels: Vec<u16> = (0..torus.node_count())
+            .map(|v| edge_label_encode(east[v], north[v], 5))
+            .collect();
+        Some(EdgeColouringRun {
+            labels,
+            k,
+            spacing,
+            measured_j,
+            rounds,
+        })
+    }
+}
+
+/// Builds a `j,k`-independent set w.r.t. one dimension: per-row MIS of the
+/// row-cycle power, then the §10 move-east phases until all radius-`2k`
+/// balls are pairwise disjoint. Returns `None` (escalate) if a node would
+/// have to move past its row budget.
+fn jk_independent(
+    instance: &GridInstance,
+    dim: Dim,
+    k: usize,
+    spacing: usize,
+    rounds: &mut Rounds,
+) -> Option<Vec<bool>> {
+    let torus = instance.torus();
+    let (lines, line_len) = match dim {
+        Dim::Rows => (torus.height(), torus.width()),
+        Dim::Cols => (torus.width(), torus.height()),
+    };
+    if line_len <= spacing {
+        return None;
+    }
+    let pos_of = |line: usize, i: usize| match dim {
+        Dim::Rows => Pos::new(i, line),
+        Dim::Cols => Pos::new(line, i),
+    };
+
+    // Per-line MIS of the line-cycle power C^(spacing).
+    let mut members: Vec<Pos> = Vec::new();
+    for line in 0..lines {
+        let cycle = CycleGraph::new(line_len);
+        let ids: Vec<u64> = (0..line_len)
+            .map(|i| instance.ids()[torus.index(pos_of(line, i))])
+            .collect();
+        let mis = mis_with_ids(&CyclePower::new(cycle, spacing), &ids);
+        if line == 0 {
+            rounds.charge(
+                &format!("row-mis({dim:?})"),
+                mis.rounds.total() * spacing as u64,
+            );
+        }
+        members.extend(
+            (0..line_len)
+                .filter(|&i| mis.in_mis[i])
+                .map(|i| pos_of(line, i)),
+        );
+    }
+
+    // Colouring of L∞ distance 4k to order the move phases.
+    let power = lcl_grid::Power2::new(torus, Metric::Linf, 4 * k);
+    let reduction = colour_delta_plus_one(&power, instance.ids());
+    rounds.charge(
+        "move-phase-colouring",
+        reduction.rounds.total() * (8 * k) as u64,
+    );
+
+    // Phases: members of the current colour move east along their line
+    // until their radius-2k ball is free of other members.
+    let mut occupied: Vec<bool> = vec![false; torus.node_count()];
+    for &m in &members {
+        occupied[torus.index(m)] = true;
+    }
+    let budget = spacing - 2 * k - 1;
+    let step = |p: Pos| match dim {
+        Dim::Rows => torus.offset(p, 1, 0),
+        Dim::Cols => torus.offset(p, 0, 1),
+    };
+    let crowded = |occ: &[bool], p: Pos| {
+        torus
+            .ball(Metric::Linf, p, 2 * k)
+            .into_iter()
+            .any(|q| occ[torus.index(q)])
+    };
+    let mut phase_colours: Vec<u64> = members
+        .iter()
+        .map(|&m| reduction.colours[torus.index(m)])
+        .collect();
+    let mut order: Vec<usize> = (0..members.len()).collect();
+    order.sort_by_key(|&i| phase_colours[i]);
+    for &i in &order {
+        let mut p = members[i];
+        if !crowded(&occupied, p) {
+            continue;
+        }
+        occupied[torus.index(p)] = false;
+        let mut moved = 0usize;
+        while crowded(&occupied, p) {
+            p = step(p);
+            moved += 1;
+            if moved > budget {
+                return None; // ran out of room: escalate spacing
+            }
+        }
+        occupied[torus.index(p)] = true;
+        members[i] = p;
+        phase_colours[i] = u64::MAX; // moved nodes never move again
+    }
+    rounds.charge(
+        &format!("move-phases({dim:?})"),
+        reduction.palette * budget as u64,
+    );
+
+    // Verify Definition 18 property (2): pairwise L∞ distance > 2k.
+    for (i, &a) in members.iter().enumerate() {
+        for &b in &members[i + 1..] {
+            if torus.linf(a, b) <= 2 * k {
+                return None;
+            }
+        }
+    }
+    Some(occupied)
+}
+
+/// Largest distance along a line from any node to the nearest member on
+/// its line (Definition 18 property (1): must be ≤ j).
+fn measure_j(torus: &Torus2, set: &[bool], dim: Dim) -> usize {
+    let (lines, line_len) = match dim {
+        Dim::Rows => (torus.height(), torus.width()),
+        Dim::Cols => (torus.width(), torus.height()),
+    };
+    let mut worst = 0usize;
+    for line in 0..lines {
+        let marks: Vec<usize> = (0..line_len)
+            .filter(|&i| {
+                let p = match dim {
+                    Dim::Rows => Pos::new(i, line),
+                    Dim::Cols => Pos::new(line, i),
+                };
+                set[torus.index(p)]
+            })
+            .collect();
+        if marks.is_empty() {
+            return line_len; // unbounded gap
+        }
+        for i in 0..line_len {
+            let gap = marks
+                .iter()
+                .map(|&m| {
+                    let d = (i as i64 - m as i64).rem_euclid(line_len as i64) as usize;
+                    d.min(line_len - d)
+                })
+                .min()
+                .unwrap();
+            worst = worst.max(gap);
+        }
+    }
+    worst
+}
+
+/// Marks one line edge near `u` on `u`'s own line, not adjacent to any
+/// already marked edge. The paper chooses inside `B∞(u, k)` and proves a
+/// free edge exists when `2k > 4(d−1)`; we search the slightly larger —
+/// still `O(k)` — window `B∞(u, 2k)` so that small practical `k` keep
+/// enough candidates, and rely on the caller's verification.
+/// Returns false if none is free.
+fn mark_one_edge(
+    torus: &Torus2,
+    u: Pos,
+    dim: Dim,
+    k: usize,
+    marked_h: &mut [bool],
+    marked_v: &mut [bool],
+) -> bool {
+    let ki = 2 * k as i64;
+    for off in -ki..ki {
+        let (base, adjacent) = match dim {
+            Dim::Rows => {
+                let base = torus.offset(u, off, 0);
+                let west = torus.offset(base, -1, 0);
+                let east = torus.offset(base, 1, 0);
+                let adj = marked_h[torus.index(west)]
+                    || marked_h[torus.index(base)]
+                    || marked_h[torus.index(east)]
+                    || touches_vertical(torus, base, marked_v);
+                (base, adj)
+            }
+            Dim::Cols => {
+                let base = torus.offset(u, 0, off);
+                let south = torus.offset(base, 0, -1);
+                let north = torus.offset(base, 0, 1);
+                let adj = marked_v[torus.index(south)]
+                    || marked_v[torus.index(base)]
+                    || marked_v[torus.index(north)]
+                    || touches_horizontal(torus, base, marked_h);
+                (base, adj)
+            }
+        };
+        if !adjacent {
+            match dim {
+                Dim::Rows => marked_h[torus.index(base)] = true,
+                Dim::Cols => marked_v[torus.index(base)] = true,
+            }
+            return true;
+        }
+    }
+    false
+}
+
+/// True if the horizontal edge at `base` shares an endpoint with a marked
+/// vertical edge.
+fn touches_vertical(torus: &Torus2, base: Pos, marked_v: &[bool]) -> bool {
+    // Horizontal edge endpoints: base and E(base). Vertical edges at an
+    // endpoint p: (p, N) stored at p, and (S, p) stored at S(p).
+    [base, torus.offset(base, 1, 0)].into_iter().any(|p| {
+        marked_v[torus.index(p)] || marked_v[torus.index(torus.offset(p, 0, -1))]
+    })
+}
+
+/// True if the vertical edge at `base` shares an endpoint with a marked
+/// horizontal edge.
+fn touches_horizontal(torus: &Torus2, base: Pos, marked_h: &[bool]) -> bool {
+    [base, torus.offset(base, 0, 1)].into_iter().any(|p| {
+        marked_h[torus.index(p)] || marked_h[torus.index(torus.offset(p, -1, 0))]
+    })
+}
+
+/// Colours one dimension's edges: marked edges get colour 4; each piece
+/// between cuts alternates the dimension's two colours.
+fn colour_lines(torus: &Torus2, marked: &[bool], dim: Dim) -> Vec<u16> {
+    let (lines, line_len, base_colour) = match dim {
+        Dim::Rows => (torus.height(), torus.width(), 0u16),
+        Dim::Cols => (torus.width(), torus.height(), 2u16),
+    };
+    let mut colours = vec![0u16; torus.node_count()];
+    for line in 0..lines {
+        let pos_of = |i: usize| match dim {
+            Dim::Rows => Pos::new(i % line_len, line),
+            Dim::Cols => Pos::new(line, i % line_len),
+        };
+        let start = (0..line_len)
+            .find(|&i| marked[torus.index(pos_of(i))])
+            .expect("every line is cut");
+        colours[torus.index(pos_of(start))] = 4;
+        let mut parity = 0u16;
+        for i in start + 1..start + line_len {
+            let v = torus.index(pos_of(i));
+            if marked[v] {
+                colours[v] = 4;
+                parity = 0;
+            } else {
+                colours[v] = base_colour + parity;
+                parity ^= 1;
+            }
+        }
+    }
+    colours
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_core::problems;
+    use lcl_local::IdAssignment;
+
+    #[test]
+    fn produces_proper_5_edge_colourings() {
+        let algo = EdgeColouring::new(Profile::Practical);
+        for n in [80usize, 91, 96] {
+            let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed: n as u64 });
+            let run = algo.solve(&inst);
+            assert!(
+                problems::is_proper_edge_colouring(&inst.torus(), &run.labels, 5),
+                "improper edge colouring at n={n}"
+            );
+            assert!(
+                problems::edge_colouring(5)
+                    .check(&inst.torus(), &run.labels)
+                    .is_ok()
+            );
+        }
+    }
+
+    #[test]
+    fn works_on_odd_sizes_where_4_colours_fail() {
+        // Theorem 21: no 4-edge-colouring for odd n; 5 colours always work.
+        let algo = EdgeColouring::new(Profile::Practical);
+        let inst = GridInstance::new(85, &IdAssignment::Shuffled { seed: 13 });
+        let run = algo.solve(&inst);
+        assert!(problems::is_proper_edge_colouring(
+            &inst.torus(),
+            &run.labels,
+            5
+        ));
+    }
+
+    #[test]
+    fn gaps_are_bounded() {
+        let algo = EdgeColouring::new(Profile::Practical);
+        let inst = GridInstance::new(96, &IdAssignment::Shuffled { seed: 3 });
+        let run = algo.solve(&inst);
+        // Definition 18 property (1): j bounded — practical profile keeps
+        // it within ~2·spacing.
+        assert!(
+            run.measured_j <= 2 * run.spacing,
+            "gap {} too large for spacing {}",
+            run.measured_j,
+            run.spacing
+        );
+    }
+
+    #[test]
+    fn rounds_flat_across_sizes() {
+        let algo = EdgeColouring::new(Profile::Practical);
+        let rounds = |n: usize| {
+            let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed: 11 });
+            algo.solve(&inst).rounds.total()
+        };
+        let a = rounds(80);
+        let b = rounds(120);
+        // The only growing terms are the log* Linial steps and the
+        // Kuhn–Wattenhofer level count, which rises with log(n²) until it
+        // saturates at the degree-dependent ceiling. One KW level costs
+        // 73·36 rounds per dimension in the row-cycle MIS plus 81·8 in
+        // the move-phase colouring: 6552 total. Allow two increments —
+        // still far below the Θ(n²) growth a global algorithm would show.
+        let kw_level = 2 * (73 * 36 + 81 * 8);
+        assert!(b <= a + 2 * kw_level, "rounds grew: {a} -> {b}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Concrete distributed algorithms from the paper's upper-bound sections.
+//!
+//! * [`four_colouring`] — §8: vertex 4-colouring in `O(log* n)` by ball
+//!   carving (anchors → conflict-coloured radii → parity decomposition).
+//! * [`edge_colouring`] — §10: edge `(2d+1)`-colouring in `O(log* n)` via
+//!   `j,k`-independent sets and one cut colour per grid.
+//! * [`orientations`] — §11: the full `X`-orientation classification
+//!   (Theorem 22) with synthesised `Θ(log* n)` algorithms where they
+//!   exist.
+//! * [`corner`] — Appendix A.3: the corner coordination problem with
+//!   complexity `Θ(√n)` on general graphs.
+//!
+//! ## Parameter profiles
+//!
+//! The §8 and §10 constructions are parameterised by their spacing
+//! constants. [`Profile::Paper`] uses the proof constants (`ℓ = 1 +
+//! 12d·16^d`, spacings `Θ((4k+1)^d)`), which guarantee success but need
+//! tori with ≳10⁸ nodes before two anchors even fit; [`Profile::Practical`]
+//! uses small constants, verifies the construction post hoc, and escalates
+//! on failure (DESIGN.md §3.4). Every run is validated by the independent
+//! LCL checkers in `lcl-core`.
+
+pub mod corner;
+pub mod ddim;
+pub mod edge_colouring;
+pub mod four_colouring;
+pub mod orientations;
+
+/// Parameter profile for the §8/§10 constructions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Profile {
+    /// The constants from the paper's proofs (guaranteed, astronomically
+    /// large).
+    Paper,
+    /// Small constants with post-hoc verification and escalation.
+    Practical,
+}

@@ -1,0 +1,154 @@
+//! The complete `X`-orientation classification (§11, Theorem 22).
+//!
+//! For every `X ⊆ {0,…,4}`:
+//!
+//! * `2 ∈ X` → `Θ(1)`: the consistent input orientation already has
+//!   in-degree 2 everywhere;
+//! * `{0,1,3} ⊆ X` or `{1,3,4} ⊆ X` → `Θ(log* n)`: synthesis succeeds
+//!   with `k = 1` (Lemma 23; `{0,1,3}` is `{1,3,4}` with all edges
+//!   flipped);
+//! * otherwise → global: no solution exists for infinitely many `n`
+//!   (parity arguments such as Lemma 24) or solving requires `Ω(n)`
+//!   (Theorem 25 for `{0,3,4}` via q-sum coordination).
+
+use lcl_core::classify::{probe, GridClass};
+use lcl_core::problems::{orientation, XSet};
+use lcl_core::synthesis::SynthesizedAlgorithm;
+use lcl_core::{existence, GridProblem};
+use lcl_grid::Torus2;
+
+/// Theorem 22's three classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OrientationClass {
+    /// `Θ(1)` — `2 ∈ X`.
+    Trivial,
+    /// `Θ(log* n)` — `{0,1,3} ⊆ X` or `{1,3,4} ⊆ X`.
+    LogStar,
+    /// Global: `Θ(n)` where solvable, unsolvable for infinitely many `n`
+    /// otherwise.
+    Global,
+}
+
+/// One row of the Theorem 22 census.
+#[derive(Debug)]
+pub struct OrientationRow {
+    /// The in-degree set.
+    pub x: XSet,
+    /// Theorem 22's predicted class.
+    pub predicted: OrientationClass,
+    /// What the synthesis probe concluded (must agree).
+    pub probe: GridClass,
+    /// Whether a solution exists on a 5×5 torus (odd parity witness).
+    pub solvable_odd_5: bool,
+    /// The synthesised algorithm for the `Θ(log* n)` rows.
+    pub algorithm: Option<SynthesizedAlgorithm>,
+}
+
+/// Theorem 22's statement for a single `X`.
+pub fn predicted_class(x: XSet) -> OrientationClass {
+    if x.contains(2) {
+        OrientationClass::Trivial
+    } else if x.is_superset(XSet::from_degrees(&[0, 1, 3]))
+        || x.is_superset(XSet::from_degrees(&[1, 3, 4]))
+    {
+        OrientationClass::LogStar
+    } else {
+        OrientationClass::Global
+    }
+}
+
+/// Runs the full 32-row census: the synthesis probe (with `k ≤ max_k`)
+/// plus a parity witness, for every `X ⊆ {0,…,4}`.
+pub fn census(max_k: usize) -> Vec<OrientationRow> {
+    XSet::all()
+        .map(|x| {
+            let problem: GridProblem = orientation(x);
+            let (class, algorithm) = probe(&problem, max_k);
+            let solvable_odd_5 = existence::solvable(&problem, &Torus2::square(5));
+            OrientationRow {
+                x,
+                predicted: predicted_class(x),
+                probe: class,
+                solvable_odd_5,
+                algorithm,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_core::problems;
+    use lcl_local::{GridInstance, IdAssignment};
+
+    #[test]
+    fn theorem22_census_agrees_with_probe() {
+        for row in census(1) {
+            match row.predicted {
+                OrientationClass::Trivial => {
+                    assert_eq!(row.probe, GridClass::Constant, "X = {}", row.x)
+                }
+                OrientationClass::LogStar => {
+                    assert_eq!(row.probe, GridClass::LogStar, "X = {}", row.x);
+                    assert!(row.algorithm.is_some());
+                }
+                OrientationClass::Global => {
+                    // The probe cannot *prove* globality, but with k = 1 it
+                    // must at least not find an algorithm — Theorem 22 says
+                    // none exists at any k.
+                    assert_eq!(row.probe, GridClass::Global, "X = {}", row.x);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_24_parity_rows() {
+        // {1,3} (and any global subset avoiding solvable configurations)
+        // has no solution on the odd 5×5 torus.
+        for degrees in [&[1, 3][..], &[1], &[3], &[0, 1], &[3, 4]] {
+            let x = XSet::from_degrees(degrees);
+            let p = problems::orientation(x);
+            assert!(
+                !existence::solvable(&p, &Torus2::square(5)),
+                "X = {x} should be unsolvable at n=5"
+            );
+        }
+    }
+
+    #[test]
+    fn flipping_duality() {
+        // {0,1,3} is {1,3,4} with all edges flipped: both are log*.
+        assert_eq!(
+            predicted_class(XSet::from_degrees(&[0, 1, 3])),
+            OrientationClass::LogStar
+        );
+        assert_eq!(
+            predicted_class(XSet::from_degrees(&[1, 3, 4])),
+            OrientationClass::LogStar
+        );
+    }
+
+    #[test]
+    fn synthesised_rows_run_correctly() {
+        for degrees in [&[1, 3, 4][..], &[0, 1, 3]] {
+            let x = XSet::from_degrees(degrees);
+            let p = problems::orientation(x);
+            let (_, algo) = probe(&p, 1);
+            let algo = algo.expect("log* row");
+            let inst = GridInstance::new(14, &IdAssignment::Shuffled { seed: 21 });
+            let run = algo.run(&inst);
+            assert!(p.check(&inst.torus(), &run.labels).is_ok(), "X = {x}");
+            let degs = problems::orientation_indegrees(&inst.torus(), &run.labels);
+            assert!(degs.iter().all(|&d| x.contains(d)));
+        }
+    }
+
+    #[test]
+    fn trivial_rows_accept_input_orientation() {
+        let x = XSet::from_degrees(&[2]);
+        let p = problems::orientation(x);
+        assert!(p.constant_solution().is_some());
+    }
+}

@@ -1,0 +1,229 @@
+//! One Criterion group per experiment of EXPERIMENTS.md (E1–E14).
+//!
+//! These benches measure the wall-clock cost of regenerating each paper
+//! artefact; the *round* measurements (the quantities the paper is about)
+//! are printed by the `reproduce` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcl_algorithms::edge_colouring::EdgeColouring;
+use lcl_algorithms::four_colouring::FourColouring;
+use lcl_algorithms::orientations::census;
+use lcl_algorithms::{corner, Profile};
+use lcl_core::cycles::{classify, synthesize_cycle_algorithm, CycleLcl};
+use lcl_core::lm::LmProblem;
+use lcl_core::speedup::{speedup, RowColeVishkin};
+use lcl_core::synthesis::{enumerate_tiles, synthesize, SynthesisConfig, TileShape};
+use lcl_core::{existence, problems};
+use lcl_grid::{CycleGraph, Torus2};
+use lcl_local::{GridInstance, IdAssignment};
+use lcl_lowerbounds::{orientation_034, qsum, three_col};
+use lcl_turing::machines;
+
+fn bench_e1_cycles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_cycle_classifier");
+    g.sample_size(10);
+    g.bench_function("classify_figure2", |b| {
+        b.iter(|| {
+            classify(&CycleLcl::colouring(3));
+            classify(&CycleLcl::mis());
+            classify(&CycleLcl::colouring(2));
+            classify(&CycleLcl::independent_set());
+        })
+    });
+    let algo = synthesize_cycle_algorithm(&CycleLcl::colouring(3)).unwrap();
+    for n in [1_000usize, 100_000] {
+        let cycle = CycleGraph::new(n);
+        let ids = IdAssignment::Shuffled { seed: 1 }.materialise(n);
+        g.bench_with_input(BenchmarkId::new("run_3col", n), &n, |b, _| {
+            b.iter(|| algo.run(&cycle, &ids))
+        });
+    }
+    g.finish();
+}
+
+fn bench_e2_tiles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_tile_enumeration");
+    g.sample_size(10);
+    g.bench_function("k1_3x2_16tiles", |b| {
+        b.iter(|| enumerate_tiles(1, TileShape::new(3, 2)))
+    });
+    g.bench_function("k3_7x5_2079tiles", |b| {
+        b.iter(|| enumerate_tiles(3, TileShape::new(7, 5)))
+    });
+    g.finish();
+}
+
+fn bench_e3_synthesis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_synthesis_4col");
+    g.sample_size(10);
+    let p = problems::vertex_colouring(4);
+    g.bench_function("k1_unsat", |b| {
+        b.iter(|| synthesize(&p, &SynthesisConfig::for_k(1)))
+    });
+    g.bench_function("k2_unsat", |b| {
+        b.iter(|| synthesize(&p, &SynthesisConfig::for_k(2)))
+    });
+    g.bench_function("k3_sat_paper_seconds", |b| {
+        b.iter(|| synthesize(&p, &SynthesisConfig::for_k(3)))
+    });
+    g.finish();
+}
+
+fn bench_e4_e5_existence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_e5_existence");
+    g.sample_size(10);
+    for n in [6usize, 8, 10] {
+        g.bench_with_input(BenchmarkId::new("3col_sat", n), &n, |b, &n| {
+            b.iter(|| existence::solve(&problems::vertex_colouring(3), &Torus2::square(n)))
+        });
+    }
+    g.bench_function("edge4_unsat_n5", |b| {
+        b.iter(|| existence::solvable(&problems::edge_colouring(4), &Torus2::square(5)))
+    });
+    g.finish();
+}
+
+fn bench_e6_orientations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_orientation_census");
+    g.sample_size(10);
+    g.bench_function("census32_k1", |b| b.iter(|| census(1)));
+    g.finish();
+}
+
+fn bench_e7_four_colouring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_four_colouring");
+    g.sample_size(10);
+    // Synthesised (the practical log* algorithm).
+    let p = problems::vertex_colouring(4);
+    let synth = synthesize(&p, &SynthesisConfig::for_k(3)).unwrap();
+    for n in [32usize, 64, 128] {
+        let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed: 3 });
+        g.bench_with_input(BenchmarkId::new("synthesised", n), &n, |b, _| {
+            b.iter(|| synth.run(&inst))
+        });
+    }
+    // §8 ball-carving algorithm.
+    let algo = FourColouring::new(Profile::Practical);
+    for n in [48usize, 96] {
+        let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed: 3 });
+        g.bench_with_input(BenchmarkId::new("ball_carving", n), &n, |b, _| {
+            b.iter(|| algo.solve(&inst))
+        });
+    }
+    g.finish();
+}
+
+fn bench_e8_edge_colouring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_edge_colouring");
+    g.sample_size(10);
+    let algo = EdgeColouring::new(Profile::Practical);
+    for n in [80usize, 120] {
+        let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed: 4 });
+        g.bench_with_input(BenchmarkId::new("five_colour", n), &n, |b, _| {
+            b.iter(|| algo.solve(&inst))
+        });
+    }
+    g.finish();
+}
+
+fn bench_e9_three_col_invariant(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_three_col_invariant");
+    g.sample_size(10);
+    let torus = Torus2::square(9);
+    let labels = existence::solve_seeded(&problems::vertex_colouring(3), &torus, 1).unwrap();
+    g.bench_function("s_invariant_n9", |b| {
+        b.iter(|| three_col::s_invariant(&torus, &labels))
+    });
+    g.finish();
+}
+
+fn bench_e10_orientation_invariant(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_orientation_034");
+    g.sample_size(10);
+    let torus = Torus2::square(6);
+    let x = problems::XSet::from_degrees(&[0, 3, 4]);
+    let labels = existence::solve_seeded(&problems::orientation(x), &torus, 1).unwrap();
+    g.bench_function("row_invariant_n6", |b| {
+        b.iter(|| orientation_034::invariant(&torus, &labels))
+    });
+    g.finish();
+}
+
+fn bench_e11_turing_lcl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_turing_lcl");
+    g.sample_size(10);
+    for steps in [1u8, 3] {
+        let machine = machines::unary_counter(steps);
+        let problem = LmProblem::new(machine);
+        let s = steps as usize + 1;
+        let n = 4 * (s + 1) + 4;
+        let torus = Torus2::square(n);
+        let ids = IdAssignment::Shuffled { seed: 5 }.materialise(n * n);
+        g.bench_with_input(BenchmarkId::new("solve_anchored", steps), &steps, |b, _| {
+            b.iter(|| problem.solve(&torus, &ids, 1_000))
+        });
+    }
+    g.finish();
+}
+
+fn bench_e12_normal_form(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_normal_form");
+    g.sample_size(10);
+    for n in [128usize, 192] {
+        let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed: 6 });
+        g.bench_with_input(BenchmarkId::new("speedup_rowcv", n), &n, |b, _| {
+            b.iter(|| speedup(&RowColeVishkin, &inst))
+        });
+    }
+    g.finish();
+}
+
+fn bench_e13_corner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13_corner_coordination");
+    g.sample_size(10);
+    for m in [16usize, 64] {
+        let grid = corner::BoundaryGrid::new(m);
+        g.bench_with_input(BenchmarkId::new("solve_and_check", m), &m, |b, _| {
+            b.iter(|| {
+                let sol = corner::solve_boundary_paths(&grid);
+                corner::check(&grid, &sol).unwrap();
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("visibility_radius", m), &m, |b, _| {
+            b.iter(|| corner::corner_visibility_radius(&grid))
+        });
+    }
+    g.finish();
+}
+
+fn bench_e14_qsum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e14_qsum");
+    g.sample_size(10);
+    let q = qsum::QSum::parity();
+    for n in [1_001usize, 100_001] {
+        let cycle = CycleGraph::new(n);
+        let ids = IdAssignment::Shuffled { seed: 7 }.materialise(n);
+        g.bench_with_input(BenchmarkId::new("global_solve", n), &n, |b, _| {
+            b.iter(|| q.solve_global(&cycle, &ids))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    experiments,
+    bench_e1_cycles,
+    bench_e2_tiles,
+    bench_e3_synthesis,
+    bench_e4_e5_existence,
+    bench_e6_orientations,
+    bench_e7_four_colouring,
+    bench_e8_edge_colouring,
+    bench_e9_three_col_invariant,
+    bench_e10_orientation_invariant,
+    bench_e11_turing_lcl,
+    bench_e12_normal_form,
+    bench_e13_corner,
+    bench_e14_qsum,
+);
+criterion_main!(experiments);

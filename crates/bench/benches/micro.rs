@@ -1,0 +1,119 @@
+//! Micro-benchmarks for the substrates: SAT solver, symmetry breaking,
+//! and the LOCAL simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcl_grid::{CycleGraph, Graph, Metric, Torus2};
+use lcl_local::{IdAssignment, Simulator};
+use lcl_sat::{exactly_one, Lit, Solver};
+use lcl_symmetry::{cv3_cycle, mis_torus_power};
+
+fn bench_sat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sat_solver");
+    g.sample_size(10);
+    g.bench_function("php_6_5_unsat", |b| {
+        b.iter(|| {
+            let mut s = Solver::new();
+            let p: Vec<Vec<_>> = (0..6).map(|_| s.new_vars(5)).collect();
+            for pigeon in &p {
+                s.add_clause(pigeon.iter().map(|&v| Lit::pos(v)));
+            }
+            for hole in 0..5 {
+                for i in 0..6 {
+                    for j in i + 1..6 {
+                        s.add_clause([Lit::neg(p[i][hole]), Lit::neg(p[j][hole])]);
+                    }
+                }
+            }
+            assert!(!s.solve().is_sat());
+        })
+    });
+    g.bench_function("grid_3col_sat_n8", |b| {
+        b.iter(|| {
+            let t = Torus2::square(8);
+            let mut s = Solver::new();
+            let vars: Vec<Vec<_>> = (0..t.node_count()).map(|_| s.new_vars(3)).collect();
+            for v in &vars {
+                let lits: Vec<Lit> = v.iter().map(|&x| Lit::pos(x)).collect();
+                exactly_one(&mut s, &lits);
+            }
+            for v in 0..t.node_count() {
+                for u in t.neighbours_vec(v) {
+                    if u > v {
+                        for col in 0..3 {
+                            s.add_clause([Lit::neg(vars[v][col]), Lit::neg(vars[u][col])]);
+                        }
+                    }
+                }
+            }
+            assert!(s.solve().is_sat());
+        })
+    });
+    g.finish();
+}
+
+fn bench_symmetry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("symmetry");
+    g.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        let cycle = CycleGraph::new(n);
+        let ids = IdAssignment::Shuffled { seed: 1 }.materialise(n);
+        g.bench_with_input(BenchmarkId::new("cv3_cycle", n), &n, |b, _| {
+            b.iter(|| cv3_cycle(&cycle, &ids))
+        });
+    }
+    for n in [64usize, 128] {
+        let t = Torus2::square(n);
+        let ids = IdAssignment::Shuffled { seed: 2 }.materialise(n * n);
+        g.bench_with_input(BenchmarkId::new("mis_power3", n), &n, |b, _| {
+            b.iter(|| mis_torus_power(&t, Metric::L1, 3, &ids))
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+
+    struct Flood;
+    struct St {
+        best: u64,
+        round: u64,
+    }
+    impl lcl_local::Protocol for Flood {
+        type State = St;
+        type Msg = u64;
+        type Output = u64;
+        fn init(&self, _v: usize, id: u64, _d: usize, _n: usize) -> St {
+            St { best: id, round: 0 }
+        }
+        fn round(
+            &self,
+            st: &mut St,
+            inbox: &[Option<u64>],
+            outbox: &mut [Option<u64>],
+        ) -> Option<u64> {
+            for m in inbox.iter().flatten() {
+                st.best = st.best.max(*m);
+            }
+            st.round += 1;
+            if st.round > 20 {
+                return Some(st.best);
+            }
+            for o in outbox.iter_mut() {
+                *o = Some(st.best);
+            }
+            None
+        }
+    }
+
+    let t = Torus2::square(64);
+    let ids = IdAssignment::Shuffled { seed: 3 }.materialise(64 * 64);
+    g.bench_function("flood20_torus64", |b| {
+        b.iter(|| Simulator::new(100).run(&t, &ids, &Flood).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(micro, bench_sat, bench_symmetry, bench_simulator);
+criterion_main!(micro);

@@ -1,0 +1,3 @@
+//! Benchmark harness crate: see `benches/` for per-experiment Criterion
+//! benches and `src/bin/reproduce.rs` for the table generator that
+//! regenerates every experiment of EXPERIMENTS.md.

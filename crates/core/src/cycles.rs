@@ -1,0 +1,583 @@
+//! LCL problems on directed cycles — the decidable 1-dimensional case (§4).
+//!
+//! A cycle LCL of radius `r` is a set of allowed windows of `2r+1`
+//! consecutive labels (read along the orientation). Its *output
+//! neighbourhood graph* `H` has the `2r`-label windows as nodes and one
+//! edge per allowed `(2r+1)`-window; walks in `H` correspond exactly to
+//! feasible labellings (Figure 2). Claim 1 reads the complexity off `H`:
+//!
+//! * some node has a self-loop (= a constant window is allowed) → `O(1)`;
+//! * otherwise some node is *flexible* (closed walks of every sufficiently
+//!   large length) → `Θ(log* n)`;
+//! * otherwise → `Θ(n)`.
+//!
+//! The `Θ(log* n)` algorithm is synthesised, not hand-written: anchors are
+//! an MIS of the cycle power `C^(k)` (`k` = the flexibility), and the gaps
+//! between anchors are filled with precomputed circuits of `H`.
+
+use lcl_grid::CycleGraph;
+use lcl_local::Rounds;
+use lcl_symmetry::{mis_with_ids, CyclePower};
+use std::collections::HashMap;
+
+use crate::lcl::Label;
+
+/// An LCL problem on directed cycles: radius `r` and the allowed
+/// `(2r+1)`-windows.
+#[derive(Clone, Debug)]
+pub struct CycleLcl {
+    alphabet: u16,
+    radius: usize,
+    allowed: Vec<Vec<Label>>,
+}
+
+impl CycleLcl {
+    /// Creates a problem from explicit allowed windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if windows have the wrong length or labels out of range.
+    pub fn new(alphabet: u16, radius: usize, allowed: Vec<Vec<Label>>) -> CycleLcl {
+        assert!(radius >= 1);
+        for w in &allowed {
+            assert_eq!(w.len(), 2 * radius + 1, "window length must be 2r+1");
+            assert!(w.iter().all(|&l| l < alphabet));
+        }
+        CycleLcl {
+            alphabet,
+            radius,
+            allowed,
+        }
+    }
+
+    /// Tabulates a window predicate.
+    pub fn from_predicate<F: Fn(&[Label]) -> bool>(
+        alphabet: u16,
+        radius: usize,
+        pred: F,
+    ) -> CycleLcl {
+        let len = 2 * radius + 1;
+        let mut allowed = Vec::new();
+        let mut window = vec![0 as Label; len];
+        loop {
+            if pred(&window) {
+                allowed.push(window.clone());
+            }
+            // Mixed-radix increment.
+            let mut i = 0;
+            loop {
+                if i == len {
+                    return CycleLcl::new(alphabet, radius, allowed);
+                }
+                window[i] += 1;
+                if window[i] < alphabet {
+                    break;
+                }
+                window[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    /// Proper `k`-colouring of the cycle.
+    pub fn colouring(k: u16) -> CycleLcl {
+        CycleLcl::from_predicate(k, 1, |w| w[0] != w[1] && w[1] != w[2])
+    }
+
+    /// Maximal independent set (labels: 1 = in, 0 = out).
+    pub fn mis() -> CycleLcl {
+        CycleLcl::from_predicate(2, 1, |w| {
+            let independent = !(w[0] == 1 && w[1] == 1) && !(w[1] == 1 && w[2] == 1);
+            let dominated = w[1] == 1 || w[0] == 1 || w[2] == 1;
+            independent && dominated
+        })
+    }
+
+    /// Independent set, not necessarily maximal (Figure 2's `O(1)`
+    /// example).
+    pub fn independent_set() -> CycleLcl {
+        CycleLcl::from_predicate(2, 1, |w| {
+            !(w[0] == 1 && w[1] == 1) && !(w[1] == 1 && w[2] == 1)
+        })
+    }
+
+    /// Alphabet size.
+    pub fn alphabet(&self) -> u16 {
+        self.alphabet
+    }
+
+    /// Checkability radius `r`.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// The allowed windows.
+    pub fn allowed(&self) -> &[Vec<Label>] {
+        &self.allowed
+    }
+
+    /// Checks a cyclic labelling.
+    pub fn check(&self, cycle: &CycleGraph, labels: &[Label]) -> bool {
+        assert_eq!(labels.len(), cycle.len());
+        let len = 2 * self.radius + 1;
+        (0..cycle.len()).all(|v| {
+            let window: Vec<Label> = (0..len)
+                .map(|j| labels[cycle.offset(v, j as i64)])
+                .collect();
+            self.allowed.contains(&window)
+        })
+    }
+}
+
+/// The output neighbourhood graph `H` of a cycle LCL (Figure 2).
+#[derive(Clone, Debug)]
+pub struct NeighbourhoodGraph {
+    /// The `2r`-windows, interned.
+    states: Vec<Vec<Label>>,
+    /// Adjacency: `edges[u]` lists successors of state `u`.
+    edges: Vec<Vec<usize>>,
+}
+
+impl NeighbourhoodGraph {
+    /// Builds `H` from a problem.
+    pub fn build(problem: &CycleLcl) -> NeighbourhoodGraph {
+        let r = problem.radius;
+        let mut index: HashMap<Vec<Label>, usize> = HashMap::new();
+        let mut states: Vec<Vec<Label>> = Vec::new();
+        let mut edges: Vec<Vec<usize>> = Vec::new();
+        let mut intern = |w: &[Label],
+                          states: &mut Vec<Vec<Label>>,
+                          edges: &mut Vec<Vec<usize>>|
+         -> usize {
+            if let Some(&i) = index.get(w) {
+                return i;
+            }
+            let i = states.len();
+            index.insert(w.to_vec(), i);
+            states.push(w.to_vec());
+            edges.push(Vec::new());
+            i
+        };
+        for w in &problem.allowed {
+            let u = intern(&w[..2 * r], &mut states, &mut edges);
+            let v = intern(&w[1..], &mut states, &mut edges);
+            edges[u].push(v);
+        }
+        NeighbourhoodGraph { states, edges }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True iff `H` has no states (unsolvable problem).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The interned window of state `u`.
+    pub fn state(&self, u: usize) -> &[Label] {
+        &self.states[u]
+    }
+
+    /// Successors of state `u`.
+    pub fn successors(&self, u: usize) -> &[usize] {
+        &self.edges[u]
+    }
+
+    /// True iff some state has a self-loop (⇔ a constant window is
+    /// allowed).
+    pub fn has_self_loop(&self) -> Option<usize> {
+        (0..self.len()).find(|&u| self.edges[u].contains(&u))
+    }
+
+    /// The set of closed-walk lengths at `u`, up to `max_len` inclusive.
+    fn closed_walk_lengths(&self, u: usize, max_len: usize) -> Vec<bool> {
+        let mut achievable = vec![false; max_len + 1];
+        let mut reach = vec![false; self.len()];
+        reach[u] = true;
+        for len in 1..=max_len {
+            let mut next = vec![false; self.len()];
+            for (v, &r) in reach.iter().enumerate() {
+                if r {
+                    for &w in &self.edges[v] {
+                        next[w] = true;
+                    }
+                }
+            }
+            reach = next;
+            achievable[len] = reach[u];
+            if !reach.iter().any(|&b| b) {
+                break;
+            }
+        }
+        achievable
+    }
+
+    /// The *flexibility* of state `u`: the smallest `k` such that closed
+    /// walks of every length `≥ k` exist at `u`; `None` if `u` is not
+    /// flexible.
+    pub fn flexibility(&self, u: usize) -> Option<usize> {
+        let v = self.len();
+        assert!(v <= 4096, "state space too large for flexibility DP");
+        let max_len = 4 * v * v + 64;
+        let lengths = self.closed_walk_lengths(u, max_len);
+        let c_min = (1..=max_len).find(|&l| lengths[l])?;
+        // Find the first k with a run of c_min consecutive achievable
+        // lengths starting at k; from there, adding c_min-walks covers all
+        // larger lengths.
+        let mut run = 0usize;
+        let mut run_start = 0usize;
+        for (l, &ok) in lengths.iter().enumerate().take(max_len + 1).skip(1) {
+            if ok {
+                if run == 0 {
+                    run_start = l;
+                }
+                run += 1;
+                if run >= c_min {
+                    // Verify nothing is missing after run_start (paranoia
+                    // against off-by-one): all lengths in the scanned range
+                    // after run_start must be achievable.
+                    if lengths[run_start..=max_len.min(run_start + 2 * c_min)]
+                        .iter()
+                        .all(|&b| b)
+                    {
+                        return Some(run_start);
+                    }
+                }
+            } else {
+                run = 0;
+            }
+        }
+        None
+    }
+
+    /// A walk of exactly `len` steps from `u` back to `u`, as the state
+    /// sequence `w_0 = u, …, w_len = u`; `None` if none exists.
+    pub fn circuit(&self, u: usize, len: usize) -> Option<Vec<usize>> {
+        // DP with parent pointers: layer[l][v] = predecessor of v at step l.
+        let mut parents: Vec<Vec<Option<usize>>> = vec![vec![None; self.len()]; len + 1];
+        parents[0][u] = Some(u);
+        for l in 0..len {
+            for v in 0..self.len() {
+                if parents[l][v].is_some() {
+                    for &w in &self.edges[v] {
+                        if parents[l + 1][w].is_none() {
+                            parents[l + 1][w] = Some(v);
+                        }
+                    }
+                }
+            }
+        }
+        parents[len][u]?;
+        let mut walk = vec![u];
+        let mut cur = u;
+        for l in (1..=len).rev() {
+            cur = parents[l][cur].expect("parent chain is complete");
+            walk.push(cur);
+        }
+        walk.reverse();
+        Some(walk)
+    }
+}
+
+/// The complexity classes of Claim 1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CycleClass {
+    /// `O(1)`: a constant labelling is feasible.
+    Constant {
+        /// A label whose constant labelling is valid.
+        label: Label,
+    },
+    /// `Θ(log* n)`: a flexible state exists.
+    LogStar {
+        /// Index of a flexible state in `H` with minimal flexibility.
+        state: usize,
+        /// Its flexibility `k`.
+        flexibility: usize,
+    },
+    /// `Θ(n)`: global (or unsolvable for infinitely many `n`).
+    Global,
+}
+
+/// Classifies a cycle LCL per Claim 1. Everything here is decidable — the
+/// contrast with the 2-dimensional case (Theorem 3) is the point of §4.
+pub fn classify(problem: &CycleLcl) -> CycleClass {
+    let h = NeighbourhoodGraph::build(problem);
+    if let Some(u) = h.has_self_loop() {
+        return CycleClass::Constant {
+            label: h.state(u)[0],
+        };
+    }
+    let mut best: Option<(usize, usize)> = None;
+    for u in 0..h.len() {
+        if let Some(k) = h.flexibility(u) {
+            match best {
+                Some((_, bk)) if bk <= k => {}
+                _ => best = Some((u, k)),
+            }
+        }
+    }
+    match best {
+        Some((state, flexibility)) => CycleClass::LogStar { state, flexibility },
+        None => CycleClass::Global,
+    }
+}
+
+/// Finds any valid labelling of an `n`-cycle by dynamic programming over
+/// `H` — the `Θ(n)` brute-force solver for cycles.
+pub fn solve_global_cycle(problem: &CycleLcl, n: usize) -> Option<Vec<Label>> {
+    let h = NeighbourhoodGraph::build(problem);
+    if n < 2 * problem.radius + 1 {
+        return None; // degenerate; windows would wrap onto themselves
+    }
+    for start in 0..h.len() {
+        if let Some(walk) = h.circuit(start, n) {
+            let labels: Vec<Label> = walk[..n].iter().map(|&v| h.state(v)[0]).collect();
+            return Some(labels);
+        }
+    }
+    None
+}
+
+/// A synthesised optimal `O(log* n)` cycle algorithm: anchors via MIS of
+/// `C^(k)` plus circuit filling (the constructive part of Claim 1).
+#[derive(Clone, Debug)]
+pub struct CycleAlgorithm {
+    problem: CycleLcl,
+    state: usize,
+    k: usize,
+    h: NeighbourhoodGraph,
+    /// circuits[d] for d in k+1..=2k+1, indexed by d − (k+1).
+    circuits: Vec<Vec<usize>>,
+}
+
+/// The output of running a cycle algorithm.
+#[derive(Clone, Debug)]
+pub struct CycleRun {
+    /// One label per node.
+    pub labels: Vec<Label>,
+    /// Round ledger.
+    pub rounds: Rounds,
+}
+
+/// Synthesises the optimal algorithm for a `Θ(log* n)` problem; `None` if
+/// the problem is constant-time or global.
+pub fn synthesize_cycle_algorithm(problem: &CycleLcl) -> Option<CycleAlgorithm> {
+    let CycleClass::LogStar { state, flexibility } = classify(problem) else {
+        return None;
+    };
+    let h = NeighbourhoodGraph::build(problem);
+    let k = flexibility;
+    let circuits: Vec<Vec<usize>> = (k + 1..=2 * k + 1)
+        .map(|d| {
+            h.circuit(state, d)
+                .expect("flexibility guarantees circuits of every length ≥ k")
+        })
+        .collect();
+    Some(CycleAlgorithm {
+        problem: problem.clone(),
+        state,
+        k,
+        h,
+        circuits,
+    })
+}
+
+impl CycleAlgorithm {
+    /// The anchor spacing parameter `k` (the flexibility).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The flexible state used at anchors.
+    pub fn state(&self) -> &[Label] {
+        self.h.state(self.state)
+    }
+
+    /// Runs the algorithm on a directed cycle with the given identifiers.
+    ///
+    /// Falls back to the global DP solver when `n ≤ 4(k+1)` (the paper's
+    /// "sufficiently large n" assumption), still charging `O(n)` rounds in
+    /// that regime — asymptotically irrelevant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the problem is unsolvable on this `n` (cannot happen for
+    /// flexible problems at large `n`).
+    pub fn run(&self, cycle: &CycleGraph, ids: &[u64]) -> CycleRun {
+        let n = cycle.len();
+        assert_eq!(ids.len(), n);
+        if n <= 4 * (self.k + 1) {
+            let labels = solve_global_cycle(&self.problem, n)
+                .expect("flexible problems are solvable for all n in this range");
+            let mut rounds = Rounds::new();
+            rounds.charge("small-n-brute-force", n as u64);
+            return CycleRun { labels, rounds };
+        }
+        // Anchors: MIS of C^(k).
+        let power = CyclePower::new(*cycle, self.k);
+        let mis = mis_with_ids(&power, ids);
+        let mut rounds = Rounds::new();
+        rounds.charge(
+            &format!("anchor-mis(k={}, x{})", self.k, self.k),
+            mis.rounds.total() * self.k as u64,
+        );
+        let anchors: Vec<usize> = (0..n).filter(|&v| mis.in_mis[v]).collect();
+        debug_assert!(anchors.len() >= 2, "large cycles have ≥ 2 anchors");
+        // Fill between consecutive anchors with circuits.
+        let mut labels = vec![0 as Label; n];
+        for (i, &a) in anchors.iter().enumerate() {
+            let b = anchors[(i + 1) % anchors.len()];
+            let d = (b + n - a) % n;
+            assert!(
+                d >= self.k + 1 && d <= 2 * self.k + 1,
+                "MIS of C^(k) spaces anchors in [k+1, 2k+1], got {d}"
+            );
+            let walk = &self.circuits[d - (self.k + 1)];
+            for (j, &w) in walk[..d].iter().enumerate() {
+                labels[cycle.offset(a, j as i64)] = self.h.state(w)[0];
+            }
+        }
+        rounds.charge("circuit-fill", 2 * self.k as u64 + 1);
+        CycleRun { labels, rounds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_local::IdAssignment;
+
+    #[test]
+    fn figure2_three_colouring_is_logstar() {
+        let c = classify(&CycleLcl::colouring(3));
+        assert!(matches!(c, CycleClass::LogStar { .. }), "got {c:?}");
+    }
+
+    #[test]
+    fn figure2_mis_is_logstar() {
+        // Figure 2's caption discusses state 00: walks of lengths 3 and 5
+        // exist, hence every length ≥ 8 (the achievable set is
+        // {3,5,6,8,9,…}) — so state 00 has flexibility exactly 8. The
+        // classifier picks the globally *best* state, which is 01/10 with
+        // the 2-cycle 01↔10 (alternating labels): flexibility 2.
+        let problem = CycleLcl::mis();
+        let class = classify(&problem);
+        let CycleClass::LogStar { state, flexibility } = class else {
+            panic!("MIS must be log*: {class:?}");
+        };
+        assert_eq!(flexibility, 2);
+        let h = NeighbourhoodGraph::build(&problem);
+        assert!(h.state(state) == [0, 1] || h.state(state) == [1, 0]);
+        // The paper's example state 00: the caption's "lengths 3 and 5,
+        // hence any length larger than 7" is the semigroup generated by
+        // simple circuits; general closed *walks* also reach 7 (via the
+        // 01↔10 two-cycle), so the exact conductor is 5: the achievable
+        // set is {3, 5, 6, 7, …}.
+        let s00 = (0..h.len()).find(|&u| h.state(u) == [0, 0]).unwrap();
+        assert_eq!(h.flexibility(s00), Some(5));
+        assert!(h.circuit(s00, 4).is_none(), "length 4 is not achievable at 00");
+        assert!(h.circuit(s00, 3).is_some());
+        assert!(h.circuit(s00, 7).is_some());
+    }
+
+    #[test]
+    fn figure2_two_colouring_is_global() {
+        assert_eq!(classify(&CycleLcl::colouring(2)), CycleClass::Global);
+    }
+
+    #[test]
+    fn figure2_independent_set_is_constant() {
+        let c = classify(&CycleLcl::independent_set());
+        assert_eq!(c, CycleClass::Constant { label: 0 });
+    }
+
+    #[test]
+    fn unsolvable_problem_is_global() {
+        let empty = CycleLcl::new(2, 1, vec![]);
+        assert_eq!(classify(&empty), CycleClass::Global);
+    }
+
+    #[test]
+    fn neighbourhood_graph_of_mis_matches_figure2() {
+        let h = NeighbourhoodGraph::build(&CycleLcl::mis());
+        // States 00, 01, 10 (state 11 cannot occur); edges 001, 010, 100,
+        // 101 → 4 edges.
+        assert_eq!(h.len(), 3);
+        let edge_count: usize = (0..h.len()).map(|u| h.successors(u).len()).sum();
+        assert_eq!(edge_count, 4);
+    }
+
+    #[test]
+    fn global_solver_respects_parity() {
+        let two = CycleLcl::colouring(2);
+        assert!(solve_global_cycle(&two, 8).is_some());
+        assert!(solve_global_cycle(&two, 9).is_none());
+        let labels = solve_global_cycle(&two, 8).unwrap();
+        assert!(two.check(&CycleGraph::new(8), &labels));
+    }
+
+    #[test]
+    fn synthesized_three_colouring_runs() {
+        let problem = CycleLcl::colouring(3);
+        let algo = synthesize_cycle_algorithm(&problem).expect("log* problem");
+        for n in [50usize, 137, 1000] {
+            let cycle = CycleGraph::new(n);
+            let ids = IdAssignment::Shuffled { seed: n as u64 }.materialise(n);
+            let run = algo.run(&cycle, &ids);
+            assert!(problem.check(&cycle, &run.labels), "invalid at n={n}");
+        }
+    }
+
+    #[test]
+    fn synthesized_mis_runs() {
+        let problem = CycleLcl::mis();
+        let algo = synthesize_cycle_algorithm(&problem).expect("log* problem");
+        assert_eq!(algo.k(), 2);
+        for n in [64usize, 99, 512] {
+            let cycle = CycleGraph::new(n);
+            let ids = IdAssignment::Shuffled { seed: 7 * n as u64 }.materialise(n);
+            let run = algo.run(&cycle, &ids);
+            assert!(problem.check(&cycle, &run.labels), "invalid at n={n}");
+        }
+    }
+
+    #[test]
+    fn synthesized_algorithm_small_n_fallback() {
+        let problem = CycleLcl::colouring(3);
+        let algo = synthesize_cycle_algorithm(&problem).unwrap();
+        let n = 9;
+        let cycle = CycleGraph::new(n);
+        let ids = IdAssignment::Sequential.materialise(n);
+        let run = algo.run(&cycle, &ids);
+        assert!(problem.check(&cycle, &run.labels));
+    }
+
+    #[test]
+    fn no_synthesis_for_global_or_constant() {
+        assert!(synthesize_cycle_algorithm(&CycleLcl::colouring(2)).is_none());
+        assert!(synthesize_cycle_algorithm(&CycleLcl::independent_set()).is_none());
+    }
+
+    #[test]
+    fn rounds_scale_like_log_star() {
+        let problem = CycleLcl::colouring(3);
+        let algo = synthesize_cycle_algorithm(&problem).unwrap();
+        let rounds = |n: usize| {
+            let cycle = CycleGraph::new(n);
+            let ids = IdAssignment::Shuffled { seed: 3 }.materialise(n);
+            algo.run(&cycle, &ids).rounds.total()
+        };
+        // Above the Linial fixpoint the round count is flat in n: going
+        // from 10⁴ to 10⁵ nodes costs at most a couple of extra reduction
+        // rounds (log* growth).
+        let mid = rounds(10_000);
+        let large = rounds(100_000);
+        assert!(
+            large <= mid + 8,
+            "round growth not log*-like: {mid} -> {large}"
+        );
+    }
+}

@@ -1,0 +1,363 @@
+//! LCL problems on oriented grids in block normal form.
+//!
+//! An LCL problem (§3) has a finite label alphabet and a constant
+//! checkability radius; on *oriented* toroidal grids every radius-1 LCL is
+//! equivalent (up to an alphabet change) to a set of allowed 2×2 label
+//! windows — the shift-of-finite-type normal form that also underlies the
+//! synthesis constraints of §7. A candidate labelling is valid iff the
+//! window at every position `(x, y)`,
+//!
+//! ```text
+//!   nw ne        nw = ℓ(x, y+1)   ne = ℓ(x+1, y+1)
+//!   sw se        sw = ℓ(x, y)     se = ℓ(x+1, y)
+//! ```
+//!
+//! is allowed. Blocks are stored as `[sw, se, nw, ne]`.
+
+use lcl_grid::{Pos, Torus2};
+use std::collections::HashSet;
+use std::fmt;
+
+/// An output label, an index into a problem's alphabet.
+pub type Label = u16;
+
+/// A 2×2 block of labels: `[sw, se, nw, ne]`.
+pub type Block = [Label; 4];
+
+/// A violation of an LCL constraint: the offending block and where it is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// South-west corner of the offending 2×2 window.
+    pub at: Pos,
+    /// The labels of the window, `[sw, se, nw, ne]`.
+    pub block: Block,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "disallowed block {:?} at {} (order sw,se,nw,ne)",
+            self.block, self.at
+        )
+    }
+}
+
+/// An explicitly tabulated block LCL: an alphabet size and the set of
+/// allowed 2×2 windows.
+///
+/// # Example
+///
+/// ```
+/// use lcl_core::lcl::BlockLcl;
+/// // "Horizontal stripes": vertical neighbours must differ, horizontal equal.
+/// let stripes = BlockLcl::from_predicate(2, |[sw, se, nw, ne]| {
+///     sw == se && nw == ne && sw != nw
+/// });
+/// assert!(stripes.block_allowed([0, 0, 1, 1]));
+/// assert!(!stripes.block_allowed([0, 1, 1, 0]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BlockLcl {
+    alphabet: u16,
+    allowed: HashSet<Block>,
+}
+
+impl BlockLcl {
+    /// Creates an empty problem (no allowed blocks — unsolvable).
+    pub fn new(alphabet: u16) -> BlockLcl {
+        assert!(alphabet > 0, "alphabet must be non-empty");
+        BlockLcl {
+            alphabet,
+            allowed: HashSet::new(),
+        }
+    }
+
+    /// Tabulates a block predicate over the whole alphabet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alphabet⁴` exceeds 2³² (tabulation would be infeasible);
+    /// use a structured [`GridProblem`] variant instead.
+    pub fn from_predicate<F: Fn(Block) -> bool>(alphabet: u16, pred: F) -> BlockLcl {
+        let a = alphabet as u64;
+        assert!(
+            a * a * a * a <= 1 << 32,
+            "alphabet too large to tabulate; use a structured GridProblem"
+        );
+        let mut lcl = BlockLcl::new(alphabet);
+        for sw in 0..alphabet {
+            for se in 0..alphabet {
+                for nw in 0..alphabet {
+                    for ne in 0..alphabet {
+                        let b = [sw, se, nw, ne];
+                        if pred(b) {
+                            lcl.allow(b);
+                        }
+                    }
+                }
+            }
+        }
+        lcl
+    }
+
+    /// Builds a problem from independent horizontal and vertical pair
+    /// predicates: a block is allowed iff both horizontal pairs satisfy
+    /// `hpair(west, east)` and both vertical pairs satisfy
+    /// `vpair(south, north)`. This is the natural shape of edge-checkable
+    /// problems such as colourings.
+    pub fn from_pairs<H, V>(alphabet: u16, hpair: H, vpair: V) -> BlockLcl
+    where
+        H: Fn(Label, Label) -> bool,
+        V: Fn(Label, Label) -> bool,
+    {
+        BlockLcl::from_predicate(alphabet, |[sw, se, nw, ne]| {
+            hpair(sw, se) && hpair(nw, ne) && vpair(sw, nw) && vpair(se, ne)
+        })
+    }
+
+    /// Marks one block as allowed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any label is outside the alphabet.
+    pub fn allow(&mut self, block: Block) {
+        assert!(block.iter().all(|&l| l < self.alphabet));
+        self.allowed.insert(block);
+    }
+
+    /// Alphabet size.
+    pub fn alphabet(&self) -> u16 {
+        self.alphabet
+    }
+
+    /// Number of allowed blocks.
+    pub fn allowed_count(&self) -> usize {
+        self.allowed.len()
+    }
+
+    /// True iff the block is allowed.
+    pub fn block_allowed(&self, block: Block) -> bool {
+        self.allowed.contains(&block)
+    }
+
+    /// Iterates over all allowed blocks.
+    pub fn allowed_blocks(&self) -> impl Iterator<Item = Block> + '_ {
+        self.allowed.iter().copied()
+    }
+}
+
+/// A grid LCL problem, in one of several structured representations.
+///
+/// Structured variants carry the combinatorial shape of their constraints,
+/// which the SAT encoders in [`crate::existence`] and [`crate::synthesis`]
+/// exploit; the [`GridProblem::Block`] variant is the generic fallback for
+/// small alphabets. All variants answer [`GridProblem::block_allowed`],
+/// which defines validity.
+#[derive(Clone, Debug)]
+pub enum GridProblem {
+    /// Proper vertex `k`-colouring: grid-adjacent labels differ.
+    VertexColouring {
+        /// Number of colours.
+        k: u16,
+    },
+    /// Proper edge `k`-colouring. The label of a node encodes the colours
+    /// of its east and north edges: `label = east · k + north`; validity
+    /// demands the four edges at every node get distinct colours.
+    EdgeColouring {
+        /// Number of colours.
+        k: u16,
+    },
+    /// `X`-orientation (§11): each label encodes the directions of the
+    /// node's east and north edges (bit 0: east edge points away, bit 1:
+    /// north edge points away); the in-degree of every node must lie in
+    /// the set `X ⊆ {0,…,4}`.
+    Orientation {
+        /// Allowed in-degrees.
+        x: crate::problems::XSet,
+    },
+    /// A generic tabulated block LCL.
+    Block(BlockLcl),
+}
+
+impl GridProblem {
+    /// Alphabet size of the output labels.
+    pub fn alphabet(&self) -> u16 {
+        match self {
+            GridProblem::VertexColouring { k } => *k,
+            GridProblem::EdgeColouring { k } => k * k,
+            GridProblem::Orientation { .. } => 4,
+            GridProblem::Block(b) => b.alphabet(),
+        }
+    }
+
+    /// Short human-readable name.
+    pub fn name(&self) -> String {
+        match self {
+            GridProblem::VertexColouring { k } => format!("vertex-{k}-colouring"),
+            GridProblem::EdgeColouring { k } => format!("edge-{k}-colouring"),
+            GridProblem::Orientation { x } => format!("{x}-orientation"),
+            GridProblem::Block(_) => "block-lcl".to_string(),
+        }
+    }
+
+    /// The validity predicate on 2×2 windows `[sw, se, nw, ne]`.
+    pub fn block_allowed(&self, block: Block) -> bool {
+        let [sw, se, nw, ne] = block;
+        match self {
+            GridProblem::VertexColouring { k } => {
+                block.iter().all(|&l| l < *k)
+                    && sw != se
+                    && nw != ne
+                    && sw != nw
+                    && se != ne
+            }
+            GridProblem::EdgeColouring { k } => {
+                if !block.iter().all(|&l| l < k * k) {
+                    return false;
+                }
+                // The node at the ne corner sees all four of its edge
+                // colours inside this block: its own east/north, its west
+                // edge = nw's east, its south edge = se's north.
+                let (e, n) = crate::problems::edge_label_decode(ne, *k);
+                let (w_edge, _) = crate::problems::edge_label_decode(nw, *k);
+                let (_, s_edge) = crate::problems::edge_label_decode(se, *k);
+                let four = [e, n, w_edge, s_edge];
+                four.iter()
+                    .enumerate()
+                    .all(|(i, a)| four[..i].iter().all(|b| b != a))
+            }
+            GridProblem::Orientation { x } => {
+                if !block.iter().all(|&l| l < 4) {
+                    return false;
+                }
+                // In-degree of the ne node, fully determined in-block.
+                let east_out = |l: Label| l & 1 == 1;
+                let north_out = |l: Label| l & 2 == 2;
+                let indeg = (!east_out(ne)) as u8
+                    + (!north_out(ne)) as u8
+                    + east_out(nw) as u8
+                    + north_out(se) as u8;
+                x.contains(indeg)
+            }
+            GridProblem::Block(b) => b.block_allowed(block),
+        }
+    }
+
+    /// Checks a labelling of a torus, returning the first violation if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` does not match the torus.
+    pub fn check(&self, torus: &Torus2, labels: &[Label]) -> Result<(), Violation> {
+        assert_eq!(labels.len(), torus.node_count());
+        for v in 0..torus.node_count() {
+            let p = torus.pos(v);
+            let block = block_at(torus, labels, p);
+            if !self.block_allowed(block) {
+                return Err(Violation { at: p, block });
+            }
+        }
+        Ok(())
+    }
+
+    /// True iff a constant labelling with some label is valid — the §7
+    /// criterion for `O(1)` solvability on toroidal grids.
+    pub fn constant_solution(&self) -> Option<Label> {
+        (0..self.alphabet()).find(|&l| self.block_allowed([l, l, l, l]))
+    }
+}
+
+/// The 2×2 window of `labels` whose south-west corner is `p`.
+pub fn block_at(torus: &Torus2, labels: &[Label], p: Pos) -> Block {
+    let se = torus.offset(p, 1, 0);
+    let nw = torus.offset(p, 0, 1);
+    let ne = torus.offset(p, 1, 1);
+    [
+        labels[torus.index(p)],
+        labels[torus.index(se)],
+        labels[torus.index(nw)],
+        labels[torus.index(ne)],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_colouring_blocks() {
+        let p = GridProblem::VertexColouring { k: 3 };
+        assert!(p.block_allowed([0, 1, 1, 0]));
+        assert!(p.block_allowed([0, 1, 2, 0]));
+        assert!(!p.block_allowed([0, 0, 1, 2]));
+        assert!(!p.block_allowed([0, 1, 0, 0]));
+        assert_eq!(p.alphabet(), 3);
+    }
+
+    #[test]
+    fn vertex_colouring_checks_whole_torus() {
+        let p = GridProblem::VertexColouring { k: 2 };
+        let t = Torus2::square(4);
+        // Checkerboard is a proper 2-colouring of an even torus.
+        let labels: Vec<Label> = t.positions().map(|q| ((q.x + q.y) % 2) as u16).collect();
+        assert!(p.check(&t, &labels).is_ok());
+        // Break one node.
+        let mut bad = labels;
+        bad[0] = 1;
+        let err = p.check(&t, &bad).unwrap_err();
+        assert!(err.to_string().contains("disallowed block"));
+    }
+
+    #[test]
+    fn constant_solutions() {
+        assert_eq!(
+            GridProblem::VertexColouring { k: 4 }.constant_solution(),
+            None
+        );
+        // In-degree 2 is achieved by any constant orientation labelling —
+        // the §11 triviality criterion ("the existing input orientation is
+        // a valid solution"). Both all-in (0) and all-out (3) work; the
+        // search returns the smallest.
+        let orient = GridProblem::Orientation {
+            x: crate::problems::XSet::from_degrees(&[2]),
+        };
+        assert_eq!(orient.constant_solution(), Some(0));
+    }
+
+    #[test]
+    fn from_pairs_covers_both_edges() {
+        // Same-label horizontally, different vertically.
+        let lcl = BlockLcl::from_pairs(2, |a, b| a == b, |a, b| a != b);
+        assert!(lcl.block_allowed([0, 0, 1, 1]));
+        assert!(!lcl.block_allowed([0, 1, 1, 1]));
+        assert!(!lcl.block_allowed([0, 0, 0, 0]));
+    }
+
+    #[test]
+    fn block_at_wraps() {
+        let t = Torus2::square(2);
+        let labels = vec![0u16, 1, 2, 3];
+        // Block at (1,1): sw=(1,1)=3, se=(0,1)=2, nw=(1,0)=1, ne=(0,0)=0.
+        assert_eq!(block_at(&t, &labels, Pos::new(1, 1)), [3, 2, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet too large")]
+    fn tabulation_guard() {
+        let _ = BlockLcl::from_predicate(300, |_| true);
+    }
+
+    #[test]
+    fn edge_colouring_block_semantics() {
+        let k = 5u16;
+        let p = GridProblem::EdgeColouring { k };
+        let enc = |e: u16, n: u16| e * k + n;
+        // ne node edges: e=0, n=1, west=2 (nw's east), south=3 (se's north).
+        let block = [enc(4, 4), enc(4, 3), enc(2, 4), enc(0, 1)];
+        assert!(p.block_allowed(block));
+        // Collide ne's east with its south edge.
+        let bad = [enc(4, 4), enc(4, 0), enc(2, 4), enc(0, 1)];
+        assert!(!p.block_allowed(bad));
+    }
+}

@@ -1,0 +1,898 @@
+//! The LCL `L_M` of a Turing machine `M` — undecidability of
+//! classification (§6, Theorem 3).
+//!
+//! `L_M` is the disjoint union of two labellings: `P1` is 3-colouring
+//! (always solvable, always global), and `P2` asks for a Voronoi-style
+//! partition of the torus into anchored tiles, each anchor carrying an
+//! encoding of the execution table of `M` started on the empty tape. `P2`
+//! is solvable in `O(log* n)` iff `M` halts; if `M` runs forever, every
+//! locally consistent labelling is forced into `Ω(n)`-hard global
+//! structure (linear borders or diagonals that need 2-colouring). Hence
+//! `L_M` has complexity `Θ(log* n)` iff `M` halts — and deciding *that* is
+//! the halting problem.
+//!
+//! ## Label structure (`P2`)
+//!
+//! Every node carries a *type* `Q` — a pointer towards its tile's anchor
+//! (quadrant diagonals `NE/SE/SW/NW`, axis directions `N/S/E/W`, or the
+//! anchor `A` itself), a colour bit `x` 2-colouring every pointer chain,
+//! and optionally a *payload* cell of the execution table. The table
+//! occupies the rectangle north-east of the anchor; its local rules are a
+//! Wang-tile encoding of `M`'s transition function, with head-movement
+//! signals on vertical cell boundaries and a halting-pointer chain along
+//! the top row. All rules are checkable on 2×2 windows.
+
+use lcl_grid::{Metric, Pos, Torus2, VoronoiTiling};
+use lcl_local::Rounds;
+use lcl_symmetry::mis_torus_power;
+use lcl_turing::{ExecutionTable, Move, RunOutcome, State, Sym, TuringMachine};
+
+/// The type component: a pointer towards the tile's anchor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum QType {
+    NE,
+    SE,
+    SW,
+    NW,
+    N,
+    S,
+    E,
+    W,
+    A,
+}
+
+/// Direction of a head-movement signal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SigDir {
+    /// The head moves left across the boundary.
+    Left,
+    /// The head moves right across the boundary.
+    Right,
+}
+
+/// A head-movement signal on a vertical cell boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Sig {
+    /// The state the head is in after the move.
+    pub state: State,
+    /// Which way the head is moving.
+    pub dir: SigDir,
+}
+
+/// The content of one table cell: a plain tape symbol, or the head.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Content {
+    /// Tape symbol only.
+    Tape(Sym),
+    /// Head in `state` over `sym`.
+    Head(State, Sym),
+}
+
+/// Direction of the halting head along the top row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HaltDir {
+    /// This cell holds the halting head.
+    Here,
+    /// The halting head is somewhere to the west.
+    West,
+    /// The halting head is somewhere to the east.
+    East,
+}
+
+/// The execution-table payload of one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Payload {
+    /// Cell content before this row's step.
+    pub content: Content,
+    /// Signal on the west cell boundary during this row's step.
+    pub sig_w: Option<Sig>,
+    /// Signal on the east cell boundary during this row's step.
+    pub sig_e: Option<Sig>,
+    /// Halting pointer; present exactly on the top (halting) row.
+    pub halt: Option<HaltDir>,
+}
+
+/// A full `L_M` label.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LmLabel {
+    /// The `P1` branch: a colour in `{0, 1, 2}` of the global 3-colouring.
+    P1(u8),
+    /// The `P2` branch.
+    P2 {
+        /// Pointer type.
+        q: QType,
+        /// Diagonal 2-colouring bit.
+        x: bool,
+        /// Optional execution-table cell.
+        payload: Option<Payload>,
+    },
+}
+
+/// How an `L_M` instance was solved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LmStrategy {
+    /// `P2` with execution tables of a machine halting in `s` steps —
+    /// `O(log* n)` rounds.
+    Anchored {
+        /// Steps of the halting run.
+        steps: usize,
+    },
+    /// `P1` 3-colouring fallback — `Θ(n)` rounds.
+    GlobalColouring,
+}
+
+/// A solved `L_M` instance.
+#[derive(Clone, Debug)]
+pub struct LmSolution {
+    /// One label per node.
+    pub labels: Vec<LmLabel>,
+    /// Round ledger.
+    pub rounds: Rounds,
+    /// Which branch was used.
+    pub strategy: LmStrategy,
+}
+
+/// The LCL problem `L_M` for a fixed machine `M`.
+#[derive(Clone, Debug)]
+pub struct LmProblem {
+    machine: TuringMachine,
+}
+
+impl LmProblem {
+    /// Attaches `L_M` to a machine.
+    pub fn new(machine: TuringMachine) -> LmProblem {
+        LmProblem { machine }
+    }
+
+    /// The machine.
+    pub fn machine(&self) -> &TuringMachine {
+        &self.machine
+    }
+
+    // ------------------------------------------------------------------
+    // Local checker
+    // ------------------------------------------------------------------
+
+    /// Checks a labelling; returns the first violated rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` does not match the torus.
+    pub fn check(&self, torus: &Torus2, labels: &[LmLabel]) -> Result<(), String> {
+        assert_eq!(labels.len(), torus.node_count());
+        for v in 0..torus.node_count() {
+            let p = torus.pos(v);
+            let sw = &labels[v];
+            let se = &labels[torus.index(torus.offset(p, 1, 0))];
+            let nw = &labels[torus.index(torus.offset(p, 0, 1))];
+            let ne = &labels[torus.index(torus.offset(p, 1, 1))];
+            self.check_node(sw).map_err(|e| format!("at {p}: {e}"))?;
+            self.check_hpair(sw, se)
+                .map_err(|e| format!("H-pair at {p}: {e}"))?;
+            self.check_vpair(sw, nw)
+                .map_err(|e| format!("V-pair at {p}: {e}"))?;
+            check_diag_ne(sw, ne).map_err(|e| format!("↗-pair at {p}: {e}"))?;
+            check_diag_nw(se, nw).map_err(|e| format!("↖-pair at {p}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    fn check_node(&self, l: &LmLabel) -> Result<(), String> {
+        match l {
+            LmLabel::P1(c) => {
+                if *c < 3 {
+                    Ok(())
+                } else {
+                    Err("P1 colour out of range".into())
+                }
+            }
+            LmLabel::P2 { q, payload, .. } => {
+                if let Some(pl) = payload {
+                    if !matches!(q, QType::A | QType::W | QType::S | QType::SW) {
+                        return Err(format!("payload on type {q:?}"));
+                    }
+                    // Signals may only be emitted by a head with the
+                    // matching transition, or received by a tape cell.
+                    self.check_payload_signals(pl)?;
+                    // Halting pointer sanity: Here ⇔ halting head.
+                    let is_halting_head = matches!(
+                        pl.content,
+                        Content::Head(qq, ss) if self.machine.transition(qq, ss).is_none()
+                    );
+                    match pl.halt {
+                        Some(HaltDir::Here) if !is_halting_head => {
+                            return Err("halt=Here without halting head".into())
+                        }
+                        Some(_) if pl.sig_w.is_some() || pl.sig_e.is_some() => {
+                            return Err("signals on the halting row".into())
+                        }
+                        None if is_halting_head => {
+                            return Err("halting head must carry halt=Here".into())
+                        }
+                        _ => {}
+                    }
+                    if matches!(pl.content, Content::Head(..))
+                        && pl.halt.is_some()
+                        && pl.halt != Some(HaltDir::Here)
+                    {
+                        return Err("non-Here halt pointer on a head cell".into());
+                    }
+                }
+                if *q == QType::A && payload.is_none() {
+                    return Err("anchor must carry the table".into());
+                }
+                if *q == QType::A {
+                    let pl = payload.as_ref().unwrap();
+                    if pl.content != Content::Head(self.machine.start(), Sym::BLANK) {
+                        return Err("anchor cell must be the initial head on blank".into());
+                    }
+                }
+                if *q == QType::W {
+                    if let Some(pl) = payload {
+                        if !matches!(pl.content, Content::Tape(s) if s == Sym::BLANK) {
+                            return Err("initial tape must be empty on the W row".into());
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Per-cell signal legality: emissions need a matching transition.
+    fn check_payload_signals(&self, pl: &Payload) -> Result<(), String> {
+        let out_w = matches!(pl.sig_w, Some(Sig { dir: SigDir::Left, .. }));
+        let out_e = matches!(pl.sig_e, Some(Sig { dir: SigDir::Right, .. }));
+        let inc_w = matches!(pl.sig_w, Some(Sig { dir: SigDir::Right, .. }));
+        let inc_e = matches!(pl.sig_e, Some(Sig { dir: SigDir::Left, .. }));
+        match pl.content {
+            Content::Head(q, s) => {
+                if inc_w || inc_e {
+                    return Err("signal arriving at a head cell".into());
+                }
+                match self.machine.transition(q, s) {
+                    None => {
+                        if out_w || out_e {
+                            return Err("halting head emits a signal".into());
+                        }
+                    }
+                    Some(t) => match t.mv {
+                        Move::Right => {
+                            if pl.sig_e != Some(Sig { state: t.next, dir: SigDir::Right }) {
+                                return Err("right-moving head must emit east".into());
+                            }
+                            if pl.sig_w.is_some() {
+                                return Err("right-moving head with west signal".into());
+                            }
+                        }
+                        Move::Left => {
+                            if pl.sig_w != Some(Sig { state: t.next, dir: SigDir::Left }) {
+                                return Err("left-moving head must emit west".into());
+                            }
+                            if pl.sig_e.is_some() {
+                                return Err("left-moving head with east signal".into());
+                            }
+                        }
+                    },
+                }
+            }
+            Content::Tape(_) => {
+                if out_w || out_e {
+                    return Err("tape cell emits a signal".into());
+                }
+                if inc_w && inc_e {
+                    return Err("two heads arriving at one cell".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_hpair(&self, a: &LmLabel, b: &LmLabel) -> Result<(), String> {
+        use QType::*;
+        match (a, b) {
+            (LmLabel::P1(ca), LmLabel::P1(cb)) => {
+                if ca == cb {
+                    return Err("P1 colours equal".into());
+                }
+            }
+            (LmLabel::P1(_), LmLabel::P2 { .. }) | (LmLabel::P2 { .. }, LmLabel::P1(_)) => {
+                return Err("P1 and P2 mixed".into());
+            }
+            (
+                LmLabel::P2 { q: qa, x: xa, payload: pa },
+                LmLabel::P2 { q: qb, x: xb, payload: pb },
+            ) => {
+                // NOTE: the paper's border-*surround* rules ("the borders
+                // are surrounded with different labels", e.g. east of N
+                // must be NW) are deliberately omitted: they are violated
+                // at Voronoi seams between tiles of an arbitrary anchor
+                // MIS, and neither complexity direction needs them — the
+                // pointer (diag) rules alone force every chain to an
+                // anchor or around the torus. See DESIGN.md.
+                // Anchor surround.
+                if *qa == A && *qb != W {
+                    return Err("east of anchor must be W".into());
+                }
+                if *qb == A && *qa != E {
+                    return Err("west of anchor must be E".into());
+                }
+                // Diagonal (pointer) rules along the horizontal axis.
+                if *qa == E {
+                    if !matches!(qb, E | A) {
+                        return Err("E must point at E or A".into());
+                    }
+                    if *qb == E && xa == xb {
+                        return Err("E-chain not 2-coloured".into());
+                    }
+                }
+                if *qb == W {
+                    if !matches!(qa, W | A) {
+                        return Err("W must point at W or A".into());
+                    }
+                    if *qa == W && xa == xb {
+                        return Err("W-chain not 2-coloured".into());
+                    }
+                }
+                // Payload: signal matching across the shared boundary and
+                // west-closure of the table region.
+                let sig_e_of_a = pa.as_ref().and_then(|p| p.sig_e);
+                let sig_w_of_b = pb.as_ref().and_then(|p| p.sig_w);
+                if sig_e_of_a != sig_w_of_b {
+                    return Err("signal mismatch on a vertical boundary".into());
+                }
+                if let Some(pb) = pb {
+                    if matches!(qb, W | SW) && pa.is_none() {
+                        return Err("table region must be west-closed".into());
+                    }
+                    // Halting pointer chain (west side).
+                    if pb.halt == Some(HaltDir::West) {
+                        let ok = matches!(
+                            pa.as_ref().and_then(|p| p.halt),
+                            Some(HaltDir::Here) | Some(HaltDir::West)
+                        );
+                        if !ok {
+                            return Err("broken halt pointer chain (west)".into());
+                        }
+                    }
+                }
+                if let Some(pa) = pa {
+                    if pa.halt == Some(HaltDir::East) {
+                        let ok = matches!(
+                            pb.as_ref().and_then(|p| p.halt),
+                            Some(HaltDir::Here) | Some(HaltDir::East)
+                        );
+                        if !ok {
+                            return Err("broken halt pointer chain (east)".into());
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_vpair(&self, a: &LmLabel, b: &LmLabel) -> Result<(), String> {
+        use QType::*;
+        match (a, b) {
+            (LmLabel::P1(ca), LmLabel::P1(cb)) => {
+                if ca == cb {
+                    return Err("P1 colours equal".into());
+                }
+            }
+            (LmLabel::P1(_), LmLabel::P2 { .. }) | (LmLabel::P2 { .. }, LmLabel::P1(_)) => {
+                return Err("P1 and P2 mixed".into());
+            }
+            (
+                LmLabel::P2 { q: qa, x: xa, payload: pa },
+                LmLabel::P2 { q: qb, x: xb, payload: pb },
+            ) => {
+                // Border-surround rules are omitted here as well (see the
+                // horizontal-pair rule and DESIGN.md).
+                // Anchor surround.
+                if *qa == A && *qb != S {
+                    return Err("north of anchor must be S".into());
+                }
+                if *qb == A && *qa != N {
+                    return Err("south of anchor must be N".into());
+                }
+                // Pointer rules along the vertical axis.
+                if *qa == N {
+                    if !matches!(qb, N | A) {
+                        return Err("N must point at N or A".into());
+                    }
+                    if *qb == N && xa == xb {
+                        return Err("N-chain not 2-coloured".into());
+                    }
+                }
+                if *qb == S {
+                    if !matches!(qa, S | A) {
+                        return Err("S must point at S or A".into());
+                    }
+                    if *qa == S && xa == xb {
+                        return Err("S-chain not 2-coloured".into());
+                    }
+                }
+                // Payload: table evolution between rows.
+                if let Some(pa) = pa {
+                    let top_row = pa.halt.is_some();
+                    match (top_row, pb) {
+                        (true, Some(_)) => {
+                            // The cell above a halting-row cell may not be
+                            // payload only if it belongs to the same table
+                            // region; a payload directly above breaks the
+                            // rectangle.
+                            return Err("payload above the halting row".into());
+                        }
+                        (false, None) => {
+                            return Err("table column ends without halt pointer".into());
+                        }
+                        (false, Some(pb)) => {
+                            let expected = self.evolve(pa);
+                            match expected {
+                                None => return Err("no legal successor content".into()),
+                                Some(c) => {
+                                    if pb.content != c {
+                                        return Err(format!(
+                                            "table evolution violated: expected {c:?}, got {:?}",
+                                            pb.content
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                        (true, None) => {}
+                    }
+                }
+                if pb.is_some() && pa.is_none() && matches!(qb, S | SW) {
+                    return Err("table region must be south-closed".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The forced content of the cell above `pa`, per the signal discipline.
+    fn evolve(&self, pa: &Payload) -> Option<Content> {
+        match pa.content {
+            Content::Head(q, s) => {
+                let t = self.machine.transition(q, s)?;
+                Some(Content::Tape(t.write))
+            }
+            Content::Tape(s) => {
+                let inc_w = match pa.sig_w {
+                    Some(Sig { state, dir: SigDir::Right }) => Some(state),
+                    _ => None,
+                };
+                let inc_e = match pa.sig_e {
+                    Some(Sig { state, dir: SigDir::Left }) => Some(state),
+                    _ => None,
+                };
+                match (inc_w, inc_e) {
+                    (Some(q), None) | (None, Some(q)) => Some(Content::Head(q, s)),
+                    (None, None) => Some(Content::Tape(s)),
+                    (Some(_), Some(_)) => None,
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Solver
+    // ------------------------------------------------------------------
+
+    /// Solves `L_M` on a torus: the `O(log* n)` anchored construction if
+    /// `M` halts within `fuel` steps and the torus is large enough,
+    /// otherwise the global `P1` 3-colouring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if even the 3-colouring fails (impossible for `n ≥ 3`).
+    pub fn solve(&self, torus: &Torus2, ids: &[u64], fuel: usize) -> LmSolution {
+        let n = torus.side();
+        if let RunOutcome::Halted(table) = self.machine.run(fuel) {
+            let s = table.steps();
+            let spacing = 4 * (s + 1);
+            if n >= spacing + 2 {
+                return self.solve_anchored(torus, ids, &table, spacing);
+            }
+        }
+        // Global fallback: P1 3-colouring via the existence solver.
+        let p = crate::problems::vertex_colouring(3);
+        let labels = crate::existence::solve(&p, torus)
+            .expect("3-colouring of a torus always exists for n ≥ 3");
+        let mut rounds = Rounds::new();
+        rounds.charge("global-3-colouring", n as u64);
+        LmSolution {
+            labels: labels.into_iter().map(|c| LmLabel::P1(c as u8)).collect(),
+            rounds,
+            strategy: LmStrategy::GlobalColouring,
+        }
+    }
+
+    fn solve_anchored(
+        &self,
+        torus: &Torus2,
+        ids: &[u64],
+        table: &ExecutionTable,
+        spacing: usize,
+    ) -> LmSolution {
+        let mis = mis_torus_power(torus, Metric::L1, spacing, ids);
+        let mut rounds = Rounds::new();
+        rounds.absorb("anchor-mis", &mis.rounds);
+        let tiling = VoronoiTiling::compute(torus, Metric::L1, &mis.in_mis, spacing);
+        rounds.charge("voronoi+table", (2 * (table.steps() + 1)) as u64);
+
+        let labels: Vec<LmLabel> = (0..torus.node_count())
+            .map(|v| {
+                let cell = tiling.cell(v);
+                let (dx, dy) = cell.local;
+                let q = match (dx.signum(), dy.signum()) {
+                    (0, 0) => QType::A,
+                    (0, -1) => QType::N,
+                    (0, 1) => QType::S,
+                    (-1, 0) => QType::E,
+                    (1, 0) => QType::W,
+                    (1, 1) => QType::SW,
+                    (-1, -1) => QType::NE,
+                    (1, -1) => QType::NW,
+                    (-1, 1) => QType::SE,
+                    _ => unreachable!(),
+                };
+                let x = match q {
+                    QType::N | QType::S => dy.unsigned_abs() % 2 == 1,
+                    QType::A => false,
+                    _ => dx.unsigned_abs() % 2 == 1,
+                };
+                let payload = self.payload_at(table, dx, dy);
+                LmLabel::P2 { q, x, payload }
+            })
+            .collect();
+        LmSolution {
+            labels,
+            rounds,
+            strategy: LmStrategy::Anchored {
+                steps: table.steps(),
+            },
+        }
+    }
+
+    /// The payload of the cell at offset `(dx, dy)` from its anchor, if
+    /// inside the table rectangle.
+    fn payload_at(&self, table: &ExecutionTable, dx: i64, dy: i64) -> Option<Payload> {
+        let (cols, rows) = (table.width() as i64, table.height() as i64);
+        if dx < 0 || dy < 0 || dx >= cols || dy >= rows {
+            return None;
+        }
+        let (col, row) = (dx as usize, dy as usize);
+        let content = match table.head_state(row, col) {
+            Some(state) => Content::Head(state, table.symbol(row, col)),
+            None => Content::Tape(table.symbol(row, col)),
+        };
+        let top_row = row + 1 == table.height();
+        let halt = if top_row {
+            let head_col = table.rows()[row].head;
+            Some(match col.cmp(&head_col) {
+                std::cmp::Ordering::Equal => HaltDir::Here,
+                std::cmp::Ordering::Less => HaltDir::East,
+                std::cmp::Ordering::Greater => HaltDir::West,
+            })
+        } else {
+            None
+        };
+        // Signals for the step row → row+1: the head (at head_col) crosses
+        // one boundary.
+        let mut sig_w = None;
+        let mut sig_e = None;
+        if !top_row {
+            let head_col = table.rows()[row].head;
+            let next_col = table.rows()[row + 1].head;
+            let state_after = table.rows()[row + 1].state;
+            if next_col == head_col + 1 {
+                // Boundary (head_col, head_col+1), moving right.
+                let sig = Sig {
+                    state: state_after,
+                    dir: SigDir::Right,
+                };
+                if col == head_col {
+                    sig_e = Some(sig);
+                }
+                if col == head_col + 1 {
+                    sig_w = Some(sig);
+                }
+            } else if next_col + 1 == head_col {
+                // Boundary (head_col−1, head_col), moving left.
+                let sig = Sig {
+                    state: state_after,
+                    dir: SigDir::Left,
+                };
+                if col == head_col {
+                    sig_w = Some(sig);
+                }
+                if col + 1 == head_col {
+                    sig_e = Some(sig);
+                }
+            }
+        }
+        Some(Payload {
+            content,
+            sig_w,
+            sig_e,
+            halt,
+        })
+    }
+}
+
+fn check_diag_ne(a: &LmLabel, b: &LmLabel) -> Result<(), String> {
+    use QType::*;
+    let (LmLabel::P2 { q: qa, x: xa, .. }, LmLabel::P2 { q: qb, x: xb, .. }) = (a, b) else {
+        return Ok(()); // P1 diagonals are unconstrained; mixing is caught on edges
+    };
+    if *qa == NE {
+        if !matches!(qb, NE | N | E | A) {
+            return Err(format!("NE points at {qb:?}"));
+        }
+        if *qb == NE && xa == xb {
+            return Err("NE-chain not 2-coloured".into());
+        }
+    }
+    if *qb == SW {
+        if !matches!(qa, SW | S | W | A) {
+            return Err(format!("SW points at {qa:?}"));
+        }
+        if *qa == SW && xa == xb {
+            return Err("SW-chain not 2-coloured".into());
+        }
+    }
+    if *qa == A && *qb != SW {
+        return Err("north-east of anchor must be SW".into());
+    }
+    if *qb == A && *qa != NE {
+        return Err("south-west of anchor must be NE".into());
+    }
+    Ok(())
+}
+
+fn check_diag_nw(c: &LmLabel, d: &LmLabel) -> Result<(), String> {
+    use QType::*;
+    let (LmLabel::P2 { q: qc, x: xc, .. }, LmLabel::P2 { q: qd, x: xd, .. }) = (c, d) else {
+        return Ok(());
+    };
+    if *qc == NW {
+        if !matches!(qd, NW | N | W | A) {
+            return Err(format!("NW points at {qd:?}"));
+        }
+        if *qd == NW && xc == xd {
+            return Err("NW-chain not 2-coloured".into());
+        }
+    }
+    if *qd == SE {
+        if !matches!(qc, SE | S | E | A) {
+            return Err(format!("SE points at {qc:?}"));
+        }
+        if *qc == SE && xc == xd {
+            return Err("SE-chain not 2-coloured".into());
+        }
+    }
+    if *qc == A && *qd != SE {
+        return Err("north-west of anchor must be SE".into());
+    }
+    if *qd == A && *qc != NW {
+        return Err("south-east of anchor must be NW".into());
+    }
+    Ok(())
+}
+
+/// Renders the `Q`-types of a labelling as ASCII art (anchors as `A`,
+/// payload cells upper-cased, everything else lower-cased).
+pub fn render_types(torus: &Torus2, labels: &[LmLabel]) -> String {
+    let mut out = String::new();
+    for y in (0..torus.height()).rev() {
+        for x in 0..torus.width() {
+            let l = &labels[torus.index(Pos::new(x, y))];
+            let ch = match l {
+                LmLabel::P1(c) => char::from(b'0' + *c),
+                LmLabel::P2 { q, payload, .. } => {
+                    let c = match q {
+                        QType::NE => 'r',
+                        QType::SE => 'z',
+                        QType::SW => 'w',
+                        QType::NW => 'q',
+                        QType::N => 'n',
+                        QType::S => 's',
+                        QType::E => 'e',
+                        QType::W => 'v',
+                        QType::A => 'a',
+                    };
+                    if payload.is_some() {
+                        c.to_ascii_uppercase()
+                    } else {
+                        c
+                    }
+                }
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_local::IdAssignment;
+    use lcl_turing::machines;
+
+    fn solve_and_check(machine: TuringMachine, n: usize, seed: u64) -> LmSolution {
+        let problem = LmProblem::new(machine);
+        let torus = Torus2::square(n);
+        let ids = IdAssignment::Shuffled { seed }.materialise(n * n);
+        let sol = problem.solve(&torus, &ids, 10_000);
+        if let Err(e) = problem.check(&torus, &sol.labels) {
+            panic!(
+                "solver output fails its own checker: {e}\n{}",
+                render_types(&torus, &sol.labels)
+            );
+        }
+        sol
+    }
+
+    #[test]
+    fn halting_machine_gets_anchored_solution() {
+        let sol = solve_and_check(machines::unary_counter(1), 30, 7);
+        assert!(matches!(sol.strategy, LmStrategy::Anchored { steps: 2 }));
+    }
+
+    #[test]
+    fn halting_machine_various_sizes_and_seeds() {
+        for (n, seed) in [(26usize, 1u64), (31, 2), (40, 3)] {
+            let sol = solve_and_check(machines::unary_counter(1), n, seed);
+            assert!(matches!(sol.strategy, LmStrategy::Anchored { .. }));
+        }
+    }
+
+    #[test]
+    fn bouncer_machine_embeds_left_moves() {
+        // bouncer(2,1): head moves both ways; s ≈ 9.
+        let m = machines::bouncer(2, 1);
+        let s = m.run(10_000).expect_halted().steps();
+        let n = 4 * (s + 1) + 2;
+        let sol = solve_and_check(m, n, 11);
+        assert!(matches!(sol.strategy, LmStrategy::Anchored { .. }));
+    }
+
+    #[test]
+    fn looping_machine_falls_back_to_p1() {
+        let sol = solve_and_check(machines::loop_forever(), 12, 5);
+        assert_eq!(sol.strategy, LmStrategy::GlobalColouring);
+    }
+
+    #[test]
+    fn small_torus_falls_back_to_p1() {
+        // Machine halts but the torus is too small for the table spacing.
+        let sol = solve_and_check(machines::unary_counter(5), 10, 5);
+        assert_eq!(sol.strategy, LmStrategy::GlobalColouring);
+    }
+
+    #[test]
+    fn checker_rejects_corrupted_table() {
+        let problem = LmProblem::new(machines::unary_counter(1));
+        let torus = Torus2::square(30);
+        let ids = IdAssignment::Shuffled { seed: 9 }.materialise(900);
+        let mut sol = problem.solve(&torus, &ids, 1000);
+        assert!(matches!(sol.strategy, LmStrategy::Anchored { .. }));
+        // Corrupt one payload cell's content.
+        let target = sol
+            .labels
+            .iter()
+            .position(|l| {
+                matches!(l, LmLabel::P2 { payload: Some(p), .. }
+                         if matches!(p.content, Content::Tape(s) if s == Sym(1)))
+            })
+            .expect("table contains a written 1");
+        if let LmLabel::P2 { payload: Some(p), .. } = &mut sol.labels[target] {
+            p.content = Content::Tape(Sym::BLANK);
+        }
+        assert!(problem.check(&torus, &sol.labels).is_err());
+    }
+
+    #[test]
+    fn checker_rejects_missing_anchor_table() {
+        let problem = LmProblem::new(machines::unary_counter(1));
+        let torus = Torus2::square(30);
+        let ids = IdAssignment::Shuffled { seed: 10 }.materialise(900);
+        let mut sol = problem.solve(&torus, &ids, 1000);
+        let anchor = sol
+            .labels
+            .iter()
+            .position(|l| matches!(l, LmLabel::P2 { q: QType::A, .. }))
+            .unwrap();
+        if let LmLabel::P2 { payload, .. } = &mut sol.labels[anchor] {
+            *payload = None;
+        }
+        assert!(problem.check(&torus, &sol.labels).is_err());
+    }
+
+    #[test]
+    fn checker_rejects_broken_two_colouring() {
+        let problem = LmProblem::new(machines::unary_counter(1));
+        let torus = Torus2::square(30);
+        let ids = IdAssignment::Shuffled { seed: 11 }.materialise(900);
+        let mut sol = problem.solve(&torus, &ids, 1000);
+        // Flip the x bit of an SW node that is mid-chain (its north-east
+        // neighbour is also SW): at least one of its two chain pairs must
+        // become monochromatic.
+        let is_sw = |l: &LmLabel| matches!(l, LmLabel::P2 { q: QType::SW, .. });
+        let target = (0..torus.node_count())
+            .find(|&v| {
+                let p = torus.pos(v);
+                let ne = torus.index(torus.offset(p, 1, 1));
+                is_sw(&sol.labels[v]) && is_sw(&sol.labels[ne])
+            })
+            .expect("some SW chain of length ≥ 2 exists");
+        if let LmLabel::P2 { x, .. } = &mut sol.labels[target] {
+            *x = !*x;
+        }
+        assert!(problem.check(&torus, &sol.labels).is_err());
+    }
+
+    #[test]
+    fn checker_rejects_uniform_quadrant_with_bad_diagonals() {
+        // All-NE labelling with constant x: diagonals are monochromatic.
+        let problem = LmProblem::new(machines::unary_counter(1));
+        let torus = Torus2::square(8);
+        let labels: Vec<LmLabel> = (0..64)
+            .map(|_| LmLabel::P2 {
+                q: QType::NE,
+                x: false,
+                payload: None,
+            })
+            .collect();
+        assert!(problem.check(&torus, &labels).is_err());
+    }
+
+    #[test]
+    fn uniform_quadrant_with_alternating_diagonals_is_legal_on_even_n() {
+        // The "no-anchor" P2 labelling: all NE, x = diagonal parity. Valid
+        // for even n — this is the solvable-but-global escape hatch that
+        // forces the Ω(n) bound when M does not halt (§6).
+        let problem = LmProblem::new(machines::loop_forever());
+        let torus = Torus2::square(8);
+        let labels: Vec<LmLabel> = torus
+            .positions()
+            .map(|p| LmLabel::P2 {
+                q: QType::NE,
+                // Column parity alternates along every ↗ diagonal step
+                // (+1,+1); consistent across the wrap because n is even.
+                x: p.x % 2 == 1,
+                payload: None,
+            })
+            .collect();
+        problem.check(&torus, &labels).expect("legal for even n");
+    }
+
+    #[test]
+    fn fake_halting_table_is_rejected() {
+        // Build an anchored solution for a halting machine, then swap in a
+        // looping machine: the table no longer matches the transition
+        // rules.
+        let halting = machines::unary_counter(1);
+        let torus = Torus2::square(30);
+        let ids = IdAssignment::Shuffled { seed: 12 }.materialise(900);
+        let sol = LmProblem::new(halting).solve(&torus, &ids, 1000);
+        let looper = LmProblem::new(machines::loop_forever());
+        assert!(looper.check(&torus, &sol.labels).is_err());
+    }
+
+    #[test]
+    fn render_types_shows_anchor() {
+        let problem = LmProblem::new(machines::unary_counter(1));
+        let torus = Torus2::square(26);
+        let ids = IdAssignment::Shuffled { seed: 3 }.materialise(26 * 26);
+        let sol = problem.solve(&torus, &ids, 1000);
+        let art = render_types(&torus, &sol.labels);
+        assert!(art.contains('a') || art.contains('A'));
+    }
+}

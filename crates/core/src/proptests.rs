@@ -1,0 +1,130 @@
+//! Property-based tests for the core LCL machinery.
+
+use crate::cycles::{solve_global_cycle, synthesize_cycle_algorithm, CycleLcl};
+use crate::problems::{self, XSet};
+use crate::synthesis::{enumerate_tiles, realizable, Tile, TileShape};
+use crate::{existence, GridProblem};
+use lcl_grid::{CycleGraph, Torus2};
+use lcl_local::{GridInstance, IdAssignment, SplitMix64};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The block checker and the native vertex-colouring validator agree
+    /// on arbitrary labellings.
+    #[test]
+    fn checker_agreement_vertex(n in 3usize..7, k in 2u16..5, seed in 0u64..500) {
+        let t = Torus2::square(n);
+        let mut rng = SplitMix64::new(seed);
+        let labels: Vec<u16> = (0..n * n).map(|_| rng.next_below(k as u64) as u16).collect();
+        let p = problems::vertex_colouring(k);
+        prop_assert_eq!(
+            p.check(&t, &labels).is_ok(),
+            problems::is_proper_vertex_colouring(&t, &labels, k)
+        );
+    }
+
+    /// Same for edge colourings.
+    #[test]
+    fn checker_agreement_edge(n in 3usize..6, seed in 0u64..500) {
+        let k = 5u16;
+        let t = Torus2::square(n);
+        let mut rng = SplitMix64::new(seed);
+        let labels: Vec<u16> =
+            (0..n * n).map(|_| rng.next_below((k * k) as u64) as u16).collect();
+        let p = problems::edge_colouring(k);
+        prop_assert_eq!(
+            p.check(&t, &labels).is_ok(),
+            problems::is_proper_edge_colouring(&t, &labels, k)
+        );
+    }
+
+    /// Same for orientations, against the in-degree census.
+    #[test]
+    fn checker_agreement_orientation(n in 3usize..6, mask in 0u8..32, seed in 0u64..200) {
+        let t = Torus2::square(n);
+        let x = XSet::all().nth(mask as usize).unwrap();
+        let mut rng = SplitMix64::new(seed);
+        let labels: Vec<u16> = (0..n * n).map(|_| rng.next_below(4) as u16).collect();
+        let p = problems::orientation(x);
+        let native = problems::orientation_indegrees(&t, &labels)
+            .iter()
+            .all(|&d| x.contains(d));
+        prop_assert_eq!(p.check(&t, &labels).is_ok(), native);
+    }
+
+    /// Whatever the SAT existence solver outputs is valid.
+    #[test]
+    fn existence_solutions_always_check(n in 4usize..7, seed in 0u64..100) {
+        for p in [
+            problems::vertex_colouring(4),
+            problems::edge_colouring(5),
+            problems::mis_with_pointers(),
+        ] {
+            let t = Torus2::square(n);
+            if let Some(labels) = existence::solve_seeded(&p, &t, seed) {
+                prop_assert!(p.check(&t, &labels).is_ok(), "{} at n={n}", p.name());
+            }
+        }
+    }
+
+    /// Tiles returned by the enumerator are realizable, and random
+    /// non-independent patterns are rejected.
+    #[test]
+    fn realizability_soundness(k in 1usize..3, seed in 0u64..200) {
+        let shape = TileShape::new(3, 3);
+        let mut rng = SplitMix64::new(seed);
+        let mut tile = Tile::empty(shape);
+        for r in 0..3 {
+            for c in 0..3 {
+                tile.set(r, c, rng.next_below(3) == 0);
+            }
+        }
+        let enumerated = enumerate_tiles(k, shape);
+        // The enumeration contains exactly the realizable patterns.
+        prop_assert_eq!(enumerated.contains(&tile), realizable(k, &tile));
+    }
+
+    /// Synthesised cycle algorithms are valid for arbitrary n and seeds.
+    #[test]
+    fn cycle_synthesis_total_correctness(n in 7usize..400, seed in 0u64..100) {
+        let problem = CycleLcl::colouring(3);
+        let algo = synthesize_cycle_algorithm(&problem).unwrap();
+        let cycle = CycleGraph::new(n);
+        let ids = IdAssignment::Shuffled { seed }.materialise(n);
+        let run = algo.run(&cycle, &ids);
+        prop_assert!(problem.check(&cycle, &run.labels));
+    }
+
+    /// The global cycle solver's outputs always check, and its parity
+    /// behaviour for 2-colouring is exact.
+    #[test]
+    fn cycle_global_solver(n in 3usize..60) {
+        let two = CycleLcl::colouring(2);
+        match solve_global_cycle(&two, n) {
+            Some(labels) => {
+                prop_assert_eq!(n % 2, 0);
+                prop_assert!(two.check(&CycleGraph::new(n), &labels));
+            }
+            None => prop_assert_eq!(n % 2, 1),
+        }
+    }
+
+    /// Synthesised grid algorithms stay correct across id assignments —
+    /// including adversarial sparse spaces.
+    #[test]
+    fn synthesized_orientation_robust(n in 8usize..24, seed in 0u64..50, spread in 1u64..50) {
+        let x = XSet::from_degrees(&[1, 3, 4]);
+        let p: GridProblem = problems::orientation(x);
+        // The table is cached per test-process run via lazy static-free
+        // recomputation; k=1 synthesis is fast enough to redo.
+        let algo = crate::synthesis::synthesize_auto(&p, 1).unwrap();
+        let inst = GridInstance::new(
+            n,
+            &IdAssignment::Sparse { seed, spread },
+        );
+        let run = algo.run(&inst);
+        prop_assert!(p.check(&inst.torus(), &run.labels).is_ok());
+    }
+}

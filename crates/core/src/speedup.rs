@@ -1,0 +1,226 @@
+//! The speed-up theorem and normal form (Theorem 2, §5).
+//!
+//! Given *any* algorithm `A` solving an LCL `P` in time `T(n) = o(n)`,
+//! there is an `O(log* n)` algorithm `B` for `P`:
+//!
+//! 1. pick the smallest even `k ≥ 4` with `T(k) < k/4 − 4`;
+//! 2. find a maximal independent set (the *anchors*) of `G^(k/2)`;
+//! 3. carve the grid into Voronoi tiles of the anchors, give every node
+//!    its position relative to its anchor as a *locally unique
+//!    identifier*, and run `A` pretending the instance has size `k × k`.
+//!
+//! `A` never sees a repeated identifier within its horizon, so its outputs
+//! must be locally valid everywhere — and local validity is global
+//! validity for an LCL. This module implements the transformation over
+//! black-box [`GridAlgorithm`]s; the only `Θ(log* n)` ingredient is the
+//! anchor MIS.
+
+use lcl_grid::{Metric, VoronoiTiling};
+use lcl_local::{GridAlgorithm, GridInstance, GridView, Rounds};
+use lcl_symmetry::mis_torus_power;
+
+/// The outcome of a speed-up run.
+#[derive(Clone, Debug)]
+pub struct SpeedupRun {
+    /// One label per node.
+    pub labels: Vec<u32>,
+    /// The constant `k` chosen from `T`.
+    pub k: usize,
+    /// Round ledger: anchors (`O(log* n)`) + simulation (`O(k)`).
+    pub rounds: Rounds,
+}
+
+/// Chooses the smallest even `k ≥ 4` with `T(k) < k/4 − 4` (step 1 of the
+/// proof of Theorem 2).
+///
+/// # Panics
+///
+/// Panics if no such `k ≤ 10⁶` exists — i.e. the supplied time bound is
+/// not `o(n)` in any practical sense.
+pub fn choose_k<A: GridAlgorithm + ?Sized>(algorithm: &A) -> usize {
+    let mut k = 4usize;
+    loop {
+        if 4 * algorithm.time(k) + 16 < k {
+            return k;
+        }
+        k += 2;
+        assert!(k <= 1_000_000, "time bound is not o(n)");
+    }
+}
+
+/// Applies the speed-up transformation to `algorithm` on `instance`.
+///
+/// # Panics
+///
+/// Panics if the instance is smaller than `k` (the asymptotic regime of
+/// the theorem starts there), or if the inner algorithm reads outside its
+/// declared radius.
+pub fn speedup<A: GridAlgorithm + ?Sized>(algorithm: &A, instance: &GridInstance) -> SpeedupRun {
+    let k = choose_k(algorithm);
+    let torus = instance.torus();
+    assert!(
+        instance.n() >= 2 * k,
+        "speed-up needs n ≥ 2k = {}, got {}",
+        2 * k,
+        instance.n()
+    );
+
+    // Step 2: anchors = MIS of G^(k/2).
+    let mis = mis_torus_power(&torus, Metric::L1, k / 2, instance.ids());
+    let mut rounds = Rounds::new();
+    rounds.absorb("S_k/2", &mis.rounds);
+
+    // Step 3: Voronoi tiles and local coordinates as identifiers.
+    let tiling = VoronoiTiling::compute(&torus, Metric::L1, &mis.in_mis, k / 2);
+    let fake_ids: Vec<u64> = tiling
+        .local_ids(k / 2 + 1)
+        .into_iter()
+        .map(|id| id + 1)
+        .collect();
+    rounds.charge("voronoi-tiling", (k / 2 + 1) as u64);
+
+    // Simulate A with the claimed instance size k.
+    let t = algorithm.time(k);
+    let labels: Vec<u32> = (0..torus.node_count())
+        .map(|v| {
+            let view = GridView::from_parts(torus, &fake_ids, torus.pos(v), t, k);
+            algorithm.evaluate(&view)
+        })
+        .collect();
+    rounds.charge("simulate-A(k)", t as u64);
+
+    SpeedupRun { labels, k, rounds }
+}
+
+/// A genuine `O(log* n)`-time LOCAL algorithm in functional form, used to
+/// exercise the transformation: it 3-colours every *row cycle* of the
+/// grid by running Cole–Vishkin within its own view. The corresponding
+/// LCL ("east neighbours get different colours among {0,1,2}") has
+/// complexity `Θ(log* n)`.
+///
+/// The radius is a constant because `u64` identifiers collapse to fewer
+/// than 6 colours in 4 Cole–Vishkin iterations; 3 shedding rounds follow.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RowColeVishkin;
+
+impl RowColeVishkin {
+    /// CV iterations needed from 64-bit identifiers: 64-bit → <128 → <14 →
+    /// <8 → <6.
+    const CV_ITERS: usize = 4;
+
+    /// One CV step on the value pair (mine, successor's).
+    fn cv_step(mine: u64, succ: u64) -> u64 {
+        debug_assert_ne!(mine, succ);
+        let diff = mine ^ succ;
+        let i = diff.trailing_zeros() as u64;
+        (i << 1) | ((mine >> i) & 1)
+    }
+
+    /// Colour of the node at row offset `base` (within the view) after the
+    /// CV phase: needs identifiers at offsets `base..=base+CV_ITERS`.
+    fn cv_colour(view: &GridView<'_>, base: i64) -> u64 {
+        // colours[j] = colour of node at offset base+j after 0 iterations.
+        let mut colours: Vec<u64> = (0..=Self::CV_ITERS as i64)
+            .map(|j| view.id_at(base + j, 0))
+            .collect();
+        for _ in 0..Self::CV_ITERS {
+            colours = colours
+                .windows(2)
+                .map(|w| Self::cv_step(w[0], w[1]))
+                .collect();
+        }
+        colours[0]
+    }
+}
+
+impl GridAlgorithm for RowColeVishkin {
+    fn name(&self) -> String {
+        "row-cole-vishkin".into()
+    }
+
+    fn time(&self, _n: usize) -> usize {
+        // 3 shedding rounds look west; CV looks east CV_ITERS; shedding
+        // also expands east: total east extent CV_ITERS + 3, west 3.
+        Self::CV_ITERS + 6
+    }
+
+    fn evaluate(&self, view: &GridView<'_>) -> u32 {
+        // Colours after CV for offsets -3..=3 along the row.
+        let mut colours: Vec<u64> = (-3..=3).map(|b| Self::cv_colour(view, b)).collect();
+        // Shedding: colours 5, 4, 3 recolour to the smallest free value;
+        // each round every node updates from the snapshot of the previous.
+        for top in (3..6u64).rev() {
+            let snapshot = colours.clone();
+            for j in 1..snapshot.len() - 1 {
+                if snapshot[j] == top {
+                    let a = snapshot[j - 1];
+                    let b = snapshot[j + 1];
+                    colours[j] = (0..3).find(|c| *c != a && *c != b).unwrap();
+                }
+            }
+        }
+        colours[3] as u32 // the centre node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_grid::Dir4;
+    use lcl_local::IdAssignment;
+
+    fn row_colouring_valid(inst: &GridInstance, labels: &[u32]) -> bool {
+        let torus = inst.torus();
+        (0..torus.node_count()).all(|v| {
+            let p = torus.pos(v);
+            let e = torus.index(torus.step(p, Dir4::East));
+            labels[v] < 3 && labels[v] != labels[e]
+        })
+    }
+
+    #[test]
+    fn row_cv_is_correct_directly() {
+        for n in [24usize, 31, 64] {
+            let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed: n as u64 });
+            let labels = RowColeVishkin.run(&inst);
+            assert!(row_colouring_valid(&inst, &labels), "n={n}");
+        }
+    }
+
+    #[test]
+    fn choose_k_matches_condition() {
+        let k = choose_k(&RowColeVishkin);
+        let t = RowColeVishkin.time(k);
+        assert!(k % 2 == 0 && 4 * t + 16 < k);
+        assert!(4 * RowColeVishkin.time(k - 2) + 16 >= k - 2);
+    }
+
+    #[test]
+    fn speedup_preserves_correctness() {
+        // k = 58 for RowColeVishkin (T = 10); use n ≥ 2k.
+        let n = 128;
+        let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed: 42 });
+        let run = speedup(&RowColeVishkin, &inst);
+        assert!(
+            row_colouring_valid(&inst, &run.labels),
+            "speed-up output must stay a valid row colouring"
+        );
+    }
+
+    #[test]
+    fn speedup_rounds_dominated_by_anchor_mis() {
+        let n = 128;
+        let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed: 1 });
+        let run = speedup(&RowColeVishkin, &inst);
+        let phases = run.rounds.phases();
+        assert!(phases.iter().any(|(name, _)| name.starts_with("S_k/2")));
+        assert!(phases.iter().any(|(name, _)| name == "simulate-A(k)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "speed-up needs")]
+    fn small_instances_rejected() {
+        let inst = GridInstance::new(16, &IdAssignment::Sequential);
+        let _ = speedup(&RowColeVishkin, &inst);
+    }
+}

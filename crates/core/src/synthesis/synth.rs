@@ -1,0 +1,480 @@
+//! Constraint compilation and `A′` extraction (§7).
+//!
+//! The finite function `A′` assigns an output label to every realizable
+//! tile. Correctness of `A′ ∘ S_k` is equivalent to: for every realizable
+//! *super-tile* (one row and one column larger than the window), the
+//! labels of its four corner sub-tiles form an allowed 2×2 block of the
+//! target LCL. These constraints are compiled to CNF — using factored
+//! variables where the problem structure permits (edge colours,
+//! orientation bits) — and handed to the CDCL solver; a model is read back
+//! as the lookup table of `A′`.
+
+use super::tiles::{enumerate_tiles, Tile, TileShape};
+use crate::lcl::{GridProblem, Label};
+use lcl_grid::{Metric, Torus2};
+use lcl_local::{GridInstance, Rounds};
+use lcl_sat::{exactly_one, Lit, SolveOutcome, Solver, Var};
+use std::collections::HashMap;
+
+/// Synthesis parameters: the anchor spacing `k` and the window shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SynthesisConfig {
+    /// Anchor spacing: anchors form an MIS of `G^(k)`.
+    pub k: usize,
+    /// The window shape of `A′`.
+    pub shape: TileShape,
+}
+
+impl SynthesisConfig {
+    /// The default window for a given `k`: `(2k+1) × max(2, 2k−1)` — the
+    /// shapes §7 reports (3×2 for `k = 1`, 7×5 for `k = 3`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn for_k(k: usize) -> SynthesisConfig {
+        assert!(k > 0);
+        SynthesisConfig {
+            k,
+            shape: TileShape::new(2 * k + 1, (2 * k - 1).max(2)),
+        }
+    }
+}
+
+/// A synthesised normal-form algorithm `A′ ∘ S_k` (Figure 1): the
+/// problem-independent anchor component plus a finite lookup table.
+#[derive(Clone, Debug)]
+pub struct SynthesizedAlgorithm {
+    problem_name: String,
+    k: usize,
+    shape: TileShape,
+    row_off: usize,
+    col_off: usize,
+    table: HashMap<Tile, Label>,
+}
+
+/// The result of running a synthesised algorithm.
+#[derive(Clone, Debug)]
+pub struct SynthRun {
+    /// One label per node, in node-index order.
+    pub labels: Vec<Label>,
+    /// Round ledger: anchor MIS + constant-time window lookup.
+    pub rounds: Rounds,
+}
+
+impl SynthesizedAlgorithm {
+    /// The anchor spacing `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The window shape of `A′`.
+    pub fn shape(&self) -> TileShape {
+        self.shape
+    }
+
+    /// Number of entries in the lookup table (= number of realizable
+    /// tiles).
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The problem this algorithm solves.
+    pub fn problem_name(&self) -> &str {
+        &self.problem_name
+    }
+
+    /// Evaluates `A′` on one anchor window.
+    pub fn evaluate(&self, window: &Tile) -> Option<Label> {
+        self.table.get(window).copied()
+    }
+
+    /// Runs the full pipeline `A′ ∘ S_k` on an instance: anchors via the
+    /// MIS of `G^(k)` (`O(log* n)` rounds), then the constant-time window
+    /// lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the torus is too small for the window plus its frame
+    /// (`n ≥ max(rows, cols) + 2k` is required).
+    pub fn run(&self, instance: &GridInstance) -> SynthRun {
+        let torus = instance.torus();
+        let mis = lcl_symmetry::mis_torus_power(&torus, Metric::L1, self.k, instance.ids());
+        let mut rounds = Rounds::new();
+        rounds.absorb("S_k", &mis.rounds);
+        rounds.charge(
+            "A'-window-lookup",
+            (self.shape.rows + self.shape.cols) as u64,
+        );
+        let labels = self.run_with_anchors(&torus, &mis.in_mis);
+        SynthRun { labels, rounds }
+    }
+
+    /// Applies `A′` to a precomputed anchor set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the anchors materialise a window that is not a realizable
+    /// tile (i.e. they are not an MIS of `G^(k)`), or if the torus is too
+    /// small (see [`SynthesizedAlgorithm::run`]).
+    pub fn run_with_anchors(&self, torus: &Torus2, anchors: &[bool]) -> Vec<Label> {
+        assert_eq!(anchors.len(), torus.node_count());
+        let min_side = self.shape.rows.max(self.shape.cols) + 2 * self.k;
+        assert!(
+            torus.width() >= min_side && torus.height() >= min_side,
+            "torus side must be at least {min_side} for window {} with k={}",
+            self.shape,
+            self.k
+        );
+        (0..torus.node_count())
+            .map(|v| {
+                let p = torus.pos(v);
+                let mut window = Tile::empty(self.shape);
+                for r in 0..self.shape.rows {
+                    for c in 0..self.shape.cols {
+                        let q = torus.offset(
+                            p,
+                            c as i64 - self.col_off as i64,
+                            r as i64 - self.row_off as i64,
+                        );
+                        window.set(r, c, anchors[torus.index(q)]);
+                    }
+                }
+                *self.table.get(&window).unwrap_or_else(|| {
+                    panic!(
+                        "window at {p} is not a realizable tile — anchors are not an \
+                         MIS of G^({})?\n{window}",
+                        self.k
+                    )
+                })
+            })
+            .collect()
+    }
+}
+
+/// Attempts to synthesise a normal-form algorithm for `problem` with the
+/// given parameters. Returns `None` if the constraint system is
+/// unsatisfiable — meaning no `A′` with this window shape exists.
+pub fn synthesize(problem: &GridProblem, config: &SynthesisConfig) -> Option<SynthesizedAlgorithm> {
+    let shape = config.shape;
+    let k = config.k;
+    let tiles = enumerate_tiles(k, shape);
+    let index: HashMap<Tile, usize> = tiles
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.clone(), i))
+        .collect();
+
+    let mut solver = Solver::new();
+    let assignment: AssignmentFn = match problem {
+        GridProblem::VertexColouring { k: colours } => {
+            encode_vertex(&mut solver, k, shape, &tiles, &index, *colours)
+        }
+        GridProblem::EdgeColouring { k: colours } => {
+            encode_edge(&mut solver, k, shape, &tiles, &index, *colours)
+        }
+        GridProblem::Orientation { x } => {
+            encode_orientation(&mut solver, k, shape, &tiles, &index, *x)
+        }
+        GridProblem::Block(b) => encode_block(&mut solver, k, shape, &tiles, &index, b),
+    };
+
+    match solver.solve() {
+        SolveOutcome::Sat(model) => {
+            let table = tiles
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.clone(), assignment(&model, i)))
+                .collect();
+            Some(SynthesizedAlgorithm {
+                problem_name: problem.name(),
+                k,
+                shape,
+                row_off: shape.rows / 2,
+                col_off: shape.cols / 2,
+                table,
+            })
+        }
+        SolveOutcome::Unsat => None,
+    }
+}
+
+/// Iterative deepening over `k` and window shapes, as §7 prescribes:
+/// "start with k = 1 and increment it until synthesis succeeds". For a
+/// global problem this loop runs to `max_k` and gives up — undecidability
+/// (Theorem 3) means no synthesiser can do better than such a one-sided
+/// test.
+pub fn synthesize_auto(problem: &GridProblem, max_k: usize) -> Option<SynthesizedAlgorithm> {
+    for k in 1..=max_k {
+        let shapes = [
+            TileShape::new(2 * k + 1, (2 * k - 1).max(2)),
+            TileShape::new(2 * k + 1, 2 * k + 1),
+        ];
+        for shape in shapes {
+            if let Some(a) = synthesize(problem, &SynthesisConfig { k, shape }) {
+                return Some(a);
+            }
+        }
+    }
+    None
+}
+
+/// Corner sub-tiles `[sw, se, nw, ne]` of a `(rows+1) × (cols+1)`
+/// super-tile, as indices into the tile table.
+fn corner_indices(
+    super_tile: &Tile,
+    shape: TileShape,
+    index: &HashMap<Tile, usize>,
+) -> [usize; 4] {
+    let sub = |r0: usize, c0: usize| -> usize {
+        let t = super_tile.subtile(r0, c0, shape.rows, shape.cols);
+        *index
+            .get(&t)
+            .expect("sub-tile of a realizable tile is realizable (hereditary)")
+    };
+    [sub(0, 0), sub(0, 1), sub(1, 0), sub(1, 1)]
+}
+
+type AssignmentFn = Box<dyn Fn(&lcl_sat::Model, usize) -> Label>;
+
+fn encode_vertex(
+    solver: &mut Solver,
+    k: usize,
+    shape: TileShape,
+    tiles: &[Tile],
+    index: &HashMap<Tile, usize>,
+    colours: u16,
+) -> AssignmentFn {
+    let vars: Vec<Vec<Var>> = tiles
+        .iter()
+        .map(|_| solver.new_vars(colours as usize))
+        .collect();
+    for tv in &vars {
+        let lits: Vec<Lit> = tv.iter().map(|&v| Lit::pos(v)).collect();
+        exactly_one(solver, &lits);
+    }
+    // Horizontally adjacent windows: super-tiles one column wider.
+    for sup in enumerate_tiles(k, TileShape::new(shape.rows, shape.cols + 1)) {
+        let left = index[&sup.subtile(0, 0, shape.rows, shape.cols)];
+        let right = index[&sup.subtile(0, 1, shape.rows, shape.cols)];
+        for c in 0..colours as usize {
+            solver.add_clause([Lit::neg(vars[left][c]), Lit::neg(vars[right][c])]);
+        }
+    }
+    // Vertically adjacent windows: one row taller.
+    for sup in enumerate_tiles(k, TileShape::new(shape.rows + 1, shape.cols)) {
+        let bottom = index[&sup.subtile(0, 0, shape.rows, shape.cols)];
+        let top = index[&sup.subtile(1, 0, shape.rows, shape.cols)];
+        for c in 0..colours as usize {
+            solver.add_clause([Lit::neg(vars[bottom][c]), Lit::neg(vars[top][c])]);
+        }
+    }
+    Box::new(move |model, t| vars[t].iter().position(|&v| model.value(v)).unwrap() as Label)
+}
+
+fn encode_edge(
+    solver: &mut Solver,
+    k: usize,
+    shape: TileShape,
+    tiles: &[Tile],
+    index: &HashMap<Tile, usize>,
+    colours: u16,
+) -> AssignmentFn {
+    // Factored variables: east colour and north colour per tile.
+    let east: Vec<Vec<Var>> = tiles
+        .iter()
+        .map(|_| solver.new_vars(colours as usize))
+        .collect();
+    let north: Vec<Vec<Var>> = tiles
+        .iter()
+        .map(|_| solver.new_vars(colours as usize))
+        .collect();
+    for t in 0..tiles.len() {
+        let e: Vec<Lit> = east[t].iter().map(|&v| Lit::pos(v)).collect();
+        let n: Vec<Lit> = north[t].iter().map(|&v| Lit::pos(v)).collect();
+        exactly_one(solver, &e);
+        exactly_one(solver, &n);
+    }
+    // Full super-tiles: the ne corner's four incident edges must be
+    // distinct: {east(ne), north(ne), east(nw), north(se)}.
+    for sup in enumerate_tiles(k, TileShape::new(shape.rows + 1, shape.cols + 1)) {
+        let [_sw, se, nw, ne] = corner_indices(&sup, shape, index);
+        let groups = [&east[ne], &north[ne], &east[nw], &north[se]];
+        for i in 0..4 {
+            for j in i + 1..4 {
+                for c in 0..colours as usize {
+                    solver.add_clause([Lit::neg(groups[i][c]), Lit::neg(groups[j][c])]);
+                }
+            }
+        }
+    }
+    Box::new(move |model, t| {
+        let e = east[t].iter().position(|&v| model.value(v)).unwrap() as u16;
+        let n = north[t].iter().position(|&v| model.value(v)).unwrap() as u16;
+        crate::problems::edge_label_encode(e, n, colours)
+    })
+}
+
+fn encode_orientation(
+    solver: &mut Solver,
+    k: usize,
+    shape: TileShape,
+    tiles: &[Tile],
+    index: &HashMap<Tile, usize>,
+    x: crate::problems::XSet,
+) -> AssignmentFn {
+    // One boolean per tile and owned edge: true = "points away".
+    let east: Vec<Var> = solver.new_vars(tiles.len());
+    let north: Vec<Var> = solver.new_vars(tiles.len());
+    for sup in enumerate_tiles(k, TileShape::new(shape.rows + 1, shape.cols + 1)) {
+        let [_sw, se, nw, ne] = corner_indices(&sup, shape, index);
+        // indeg(ne) = !east(ne) + !north(ne) + east(nw) + north(se).
+        let fields = [east[ne], north[ne], east[nw], north[se]];
+        for mask in 0u8..16 {
+            let bits = [mask & 1 != 0, mask & 2 != 0, mask & 4 != 0, mask & 8 != 0];
+            let indeg = (!bits[0]) as u8 + (!bits[1]) as u8 + bits[2] as u8 + bits[3] as u8;
+            if x.contains(indeg) {
+                continue;
+            }
+            let clause: Vec<Lit> = fields
+                .iter()
+                .zip(bits)
+                .map(|(&v, b)| Lit::with_polarity(v, !b))
+                .collect();
+            solver.add_clause(clause);
+        }
+    }
+    Box::new(move |model, t| {
+        (model.value(east[t]) as u16) | ((model.value(north[t]) as u16) << 1)
+    })
+}
+
+fn encode_block(
+    solver: &mut Solver,
+    k: usize,
+    shape: TileShape,
+    tiles: &[Tile],
+    index: &HashMap<Tile, usize>,
+    lcl: &crate::lcl::BlockLcl,
+) -> AssignmentFn {
+    let a = lcl.alphabet();
+    assert!(
+        a <= 8,
+        "generic block synthesis is limited to alphabets of size ≤ 8"
+    );
+    let vars: Vec<Vec<Var>> = tiles.iter().map(|_| solver.new_vars(a as usize)).collect();
+    for tv in &vars {
+        let lits: Vec<Lit> = tv.iter().map(|&v| Lit::pos(v)).collect();
+        exactly_one(solver, &lits);
+    }
+    for sup in enumerate_tiles(k, TileShape::new(shape.rows + 1, shape.cols + 1)) {
+        let [sw, se, nw, ne] = corner_indices(&sup, shape, index);
+        for lsw in 0..a {
+            for lse in 0..a {
+                for lnw in 0..a {
+                    for lne in 0..a {
+                        if lcl.block_allowed([lsw, lse, lnw, lne]) {
+                            continue;
+                        }
+                        solver.add_clause([
+                            Lit::neg(vars[sw][lsw as usize]),
+                            Lit::neg(vars[se][lse as usize]),
+                            Lit::neg(vars[nw][lnw as usize]),
+                            Lit::neg(vars[ne][lne as usize]),
+                        ]);
+                    }
+                }
+            }
+        }
+    }
+    Box::new(move |model, t| vars[t].iter().position(|&v| model.value(v)).unwrap() as Label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::{self, XSet};
+    use lcl_local::IdAssignment;
+
+    /// §11, Lemma 23: {1,3,4}-orientation synthesises at k = 1.
+    #[test]
+    fn orientation_134_synthesises_at_k1() {
+        let p = problems::orientation(XSet::from_degrees(&[1, 3, 4]));
+        let algo = synthesize_auto(&p, 1).expect("Lemma 23: k=1 suffices");
+        assert_eq!(algo.k(), 1);
+        let inst = GridInstance::new(16, &IdAssignment::Shuffled { seed: 4 });
+        let run = algo.run(&inst);
+        assert!(p.check(&inst.torus(), &run.labels).is_ok());
+    }
+
+    /// §7: 4-colouring fails at k = 1 with the default 3×2 window.
+    #[test]
+    fn four_colouring_fails_at_k1() {
+        let p = problems::vertex_colouring(4);
+        assert!(synthesize(&p, &SynthesisConfig::for_k(1)).is_none());
+    }
+
+    /// 5-colouring synthesises at small k (greedy slack over 4 colours).
+    #[test]
+    fn five_colouring_synthesises_early() {
+        let p = problems::vertex_colouring(5);
+        let algo = synthesize_auto(&p, 2).expect("5 colours are easy");
+        let inst = GridInstance::new(20, &IdAssignment::Shuffled { seed: 9 });
+        let run = algo.run(&inst);
+        assert!(p.check(&inst.torus(), &run.labels).is_ok());
+        assert!(problems::is_proper_vertex_colouring(
+            &inst.torus(),
+            &run.labels,
+            5
+        ));
+    }
+
+    /// MIS via the generic block encoder.
+    #[test]
+    fn mis_synthesises() {
+        let p = problems::mis_with_pointers();
+        let algo = synthesize_auto(&p, 2).expect("MIS is log*");
+        let inst = GridInstance::new(18, &IdAssignment::Shuffled { seed: 2 });
+        let run = algo.run(&inst);
+        assert!(p.check(&inst.torus(), &run.labels).is_ok());
+        assert!(problems::is_mis(&inst.torus(), &run.labels));
+    }
+
+    #[test]
+    fn synthesized_outputs_valid_across_sizes_and_ids() {
+        let p = problems::orientation(XSet::from_degrees(&[1, 3, 4]));
+        let algo = synthesize_auto(&p, 1).unwrap();
+        for n in [8usize, 11, 23] {
+            for seed in [0u64, 1] {
+                let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed });
+                let run = algo.run(&inst);
+                assert!(
+                    p.check(&inst.torus(), &run.labels).is_ok(),
+                    "invalid output at n={n} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_are_log_star_flat() {
+        let p = problems::orientation(XSet::from_degrees(&[1, 3, 4]));
+        let algo = synthesize_auto(&p, 1).unwrap();
+        let rounds = |n: usize| {
+            let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed: 5 });
+            algo.run(&inst).rounds.total()
+        };
+        let small = rounds(12);
+        let large = rounds(64);
+        assert!(large <= small + 8, "rounds grew: {small} -> {large}");
+    }
+
+    #[test]
+    #[should_panic(expected = "torus side must be at least")]
+    fn too_small_torus_panics() {
+        let p = problems::orientation(XSet::from_degrees(&[1, 3, 4]));
+        let algo = synthesize_auto(&p, 1).unwrap();
+        let inst = GridInstance::new(4, &IdAssignment::Sequential);
+        let _ = algo.run(&inst);
+    }
+}

@@ -1,0 +1,380 @@
+//! Tile enumeration (Appendix A.1).
+//!
+//! A *tile* is the restriction of a maximal independent set of the grid
+//! power `G^(k)` to a `rows × cols` window. The synthesis CSP is posed
+//! over the finite set of tiles, so the enumeration must be *exact*: every
+//! pattern that occurs in some MIS, and nothing else.
+//!
+//! Exact realizability criterion (DESIGN.md §3.2): a candidate pattern `T`
+//! occurs in an MIS of a sufficiently large torus iff there is an anchor
+//! assignment to the width-`k` frame around `T` such that (i) all anchors
+//! in `T ∪ frame` are pairwise at L1 distance `> k`, and (ii) every cell
+//! of `T` is within distance `k` of some anchor. The frame CSP is decided
+//! with the CDCL solver.
+//!
+//! §7 calibration: for `k = 1` there are exactly **16** tiles of shape
+//! 3×2 (the paper lists them), and for `k = 3` there are exactly **2079**
+//! tiles of shape 7×5.
+
+use lcl_sat::{Lit, SolveOutcome, Solver};
+use std::fmt;
+
+/// The shape of a tile window: `rows × cols` (rows run south → north).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TileShape {
+    /// Number of rows (`r1` in §7).
+    pub rows: usize,
+    /// Number of columns (`r2` in §7).
+    pub cols: usize,
+}
+
+impl TileShape {
+    /// Creates a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> TileShape {
+        assert!(rows > 0 && cols > 0);
+        TileShape { rows, cols }
+    }
+
+    /// Number of cells.
+    pub fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+impl fmt::Display for TileShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}×{}", self.rows, self.cols)
+    }
+}
+
+/// An anchor pattern on a `rows × cols` window. Bit `(r, c)` is true iff
+/// the cell in row `r` (south-based), column `c` holds an anchor.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tile {
+    rows: usize,
+    cols: usize,
+    bits: Vec<bool>,
+}
+
+impl Tile {
+    /// Creates an empty (all-zero) tile.
+    pub fn empty(shape: TileShape) -> Tile {
+        Tile {
+            rows: shape.rows,
+            cols: shape.cols,
+            bits: vec![false; shape.cells()],
+        }
+    }
+
+    /// Creates a tile from rows given **north first** (the way tiles are
+    /// drawn in the paper), each row a string of `0`/`1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on ragged rows or characters other than `0`/`1`.
+    pub fn parse(drawing: &[&str]) -> Tile {
+        let rows = drawing.len();
+        assert!(rows > 0);
+        let cols = drawing[0].len();
+        let mut tile = Tile::empty(TileShape::new(rows, cols));
+        for (i, line) in drawing.iter().enumerate() {
+            assert_eq!(line.len(), cols, "ragged tile drawing");
+            let r = rows - 1 - i; // north-first drawing → south-based rows
+            for (c, ch) in line.chars().enumerate() {
+                match ch {
+                    '0' => {}
+                    '1' => tile.set(r, c, true),
+                    _ => panic!("tile drawings use only 0/1"),
+                }
+            }
+        }
+        tile
+    }
+
+    /// The tile's shape.
+    pub fn shape(&self) -> TileShape {
+        TileShape::new(self.rows, self.cols)
+    }
+
+    /// The bit at `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        self.bits[row * self.cols + col]
+    }
+
+    /// Sets the bit at `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        self.bits[row * self.cols + col] = value;
+    }
+
+    /// The positions of all anchors.
+    pub fn ones(&self) -> Vec<(usize, usize)> {
+        (0..self.rows)
+            .flat_map(|r| (0..self.cols).map(move |c| (r, c)))
+            .filter(|&(r, c)| self.get(r, c))
+            .collect()
+    }
+
+    /// The `rows × cols` sub-tile whose south-west corner is at
+    /// `(row0, col0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sub-window exceeds the tile.
+    pub fn subtile(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> Tile {
+        assert!(row0 + rows <= self.rows && col0 + cols <= self.cols);
+        let mut t = Tile::empty(TileShape::new(rows, cols));
+        for r in 0..rows {
+            for c in 0..cols {
+                t.set(r, c, self.get(row0 + r, col0 + c));
+            }
+        }
+        t
+    }
+}
+
+impl fmt::Display for Tile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in (0..self.rows).rev() {
+            for c in 0..self.cols {
+                write!(f, "{}", if self.get(r, c) { '1' } else { '0' })?;
+            }
+            if r > 0 {
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Enumerates all realizable tiles of the given shape for anchor spacing
+/// `k` (MIS of `G^(k)`, L1 metric), in a deterministic canonical order.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn enumerate_tiles(k: usize, shape: TileShape) -> Vec<Tile> {
+    assert!(k > 0);
+    let mut out = Vec::new();
+    let mut tile = Tile::empty(shape);
+    let mut ones: Vec<(usize, usize)> = Vec::new();
+    backtrack(k, shape, &mut tile, 0, &mut ones, &mut out);
+    out.sort();
+    out
+}
+
+/// Recursive candidate generation with independence pruning; candidates
+/// are checked for realizability before being emitted.
+fn backtrack(
+    k: usize,
+    shape: TileShape,
+    tile: &mut Tile,
+    cell: usize,
+    ones: &mut Vec<(usize, usize)>,
+    out: &mut Vec<Tile>,
+) {
+    if cell == shape.cells() {
+        if realizable(k, tile) {
+            out.push(tile.clone());
+        }
+        return;
+    }
+    let (r, c) = (cell / shape.cols, cell % shape.cols);
+    // Option 1: leave the cell empty.
+    backtrack(k, shape, tile, cell + 1, ones, out);
+    // Option 2: place an anchor, if independent from previous anchors.
+    let independent = ones
+        .iter()
+        .all(|&(pr, pc)| pr.abs_diff(r) + pc.abs_diff(c) > k);
+    if independent {
+        tile.set(r, c, true);
+        ones.push((r, c));
+        backtrack(k, shape, tile, cell + 1, ones, out);
+        ones.pop();
+        tile.set(r, c, false);
+    }
+}
+
+/// Decides whether `tile` occurs as a window of some MIS of `G^(k)`, via
+/// the frame CSP (see module docs). Exposed for tests and diagnostics.
+pub fn realizable(k: usize, tile: &Tile) -> bool {
+    let rows = tile.rows as i64;
+    let cols = tile.cols as i64;
+    let ki = k as i64;
+    let ones: Vec<(i64, i64)> = tile
+        .ones()
+        .into_iter()
+        .map(|(r, c)| (r as i64, c as i64))
+        .collect();
+    let dist =
+        |a: (i64, i64), b: (i64, i64)| ((a.0 - b.0).abs() + (a.1 - b.1).abs()) as usize;
+
+    // In-tile independence (the enumerator prunes this before calling,
+    // but arbitrary callers may not).
+    for (i, &a) in ones.iter().enumerate() {
+        for &b in &ones[i + 1..] {
+            if dist(a, b) <= k {
+                return false;
+            }
+        }
+    }
+
+    // Free frame cells: in the width-k frame, not blocked by a tile anchor.
+    let mut free: Vec<(i64, i64)> = Vec::new();
+    for r in -ki..rows + ki {
+        for c in -ki..cols + ki {
+            let in_tile = r >= 0 && r < rows && c >= 0 && c < cols;
+            if in_tile {
+                continue;
+            }
+            if ones.iter().all(|&o| dist(o, (r, c)) > k) {
+                free.push((r, c));
+            }
+        }
+    }
+
+    let mut solver = Solver::new();
+    let vars = solver.new_vars(free.len());
+    // Pairwise independence among free frame cells.
+    for i in 0..free.len() {
+        for j in i + 1..free.len() {
+            if dist(free[i], free[j]) <= k {
+                solver.add_clause([Lit::neg(vars[i]), Lit::neg(vars[j])]);
+            }
+        }
+    }
+    // Domination of every tile cell.
+    for r in 0..rows {
+        for c in 0..cols {
+            if ones.iter().any(|&o| dist(o, (r, c)) <= k) {
+                continue; // dominated inside the tile
+            }
+            let witnesses: Vec<Lit> = free
+                .iter()
+                .enumerate()
+                .filter(|&(_, &f)| dist(f, (r, c)) <= k)
+                .map(|(i, _)| Lit::pos(vars[i]))
+                .collect();
+            if witnesses.is_empty() {
+                return false; // undominatable cell
+            }
+            solver.add_clause(witnesses);
+        }
+    }
+    matches!(solver.solve(), SolveOutcome::Sat(_))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §7 calibration: the paper lists exactly these sixteen 3×2 tiles for
+    /// k = 1.
+    #[test]
+    fn paper_16_tiles_for_k1() {
+        let tiles = enumerate_tiles(1, TileShape::new(3, 2));
+        assert_eq!(tiles.len(), 16, "§7 lists 16 tiles for k=1, 3×2");
+        // Spot-check: the all-zero tile is NOT realizable (its centre
+        // column cannot be dominated consistently), and the first listed
+        // tile is.
+        let zero = Tile::empty(TileShape::new(3, 2));
+        assert!(!tiles.contains(&zero));
+        let listed = Tile::parse(&["00", "00", "10"]);
+        assert!(tiles.contains(&listed));
+    }
+
+    /// Every one of the sixteen tiles drawn in §7 is found, and nothing
+    /// else.
+    #[test]
+    fn paper_16_tiles_exact_set() {
+        let drawings: [[&str; 3]; 16] = [
+            ["00", "00", "10"],
+            ["00", "00", "01"],
+            ["00", "10", "00"],
+            ["00", "10", "01"],
+            ["00", "01", "00"],
+            ["00", "01", "10"],
+            ["10", "00", "00"],
+            ["10", "00", "10"],
+            ["10", "00", "01"],
+            ["10", "01", "00"],
+            ["10", "01", "10"],
+            ["01", "00", "00"],
+            ["01", "00", "10"],
+            ["01", "00", "01"],
+            ["01", "10", "00"],
+            ["01", "10", "01"],
+        ];
+        let mut expected: Vec<Tile> = drawings.iter().map(|d| Tile::parse(d)).collect();
+        expected.sort();
+        expected.dedup();
+        assert_eq!(expected.len(), 16, "the paper's list has 16 distinct tiles");
+        let got = enumerate_tiles(1, TileShape::new(3, 2));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn three_by_three_tile_from_paper_is_realizable() {
+        // §7 shows the 3×3 tile 000/010/100 inducing a horizontal edge.
+        let t = Tile::parse(&["000", "010", "100"]);
+        assert!(realizable(1, &t));
+    }
+
+    #[test]
+    fn independence_violations_are_never_emitted() {
+        for k in 1..=2 {
+            for t in enumerate_tiles(k, TileShape::new(3, 3)) {
+                let ones = t.ones();
+                for (i, &a) in ones.iter().enumerate() {
+                    for &b in &ones[i + 1..] {
+                        assert!(a.0.abs_diff(b.0) + a.1.abs_diff(b.1) > k);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hereditary_property() {
+        // Every sub-tile of a realizable tile is realizable (A.1).
+        let tiles = enumerate_tiles(2, TileShape::new(4, 3));
+        let smaller = enumerate_tiles(2, TileShape::new(3, 3));
+        for t in &tiles {
+            for r0 in 0..=1 {
+                let sub = t.subtile(r0, 0, 3, 3);
+                assert!(
+                    smaller.contains(&sub),
+                    "sub-tile of a realizable tile must be realizable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_cell_tiles() {
+        // 1×1 windows: both "anchor" and "no anchor" occur in MIS.
+        let tiles = enumerate_tiles(1, TileShape::new(1, 1));
+        assert_eq!(tiles.len(), 2);
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        let t = Tile::parse(&["010", "000", "100"]);
+        assert_eq!(t.to_string(), "010\n000\n100");
+        assert!(t.get(0, 0)); // south-west corner
+        assert!(t.get(2, 1)); // north row, middle column
+    }
+
+    #[test]
+    fn subtile_extracts_correct_window() {
+        let t = Tile::parse(&["0001", "0100", "1000"]);
+        let sub = t.subtile(1, 1, 2, 3);
+        // Rows 1..3, cols 1..4 of t: north row "001", south row "100".
+        assert_eq!(sub, Tile::parse(&["001", "100"]));
+    }
+}

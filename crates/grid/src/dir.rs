@@ -1,0 +1,106 @@
+//! Cardinal directions on an oriented grid.
+
+use std::fmt;
+
+/// One of the four cardinal directions of an oriented 2-dimensional grid.
+///
+/// The paper's grids are *consistently oriented*: every node knows which
+/// incident edge points north (increasing `y`), east (increasing `x`),
+/// south, and west (§3, "Grid graphs").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dir4 {
+    /// Increasing `y`.
+    North,
+    /// Increasing `x`.
+    East,
+    /// Decreasing `y`.
+    South,
+    /// Decreasing `x`.
+    West,
+}
+
+impl Dir4 {
+    /// All four directions in the fixed canonical order N, E, S, W.
+    pub const ALL: [Dir4; 4] = [Dir4::North, Dir4::East, Dir4::South, Dir4::West];
+
+    /// The coordinate offset `(dx, dy)` of one step in this direction.
+    #[inline]
+    pub fn offset(self) -> (i64, i64) {
+        match self {
+            Dir4::North => (0, 1),
+            Dir4::East => (1, 0),
+            Dir4::South => (0, -1),
+            Dir4::West => (-1, 0),
+        }
+    }
+
+    /// The direction pointing the opposite way.
+    #[inline]
+    pub fn opposite(self) -> Dir4 {
+        match self {
+            Dir4::North => Dir4::South,
+            Dir4::East => Dir4::West,
+            Dir4::South => Dir4::North,
+            Dir4::West => Dir4::East,
+        }
+    }
+
+    /// Index of this direction in [`Dir4::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Dir4::North => 0,
+            Dir4::East => 1,
+            Dir4::South => 2,
+            Dir4::West => 3,
+        }
+    }
+}
+
+impl fmt::Display for Dir4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dir4::North => "N",
+            Dir4::East => "E",
+            Dir4::South => "S",
+            Dir4::West => "W",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_involution() {
+        for d in Dir4::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    fn offsets_sum_to_zero() {
+        let (sx, sy) = Dir4::ALL
+            .iter()
+            .fold((0, 0), |(ax, ay), d| {
+                let (dx, dy) = d.offset();
+                (ax + dx, ay + dy)
+            });
+        assert_eq!((sx, sy), (0, 0));
+    }
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, d) in Dir4::ALL.iter().enumerate() {
+            assert_eq!(d.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_is_single_letter() {
+        assert_eq!(Dir4::North.to_string(), "N");
+        assert_eq!(Dir4::West.to_string(), "W");
+    }
+}

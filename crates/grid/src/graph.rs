@@ -1,0 +1,397 @@
+//! A minimal general-graph layer.
+//!
+//! The LOCAL-model simulator and the symmetry-breaking algorithms are
+//! generic over this [`Graph`] trait so that they run unchanged on grids,
+//! grid powers, cycles, and arbitrary auxiliary graphs (such as the anchor
+//! graph `H` of §8).
+
+use crate::{Metric, Torus2};
+
+/// An undirected graph on nodes `0..node_count()`.
+///
+/// Implementations must present a *symmetric* adjacency relation without
+/// self-loops; the algorithms in `lcl-symmetry` rely on both properties.
+pub trait Graph {
+    /// Number of nodes.
+    fn node_count(&self) -> usize;
+
+    /// Calls `f` once for every neighbour of `v`.
+    fn for_each_neighbour(&self, v: usize, f: &mut dyn FnMut(usize));
+
+    /// Degree of `v`. The default implementation counts neighbours.
+    fn degree(&self, v: usize) -> usize {
+        let mut d = 0;
+        self.for_each_neighbour(v, &mut |_| d += 1);
+        d
+    }
+
+    /// Maximum degree over all nodes. The default implementation scans.
+    fn max_degree(&self) -> usize {
+        (0..self.node_count())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Collects the neighbours of `v` into a vector.
+    fn neighbours_vec(&self, v: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(4);
+        self.for_each_neighbour(v, &mut |u| out.push(u));
+        out
+    }
+}
+
+impl Graph for Torus2 {
+    fn node_count(&self) -> usize {
+        Torus2::node_count(self)
+    }
+
+    fn for_each_neighbour(&self, v: usize, f: &mut dyn FnMut(usize)) {
+        let p = self.pos(v);
+        // On tori with a side of length ≤ 2 some of the four formal
+        // neighbours coincide; deduplicate so the relation stays simple.
+        let mut seen = [usize::MAX; 4];
+        let mut m = 0;
+        for q in self.neighbours4(p) {
+            let i = self.index(q);
+            if i != v && !seen[..m].contains(&i) {
+                seen[m] = i;
+                m += 1;
+                f(i);
+            }
+        }
+    }
+
+    fn max_degree(&self) -> usize {
+        if self.width() > 2 && self.height() > 2 {
+            4
+        } else {
+            (0..Graph::node_count(self))
+                .map(|v| self.degree(v))
+                .max()
+                .unwrap_or(0)
+        }
+    }
+}
+
+/// The `metric`-power of a torus: nodes are adjacent iff their distance is
+/// `1..=k`. This is the paper's `G^(k)` ([`Metric::L1`]) or `G^[k]`
+/// ([`Metric::Linf`]).
+#[derive(Clone, Copy, Debug)]
+pub struct Power2 {
+    torus: Torus2,
+    metric: Metric,
+    k: usize,
+}
+
+impl Power2 {
+    /// Creates the `k`-th `metric`-power of `torus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(torus: Torus2, metric: Metric, k: usize) -> Power2 {
+        assert!(k > 0, "power exponent must be positive");
+        Power2 { torus, metric, k }
+    }
+
+    /// The underlying torus.
+    pub fn torus(&self) -> Torus2 {
+        self.torus
+    }
+
+    /// The power exponent `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The metric of the power.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+}
+
+impl Graph for Power2 {
+    fn node_count(&self) -> usize {
+        self.torus.node_count()
+    }
+
+    fn for_each_neighbour(&self, v: usize, f: &mut dyn FnMut(usize)) {
+        let p = self.torus.pos(v);
+        for q in self.torus.ball(self.metric, p, self.k) {
+            let i = self.torus.index(q);
+            if i != v {
+                f(i);
+            }
+        }
+    }
+
+    fn degree(&self, v: usize) -> usize {
+        self.torus.ball_offsets(self.metric, self.k).len().min(
+            self.torus
+                .ball(self.metric, self.torus.pos(v), self.k)
+                .len(),
+        )
+    }
+}
+
+/// A cycle on `n ≥ 3` nodes, `i ~ i±1 (mod n)`; the paper's 1-dimensional
+/// grid. The *successor* of `i` is `i+1 (mod n)`, giving the consistent
+/// orientation of §4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CycleGraph {
+    n: usize,
+}
+
+impl CycleGraph {
+    /// Creates a directed cycle of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn new(n: usize) -> CycleGraph {
+        assert!(n >= 3, "cycle must have at least 3 nodes");
+        CycleGraph { n }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false (cycles have at least 3 nodes).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Successor in the consistent orientation.
+    #[inline]
+    pub fn succ(&self, v: usize) -> usize {
+        (v + 1) % self.n
+    }
+
+    /// Predecessor in the consistent orientation.
+    #[inline]
+    pub fn pred(&self, v: usize) -> usize {
+        (v + self.n - 1) % self.n
+    }
+
+    /// Node reached from `v` by a (possibly negative) number of successor
+    /// steps.
+    #[inline]
+    pub fn offset(&self, v: usize, steps: i64) -> usize {
+        let n = self.n as i64;
+        ((v as i64 + steps).rem_euclid(n)) as usize
+    }
+
+    /// Cycle distance between `u` and `v`.
+    pub fn dist(&self, u: usize, v: usize) -> usize {
+        let d = (u as i64 - v as i64).rem_euclid(self.n as i64) as usize;
+        d.min(self.n - d)
+    }
+}
+
+impl Graph for CycleGraph {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn for_each_neighbour(&self, v: usize, f: &mut dyn FnMut(usize)) {
+        f(self.succ(v));
+        f(self.pred(v));
+    }
+
+    fn max_degree(&self) -> usize {
+        2
+    }
+}
+
+/// A path on `n ≥ 1` nodes, `i ~ i+1`. Used by tests and by the corner
+/// coordination construction (App. A.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PathGraph {
+    n: usize,
+}
+
+impl PathGraph {
+    /// Creates a path of `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> PathGraph {
+        assert!(n > 0, "path must be non-empty");
+        PathGraph { n }
+    }
+}
+
+impl Graph for PathGraph {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn for_each_neighbour(&self, v: usize, f: &mut dyn FnMut(usize)) {
+        if v > 0 {
+            f(v - 1);
+        }
+        if v + 1 < self.n {
+            f(v + 1);
+        }
+    }
+}
+
+/// An explicit adjacency-list graph.
+///
+/// # Example
+///
+/// ```
+/// use lcl_grid::{AdjGraph, Graph};
+/// let mut g = AdjGraph::new(3);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// assert_eq!(g.degree(1), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct AdjGraph {
+    adj: Vec<Vec<usize>>,
+}
+
+impl AdjGraph {
+    /// Creates a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> AdjGraph {
+        AdjGraph {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}` if not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u != v, "self-loops are not allowed");
+        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        if !self.adj[u].contains(&v) {
+            self.adj[u].push(v);
+            self.adj[v].push(u);
+        }
+    }
+
+    /// True if `{u, v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u].contains(&v)
+    }
+
+    /// Total number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+}
+
+impl Graph for AdjGraph {
+    fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    fn for_each_neighbour(&self, v: usize, f: &mut dyn FnMut(usize)) {
+        for &u in &self.adj[v] {
+            f(u);
+        }
+    }
+
+    fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pos;
+
+    fn symmetric<G: Graph>(g: &G) -> bool {
+        for v in 0..g.node_count() {
+            for u in g.neighbours_vec(v) {
+                if !g.neighbours_vec(u).contains(&v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn torus_graph_degree() {
+        let t = Torus2::square(5);
+        assert_eq!(Graph::max_degree(&t), 4);
+        assert!(symmetric(&t));
+    }
+
+    #[test]
+    fn power_graph_degree() {
+        let t = Torus2::square(11);
+        let p = Power2::new(t, Metric::L1, 2);
+        // Degree of G^(2) is 2·2·3 = 12.
+        assert_eq!(p.degree(0), 12);
+        assert!(symmetric(&p));
+    }
+
+    #[test]
+    fn power_graph_adjacency_is_distance() {
+        let t = Torus2::square(9);
+        let p = Power2::new(t, Metric::Linf, 2);
+        let nbrs = p.neighbours_vec(t.index(Pos::new(4, 4)));
+        for u in nbrs {
+            assert!(t.linf(Pos::new(4, 4), t.pos(u)) <= 2);
+        }
+    }
+
+    #[test]
+    fn cycle_offsets() {
+        let c = CycleGraph::new(7);
+        assert_eq!(c.succ(6), 0);
+        assert_eq!(c.pred(0), 6);
+        assert_eq!(c.offset(3, -5), 5);
+        assert_eq!(c.dist(1, 6), 2);
+        assert!(symmetric(&c));
+    }
+
+    #[test]
+    fn adj_graph_dedups_edges() {
+        let mut g = AdjGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+        assert!(symmetric(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn adj_graph_rejects_self_loop() {
+        let mut g = AdjGraph::new(2);
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    fn path_graph_ends() {
+        let p = PathGraph::new(4);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(1), 2);
+        assert!(symmetric(&p));
+    }
+
+    #[test]
+    fn tiny_torus_has_no_duplicate_neighbours() {
+        let t = Torus2::rect(2, 2);
+        for v in 0..Graph::node_count(&t) {
+            let nbrs = t.neighbours_vec(v);
+            let mut dedup = nbrs.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(nbrs.len(), dedup.len());
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Toroidal grid topologies for the `lcl-grids` project.
+//!
+//! This crate implements the graph-theoretic substrate of *LCL problems on
+//! grids* (Brandt et al., PODC 2017, §3): two-dimensional toroidal grids with
+//! a globally consistent orientation, d-dimensional generalisations, the L1
+//! and L∞ metrics with their graph powers `G^(k)` and `G^[k]`, Voronoi
+//! tilings with respect to anchor sets, and a small general-graph layer used
+//! by the LOCAL-model simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use lcl_grid::{Torus2, Pos, Dir4};
+//!
+//! let t = Torus2::square(8);
+//! let p = Pos::new(7, 0);
+//! assert_eq!(t.step(p, Dir4::East), Pos::new(0, 0)); // wraps around
+//! assert_eq!(t.l1(p, Pos::new(0, 7)), 2);            // toroidal metric
+//! ```
+
+mod dir;
+mod graph;
+mod torus2;
+mod torusd;
+mod voronoi;
+
+pub use dir::Dir4;
+pub use graph::{AdjGraph, CycleGraph, Graph, PathGraph, Power2};
+pub use torus2::{Metric, Pos, Torus2};
+pub use torusd::{PosD, TorusD};
+pub use voronoi::{VoronoiCell, VoronoiTiling};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,83 @@
+//! Property-based tests for the grid substrate.
+
+use crate::{Graph, Metric, Pos, Torus2, TorusD};
+use proptest::prelude::*;
+
+fn torus_and_two_points() -> impl Strategy<Value = (Torus2, Pos, Pos)> {
+    (3usize..24, 3usize..24).prop_flat_map(|(w, h)| {
+        let t = Torus2::rect(w, h);
+        ((0..w), (0..h), (0..w), (0..h))
+            .prop_map(move |(ax, ay, bx, by)| (t, Pos::new(ax, ay), Pos::new(bx, by)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn l1_is_a_metric((t, a, b) in torus_and_two_points()) {
+        prop_assert_eq!(t.l1(a, b), t.l1(b, a));
+        prop_assert_eq!(t.l1(a, a), 0);
+        prop_assert!(t.l1(a, b) > 0 || a == b);
+    }
+
+    #[test]
+    fn l1_triangle_inequality(
+        (t, a, b) in torus_and_two_points(),
+        cx in 0usize..24, cy in 0usize..24,
+    ) {
+        let c = Pos::new(cx % t.width(), cy % t.height());
+        prop_assert!(t.l1(a, b) <= t.l1(a, c) + t.l1(c, b));
+    }
+
+    #[test]
+    fn linf_bounds_l1((t, a, b) in torus_and_two_points()) {
+        let linf = t.linf(a, b);
+        let l1 = t.l1(a, b);
+        prop_assert!(linf <= l1);
+        prop_assert!(l1 <= 2 * linf);
+    }
+
+    #[test]
+    fn offset_inverts((t, a, _b) in torus_and_two_points(), dx in -40i64..40, dy in -40i64..40) {
+        let q = t.offset(a, dx, dy);
+        prop_assert_eq!(t.offset(q, -dx, -dy), a);
+    }
+
+    #[test]
+    fn ball_distance_consistent((t, a, _b) in torus_and_two_points(), k in 1usize..5) {
+        for q in t.ball(Metric::L1, a, k) {
+            prop_assert!(t.l1(a, q) >= 1 && t.l1(a, q) <= k);
+        }
+        for q in t.ball(Metric::Linf, a, k) {
+            prop_assert!(t.linf(a, q) >= 1 && t.linf(a, q) <= k);
+        }
+    }
+
+    #[test]
+    fn ball_has_no_duplicates((t, a, _b) in torus_and_two_points(), k in 1usize..6) {
+        let mut ball = t.ball(Metric::L1, a, k);
+        let len = ball.len();
+        ball.sort();
+        ball.dedup();
+        prop_assert_eq!(ball.len(), len);
+    }
+
+    #[test]
+    fn torus_graph_neighbours_at_distance_one(n in 3usize..16) {
+        let t = Torus2::square(n);
+        for v in 0..Graph::node_count(&t) {
+            for u in t.neighbours_vec(v) {
+                prop_assert_eq!(t.l1(t.pos(v), t.pos(u)), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn torusd_distance_symmetry(d in 1usize..4, n in 2usize..7, i in 0usize..100, j in 0usize..100) {
+        let t = TorusD::new(d, n);
+        let a = t.pos(i % t.node_count());
+        let b = t.pos(j % t.node_count());
+        prop_assert_eq!(t.l1(&a, &b), t.l1(&b, &a));
+        prop_assert_eq!(t.linf(&a, &b), t.linf(&b, &a));
+        prop_assert!(t.linf(&a, &b) <= t.l1(&a, &b));
+    }
+}

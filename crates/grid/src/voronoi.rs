@@ -1,0 +1,238 @@
+//! Voronoi tilings of a torus with respect to an anchor set (§5, §6).
+//!
+//! The speed-up theorem (Theorem 2) divides the grid into Voronoi tiles of a
+//! maximal independent set of `G^(k/2)` and assigns each node a *local
+//! coordinate* relative to its tile's anchor; these coordinates serve as
+//! locally unique identifiers. Ties between equidistant anchors are broken
+//! "arbitrarily but consistently" — here, by the lexicographically smallest
+//! `(distance, dy, dx)` tuple over canonical signed offsets, which every
+//! node can evaluate from its own radius-`k` view.
+
+use crate::{Metric, Torus2};
+
+/// The assignment of one node to its Voronoi anchor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VoronoiCell {
+    /// Index of the anchor node owning this node.
+    pub anchor: usize,
+    /// Signed offset `(dx, dy)` from the anchor to this node, in canonical
+    /// representatives (`|dx| ≤ n/2`); the "local coordinate" of §5.
+    pub local: (i64, i64),
+    /// L1 distance to the anchor.
+    pub dist: usize,
+}
+
+/// A complete Voronoi tiling of a torus with respect to an anchor set.
+#[derive(Clone, Debug)]
+pub struct VoronoiTiling {
+    cells: Vec<VoronoiCell>,
+    anchors: Vec<usize>,
+}
+
+impl VoronoiTiling {
+    /// Computes the Voronoi tiling of `torus` with respect to the anchors
+    /// marked in `anchor_set`, searching up to distance `max_radius`.
+    ///
+    /// Every node must have an anchor within `max_radius` (in the given
+    /// metric); when the anchors form a maximal independent set of the
+    /// `metric`-power `G^k` this holds with `max_radius = k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node has no anchor within `max_radius`, or if
+    /// `anchor_set.len()` differs from the torus node count.
+    pub fn compute(
+        torus: &Torus2,
+        metric: Metric,
+        anchor_set: &[bool],
+        max_radius: usize,
+    ) -> VoronoiTiling {
+        assert_eq!(anchor_set.len(), torus.node_count());
+        let offsets = {
+            // Origin plus the punctured ball, sorted by the tie-breaking key.
+            let mut off = vec![(0i64, 0i64)];
+            off.extend(torus.ball_offsets(metric, max_radius));
+            off.sort_by_key(|&(dx, dy)| {
+                let d = match metric {
+                    Metric::L1 => {
+                        torus.norm1d(dx, torus.width()) + torus.norm1d(dy, torus.height())
+                    }
+                    Metric::Linf => torus
+                        .norm1d(dx, torus.width())
+                        .max(torus.norm1d(dy, torus.height())),
+                };
+                (d, dy, dx)
+            });
+            off
+        };
+        let mut cells = Vec::with_capacity(torus.node_count());
+        for v in 0..torus.node_count() {
+            let p = torus.pos(v);
+            let mut found = None;
+            for &(dx, dy) in &offsets {
+                let q = torus.offset(p, dx, dy);
+                if anchor_set[torus.index(q)] {
+                    found = Some(VoronoiCell {
+                        anchor: torus.index(q),
+                        // The local coordinate is the offset from the anchor
+                        // *to* the node.
+                        local: (-dx, -dy),
+                        dist: torus.dist(metric, p, q),
+                    });
+                    break;
+                }
+            }
+            cells.push(found.unwrap_or_else(|| {
+                panic!("node {v} has no anchor within radius {max_radius}")
+            }));
+        }
+        let anchors = anchor_set
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| a.then_some(i))
+            .collect();
+        VoronoiTiling { cells, anchors }
+    }
+
+    /// The cell of node `v`.
+    pub fn cell(&self, v: usize) -> VoronoiCell {
+        self.cells[v]
+    }
+
+    /// All anchors, in index order.
+    pub fn anchors(&self) -> &[usize] {
+        &self.anchors
+    }
+
+    /// Number of nodes in the tile of the given anchor.
+    pub fn tile_size(&self, anchor: usize) -> usize {
+        self.cells.iter().filter(|c| c.anchor == anchor).count()
+    }
+
+    /// Maps every node to a small identifier that is unique within each
+    /// tile and equal for equal local coordinates, exactly as in the proof
+    /// of Theorem 2: the local coordinate `(dx, dy)` packed into
+    /// `[(2r+1)^2]` where `r = max_radius`.
+    pub fn local_ids(&self, max_radius: usize) -> Vec<u64> {
+        let side = (2 * max_radius + 1) as i64;
+        self.cells
+            .iter()
+            .map(|c| {
+                let (dx, dy) = c.local;
+                debug_assert!(dx.abs() <= max_radius as i64 && dy.abs() <= max_radius as i64);
+                ((dy + max_radius as i64) * side + (dx + max_radius as i64)) as u64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pos;
+
+    fn mis_greedy(torus: &Torus2, metric: Metric, k: usize) -> Vec<bool> {
+        let mut marked = vec![false; torus.node_count()];
+        for v in 0..torus.node_count() {
+            let p = torus.pos(v);
+            let blocked = torus
+                .ball(metric, p, k)
+                .into_iter()
+                .any(|q| marked[torus.index(q)]);
+            if !blocked {
+                marked[v] = true;
+            }
+        }
+        assert!(torus.is_maximal_independent(metric, k, &marked));
+        marked
+    }
+
+    #[test]
+    fn every_node_assigned_to_nearest_anchor() {
+        let t = Torus2::square(12);
+        let anchors = mis_greedy(&t, Metric::L1, 3);
+        let vt = VoronoiTiling::compute(&t, Metric::L1, &anchors, 3);
+        for v in 0..t.node_count() {
+            let cell = vt.cell(v);
+            let d = cell.dist;
+            // No anchor strictly closer than the assigned one.
+            for (a, &is_anchor) in anchors.iter().enumerate() {
+                if is_anchor {
+                    assert!(t.l1(t.pos(v), t.pos(a)) >= d);
+                }
+            }
+            assert!(anchors[cell.anchor]);
+        }
+    }
+
+    #[test]
+    fn anchors_are_their_own_cells() {
+        let t = Torus2::square(10);
+        let anchors = mis_greedy(&t, Metric::L1, 2);
+        let vt = VoronoiTiling::compute(&t, Metric::L1, &anchors, 2);
+        for &a in vt.anchors() {
+            let c = vt.cell(a);
+            assert_eq!(c.anchor, a);
+            assert_eq!(c.local, (0, 0));
+            assert_eq!(c.dist, 0);
+        }
+    }
+
+    #[test]
+    fn local_ids_unique_within_tiles() {
+        let t = Torus2::square(16);
+        let anchors = mis_greedy(&t, Metric::L1, 4);
+        let vt = VoronoiTiling::compute(&t, Metric::L1, &anchors, 4);
+        let ids = vt.local_ids(4);
+        // Within a tile, ids are unique.
+        for &a in vt.anchors() {
+            let mut seen = std::collections::HashSet::new();
+            for v in 0..t.node_count() {
+                if vt.cell(v).anchor == a {
+                    assert!(seen.insert(ids[v]), "duplicate local id inside a tile");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_ids_unique_within_half_spacing() {
+        // The proof of Theorem 2 needs: no repeated identifiers within
+        // distance k/2 when anchors form an MIS of G^(k/2). Here k/2 = 3.
+        let t = Torus2::square(18);
+        let anchors = mis_greedy(&t, Metric::L1, 3);
+        let vt = VoronoiTiling::compute(&t, Metric::L1, &anchors, 3);
+        let ids = vt.local_ids(3);
+        for u in 0..t.node_count() {
+            for v in 0..t.node_count() {
+                if u < v && ids[u] == ids[v] {
+                    assert!(
+                        t.l1(t.pos(u), t.pos(v)) > 3,
+                        "repeated id within distance k/2"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no anchor within radius")]
+    fn missing_anchor_panics() {
+        let t = Torus2::square(8);
+        let anchors = vec![false; t.node_count()];
+        let _ = VoronoiTiling::compute(&t, Metric::L1, &anchors, 2);
+    }
+
+    #[test]
+    fn tie_breaking_is_deterministic() {
+        let t = Torus2::square(9);
+        let mut anchors = vec![false; t.node_count()];
+        anchors[t.index(Pos::new(0, 0))] = true;
+        anchors[t.index(Pos::new(4, 0))] = true;
+        // Node (2,0) is equidistant; the tiling must pick the same anchor
+        // every time. Radius 8 covers the whole 9×9 torus from two anchors.
+        let a = VoronoiTiling::compute(&t, Metric::L1, &anchors, 8).cell(t.index(Pos::new(2, 0)));
+        let b = VoronoiTiling::compute(&t, Metric::L1, &anchors, 8).cell(t.index(Pos::new(2, 0)));
+        assert_eq!(a, b);
+    }
+}

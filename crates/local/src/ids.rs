@@ -1,0 +1,154 @@
+//! Unique identifier assignments.
+//!
+//! The LOCAL model labels nodes with unique identifiers from
+//! `{1, …, poly(n)}` (§3). Lower-bound arguments quantify over *all*
+//! assignments, so experiments must be able to vary them; this module
+//! provides deterministic, seeded strategies without external dependencies.
+
+/// A tiny deterministic PRNG (SplitMix64), used for reproducible shuffled
+/// identifier assignments and test instance generation.
+///
+/// # Example
+///
+/// ```
+/// use lcl_local::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next pseudo-random 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection-free multiply-shift is fine for simulation purposes.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+/// A strategy for assigning unique identifiers to `n` nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IdAssignment {
+    /// Node `v` gets identifier `v + 1`.
+    Sequential,
+    /// A seeded pseudo-random permutation of `{1, …, n}`.
+    Shuffled {
+        /// PRNG seed; equal seeds give equal assignments.
+        seed: u64,
+    },
+    /// A seeded injection into `{1, …, n·spread}`, exercising the
+    /// `poly(n)`-sized identifier space.
+    Sparse {
+        /// PRNG seed.
+        seed: u64,
+        /// Multiplicative size of the identifier space (≥ 1).
+        spread: u64,
+    },
+}
+
+impl IdAssignment {
+    /// Materialises the assignment for `n` nodes.
+    ///
+    /// The result is a vector of `n` distinct positive identifiers.
+    pub fn materialise(&self, n: usize) -> Vec<u64> {
+        match *self {
+            IdAssignment::Sequential => (1..=n as u64).collect(),
+            IdAssignment::Shuffled { seed } => {
+                let mut ids: Vec<u64> = (1..=n as u64).collect();
+                SplitMix64::new(seed).shuffle(&mut ids);
+                ids
+            }
+            IdAssignment::Sparse { seed, spread } => {
+                let spread = spread.max(1);
+                let space = (n as u64).saturating_mul(spread).max(n as u64);
+                let mut rng = SplitMix64::new(seed);
+                let mut used = std::collections::HashSet::with_capacity(n);
+                let mut ids = Vec::with_capacity(n);
+                while ids.len() < n {
+                    let candidate = 1 + rng.next_below(space);
+                    if used.insert(candidate) {
+                        ids.push(candidate);
+                    }
+                }
+                ids
+            }
+        }
+    }
+}
+
+impl Default for IdAssignment {
+    fn default() -> Self {
+        IdAssignment::Shuffled { seed: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_ids() {
+        assert_eq!(IdAssignment::Sequential.materialise(4), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn shuffled_ids_are_a_permutation() {
+        let ids = IdAssignment::Shuffled { seed: 7 }.materialise(100);
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(sorted, (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffled_ids_depend_on_seed() {
+        let a = IdAssignment::Shuffled { seed: 1 }.materialise(50);
+        let b = IdAssignment::Shuffled { seed: 2 }.materialise(50);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sparse_ids_are_distinct_and_in_range() {
+        let ids = IdAssignment::Sparse { seed: 3, spread: 10 }.materialise(200);
+        let mut sorted = ids.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 200);
+        assert!(ids.iter().all(|&i| i >= 1 && i <= 2000));
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(99);
+        let seq: Vec<u64> = (0..5).map(|_| a.next_below(10)).collect();
+        let mut b = SplitMix64::new(99);
+        let seq2: Vec<u64> = (0..5).map(|_| b.next_below(10)).collect();
+        assert_eq!(seq, seq2);
+        assert!(seq.iter().all(|&x| x < 10));
+    }
+}

@@ -1,0 +1,279 @@
+//! Grid instances and the functional (view-based) face of the LOCAL model.
+
+use crate::IdAssignment;
+use lcl_grid::{Pos, Torus2};
+
+/// A concrete problem instance: an oriented toroidal grid together with a
+/// unique-identifier assignment.
+///
+/// # Example
+///
+/// ```
+/// use lcl_local::{GridInstance, IdAssignment};
+/// let inst = GridInstance::new(8, &IdAssignment::Sequential);
+/// assert_eq!(inst.torus().node_count(), 64);
+/// assert_eq!(inst.id(lcl_grid::Pos::new(0, 0)), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GridInstance {
+    torus: Torus2,
+    ids: Vec<u64>,
+}
+
+impl GridInstance {
+    /// Creates an `n × n` instance with the given identifier assignment.
+    pub fn new(n: usize, ids: &IdAssignment) -> GridInstance {
+        let torus = Torus2::square(n);
+        GridInstance {
+            torus,
+            ids: ids.materialise(torus.node_count()),
+        }
+    }
+
+    /// Creates an instance from an explicit identifier vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier vector has the wrong length or contains
+    /// duplicates.
+    pub fn from_ids(torus: Torus2, ids: Vec<u64>) -> GridInstance {
+        assert_eq!(ids.len(), torus.node_count(), "wrong number of identifiers");
+        let mut sorted = ids.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "identifiers must be unique");
+        GridInstance { torus, ids }
+    }
+
+    /// The underlying torus.
+    pub fn torus(&self) -> Torus2 {
+        self.torus
+    }
+
+    /// Side length `n` of the square torus.
+    pub fn n(&self) -> usize {
+        self.torus.side()
+    }
+
+    /// Identifier of the node at `p`.
+    #[inline]
+    pub fn id(&self, p: Pos) -> u64 {
+        self.ids[self.torus.index(p)]
+    }
+
+    /// All identifiers in node-index order.
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// The radius-`radius` view of the node at `center`.
+    pub fn view(&self, center: Pos, radius: usize) -> GridView<'_> {
+        GridView::from_parts(self.torus, &self.ids, center, radius, self.n())
+    }
+}
+
+/// The radius-`t` neighbourhood of one node: everything a time-`t` LOCAL
+/// algorithm may depend on (§3). On an oriented torus this is the window of
+/// identifiers within graph (L1) distance `t`, addressed by oriented
+/// offsets; nodes do *not* learn their global coordinates.
+///
+/// A view carries a *claimed* instance size `n`, which normally equals the
+/// true torus side — but the speed-up simulation of Theorem 2 deliberately
+/// lies about it, presenting a large grid with locally unique identifiers
+/// as a small one. Views are constructed either by
+/// [`GridInstance::view`] or from raw parts via [`GridView::from_parts`].
+#[derive(Clone, Copy, Debug)]
+pub struct GridView<'a> {
+    torus: Torus2,
+    ids: &'a [u64],
+    center: Pos,
+    radius: usize,
+    claimed_n: usize,
+}
+
+impl<'a> GridView<'a> {
+    /// Builds a view from raw parts. `ids` indexes the torus densely and
+    /// need not be globally unique (the speed-up simulation reuses local
+    /// coordinates as identifiers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids.len()` does not match the torus node count.
+    pub fn from_parts(
+        torus: Torus2,
+        ids: &'a [u64],
+        center: Pos,
+        radius: usize,
+        claimed_n: usize,
+    ) -> GridView<'a> {
+        assert_eq!(ids.len(), torus.node_count());
+        GridView {
+            torus,
+            ids,
+            center,
+            radius,
+            claimed_n,
+        }
+    }
+
+    /// The view radius `t`.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// The instance size the algorithm was told (given to all nodes as
+    /// input, per §3).
+    pub fn n(&self) -> usize {
+        self.claimed_n
+    }
+
+    /// Identifier of the node at oriented offset `(dx, dy)` from the centre.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|dx| + |dy| > t`: a time-`t` algorithm cannot see farther.
+    #[inline]
+    pub fn id_at(&self, dx: i64, dy: i64) -> u64 {
+        assert!(
+            dx.unsigned_abs() as usize + dy.unsigned_abs() as usize <= self.radius,
+            "offset ({dx},{dy}) outside radius-{} view",
+            self.radius
+        );
+        self.ids[self.torus.index(self.torus.offset(self.center, dx, dy))]
+    }
+
+    /// Identifier of the centre node.
+    #[inline]
+    pub fn my_id(&self) -> u64 {
+        self.ids[self.torus.index(self.center)]
+    }
+
+    /// A derived view re-centred at offset `(dx, dy)` with a smaller radius,
+    /// for compositional simulations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the derived view would see outside this view, i.e. if
+    /// `|dx| + |dy| + sub_radius > t`.
+    pub fn recentre(&self, dx: i64, dy: i64, sub_radius: usize) -> GridView<'a> {
+        let used = dx.unsigned_abs() as usize + dy.unsigned_abs() as usize;
+        assert!(
+            used + sub_radius <= self.radius,
+            "recentred view exceeds parent radius"
+        );
+        GridView {
+            torus: self.torus,
+            ids: self.ids,
+            center: self.torus.offset(self.center, dx, dy),
+            radius: sub_radius,
+            claimed_n: self.claimed_n,
+        }
+    }
+}
+
+/// A deterministic LOCAL algorithm on oriented grids in functional form: a
+/// running time `T(n)` plus a mapping from radius-`T(n)` views to outputs.
+///
+/// This is the exact object Theorem 2 (speed-up) quantifies over. Labels
+/// are `u32`s whose meaning is fixed by the LCL problem being solved.
+pub trait GridAlgorithm {
+    /// Human-readable name for reports.
+    fn name(&self) -> String;
+
+    /// Running time `T(n)` on `n × n` instances.
+    fn time(&self, n: usize) -> usize;
+
+    /// Local output of the node at the centre of `view`.
+    ///
+    /// Must depend only on the content of the view (identifiers within the
+    /// radius and the value of `n`).
+    fn evaluate(&self, view: &GridView<'_>) -> u32;
+
+    /// Runs the algorithm on a whole instance, returning one label per node
+    /// in node-index order.
+    fn run(&self, instance: &GridInstance) -> Vec<u32> {
+        let t = self.time(instance.n());
+        let torus = instance.torus();
+        (0..torus.node_count())
+            .map(|v| self.evaluate(&instance.view(torus.pos(v), t)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IdAssignment;
+
+    struct ParityOfMax {
+        radius: usize,
+    }
+
+    impl GridAlgorithm for ParityOfMax {
+        fn name(&self) -> String {
+            "parity-of-max".into()
+        }
+        fn time(&self, _n: usize) -> usize {
+            self.radius
+        }
+        fn evaluate(&self, view: &GridView<'_>) -> u32 {
+            let r = self.radius as i64;
+            let mut best = view.my_id();
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    if dx.abs() + dy.abs() <= r {
+                        best = best.max(view.id_at(dx, dy));
+                    }
+                }
+            }
+            (best % 2) as u32
+        }
+    }
+
+    #[test]
+    fn algorithm_runs_on_whole_instance() {
+        let inst = GridInstance::new(6, &IdAssignment::Sequential);
+        let out = ParityOfMax { radius: 1 }.run(&inst);
+        assert_eq!(out.len(), 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside radius")]
+    fn view_enforces_radius() {
+        let inst = GridInstance::new(6, &IdAssignment::Sequential);
+        let view = inst.view(Pos::new(0, 0), 2);
+        let _ = view.id_at(2, 1); // L1 distance 3 > 2
+    }
+
+    #[test]
+    fn view_wraps_around() {
+        let inst = GridInstance::new(4, &IdAssignment::Sequential);
+        let view = inst.view(Pos::new(0, 0), 1);
+        // West of (0,0) is (3,0), whose sequential id is 4.
+        assert_eq!(view.id_at(-1, 0), 4);
+    }
+
+    #[test]
+    fn recentre_composes() {
+        let inst = GridInstance::new(8, &IdAssignment::Shuffled { seed: 5 });
+        let view = inst.view(Pos::new(3, 3), 4);
+        let sub = view.recentre(2, 0, 2);
+        assert_eq!(sub.my_id(), view.id_at(2, 0));
+        assert_eq!(sub.id_at(0, 1), view.id_at(2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds parent")]
+    fn recentre_cannot_escape() {
+        let inst = GridInstance::new(8, &IdAssignment::Sequential);
+        let view = inst.view(Pos::new(3, 3), 2);
+        let _ = view.recentre(2, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn duplicate_ids_rejected() {
+        let torus = Torus2::square(2);
+        let _ = GridInstance::from_ids(torus, vec![1, 1, 2, 3]);
+    }
+}

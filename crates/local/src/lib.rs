@@ -1,0 +1,77 @@
+//! The LOCAL model of distributed computing (§3 of the paper).
+//!
+//! In the LOCAL model, a network is a graph whose nodes carry unique
+//! `O(log n)`-bit identifiers; computation proceeds in synchronous rounds of
+//! unbounded messages, and a time-`t` algorithm is equivalently *a function
+//! from radius-`t` neighbourhoods to local outputs*. This crate provides
+//! both faces of that equivalence:
+//!
+//! * [`GridInstance`] / [`GridView`] / [`GridAlgorithm`] — the functional
+//!   view on oriented toroidal grids, which is what the speed-up theorem
+//!   (§5) manipulates as a black box;
+//! * [`Protocol`] / [`Simulator`] — an explicit synchronous message-passing
+//!   simulator over arbitrary [`lcl_grid::Graph`]s, used to validate the
+//!   round accounting of the symmetry-breaking building blocks;
+//! * [`Rounds`] — an explicit round-cost ledger for batched algorithm
+//!   implementations, with named phases.
+
+mod ids;
+mod instance;
+mod rounds;
+mod simulator;
+
+pub use ids::{IdAssignment, SplitMix64};
+pub use instance::{GridAlgorithm, GridInstance, GridView};
+pub use rounds::Rounds;
+pub use simulator::{Protocol, SimulationError, SimulationRun, Simulator};
+
+/// The iterated-logarithm function `log* n` (base 2): the number of times
+/// `log₂` must be applied to `n` before the result is at most 1.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(lcl_local::log_star(1), 0);
+/// assert_eq!(lcl_local::log_star(2), 1);
+/// assert_eq!(lcl_local::log_star(16), 3);
+/// assert_eq!(lcl_local::log_star(65536), 4);
+/// ```
+pub fn log_star(n: u64) -> u32 {
+    // log* n = the smallest i with 2↑↑i ≥ n (tower of twos of height i).
+    // The towers representable in u64 are 1, 2, 4, 16, 65536; anything
+    // larger than 65536 has log* = 5 (2↑↑5 = 2^65536 dwarfs u64).
+    const TOWERS: [u64; 5] = [1, 2, 4, 16, 65536];
+    for (i, &t) in TOWERS.iter().enumerate() {
+        if n <= t {
+            return i as u32;
+        }
+    }
+    5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::log_star;
+
+    #[test]
+    fn log_star_small_values() {
+        assert_eq!(log_star(0), 0);
+        assert_eq!(log_star(1), 0);
+        assert_eq!(log_star(2), 1);
+        assert_eq!(log_star(3), 2);
+        assert_eq!(log_star(4), 2);
+        assert_eq!(log_star(5), 3);
+        assert_eq!(log_star(16), 3);
+        assert_eq!(log_star(17), 4);
+        assert_eq!(log_star(65536), 4);
+        assert_eq!(log_star(65537), 5);
+    }
+
+    #[test]
+    fn log_star_never_exceeds_five() {
+        for shift in 0..64 {
+            assert!(log_star(1u64 << shift) <= 5);
+        }
+        assert_eq!(log_star(u64::MAX), 5);
+    }
+}

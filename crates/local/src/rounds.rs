@@ -1,0 +1,88 @@
+//! An explicit round-cost ledger.
+//!
+//! Most algorithm implementations in this repository are *batched*: they
+//! compute the outcome of a distributed phase centrally (for wall-clock
+//! feasibility at `n² ≥ 10⁶` nodes) and charge the ledger the number of
+//! LOCAL rounds that phase costs. The message-passing [`crate::Simulator`]
+//! cross-validates the charges on small instances. See DESIGN.md §3.5.
+
+use std::fmt;
+
+/// A named accumulator of LOCAL round costs.
+#[derive(Clone, Debug, Default)]
+pub struct Rounds {
+    phases: Vec<(String, u64)>,
+}
+
+impl Rounds {
+    /// Creates an empty ledger.
+    pub fn new() -> Rounds {
+        Rounds::default()
+    }
+
+    /// Charges `rounds` rounds to a named phase.
+    pub fn charge(&mut self, phase: &str, rounds: u64) {
+        self.phases.push((phase.to_string(), rounds));
+    }
+
+    /// Total rounds charged.
+    pub fn total(&self) -> u64 {
+        self.phases.iter().map(|(_, r)| r).sum()
+    }
+
+    /// All phases in charge order.
+    pub fn phases(&self) -> &[(String, u64)] {
+        &self.phases
+    }
+
+    /// Merges another ledger into this one, prefixing its phase names.
+    pub fn absorb(&mut self, prefix: &str, other: &Rounds) {
+        for (name, r) in &other.phases {
+            self.phases.push((format!("{prefix}/{name}"), *r));
+        }
+    }
+}
+
+impl fmt::Display for Rounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total rounds: {}", self.total())?;
+        for (name, r) in &self.phases {
+            writeln!(f, "  {name}: {r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate() {
+        let mut r = Rounds::new();
+        r.charge("mis", 12);
+        r.charge("fill", 3);
+        assert_eq!(r.total(), 15);
+        assert_eq!(r.phases().len(), 2);
+    }
+
+    #[test]
+    fn absorb_prefixes() {
+        let mut inner = Rounds::new();
+        inner.charge("cv", 5);
+        let mut outer = Rounds::new();
+        outer.charge("setup", 1);
+        outer.absorb("anchors", &inner);
+        assert_eq!(outer.total(), 6);
+        assert_eq!(outer.phases()[1].0, "anchors/cv");
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut r = Rounds::new();
+        r.charge("x", 1);
+        let s = r.to_string();
+        assert!(s.contains("total rounds: 1"));
+        assert!(s.contains("x: 1"));
+    }
+}

@@ -1,0 +1,263 @@
+//! A synchronous message-passing simulator (§3, "LOCAL model").
+//!
+//! Computation proceeds in synchronous rounds: all nodes in parallel send
+//! one message per incident edge, receive the messages addressed to them,
+//! and update local state; a node may halt with an output at any round.
+//! The simulator runs any [`Protocol`] over any [`Graph`] and reports the
+//! number of rounds until the *last* node halts — the running time in the
+//! sense of the paper.
+
+use lcl_grid::Graph;
+use std::fmt;
+
+/// A distributed protocol: per-node state plus a synchronous round
+/// function.
+///
+/// Ports: node `v`'s incident edges are numbered `0..degree(v)` in the
+/// order of [`Graph::for_each_neighbour`]; `inbox[i]` holds the message
+/// received from the `i`-th neighbour this round (if any), and the outbox
+/// slot `i` addresses that same neighbour.
+pub trait Protocol {
+    /// Per-node state.
+    type State;
+    /// Message alphabet (unbounded size, per the LOCAL model).
+    type Msg: Clone;
+    /// Local output type.
+    type Output;
+
+    /// Initial state of node `v`, given its unique identifier, its degree,
+    /// and the globally known instance size `n`.
+    fn init(&self, v: usize, id: u64, degree: usize, n: usize) -> Self::State;
+
+    /// One synchronous round. Fill `outbox` (one optional message per
+    /// port); return `Some(output)` to halt. A halted node keeps
+    /// delivering an empty outbox.
+    fn round(
+        &self,
+        state: &mut Self::State,
+        inbox: &[Option<Self::Msg>],
+        outbox: &mut [Option<Self::Msg>],
+    ) -> Option<Self::Output>;
+}
+
+/// Why a simulation did not complete.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimulationError {
+    /// The round budget was exhausted before every node halted.
+    RoundLimitExceeded {
+        /// The budget that was exceeded.
+        limit: u64,
+        /// How many nodes had not yet halted.
+        unfinished: usize,
+    },
+}
+
+impl fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulationError::RoundLimitExceeded { limit, unfinished } => write!(
+                f,
+                "simulation exceeded {limit} rounds with {unfinished} nodes unfinished"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimulationError {}
+
+/// The result of a completed simulation.
+#[derive(Clone, Debug)]
+pub struct SimulationRun<O> {
+    /// Output of every node, in node-index order.
+    pub outputs: Vec<O>,
+    /// Rounds until the last node halted.
+    pub rounds: u64,
+}
+
+/// Runs protocols over graphs.
+#[derive(Clone, Debug)]
+pub struct Simulator {
+    max_rounds: u64,
+}
+
+impl Simulator {
+    /// Creates a simulator with the given round budget.
+    pub fn new(max_rounds: u64) -> Simulator {
+        Simulator { max_rounds }
+    }
+
+    /// Runs `protocol` on `graph` with the given identifiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::RoundLimitExceeded`] if some node has not
+    /// halted within the round budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids.len() != graph.node_count()`.
+    pub fn run<G: Graph, P: Protocol>(
+        &self,
+        graph: &G,
+        ids: &[u64],
+        protocol: &P,
+    ) -> Result<SimulationRun<P::Output>, SimulationError> {
+        let n = graph.node_count();
+        assert_eq!(ids.len(), n, "one identifier per node required");
+
+        // Port maps: for each node, its neighbour list; and for each
+        // (node, port) the reverse port on the other side.
+        let nbrs: Vec<Vec<usize>> = (0..n).map(|v| graph.neighbours_vec(v)).collect();
+        let reverse_port: Vec<Vec<usize>> = (0..n)
+            .map(|v| {
+                nbrs[v]
+                    .iter()
+                    .map(|&u| {
+                        nbrs[u]
+                            .iter()
+                            .position(|&w| w == v)
+                            .expect("graph adjacency must be symmetric")
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut states: Vec<P::State> = (0..n)
+            .map(|v| protocol.init(v, ids[v], nbrs[v].len(), n))
+            .collect();
+        let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
+        let mut inboxes: Vec<Vec<Option<P::Msg>>> =
+            (0..n).map(|v| vec![None; nbrs[v].len()]).collect();
+        let mut done = 0usize;
+
+        for round in 1..=self.max_rounds {
+            // Compute all outboxes against the previous round's inboxes.
+            let mut outboxes: Vec<Vec<Option<P::Msg>>> =
+                (0..n).map(|v| vec![None; nbrs[v].len()]).collect();
+            for v in 0..n {
+                if outputs[v].is_some() {
+                    continue;
+                }
+                if let Some(out) = protocol.round(&mut states[v], &inboxes[v], &mut outboxes[v]) {
+                    outputs[v] = Some(out);
+                    done += 1;
+                }
+            }
+            if done == n {
+                return Ok(SimulationRun {
+                    outputs: outputs.into_iter().map(Option::unwrap).collect(),
+                    rounds: round,
+                });
+            }
+            // Deliver.
+            for inbox in inboxes.iter_mut() {
+                for slot in inbox.iter_mut() {
+                    *slot = None;
+                }
+            }
+            for v in 0..n {
+                for (port, msg) in outboxes[v].iter_mut().enumerate() {
+                    if let Some(m) = msg.take() {
+                        let u = nbrs[v][port];
+                        inboxes[u][reverse_port[v][port]] = Some(m);
+                    }
+                }
+            }
+        }
+        Err(SimulationError::RoundLimitExceeded {
+            limit: self.max_rounds,
+            unfinished: n - done,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_grid::{CycleGraph, Torus2};
+
+    /// Every node floods the maximum identifier it has seen; halts after a
+    /// fixed number of rounds with that maximum.
+    struct FloodMax {
+        rounds: u64,
+    }
+
+    struct FloodState {
+        best: u64,
+        round: u64,
+    }
+
+    impl Protocol for FloodMax {
+        type State = FloodState;
+        type Msg = u64;
+        type Output = u64;
+
+        fn init(&self, _v: usize, id: u64, _deg: usize, _n: usize) -> FloodState {
+            FloodState { best: id, round: 0 }
+        }
+
+        fn round(
+            &self,
+            state: &mut FloodState,
+            inbox: &[Option<u64>],
+            outbox: &mut [Option<u64>],
+        ) -> Option<u64> {
+            for msg in inbox.iter().flatten() {
+                state.best = state.best.max(*msg);
+            }
+            state.round += 1;
+            if state.round > self.rounds {
+                return Some(state.best);
+            }
+            for slot in outbox.iter_mut() {
+                *slot = Some(state.best);
+            }
+            None
+        }
+    }
+
+    #[test]
+    fn flood_max_on_cycle_reaches_all_within_half_length() {
+        let g = CycleGraph::new(9);
+        let ids: Vec<u64> = (1..=9).collect();
+        // Radius 4 suffices to see the whole 9-cycle.
+        let run = Simulator::new(100)
+            .run(&g, &ids, &FloodMax { rounds: 4 })
+            .unwrap();
+        assert!(run.outputs.iter().all(|&o| o == 9));
+        assert_eq!(run.rounds, 5); // 4 communication rounds + halting round
+    }
+
+    #[test]
+    fn flood_max_on_torus() {
+        let t = Torus2::square(4);
+        let ids: Vec<u64> = (1..=16).collect();
+        // Torus diameter is 4, so 4 rounds suffice.
+        let run = Simulator::new(100)
+            .run(&t, &ids, &FloodMax { rounds: 4 })
+            .unwrap();
+        assert!(run.outputs.iter().all(|&o| o == 16));
+    }
+
+    #[test]
+    fn insufficient_rounds_do_not_reach() {
+        let g = CycleGraph::new(32);
+        let ids: Vec<u64> = (1..=32).collect();
+        let run = Simulator::new(100)
+            .run(&g, &ids, &FloodMax { rounds: 3 })
+            .unwrap();
+        // Nodes far from the maximum have not heard of it.
+        assert!(run.outputs.iter().any(|&o| o != 32));
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        let g = CycleGraph::new(5);
+        let ids: Vec<u64> = (1..=5).collect();
+        let err = Simulator::new(2)
+            .run(&g, &ids, &FloodMax { rounds: 10 })
+            .unwrap_err();
+        assert!(matches!(err, SimulationError::RoundLimitExceeded { .. }));
+        assert!(err.to_string().contains("exceeded"));
+    }
+}

@@ -1,0 +1,21 @@
+//! Lower-bound machinery (§9, §11).
+//!
+//! The paper's `Ω(n)` lower bounds are proved by *invariants*: quantities
+//! computable from any valid solution that are (a) identical across all
+//! rows of the grid and (b) constrained in parity by `n` — so producing a
+//! solution amounts to solving the q-sum coordination problem on a cycle,
+//! which needs `Ω(n)` rounds (Theorem 10). This crate implements those
+//! invariants executably:
+//!
+//! * [`qsum`] — the q-sum coordination problem and its `Θ(n)` algorithm;
+//! * [`three_col`] — greedy normalisation of 3-colourings, the auxiliary
+//!   digraph of Figure 5, its cycle decomposition, and the row invariants
+//!   `i_r(C)` and `s(G)` of Lemmas 12–14;
+//! * [`orientation_034`] — the vertical-edge labelling of Theorem 25 and
+//!   its row invariant `r(i)`;
+//! * [`parity`] — the counting impossibilities (Theorem 21, Lemma 24).
+
+pub mod orientation_034;
+pub mod parity;
+pub mod qsum;
+pub mod three_col;

@@ -1,0 +1,145 @@
+//! The `{0,3,4}`-orientation invariant (Theorem 25, Figure 7).
+//!
+//! In any valid `{0,3,4}`-orientation, label each vertical edge between
+//! node-rows `i` and `i+1` with `{−1, 0, +1}`: `0` if an endpoint has
+//! in-degree 0 or the nearest in-degree-0 vertices left and right (within
+//! the two rows) are at even L1 distance; otherwise `+1` if the edge
+//! points north and `−1` if south. The row sum `r(i)` is the same for
+//! every `i` — a q-sum-style invariant that forces `Ω(n)` rounds.
+
+use lcl_grid::{Dir4, Pos, Torus2};
+
+/// Orientation of the vertical edge owned by `(x, i)` (towards `(x, i+1)`):
+/// true = north (away from owner).
+fn points_north(labels: &[u16], torus: &Torus2, x: usize, i: usize) -> bool {
+    labels[torus.index(Pos::new(x, i))] & 2 == 2
+}
+
+/// The labels of one vertical edge row `i` (edges between node-rows `i`
+/// and `i+1`), as defined in Theorem 25.
+pub fn vertical_edge_labels(torus: &Torus2, labels: &[u16], i: usize) -> Vec<i64> {
+    let indeg = lcl_core::problems::orientation_indegrees(torus, labels);
+    let w = torus.width();
+    let is_zero = |x: usize, row: usize| indeg[torus.index(Pos::new(x % w, row))] == 0;
+    (0..w)
+        .map(|x| {
+            // Endpoints of the edge.
+            if is_zero(x, i) || is_zero(x, (i + 1) % torus.height()) {
+                return 0;
+            }
+            // Nearest in-degree-0 vertices in rows i or i+1, scanning
+            // columns left and right from x.
+            let find = |step: i64| -> Option<(usize, usize)> {
+                for d in 1..=w {
+                    let col = ((x as i64 + step * d as i64).rem_euclid(w as i64)) as usize;
+                    if is_zero(col, i) {
+                        return Some((col, i));
+                    }
+                    if is_zero(col, (i + 1) % torus.height()) {
+                        return Some((col, (i + 1) % torus.height()));
+                    }
+                }
+                None
+            };
+            let (Some(left), Some(right)) = (find(-1), find(1)) else {
+                return 0; // no zero-in-degree vertices at all
+            };
+            let dist = torus.l1(
+                Pos::new(left.0, left.1),
+                Pos::new(right.0, right.1),
+            );
+            if dist % 2 == 1 {
+                if points_north(labels, torus, x, i) {
+                    1
+                } else {
+                    -1
+                }
+            } else {
+                0
+            }
+        })
+        .collect()
+}
+
+/// The row invariant `r(i)` — sum of the vertical edge labels of row `i`.
+pub fn row_invariant(torus: &Torus2, labels: &[u16], i: usize) -> i64 {
+    vertical_edge_labels(torus, labels, i).iter().sum()
+}
+
+/// The common value `r(G)` across all rows.
+///
+/// # Panics
+///
+/// Panics if rows disagree — that would contradict Theorem 25.
+pub fn invariant(torus: &Torus2, labels: &[u16]) -> i64 {
+    let values: Vec<i64> = (0..torus.height())
+        .map(|i| row_invariant(torus, labels, i))
+        .collect();
+    let first = values[0];
+    assert!(
+        values.iter().all(|&v| v == first),
+        "Theorem 25 violated: row invariants {values:?}"
+    );
+    first
+}
+
+/// Checks the structural facts used in the proof: in-degree-0 vertices are
+/// never adjacent, and gaps between them along a two-row band are at most
+/// 2 columns.
+pub fn structure_ok(torus: &Torus2, labels: &[u16]) -> bool {
+    let indeg = lcl_core::problems::orientation_indegrees(torus, labels);
+    for v in 0..torus.node_count() {
+        if indeg[v] != 0 {
+            continue;
+        }
+        let p = torus.pos(v);
+        for d in Dir4::ALL {
+            if indeg[torus.index(torus.step(p, d))] == 0 {
+                return false; // two 0-in-degree vertices adjacent
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_core::problems::XSet;
+    use lcl_core::{existence, problems};
+
+    fn sample(n: usize, seed: u64) -> Option<(Torus2, Vec<u16>)> {
+        let torus = Torus2::square(n);
+        let p = problems::orientation(XSet::from_degrees(&[0, 3, 4]));
+        existence::solve_seeded(&p, &torus, seed).map(|labels| (torus, labels))
+    }
+
+    #[test]
+    fn zero_indegree_vertices_are_independent() {
+        for seed in 0..4 {
+            if let Some((torus, labels)) = sample(6, seed) {
+                assert!(structure_ok(&torus, &labels));
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_25_row_invariance() {
+        for (n, seed) in [(5usize, 0u64), (6, 1), (7, 2), (6, 3), (8, 4)] {
+            if let Some((torus, labels)) = sample(n, seed) {
+                let _ = invariant(&torus, &labels); // asserts internally
+            }
+        }
+    }
+
+    #[test]
+    fn all_in_degree_two_is_not_a_valid_sample() {
+        // The constant input orientation has in-degree 2 everywhere —
+        // never a {0,3,4}-orientation.
+        let torus = Torus2::square(5);
+        let labels = vec![3u16; 25];
+        let x = XSet::from_degrees(&[0, 3, 4]);
+        let degs = problems::orientation_indegrees(&torus, &labels);
+        assert!(degs.iter().all(|&d| !x.contains(d)));
+    }
+}

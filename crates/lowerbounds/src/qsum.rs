@@ -1,0 +1,180 @@
+//! The q-sum coordination problem (§9, Theorem 10).
+//!
+//! On a directed `n`-cycle, each node outputs `ℓ(v) ∈ {−1, 0, +1}` with
+//! `Σ ℓ(v) = q(n)`. Whenever `q(n)` is odd for odd `n` and `|q(n)| ≤
+//! n/2`, the problem needs `Ω(n)` rounds: a sub-linear algorithm's output
+//! sum can be "pumped" by fragment surgery (Lemma 11) past the `n/2`
+//! bound. This module provides the problem, its `Θ(n)` algorithm, and the
+//! surgery harness that exhibits violations for sub-linear candidates.
+
+use lcl_grid::CycleGraph;
+
+/// A q-sum instance: the target function `q(n)`.
+pub struct QSum {
+    q: Box<dyn Fn(usize) -> i64>,
+}
+
+impl QSum {
+    /// Creates an instance family from the target function.
+    pub fn new<F: Fn(usize) -> i64 + 'static>(q: F) -> QSum {
+        QSum { q: Box::new(q) }
+    }
+
+    /// The standard admissible target of Theorem 10: `q(n) = n mod 2`
+    /// (odd for odd `n`, `|q| ≤ n/2`).
+    pub fn parity() -> QSum {
+        QSum::new(|n| (n % 2) as i64)
+    }
+
+    /// Target value for size `n`.
+    pub fn target(&self, n: usize) -> i64 {
+        (self.q)(n)
+    }
+
+    /// Checks an output labelling.
+    pub fn check(&self, cycle: &CycleGraph, labels: &[i8]) -> bool {
+        labels.len() == cycle.len()
+            && labels.iter().all(|&l| (-1..=1).contains(&l))
+            && labels.iter().map(|&l| l as i64).sum::<i64>() == self.target(cycle.len())
+    }
+
+    /// The `Θ(n)` algorithm: every node gathers the whole cycle; the
+    /// minimum-identifier node and its `|q(n)| − 1` successors output
+    /// `sign(q(n))`, everyone else outputs 0. Returns `(labels, rounds)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|q(n)| > n` (no valid output exists at all).
+    pub fn solve_global(&self, cycle: &CycleGraph, ids: &[u64]) -> (Vec<i8>, u64) {
+        let n = cycle.len();
+        assert_eq!(ids.len(), n);
+        let q = self.target(n);
+        assert!(q.unsigned_abs() as usize <= n, "target out of range");
+        let leader = (0..n).min_by_key(|&v| ids[v]).unwrap();
+        let mut labels = vec![0i8; n];
+        let sign = if q >= 0 { 1 } else { -1 };
+        for step in 0..q.unsigned_abs() as usize {
+            labels[cycle.offset(leader, step as i64)] = sign;
+        }
+        (labels, n as u64)
+    }
+}
+
+/// A candidate cycle algorithm in functional form: output of a node as a
+/// function of the identifiers within `radius` successor/predecessor
+/// steps. Used by the surgery harness.
+pub trait WindowAlgorithm {
+    /// View radius `t`.
+    fn radius(&self) -> usize;
+    /// Output given the window `ids[0..2t+1]` centred at the node
+    /// (predecessors first).
+    fn output(&self, window: &[u64]) -> i8;
+}
+
+/// Runs a window algorithm on a whole cycle.
+pub fn run_window_algorithm(algo: &dyn WindowAlgorithm, cycle: &CycleGraph, ids: &[u64]) -> Vec<i8> {
+    let t = algo.radius() as i64;
+    (0..cycle.len())
+        .map(|v| {
+            let window: Vec<u64> = (-t..=t).map(|o| ids[cycle.offset(v, o)]).collect();
+            algo.output(&window)
+        })
+        .collect()
+}
+
+/// Fragment surgery (the mechanics of Theorem 10's proof): searches for
+/// two instances of the same size `n` that differ only in a region far
+/// from half the nodes, on which `algo` produces output sums that cannot
+/// both equal `q(n)`. Returns the two id assignments on success.
+pub fn find_violation(
+    qsum: &QSum,
+    algo: &dyn WindowAlgorithm,
+    n: usize,
+    attempts: u64,
+) -> Option<(Vec<u64>, Vec<u64>)> {
+    let cycle = CycleGraph::new(n);
+    let mut rng = lcl_local::SplitMix64::new(0xfeed);
+    for _ in 0..attempts {
+        // Base instance.
+        let mut ids: Vec<u64> = (1..=n as u64).collect();
+        rng.shuffle(&mut ids);
+        let out1 = run_window_algorithm(algo, &cycle, &ids);
+        if !qsum.check(&cycle, &out1) {
+            // Already violating on a plain instance.
+            return Some((ids.clone(), ids));
+        }
+        // Surgery: permute identifiers inside a window of length n/4.
+        let mut surgered = ids.clone();
+        let start = n / 2;
+        let len = n / 4;
+        let mut window: Vec<u64> = (0..len).map(|i| surgered[(start + i) % n]).collect();
+        rng.shuffle(&mut window);
+        for (i, w) in window.into_iter().enumerate() {
+            surgered[(start + i) % n] = w;
+        }
+        let out2 = run_window_algorithm(algo, &cycle, &surgered);
+        if !qsum.check(&cycle, &out2) {
+            return Some((ids, surgered));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_local::IdAssignment;
+
+    #[test]
+    fn global_algorithm_is_correct() {
+        let qsum = QSum::parity();
+        for n in [4usize, 5, 31, 100] {
+            let cycle = CycleGraph::new(n);
+            let ids = IdAssignment::Shuffled { seed: n as u64 }.materialise(n);
+            let (labels, rounds) = qsum.solve_global(&cycle, &ids);
+            assert!(qsum.check(&cycle, &labels), "n={n}");
+            assert_eq!(rounds, n as u64);
+        }
+    }
+
+    #[test]
+    fn constant_zero_fails_odd_n() {
+        let qsum = QSum::parity();
+        let cycle = CycleGraph::new(9);
+        assert!(!qsum.check(&cycle, &vec![0i8; 9]));
+    }
+
+    /// A natural sub-linear candidate: output +1 iff the node's id is a
+    /// local maximum within the radius. Its sum is the number of local
+    /// maxima — which surgery changes freely, so it cannot track q(n).
+    struct LocalMaxima;
+
+    impl WindowAlgorithm for LocalMaxima {
+        fn radius(&self) -> usize {
+            2
+        }
+        fn output(&self, window: &[u64]) -> i8 {
+            let mid = window.len() / 2;
+            (window.iter().max() == Some(&window[mid])) as i8
+        }
+    }
+
+    #[test]
+    fn surgery_breaks_local_candidates() {
+        let qsum = QSum::parity();
+        let witness = find_violation(&qsum, &LocalMaxima, 41, 50);
+        assert!(witness.is_some(), "local algorithms must fail q-sum");
+    }
+
+    #[test]
+    fn targets_respect_bounds() {
+        let q = QSum::parity();
+        for n in 3..50 {
+            let t = q.target(n);
+            assert!(t.unsigned_abs() as usize <= n / 2 || n < 2);
+            if n % 2 == 1 {
+                assert_eq!(t % 2, 1);
+            }
+        }
+    }
+}

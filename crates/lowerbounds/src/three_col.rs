@@ -1,0 +1,261 @@
+//! The 3-colouring lower bound machinery (§9, Theorem 9).
+//!
+//! Any 3-colouring algorithm can be normalised to produce *greedy*
+//! colourings; the colour-3 nodes of a greedy colouring span an auxiliary
+//! digraph `H` (Figure 5) that decomposes into edge-disjoint directed
+//! cycles. Counting northbound minus southbound crossings of each cycle
+//! through a row gives `i_r(C)`; Lemma 12 shows `Σ_C i_r(C)` is the same
+//! for every row `r`, and Lemma 14 pins its parity to the parity of `n`.
+//! Together these turn any fast 3-colouring algorithm into a fast q-sum
+//! solver — contradiction. This module computes all of those objects so
+//! the invariants can be verified on concrete colourings.
+
+use lcl_grid::{Pos, Torus2};
+
+/// Colours are 1, 2, 3 internally (paper convention); the public API uses
+/// labels 0, 1, 2 from `lcl-core` and converts.
+fn c(labels: &[u16], torus: &Torus2, p: Pos) -> u16 {
+    labels[torus.index(p)] + 1
+}
+
+/// Rewrites a proper 3-colouring into *greedy* form: a colour-2 node has
+/// a colour-1 neighbour and a colour-3 node has both colour-1 and
+/// colour-2 neighbours (the constant-round preprocessing of §9).
+///
+/// # Panics
+///
+/// Panics if the input is not a proper 3-colouring.
+pub fn greedy_normalise(torus: &Torus2, labels: &[u16]) -> Vec<u16> {
+    assert!(lcl_core::problems::is_proper_vertex_colouring(
+        torus, labels, 3
+    ));
+    let mut out = labels.to_vec();
+    loop {
+        let mut changed = false;
+        for v in 0..torus.node_count() {
+            let p = torus.pos(v);
+            let nbr_colours: Vec<u16> = torus
+                .neighbours4(p)
+                .into_iter()
+                .map(|q| out[torus.index(q)])
+                .collect();
+            let has = |colour: u16| nbr_colours.contains(&colour);
+            let mine = out[v];
+            // Recolour to the smallest colour not present among
+            // neighbours, if smaller than the current colour.
+            let smallest = (0..3).find(|&cand| !has(cand)).unwrap_or(mine);
+            if smallest < mine {
+                out[v] = smallest;
+                changed = true;
+            }
+        }
+        if !changed {
+            return out;
+        }
+    }
+}
+
+/// True iff the colouring is greedy in the §9 sense.
+pub fn is_greedy(torus: &Torus2, labels: &[u16]) -> bool {
+    (0..torus.node_count()).all(|v| {
+        let p = torus.pos(v);
+        let nbr = |colour: u16| {
+            torus
+                .neighbours4(p)
+                .into_iter()
+                .any(|q| labels[torus.index(q)] == colour)
+        };
+        match labels[v] {
+            0 => true,
+            1 => nbr(0),
+            2 => nbr(0) && nbr(1),
+            _ => false,
+        }
+    })
+}
+
+/// A directed edge of the auxiliary graph `H` between two diagonal
+/// colour-3 nodes (Figure 5a).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AuxArc {
+    /// Tail node (colour 3).
+    pub from: Pos,
+    /// Head node (colour 3).
+    pub to: Pos,
+}
+
+/// Builds the auxiliary digraph of a greedy 3-colouring: one arc per
+/// diagonal pair of colour-3 nodes whose two common neighbours have
+/// colours 1 and 2, directed so the colour-1 neighbour is to the left.
+pub fn aux_graph(torus: &Torus2, labels: &[u16]) -> Vec<AuxArc> {
+    let mut arcs = Vec::new();
+    for v in 0..torus.node_count() {
+        let p = torus.pos(v);
+        // Main diagonal pair: p and p+(1,1); commons p+(1,0), p+(0,1).
+        let q_ne = torus.offset(p, 1, 1);
+        let w_e = torus.offset(p, 1, 0);
+        let w_n = torus.offset(p, 0, 1);
+        if c(labels, torus, p) == 3 && c(labels, torus, q_ne) == 3 {
+            let (ce, cn) = (c(labels, torus, w_e), c(labels, torus, w_n));
+            if (ce == 1 && cn == 2) || (ce == 2 && cn == 1) {
+                // Walking p → q_ne, the left-hand common neighbour is w_n.
+                if cn == 1 {
+                    arcs.push(AuxArc { from: p, to: q_ne });
+                } else {
+                    arcs.push(AuxArc { from: q_ne, to: p });
+                }
+            }
+        }
+        // Anti-diagonal pair: p+(0,1) and p+(1,0); commons p, p+(1,1).
+        let u = w_n;
+        let w = w_e;
+        if c(labels, torus, u) == 3 && c(labels, torus, w) == 3 {
+            let (c_sw, c_ne) = (c(labels, torus, p), c(labels, torus, q_ne));
+            if (c_sw == 1 && c_ne == 2) || (c_sw == 2 && c_ne == 1) {
+                // Walking u → w (direction (1,−1)), the left-hand common
+                // neighbour is q_ne.
+                if c_ne == 1 {
+                    arcs.push(AuxArc { from: u, to: w });
+                } else {
+                    arcs.push(AuxArc { from: w, to: u });
+                }
+            }
+        }
+    }
+    arcs
+}
+
+/// Verifies the degree property of Figure 5b: every colour-3 node has
+/// in-degree = out-degree ∈ {0, 1, 2} in `H`.
+pub fn degrees_balanced(torus: &Torus2, arcs: &[AuxArc]) -> bool {
+    let mut in_deg = vec![0usize; torus.node_count()];
+    let mut out_deg = vec![0usize; torus.node_count()];
+    for a in arcs {
+        out_deg[torus.index(a.from)] += 1;
+        in_deg[torus.index(a.to)] += 1;
+    }
+    (0..torus.node_count()).all(|v| in_deg[v] == out_deg[v] && in_deg[v] <= 2)
+}
+
+/// The per-row invariant: for row `r`, the sum over all cycle traversals
+/// of `+1` per northbound and `−1` per southbound intersection
+/// (Lemma 12 / Lemma 14). Computed directly from the arcs: every
+/// consecutive arc pair `(u→v, v→w)` with `v` on row `r` contributes
+/// according to the rows of `u` and `w`.
+///
+/// Because each node's arcs are matched into cycles, the sum over *all*
+/// pairings is pairing-independent: each traversal contributes
+/// `(sign of exit) + (sign of entry)` halves; we count, for each arc
+/// crossing between row `r` and row `r+1`, `+1` northbound and `−1`
+/// southbound — the net number of times the cycle collection crosses the
+/// horizontal cut above row `r`.
+pub fn row_invariant(torus: &Torus2, arcs: &[AuxArc], r: usize) -> i64 {
+    // Net flow across the horizontal cut between row r and row r+1.
+    let mut net = 0i64;
+    for a in arcs {
+        let dy = a.to.y as i64 - a.from.y as i64;
+        // Canonical step: diagonals move by ±1 with wrap.
+        let dy = if dy > 1 {
+            dy - torus.height() as i64
+        } else if dy < -1 {
+            dy + torus.height() as i64
+        } else {
+            dy
+        };
+        debug_assert!(dy == 1 || dy == -1, "aux arcs are diagonal");
+        // A northbound arc (dy = +1) from row r crosses the cut between
+        // rows r and r+1; a southbound arc (dy = −1) crosses that same cut
+        // when it *arrives* at row r.
+        let crosses = if dy == 1 { a.from.y == r } else { a.to.y == r };
+        if crosses {
+            net += dy;
+        }
+    }
+    net
+}
+
+/// The invariant `s(G)`: the common value of [`row_invariant`] across all
+/// rows.
+///
+/// # Panics
+///
+/// Panics if the invariant differs between rows — that would contradict
+/// Lemma 12.
+pub fn s_invariant(torus: &Torus2, labels: &[u16]) -> i64 {
+    let greedy = greedy_normalise(torus, labels);
+    let arcs = aux_graph(torus, &greedy);
+    let values: Vec<i64> = (0..torus.height())
+        .map(|r| row_invariant(torus, &arcs, r))
+        .collect();
+    let first = values[0];
+    assert!(
+        values.iter().all(|&v| v == first),
+        "Lemma 12 violated: row invariants {values:?}"
+    );
+    first
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_core::{existence, problems};
+
+    fn sample_colouring(n: usize, seed: u64) -> (Torus2, Vec<u16>) {
+        let torus = Torus2::square(n);
+        let p = problems::vertex_colouring(3);
+        let labels = existence::solve_seeded(&p, &torus, seed).expect("3-colouring exists");
+        (torus, labels)
+    }
+
+    #[test]
+    fn greedy_normalisation_is_greedy_and_proper() {
+        for seed in 0..5 {
+            let (torus, labels) = sample_colouring(6, seed);
+            let g = greedy_normalise(&torus, &labels);
+            assert!(problems::is_proper_vertex_colouring(&torus, &g, 3));
+            assert!(is_greedy(&torus, &g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn aux_graph_degrees_balanced() {
+        for seed in 0..5 {
+            let (torus, labels) = sample_colouring(7, seed);
+            let g = greedy_normalise(&torus, &labels);
+            let arcs = aux_graph(&torus, &g);
+            assert!(degrees_balanced(&torus, &arcs), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lemma_12_row_invariance() {
+        for (n, seed) in [(6usize, 0u64), (7, 1), (8, 2), (9, 3)] {
+            let (torus, labels) = sample_colouring(n, seed);
+            // s_invariant asserts row-equality internally.
+            let _ = s_invariant(&torus, &labels);
+        }
+    }
+
+    #[test]
+    fn lemma_14_parity() {
+        for (n, seed) in [(5usize, 0u64), (7, 1), (9, 2), (7, 5), (9, 9)] {
+            let (torus, labels) = sample_colouring(n, seed);
+            let s = s_invariant(&torus, &labels);
+            assert_eq!(
+                s.rem_euclid(2),
+                1,
+                "s(G) must be odd for odd n={n} (got {s})"
+            );
+            assert!(s.unsigned_abs() as usize <= n / 2 + 1);
+        }
+    }
+
+    #[test]
+    fn even_n_invariant_is_even() {
+        for (n, seed) in [(6usize, 4u64), (8, 7)] {
+            let (torus, labels) = sample_colouring(n, seed);
+            let s = s_invariant(&torus, &labels);
+            assert_eq!(s.rem_euclid(2), 0, "s(G) even for even n={n}");
+        }
+    }
+}

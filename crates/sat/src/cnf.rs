@@ -1,0 +1,107 @@
+//! Cardinality-constraint helpers for CNF encodings.
+
+use crate::{Lit, Solver};
+
+/// Adds "at least one of `lits`".
+pub fn at_least_one(solver: &mut Solver, lits: &[Lit]) {
+    solver.add_clause(lits.iter().copied());
+}
+
+/// Adds "at most one of `lits`".
+///
+/// Uses the pairwise encoding below 8 literals and a sequential
+/// (ladder) encoding above, which introduces `len − 1` auxiliary
+/// variables but only `O(len)` clauses.
+pub fn at_most_one(solver: &mut Solver, lits: &[Lit]) {
+    if lits.len() < 8 {
+        for i in 0..lits.len() {
+            for j in i + 1..lits.len() {
+                solver.add_clause([!lits[i], !lits[j]]);
+            }
+        }
+    } else {
+        // Sequential encoding: s_i means "some lit among lits[..=i]".
+        let s: Vec<Lit> = (0..lits.len() - 1)
+            .map(|_| Lit::pos(solver.new_var()))
+            .collect();
+        solver.add_clause([!lits[0], s[0]]);
+        for i in 1..lits.len() - 1 {
+            solver.add_clause([!lits[i], s[i]]);
+            solver.add_clause([!s[i - 1], s[i]]);
+            solver.add_clause([!lits[i], !s[i - 1]]);
+        }
+        solver.add_clause([!lits[lits.len() - 1], !s[lits.len() - 2]]);
+    }
+}
+
+/// Adds "exactly one of `lits`".
+pub fn exactly_one(solver: &mut Solver, lits: &[Lit]) {
+    at_least_one(solver, lits);
+    at_most_one(solver, lits);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    fn count_true(model: &crate::Model, vars: &[Var]) -> usize {
+        vars.iter().filter(|&&v| model.value(v)).count()
+    }
+
+    #[test]
+    fn exactly_one_small() {
+        let mut s = Solver::new();
+        let vars = s.new_vars(5);
+        let lits: Vec<Lit> = vars.iter().map(|&v| Lit::pos(v)).collect();
+        exactly_one(&mut s, &lits);
+        let m = s.solve().expect_sat();
+        assert_eq!(count_true(&m, &vars), 1);
+    }
+
+    #[test]
+    fn exactly_one_large_uses_ladder() {
+        let mut s = Solver::new();
+        let vars = s.new_vars(20);
+        let lits: Vec<Lit> = vars.iter().map(|&v| Lit::pos(v)).collect();
+        exactly_one(&mut s, &lits);
+        assert!(s.num_vars() > 20, "ladder encoding allocates aux vars");
+        let m = s.solve().expect_sat();
+        assert_eq!(count_true(&m, &vars), 1);
+    }
+
+    #[test]
+    fn at_most_one_allows_zero() {
+        let mut s = Solver::new();
+        let vars = s.new_vars(10);
+        let lits: Vec<Lit> = vars.iter().map(|&v| Lit::pos(v)).collect();
+        at_most_one(&mut s, &lits);
+        // Force all to false: still satisfiable.
+        for &v in &vars {
+            s.add_clause([Lit::neg(v)]);
+        }
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn at_most_one_forbids_two_large() {
+        let mut s = Solver::new();
+        let vars = s.new_vars(12);
+        let lits: Vec<Lit> = vars.iter().map(|&v| Lit::pos(v)).collect();
+        at_most_one(&mut s, &lits);
+        s.add_clause([Lit::pos(vars[3])]);
+        s.add_clause([Lit::pos(vars[9])]);
+        assert!(!s.solve().is_sat());
+    }
+
+    #[test]
+    fn at_most_one_forbids_two_small() {
+        let mut s = Solver::new();
+        let vars = s.new_vars(4);
+        let lits: Vec<Lit> = vars.iter().map(|&v| Lit::pos(v)).collect();
+        at_most_one(&mut s, &lits);
+        s.add_clause([Lit::pos(vars[0])]);
+        s.add_clause([Lit::pos(vars[2])]);
+        assert!(!s.solve().is_sat());
+    }
+}

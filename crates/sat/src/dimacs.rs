@@ -1,0 +1,174 @@
+//! DIMACS CNF import/export, for interoperability and debugging.
+//!
+//! The synthesis pipeline builds CNF programmatically, but a standard
+//! serialisation makes instances inspectable with external tools and lets
+//! external instances drive the solver.
+
+use crate::{Lit, Solver, Var};
+use std::fmt::Write as _;
+
+/// A parse error with a line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a DIMACS CNF document into a fresh solver plus the variable
+/// vector (index `i` holds DIMACS variable `i+1`).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input (bad header, literal out
+/// of range, unterminated clause).
+pub fn parse(input: &str) -> Result<(Solver, Vec<Var>), ParseError> {
+    let mut solver = Solver::new();
+    let mut vars: Vec<Var> = Vec::new();
+    let mut declared: Option<(usize, usize)> = None;
+    let mut clause: Vec<Lit> = Vec::new();
+    let mut clauses_seen = 0usize;
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() != Some("cnf") {
+                return Err(ParseError {
+                    line: lineno,
+                    message: "expected 'p cnf <vars> <clauses>'".into(),
+                });
+            }
+            let nv: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| ParseError {
+                    line: lineno,
+                    message: "bad variable count".into(),
+                })?;
+            let nc: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| ParseError {
+                    line: lineno,
+                    message: "bad clause count".into(),
+                })?;
+            declared = Some((nv, nc));
+            vars = solver.new_vars(nv);
+            continue;
+        }
+        let Some((nv, _)) = declared else {
+            return Err(ParseError {
+                line: lineno,
+                message: "clause before header".into(),
+            });
+        };
+        for tok in line.split_whitespace() {
+            let l: i64 = tok.parse().map_err(|_| ParseError {
+                line: lineno,
+                message: format!("bad literal '{tok}'"),
+            })?;
+            if l == 0 {
+                solver.add_clause(clause.drain(..));
+                clauses_seen += 1;
+            } else {
+                let idx = l.unsigned_abs() as usize;
+                if idx > nv {
+                    return Err(ParseError {
+                        line: lineno,
+                        message: format!("literal {l} exceeds declared {nv} variables"),
+                    });
+                }
+                let v = vars[idx - 1];
+                clause.push(if l > 0 { Lit::pos(v) } else { Lit::neg(v) });
+            }
+        }
+    }
+    if !clause.is_empty() {
+        return Err(ParseError {
+            line: input.lines().count(),
+            message: "unterminated clause (missing trailing 0)".into(),
+        });
+    }
+    let _ = clauses_seen;
+    Ok((solver, vars))
+}
+
+/// Serialises a clause list as a DIMACS CNF document.
+pub fn emit(num_vars: usize, clauses: &[Vec<i64>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", num_vars, clauses.len());
+    for c in clauses {
+        for &l in c {
+            let _ = write!(out, "{l} ");
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_sat() {
+        let doc = emit(3, &[vec![1, 2], vec![-1], vec![-2, 3]]);
+        let (mut solver, vars) = parse(&doc).unwrap();
+        let model = solver.solve().expect_sat();
+        assert!(!model.value(vars[0]));
+        assert!(model.value(vars[1]));
+        assert!(model.value(vars[2]));
+    }
+
+    #[test]
+    fn parses_comments_and_blanks() {
+        let doc = "c a comment\n\np cnf 2 2\nc another\n1 2 0\n-1 -2 0\n";
+        let (mut solver, _) = parse(doc).unwrap();
+        assert!(solver.solve().is_sat());
+    }
+
+    #[test]
+    fn multiline_clauses() {
+        let doc = "p cnf 2 1\n1\n2 0\n";
+        let (mut solver, vars) = parse(doc).unwrap();
+        let model = solver.solve().expect_sat();
+        assert!(model.value(vars[0]) || model.value(vars[1]));
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(parse("1 2 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_literal() {
+        let err = parse("p cnf 1 1\n2 0\n").unwrap_err();
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn rejects_unterminated_clause() {
+        let err = parse("p cnf 2 1\n1 2\n").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn unsat_document() {
+        let doc = emit(1, &[vec![1], vec![-1]]);
+        let (mut solver, _) = parse(&doc).unwrap();
+        assert!(!solver.solve().is_sat());
+    }
+}

@@ -1,0 +1,34 @@
+//! A conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! §7 of *LCL problems on grids* reports that "finding a proper 4-colouring
+//! of the neighbourhood graph can be done with modern SAT solvers in a
+//! matter of seconds". This crate is the repository's own such solver: a
+//! complete CDCL implementation with two-watched-literal propagation,
+//! first-UIP clause learning, VSIDS-style branching with phase saving, and
+//! Luby restarts. It is used by the synthesis pipeline (tile realizability
+//! and `A′` extraction) and by the per-`n` LCL existence solver.
+//!
+//! # Example
+//!
+//! ```
+//! use lcl_sat::{Lit, Solver};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! s.add_clause([Lit::pos(a), Lit::pos(b)]);
+//! s.add_clause([Lit::neg(a)]);
+//! let model = s.solve().expect_sat();
+//! assert!(!model.value(a));
+//! assert!(model.value(b));
+//! ```
+
+mod cnf;
+pub mod dimacs;
+mod solver;
+
+pub use cnf::{at_least_one, at_most_one, exactly_one};
+pub use solver::{Lit, Model, SolveOutcome, Solver, Var};
+
+#[cfg(test)]
+mod proptests;

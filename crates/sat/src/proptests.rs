@@ -1,0 +1,81 @@
+//! Property tests: the CDCL solver agrees with brute force on small random
+//! instances, and its models satisfy the input formula.
+
+use crate::{Lit, SolveOutcome, Solver, Var};
+use proptest::prelude::*;
+
+/// A small random CNF: up to 8 variables, up to 24 clauses of 1–4 literals.
+fn cnf_strategy() -> impl Strategy<Value = (usize, Vec<Vec<i32>>)> {
+    (2usize..=8).prop_flat_map(|nvars| {
+        let clause = proptest::collection::vec(
+            (1..=nvars as i32).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]),
+            1..=4,
+        );
+        (
+            Just(nvars),
+            proptest::collection::vec(clause, 0..24),
+        )
+    })
+}
+
+fn brute_force_sat(nvars: usize, clauses: &[Vec<i32>]) -> bool {
+    'outer: for mask in 0u32..(1 << nvars) {
+        for clause in clauses {
+            let ok = clause.iter().any(|&l| {
+                let v = l.unsigned_abs() as usize - 1;
+                let val = mask >> v & 1 == 1;
+                (l > 0) == val
+            });
+            if !ok {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn build_solver(nvars: usize, clauses: &[Vec<i32>]) -> (Solver, Vec<Var>) {
+    let mut s = Solver::new();
+    let vars = s.new_vars(nvars);
+    for clause in clauses {
+        let lits: Vec<Lit> = clause
+            .iter()
+            .map(|&l| {
+                let v = vars[l.unsigned_abs() as usize - 1];
+                if l > 0 {
+                    Lit::pos(v)
+                } else {
+                    Lit::neg(v)
+                }
+            })
+            .collect();
+        s.add_clause(lits);
+    }
+    (s, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cdcl_matches_brute_force((nvars, clauses) in cnf_strategy()) {
+        let expected = brute_force_sat(nvars, &clauses);
+        let (mut s, _) = build_solver(nvars, &clauses);
+        prop_assert_eq!(s.solve().is_sat(), expected);
+    }
+
+    #[test]
+    fn models_satisfy_formula((nvars, clauses) in cnf_strategy()) {
+        let (mut s, vars) = build_solver(nvars, &clauses);
+        if let SolveOutcome::Sat(model) = s.solve() {
+            for clause in &clauses {
+                let ok = clause.iter().any(|&l| {
+                    let val = model.value(vars[l.unsigned_abs() as usize - 1]);
+                    (l > 0) == val
+                });
+                prop_assert!(ok, "model violates clause {:?}", clause);
+            }
+        }
+    }
+}

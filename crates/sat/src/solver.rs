@@ -1,0 +1,747 @@
+//! The CDCL solver core.
+
+use std::fmt;
+
+/// A propositional variable, numbered from 0.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    #[inline]
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    #[inline]
+    pub fn neg(v: Var) -> Lit {
+        Lit(v.0 << 1 | 1)
+    }
+
+    /// The literal of `v` with the given polarity (`true` = positive).
+    #[inline]
+    pub fn with_polarity(v: Var, polarity: bool) -> Lit {
+        if polarity {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// True iff this is a negative literal.
+    #[inline]
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "¬{}", self.var())
+        } else {
+            write!(f, "{}", self.var())
+        }
+    }
+}
+
+/// A satisfying assignment.
+#[derive(Clone, Debug)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    /// The value assigned to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was not a variable of the solved instance.
+    pub fn value(&self, v: Var) -> bool {
+        self.values[v.index()]
+    }
+
+    /// True iff the literal is satisfied.
+    pub fn satisfies(&self, l: Lit) -> bool {
+        self.value(l.var()) != l.is_neg()
+    }
+}
+
+/// Outcome of [`Solver::solve`].
+#[derive(Clone, Debug)]
+pub enum SolveOutcome {
+    /// A satisfying assignment was found.
+    Sat(Model),
+    /// The instance is unsatisfiable.
+    Unsat,
+}
+
+impl SolveOutcome {
+    /// True iff satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveOutcome::Sat(_))
+    }
+
+    /// Extracts the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance was unsatisfiable.
+    pub fn expect_sat(self) -> Model {
+        match self {
+            SolveOutcome::Sat(m) => m,
+            SolveOutcome::Unsat => panic!("instance is unsatisfiable"),
+        }
+    }
+
+    /// Extracts the model if satisfiable.
+    pub fn model(self) -> Option<Model> {
+        match self {
+            SolveOutcome::Sat(m) => Some(m),
+            SolveOutcome::Unsat => None,
+        }
+    }
+}
+
+const UNASSIGNED: i8 = 0;
+const VTRUE: i8 = 1;
+const VFALSE: i8 = -1;
+
+type ClauseRef = u32;
+
+/// A CDCL SAT solver. See the crate docs for an example.
+pub struct Solver {
+    clauses: Vec<Vec<Lit>>,
+    /// For each literal, the clauses in which it is watched.
+    watches: Vec<Vec<ClauseRef>>,
+    /// Assignment: +1 true, −1 false, 0 unassigned (indexed by variable).
+    assign: Vec<i8>,
+    /// Saved phase for branching (phase saving).
+    phase: Vec<bool>,
+    /// Decision level per variable.
+    level: Vec<u32>,
+    /// Reason clause per variable (implied vars only).
+    reason: Vec<Option<ClauseRef>>,
+    /// Assignment trail.
+    trail: Vec<Lit>,
+    /// Trail indices where each decision level starts.
+    trail_lim: Vec<usize>,
+    /// Next trail position to propagate.
+    qhead: usize,
+    /// VSIDS activity per variable.
+    activity: Vec<f64>,
+    var_inc: f64,
+    /// Empty clause was added directly.
+    trivially_unsat: bool,
+    /// Statistics: conflicts seen.
+    conflicts: u64,
+    /// Statistics: decisions made.
+    decisions: u64,
+    /// Statistics: literals propagated.
+    propagations: u64,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl fmt::Debug for Solver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Solver")
+            .field("vars", &self.num_vars())
+            .field("clauses", &self.clauses.len())
+            .field("conflicts", &self.conflicts)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            trivially_unsat: false,
+            conflicts: 0,
+            decisions: 0,
+            propagations: 0,
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(UNASSIGNED);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Allocates `n` fresh variables.
+    pub fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses (original + learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Conflicts encountered so far.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Decisions made so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Literals propagated so far.
+    pub fn propagations(&self) -> u64 {
+        self.propagations
+    }
+
+    /// Sets the initial branching phase of a variable (the polarity tried
+    /// first). Useful for randomising solutions.
+    pub fn set_phase(&mut self, v: Var, polarity: bool) {
+        self.phase[v.index()] = polarity;
+    }
+
+    /// Adds a clause (an OR of literals). Duplicate literals are merged;
+    /// tautological clauses are dropped. Adding an empty clause makes the
+    /// instance trivially unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after solving has begun (clauses must be added at
+    /// decision level 0) with an inconsistent internal state, or if a
+    /// literal refers to an unallocated variable.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        debug_assert!(self.trail_lim.is_empty(), "add clauses before solving");
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        for l in &lits {
+            assert!(
+                (l.var().index()) < self.assign.len(),
+                "literal {l} refers to an unallocated variable"
+            );
+        }
+        lits.sort_by_key(|l| l.0);
+        lits.dedup();
+        // Tautology?
+        for w in lits.windows(2) {
+            if w[0].var() == w[1].var() {
+                return; // contains l and ¬l
+            }
+        }
+        // Remove literals already false at level 0 and drop clauses already
+        // true at level 0.
+        lits.retain(|&l| self.lit_value(l) != VFALSE || self.level[l.var().index()] != 0);
+        if lits.iter().any(|&l| self.lit_value(l) == VTRUE) {
+            return;
+        }
+        match lits.len() {
+            0 => self.trivially_unsat = true,
+            1 => {
+                if !self.enqueue(lits[0], None) {
+                    self.trivially_unsat = true;
+                }
+            }
+            _ => {
+                let cref = self.clauses.len() as ClauseRef;
+                self.watches[lits[0].index()].push(cref);
+                self.watches[lits[1].index()].push(cref);
+                self.clauses.push(lits);
+            }
+        }
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> i8 {
+        let v = self.assign[l.var().index()];
+        if l.is_neg() {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Pushes a literal onto the trail; returns false on conflict with the
+    /// current assignment.
+    fn enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) -> bool {
+        match self.lit_value(l) {
+            VTRUE => true,
+            VFALSE => false,
+            _ => {
+                let v = l.var().index();
+                self.assign[v] = if l.is_neg() { VFALSE } else { VTRUE };
+                self.level[v] = self.trail_lim.len() as u32;
+                self.reason[v] = reason;
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation. Returns a conflicting clause reference, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let l = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            let falsified = !l;
+            let mut i = 0;
+            // Take the watch list; rebuilt as we scan.
+            let mut watch_list = std::mem::take(&mut self.watches[falsified.index()]);
+            while i < watch_list.len() {
+                let cref = watch_list[i];
+                let first;
+                let mut new_watch = None;
+                {
+                    // Field-level borrows: mutate the clause while reading
+                    // the assignment.
+                    let assign = &self.assign;
+                    let value = |l: Lit| {
+                        let v = assign[l.var().index()];
+                        if l.is_neg() {
+                            -v
+                        } else {
+                            v
+                        }
+                    };
+                    let clause = &mut self.clauses[cref as usize];
+                    // Ensure the falsified literal is at position 1.
+                    if clause[0] == falsified {
+                        clause.swap(0, 1);
+                    }
+                    debug_assert_eq!(clause[1], falsified);
+                    first = clause[0];
+                    if value(first) == VTRUE {
+                        i += 1;
+                        continue; // clause already satisfied
+                    }
+                    // Look for a new literal to watch.
+                    for j in 2..clause.len() {
+                        if value(clause[j]) != VFALSE {
+                            clause.swap(1, j);
+                            new_watch = Some(clause[1]);
+                            break;
+                        }
+                    }
+                }
+                if let Some(w) = new_watch {
+                    self.watches[w.index()].push(cref);
+                    watch_list.swap_remove(i);
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if !self.enqueue(first, Some(cref)) {
+                    // Conflict: restore remaining watches and report.
+                    self.watches[falsified.index()].extend_from_slice(&watch_list);
+                    self.qhead = self.trail.len();
+                    return Some(cref);
+                }
+                i += 1;
+            }
+            self.watches[falsified.index()].extend_from_slice(&watch_list);
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in self.activity.iter_mut() {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis; returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for the UIP
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut confl = Some(confl);
+        let mut trail_idx = self.trail.len();
+        let current_level = self.trail_lim.len() as u32;
+
+        loop {
+            let cref = confl.expect("conflict analysis needs a reason clause");
+            // Borrow the clause literals by value to appease the borrow
+            // checker while bumping activities.
+            let clause = self.clauses[cref as usize].clone();
+            let start = if p.is_some() { 1 } else { 0 };
+            for &q in &clause[start..] {
+                let v = q.var();
+                if !seen[v.index()] && self.level[v.index()] > 0 {
+                    seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] == current_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next seen literal on the trail.
+            loop {
+                trail_idx -= 1;
+                if seen[self.trail[trail_idx].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[trail_idx];
+            seen[lit.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                p = Some(lit);
+                break;
+            }
+            confl = self.reason[lit.var().index()];
+            p = Some(lit);
+        }
+        learnt[0] = !p.unwrap();
+
+        // Compute backjump level: the second-highest level in the clause.
+        let backjump = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, backjump)
+    }
+
+    /// Undoes assignments above `level`.
+    fn backtrack(&mut self, level: u32) {
+        while self.trail_lim.len() as u32 > level {
+            let start = self.trail_lim.pop().unwrap();
+            for l in self.trail.drain(start..) {
+                let v = l.var().index();
+                self.phase[v] = !l.is_neg();
+                self.assign[v] = UNASSIGNED;
+                self.reason[v] = None;
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    /// Picks the unassigned variable with the highest activity.
+    fn pick_branch_var(&self) -> Option<Var> {
+        let mut best: Option<(usize, f64)> = None;
+        for v in 0..self.num_vars() {
+            if self.assign[v] == UNASSIGNED {
+                let a = self.activity[v];
+                match best {
+                    Some((_, ba)) if ba >= a => {}
+                    _ => best = Some((v, a)),
+                }
+            }
+        }
+        best.map(|(v, _)| Var(v as u32))
+    }
+
+    /// Solves the instance.
+    pub fn solve(&mut self) -> SolveOutcome {
+        if self.trivially_unsat {
+            return SolveOutcome::Unsat;
+        }
+        if self.propagate().is_some() {
+            return SolveOutcome::Unsat;
+        }
+        let mut restart_count = 0u64;
+        let mut conflicts_until_restart = luby(restart_count) * 64;
+        loop {
+            match self.propagate() {
+                Some(confl) => {
+                    self.conflicts += 1;
+                    if self.trail_lim.is_empty() {
+                        return SolveOutcome::Unsat;
+                    }
+                    let (learnt, backjump) = self.analyze(confl);
+                    self.backtrack(backjump);
+                    let asserting = learnt[0];
+                    if learnt.len() == 1 {
+                        let ok = self.enqueue(asserting, None);
+                        if !ok {
+                            return SolveOutcome::Unsat;
+                        }
+                    } else {
+                        let cref = self.clauses.len() as ClauseRef;
+                        self.watches[learnt[0].index()].push(cref);
+                        self.watches[learnt[1].index()].push(cref);
+                        self.clauses.push(learnt);
+                        let ok = self.enqueue(asserting, Some(cref));
+                        debug_assert!(ok);
+                    }
+                    self.var_inc /= 0.95;
+                    if conflicts_until_restart > 0 {
+                        conflicts_until_restart -= 1;
+                    }
+                }
+                None => {
+                    if conflicts_until_restart == 0 && !self.trail_lim.is_empty() {
+                        restart_count += 1;
+                        conflicts_until_restart = luby(restart_count) * 64;
+                        self.backtrack(0);
+                        continue;
+                    }
+                    match self.pick_branch_var() {
+                        None => {
+                            let values = self.assign.iter().map(|&a| a == VTRUE).collect();
+                            return SolveOutcome::Sat(Model { values });
+                        }
+                        Some(v) => {
+                            self.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            let lit = Lit::with_polarity(v, self.phase[v.index()]);
+                            let ok = self.enqueue(lit, None);
+                            debug_assert!(ok);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence 1,1,2,1,1,2,4,…
+fn luby(i: u64) -> u64 {
+    let mut k = 1u32;
+    loop {
+        if i + 1 == (1 << k) - 1 {
+            return 1 << (k - 1);
+        }
+        if i + 1 < (1 << k) - 1 {
+            return luby_at(i - ((1 << (k - 1)) - 1));
+        }
+        k += 1;
+    }
+}
+
+fn luby_at(i: u64) -> u64 {
+    luby(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &mut Solver, vars: &mut Vec<Var>, i: i32) -> Lit {
+        let idx = i.unsigned_abs() as usize;
+        while vars.len() < idx {
+            vars.push(s.new_var());
+        }
+        let v = vars[idx - 1];
+        if i > 0 {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    fn add(s: &mut Solver, vars: &mut Vec<Var>, clause: &[i32]) {
+        let lits: Vec<Lit> = clause.iter().map(|&i| lit(s, vars, i)).collect();
+        s.add_clause(lits);
+    }
+
+    #[test]
+    fn empty_instance_is_sat() {
+        let mut s = Solver::new();
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        s.add_clause([]);
+        assert!(!s.solve().is_sat());
+    }
+
+    #[test]
+    fn unit_clauses_propagate() {
+        let mut s = Solver::new();
+        let mut vars = Vec::new();
+        add(&mut s, &mut vars, &[1]);
+        add(&mut s, &mut vars, &[-1, 2]);
+        add(&mut s, &mut vars, &[-2, 3]);
+        let m = s.solve().expect_sat();
+        assert!(m.value(vars[0]) && m.value(vars[1]) && m.value(vars[2]));
+    }
+
+    #[test]
+    fn simple_unsat_chain() {
+        let mut s = Solver::new();
+        let mut vars = Vec::new();
+        add(&mut s, &mut vars, &[1, 2]);
+        add(&mut s, &mut vars, &[1, -2]);
+        add(&mut s, &mut vars, &[-1, 2]);
+        add(&mut s, &mut vars, &[-1, -2]);
+        assert!(!s.solve().is_sat());
+    }
+
+    #[test]
+    fn tautologies_are_ignored() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause([Lit::pos(v), Lit::neg(v)]);
+        assert_eq!(s.num_clauses(), 0);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        // Random-ish structured instance: 3-colouring of a 5-cycle.
+        let mut s = Solver::new();
+        let n = 5;
+        let vars: Vec<Vec<Var>> = (0..n).map(|_| s.new_vars(3)).collect();
+        for v in &vars {
+            s.add_clause(v.iter().map(|&x| Lit::pos(x)));
+            for i in 0..3 {
+                for j in i + 1..3 {
+                    s.add_clause([Lit::neg(v[i]), Lit::neg(v[j])]);
+                }
+            }
+        }
+        for u in 0..n {
+            let w = (u + 1) % n;
+            for c in 0..3 {
+                s.add_clause([Lit::neg(vars[u][c]), Lit::neg(vars[w][c])]);
+            }
+        }
+        let m = s.solve().expect_sat();
+        let colour = |u: usize| (0..3).find(|&c| m.value(vars[u][c])).unwrap();
+        for u in 0..n {
+            assert_ne!(colour(u), colour((u + 1) % n));
+        }
+    }
+
+    #[test]
+    fn two_colouring_odd_cycle_unsat() {
+        let mut s = Solver::new();
+        let n = 7;
+        let vars = s.new_vars(n);
+        for u in 0..n {
+            let w = (u + 1) % n;
+            s.add_clause([Lit::pos(vars[u]), Lit::pos(vars[w])]);
+            s.add_clause([Lit::neg(vars[u]), Lit::neg(vars[w])]);
+        }
+        assert!(!s.solve().is_sat());
+    }
+
+    #[test]
+    fn pigeonhole_4_into_3_unsat() {
+        // PHP(4,3): classic hard-ish UNSAT instance.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..4).map(|_| s.new_vars(3)).collect();
+        for pigeon in &p {
+            s.add_clause(pigeon.iter().map(|&v| Lit::pos(v)));
+        }
+        for hole in 0..3 {
+            for i in 0..4 {
+                for j in i + 1..4 {
+                    s.add_clause([Lit::neg(p[i][hole]), Lit::neg(p[j][hole])]);
+                }
+            }
+        }
+        assert!(!s.solve().is_sat());
+        assert!(s.conflicts() > 0);
+    }
+
+    #[test]
+    fn phase_steers_solutions() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        let w = s.new_var();
+        s.add_clause([Lit::pos(v), Lit::pos(w)]);
+        s.set_phase(v, true);
+        s.set_phase(w, false);
+        let m = s.solve().expect_sat();
+        assert!(m.value(v));
+    }
+
+    #[test]
+    fn luby_prefix() {
+        let got: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(got, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = Solver::new();
+        let mut vars = Vec::new();
+        add(&mut s, &mut vars, &[1, 2, 3]);
+        add(&mut s, &mut vars, &[-1, -2]);
+        add(&mut s, &mut vars, &[-1, -3]);
+        add(&mut s, &mut vars, &[-2, -3]);
+        let _ = s.solve();
+        assert!(s.decisions() + s.propagations() > 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Distributed symmetry breaking in the LOCAL model.
+//!
+//! This crate implements the problem-independent machinery the paper's
+//! upper bounds are built from:
+//!
+//! * [`cv3_cycle`] — Cole–Vishkin 3-colouring of directed cycles in
+//!   `O(log* n)` rounds (Cole & Vishkin 1986, used throughout §4).
+//! * [`linial_colour`] — Linial's iterated polynomial colour reduction on
+//!   arbitrary bounded-degree graphs, reducing `poly(n)` identifiers to
+//!   `O(Δ²)` colours in `O(log* n)` rounds (Linial 1992).
+//! * [`greedy_mis`] / [`mis_with_ids`] — maximal independent sets via the
+//!   colour-class sweep, giving the anchor sets `S_k` of §5 and §7.
+//! * [`mis_torus_power`] — MIS of a grid power `G^(k)` or `G^[k]` with the
+//!   simulation-slowdown round accounting of §8.
+//!
+//! ## Round accounting
+//!
+//! All algorithms here are *batched*: they compute the outcome of each
+//! synchronous phase centrally and charge an explicit
+//! [`Rounds`](lcl_local::Rounds) ledger (see DESIGN.md §3.5). The
+//! `n`-dependence of every ledger is genuinely `O(log* n)`; the remaining
+//! charges depend only on the maximum degree.
+
+mod colour;
+mod cv;
+mod mis;
+pub mod protocol_validation;
+
+pub use colour::{colour_delta_plus_one, kw_reduce, linial_colour, next_prime, ColourReduction};
+pub use cv::{cv3_cycle, CycleColouring, CyclePower};
+pub use mis::{greedy_mis, mis_torus_power, mis_with_ids, MisRun};
+
+#[cfg(test)]
+mod proptests;

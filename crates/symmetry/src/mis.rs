@@ -1,0 +1,176 @@
+//! Maximal independent sets from colourings — the anchor component `S_k`.
+//!
+//! Given a proper `c`-colouring, the greedy colour-class sweep computes an
+//! MIS in `c` additional rounds: in round `i`, every node of colour `i`
+//! joins the MIS unless a neighbour already joined. Combined with
+//! [`linial_colour`](crate::linial_colour) this gives a deterministic
+//! `O(Δ² + log* n)`-round MIS on any bounded-degree graph — in particular
+//! on grid powers `G^(k)`, which is exactly the problem-independent
+//! component `S_k` of the paper's normal form (§5, §7).
+
+use lcl_grid::{Graph, Metric, Power2, Torus2};
+use lcl_local::Rounds;
+
+/// An MIS computation result.
+#[derive(Clone, Debug)]
+pub struct MisRun {
+    /// Membership bitmap.
+    pub in_mis: Vec<bool>,
+    /// Round ledger, including the colouring that seeded the sweep.
+    pub rounds: Rounds,
+}
+
+/// The greedy colour-class sweep: returns the MIS bitmap and charges
+/// `palette` rounds to `rounds`.
+///
+/// # Panics
+///
+/// Panics if `colours` is not a proper colouring with values `< palette`.
+pub fn greedy_mis<G: Graph>(
+    graph: &G,
+    colours: &[u64],
+    palette: u64,
+    rounds: &mut Rounds,
+) -> Vec<bool> {
+    assert_eq!(colours.len(), graph.node_count());
+    assert!(colours.iter().all(|&c| c < palette));
+    let n = graph.node_count();
+    let mut in_mis = vec![false; n];
+    let mut blocked = vec![false; n];
+    // Bucket nodes by colour so the sweep is O(V + E) total.
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); palette as usize];
+    for v in 0..n {
+        buckets[colours[v] as usize].push(v as u32);
+    }
+    for bucket in &buckets {
+        for &v in bucket {
+            let v = v as usize;
+            if !blocked[v] {
+                in_mis[v] = true;
+                graph.for_each_neighbour(v, &mut |u| blocked[u] = true);
+            }
+        }
+    }
+    rounds.charge("greedy-mis-sweep", palette);
+    in_mis
+}
+
+/// Computes an MIS of `graph` from unique identifiers: Linial colour
+/// reduction, Kuhn–Wattenhofer reduction to `Δ+1` colours, then the
+/// greedy sweep. Rounds: `O(Δ log Δ + log* n)`, flat in `n` beyond the
+/// `log*` term.
+pub fn mis_with_ids<G: Graph>(graph: &G, ids: &[u64]) -> MisRun {
+    let reduction = crate::colour_delta_plus_one(graph, ids);
+    let mut rounds = reduction.rounds.clone();
+    let in_mis = greedy_mis(graph, &reduction.colours, reduction.palette, &mut rounds);
+    MisRun { in_mis, rounds }
+}
+
+/// Computes an MIS of the `metric`-power `G^k` of a torus — the anchor set
+/// `S_k` used by the speed-up theorem and the synthesis pipeline.
+///
+/// Round accounting: each round on the power graph costs `k` rounds of the
+/// underlying grid for [`Metric::L1`] and `2k` for [`Metric::Linf`]
+/// (an L∞ ball of radius `k` is contained in an L1 ball of radius `2k`),
+/// so the ledger of the inner computation is multiplied accordingly.
+pub fn mis_torus_power(torus: &Torus2, metric: Metric, k: usize, ids: &[u64]) -> MisRun {
+    let power = Power2::new(*torus, metric, k);
+    let inner = mis_with_ids(&power, ids);
+    let slowdown = match metric {
+        Metric::L1 => k as u64,
+        Metric::Linf => 2 * k as u64,
+    };
+    let mut rounds = Rounds::new();
+    rounds.charge(
+        &format!("power-simulation(k={k}, x{slowdown})"),
+        inner.rounds.total() * slowdown,
+    );
+    MisRun {
+        in_mis: inner.in_mis,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_grid::CycleGraph;
+    use lcl_local::IdAssignment;
+
+    fn assert_mis<G: Graph>(graph: &G, in_mis: &[bool]) {
+        for v in 0..graph.node_count() {
+            let mut has_mis_neighbour = false;
+            graph.for_each_neighbour(v, &mut |u| {
+                if in_mis[u] {
+                    has_mis_neighbour = true;
+                }
+                assert!(
+                    !(in_mis[v] && in_mis[u]),
+                    "adjacent MIS nodes {v} and {u}"
+                );
+            });
+            assert!(
+                in_mis[v] || has_mis_neighbour,
+                "node {v} neither in MIS nor dominated"
+            );
+        }
+    }
+
+    #[test]
+    fn mis_on_cycle() {
+        let g = CycleGraph::new(101);
+        let ids = IdAssignment::Shuffled { seed: 5 }.materialise(101);
+        let run = mis_with_ids(&g, &ids);
+        assert_mis(&g, &run.in_mis);
+    }
+
+    #[test]
+    fn mis_on_torus() {
+        let t = Torus2::square(12);
+        let ids = IdAssignment::Shuffled { seed: 6 }.materialise(144);
+        let run = mis_with_ids(&t, &ids);
+        assert_mis(&t, &run.in_mis);
+    }
+
+    #[test]
+    fn mis_on_torus_power_is_spaced_and_dominating() {
+        for k in 1..=3 {
+            let t = Torus2::square(16);
+            let ids = IdAssignment::Shuffled { seed: 7 }.materialise(256);
+            let run = mis_torus_power(&t, Metric::L1, k, &ids);
+            assert!(
+                t.is_maximal_independent(Metric::L1, k, &run.in_mis),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn mis_on_linf_power() {
+        let t = Torus2::square(20);
+        let ids = IdAssignment::Shuffled { seed: 8 }.materialise(400);
+        let run = mis_torus_power(&t, Metric::Linf, 2, &ids);
+        assert!(t.is_maximal_independent(Metric::Linf, 2, &run.in_mis));
+    }
+
+    #[test]
+    fn rounds_scale_with_slowdown() {
+        let t = Torus2::square(16);
+        let ids = IdAssignment::Shuffled { seed: 9 }.materialise(256);
+        let l1 = mis_torus_power(&t, Metric::L1, 2, &ids);
+        let power = Power2::new(t, Metric::L1, 2);
+        let inner = mis_with_ids(&power, &ids);
+        assert_eq!(l1.rounds.total(), inner.rounds.total() * 2);
+    }
+
+    #[test]
+    fn greedy_mis_respects_colour_order() {
+        // A path 0-1-2 coloured 0,1,2: node 0 joins first, blocking 1;
+        // node 2 then joins.
+        let g = lcl_grid::PathGraph::new(3);
+        let mut rounds = Rounds::new();
+        let mis = greedy_mis(&g, &[0, 1, 2], 3, &mut rounds);
+        assert_eq!(mis, vec![true, false, true]);
+        assert_eq!(rounds.total(), 3);
+    }
+}

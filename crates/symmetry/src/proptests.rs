@@ -1,0 +1,57 @@
+//! Property tests for the symmetry-breaking toolbox.
+
+use crate::{cv3_cycle, linial_colour, mis_torus_power, mis_with_ids};
+use lcl_grid::{CycleGraph, Graph, Metric, Torus2};
+use lcl_local::IdAssignment;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cv_always_proper(n in 3usize..200, seed in 0u64..1000) {
+        let c = CycleGraph::new(n);
+        let ids = IdAssignment::Shuffled { seed }.materialise(n);
+        let col = cv3_cycle(&c, &ids);
+        for v in 0..n {
+            prop_assert!(col.colours[v] < 3);
+            prop_assert_ne!(col.colours[v], col.colours[c.succ(v)]);
+        }
+    }
+
+    #[test]
+    fn linial_always_proper_on_torus(n in 4usize..14, seed in 0u64..1000) {
+        let t = Torus2::square(n);
+        let ids = IdAssignment::Shuffled { seed }.materialise(n * n);
+        let r = linial_colour(&t, &ids);
+        for v in 0..t.node_count() {
+            for u in t.neighbours_vec(v) {
+                prop_assert_ne!(r.colours[v], r.colours[u]);
+            }
+        }
+    }
+
+    #[test]
+    fn mis_always_maximal_independent(n in 4usize..14, seed in 0u64..1000) {
+        let t = Torus2::square(n);
+        let ids = IdAssignment::Shuffled { seed }.materialise(n * n);
+        let run = mis_with_ids(&t, &ids);
+        prop_assert!(t.is_maximal_independent(Metric::L1, 1, &run.in_mis));
+    }
+
+    #[test]
+    fn power_mis_always_maximal(n in 10usize..20, k in 1usize..4, seed in 0u64..100) {
+        let t = Torus2::square(n);
+        let ids = IdAssignment::Shuffled { seed }.materialise(n * n);
+        let run = mis_torus_power(&t, Metric::L1, k, &ids);
+        prop_assert!(t.is_maximal_independent(Metric::L1, k, &run.in_mis));
+    }
+
+    #[test]
+    fn sparse_ids_do_not_break_mis(n in 4usize..12, seed in 0u64..100) {
+        let t = Torus2::square(n);
+        let ids = IdAssignment::Sparse { seed, spread: 50 }.materialise(n * n);
+        let run = mis_with_ids(&t, &ids);
+        prop_assert!(t.is_maximal_independent(Metric::L1, 1, &run.in_mis));
+    }
+}

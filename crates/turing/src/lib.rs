@@ -1,0 +1,32 @@
+//! Deterministic Turing machines for the undecidability construction (§6).
+//!
+//! The LCL problem `L_M` of Theorem 3 embeds the *execution table* of a
+//! Turing machine `M`, started on an empty tape, into the labels of a
+//! toroidal grid: row `j` of the table encodes the tape before step `j`,
+//! and every 2×2 window must be consistent with `M`'s transition rules.
+//! This crate provides the machines themselves: a deterministic single-tape
+//! model on a semi-infinite tape (the head may never move left of cell 0,
+//! matching the geometry of the encoding, which grows north-east from an
+//! anchor), execution tables, and a small library of example machines.
+//!
+//! # Example
+//!
+//! ```
+//! use lcl_turing::{machines, RunOutcome};
+//! let m = machines::unary_counter(4);
+//! match m.run(1_000) {
+//!     RunOutcome::Halted(table) => assert_eq!(table.steps(), 5),
+//!     RunOutcome::OutOfFuel => panic!("should halt"),
+//!     RunOutcome::FellOffTape => panic!("stays on tape"),
+//! }
+//! ```
+
+mod machine;
+pub mod machines;
+mod table;
+
+pub use machine::{Move, RunOutcome, State, Sym, Transition, TuringMachine};
+pub use table::{ExecutionTable, TableRow};
+
+#[cfg(test)]
+mod proptests;

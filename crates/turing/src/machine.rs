@@ -1,0 +1,304 @@
+//! The deterministic single-tape Turing machine model.
+
+use crate::table::{ExecutionTable, TableRow};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A machine state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct State(pub u8);
+
+/// A tape symbol. Symbol 0 is always the blank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u8);
+
+impl Sym {
+    /// The blank symbol.
+    pub const BLANK: Sym = Sym(0);
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Sym::BLANK {
+            f.write_str("·")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// Head movement. The tape is semi-infinite to the right; a `Left` move at
+/// cell 0 is a run-time error ([`RunOutcome::FellOffTape`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Move {
+    /// One cell towards cell 0.
+    Left,
+    /// One cell away from cell 0.
+    Right,
+}
+
+/// One transition: on (state, read symbol) → write, move, next state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transition {
+    /// Symbol written before moving.
+    pub write: Sym,
+    /// Head movement.
+    pub mv: Move,
+    /// Next state.
+    pub next: State,
+}
+
+/// Outcome of running a machine with a step budget.
+#[derive(Clone, Debug)]
+pub enum RunOutcome {
+    /// The machine halted; the complete execution table is attached.
+    Halted(ExecutionTable),
+    /// The step budget was exhausted without halting.
+    OutOfFuel,
+    /// The head attempted to move left of cell 0.
+    FellOffTape,
+}
+
+impl RunOutcome {
+    /// Extracts the execution table of a halting run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine did not halt.
+    pub fn expect_halted(self) -> ExecutionTable {
+        match self {
+            RunOutcome::Halted(t) => t,
+            RunOutcome::OutOfFuel => panic!("machine ran out of fuel"),
+            RunOutcome::FellOffTape => panic!("machine fell off the tape"),
+        }
+    }
+
+    /// True iff the machine halted within the budget.
+    pub fn halted(&self) -> bool {
+        matches!(self, RunOutcome::Halted(_))
+    }
+}
+
+/// A deterministic single-tape Turing machine on a right-infinite tape.
+///
+/// States without an outgoing transition for the read symbol are *halting
+/// configurations*; states listed in `halting` are terminal regardless of
+/// the symbol. The machine always starts in `start` at cell 0 on an empty
+/// (all-blank) tape — exactly the setup of §6.
+#[derive(Clone, Debug)]
+pub struct TuringMachine {
+    name: String,
+    num_states: u8,
+    num_symbols: u8,
+    start: State,
+    halting: Vec<State>,
+    delta: BTreeMap<(State, Sym), Transition>,
+}
+
+impl TuringMachine {
+    /// Creates a machine skeleton with the given state/symbol counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if counts are zero or the start state is out of range.
+    pub fn new(name: &str, num_states: u8, num_symbols: u8, start: State) -> TuringMachine {
+        assert!(num_states > 0 && num_symbols > 0);
+        assert!(start.0 < num_states);
+        TuringMachine {
+            name: name.to_string(),
+            num_states,
+            num_symbols,
+            start,
+            halting: Vec::new(),
+            delta: BTreeMap::new(),
+        }
+    }
+
+    /// Human-readable machine name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> u8 {
+        self.num_states
+    }
+
+    /// Number of tape symbols (including the blank).
+    pub fn num_symbols(&self) -> u8 {
+        self.num_symbols
+    }
+
+    /// The start state.
+    pub fn start(&self) -> State {
+        self.start
+    }
+
+    /// Marks a state as halting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is out of range.
+    pub fn mark_halting(&mut self, s: State) {
+        assert!(s.0 < self.num_states);
+        if !self.halting.contains(&s) {
+            self.halting.push(s);
+        }
+    }
+
+    /// True iff `s` is a declared halting state.
+    pub fn is_halting(&self, s: State) -> bool {
+        self.halting.contains(&s)
+    }
+
+    /// Adds the transition `(state, read) → t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is out of range, if the state is halting,
+    /// or if the transition is already defined.
+    pub fn add_transition(&mut self, state: State, read: Sym, t: Transition) {
+        assert!(state.0 < self.num_states && t.next.0 < self.num_states);
+        assert!(read.0 < self.num_symbols && t.write.0 < self.num_symbols);
+        assert!(!self.is_halting(state), "halting states have no transitions");
+        let prev = self.delta.insert((state, read), t);
+        assert!(prev.is_none(), "duplicate transition for {state:?}/{read:?}");
+    }
+
+    /// Looks up the transition for (state, read), if any.
+    pub fn transition(&self, state: State, read: Sym) -> Option<Transition> {
+        if self.is_halting(state) {
+            None
+        } else {
+            self.delta.get(&(state, read)).copied()
+        }
+    }
+
+    /// All defined transitions.
+    pub fn transitions(&self) -> impl Iterator<Item = (State, Sym, Transition)> + '_ {
+        self.delta.iter().map(|(&(s, r), &t)| (s, r, t))
+    }
+
+    /// Runs the machine from the start configuration on an empty tape for
+    /// at most `fuel` steps, recording the execution table.
+    pub fn run(&self, fuel: usize) -> RunOutcome {
+        let mut tape: Vec<Sym> = vec![Sym::BLANK];
+        let mut head = 0usize;
+        let mut state = self.start;
+        let mut rows: Vec<TableRow> = vec![TableRow {
+            cells: tape.clone(),
+            head,
+            state,
+        }];
+        for _ in 0..fuel {
+            let read = tape[head];
+            let Some(t) = self.transition(state, read) else {
+                // Halting configuration reached.
+                return RunOutcome::Halted(ExecutionTable::new(rows));
+            };
+            tape[head] = t.write;
+            match t.mv {
+                Move::Left => {
+                    if head == 0 {
+                        return RunOutcome::FellOffTape;
+                    }
+                    head -= 1;
+                }
+                Move::Right => {
+                    head += 1;
+                    if head == tape.len() {
+                        tape.push(Sym::BLANK);
+                    }
+                }
+            }
+            state = t.next;
+            rows.push(TableRow {
+                cells: tape.clone(),
+                head,
+                state,
+            });
+            if self.transition(state, tape[head]).is_none() {
+                return RunOutcome::Halted(ExecutionTable::new(rows));
+            }
+        }
+        RunOutcome::OutOfFuel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A one-state machine that immediately halts (no transitions).
+    fn trivial() -> TuringMachine {
+        TuringMachine::new("trivial", 1, 1, State(0))
+    }
+
+    #[test]
+    fn trivial_machine_halts_in_zero_steps() {
+        let t = trivial().run(10).expect_halted();
+        assert_eq!(t.steps(), 0);
+        assert_eq!(t.rows().len(), 1);
+    }
+
+    #[test]
+    fn right_mover_runs_out_of_fuel() {
+        let mut m = TuringMachine::new("right", 1, 2, State(0));
+        m.add_transition(
+            State(0),
+            Sym::BLANK,
+            Transition {
+                write: Sym(1),
+                mv: Move::Right,
+                next: State(0),
+            },
+        );
+        assert!(matches!(m.run(100), RunOutcome::OutOfFuel));
+    }
+
+    #[test]
+    fn left_from_zero_falls_off() {
+        let mut m = TuringMachine::new("lefty", 1, 2, State(0));
+        m.add_transition(
+            State(0),
+            Sym::BLANK,
+            Transition {
+                write: Sym(1),
+                mv: Move::Left,
+                next: State(0),
+            },
+        );
+        assert!(matches!(m.run(10), RunOutcome::FellOffTape));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate transition")]
+    fn duplicate_transitions_rejected() {
+        let mut m = TuringMachine::new("dup", 1, 2, State(0));
+        let t = Transition {
+            write: Sym(1),
+            mv: Move::Right,
+            next: State(0),
+        };
+        m.add_transition(State(0), Sym::BLANK, t);
+        m.add_transition(State(0), Sym::BLANK, t);
+    }
+
+    #[test]
+    fn halting_state_ends_run_even_with_symbols() {
+        let mut m = TuringMachine::new("two-step", 2, 2, State(0));
+        m.add_transition(
+            State(0),
+            Sym::BLANK,
+            Transition {
+                write: Sym(1),
+                mv: Move::Right,
+                next: State(1),
+            },
+        );
+        m.mark_halting(State(1));
+        let t = m.run(10).expect_halted();
+        assert_eq!(t.steps(), 1);
+        assert_eq!(t.rows()[1].state, State(1));
+    }
+}

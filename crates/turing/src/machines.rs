@@ -1,0 +1,235 @@
+//! A library of example machines for the `L_M` experiments (§6).
+//!
+//! All machines run on a right-infinite tape and never move left of
+//! cell 0, matching the geometry of the execution-table embedding.
+
+use crate::machine::{Move, State, Sym, Transition, TuringMachine};
+
+/// A machine that writes `k` ones moving right, then halts. Halts after
+/// exactly `k + 1` steps with a table of width `k + 1`.
+///
+/// # Panics
+///
+/// Panics if `k > 120` (state space is `u8`-sized).
+pub fn unary_counter(k: u8) -> TuringMachine {
+    assert!(k <= 120);
+    let mut m = TuringMachine::new(&format!("unary-counter({k})"), k + 2, 2, State(0));
+    for i in 0..k {
+        m.add_transition(
+            State(i),
+            Sym::BLANK,
+            Transition {
+                write: Sym(1),
+                mv: Move::Right,
+                next: State(i + 1),
+            },
+        );
+    }
+    // Final step into the halting state.
+    m.add_transition(
+        State(k),
+        Sym::BLANK,
+        Transition {
+            write: Sym(1),
+            mv: Move::Right,
+            next: State(k + 1),
+        },
+    );
+    m.mark_halting(State(k + 1));
+    m
+}
+
+/// A machine whose head bounces `b` times between two walls `w` cells
+/// apart — its execution table contains both left- and right-moving head
+/// trajectories, exercising every signal direction of the `L_M` tile
+/// encoding. Halts after `Θ(w·b)` steps and never moves left of cell 0.
+///
+/// Tape symbols: 0 blank, 1 track, 2 right wall, 3 left wall.
+///
+/// # Panics
+///
+/// Panics if `w < 2`, or the state space (`w + 2b + 3`) exceeds `u8`.
+pub fn bouncer(w: u8, b: u8) -> TuringMachine {
+    assert!(w >= 2);
+    let num_states = w as usize + 2 * b as usize + 3;
+    assert!(num_states <= 255, "state space too large");
+    // State layout: 0 = init (write left wall); 1..w = lay track;
+    // then alternating sweep-left/sweep-right states; final halting state.
+    let lay = |i: u8| State(1 + i);
+    let sweep_l = |i: u8| State(w + 1 + 2 * i);
+    let sweep_r = |i: u8| State(w + 2 + 2 * i);
+    let halt = State(w + 2 * b + 2);
+    let mut m = TuringMachine::new(&format!("bouncer({w},{b})"), num_states as u8, 4, State(0));
+    // Init: write the left wall at cell 0, move right.
+    m.add_transition(
+        State(0),
+        Sym::BLANK,
+        Transition {
+            write: Sym(3),
+            mv: Move::Right,
+            next: lay(0),
+        },
+    );
+    // Lay w−1 track cells, then the right wall, and start sweeping left.
+    for i in 0..w - 1 {
+        m.add_transition(
+            lay(i),
+            Sym::BLANK,
+            Transition {
+                write: Sym(1),
+                mv: Move::Right,
+                next: lay(i + 1),
+            },
+        );
+    }
+    m.add_transition(
+        lay(w - 1),
+        Sym::BLANK,
+        Transition {
+            write: Sym(2),
+            mv: Move::Left,
+            next: if b == 0 { halt } else { sweep_l(0) },
+        },
+    );
+    for i in 0..b {
+        // Sweep left over track; bounce off the left wall.
+        m.add_transition(
+            sweep_l(i),
+            Sym(1),
+            Transition {
+                write: Sym(1),
+                mv: Move::Left,
+                next: sweep_l(i),
+            },
+        );
+        m.add_transition(
+            sweep_l(i),
+            Sym(3),
+            Transition {
+                write: Sym(3),
+                mv: Move::Right,
+                next: sweep_r(i),
+            },
+        );
+        // Sweep right over track; bounce off the right wall (or halt).
+        m.add_transition(
+            sweep_r(i),
+            Sym(1),
+            Transition {
+                write: Sym(1),
+                mv: Move::Right,
+                next: sweep_r(i),
+            },
+        );
+        m.add_transition(
+            sweep_r(i),
+            Sym(2),
+            Transition {
+                write: Sym(2),
+                mv: Move::Left,
+                next: if i + 1 == b { halt } else { sweep_l(i + 1) },
+            },
+        );
+    }
+    m.mark_halting(halt);
+    m
+}
+
+/// A machine that never halts: it walks right forever over blanks.
+pub fn loop_forever() -> TuringMachine {
+    let mut m = TuringMachine::new("loop-forever", 1, 2, State(0));
+    m.add_transition(
+        State(0),
+        Sym::BLANK,
+        Transition {
+            write: Sym(1),
+            mv: Move::Right,
+            next: State(0),
+        },
+    );
+    m
+}
+
+/// A machine that writes an alternating pattern for `k` steps and halts;
+/// distinct from [`unary_counter`] in that it uses two non-blank symbols,
+/// exercising wider tile alphabets in `L_M`.
+///
+/// # Panics
+///
+/// Panics if `k > 120`.
+pub fn striped_counter(k: u8) -> TuringMachine {
+    assert!(k <= 120);
+    let mut m = TuringMachine::new(&format!("striped-counter({k})"), k + 2, 3, State(0));
+    for i in 0..=k {
+        m.add_transition(
+            State(i),
+            Sym::BLANK,
+            Transition {
+                write: Sym(1 + (i % 2)),
+                mv: Move::Right,
+                next: State(i + 1),
+            },
+        );
+    }
+    m.mark_halting(State(k + 1));
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RunOutcome;
+
+    #[test]
+    fn unary_counter_halts_precisely() {
+        for k in [0u8, 1, 3, 7] {
+            let t = unary_counter(k).run(1_000).expect_halted();
+            assert_eq!(t.steps(), k as usize + 1);
+            assert_eq!(t.width(), k as usize + 2);
+        }
+    }
+
+    #[test]
+    fn unary_counter_writes_ones() {
+        let t = unary_counter(3).run(100).expect_halted();
+        let last = t.rows().last().unwrap();
+        assert_eq!(
+            last.cells.iter().filter(|&&s| s == Sym(1)).count(),
+            4,
+            "four ones written"
+        );
+    }
+
+    #[test]
+    fn loop_forever_never_halts() {
+        assert!(matches!(loop_forever().run(10_000), RunOutcome::OutOfFuel));
+    }
+
+    #[test]
+    fn bouncer_halts_and_moves_both_ways() {
+        let t = bouncer(4, 2).run(10_000).expect_halted();
+        // Head positions must both increase and decrease over time.
+        let heads: Vec<usize> = t.rows().iter().map(|r| r.head).collect();
+        assert!(heads.windows(2).any(|w| w[1] > w[0]));
+        assert!(heads.windows(2).any(|w| w[1] < w[0]));
+        assert!(t.steps() >= 4 * 2);
+    }
+
+    #[test]
+    fn bouncer_never_falls_off() {
+        for w in 2..6 {
+            for b in 0..4 {
+                assert!(bouncer(w, b).run(100_000).halted(), "w={w} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn striped_counter_alternates() {
+        let t = striped_counter(4).run(100).expect_halted();
+        let last = t.rows().last().unwrap();
+        assert_eq!(last.cells[0], Sym(1));
+        assert_eq!(last.cells[1], Sym(2));
+        assert_eq!(last.cells[2], Sym(1));
+    }
+}

@@ -1,0 +1,45 @@
+//! Property tests for the Turing machine substrate.
+
+use crate::{machines, Sym};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn unary_counter_table_shape(k in 0u8..50) {
+        let t = machines::unary_counter(k).run(10_000).expect_halted();
+        prop_assert_eq!(t.steps(), k as usize + 1);
+        prop_assert!(t.width() <= t.steps() + 1);
+        // Head column equals the row index (pure right-mover).
+        for (j, row) in t.rows().iter().enumerate() {
+            prop_assert_eq!(row.head, j);
+        }
+    }
+
+    #[test]
+    fn bouncer_tables_are_consistent(w in 2u8..10, b in 0u8..6) {
+        let t = machines::bouncer(w, b).run(100_000).expect_halted();
+        // Successive head positions differ by exactly 1.
+        for rows in t.rows().windows(2) {
+            let d = rows[0].head.abs_diff(rows[1].head);
+            prop_assert_eq!(d, 1);
+        }
+        // Cells not under the head never change between consecutive rows.
+        for rows in t.rows().windows(2) {
+            let width = rows[0].cells.len().max(rows[1].cells.len());
+            for c in 0..width {
+                if c != rows[0].head {
+                    let before = rows[0].cells.get(c).copied().unwrap_or(Sym::BLANK);
+                    let after = rows[1].cells.get(c).copied().unwrap_or(Sym::BLANK);
+                    prop_assert_eq!(before, after, "cell {} changed away from head", c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn striped_counter_is_deterministic(k in 0u8..40) {
+        let a = machines::striped_counter(k).run(10_000).expect_halted();
+        let b = machines::striped_counter(k).run(10_000).expect_halted();
+        prop_assert_eq!(a, b);
+    }
+}

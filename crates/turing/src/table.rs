@@ -1,0 +1,123 @@
+//! Execution tables: the space-time diagram embedded by `L_M` (§6).
+
+use crate::machine::{State, Sym};
+use std::fmt;
+
+/// One row of an execution table: the tape before step `j`, plus the head
+/// position and machine state at that time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableRow {
+    /// Tape contents (cell 0 first).
+    pub cells: Vec<Sym>,
+    /// Head position.
+    pub head: usize,
+    /// Machine state.
+    pub state: State,
+}
+
+/// The complete execution table `E(M)` of a halting run: row `j` encodes
+/// the configuration before step `j`; the last row is the halting
+/// configuration. §6 embeds this table into an `(s+1) × r` rectangle of
+/// grid labels with the anchor at the bottom-left corner.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecutionTable {
+    rows: Vec<TableRow>,
+    width: usize,
+}
+
+impl ExecutionTable {
+    /// Wraps raw rows, padding bookkeeping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty.
+    pub fn new(rows: Vec<TableRow>) -> ExecutionTable {
+        assert!(!rows.is_empty());
+        let width = rows.iter().map(|r| r.cells.len()).max().unwrap_or(1);
+        ExecutionTable { rows, width }
+    }
+
+    /// Number of steps `s` taken (rows − 1).
+    pub fn steps(&self) -> usize {
+        self.rows.len() - 1
+    }
+
+    /// All rows, first configuration first.
+    pub fn rows(&self) -> &[TableRow] {
+        &self.rows
+    }
+
+    /// Width `r` of the table: the number of tape cells ever touched.
+    /// Always `≤ steps + 1`.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height of the table (`steps + 1`).
+    pub fn height(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The symbol in column `col` before step `row`, blank-padded.
+    pub fn symbol(&self, row: usize, col: usize) -> Sym {
+        self.rows[row].cells.get(col).copied().unwrap_or(Sym::BLANK)
+    }
+
+    /// The machine state at `(row, col)` if the head is there.
+    pub fn head_state(&self, row: usize, col: usize) -> Option<State> {
+        let r = &self.rows[row];
+        (r.head == col).then_some(r.state)
+    }
+}
+
+impl fmt::Display for ExecutionTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Print top row last so time flows upward, like the grid embedding.
+        for (j, _row) in self.rows.iter().enumerate().rev() {
+            write!(f, "t={j:<3} ")?;
+            for col in 0..self.width {
+                let sym = self.symbol(j, col);
+                match self.head_state(j, col) {
+                    Some(s) => write!(f, "[{}q{}]", sym, s.0)?,
+                    None => write!(f, " {sym}  ")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+
+    #[test]
+    fn table_dimensions_bound() {
+        let t = machines::unary_counter(5).run(100).expect_halted();
+        assert!(t.width() <= t.steps() + 1, "r ≤ s + 1 (§6)");
+        assert_eq!(t.height(), t.steps() + 1);
+    }
+
+    #[test]
+    fn first_row_is_empty_tape() {
+        let t = machines::unary_counter(3).run(100).expect_halted();
+        let first = &t.rows()[0];
+        assert!(first.cells.iter().all(|&s| s == Sym::BLANK));
+        assert_eq!(first.head, 0);
+    }
+
+    #[test]
+    fn symbol_is_blank_padded() {
+        let t = machines::unary_counter(3).run(100).expect_halted();
+        assert_eq!(t.symbol(0, 100), Sym::BLANK);
+    }
+
+    #[test]
+    fn display_contains_head_marker() {
+        let t = machines::unary_counter(2).run(100).expect_halted();
+        let s = t.to_string();
+        assert!(s.contains('q'), "head state must be rendered: {s}");
+    }
+}

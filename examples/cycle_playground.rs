@@ -1,0 +1,47 @@
+//! Figure 2 live: classify cycle LCLs from their output neighbourhood
+//! graphs and run the synthesised optimal algorithms.
+//!
+//! ```sh
+//! cargo run --release --example cycle_playground
+//! ```
+
+use lcl_grids::core::cycles::{
+    classify, synthesize_cycle_algorithm, CycleClass, CycleLcl, NeighbourhoodGraph,
+};
+use lcl_grids::grid::CycleGraph;
+use lcl_grids::local::IdAssignment;
+
+fn show(name: &str, problem: &CycleLcl) {
+    let h = NeighbourhoodGraph::build(problem);
+    let class = classify(problem);
+    let desc = match &class {
+        CycleClass::Constant { label } => format!("O(1), constant label {label}"),
+        CycleClass::LogStar { state, flexibility } => format!(
+            "Θ(log* n), flexible state {:?} with flexibility {}",
+            h.state(*state),
+            flexibility
+        ),
+        CycleClass::Global => "Θ(n)".to_string(),
+    };
+    println!("{name:<22} |H| = {:<3} class: {desc}", h.len());
+
+    if let Some(algo) = synthesize_cycle_algorithm(problem) {
+        let n = 1000;
+        let cycle = CycleGraph::new(n);
+        let ids = IdAssignment::Shuffled { seed: 17 }.materialise(n);
+        let run = algo.run(&cycle, &ids);
+        assert!(problem.check(&cycle, &run.labels));
+        println!(
+            "{:<22} synthesised run on n = {n}: valid, {} rounds",
+            "", run.rounds.total()
+        );
+    }
+}
+
+fn main() {
+    println!("LCL problems on directed cycles (Figure 2):\n");
+    show("3-colouring", &CycleLcl::colouring(3));
+    show("maximal ind. set", &CycleLcl::mis());
+    show("2-colouring", &CycleLcl::colouring(2));
+    show("independent set", &CycleLcl::independent_set());
+}

@@ -1,0 +1,27 @@
+//! The Theorem 22 census: classifies all 32 `X`-orientation problems.
+//!
+//! ```sh
+//! cargo run --release --example orientation_census
+//! ```
+
+use lcl_grids::algorithms::orientations::{census, OrientationClass};
+
+fn main() {
+    println!("X-orientation classification (Theorem 22):");
+    println!("{:<12} {:>10} {:>14} {:>14}", "X", "predicted", "probe", "solvable n=5");
+    for row in census(1) {
+        let predicted = match row.predicted {
+            OrientationClass::Trivial => "Θ(1)",
+            OrientationClass::LogStar => "Θ(log* n)",
+            OrientationClass::Global => "global",
+        };
+        let probe = format!("{:?}", row.probe);
+        println!(
+            "{:<12} {:>10} {:>14} {:>14}",
+            row.x.to_string(),
+            predicted,
+            probe,
+            row.solvable_odd_5
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! The undecidability construction in action (§6): solve `L_M` for a
+//! halting machine (anchored execution tables, `O(log* n)`) and for a
+//! looping machine (global 3-colouring fallback).
+//!
+//! ```sh
+//! cargo run --release --example turing_tiles
+//! ```
+
+use lcl_grids::core::lm::{render_types, LmProblem, LmStrategy};
+use lcl_grids::local::IdAssignment;
+use lcl_grids::turing::machines;
+use lcl_grids::grid::Torus2;
+
+fn main() {
+    // A machine that halts after 3 steps.
+    let machine = machines::unary_counter(2);
+    println!("machine: {}", machine.name());
+    let table = machine.run(1_000).expect_halted();
+    println!("execution table ({} steps):\n{table}", table.steps());
+
+    let problem = LmProblem::new(machine);
+    let n = 36;
+    let torus = Torus2::square(n);
+    let ids = IdAssignment::Shuffled { seed: 99 }.materialise(n * n);
+    let sol = problem.solve(&torus, &ids, 1_000);
+    problem.check(&torus, &sol.labels).expect("valid labelling");
+    match sol.strategy {
+        LmStrategy::Anchored { steps } => {
+            println!("solved with anchored tables (machine halts in {steps} steps)")
+        }
+        LmStrategy::GlobalColouring => println!("solved with the global P1 fallback"),
+    }
+    println!("round ledger:\n{}", sol.rounds);
+    println!("tile types (anchors 'a', payload upper-case):");
+    println!("{}", render_types(&torus, &sol.labels));
+
+    // A machine that never halts: only the global branch remains.
+    let looper = LmProblem::new(machines::loop_forever());
+    let sol = looper.solve(&torus, &ids, 10_000);
+    looper.check(&torus, &sol.labels).expect("valid fallback");
+    assert_eq!(sol.strategy, LmStrategy::GlobalColouring);
+    println!("loop-forever machine: fell back to the global 3-colouring (Θ(n)).");
+}

@@ -1,0 +1,44 @@
+//! # lcl-grids
+//!
+//! A from-scratch Rust reproduction of *"LCL problems on grids"* (Brandt,
+//! Hirvonen, Korhonen, Lempiäinen, Östergård, Purcell, Rybicki, Suomela,
+//! Uznański — PODC 2017, arXiv:1702.05456).
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`grid`] — toroidal grid topologies, metrics, powers, Voronoi tilings.
+//! * [`local`] — the LOCAL model: identifiers, views, round accounting, and
+//!   a synchronous message-passing simulator.
+//! * [`sat`] — a CDCL SAT solver used by the synthesis pipeline.
+//! * [`symmetry`] — Cole–Vishkin, Linial colour reduction, and maximal
+//!   independent sets on grid powers (the problem-independent `S_k`).
+//! * [`turing`] — Turing machines for the undecidability construction.
+//! * [`core`] — the LCL formalism, cycle classification (§4), the speed-up
+//!   normal form (§5), algorithm synthesis (§7, App. A.1), and the
+//!   `L_M` construction (§6).
+//! * [`algorithms`] — concrete distributed algorithms: 4-colouring (§8),
+//!   (2d+1)-edge-colouring (§10), orientations (§11), corner coordination
+//!   (App. A.3).
+//! * [`lowerbounds`] — q-sum coordination (§9), row invariants for
+//!   3-colouring and {0,3,4}-orientations, parity impossibilities.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lcl_grids::core::problems;
+//! use lcl_grids::core::synthesis::{synthesize, SynthesisConfig};
+//!
+//! // Synthesise an optimal O(log* n) algorithm for 4-colouring (§7):
+//! let problem = problems::vertex_colouring(4);
+//! let algo = synthesize(&problem, &SynthesisConfig::for_k(3)).expect("k=3 succeeds");
+//! assert_eq!(algo.k(), 3);
+//! ```
+
+pub use lcl_algorithms as algorithms;
+pub use lcl_core as core;
+pub use lcl_grid as grid;
+pub use lcl_local as local;
+pub use lcl_lowerbounds as lowerbounds;
+pub use lcl_sat as sat;
+pub use lcl_symmetry as symmetry;
+pub use lcl_turing as turing;

@@ -1,0 +1,189 @@
+//! Cross-crate integration tests: full pipelines for the experiments of
+//! EXPERIMENTS.md (one test per experiment family).
+
+use lcl_grids::algorithms::edge_colouring::EdgeColouring;
+use lcl_grids::algorithms::four_colouring::FourColouring;
+use lcl_grids::algorithms::orientations::{census, OrientationClass};
+use lcl_grids::algorithms::Profile;
+use lcl_grids::core::classify::{probe, GridClass};
+use lcl_grids::core::cycles::{classify, CycleClass, CycleLcl};
+use lcl_grids::core::lm::{LmProblem, LmStrategy};
+use lcl_grids::core::speedup::{speedup, RowColeVishkin};
+use lcl_grids::core::synthesis::{enumerate_tiles, synthesize, SynthesisConfig, TileShape};
+use lcl_grids::core::{existence, problems};
+use lcl_grids::grid::Torus2;
+use lcl_grids::local::{GridInstance, IdAssignment};
+use lcl_grids::lowerbounds::three_col;
+use lcl_grids::turing::machines;
+
+/// E1: the Figure 2 classification.
+#[test]
+fn e1_cycle_classification() {
+    assert!(matches!(
+        classify(&CycleLcl::colouring(3)),
+        CycleClass::LogStar { .. }
+    ));
+    assert!(matches!(classify(&CycleLcl::mis()), CycleClass::LogStar { .. }));
+    assert_eq!(classify(&CycleLcl::colouring(2)), CycleClass::Global);
+    assert!(matches!(
+        classify(&CycleLcl::independent_set()),
+        CycleClass::Constant { .. }
+    ));
+}
+
+/// E2: §7 tile counts — 16 tiles at k=1 (3×2); 2079 at k=3 (7×5).
+#[test]
+fn e2_tile_calibration() {
+    assert_eq!(enumerate_tiles(1, TileShape::new(3, 2)).len(), 16);
+    assert_eq!(enumerate_tiles(3, TileShape::new(7, 5)).len(), 2079);
+}
+
+/// E3: 4-colouring synthesis — UNSAT at k ≤ 2, SAT at k = 3 with 7×5.
+#[test]
+fn e3_four_colouring_synthesis() {
+    let p = problems::vertex_colouring(4);
+    assert!(synthesize(&p, &SynthesisConfig::for_k(1)).is_none());
+    assert!(synthesize(&p, &SynthesisConfig::for_k(2)).is_none());
+    let algo = synthesize(&p, &SynthesisConfig::for_k(3)).expect("paper: k=3 works");
+    assert_eq!(algo.table_len(), 2079);
+    // End-to-end validity on instances of several sizes and id patterns.
+    for (n, seed) in [(16usize, 1u64), (21, 2), (33, 3)] {
+        let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed });
+        let run = algo.run(&inst);
+        assert!(p.check(&inst.torus(), &run.labels).is_ok(), "n={n}");
+    }
+}
+
+/// E4/E5: colouring thresholds via SAT existence.
+#[test]
+fn e4_e5_colouring_thresholds() {
+    // Vertex: 2 colours odd-unsolvable, 3 solvable-but-global, 4 local.
+    assert!(!existence::solvable(
+        &problems::vertex_colouring(2),
+        &Torus2::square(5)
+    ));
+    assert!(existence::solvable(
+        &problems::vertex_colouring(3),
+        &Torus2::square(5)
+    ));
+    // Edge: 4 colours odd-unsolvable (Theorem 21), 5 solvable.
+    assert!(!existence::solvable(
+        &problems::edge_colouring(4),
+        &Torus2::square(5)
+    ));
+    assert!(existence::solvable(
+        &problems::edge_colouring(5),
+        &Torus2::square(5)
+    ));
+}
+
+/// E6: the Theorem 22 orientation census at k = 1.
+#[test]
+fn e6_orientation_census() {
+    let rows = census(1);
+    assert_eq!(rows.len(), 32);
+    for row in &rows {
+        let expected = match row.predicted {
+            OrientationClass::Trivial => GridClass::Constant,
+            OrientationClass::LogStar => GridClass::LogStar,
+            OrientationClass::Global => GridClass::Global,
+        };
+        assert_eq!(row.probe, expected, "X = {}", row.x);
+    }
+    // Exactly 16 trivial (2 ∈ X), and the log* rows are the supersets of
+    // {0,1,3} and {1,3,4} without 2: {0,1,3}, {1,3,4}, {0,1,3,4}.
+    let trivial = rows
+        .iter()
+        .filter(|r| r.predicted == OrientationClass::Trivial)
+        .count();
+    let logstar = rows
+        .iter()
+        .filter(|r| r.predicted == OrientationClass::LogStar)
+        .count();
+    assert_eq!(trivial, 16);
+    assert_eq!(logstar, 3);
+}
+
+/// E7: the §8 4-colouring algorithm end to end.
+#[test]
+fn e7_four_colouring_algorithm() {
+    let algo = FourColouring::new(Profile::Practical);
+    let inst = GridInstance::new(40, &IdAssignment::Shuffled { seed: 40 });
+    let run = algo.solve(&inst);
+    assert!(problems::is_proper_vertex_colouring(
+        &inst.torus(),
+        &run.labels,
+        4
+    ));
+}
+
+/// E8: the §10 edge-colouring algorithm end to end.
+#[test]
+fn e8_edge_colouring_algorithm() {
+    let algo = EdgeColouring::new(Profile::Practical);
+    let inst = GridInstance::new(90, &IdAssignment::Shuffled { seed: 90 });
+    let run = algo.solve(&inst);
+    assert!(problems::is_proper_edge_colouring(
+        &inst.torus(),
+        &run.labels,
+        5
+    ));
+}
+
+/// E9: Lemma 12/14 invariants on SAT-sampled 3-colourings.
+#[test]
+fn e9_three_colouring_invariants() {
+    for (n, seed) in [(7usize, 1u64), (9, 2)] {
+        let torus = Torus2::square(n);
+        let labels =
+            existence::solve_seeded(&problems::vertex_colouring(3), &torus, seed).unwrap();
+        let s = three_col::s_invariant(&torus, &labels);
+        assert_eq!(s.rem_euclid(2), 1, "odd n={n} must give odd s");
+    }
+}
+
+/// E11: L_M solvable in the anchored (log*) regime iff the machine halts.
+#[test]
+fn e11_lm_pipeline() {
+    let halting = LmProblem::new(machines::unary_counter(1));
+    let torus = Torus2::square(28);
+    let ids = IdAssignment::Shuffled { seed: 6 }.materialise(28 * 28);
+    let sol = halting.solve(&torus, &ids, 1_000);
+    halting.check(&torus, &sol.labels).unwrap();
+    assert!(matches!(sol.strategy, LmStrategy::Anchored { .. }));
+
+    let looping = LmProblem::new(machines::loop_forever());
+    let sol = looping.solve(&torus, &ids, 1_000);
+    looping.check(&torus, &sol.labels).unwrap();
+    assert_eq!(sol.strategy, LmStrategy::GlobalColouring);
+}
+
+/// E12: the speed-up transformation preserves correctness.
+#[test]
+fn e12_normal_form() {
+    let inst = GridInstance::new(128, &IdAssignment::Shuffled { seed: 8 });
+    let run = speedup(&RowColeVishkin, &inst);
+    let torus = inst.torus();
+    for v in 0..torus.node_count() {
+        let p = torus.pos(v);
+        let e = torus.index(torus.step(p, lcl_grids::grid::Dir4::East));
+        assert!(run.labels[v] < 3);
+        assert_ne!(run.labels[v], run.labels[e]);
+    }
+}
+
+/// The classification front end ties everything together.
+#[test]
+fn classification_front_end() {
+    // O(1): independent set.
+    assert_eq!(probe(&problems::independent_set(), 1).0, GridClass::Constant);
+    // log*: MIS with pointers.
+    let (class, algo) = probe(&problems::mis_with_pointers(), 2);
+    assert_eq!(class, GridClass::LogStar);
+    let algo = algo.unwrap();
+    let inst = GridInstance::new(20, &IdAssignment::Shuffled { seed: 77 });
+    let run = algo.run(&inst);
+    assert!(problems::is_mis(&inst.torus(), &run.labels));
+    // global (as far as the probe can tell): 3-colouring.
+    assert_eq!(probe(&problems::vertex_colouring(3), 1).0, GridClass::Global);
+}
