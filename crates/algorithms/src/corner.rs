@@ -133,8 +133,7 @@ pub fn check(grid: &BoundaryGrid, forest: &PseudoForest) -> Result<(), String> {
             return Err(format!("paths meet at non-corner {v}"));
         }
         // Path endpoints must be corners.
-        let is_endpoint =
-            (out_deg[v] == 0 && in_deg[v] > 0) || (in_deg[v] == 0 && out_deg[v] > 0);
+        let is_endpoint = (out_deg[v] == 0 && in_deg[v] > 0) || (in_deg[v] == 0 && out_deg[v] > 0);
         if is_endpoint && !grid.is_corner(v) {
             return Err(format!("path endpoint {v} is not a corner"));
         }
@@ -222,7 +221,10 @@ mod tests {
         let grid = BoundaryGrid::new(5);
         // A path from (0,0) stopping in the middle of the south side.
         let forest = PseudoForest {
-            arcs: vec![(grid.index(0, 0), grid.index(1, 0)), (grid.index(1, 0), grid.index(2, 0))],
+            arcs: vec![
+                (grid.index(0, 0), grid.index(1, 0)),
+                (grid.index(1, 0), grid.index(2, 0)),
+            ],
         };
         let err = check(&grid, &forest).unwrap_err();
         assert!(err.contains("endpoint"));

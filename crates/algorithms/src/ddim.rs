@@ -84,7 +84,10 @@ impl EdgeColouringD {
 ///
 /// Panics if `n` is odd.
 pub fn edge_2d_colouring_even(torus: &TorusD) -> EdgeColouringD {
-    assert!(torus.side() % 2 == 0, "2d colours need even n (Theorem 21)");
+    assert!(
+        torus.side().is_multiple_of(2),
+        "2d colours need even n (Theorem 21)"
+    );
     let d = torus.dim();
     let mut colours = vec![0u16; torus.node_count() * d];
     for v in 0..torus.node_count() {
@@ -162,11 +165,7 @@ mod tests {
                 let p2 = torus2.pos(v);
                 let pd = PosD::new(vec![p2.x, p2.y]);
                 // Note: 4 colours fit in the k = 5 label space.
-                lcl_core::problems::edge_label_encode(
-                    col.colour(&pd, 0),
-                    col.colour(&pd, 1),
-                    5,
-                )
+                lcl_core::problems::edge_label_encode(col.colour(&pd, 0), col.colour(&pd, 1), 5)
             })
             .collect();
         assert!(lcl_core::problems::is_proper_edge_colouring(

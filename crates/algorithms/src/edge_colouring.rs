@@ -14,7 +14,7 @@
 //! the same algorithm with small constants, verifies Definition 18 post
 //! hoc, and escalates on failure.
 
-use crate::Profile;
+use crate::{AlgoError, Profile};
 use lcl_core::problems::edge_label_encode;
 use lcl_grid::{CycleGraph, Metric, Pos, Torus2};
 use lcl_local::{GridInstance, Rounds};
@@ -71,35 +71,67 @@ impl EdgeColouring {
         }
     }
 
+    /// The smallest square-torus side [`EdgeColouring::try_solve`] accepts
+    /// under this profile (each line must exceed the initial spacing).
+    pub fn min_side(&self) -> usize {
+        self.initial_params().1 + 1
+    }
+
     /// Runs the algorithm, escalating the spacing until Definition 18 is
     /// met.
     ///
     /// # Panics
     ///
-    /// Panics if no parameterisation up to `spacing = n` succeeds (cannot
-    /// happen for `n ≥ 4k + 4`: the paper constants are an upper bound).
+    /// Panics where [`EdgeColouring::try_solve`] would return an error.
     pub fn solve(&self, instance: &GridInstance) -> EdgeColouringRun {
+        self.try_solve(instance).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs the algorithm, reporting bad inputs and parameter exhaustion
+    /// as typed errors instead of panicking.
+    pub fn try_solve(&self, instance: &GridInstance) -> Result<EdgeColouringRun, AlgoError> {
         let (k, mut spacing) = self.initial_params();
         let n = instance.n();
-        assert!(n > 2 * spacing.min(n / 2), "torus too small");
+        if n < self.min_side() {
+            return Err(AlgoError::TorusTooSmall {
+                algorithm: "edge-colouring",
+                min_side: self.min_side(),
+                side: n,
+            });
+        }
         loop {
             if let Some(run) = self.attempt(instance, k, spacing) {
-                return run;
+                return Ok(run);
             }
             spacing += spacing / 2;
-            assert!(spacing <= n, "j,k-independent set construction kept failing");
+            if spacing > n {
+                // Cannot happen for n ≥ 4k + 4: the paper constants are an
+                // upper bound.
+                return Err(AlgoError::EscalationExhausted {
+                    algorithm: "edge-colouring",
+                    detail: format!(
+                        "j,k-independent set construction kept failing up to \
+                         spacing {spacing} > n = {n}"
+                    ),
+                });
+            }
         }
     }
 
-    fn attempt(&self, instance: &GridInstance, k: usize, spacing: usize) -> Option<EdgeColouringRun> {
+    fn attempt(
+        &self,
+        instance: &GridInstance,
+        k: usize,
+        spacing: usize,
+    ) -> Option<EdgeColouringRun> {
         let torus = instance.torus();
         let mut rounds = Rounds::new();
 
         // j,k-independent sets for both dimensions.
         let rows_set = jk_independent(instance, Dim::Rows, k, spacing, &mut rounds)?;
         let cols_set = jk_independent(instance, Dim::Cols, k, spacing, &mut rounds)?;
-        let measured_j = measure_j(&torus, &rows_set, Dim::Rows)
-            .max(measure_j(&torus, &cols_set, Dim::Cols));
+        let measured_j =
+            measure_j(&torus, &rows_set, Dim::Rows).max(measure_j(&torus, &cols_set, Dim::Cols));
 
         // Mark one cut edge per anchor, never adjacent to a marked edge.
         // Edge identity: (node, horizontal?) = edge from node to its east
@@ -107,8 +139,8 @@ impl EdgeColouring {
         let mut marked_h = vec![false; torus.node_count()];
         let mut marked_v = vec![false; torus.node_count()];
         for (dim, set) in [(Dim::Rows, &rows_set), (Dim::Cols, &cols_set)] {
-            for v in 0..torus.node_count() {
-                if !set[v] {
+            for (v, &in_set) in set.iter().enumerate() {
+                if !in_set {
                     continue;
                 }
                 let u = torus.pos(v);
@@ -350,17 +382,17 @@ fn mark_one_edge(
 fn touches_vertical(torus: &Torus2, base: Pos, marked_v: &[bool]) -> bool {
     // Horizontal edge endpoints: base and E(base). Vertical edges at an
     // endpoint p: (p, N) stored at p, and (S, p) stored at S(p).
-    [base, torus.offset(base, 1, 0)].into_iter().any(|p| {
-        marked_v[torus.index(p)] || marked_v[torus.index(torus.offset(p, 0, -1))]
-    })
+    [base, torus.offset(base, 1, 0)]
+        .into_iter()
+        .any(|p| marked_v[torus.index(p)] || marked_v[torus.index(torus.offset(p, 0, -1))])
 }
 
 /// True if the vertical edge at `base` shares an endpoint with a marked
 /// horizontal edge.
 fn touches_horizontal(torus: &Torus2, base: Pos, marked_h: &[bool]) -> bool {
-    [base, torus.offset(base, 0, 1)].into_iter().any(|p| {
-        marked_h[torus.index(p)] || marked_h[torus.index(torus.offset(p, -1, 0))]
-    })
+    [base, torus.offset(base, 0, 1)]
+        .into_iter()
+        .any(|p| marked_h[torus.index(p)] || marked_h[torus.index(torus.offset(p, -1, 0))])
 }
 
 /// Colours one dimension's edges: marked edges get colour 4; each piece
@@ -411,11 +443,9 @@ mod tests {
                 problems::is_proper_edge_colouring(&inst.torus(), &run.labels, 5),
                 "improper edge colouring at n={n}"
             );
-            assert!(
-                problems::edge_colouring(5)
-                    .check(&inst.torus(), &run.labels)
-                    .is_ok()
-            );
+            assert!(problems::edge_colouring(5)
+                .check(&inst.torus(), &run.labels)
+                .is_ok());
         }
     }
 

@@ -17,7 +17,7 @@
 //! The paper's `ℓ = 1 + 12d·16^d` guarantees step 2 never fails; the
 //! practical profile uses a small `ℓ` and escalates on failure.
 
-use crate::Profile;
+use crate::{AlgoError, Profile};
 use lcl_grid::{Metric, Pos, Torus2};
 use lcl_local::{GridInstance, Rounds};
 use lcl_symmetry::mis_torus_power;
@@ -60,26 +60,46 @@ impl FourColouring {
         }
     }
 
+    /// The smallest square-torus side [`FourColouring::try_solve`] accepts
+    /// under this profile (three initial spacings must fit).
+    pub fn min_side(&self) -> usize {
+        3 * self.initial_ell()
+    }
+
     /// Runs the algorithm.
     ///
     /// # Panics
     ///
-    /// Panics if every escalation of `ℓ` up to `n/6` fails (does not
-    /// happen: the greedy radius assignment always succeeds once `ℓ` is
-    /// large enough), or if the torus is smaller than `3ℓ`.
+    /// Panics where [`FourColouring::try_solve`] would return an error.
     pub fn solve(&self, instance: &GridInstance) -> FourColouringRun {
+        self.try_solve(instance).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs the algorithm, reporting bad inputs and parameter exhaustion
+    /// as typed errors instead of panicking.
+    pub fn try_solve(&self, instance: &GridInstance) -> Result<FourColouringRun, AlgoError> {
         let mut ell = self.initial_ell();
         let n = instance.n();
-        assert!(
-            n >= 3 * ell.min(n / 3 + 1),
-            "torus too small for the initial spacing"
-        );
+        if n < self.min_side() {
+            return Err(AlgoError::TorusTooSmall {
+                algorithm: "four-colouring",
+                min_side: self.min_side(),
+                side: n,
+            });
+        }
         loop {
             if let Some(run) = self.attempt(instance, ell) {
-                return run;
+                return Ok(run);
             }
             ell *= 2;
-            assert!(ell <= n, "radius assignment kept failing up to ℓ = n");
+            if ell > n {
+                // Does not happen in practice: the greedy radius
+                // assignment always succeeds once ℓ is large enough.
+                return Err(AlgoError::EscalationExhausted {
+                    algorithm: "four-colouring",
+                    detail: format!("radius assignment kept failing up to ℓ = {ell} > n = {n}"),
+                });
+            }
         }
     }
 
@@ -107,7 +127,7 @@ impl FourColouring {
             anchors
                 .iter()
                 .zip(&radii)
-                .any(|(&a, &r)| torus.linf(p, a) <= r - 1)
+                .any(|(&a, &r)| torus.linf(p, a) < r)
         }));
 
         // Step 3: border counting and parity classes.
@@ -149,8 +169,8 @@ fn assign_radii(torus: &Torus2, anchors: &[Pos], ell: usize) -> Option<Vec<usize
                 ] {
                     for e1 in [-1i64, 1] {
                         for e2 in [-1i64, 1] {
-                            let sep = torus
-                                .norm1d((ui + e1 * r as i64) - (wi + e2 * rw as i64), side);
+                            let sep =
+                                torus.norm1d((ui + e1 * r as i64) - (wi + e2 * rw as i64), side);
                             if sep < 2 {
                                 continue 'candidates;
                             }
@@ -250,11 +270,9 @@ mod tests {
                 problems::is_proper_vertex_colouring(&inst.torus(), &run.labels, 4),
                 "improper colouring at n={n}"
             );
-            assert!(
-                problems::vertex_colouring(4)
-                    .check(&inst.torus(), &run.labels)
-                    .is_ok()
-            );
+            assert!(problems::vertex_colouring(4)
+                .check(&inst.torus(), &run.labels)
+                .is_ok());
         }
     }
 
@@ -317,10 +335,8 @@ mod tests {
                     ] {
                         for e1 in [-1i64, 1] {
                             for e2 in [-1i64, 1] {
-                                let sep = torus.norm1d(
-                                    (ui + e1 * ru as i64) - (wi + e2 * rw as i64),
-                                    side,
-                                );
+                                let sep = torus
+                                    .norm1d((ui + e1 * ru as i64) - (wi + e2 * rw as i64), side);
                                 assert!(sep >= 2, "bounding lines too close");
                             }
                         }

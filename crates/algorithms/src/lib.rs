@@ -26,6 +26,8 @@ pub mod edge_colouring;
 pub mod four_colouring;
 pub mod orientations;
 
+use std::fmt;
+
 /// Parameter profile for the §8/§10 constructions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Profile {
@@ -35,3 +37,49 @@ pub enum Profile {
     /// Small constants with post-hoc verification and escalation.
     Practical,
 }
+
+/// Typed failure of a hand-built algorithm run.
+///
+/// The `try_solve` entry points return these instead of panicking, so that
+/// the engine layer in the umbrella crate can fall back to another solver
+/// (DESIGN.md §3.4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AlgoError {
+    /// The instance is smaller than the construction's minimum side.
+    TorusTooSmall {
+        /// Which algorithm rejected the instance.
+        algorithm: &'static str,
+        /// The smallest supported square-torus side.
+        min_side: usize,
+        /// The instance's actual side.
+        side: usize,
+    },
+    /// Every escalation of the profile parameters failed before reaching
+    /// the instance size.
+    EscalationExhausted {
+        /// Which algorithm gave up.
+        algorithm: &'static str,
+        /// Human-readable description of the last parameterisation tried.
+        detail: String,
+    },
+}
+
+impl fmt::Display for AlgoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgoError::TorusTooSmall {
+                algorithm,
+                min_side,
+                side,
+            } => write!(
+                f,
+                "{algorithm}: torus side {side} is below the minimum {min_side}"
+            ),
+            AlgoError::EscalationExhausted { algorithm, detail } => {
+                write!(f, "{algorithm}: escalation exhausted ({detail})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlgoError {}

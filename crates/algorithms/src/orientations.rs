@@ -44,6 +44,20 @@ pub struct OrientationRow {
     pub algorithm: Option<SynthesizedAlgorithm>,
 }
 
+impl OrientationClass {
+    /// True iff a classification-probe verdict matches this predicted
+    /// class (`Trivial`↔`Constant`, `LogStar`↔`LogStar`,
+    /// `Global`↔`Global`).
+    pub fn agrees_with(self, probe: &GridClass) -> bool {
+        matches!(
+            (self, probe),
+            (OrientationClass::Trivial, GridClass::Constant)
+                | (OrientationClass::LogStar, GridClass::LogStar)
+                | (OrientationClass::Global, GridClass::Global)
+        )
+    }
+}
+
 /// Theorem 22's statement for a single `X`.
 pub fn predicted_class(x: XSet) -> OrientationClass {
     if x.contains(2) {

@@ -1,23 +1,37 @@
-//! One Criterion group per experiment of EXPERIMENTS.md (E1–E14).
+//! One Criterion group per experiment family (DESIGN.md §4, E1–E14).
 //!
 //! These benches measure the wall-clock cost of regenerating each paper
 //! artefact; the *round* measurements (the quantities the paper is about)
-//! are printed by the `reproduce` binary.
+//! are printed by the `reproduce` binary. All grid-LCL solving goes
+//! through the unified [`Engine`] API so that the performance trajectory
+//! tracks the entry point production callers use.
+//!
+//! Requires the `criterion-benches` feature and a vendored `criterion`
+//! crate (not available in offline builds; see crates/bench/Cargo.toml).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lcl_algorithms::edge_colouring::EdgeColouring;
-use lcl_algorithms::four_colouring::FourColouring;
-use lcl_algorithms::orientations::census;
-use lcl_algorithms::{corner, Profile};
 use lcl_core::cycles::{classify, synthesize_cycle_algorithm, CycleLcl};
 use lcl_core::lm::LmProblem;
+use lcl_core::problems;
+use lcl_core::problems::XSet;
 use lcl_core::speedup::{speedup, RowColeVishkin};
 use lcl_core::synthesis::{enumerate_tiles, synthesize, SynthesisConfig, TileShape};
-use lcl_core::{existence, problems};
 use lcl_grid::{CycleGraph, Torus2};
+use lcl_grids::algorithms::corner;
+use lcl_grids::engine::{Engine, ProblemSpec, Registry};
 use lcl_local::{GridInstance, IdAssignment};
 use lcl_lowerbounds::{orientation_034, qsum, three_col};
 use lcl_turing::machines;
+use std::sync::Arc;
+
+fn engine(registry: &Arc<Registry>, spec: ProblemSpec, max_k: usize) -> Engine {
+    Engine::builder()
+        .problem(spec)
+        .max_synthesis_k(max_k)
+        .registry(Arc::clone(registry))
+        .build()
+        .unwrap()
+}
 
 fn bench_e1_cycles(c: &mut Criterion) {
     let mut g = c.benchmark_group("e1_cycle_classifier");
@@ -72,13 +86,17 @@ fn bench_e3_synthesis(c: &mut Criterion) {
 fn bench_e4_e5_existence(c: &mut Criterion) {
     let mut g = c.benchmark_group("e4_e5_existence");
     g.sample_size(10);
+    let registry = Arc::new(Registry::new());
+    let three = engine(&registry, ProblemSpec::vertex_colouring(3), 1);
     for n in [6usize, 8, 10] {
-        g.bench_with_input(BenchmarkId::new("3col_sat", n), &n, |b, &n| {
-            b.iter(|| existence::solve(&problems::vertex_colouring(3), &Torus2::square(n)))
+        let inst = GridInstance::new(n, &IdAssignment::Sequential);
+        g.bench_with_input(BenchmarkId::new("3col_sat_engine", n), &n, |b, _| {
+            b.iter(|| three.solve(&inst).unwrap())
         });
     }
+    let edge4 = engine(&registry, ProblemSpec::edge_colouring(4), 1);
     g.bench_function("edge4_unsat_n5", |b| {
-        b.iter(|| existence::solvable(&problems::edge_colouring(4), &Torus2::square(5)))
+        b.iter(|| edge4.solvable(&Torus2::square(5)).unwrap())
     });
     g.finish();
 }
@@ -86,28 +104,32 @@ fn bench_e4_e5_existence(c: &mut Criterion) {
 fn bench_e6_orientations(c: &mut Criterion) {
     let mut g = c.benchmark_group("e6_orientation_census");
     g.sample_size(10);
-    g.bench_function("census32_k1", |b| b.iter(|| census(1)));
+    g.bench_function("census32_k1_engine", |b| {
+        b.iter(|| {
+            // Fresh registry per iteration: measures the un-memoised cost.
+            let registry = Arc::new(Registry::new());
+            for x in XSet::all() {
+                let e = engine(&registry, ProblemSpec::orientation(x), 1);
+                e.classify().unwrap();
+            }
+        })
+    });
     g.finish();
 }
 
 fn bench_e7_four_colouring(c: &mut Criterion) {
     let mut g = c.benchmark_group("e7_four_colouring");
     g.sample_size(10);
-    // Synthesised (the practical log* algorithm).
-    let p = problems::vertex_colouring(4);
-    let synth = synthesize(&p, &SynthesisConfig::for_k(3)).unwrap();
-    for n in [32usize, 64, 128] {
+    let registry = Arc::new(Registry::new());
+    let e = engine(&registry, ProblemSpec::vertex_colouring(4), 3);
+    // n = 16 dispatches to the synthesised tiles (warm the memo first);
+    // larger sizes dispatch to §8 ball carving.
+    let warm = GridInstance::new(16, &IdAssignment::Shuffled { seed: 3 });
+    e.solve(&warm).unwrap();
+    for n in [16usize, 32, 64, 128] {
         let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed: 3 });
-        g.bench_with_input(BenchmarkId::new("synthesised", n), &n, |b, _| {
-            b.iter(|| synth.run(&inst))
-        });
-    }
-    // §8 ball-carving algorithm.
-    let algo = FourColouring::new(Profile::Practical);
-    for n in [48usize, 96] {
-        let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed: 3 });
-        g.bench_with_input(BenchmarkId::new("ball_carving", n), &n, |b, _| {
-            b.iter(|| algo.solve(&inst))
+        g.bench_with_input(BenchmarkId::new("engine_solve", n), &n, |b, _| {
+            b.iter(|| e.solve(&inst).unwrap())
         });
     }
     g.finish();
@@ -116,11 +138,12 @@ fn bench_e7_four_colouring(c: &mut Criterion) {
 fn bench_e8_edge_colouring(c: &mut Criterion) {
     let mut g = c.benchmark_group("e8_edge_colouring");
     g.sample_size(10);
-    let algo = EdgeColouring::new(Profile::Practical);
+    let registry = Arc::new(Registry::new());
+    let e = engine(&registry, ProblemSpec::edge_colouring(5), 1);
     for n in [80usize, 120] {
         let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed: 4 });
-        g.bench_with_input(BenchmarkId::new("five_colour", n), &n, |b, _| {
-            b.iter(|| algo.solve(&inst))
+        g.bench_with_input(BenchmarkId::new("engine_solve", n), &n, |b, _| {
+            b.iter(|| e.solve(&inst).unwrap())
         });
     }
     g.finish();
@@ -129,8 +152,17 @@ fn bench_e8_edge_colouring(c: &mut Criterion) {
 fn bench_e9_three_col_invariant(c: &mut Criterion) {
     let mut g = c.benchmark_group("e9_three_col_invariant");
     g.sample_size(10);
-    let torus = Torus2::square(9);
-    let labels = existence::solve_seeded(&problems::vertex_colouring(3), &torus, 1).unwrap();
+    let registry = Arc::new(Registry::new());
+    let e = Engine::builder()
+        .problem(ProblemSpec::vertex_colouring(3))
+        .max_synthesis_k(1)
+        .seed(1)
+        .registry(registry)
+        .build()
+        .unwrap();
+    let inst = GridInstance::new(9, &IdAssignment::Sequential);
+    let labels = e.solve(&inst).unwrap().labels;
+    let torus = inst.torus();
     g.bench_function("s_invariant_n9", |b| {
         b.iter(|| three_col::s_invariant(&torus, &labels))
     });
@@ -140,9 +172,17 @@ fn bench_e9_three_col_invariant(c: &mut Criterion) {
 fn bench_e10_orientation_invariant(c: &mut Criterion) {
     let mut g = c.benchmark_group("e10_orientation_034");
     g.sample_size(10);
-    let torus = Torus2::square(6);
-    let x = problems::XSet::from_degrees(&[0, 3, 4]);
-    let labels = existence::solve_seeded(&problems::orientation(x), &torus, 1).unwrap();
+    let registry = Arc::new(Registry::new());
+    let e = Engine::builder()
+        .problem(ProblemSpec::orientation(XSet::from_degrees(&[0, 3, 4])))
+        .max_synthesis_k(1)
+        .seed(1)
+        .registry(registry)
+        .build()
+        .unwrap();
+    let inst = GridInstance::new(6, &IdAssignment::Sequential);
+    let labels = e.solve(&inst).unwrap().labels;
+    let torus = inst.torus();
     g.bench_function("row_invariant_n6", |b| {
         b.iter(|| orientation_034::invariant(&torus, &labels))
     });
@@ -181,13 +221,12 @@ fn bench_e12_normal_form(c: &mut Criterion) {
 fn bench_e13_corner(c: &mut Criterion) {
     let mut g = c.benchmark_group("e13_corner_coordination");
     g.sample_size(10);
+    let registry = Arc::new(Registry::new());
+    let e = engine(&registry, ProblemSpec::corner_coordination(), 1);
     for m in [16usize, 64] {
         let grid = corner::BoundaryGrid::new(m);
-        g.bench_with_input(BenchmarkId::new("solve_and_check", m), &m, |b, _| {
-            b.iter(|| {
-                let sol = corner::solve_boundary_paths(&grid);
-                corner::check(&grid, &sol).unwrap();
-            })
+        g.bench_with_input(BenchmarkId::new("engine_solve_boundary", m), &m, |b, _| {
+            b.iter(|| e.solve_boundary(&grid).unwrap())
         });
         g.bench_with_input(BenchmarkId::new("visibility_radius", m), &m, |b, _| {
             b.iter(|| corner::corner_visibility_radius(&grid))
@@ -210,6 +249,24 @@ fn bench_e14_qsum(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_engine_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_batch");
+    g.sample_size(10);
+    let registry = Arc::new(Registry::new());
+    let e = engine(
+        &registry,
+        ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4])),
+        1,
+    );
+    let batch: Vec<GridInstance> = (0..16)
+        .map(|seed| GridInstance::new(24, &IdAssignment::Shuffled { seed }))
+        .collect();
+    // Warm the synthesis memo so the bench measures the batch path.
+    e.solve(&batch[0]).unwrap();
+    g.bench_function("solve_batch_16x_24", |b| b.iter(|| e.solve_batch(&batch)));
+    g.finish();
+}
+
 criterion_group!(
     experiments,
     bench_e1_cycles,
@@ -225,5 +282,6 @@ criterion_group!(
     bench_e12_normal_form,
     bench_e13_corner,
     bench_e14_qsum,
+    bench_engine_batch,
 );
 criterion_main!(experiments);

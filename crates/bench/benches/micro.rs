@@ -1,5 +1,8 @@
 //! Micro-benchmarks for the substrates: SAT solver, symmetry breaking,
 //! and the LOCAL simulator.
+//!
+//! Requires the `criterion-benches` feature and a vendored `criterion`
+//! crate (not available in offline builds; see crates/bench/Cargo.toml).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lcl_grid::{CycleGraph, Graph, Metric, Torus2};

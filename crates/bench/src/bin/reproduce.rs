@@ -1,30 +1,48 @@
-//! Regenerates every experiment table of EXPERIMENTS.md and prints
+//! Regenerates every experiment table (DESIGN.md §4) and prints
 //! paper-claim vs. measured values.
+//!
+//! All grid-LCL solving and classification goes through the unified
+//! [`Engine`] API; the remaining experiments exercise the domain layers
+//! the engine is built from (cycles, the speed-up transformation, `L_M`,
+//! invariants).
 //!
 //! ```sh
 //! cargo run --release -p lcl-bench --bin reproduce
 //! ```
 
-use lcl_algorithms::edge_colouring::EdgeColouring;
-use lcl_algorithms::four_colouring::FourColouring;
-use lcl_algorithms::orientations::{census, OrientationClass};
-use lcl_algorithms::{corner, Profile};
-use lcl_core::cycles::{classify, synthesize_cycle_algorithm, CycleClass, CycleLcl};
-use lcl_core::lm::{LmProblem, LmStrategy};
-use lcl_core::speedup::{choose_k, speedup, RowColeVishkin};
-use lcl_core::synthesis::{enumerate_tiles, synthesize, SynthesisConfig, TileShape};
-use lcl_core::{existence, problems};
-use lcl_grid::{CycleGraph, Torus2};
-use lcl_local::{log_star, GridInstance, IdAssignment};
-use lcl_lowerbounds::{orientation_034, qsum, three_col};
-use lcl_turing::machines;
+use lcl_grids::algorithms::corner;
+use lcl_grids::algorithms::orientations::{predicted_class, OrientationClass};
+use lcl_grids::core::cycles::{classify, synthesize_cycle_algorithm, CycleClass, CycleLcl};
+use lcl_grids::core::lm::{LmProblem, LmStrategy};
+use lcl_grids::core::problems::XSet;
+use lcl_grids::core::speedup::{choose_k, speedup, RowColeVishkin};
+use lcl_grids::core::synthesis::{enumerate_tiles, synthesize, SynthesisConfig, TileShape};
+use lcl_grids::engine::{decode_forest, Engine, ProblemSpec, Registry};
+use lcl_grids::grid::{CycleGraph, Torus2};
+use lcl_grids::local::{log_star, GridInstance, IdAssignment};
+use lcl_grids::lowerbounds::{orientation_034, qsum, three_col};
+use lcl_grids::turing::machines;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn header(id: &str, what: &str) {
     println!("\n=== {id}: {what} ===");
 }
 
+fn engine(registry: &Arc<Registry>, spec: ProblemSpec, max_k: usize) -> Engine {
+    Engine::builder()
+        .problem(spec)
+        .max_synthesis_k(max_k)
+        .registry(Arc::clone(registry))
+        .build()
+        .expect("experiment problems all have solver plans")
+}
+
 fn main() {
+    // One registry for the whole run: synthesis is memoised across every
+    // engine built below.
+    let registry = Arc::new(Registry::new());
+
     header("E1", "cycle classification (Figure 2)");
     for (name, p) in [
         ("3-colouring", CycleLcl::colouring(3)),
@@ -56,10 +74,16 @@ fn main() {
     let t1 = enumerate_tiles(1, TileShape::new(3, 2)).len();
     let t3 = enumerate_tiles(3, TileShape::new(7, 5)).len();
     println!("  k=1, 3×2: {t1} tiles (paper: 16)");
-    println!("  k=3, 7×5: {t3} tiles (paper: 2079)   [{:?}]", t0.elapsed());
+    println!(
+        "  k=3, 7×5: {t3} tiles (paper: 2079)   [{:?}]",
+        t0.elapsed()
+    );
 
-    header("E3", "4-colouring synthesis (§7: fails k≤2, succeeds k=3 'in seconds')");
-    let p4 = problems::vertex_colouring(4);
+    header(
+        "E3",
+        "4-colouring synthesis (§7: fails k≤2, succeeds k=3 'in seconds')",
+    );
+    let p4 = lcl_grids::core::problems::vertex_colouring(4);
     for k in 1..=3usize {
         let t0 = Instant::now();
         let r = synthesize(&p4, &SynthesisConfig::for_k(k));
@@ -70,81 +94,90 @@ fn main() {
         );
     }
 
-    header("E4/E5", "colouring thresholds (§1.3)");
-    for (name, p) in [
-        ("vertex 2-colouring", problems::vertex_colouring(2)),
-        ("vertex 3-colouring", problems::vertex_colouring(3)),
-        ("edge 4-colouring", problems::edge_colouring(4)),
-        ("edge 5-colouring", problems::edge_colouring(5)),
+    header("E4/E5", "colouring thresholds (§1.3), via Engine::solvable");
+    for (spec, max_k) in [
+        (ProblemSpec::vertex_colouring(2), 1),
+        (ProblemSpec::vertex_colouring(3), 1),
+        (ProblemSpec::edge_colouring(4), 1),
+        (ProblemSpec::edge_colouring(5), 1),
     ] {
-        let even = existence::solvable(&p, &Torus2::square(6));
-        let odd = existence::solvable(&p, &Torus2::square(5));
-        println!("  {name:<20} solvable n=6: {even:<5}  n=5: {odd}");
+        let e = engine(&registry, spec, max_k);
+        let even = e.solvable(&Torus2::square(6)).unwrap();
+        let odd = e.solvable(&Torus2::square(5)).unwrap();
+        println!(
+            "  {:<20} solvable n=6: {even:<5}  n=5: {odd}",
+            e.problem().name()
+        );
     }
 
-    header("E6", "X-orientation census (Theorem 22)");
+    header(
+        "E6",
+        "X-orientation census (Theorem 22), via Engine::classify",
+    );
     let mut agree = 0;
-    for row in census(1) {
-        let class = match row.predicted {
+    for x in XSet::all() {
+        let e = engine(&registry, ProblemSpec::orientation(x), 1);
+        let predicted = predicted_class(x);
+        let class = e.classify().unwrap();
+        let solvable_odd_5 = e.solvable(&Torus2::square(5)).unwrap();
+        agree += predicted.agrees_with(&class) as usize;
+        let shown = match predicted {
             OrientationClass::Trivial => "Θ(1)    ",
             OrientationClass::LogStar => "Θ(log*) ",
             OrientationClass::Global => "global  ",
         };
         println!(
-            "  X={:<12} {class} solvable(n=5)={}",
-            row.x.to_string(),
-            row.solvable_odd_5
+            "  X={:<12} {shown} solvable(n=5)={solvable_odd_5}",
+            x.to_string()
         );
-        agree += 1;
     }
-    println!("  {agree}/32 rows classified; probe agreed with Theorem 22 on all");
+    println!("  32/32 rows classified; engine agreed with Theorem 22 on {agree}");
 
-    header("E7", "4-colouring runs (§8 + synthesised)");
-    let synth4 = synthesize(&p4, &SynthesisConfig::for_k(3)).unwrap();
-    for n in [32usize, 64, 128] {
+    header(
+        "E7",
+        "4-colouring through the engine (registry picks §8 or §7)",
+    );
+    let e4 = engine(&registry, ProblemSpec::vertex_colouring(4), 3);
+    for n in [16usize, 32, 64, 128] {
         let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed: 3 });
-        let run = synth4.run(&inst);
-        assert!(p4.check(&inst.torus(), &run.labels).is_ok());
+        let lab = e4.solve(&inst).unwrap();
         println!(
-            "  synthesised n={n:>4} (log* n² = {}): {} rounds",
+            "  n={n:>4} (log* n² = {}): `{}`, {} rounds, details {:?}",
             log_star((n * n) as u64),
-            run.rounds.total()
-        );
-    }
-    let fc = FourColouring::new(Profile::Practical);
-    for n in [48usize, 96] {
-        let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed: 3 });
-        let run = fc.solve(&inst);
-        assert!(problems::is_proper_vertex_colouring(&inst.torus(), &run.labels, 4));
-        println!(
-            "  ball-carving n={n:>4}: ℓ={}, {} anchors, {} rounds",
-            run.ell,
-            run.anchors,
-            run.rounds.total()
+            lab.report.solver,
+            lab.report.rounds.total(),
+            lab.report.details
         );
     }
 
-    header("E8", "5-edge-colouring runs (§10)");
-    let ec = EdgeColouring::new(Profile::Practical);
+    header("E8", "5-edge-colouring through the engine (§10)");
+    let e5 = engine(&registry, ProblemSpec::edge_colouring(5), 1);
     for n in [80usize, 120] {
         let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed: 4 });
-        let run = ec.solve(&inst);
-        assert!(problems::is_proper_edge_colouring(&inst.torus(), &run.labels, 5));
+        let lab = e5.solve(&inst).unwrap();
         println!(
-            "  n={n:>4}: k={}, spacing={}, measured j={}, {} rounds",
-            run.k,
-            run.spacing,
-            run.measured_j,
-            run.rounds.total()
+            "  n={n:>4}: `{}`, {} rounds, details {:?}",
+            lab.report.solver,
+            lab.report.rounds.total(),
+            lab.report.details
         );
     }
 
-    header("E9", "3-colouring row invariants (Lemmas 12–14)");
+    header(
+        "E9",
+        "3-colouring row invariants (Lemmas 12–14), SAT-sampled via seeds",
+    );
     for (n, seed) in [(7usize, 1u64), (8, 2), (9, 3)] {
-        let torus = Torus2::square(n);
-        let labels =
-            existence::solve_seeded(&problems::vertex_colouring(3), &torus, seed).unwrap();
-        let s = three_col::s_invariant(&torus, &labels);
+        let e = Engine::builder()
+            .problem(ProblemSpec::vertex_colouring(3))
+            .max_synthesis_k(1)
+            .seed(seed)
+            .registry(Arc::clone(&registry))
+            .build()
+            .unwrap();
+        let inst = GridInstance::new(n, &IdAssignment::Sequential);
+        let lab = e.solve(&inst).unwrap();
+        let s = three_col::s_invariant(&inst.torus(), &lab.labels);
         println!(
             "  n={n}: s(G) = {s:>3} (parity {} — paper: ≡ n mod 2)",
             s.rem_euclid(2)
@@ -152,15 +185,22 @@ fn main() {
     }
 
     header("E10", "{0,3,4}-orientation invariant (Theorem 25)");
-    let x034 = problems::XSet::from_degrees(&[0, 3, 4]);
+    let x034 = XSet::from_degrees(&[0, 3, 4]);
     for (n, seed) in [(5usize, 0u64), (6, 1), (7, 2)] {
-        match existence::solve_seeded(&problems::orientation(x034), &Torus2::square(n), seed) {
-            Some(labels) => {
-                let torus = Torus2::square(n);
-                let r = orientation_034::invariant(&torus, &labels);
+        let e = Engine::builder()
+            .problem(ProblemSpec::orientation(x034))
+            .max_synthesis_k(1)
+            .seed(seed)
+            .registry(Arc::clone(&registry))
+            .build()
+            .unwrap();
+        let inst = GridInstance::new(n, &IdAssignment::Sequential);
+        match e.solve(&inst) {
+            Ok(lab) => {
+                let r = orientation_034::invariant(&inst.torus(), &lab.labels);
                 println!("  n={n}: r(G) = {r} (constant across all rows)");
             }
-            None => println!("  n={n}: unsolvable"),
+            Err(err) => println!("  n={n}: {err}"),
         }
     }
 
@@ -173,7 +213,7 @@ fn main() {
         let steps = machine.run(fuel);
         let problem = LmProblem::new(machine);
         let n = match &steps {
-            lcl_turing::RunOutcome::Halted(t) => (4 * (t.steps() + 1) + 4).max(12),
+            lcl_grids::turing::RunOutcome::Halted(t) => (4 * (t.steps() + 1) + 4).max(12),
             _ => 16,
         };
         let torus = Torus2::square(n);
@@ -184,27 +224,38 @@ fn main() {
             LmStrategy::Anchored { steps } => format!("anchored (s={steps}, Θ(log* n))"),
             LmStrategy::GlobalColouring => "P1 fallback (Θ(n))".to_string(),
         };
-        println!("  {name:<18} n={n:>3}: {strat}, {} rounds", sol.rounds.total());
+        println!(
+            "  {name:<18} n={n:>3}: {strat}, {} rounds",
+            sol.rounds.total()
+        );
     }
 
     header("E12", "speed-up normal form (Theorem 2)");
-    println!("  inner: row Cole–Vishkin, k = {}", choose_k(&RowColeVishkin));
+    println!(
+        "  inner: row Cole–Vishkin, k = {}",
+        choose_k(&RowColeVishkin)
+    );
     for n in [128usize, 256] {
         let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed: 6 });
         let run = speedup(&RowColeVishkin, &inst);
         println!("  n={n:>4}: {} rounds (k = {})", run.rounds.total(), run.k);
     }
 
-    header("E13", "corner coordination (Appendix A.3, Θ(√n))");
+    header(
+        "E13",
+        "corner coordination (Appendix A.3, Θ(√n)), via Engine::solve_boundary",
+    );
+    let corner_engine = engine(&registry, ProblemSpec::corner_coordination(), 1);
     for m in [9usize, 16, 25, 36] {
         let grid = corner::BoundaryGrid::new(m);
-        let sol = corner::solve_boundary_paths(&grid);
-        corner::check(&grid, &sol).unwrap();
+        let lab = corner_engine.solve_boundary(&grid).unwrap();
+        corner::check(&grid, &decode_forest(&grid, &lab.labels)).unwrap();
         println!(
-            "  m={m:>3} (n={:>5}): corner visibility radius = {} (≈ √n = {})",
+            "  m={m:>3} (n={:>5}): corner visibility radius = {} (≈ √n = {}), {} rounds",
             m * m,
             corner::corner_visibility_radius(&grid),
-            m
+            m,
+            lab.report.rounds.total()
         );
     }
 
@@ -217,5 +268,9 @@ fn main() {
         assert!(q.check(&cycle, &labels));
         println!("  n={n:>6}: solved globally in {rounds} rounds (= n)");
     }
-    println!("\nAll experiments regenerated successfully.");
+
+    println!(
+        "\nAll experiments regenerated successfully ({} synthesis outcomes memoised).",
+        registry.cached_syntheses()
+    );
 }

@@ -1,3 +1,4 @@
 //! Benchmark harness crate: see `benches/` for per-experiment Criterion
-//! benches and `src/bin/reproduce.rs` for the table generator that
-//! regenerates every experiment of EXPERIMENTS.md.
+//! benches (feature-gated behind `criterion-benches`) and
+//! `src/bin/reproduce.rs` for the table generator that regenerates every
+//! experiment family of DESIGN.md §4 through the unified `Engine` API.

@@ -87,7 +87,7 @@ impl CycleLcl {
     /// Maximal independent set (labels: 1 = in, 0 = out).
     pub fn mis() -> CycleLcl {
         CycleLcl::from_predicate(2, 1, |w| {
-            let independent = !(w[0] == 1 && w[1] == 1) && !(w[1] == 1 && w[2] == 1);
+            let independent = !(w[1] == 1 && (w[0] == 1 || w[2] == 1));
             let dominated = w[1] == 1 || w[0] == 1 || w[2] == 1;
             independent && dominated
         })
@@ -96,9 +96,7 @@ impl CycleLcl {
     /// Independent set, not necessarily maximal (Figure 2's `O(1)`
     /// example).
     pub fn independent_set() -> CycleLcl {
-        CycleLcl::from_predicate(2, 1, |w| {
-            !(w[0] == 1 && w[1] == 1) && !(w[1] == 1 && w[2] == 1)
-        })
+        CycleLcl::from_predicate(2, 1, |w| !(w[1] == 1 && (w[0] == 1 || w[2] == 1)))
     }
 
     /// Alphabet size.
@@ -145,19 +143,17 @@ impl NeighbourhoodGraph {
         let mut index: HashMap<Vec<Label>, usize> = HashMap::new();
         let mut states: Vec<Vec<Label>> = Vec::new();
         let mut edges: Vec<Vec<usize>> = Vec::new();
-        let mut intern = |w: &[Label],
-                          states: &mut Vec<Vec<Label>>,
-                          edges: &mut Vec<Vec<usize>>|
-         -> usize {
-            if let Some(&i) = index.get(w) {
-                return i;
-            }
-            let i = states.len();
-            index.insert(w.to_vec(), i);
-            states.push(w.to_vec());
-            edges.push(Vec::new());
-            i
-        };
+        let mut intern =
+            |w: &[Label], states: &mut Vec<Vec<Label>>, edges: &mut Vec<Vec<usize>>| -> usize {
+                if let Some(&i) = index.get(w) {
+                    return i;
+                }
+                let i = states.len();
+                index.insert(w.to_vec(), i);
+                states.push(w.to_vec());
+                edges.push(Vec::new());
+                i
+            };
         for w in &problem.allowed {
             let u = intern(&w[..2 * r], &mut states, &mut edges);
             let v = intern(&w[1..], &mut states, &mut edges);
@@ -197,7 +193,7 @@ impl NeighbourhoodGraph {
         let mut achievable = vec![false; max_len + 1];
         let mut reach = vec![false; self.len()];
         reach[u] = true;
-        for len in 1..=max_len {
+        for achievable_len in achievable.iter_mut().skip(1) {
             let mut next = vec![false; self.len()];
             for (v, &r) in reach.iter().enumerate() {
                 if r {
@@ -207,7 +203,7 @@ impl NeighbourhoodGraph {
                 }
             }
             reach = next;
-            achievable[len] = reach[u];
+            *achievable_len = reach[u];
             if !reach.iter().any(|&b| b) {
                 break;
             }
@@ -432,7 +428,7 @@ impl CycleAlgorithm {
             let b = anchors[(i + 1) % anchors.len()];
             let d = (b + n - a) % n;
             assert!(
-                d >= self.k + 1 && d <= 2 * self.k + 1,
+                d > self.k && d <= 2 * self.k + 1,
                 "MIS of C^(k) spaces anchors in [k+1, 2k+1], got {d}"
             );
             let walk = &self.circuits[d - (self.k + 1)];
@@ -478,7 +474,10 @@ mod tests {
         // set is {3, 5, 6, 7, …}.
         let s00 = (0..h.len()).find(|&u| h.state(u) == [0, 0]).unwrap();
         assert_eq!(h.flexibility(s00), Some(5));
-        assert!(h.circuit(s00, 4).is_none(), "length 4 is not achievable at 00");
+        assert!(
+            h.circuit(s00, 4).is_none(),
+            "length 4 is not achievable at 00"
+        );
         assert!(h.circuit(s00, 3).is_some());
         assert!(h.circuit(s00, 7).is_some());
     }

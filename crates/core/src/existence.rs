@@ -18,6 +18,9 @@ use lcl_grid::{Dir4, Torus2};
 use lcl_local::SplitMix64;
 use lcl_sat::{exactly_one, Lit, Model, SolveOutcome, Solver, Var};
 
+/// A closure reading a labelling back out of a SAT model.
+type DecodeFn = Box<dyn Fn(&Model) -> Vec<Label>>;
+
 /// Solves the problem on the given torus, returning a valid labelling if
 /// one exists.
 pub fn solve(problem: &GridProblem, torus: &Torus2) -> Option<Vec<Label>> {
@@ -46,7 +49,7 @@ fn solve_with_phases(
     seed: Option<u64>,
 ) -> Option<Vec<Label>> {
     let mut solver = Solver::new();
-    let decode: Box<dyn Fn(&Model) -> Vec<Label>> = match problem {
+    let decode: DecodeFn = match problem {
         GridProblem::VertexColouring { k } => encode_vertex(&mut solver, torus, *k),
         GridProblem::EdgeColouring { k } => encode_edge(&mut solver, torus, *k),
         GridProblem::Orientation { x } => encode_orientation(&mut solver, torus, *x),
@@ -69,15 +72,11 @@ fn solve_with_phases(
     }
 }
 
-fn encode_vertex(
-    solver: &mut Solver,
-    torus: &Torus2,
-    k: u16,
-) -> Box<dyn Fn(&Model) -> Vec<Label>> {
+fn encode_vertex(solver: &mut Solver, torus: &Torus2, k: u16) -> DecodeFn {
     let n = torus.node_count();
     let vars: Vec<Vec<Var>> = (0..n).map(|_| solver.new_vars(k as usize)).collect();
-    for v in 0..n {
-        let lits: Vec<Lit> = vars[v].iter().map(|&x| Lit::pos(x)).collect();
+    for vc in &vars {
+        let lits: Vec<Lit> = vc.iter().map(|&x| Lit::pos(x)).collect();
         exactly_one(solver, &lits);
     }
     for v in 0..n {
@@ -87,8 +86,8 @@ fn encode_vertex(
             if u == v {
                 continue;
             }
-            for c in 0..k as usize {
-                solver.add_clause([Lit::neg(vars[v][c]), Lit::neg(vars[u][c])]);
+            for (&mine, &theirs) in vars[v].iter().zip(&vars[u]) {
+                solver.add_clause([Lit::neg(mine), Lit::neg(theirs)]);
             }
         }
     }
@@ -103,11 +102,7 @@ fn encode_vertex(
     })
 }
 
-fn encode_edge(
-    solver: &mut Solver,
-    torus: &Torus2,
-    k: u16,
-) -> Box<dyn Fn(&Model) -> Vec<Label>> {
+fn encode_edge(solver: &mut Solver, torus: &Torus2, k: u16) -> DecodeFn {
     let n = torus.node_count();
     let east: Vec<Vec<Var>> = (0..n).map(|_| solver.new_vars(k as usize)).collect();
     let north: Vec<Vec<Var>> = (0..n).map(|_| solver.new_vars(k as usize)).collect();
@@ -130,8 +125,8 @@ fn encode_edge(
                     // twice; skip the vacuous inequality.
                     continue;
                 }
-                for c in 0..k as usize {
-                    solver.add_clause([Lit::neg(groups[i][c]), Lit::neg(groups[j][c])]);
+                for (&mine, &theirs) in groups[i].iter().zip(groups[j]) {
+                    solver.add_clause([Lit::neg(mine), Lit::neg(theirs)]);
                 }
             }
         }
@@ -147,11 +142,7 @@ fn encode_edge(
     })
 }
 
-fn encode_orientation(
-    solver: &mut Solver,
-    torus: &Torus2,
-    x: crate::problems::XSet,
-) -> Box<dyn Fn(&Model) -> Vec<Label>> {
+fn encode_orientation(solver: &mut Solver, torus: &Torus2, x: crate::problems::XSet) -> DecodeFn {
     let n = torus.node_count();
     // One boolean per owned edge: true = "points away from the owner".
     let east: Vec<Var> = solver.new_vars(n);
@@ -184,18 +175,12 @@ fn encode_orientation(
     }
     Box::new(move |model| {
         (0..n)
-            .map(|v| {
-                (model.value(east[v]) as u16) | ((model.value(north[v]) as u16) << 1)
-            })
+            .map(|v| (model.value(east[v]) as u16) | ((model.value(north[v]) as u16) << 1))
             .collect()
     })
 }
 
-fn encode_block(
-    solver: &mut Solver,
-    torus: &Torus2,
-    lcl: &crate::lcl::BlockLcl,
-) -> Box<dyn Fn(&Model) -> Vec<Label>> {
+fn encode_block(solver: &mut Solver, torus: &Torus2, lcl: &crate::lcl::BlockLcl) -> DecodeFn {
     let a = lcl.alphabet();
     assert!(
         a <= 16,
@@ -203,8 +188,8 @@ fn encode_block(
     );
     let n = torus.node_count();
     let vars: Vec<Vec<Var>> = (0..n).map(|_| solver.new_vars(a as usize)).collect();
-    for v in 0..n {
-        let lits: Vec<Lit> = vars[v].iter().map(|&x| Lit::pos(x)).collect();
+    for vc in &vars {
+        let lits: Vec<Lit> = vc.iter().map(|&x| Lit::pos(x)).collect();
         exactly_one(solver, &lits);
     }
     for v in 0..n {

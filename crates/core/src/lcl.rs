@@ -206,11 +206,7 @@ impl GridProblem {
         let [sw, se, nw, ne] = block;
         match self {
             GridProblem::VertexColouring { k } => {
-                block.iter().all(|&l| l < *k)
-                    && sw != se
-                    && nw != ne
-                    && sw != nw
-                    && se != ne
+                block.iter().all(|&l| l < *k) && sw != se && nw != ne && sw != nw && se != ne
             }
             GridProblem::EdgeColouring { k } => {
                 if !block.iter().all(|&l| l < k * k) {

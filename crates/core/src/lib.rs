@@ -38,5 +38,5 @@ pub mod synthesis;
 pub use lcl::{BlockLcl, GridProblem, Label, Violation};
 pub use problems::XSet;
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests;

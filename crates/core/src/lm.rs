@@ -242,10 +242,34 @@ impl LmProblem {
 
     /// Per-cell signal legality: emissions need a matching transition.
     fn check_payload_signals(&self, pl: &Payload) -> Result<(), String> {
-        let out_w = matches!(pl.sig_w, Some(Sig { dir: SigDir::Left, .. }));
-        let out_e = matches!(pl.sig_e, Some(Sig { dir: SigDir::Right, .. }));
-        let inc_w = matches!(pl.sig_w, Some(Sig { dir: SigDir::Right, .. }));
-        let inc_e = matches!(pl.sig_e, Some(Sig { dir: SigDir::Left, .. }));
+        let out_w = matches!(
+            pl.sig_w,
+            Some(Sig {
+                dir: SigDir::Left,
+                ..
+            })
+        );
+        let out_e = matches!(
+            pl.sig_e,
+            Some(Sig {
+                dir: SigDir::Right,
+                ..
+            })
+        );
+        let inc_w = matches!(
+            pl.sig_w,
+            Some(Sig {
+                dir: SigDir::Right,
+                ..
+            })
+        );
+        let inc_e = matches!(
+            pl.sig_e,
+            Some(Sig {
+                dir: SigDir::Left,
+                ..
+            })
+        );
         match pl.content {
             Content::Head(q, s) => {
                 if inc_w || inc_e {
@@ -259,7 +283,12 @@ impl LmProblem {
                     }
                     Some(t) => match t.mv {
                         Move::Right => {
-                            if pl.sig_e != Some(Sig { state: t.next, dir: SigDir::Right }) {
+                            if pl.sig_e
+                                != Some(Sig {
+                                    state: t.next,
+                                    dir: SigDir::Right,
+                                })
+                            {
                                 return Err("right-moving head must emit east".into());
                             }
                             if pl.sig_w.is_some() {
@@ -267,7 +296,12 @@ impl LmProblem {
                             }
                         }
                         Move::Left => {
-                            if pl.sig_w != Some(Sig { state: t.next, dir: SigDir::Left }) {
+                            if pl.sig_w
+                                != Some(Sig {
+                                    state: t.next,
+                                    dir: SigDir::Left,
+                                })
+                            {
                                 return Err("left-moving head must emit west".into());
                             }
                             if pl.sig_e.is_some() {
@@ -301,8 +335,16 @@ impl LmProblem {
                 return Err("P1 and P2 mixed".into());
             }
             (
-                LmLabel::P2 { q: qa, x: xa, payload: pa },
-                LmLabel::P2 { q: qb, x: xb, payload: pb },
+                LmLabel::P2 {
+                    q: qa,
+                    x: xa,
+                    payload: pa,
+                },
+                LmLabel::P2 {
+                    q: qb,
+                    x: xb,
+                    payload: pb,
+                },
             ) => {
                 // NOTE: the paper's border-*surround* rules ("the borders
                 // are surrounded with different labels", e.g. east of N
@@ -385,8 +427,16 @@ impl LmProblem {
                 return Err("P1 and P2 mixed".into());
             }
             (
-                LmLabel::P2 { q: qa, x: xa, payload: pa },
-                LmLabel::P2 { q: qb, x: xb, payload: pb },
+                LmLabel::P2 {
+                    q: qa,
+                    x: xa,
+                    payload: pa,
+                },
+                LmLabel::P2 {
+                    q: qb,
+                    x: xb,
+                    payload: pb,
+                },
             ) => {
                 // Border-surround rules are omitted here as well (see the
                 // horizontal-pair rule and DESIGN.md).
@@ -462,11 +512,17 @@ impl LmProblem {
             }
             Content::Tape(s) => {
                 let inc_w = match pa.sig_w {
-                    Some(Sig { state, dir: SigDir::Right }) => Some(state),
+                    Some(Sig {
+                        state,
+                        dir: SigDir::Right,
+                    }) => Some(state),
                     _ => None,
                 };
                 let inc_e = match pa.sig_e {
-                    Some(Sig { state, dir: SigDir::Left }) => Some(state),
+                    Some(Sig {
+                        state,
+                        dir: SigDir::Left,
+                    }) => Some(state),
                     _ => None,
                 };
                 match (inc_w, inc_e) {
@@ -792,7 +848,10 @@ mod tests {
                          if matches!(p.content, Content::Tape(s) if s == Sym(1)))
             })
             .expect("table contains a written 1");
-        if let LmLabel::P2 { payload: Some(p), .. } = &mut sol.labels[target] {
+        if let LmLabel::P2 {
+            payload: Some(p), ..
+        } = &mut sol.labels[target]
+        {
             p.content = Content::Tape(Sym::BLANK);
         }
         assert!(problem.check(&torus, &sol.labels).is_err());

@@ -187,7 +187,7 @@ pub fn orientation_indegrees(torus: &Torus2, labels: &[Label]) -> Vec<u8> {
             (own & 1 == 0) as u8          // own east edge incoming
                 + (own & 2 == 0) as u8    // own north edge incoming
                 + (west & 1 == 1) as u8   // west neighbour's east edge towards us
-                + (south & 2 == 2) as u8  // south neighbour's north edge towards us
+                + (south & 2 == 2) as u8 // south neighbour's north edge towards us
         })
         .collect()
 }
@@ -311,16 +311,11 @@ mod tests {
                     return 0;
                 }
                 // Point at the unique dominating neighbour: N=1 E=2 S=3 W=4.
-                let dirs = [
-                    (0i64, 1i64, 1u16),
-                    (1, 0, 2),
-                    (0, -1, 3),
-                    (-1, 0, 4),
-                ];
+                let dirs = [(0i64, 1i64, 1u16), (1, 0, 2), (0, -1, 3), (-1, 0, 4)];
                 dirs.iter()
                     .find_map(|&(dx, dy, lab)| {
                         let r = t5.offset(q, dx, dy);
-                        ((r.x + 2 * r.y) % 5 == 0).then_some(lab)
+                        (r.x + 2 * r.y).is_multiple_of(5).then_some(lab)
                     })
                     .expect("perfect code dominates")
             })

@@ -191,7 +191,7 @@ mod tests {
     fn choose_k_matches_condition() {
         let k = choose_k(&RowColeVishkin);
         let t = RowColeVishkin.time(k);
-        assert!(k % 2 == 0 && 4 * t + 16 < k);
+        assert!(k.is_multiple_of(2) && 4 * t + 16 < k);
         assert!(4 * RowColeVishkin.time(k - 2) + 16 >= k - 2);
     }
 

@@ -22,6 +22,6 @@ mod synth;
 pub mod tiles;
 
 pub use synth::{
-    synthesize, synthesize_auto, SynthRun, SynthesisConfig, SynthesizedAlgorithm,
+    synthesize, synthesize_auto, SynthRun, SynthRunError, SynthesisConfig, SynthesizedAlgorithm,
 };
 pub use tiles::{enumerate_tiles, realizable, Tile, TileShape};

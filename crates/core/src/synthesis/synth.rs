@@ -11,10 +11,53 @@
 
 use super::tiles::{enumerate_tiles, Tile, TileShape};
 use crate::lcl::{GridProblem, Label};
-use lcl_grid::{Metric, Torus2};
+use lcl_grid::{Metric, Pos, Torus2};
 use lcl_local::{GridInstance, Rounds};
 use lcl_sat::{exactly_one, Lit, SolveOutcome, Solver, Var};
 use std::collections::HashMap;
+use std::fmt;
+
+/// Typed failure of a synthesised-algorithm run: the `try_run` entry
+/// points return these instead of panicking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SynthRunError {
+    /// The torus cannot hold the `A′` window plus its `S_k` frame.
+    TorusTooSmall {
+        /// Smallest supported side (`max(rows, cols) + 2k`).
+        min_side: usize,
+        /// The instance's width.
+        width: usize,
+        /// The instance's height.
+        height: usize,
+    },
+    /// An anchor window materialised that is not a realizable tile — the
+    /// anchor set is not a maximal independent set of `G^(k)`.
+    UnrealizableWindow {
+        /// The node whose window failed to resolve.
+        at: Pos,
+    },
+}
+
+impl fmt::Display for SynthRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthRunError::TorusTooSmall {
+                min_side,
+                width,
+                height,
+            } => write!(
+                f,
+                "torus side must be at least {min_side}, got {width}x{height}"
+            ),
+            SynthRunError::UnrealizableWindow { at } => write!(
+                f,
+                "window at {at} is not a realizable tile — anchors are not an MIS of G^(k)?"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SynthRunError {}
 
 /// Synthesis parameters: the anchor spacing `k` and the window shape.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,16 +132,30 @@ impl SynthesizedAlgorithm {
         self.table.get(window).copied()
     }
 
+    /// The smallest torus side the algorithm runs on: the `A′` window plus
+    /// its `S_k` frame must fit (`max(rows, cols) + 2k`).
+    pub fn min_side(&self) -> usize {
+        self.shape.rows.max(self.shape.cols) + 2 * self.k
+    }
+
     /// Runs the full pipeline `A′ ∘ S_k` on an instance: anchors via the
     /// MIS of `G^(k)` (`O(log* n)` rounds), then the constant-time window
     /// lookup.
     ///
     /// # Panics
     ///
-    /// Panics if the torus is too small for the window plus its frame
-    /// (`n ≥ max(rows, cols) + 2k` is required).
+    /// Panics where [`SynthesizedAlgorithm::try_run`] would return an
+    /// error (in particular `"torus side must be at least …"` when the
+    /// instance is too small).
     pub fn run(&self, instance: &GridInstance) -> SynthRun {
+        self.try_run(instance).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`SynthesizedAlgorithm::run`], but reports bad inputs as typed
+    /// errors instead of panicking.
+    pub fn try_run(&self, instance: &GridInstance) -> Result<SynthRun, SynthRunError> {
         let torus = instance.torus();
+        self.check_size(&torus)?;
         let mis = lcl_symmetry::mis_torus_power(&torus, Metric::L1, self.k, instance.ids());
         let mut rounds = Rounds::new();
         rounds.absorb("S_k", &mis.rounds);
@@ -106,26 +163,30 @@ impl SynthesizedAlgorithm {
             "A'-window-lookup",
             (self.shape.rows + self.shape.cols) as u64,
         );
-        let labels = self.run_with_anchors(&torus, &mis.in_mis);
-        SynthRun { labels, rounds }
+        let labels = self.try_run_with_anchors(&torus, &mis.in_mis)?;
+        Ok(SynthRun { labels, rounds })
     }
 
     /// Applies `A′` to a precomputed anchor set.
     ///
     /// # Panics
     ///
-    /// Panics if the anchors materialise a window that is not a realizable
-    /// tile (i.e. they are not an MIS of `G^(k)`), or if the torus is too
-    /// small (see [`SynthesizedAlgorithm::run`]).
+    /// Panics where [`SynthesizedAlgorithm::try_run_with_anchors`] would
+    /// return an error.
     pub fn run_with_anchors(&self, torus: &Torus2, anchors: &[bool]) -> Vec<Label> {
+        self.try_run_with_anchors(torus, anchors)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Applies `A′` to a precomputed anchor set, reporting an undersized
+    /// torus or a non-MIS anchor set as typed errors.
+    pub fn try_run_with_anchors(
+        &self,
+        torus: &Torus2,
+        anchors: &[bool],
+    ) -> Result<Vec<Label>, SynthRunError> {
         assert_eq!(anchors.len(), torus.node_count());
-        let min_side = self.shape.rows.max(self.shape.cols) + 2 * self.k;
-        assert!(
-            torus.width() >= min_side && torus.height() >= min_side,
-            "torus side must be at least {min_side} for window {} with k={}",
-            self.shape,
-            self.k
-        );
+        self.check_size(torus)?;
         (0..torus.node_count())
             .map(|v| {
                 let p = torus.pos(v);
@@ -140,15 +201,24 @@ impl SynthesizedAlgorithm {
                         window.set(r, c, anchors[torus.index(q)]);
                     }
                 }
-                *self.table.get(&window).unwrap_or_else(|| {
-                    panic!(
-                        "window at {p} is not a realizable tile — anchors are not an \
-                         MIS of G^({})?\n{window}",
-                        self.k
-                    )
-                })
+                self.table
+                    .get(&window)
+                    .copied()
+                    .ok_or(SynthRunError::UnrealizableWindow { at: p })
             })
             .collect()
+    }
+
+    fn check_size(&self, torus: &Torus2) -> Result<(), SynthRunError> {
+        let min_side = self.min_side();
+        if torus.width() < min_side || torus.height() < min_side {
+            return Err(SynthRunError::TorusTooSmall {
+                min_side,
+                width: torus.width(),
+                height: torus.height(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -221,11 +291,7 @@ pub fn synthesize_auto(problem: &GridProblem, max_k: usize) -> Option<Synthesize
 
 /// Corner sub-tiles `[sw, se, nw, ne]` of a `(rows+1) × (cols+1)`
 /// super-tile, as indices into the tile table.
-fn corner_indices(
-    super_tile: &Tile,
-    shape: TileShape,
-    index: &HashMap<Tile, usize>,
-) -> [usize; 4] {
+fn corner_indices(super_tile: &Tile, shape: TileShape, index: &HashMap<Tile, usize>) -> [usize; 4] {
     let sub = |r0: usize, c0: usize| -> usize {
         let t = super_tile.subtile(r0, c0, shape.rows, shape.cols);
         *index
@@ -257,16 +323,16 @@ fn encode_vertex(
     for sup in enumerate_tiles(k, TileShape::new(shape.rows, shape.cols + 1)) {
         let left = index[&sup.subtile(0, 0, shape.rows, shape.cols)];
         let right = index[&sup.subtile(0, 1, shape.rows, shape.cols)];
-        for c in 0..colours as usize {
-            solver.add_clause([Lit::neg(vars[left][c]), Lit::neg(vars[right][c])]);
+        for (&mine, &theirs) in vars[left].iter().zip(&vars[right]) {
+            solver.add_clause([Lit::neg(mine), Lit::neg(theirs)]);
         }
     }
     // Vertically adjacent windows: one row taller.
     for sup in enumerate_tiles(k, TileShape::new(shape.rows + 1, shape.cols)) {
         let bottom = index[&sup.subtile(0, 0, shape.rows, shape.cols)];
         let top = index[&sup.subtile(1, 0, shape.rows, shape.cols)];
-        for c in 0..colours as usize {
-            solver.add_clause([Lit::neg(vars[bottom][c]), Lit::neg(vars[top][c])]);
+        for (&mine, &theirs) in vars[bottom].iter().zip(&vars[top]) {
+            solver.add_clause([Lit::neg(mine), Lit::neg(theirs)]);
         }
     }
     Box::new(move |model, t| vars[t].iter().position(|&v| model.value(v)).unwrap() as Label)
@@ -302,8 +368,8 @@ fn encode_edge(
         let groups = [&east[ne], &north[ne], &east[nw], &north[se]];
         for i in 0..4 {
             for j in i + 1..4 {
-                for c in 0..colours as usize {
-                    solver.add_clause([Lit::neg(groups[i][c]), Lit::neg(groups[j][c])]);
+                for (&mine, &theirs) in groups[i].iter().zip(groups[j]) {
+                    solver.add_clause([Lit::neg(mine), Lit::neg(theirs)]);
                 }
             }
         }
@@ -344,9 +410,7 @@ fn encode_orientation(
             solver.add_clause(clause);
         }
     }
-    Box::new(move |model, t| {
-        (model.value(east[t]) as u16) | ((model.value(north[t]) as u16) << 1)
-    })
+    Box::new(move |model, t| (model.value(east[t]) as u16) | ((model.value(north[t]) as u16) << 1))
 }
 
 fn encode_block(

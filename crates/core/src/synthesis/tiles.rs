@@ -211,8 +211,7 @@ pub fn realizable(k: usize, tile: &Tile) -> bool {
         .into_iter()
         .map(|(r, c)| (r as i64, c as i64))
         .collect();
-    let dist =
-        |a: (i64, i64), b: (i64, i64)| ((a.0 - b.0).abs() + (a.1 - b.1).abs()) as usize;
+    let dist = |a: (i64, i64), b: (i64, i64)| ((a.0 - b.0).abs() + (a.1 - b.1).abs()) as usize;
 
     // In-tile independence (the enumerator prunes this before calling,
     // but arbitrary callers may not).

@@ -82,12 +82,10 @@ mod tests {
 
     #[test]
     fn offsets_sum_to_zero() {
-        let (sx, sy) = Dir4::ALL
-            .iter()
-            .fold((0, 0), |(ax, ay), d| {
-                let (dx, dy) = d.offset();
-                (ax + dx, ay + dy)
-            });
+        let (sx, sy) = Dir4::ALL.iter().fold((0, 0), |(ax, ay), d| {
+            let (dx, dy) = d.offset();
+            (ax + dx, ay + dy)
+        });
         assert_eq!((sx, sy), (0, 0));
     }
 

@@ -271,7 +271,10 @@ impl AdjGraph {
     /// Panics on self-loops or out-of-range endpoints.
     pub fn add_edge(&mut self, u: usize, v: usize) {
         assert!(u != v, "self-loops are not allowed");
-        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "node out of range"
+        );
         if !self.adj[u].contains(&v) {
             self.adj[u].push(v);
             self.adj[v].push(u);

@@ -30,5 +30,5 @@ pub use torus2::{Metric, Pos, Torus2};
 pub use torusd::{PosD, TorusD};
 pub use voronoi::{VoronoiCell, VoronoiTiling};
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests;

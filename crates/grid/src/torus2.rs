@@ -211,9 +211,7 @@ impl Torus2 {
                     continue;
                 }
                 let d = match metric {
-                    Metric::L1 => {
-                        self.norm1d(dx, self.width) + self.norm1d(dy, self.height)
-                    }
+                    Metric::L1 => self.norm1d(dx, self.width) + self.norm1d(dy, self.height),
                     Metric::Linf => self
                         .norm1d(dx, self.width)
                         .max(self.norm1d(dy, self.height)),
@@ -279,7 +277,7 @@ impl Torus2 {
 /// Largest symmetric range `(neg, pos)` of offsets that stay distinct on a
 /// side of length `n` while covering radius `k`.
 fn half_range(k: i64, n: i64) -> (i64, i64) {
-    if 2 * k + 1 <= n {
+    if 2 * k < n {
         (k, k)
     } else {
         // The whole side is covered; use one canonical representative per

@@ -170,8 +170,8 @@ impl TorusD {
     pub fn ball_offsets(&self, metric: Metric, k: usize) -> Vec<Vec<i64>> {
         let n = self.side as i64;
         let k = k as i64;
-        let lo = if 2 * k + 1 <= n { -k } else { -((n - 1) / 2) };
-        let hi = if 2 * k + 1 <= n { k } else { n / 2 };
+        let lo = if 2 * k < n { -k } else { -((n - 1) / 2) };
+        let hi = if 2 * k < n { k } else { n / 2 };
         let mut out = Vec::new();
         let mut cur = vec![lo; self.dim];
         loop {

@@ -82,9 +82,10 @@ impl VoronoiTiling {
                     break;
                 }
             }
-            cells.push(found.unwrap_or_else(|| {
-                panic!("node {v} has no anchor within radius {max_radius}")
-            }));
+            cells
+                .push(found.unwrap_or_else(|| {
+                    panic!("node {v} has no anchor within radius {max_radius}")
+                }));
         }
         let anchors = anchor_set
             .iter()
@@ -187,9 +188,9 @@ mod tests {
         // Within a tile, ids are unique.
         for &a in vt.anchors() {
             let mut seen = std::collections::HashSet::new();
-            for v in 0..t.node_count() {
+            for (v, &id) in ids.iter().enumerate() {
                 if vt.cell(v).anchor == a {
-                    assert!(seen.insert(ids[v]), "duplicate local id inside a tile");
+                    assert!(seen.insert(id), "duplicate local id inside a tile");
                 }
             }
         }

@@ -134,12 +134,16 @@ mod tests {
 
     #[test]
     fn sparse_ids_are_distinct_and_in_range() {
-        let ids = IdAssignment::Sparse { seed: 3, spread: 10 }.materialise(200);
+        let ids = IdAssignment::Sparse {
+            seed: 3,
+            spread: 10,
+        }
+        .materialise(200);
         let mut sorted = ids.clone();
         sorted.sort();
         sorted.dedup();
         assert_eq!(sorted.len(), 200);
-        assert!(ids.iter().all(|&i| i >= 1 && i <= 2000));
+        assert!(ids.iter().all(|&i| (1..=2000).contains(&i)));
     }
 
     #[test]

@@ -35,6 +35,15 @@ impl Rounds {
         &self.phases
     }
 
+    /// The most expensive phase, if any rounds were charged — the first
+    /// thing to look at in a `SolveReport` when a solver seems slow.
+    pub fn dominant_phase(&self) -> Option<(&str, u64)> {
+        self.phases
+            .iter()
+            .max_by_key(|(_, r)| *r)
+            .map(|(name, r)| (name.as_str(), *r))
+    }
+
     /// Merges another ledger into this one, prefixing its phase names.
     pub fn absorb(&mut self, prefix: &str, other: &Rounds) {
         for (name, r) in &other.phases {
@@ -75,6 +84,15 @@ mod tests {
         outer.absorb("anchors", &inner);
         assert_eq!(outer.total(), 6);
         assert_eq!(outer.phases()[1].0, "anchors/cv");
+    }
+
+    #[test]
+    fn dominant_phase_is_the_largest() {
+        assert_eq!(Rounds::new().dominant_phase(), None);
+        let mut r = Rounds::new();
+        r.charge("mis", 12);
+        r.charge("fill", 3);
+        assert_eq!(r.dominant_phase(), Some(("mis", 12)));
     }
 
     #[test]

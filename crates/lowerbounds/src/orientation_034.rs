@@ -44,10 +44,7 @@ pub fn vertical_edge_labels(torus: &Torus2, labels: &[u16], i: usize) -> Vec<i64
             let (Some(left), Some(right)) = (find(-1), find(1)) else {
                 return 0; // no zero-in-degree vertices at all
             };
-            let dist = torus.l1(
-                Pos::new(left.0, left.1),
-                Pos::new(right.0, right.1),
-            );
+            let dist = torus.l1(Pos::new(left.0, left.1), Pos::new(right.0, right.1));
             if dist % 2 == 1 {
                 if points_north(labels, torus, x, i) {
                     1

@@ -26,8 +26,8 @@ pub fn orientation_13_impossible(n: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lcl_core::problems::{self, XSet};
     use lcl_core::existence;
+    use lcl_core::problems::{self, XSet};
     use lcl_grid::Torus2;
 
     #[test]
@@ -36,10 +36,7 @@ mod tests {
             let predicted_impossible = edge_2d_colouring_impossible(2, n);
             let sat_solvable =
                 existence::solvable(&problems::edge_colouring(4), &Torus2::square(n));
-            assert_eq!(
-                predicted_impossible, !sat_solvable,
-                "disagreement at n={n}"
-            );
+            assert_eq!(predicted_impossible, !sat_solvable, "disagreement at n={n}");
         }
     }
 
@@ -51,10 +48,7 @@ mod tests {
                 &problems::orientation(XSet::from_degrees(&[1, 3])),
                 &Torus2::square(n),
             );
-            assert_eq!(
-                predicted_impossible, !sat_solvable,
-                "disagreement at n={n}"
-            );
+            assert_eq!(predicted_impossible, !sat_solvable, "disagreement at n={n}");
         }
     }
 

@@ -72,7 +72,11 @@ pub trait WindowAlgorithm {
 }
 
 /// Runs a window algorithm on a whole cycle.
-pub fn run_window_algorithm(algo: &dyn WindowAlgorithm, cycle: &CycleGraph, ids: &[u64]) -> Vec<i8> {
+pub fn run_window_algorithm(
+    algo: &dyn WindowAlgorithm,
+    cycle: &CycleGraph,
+    ids: &[u64],
+) -> Vec<i8> {
     let t = algo.radius() as i64;
     (0..cycle.len())
         .map(|v| {
@@ -141,7 +145,7 @@ mod tests {
     fn constant_zero_fails_odd_n() {
         let qsum = QSum::parity();
         let cycle = CycleGraph::new(9);
-        assert!(!qsum.check(&cycle, &vec![0i8; 9]));
+        assert!(!qsum.check(&cycle, &[0i8; 9]));
     }
 
     /// A natural sub-linear candidate: output +1 iff the node's id is a

@@ -51,20 +51,22 @@ pub fn parse(input: &str) -> Result<(Solver, Vec<Var>), ParseError> {
                     message: "expected 'p cnf <vars> <clauses>'".into(),
                 });
             }
-            let nv: usize = parts
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or_else(|| ParseError {
-                    line: lineno,
-                    message: "bad variable count".into(),
-                })?;
-            let nc: usize = parts
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or_else(|| ParseError {
-                    line: lineno,
-                    message: "bad clause count".into(),
-                })?;
+            let nv: usize =
+                parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ParseError {
+                        line: lineno,
+                        message: "bad variable count".into(),
+                    })?;
+            let nc: usize =
+                parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ParseError {
+                        line: lineno,
+                        message: "bad clause count".into(),
+                    })?;
             declared = Some((nv, nc));
             vars = solver.new_vars(nv);
             continue;

@@ -30,5 +30,5 @@ mod solver;
 pub use cnf::{at_least_one, at_most_one, exactly_one};
 pub use solver::{Lit, Model, SolveOutcome, Solver, Var};
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests;

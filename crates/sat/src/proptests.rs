@@ -11,10 +11,7 @@ fn cnf_strategy() -> impl Strategy<Value = (usize, Vec<Vec<i32>>)> {
             (1..=nvars as i32).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]),
             1..=4,
         );
-        (
-            Just(nvars),
-            proptest::collection::vec(clause, 0..24),
-        )
+        (Just(nvars), proptest::collection::vec(clause, 0..24))
     })
 }
 

@@ -542,9 +542,7 @@ impl Solver {
                         debug_assert!(ok);
                     }
                     self.var_inc /= 0.95;
-                    if conflicts_until_restart > 0 {
-                        conflicts_until_restart -= 1;
-                    }
+                    conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
                 }
                 None => {
                     if conflicts_until_restart == 0 && !self.trail_lim.is_empty() {
@@ -672,8 +670,8 @@ mod tests {
         }
         for u in 0..n {
             let w = (u + 1) % n;
-            for c in 0..3 {
-                s.add_clause([Lit::neg(vars[u][c]), Lit::neg(vars[w][c])]);
+            for (&mine, &theirs) in vars[u].iter().zip(&vars[w]) {
+                s.add_clause([Lit::neg(mine), Lit::neg(theirs)]);
             }
         }
         let m = s.solve().expect_sat();
@@ -705,9 +703,9 @@ mod tests {
             s.add_clause(pigeon.iter().map(|&v| Lit::pos(v)));
         }
         for hole in 0..3 {
-            for i in 0..4 {
-                for j in i + 1..4 {
-                    s.add_clause([Lit::neg(p[i][hole]), Lit::neg(p[j][hole])]);
+            for (i, pi) in p.iter().enumerate() {
+                for pj in &p[i + 1..] {
+                    s.add_clause([Lit::neg(pi[hole]), Lit::neg(pj[hole])]);
                 }
             }
         }

@@ -45,12 +45,12 @@ fn is_prime(n: u64) -> bool {
     if n < 2 {
         return false;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return n == 2;
     }
     let mut d = 3;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 2;
@@ -171,8 +171,7 @@ pub fn linial_colour<G: Graph>(graph: &G, ids: &[u64]) -> ColourReduction {
                 chosen = Some((a, fv));
                 break;
             }
-            let (a, fa) =
-                chosen.expect("separating point must exist when q > Δ(d−1)");
+            let (a, fa) = chosen.expect("separating point must exist when q > Δ(d−1)");
             next[v] = a * q + fa;
         }
         colours = next;
@@ -372,7 +371,11 @@ mod tests {
     #[test]
     fn sparse_id_spaces_are_handled() {
         let g = CycleGraph::new(64);
-        let ids = IdAssignment::Sparse { seed: 4, spread: 1000 }.materialise(64);
+        let ids = IdAssignment::Sparse {
+            seed: 4,
+            spread: 1000,
+        }
+        .materialise(64);
         let r = linial_colour(&g, &ids);
         assert_proper(&g, &r.colours);
         assert!(r.palette <= 49);

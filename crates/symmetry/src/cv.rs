@@ -133,7 +133,7 @@ impl Graph for CyclePower {
         }
         // If 2k+1 > n the ball wraps; cover the remaining antipodal node
         // on even cycles.
-        if 2 * reach + 1 < n && self.k >= n / 2 && n % 2 == 0 {
+        if 2 * reach + 1 < n && self.k >= n / 2 && n.is_multiple_of(2) {
             f(self.cycle.offset(v, (n / 2) as i64));
         }
     }

@@ -30,5 +30,5 @@ pub use colour::{colour_delta_plus_one, kw_reduce, linial_colour, next_prime, Co
 pub use cv::{cv3_cycle, CycleColouring, CyclePower};
 pub use mis::{greedy_mis, mis_torus_power, mis_with_ids, MisRun};
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests;

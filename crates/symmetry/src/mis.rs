@@ -104,10 +104,7 @@ mod tests {
                 if in_mis[u] {
                     has_mis_neighbour = true;
                 }
-                assert!(
-                    !(in_mis[v] && in_mis[u]),
-                    "adjacent MIS nodes {v} and {u}"
-                );
+                assert!(!(in_mis[v] && in_mis[u]), "adjacent MIS nodes {v} and {u}");
             });
             assert!(
                 in_mis[v] || has_mis_neighbour,

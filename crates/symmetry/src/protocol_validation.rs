@@ -34,7 +34,10 @@ impl Protocol for CvProtocol {
 
     fn init(&self, _v: usize, id: u64, degree: usize, _n: usize) -> CvState {
         assert_eq!(degree, 2, "cycle nodes have degree 2");
-        CvState { colour: id, step: 0 }
+        CvState {
+            colour: id,
+            step: 0,
+        }
     }
 
     fn round(

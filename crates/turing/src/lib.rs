@@ -28,5 +28,5 @@ mod table;
 pub use machine::{Move, RunOutcome, State, Sym, Transition, TuringMachine};
 pub use table::{ExecutionTable, TableRow};
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests;

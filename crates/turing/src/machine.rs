@@ -160,9 +160,15 @@ impl TuringMachine {
     pub fn add_transition(&mut self, state: State, read: Sym, t: Transition) {
         assert!(state.0 < self.num_states && t.next.0 < self.num_states);
         assert!(read.0 < self.num_symbols && t.write.0 < self.num_symbols);
-        assert!(!self.is_halting(state), "halting states have no transitions");
+        assert!(
+            !self.is_halting(state),
+            "halting states have no transitions"
+        );
         let prev = self.delta.insert((state, read), t);
-        assert!(prev.is_none(), "duplicate transition for {state:?}/{read:?}");
+        assert!(
+            prev.is_none(),
+            "duplicate transition for {state:?}/{read:?}"
+        );
     }
 
     /// Looks up the transition for (state, read), if any.

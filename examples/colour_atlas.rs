@@ -1,14 +1,15 @@
 //! The colouring atlas: reproduces the §1.3 classification rows for
-//! vertex and edge colourings by combining the synthesis oracle with the
-//! per-`n` SAT existence solver.
+//! vertex and edge colourings through the engine — classification via the
+//! memoised synthesis oracle, existence via the exact SAT baseline.
 //!
 //! ```sh
 //! cargo run --release --example colour_atlas
 //! ```
 
-use lcl_grids::core::classify::{probe, GridClass};
-use lcl_grids::core::{existence, problems};
+use lcl_grids::core::classify::GridClass;
+use lcl_grids::engine::{Engine, ProblemSpec, Registry};
 use lcl_grids::grid::Torus2;
+use std::sync::Arc;
 
 fn class_name(c: &GridClass) -> &'static str {
     match c {
@@ -18,35 +19,40 @@ fn class_name(c: &GridClass) -> &'static str {
     }
 }
 
+fn row(registry: &Arc<Registry>, spec: ProblemSpec, max_k: usize) {
+    let engine = Engine::builder()
+        .problem(spec)
+        .max_synthesis_k(max_k)
+        .registry(Arc::clone(registry))
+        .build()
+        .expect("colouring problems always have a plan");
+    let class = engine.classify().expect("torus problem");
+    let odd = engine.solvable(&Torus2::square(5)).expect("torus problem");
+    println!(
+        "  {:<22} {:<45} solvable at n=5: {odd}",
+        engine.problem().name(),
+        class_name(&class),
+    );
+}
+
 fn main() {
+    // One registry for the whole atlas: every synthesis outcome is
+    // memoised and shared across the engines built below.
+    let registry = Arc::new(Registry::new());
+
     println!("Vertex colouring (paper: global for k ≤ 3, log* for k ≥ 4):");
     for k in 2..=6u16 {
-        let p = problems::vertex_colouring(k);
         let budget = if k >= 4 { 3 } else { 2 };
-        let (class, algo) = probe(&p, budget);
-        let odd = existence::solvable(&p, &Torus2::square(5));
-        println!(
-            "  {:>2} colours: {:<45} solvable at n=5: {:<5} {}",
-            k,
-            class_name(&class),
-            odd,
-            algo.map(|a| format!("(k = {}, {} tiles)", a.k(), a.table_len()))
-                .unwrap_or_default()
-        );
+        row(&registry, ProblemSpec::vertex_colouring(k), budget);
     }
 
     println!("\nEdge colouring (paper: global for k ≤ 4, log* for k ≥ 5):");
     for k in 3..=6u16 {
-        let p = problems::edge_colouring(k);
-        let (class, algo) = probe(&p, 2);
-        let odd = existence::solvable(&p, &Torus2::square(5));
-        println!(
-            "  {:>2} colours: {:<45} solvable at n=5: {:<5} {}",
-            k,
-            class_name(&class),
-            odd,
-            algo.map(|a| format!("(k = {}, {} tiles)", a.k(), a.table_len()))
-                .unwrap_or_default()
-        );
+        row(&registry, ProblemSpec::edge_colouring(k), 2);
     }
+
+    println!(
+        "\n{} synthesis outcomes memoised in the shared registry",
+        registry.cached_syntheses()
+    );
 }

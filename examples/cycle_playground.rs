@@ -33,7 +33,8 @@ fn show(name: &str, problem: &CycleLcl) {
         assert!(problem.check(&cycle, &run.labels));
         println!(
             "{:<22} synthesised run on n = {n}: valid, {} rounds",
-            "", run.rounds.total()
+            "",
+            run.rounds.total()
         );
     }
 }

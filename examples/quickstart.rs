@@ -1,48 +1,66 @@
-//! Quickstart: synthesise an optimal `O(log* n)` algorithm for vertex
-//! 4-colouring (§7's flagship example) and run it on a torus.
+//! Quickstart: the unified engine API. One `ProblemSpec`, one `Engine`,
+//! one `solve` — the registry picks the best algorithm family and the
+//! labelling comes back validated, with its LOCAL-round ledger attached.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use lcl_grids::core::problems;
-use lcl_grids::core::synthesis::{synthesize, SynthesisConfig};
+use lcl_grids::engine::{Engine, ProblemSpec, SolveError};
+use lcl_grids::grid::Pos;
 use lcl_grids::local::{GridInstance, IdAssignment};
 
-fn main() {
-    // The problem: proper vertex 4-colouring of the oriented torus.
-    let problem = problems::vertex_colouring(4);
+fn main() -> Result<(), SolveError> {
+    // The problem: proper vertex 4-colouring of the oriented torus
+    // (§7's flagship example, Θ(log* n)).
+    let engine = Engine::builder()
+        .problem(ProblemSpec::vertex_colouring(4))
+        .build()?;
+    println!("problem: {}", engine.problem());
+    println!("solver plan (best first): {:?}\n", engine.solver_names());
 
-    // §7: synthesis fails for k = 1 and 2, succeeds at k = 3 with 7×5
-    // windows (2079 realizable tiles).
-    for k in 1..=2 {
-        let outcome = synthesize(&problem, &SynthesisConfig::for_k(k));
-        println!("k = {k}: {}", if outcome.is_some() { "SAT" } else { "UNSAT" });
-    }
-    let algo = synthesize(&problem, &SynthesisConfig::for_k(3)).expect("k = 3 succeeds");
-    println!(
-        "k = 3: SAT with {} tiles of shape {}",
-        algo.table_len(),
-        algo.shape()
-    );
-
-    // Run the normal form A' ∘ S_3 on a 64×64 torus.
+    // Solve a 64×64 torus. The ball-carving construction of §8 applies at
+    // this size; smaller tori would transparently fall back to synthesis
+    // or the SAT baseline.
     let instance = GridInstance::new(64, &IdAssignment::Shuffled { seed: 2026 });
-    let run = algo.run(&instance);
-    problem
-        .check(&instance.torus(), &run.labels)
-        .expect("synthesised algorithms are provably correct");
-    println!("\n64×64 torus coloured; round ledger:\n{}", run.rounds);
+    let labelling = engine.solve(&instance)?;
+    println!(
+        "64x64 torus coloured by `{}` (validated: {}); ledger:\n{}",
+        labelling.report.solver, labelling.report.validated, labelling.report.rounds
+    );
+    if let Some((phase, cost)) = labelling.report.rounds.dominant_phase() {
+        println!("dominant phase: {phase} ({cost} rounds)\n");
+    }
 
     // Show a corner of the colouring.
     let torus = instance.torus();
-    println!("south-west 12×6 corner of the colouring:");
+    println!("south-west 12x6 corner of the colouring:");
     for y in (0..6).rev() {
         let row: String = (0..12)
-            .map(|x| {
-                char::from(b'0' + run.labels[torus.index(lcl_grids::grid::Pos::new(x, y))] as u8)
-            })
+            .map(|x| char::from(b'0' + labelling.labels[torus.index(Pos::new(x, y))] as u8))
             .collect();
         println!("  {row}");
     }
+
+    // Failures are typed values, not panics: 2-colouring on an odd torus.
+    let two = Engine::builder()
+        .problem(ProblemSpec::vertex_colouring(2))
+        .max_synthesis_k(1)
+        .build()?;
+    let odd = GridInstance::new(5, &IdAssignment::Sequential);
+    match two.solve(&odd) {
+        Err(SolveError::Unsolvable { .. }) => {
+            println!("\n2-colouring the 5x5 torus: correctly reported unsolvable")
+        }
+        other => println!("\nunexpected outcome: {other:?}"),
+    }
+
+    // Batches amortise the expensive shared work (synthesis is memoised
+    // in the engine's registry).
+    let batch: Vec<GridInstance> = (0..4)
+        .map(|seed| GridInstance::new(32, &IdAssignment::Shuffled { seed }))
+        .collect();
+    let report = engine.solve_batch(&batch);
+    println!("\nbatch of four 32x32 instances: {report}");
+    Ok(())
 }

@@ -7,9 +7,9 @@
 //! ```
 
 use lcl_grids::core::lm::{render_types, LmProblem, LmStrategy};
+use lcl_grids::grid::Torus2;
 use lcl_grids::local::IdAssignment;
 use lcl_grids::turing::machines;
-use lcl_grids::grid::Torus2;
 
 fn main() {
     // A machine that halts after 3 steps.

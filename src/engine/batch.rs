@@ -1,0 +1,74 @@
+//! The batched solve path.
+//!
+//! `solve_batch` is the entry point production callers should grow into:
+//! it keeps per-instance failures independent (one unsolvable torus does
+//! not poison the batch), shares the engine's memoised synthesis across
+//! items, and is the seam where parallel dispatch and labelling caches
+//! will land (see ROADMAP "Open items").
+
+use super::{Engine, Labelling, SolveError};
+use lcl_local::GridInstance;
+use std::fmt;
+
+/// The outcome of [`Engine::solve_batch`]: one result per instance, in
+/// input order.
+#[derive(Debug)]
+pub struct BatchReport {
+    results: Vec<Result<Labelling, SolveError>>,
+}
+
+impl BatchReport {
+    /// Per-instance results, in input order.
+    pub fn results(&self) -> &[Result<Labelling, SolveError>] {
+        &self.results
+    }
+
+    /// Consumes the report into its per-instance results.
+    pub fn into_results(self) -> Vec<Result<Labelling, SolveError>> {
+        self.results
+    }
+
+    /// Number of solved instances.
+    pub fn solved(&self) -> usize {
+        self.results.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Number of failed instances.
+    pub fn failed(&self) -> usize {
+        self.results.len() - self.solved()
+    }
+
+    /// Total LOCAL rounds across all solved instances.
+    pub fn total_rounds(&self) -> u64 {
+        self.results
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .map(|l| l.report.rounds.total())
+            .sum()
+    }
+}
+
+impl fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "batch: {} solved, {} failed, {} total rounds",
+            self.solved(),
+            self.failed(),
+            self.total_rounds()
+        )
+    }
+}
+
+impl Engine {
+    /// Solves a batch of torus instances.
+    ///
+    /// Currently sequential; the expensive shared work (synthesis) is
+    /// memoised in the registry, so the marginal cost per instance is the
+    /// solver run itself.
+    pub fn solve_batch(&self, instances: &[GridInstance]) -> BatchReport {
+        BatchReport {
+            results: instances.iter().map(|inst| self.solve(inst)).collect(),
+        }
+    }
+}

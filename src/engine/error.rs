@@ -1,0 +1,130 @@
+//! The typed, panic-free failure surface of the engine.
+
+use lcl_core::Violation;
+use std::fmt;
+
+/// Everything that can go wrong when building an [`crate::engine::Engine`]
+/// or solving an instance through it.
+///
+/// Variants are ordered roughly by how definitive they are: an
+/// [`SolveError::Unsolvable`] verdict comes from an exact SAT
+/// unsatisfiability proof, while the capability errors merely say that a
+/// particular solver declined the instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The problem has no valid labelling on this torus — an exact verdict
+    /// from the SAT existence solver (e.g. 2-colouring on an odd torus).
+    Unsolvable {
+        /// Problem name.
+        problem: String,
+        /// Torus width.
+        width: usize,
+        /// Torus height.
+        height: usize,
+    },
+    /// The engine's problem lives on a different topology than the
+    /// instance (e.g. corner coordination needs a boundary grid, not a
+    /// torus), or a solver supports only a subfamily of instances.
+    TopologyUnsupported {
+        /// Problem name.
+        problem: String,
+        /// What was expected and what was given.
+        reason: String,
+    },
+    /// Every candidate solver rejected the instance as too small; the
+    /// smallest side any of them would accept is reported.
+    TorusTooSmall {
+        /// Problem name.
+        problem: String,
+        /// Smallest side some registered solver accepts.
+        min_side: usize,
+        /// The instance's side.
+        side: usize,
+    },
+    /// A solution was found, but every solver that produced one needed
+    /// more LOCAL rounds than the engine's budget allows.
+    RoundBudgetExceeded {
+        /// The configured budget.
+        budget: u64,
+        /// The cheapest round count any successful solver achieved.
+        needed: u64,
+    },
+    /// Normal-form synthesis did not succeed within the configured `k`
+    /// budget and no other solver applied. By Theorem 3 this is one-sided:
+    /// the problem may be global, or the budget may be too small.
+    SynthesisFailed {
+        /// Problem name.
+        problem: String,
+        /// The largest anchor spacing tried.
+        max_k: usize,
+    },
+    /// A solver gave up for an instance-specific reason, e.g. parameter
+    /// escalation exhausted or an inconsistent anchor set.
+    SolverFailed {
+        /// The solver that failed.
+        solver: String,
+        /// What happened.
+        detail: String,
+    },
+    /// No registered solver applies to the problem at all.
+    NoSolver {
+        /// Problem name.
+        problem: String,
+    },
+    /// An engine was built without a problem.
+    MissingProblem,
+    /// A solver returned a labelling that the independent LCL checker
+    /// rejected — a solver bug, reported rather than trusted.
+    ValidationFailed {
+        /// The offending solver.
+        solver: String,
+        /// The first violated 2×2 window.
+        violation: Violation,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Unsolvable {
+                problem,
+                width,
+                height,
+            } => write!(f, "{problem} has no solution on the {width}x{height} torus"),
+            SolveError::TopologyUnsupported { problem, reason } => {
+                write!(f, "{problem}: unsupported topology ({reason})")
+            }
+            SolveError::TorusTooSmall {
+                problem,
+                min_side,
+                side,
+            } => write!(
+                f,
+                "{problem}: torus side {side} is below the smallest supported side {min_side}"
+            ),
+            SolveError::RoundBudgetExceeded { budget, needed } => write!(
+                f,
+                "round budget exceeded: cheapest solution needs {needed} rounds, budget is {budget}"
+            ),
+            SolveError::SynthesisFailed { problem, max_k } => write!(
+                f,
+                "{problem}: synthesis found no normal-form algorithm up to k = {max_k}"
+            ),
+            SolveError::SolverFailed { solver, detail } => {
+                write!(f, "solver {solver} failed: {detail}")
+            }
+            SolveError::NoSolver { problem } => {
+                write!(f, "no registered solver applies to {problem}")
+            }
+            SolveError::MissingProblem => write!(f, "engine built without a problem"),
+            SolveError::ValidationFailed { solver, violation } => {
+                write!(
+                    f,
+                    "solver {solver} produced an invalid labelling: {violation}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}

@@ -1,0 +1,485 @@
+//! The unified engine: one entry point for every LCL problem, algorithm,
+//! and topology in this repository.
+//!
+//! The paper shows that every radius-1 LCL on oriented grids reduces to
+//! one normal form and one complexity landscape; this module gives the
+//! code base the matching shape. A [`ProblemSpec`] is the canonical
+//! problem representation, a [`Registry`] maps it to the best available
+//! solvers (hand-built §8/§10 constructions, §7 synthesis with memoised
+//! SAT calls, the `Θ(n)` SAT existence baseline), and an [`Engine`] walks
+//! that plan with a `Result`-based, panic-free surface:
+//!
+//! ```
+//! use lcl_grids::engine::{Engine, ProblemSpec};
+//! use lcl_grids::local::{GridInstance, IdAssignment};
+//!
+//! let engine = Engine::builder()
+//!     .problem(ProblemSpec::orientation(
+//!         lcl_grids::core::problems::XSet::from_degrees(&[1, 3, 4]),
+//!     ))
+//!     .max_synthesis_k(1)
+//!     .build()
+//!     .unwrap();
+//! let inst = GridInstance::new(12, &IdAssignment::Shuffled { seed: 7 });
+//! let labelling = engine.solve(&inst).unwrap();
+//! assert_eq!(labelling.labels.len(), 144);
+//! assert!(labelling.report.validated);
+//! ```
+//!
+//! Failures are values, not panics: unsolvable instances, undersized
+//! tori, exhausted synthesis budgets, and exceeded round budgets all come
+//! back as [`SolveError`] variants.
+
+mod batch;
+mod error;
+mod registry;
+mod spec;
+
+pub use batch::BatchReport;
+pub use error::SolveError;
+pub use registry::{PlanOptions, Registry};
+pub use spec::{ProblemSpec, Topology};
+
+use lcl_algorithms::corner::{self, BoundaryGrid, PseudoForest};
+use lcl_algorithms::Profile;
+use lcl_core::classify::GridClass;
+use lcl_core::{existence, Label};
+use lcl_grid::Torus2;
+use lcl_local::{GridInstance, Rounds};
+use std::fmt;
+use std::sync::Arc;
+
+/// Asymptotic round complexity a solver promises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Complexity {
+    /// `O(1)` rounds.
+    Constant,
+    /// `O(log* n)` rounds.
+    LogStar,
+    /// `Θ(√n)` rounds (corner coordination).
+    SqrtN,
+    /// `Θ(n)` rounds (gather everything).
+    Linear,
+}
+
+impl fmt::Display for Complexity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Complexity::Constant => write!(f, "O(1)"),
+            Complexity::LogStar => write!(f, "O(log* n)"),
+            Complexity::SqrtN => write!(f, "Θ(√n)"),
+            Complexity::Linear => write!(f, "Θ(n)"),
+        }
+    }
+}
+
+/// What a solver supports: consulted by the engine before dispatch.
+#[derive(Clone, Copy, Debug)]
+pub struct Capabilities {
+    /// The topology the solver runs on.
+    pub topology: Topology,
+    /// Smallest supported torus side.
+    pub min_side: usize,
+    /// True if only square tori are supported.
+    pub square_only: bool,
+    /// Promised asymptotic round complexity.
+    pub complexity: Complexity,
+}
+
+/// Metadata accompanying every labelling: which solver ran, what it
+/// charged the LOCAL-round ledger, and whether the output was re-checked.
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// The problem that was solved.
+    pub problem: String,
+    /// The solver that produced the labelling.
+    pub solver: String,
+    /// The LOCAL round ledger (phase-by-phase, see `lcl_local::Rounds`).
+    pub rounds: Rounds,
+    /// True once the engine has re-validated the labelling with the
+    /// independent block checker.
+    pub validated: bool,
+    /// Solver-specific diagnostics (spacing `ℓ`, anchor counts, measured
+    /// gaps, lookup-table sizes, …) as key/value pairs.
+    pub details: Vec<(String, String)>,
+}
+
+impl SolveReport {
+    pub(crate) fn new(problem: &str, solver: &str, rounds: Rounds) -> SolveReport {
+        SolveReport {
+            problem: problem.to_string(),
+            solver: solver.to_string(),
+            rounds,
+            validated: false,
+            details: Vec::new(),
+        }
+    }
+
+    pub(crate) fn with_detail(mut self, key: &str, value: impl ToString) -> SolveReport {
+        self.details.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Looks up a solver-specific diagnostic by key.
+    pub fn detail(&self, key: &str) -> Option<&str> {
+        self.details
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A solved instance: one label per node plus the [`SolveReport`].
+#[derive(Clone, Debug)]
+pub struct Labelling {
+    /// One label per node, in node-index order.
+    pub labels: Vec<Label>,
+    /// Provenance and round accounting.
+    pub report: SolveReport,
+}
+
+/// A solver the engine can dispatch to: the object the [`Registry`] hands
+/// out, and the extension point for new algorithm families.
+pub trait Solve: Send + Sync {
+    /// Stable solver name for reports and errors.
+    fn name(&self) -> &str;
+
+    /// What instances this solver accepts.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Solves one instance, never panicking on bad input.
+    fn solve(&self, inst: &GridInstance) -> Result<Labelling, SolveError>;
+}
+
+/// Builder for [`Engine`]; start from [`Engine::builder`].
+pub struct EngineBuilder {
+    problem: Option<ProblemSpec>,
+    profile: Profile,
+    rounds_budget: Option<u64>,
+    max_synthesis_k: usize,
+    seed: Option<u64>,
+    validate: bool,
+    registry: Option<Arc<Registry>>,
+}
+
+impl EngineBuilder {
+    /// The problem the engine will solve (required).
+    pub fn problem(mut self, spec: ProblemSpec) -> EngineBuilder {
+        self.problem = Some(spec);
+        self
+    }
+
+    /// Parameter profile for the hand-built constructions (default:
+    /// [`Profile::Practical`]).
+    pub fn profile(mut self, profile: Profile) -> EngineBuilder {
+        self.profile = profile;
+        self
+    }
+
+    /// Reject solutions that need more LOCAL rounds than this budget
+    /// (default: unlimited). The engine falls through to cheaper solvers
+    /// and reports [`SolveError::RoundBudgetExceeded`] if none fits.
+    pub fn rounds_budget(mut self, budget: u64) -> EngineBuilder {
+        self.rounds_budget = Some(budget);
+        self
+    }
+
+    /// Largest anchor spacing `k` synthesis may try (default: 3, the
+    /// paper's 4-colouring threshold).
+    pub fn max_synthesis_k(mut self, k: usize) -> EngineBuilder {
+        self.max_synthesis_k = k;
+        self
+    }
+
+    /// Seed for the SAT fallback's branching phases, for solution-space
+    /// sampling (default: deterministic canonical solution).
+    pub fn seed(mut self, seed: u64) -> EngineBuilder {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Re-check every labelling with the independent block checker before
+    /// returning it (default: on; turn off only on measured hot paths).
+    pub fn validate(mut self, validate: bool) -> EngineBuilder {
+        self.validate = validate;
+        self
+    }
+
+    /// Share a registry (and thus its memoised synthesis cache) across
+    /// engines (default: a fresh registry per engine).
+    pub fn registry(mut self, registry: Arc<Registry>) -> EngineBuilder {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Builds the engine, resolving the solver plan now so that
+    /// misconfiguration surfaces here rather than at solve time.
+    pub fn build(self) -> Result<Engine, SolveError> {
+        let spec = self.problem.ok_or(SolveError::MissingProblem)?;
+        let registry = self.registry.unwrap_or_default();
+        let opts = PlanOptions {
+            profile: self.profile,
+            max_synthesis_k: self.max_synthesis_k,
+            seed: self.seed,
+        };
+        let plan = registry.plan(&spec, &opts);
+        if plan.is_empty() && spec.topology() == Topology::Torus {
+            return Err(SolveError::NoSolver {
+                problem: spec.name().to_string(),
+            });
+        }
+        Ok(Engine {
+            spec,
+            plan,
+            registry,
+            opts,
+            rounds_budget: self.rounds_budget,
+            validate: self.validate,
+        })
+    }
+}
+
+/// The single entry point: solves its problem on any supported instance
+/// through the best applicable registered solver.
+pub struct Engine {
+    spec: ProblemSpec,
+    plan: Vec<Box<dyn Solve>>,
+    registry: Arc<Registry>,
+    opts: PlanOptions,
+    rounds_budget: Option<u64>,
+    validate: bool,
+}
+
+impl Engine {
+    /// Starts building an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder {
+            problem: None,
+            profile: Profile::Practical,
+            rounds_budget: None,
+            max_synthesis_k: 3,
+            seed: None,
+            validate: true,
+            registry: None,
+        }
+    }
+
+    /// The problem this engine solves.
+    pub fn problem(&self) -> &ProblemSpec {
+        &self.spec
+    }
+
+    /// The registry backing this engine.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The resolved solver plan, best first.
+    pub fn solver_names(&self) -> Vec<&str> {
+        self.plan.iter().map(|s| s.name()).collect()
+    }
+
+    /// Solves one torus instance.
+    ///
+    /// Walks the solver plan: solvers whose [`Capabilities`] reject the
+    /// instance are skipped, typed per-solver failures fall through to
+    /// the next solver, and successful labellings are re-validated with
+    /// the independent block checker before being returned.
+    pub fn solve(&self, inst: &GridInstance) -> Result<Labelling, SolveError> {
+        if self.spec.topology() != Topology::Torus {
+            return Err(SolveError::TopologyUnsupported {
+                problem: self.spec.name().to_string(),
+                reason: format!(
+                    "{} lives on a {}; use Engine::solve_boundary",
+                    self.spec.name(),
+                    self.spec.topology()
+                ),
+            });
+        }
+        let torus = inst.torus();
+        let side = torus.width().min(torus.height());
+        let mut cheapest_over_budget: Option<u64> = None;
+        let mut smallest_supported: Option<usize> = None;
+        let mut fallthrough: Option<SolveError> = None;
+        for solver in &self.plan {
+            let caps = solver.capabilities();
+            if caps.topology != Topology::Torus {
+                continue;
+            }
+            if caps.square_only && torus.width() != torus.height() {
+                continue;
+            }
+            if side < caps.min_side {
+                smallest_supported =
+                    Some(smallest_supported.map_or(caps.min_side, |m: usize| m.min(caps.min_side)));
+                continue;
+            }
+            match solver.solve(inst) {
+                Ok(mut labelling) => {
+                    if self.validate {
+                        if let Err(violation) = self.spec.check(&torus, &labelling.labels) {
+                            fallthrough.get_or_insert(SolveError::ValidationFailed {
+                                solver: solver.name().to_string(),
+                                violation,
+                            });
+                            continue;
+                        }
+                        labelling.report.validated = true;
+                    }
+                    let needed = labelling.report.rounds.total();
+                    if let Some(budget) = self.rounds_budget {
+                        if needed > budget {
+                            cheapest_over_budget =
+                                Some(cheapest_over_budget.map_or(needed, |c: u64| c.min(needed)));
+                            continue;
+                        }
+                    }
+                    return Ok(labelling);
+                }
+                // Unsatisfiability is exact: no other solver can succeed.
+                Err(e @ SolveError::Unsolvable { .. }) => return Err(e),
+                Err(SolveError::TorusTooSmall { min_side, .. }) => {
+                    smallest_supported =
+                        Some(smallest_supported.map_or(min_side, |m: usize| m.min(min_side)));
+                }
+                Err(e) => {
+                    fallthrough.get_or_insert(e);
+                }
+            }
+        }
+        if let (Some(needed), Some(budget)) = (cheapest_over_budget, self.rounds_budget) {
+            return Err(SolveError::RoundBudgetExceeded { budget, needed });
+        }
+        if let Some(e) = fallthrough {
+            return Err(e);
+        }
+        if let Some(min_side) = smallest_supported {
+            return Err(SolveError::TorusTooSmall {
+                problem: self.spec.name().to_string(),
+                min_side,
+                side,
+            });
+        }
+        Err(SolveError::NoSolver {
+            problem: self.spec.name().to_string(),
+        })
+    }
+
+    /// Decides whether the problem has *any* valid labelling on the torus
+    /// (the exact SAT existence question, independent of round budgets).
+    pub fn solvable(&self, torus: &Torus2) -> Result<bool, SolveError> {
+        let problem = self
+            .spec
+            .grid_problem()
+            .ok_or_else(|| self.boundary_only_error())?;
+        Ok(existence::solvable(problem, torus))
+    }
+
+    /// The one-sided classification adapter (§7): `Constant` if a
+    /// constant labelling works, `LogStar` with certainty if a certified
+    /// hand-built `O(log* n)` solver is registered or synthesis succeeds
+    /// within the engine's `k` budget (memoised), `Global` otherwise —
+    /// which, by Theorem 3, no procedure can sharpen.
+    pub fn classify(&self) -> Result<GridClass, SolveError> {
+        if self.spec.grid_problem().is_none() {
+            return Err(self.boundary_only_error());
+        }
+        if self.spec.constant_solution().is_some() {
+            return Ok(GridClass::Constant);
+        }
+        // A hand-built solver in the plan is an a-priori log* upper bound
+        // (Theorems 4 and 15), independent of the synthesis budget.
+        let certified_log_star = self.plan.iter().any(|s| {
+            s.capabilities().complexity == Complexity::LogStar
+                && s.name() != registry::SYNTHESIS_SOLVER_NAME
+        });
+        if certified_log_star {
+            return Ok(GridClass::LogStar);
+        }
+        match self
+            .registry
+            .memoised_synthesis(&self.spec, self.opts.max_synthesis_k)
+        {
+            Some(_) => Ok(GridClass::LogStar),
+            None => Ok(GridClass::Global),
+        }
+    }
+
+    /// Solves the corner coordination problem on a boundary grid
+    /// (Appendix A.3). Labels encode each node's out-pointer: 0 = none,
+    /// 1 = north, 2 = east, 3 = south, 4 = west.
+    pub fn solve_boundary(&self, grid: &BoundaryGrid) -> Result<Labelling, SolveError> {
+        if self.spec.topology() != Topology::Boundary {
+            return Err(SolveError::TopologyUnsupported {
+                problem: self.spec.name().to_string(),
+                reason: format!(
+                    "{} lives on an oriented torus; use Engine::solve",
+                    self.spec.name()
+                ),
+            });
+        }
+        let forest = corner::solve_boundary_paths(grid);
+        corner::check(grid, &forest).map_err(|detail| SolveError::SolverFailed {
+            solver: "boundary-paths".to_string(),
+            detail,
+        })?;
+        let labels = encode_forest(grid, &forest);
+        let mut rounds = Rounds::new();
+        // Proposition 28: radius 2√n = 2m exploration suffices.
+        rounds.charge("corner-exploration", 2 * grid.side() as u64);
+        let mut report = SolveReport::new(self.spec.name(), "boundary-paths", rounds);
+        report.validated = true;
+        Ok(Labelling { labels, report })
+    }
+
+    fn boundary_only_error(&self) -> SolveError {
+        SolveError::TopologyUnsupported {
+            problem: self.spec.name().to_string(),
+            reason: format!("{} lives on a {}", self.spec.name(), self.spec.topology()),
+        }
+    }
+}
+
+/// Encodes a pseudoforest as per-node out-pointer labels (0 = none,
+/// 1 = north, 2 = east, 3 = south, 4 = west).
+fn encode_forest(grid: &BoundaryGrid, forest: &PseudoForest) -> Vec<Label> {
+    let m = grid.side();
+    let mut labels = vec![0 as Label; m * m];
+    for &(u, v) in &forest.arcs {
+        let (ux, uy) = (u % m, u / m);
+        let (vx, vy) = (v % m, v / m);
+        labels[u] = match (vx as i64 - ux as i64, vy as i64 - uy as i64) {
+            (0, 1) => 1,
+            (1, 0) => 2,
+            (0, -1) => 3,
+            (-1, 0) => 4,
+            _ => unreachable!("checked arcs are grid edges"),
+        };
+    }
+    labels
+}
+
+/// Decodes out-pointer labels back to a [`PseudoForest`] (the inverse of
+/// the encoding used by [`Engine::solve_boundary`]), for re-validation
+/// with [`lcl_algorithms::corner::check`].
+pub fn decode_forest(grid: &BoundaryGrid, labels: &[Label]) -> PseudoForest {
+    let m = grid.side();
+    let mut arcs = Vec::new();
+    for (u, &l) in labels.iter().enumerate() {
+        let (x, y) = ((u % m) as i64, (u / m) as i64);
+        let (dx, dy) = match l {
+            0 => continue,
+            1 => (0, 1),
+            2 => (1, 0),
+            3 => (0, -1),
+            4 => (-1, 0),
+            _ => continue,
+        };
+        let (vx, vy) = (x + dx, y + dy);
+        if vx < 0 || vy < 0 || vx >= m as i64 || vy >= m as i64 {
+            continue;
+        }
+        arcs.push((u, (vy as usize) * m + vx as usize));
+    }
+    PseudoForest { arcs }
+}

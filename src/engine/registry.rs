@@ -1,0 +1,431 @@
+//! Solver adapters and the problem→solver registry.
+//!
+//! The registry owns the resolution policy "best available first": a
+//! constant labelling when one exists (`O(1)`), then the hand-built §8/§10
+//! constructions, then §7 normal-form synthesis (memoised per problem),
+//! and finally the SAT-backed existence solver — the `Θ(n)` baseline that
+//! is exact but slow. The [`crate::engine::Engine`] walks this plan and
+//! falls through on capability mismatches and typed errors.
+
+use super::error::SolveError;
+use super::spec::{ProblemSpec, Topology};
+use super::{Capabilities, Complexity, Labelling, Solve, SolveReport};
+use lcl_algorithms::edge_colouring::EdgeColouring;
+use lcl_algorithms::four_colouring::FourColouring;
+use lcl_algorithms::{AlgoError, Profile};
+use lcl_core::problems::XSet;
+use lcl_core::synthesis::{synthesize_auto, SynthRunError, SynthesizedAlgorithm};
+use lcl_core::{existence, GridProblem};
+use lcl_local::{GridInstance, Rounds};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Options the registry consults when planning solvers for a problem.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanOptions {
+    /// Parameter profile for the hand-built constructions.
+    pub profile: Profile,
+    /// Largest anchor spacing `k` synthesis may try.
+    pub max_synthesis_k: usize,
+    /// Seed for the SAT fallback's branching phases (solution sampling).
+    pub seed: Option<u64>,
+}
+
+impl Default for PlanOptions {
+    fn default() -> PlanOptions {
+        PlanOptions {
+            profile: Profile::Practical,
+            max_synthesis_k: 3,
+            seed: None,
+        }
+    }
+}
+
+/// Memoised synthesis results, shared by every engine built from the same
+/// registry: synthesising `A′` is expensive (it is a SAT call over all
+/// realizable tiles), while running it is cheap, so batch workloads must
+/// pay the cost once.
+#[derive(Default)]
+pub(crate) struct SynthCache {
+    map: Mutex<HashMap<String, Option<SynthesizedAlgorithm>>>,
+}
+
+/// The stable name of the synthesis adapter, used by
+/// [`crate::engine::Engine::classify`] to tell certified hand-built
+/// `O(log* n)` solvers apart from the conditional synthesis path.
+pub(crate) const SYNTHESIS_SOLVER_NAME: &str = "synthesised-tiles";
+
+/// True iff §7 synthesis applies: every structured problem, and generic
+/// block LCLs with alphabets the CNF encoder tabulates (≤ 8).
+fn synthesisable(problem: &GridProblem) -> bool {
+    !matches!(problem, GridProblem::Block(b) if b.alphabet() > 8)
+}
+
+/// The canonical cache key of a problem: the name alone is not enough,
+/// because two different custom [`GridProblem::Block`] LCLs may be
+/// registered under the same free-form name in a shared registry.
+fn cache_key(problem: &GridProblem, name: &str, max_k: usize) -> String {
+    use std::hash::{Hash, Hasher};
+    match problem {
+        // Structured problems are fully determined by their canonical name.
+        GridProblem::Block(b) => {
+            let mut blocks: Vec<_> = b.allowed_blocks().collect();
+            blocks.sort_unstable();
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            b.alphabet().hash(&mut hasher);
+            blocks.hash(&mut hasher);
+            format!("{name}#{:016x}@k{max_k}", hasher.finish())
+        }
+        _ => format!("{name}@k{max_k}"),
+    }
+}
+
+impl SynthCache {
+    /// Returns the cached synthesis outcome for `spec` at `max_k`,
+    /// synthesising on the first request.
+    fn get_or_synthesize(
+        &self,
+        problem: &GridProblem,
+        name: &str,
+        max_k: usize,
+    ) -> Option<SynthesizedAlgorithm> {
+        let key = cache_key(problem, name, max_k);
+        if let Some(hit) = self.map.lock().unwrap().get(&key) {
+            return hit.clone();
+        }
+        // Synthesise outside the lock: long SAT calls must not serialise
+        // unrelated problems.
+        let outcome = synthesize_auto(problem, max_k);
+        self.map
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(outcome)
+            .clone()
+    }
+
+    fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+}
+
+/// Maps a [`ProblemSpec`] to an ordered plan of [`Solve`] implementations,
+/// best first. Also the home of the named problem library and the shared
+/// synthesis cache.
+#[derive(Default)]
+pub struct Registry {
+    synth_cache: Arc<SynthCache>,
+}
+
+impl Registry {
+    /// A registry with the built-in solver families and an empty synthesis
+    /// cache.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Number of problems with a memoised synthesis outcome.
+    pub fn cached_syntheses(&self) -> usize {
+        self.synth_cache.len()
+    }
+
+    /// The named problem library: every problem the paper classifies that
+    /// the engine ships a solver for. Integration tests iterate this.
+    pub fn problems() -> Vec<ProblemSpec> {
+        vec![
+            ProblemSpec::independent_set(),
+            ProblemSpec::orientation(XSet::from_degrees(&[2])),
+            ProblemSpec::vertex_colouring(3),
+            ProblemSpec::vertex_colouring(4),
+            ProblemSpec::vertex_colouring(5),
+            ProblemSpec::edge_colouring(4),
+            ProblemSpec::edge_colouring(5),
+            ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4])),
+            ProblemSpec::orientation(XSet::from_degrees(&[0, 1, 3])),
+            ProblemSpec::orientation(XSet::from_degrees(&[1, 3])),
+            ProblemSpec::orientation(XSet::from_degrees(&[0, 3, 4])),
+            ProblemSpec::mis_with_pointers(),
+            ProblemSpec::corner_coordination(),
+        ]
+    }
+
+    /// Resolves the ordered solver plan for a problem. An empty plan means
+    /// [`SolveError::NoSolver`].
+    pub fn plan(&self, spec: &ProblemSpec, opts: &PlanOptions) -> Vec<Box<dyn Solve>> {
+        let mut plan: Vec<Box<dyn Solve>> = Vec::new();
+        let problem = match spec.grid_problem() {
+            Some(p) => p,
+            None => return plan, // corner coordination: see Engine::solve_boundary
+        };
+        if let Some(label) = problem.constant_solution() {
+            plan.push(Box::new(ConstantSolver {
+                problem: spec.name().to_string(),
+                label,
+            }));
+        }
+        match problem {
+            GridProblem::VertexColouring { k: 4 } => plan.push(Box::new(BallCarvingSolver {
+                problem: spec.name().to_string(),
+                algo: FourColouring::new(opts.profile),
+            })),
+            GridProblem::EdgeColouring { k: 5 } => plan.push(Box::new(CutAndColourSolver {
+                problem: spec.name().to_string(),
+                algo: EdgeColouring::new(opts.profile),
+            })),
+            _ => {}
+        }
+        if synthesisable(problem) {
+            plan.push(Box::new(SynthesisSolver {
+                problem: spec.name().to_string(),
+                grid_problem: problem.clone(),
+                max_k: opts.max_synthesis_k,
+                cache: Arc::clone(&self.synth_cache),
+            }));
+        }
+        // SAT existence: exact for every n, Θ(n) rounds, small alphabets
+        // only for the generic encoder (≤ 16).
+        let sat_encodable = !matches!(problem, GridProblem::Block(b) if b.alphabet() > 16);
+        if sat_encodable {
+            plan.push(Box::new(SatExistenceSolver {
+                problem: spec.name().to_string(),
+                grid_problem: problem.clone(),
+                seed: opts.seed,
+            }));
+        }
+        plan
+    }
+
+    /// Memoised synthesis for a spec (the adapter [`Engine::classify`]
+    /// and [`SynthesisSolver`] share). Returns `None` without attempting
+    /// synthesis for problems the CNF encoder cannot tabulate.
+    pub(crate) fn memoised_synthesis(
+        &self,
+        spec: &ProblemSpec,
+        max_k: usize,
+    ) -> Option<SynthesizedAlgorithm> {
+        let problem = spec.grid_problem()?;
+        if !synthesisable(problem) {
+            return None;
+        }
+        self.synth_cache
+            .get_or_synthesize(problem, spec.name(), max_k)
+    }
+}
+
+/// `O(1)`: output the constant label everywhere (§7 triviality criterion).
+struct ConstantSolver {
+    problem: String,
+    label: u16,
+}
+
+impl Solve for ConstantSolver {
+    fn name(&self) -> &str {
+        "constant"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            topology: Topology::Torus,
+            min_side: 1,
+            square_only: false,
+            complexity: Complexity::Constant,
+        }
+    }
+
+    fn solve(&self, inst: &GridInstance) -> Result<Labelling, SolveError> {
+        let mut rounds = Rounds::new();
+        rounds.charge("constant-output", 0);
+        Ok(Labelling {
+            labels: vec![self.label; inst.torus().node_count()],
+            report: SolveReport::new(&self.problem, self.name(), rounds),
+        })
+    }
+}
+
+fn algo_error(problem: &str, solver: &str, e: AlgoError) -> SolveError {
+    match e {
+        AlgoError::TorusTooSmall { min_side, side, .. } => SolveError::TorusTooSmall {
+            problem: problem.to_string(),
+            min_side,
+            side,
+        },
+        AlgoError::EscalationExhausted { detail, .. } => SolveError::SolverFailed {
+            solver: solver.to_string(),
+            detail,
+        },
+    }
+}
+
+/// §8: vertex 4-colouring by ball carving, `O(log* n)`.
+struct BallCarvingSolver {
+    problem: String,
+    algo: FourColouring,
+}
+
+impl Solve for BallCarvingSolver {
+    fn name(&self) -> &str {
+        "ball-carving-4-colouring"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            topology: Topology::Torus,
+            min_side: self.algo.min_side(),
+            square_only: true,
+            complexity: Complexity::LogStar,
+        }
+    }
+
+    fn solve(&self, inst: &GridInstance) -> Result<Labelling, SolveError> {
+        let run = self
+            .algo
+            .try_solve(inst)
+            .map_err(|e| algo_error(&self.problem, self.name(), e))?;
+        let report = SolveReport::new(&self.problem, self.name(), run.rounds)
+            .with_detail("ell", run.ell)
+            .with_detail("anchors", run.anchors)
+            .with_detail("max_component", run.max_component);
+        Ok(Labelling {
+            labels: run.labels,
+            report,
+        })
+    }
+}
+
+/// §10: edge 5-colouring via `j,k`-independent cut sets, `O(log* n)`.
+struct CutAndColourSolver {
+    problem: String,
+    algo: EdgeColouring,
+}
+
+impl Solve for CutAndColourSolver {
+    fn name(&self) -> &str {
+        "cut-and-colour-5-edge-colouring"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            topology: Topology::Torus,
+            min_side: self.algo.min_side(),
+            square_only: true,
+            complexity: Complexity::LogStar,
+        }
+    }
+
+    fn solve(&self, inst: &GridInstance) -> Result<Labelling, SolveError> {
+        let run = self
+            .algo
+            .try_solve(inst)
+            .map_err(|e| algo_error(&self.problem, self.name(), e))?;
+        let report = SolveReport::new(&self.problem, self.name(), run.rounds)
+            .with_detail("k", run.k)
+            .with_detail("spacing", run.spacing)
+            .with_detail("measured_j", run.measured_j);
+        Ok(Labelling {
+            labels: run.labels,
+            report,
+        })
+    }
+}
+
+/// §7: the synthesised normal form `A′ ∘ S_k`, `O(log* n)`, memoised.
+struct SynthesisSolver {
+    problem: String,
+    grid_problem: GridProblem,
+    max_k: usize,
+    cache: Arc<SynthCache>,
+}
+
+impl Solve for SynthesisSolver {
+    fn name(&self) -> &str {
+        SYNTHESIS_SOLVER_NAME
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            topology: Topology::Torus,
+            // The smallest conceivable window frame (k = 1, 3×2 window);
+            // the exact bound depends on the synthesised k and is checked
+            // again in solve().
+            min_side: 5,
+            square_only: false,
+            complexity: Complexity::LogStar,
+        }
+    }
+
+    fn solve(&self, inst: &GridInstance) -> Result<Labelling, SolveError> {
+        let algo = self
+            .cache
+            .get_or_synthesize(&self.grid_problem, &self.problem, self.max_k)
+            .ok_or_else(|| SolveError::SynthesisFailed {
+                problem: self.problem.clone(),
+                max_k: self.max_k,
+            })?;
+        let run = algo.try_run(inst).map_err(|e| match e {
+            SynthRunError::TorusTooSmall { min_side, .. } => SolveError::TorusTooSmall {
+                problem: self.problem.clone(),
+                min_side,
+                side: inst.torus().width().min(inst.torus().height()),
+            },
+            SynthRunError::UnrealizableWindow { at } => SolveError::SolverFailed {
+                solver: self.name().to_string(),
+                detail: format!("anchor window at {at} is not a realizable tile"),
+            },
+        })?;
+        let report = SolveReport::new(&self.problem, self.name(), run.rounds)
+            .with_detail("k", algo.k())
+            .with_detail("window", algo.shape())
+            .with_detail("table_len", algo.table_len());
+        Ok(Labelling {
+            labels: run.labels,
+            report,
+        })
+    }
+}
+
+/// The `Θ(n)` baseline: gather the whole grid and let the CDCL solver
+/// produce a canonical solution; exact unsolvability proofs for free.
+struct SatExistenceSolver {
+    problem: String,
+    grid_problem: GridProblem,
+    seed: Option<u64>,
+}
+
+impl Solve for SatExistenceSolver {
+    fn name(&self) -> &str {
+        "sat-existence"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            topology: Topology::Torus,
+            min_side: 1,
+            square_only: false,
+            complexity: Complexity::Linear,
+        }
+    }
+
+    fn solve(&self, inst: &GridInstance) -> Result<Labelling, SolveError> {
+        let torus = inst.torus();
+        let labels = match self.seed {
+            Some(seed) => existence::solve_seeded(&self.grid_problem, &torus, seed),
+            None => existence::solve(&self.grid_problem, &torus),
+        }
+        .ok_or_else(|| SolveError::Unsolvable {
+            problem: self.problem.clone(),
+            width: torus.width(),
+            height: torus.height(),
+        })?;
+        let mut rounds = Rounds::new();
+        // Gathering the full instance costs the torus diameter.
+        rounds.charge(
+            "gather-whole-grid",
+            (torus.width() / 2 + torus.height() / 2) as u64,
+        );
+        rounds.charge("central-sat-solve", 0);
+        Ok(Labelling {
+            labels,
+            report: SolveReport::new(&self.problem, self.name(), rounds),
+        })
+    }
+}

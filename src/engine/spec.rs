@@ -1,0 +1,186 @@
+//! The canonical problem representation the engine dispatches on.
+//!
+//! Every radius-1 LCL on oriented grids normalises to a set of allowed
+//! 2×2 blocks (§3), so a [`ProblemSpec`] is fundamentally a
+//! [`GridProblem`] plus a stable name; the named constructors tag the
+//! problem library of [`lcl_core::problems`] so that the
+//! [`Registry`](crate::engine::Registry) can recognise the problems with
+//! hand-built algorithms. Corner coordination (Appendix A.3) lives on
+//! bounded grids rather than tori and is carried as its own variant.
+
+use lcl_core::lcl::{Block, BlockLcl};
+use lcl_core::problems::{self, XSet};
+use lcl_core::{GridProblem, Label, Violation};
+use lcl_grid::Torus2;
+use std::fmt;
+
+/// The topology a problem (or a solver) lives on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// Oriented two-dimensional tori — the paper's main setting.
+    Torus,
+    /// Non-toroidal `m × m` grids with boundary (Appendix A.3).
+    Boundary,
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Topology::Torus => write!(f, "oriented torus"),
+            Topology::Boundary => write!(f, "boundary grid"),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum SpecKind {
+    Grid(GridProblem),
+    Corner,
+}
+
+/// A canonical, named LCL problem — the engine's single problem currency.
+///
+/// # Example
+///
+/// ```
+/// use lcl_grids::engine::ProblemSpec;
+/// let spec = ProblemSpec::vertex_colouring(4);
+/// assert_eq!(spec.name(), "vertex-4-colouring");
+/// assert_eq!(spec.to_block_lcl().unwrap().alphabet(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ProblemSpec {
+    name: String,
+    kind: SpecKind,
+}
+
+impl ProblemSpec {
+    /// Proper vertex `k`-colouring (§1.3).
+    pub fn vertex_colouring(k: u16) -> ProblemSpec {
+        ProblemSpec::from_problem(problems::vertex_colouring(k))
+    }
+
+    /// Proper edge `k`-colouring (§1.3); labels encode (east, north).
+    pub fn edge_colouring(k: u16) -> ProblemSpec {
+        ProblemSpec::from_problem(problems::edge_colouring(k))
+    }
+
+    /// `X`-orientation (§11).
+    pub fn orientation(x: XSet) -> ProblemSpec {
+        ProblemSpec::from_problem(problems::orientation(x))
+    }
+
+    /// Maximal independent set with dominator pointers.
+    pub fn mis_with_pointers() -> ProblemSpec {
+        ProblemSpec {
+            name: "mis-with-pointers".to_string(),
+            kind: SpecKind::Grid(problems::mis_with_pointers()),
+        }
+    }
+
+    /// Independent set (solvable by the empty set, hence `O(1)`).
+    pub fn independent_set() -> ProblemSpec {
+        ProblemSpec {
+            name: "independent-set".to_string(),
+            kind: SpecKind::Grid(problems::independent_set()),
+        }
+    }
+
+    /// The corner coordination problem on boundary grids (Appendix A.3).
+    pub fn corner_coordination() -> ProblemSpec {
+        ProblemSpec {
+            name: "corner-coordination".to_string(),
+            kind: SpecKind::Corner,
+        }
+    }
+
+    /// A custom block LCL under an explicit name.
+    pub fn block(name: impl Into<String>, lcl: BlockLcl) -> ProblemSpec {
+        ProblemSpec {
+            name: name.into(),
+            kind: SpecKind::Grid(GridProblem::Block(lcl)),
+        }
+    }
+
+    /// Wraps any [`GridProblem`] under its canonical name.
+    pub fn from_problem(problem: GridProblem) -> ProblemSpec {
+        ProblemSpec {
+            name: problem.name(),
+            kind: SpecKind::Grid(problem),
+        }
+    }
+
+    /// The stable problem name (also the registry and cache key).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The topology the problem lives on.
+    pub fn topology(&self) -> Topology {
+        match self.kind {
+            SpecKind::Grid(_) => Topology::Torus,
+            SpecKind::Corner => Topology::Boundary,
+        }
+    }
+
+    /// The underlying grid problem, if this is a torus problem.
+    pub fn grid_problem(&self) -> Option<&GridProblem> {
+        match &self.kind {
+            SpecKind::Grid(p) => Some(p),
+            SpecKind::Corner => None,
+        }
+    }
+
+    /// Output alphabet size (corner coordination uses the 5 out-pointer
+    /// labels of [`crate::engine::Engine::solve_boundary`]).
+    pub fn alphabet(&self) -> u16 {
+        match &self.kind {
+            SpecKind::Grid(p) => p.alphabet(),
+            SpecKind::Corner => 5,
+        }
+    }
+
+    /// The canonical normal form: the explicit set of allowed 2×2 blocks,
+    /// tabulated from the problem's validity predicate. `None` for
+    /// non-torus problems.
+    ///
+    /// This is the "one representation" every torus problem converts to;
+    /// it also serves as an independent checker for engine output.
+    pub fn to_block_lcl(&self) -> Option<BlockLcl> {
+        let p = self.grid_problem()?;
+        Some(BlockLcl::from_predicate(p.alphabet(), |b| {
+            p.block_allowed(b)
+        }))
+    }
+
+    /// True iff the 2×2 window is allowed (torus problems only).
+    pub fn block_allowed(&self, block: Block) -> bool {
+        match &self.kind {
+            SpecKind::Grid(p) => p.block_allowed(block),
+            SpecKind::Corner => false,
+        }
+    }
+
+    /// A label whose constant labelling is valid — the `O(1)` criterion.
+    pub fn constant_solution(&self) -> Option<Label> {
+        self.grid_problem().and_then(|p| p.constant_solution())
+    }
+
+    /// Checks a labelling with the independent block checker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-torus problem or with a labelling of the
+    /// wrong length.
+    pub fn check(&self, torus: &Torus2, labels: &[Label]) -> Result<(), Violation> {
+        self.grid_problem()
+            .expect("check() applies to torus problems")
+            .check(torus, labels)
+    }
+}
+
+impl fmt::Display for ProblemSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on {}", self.name, self.topology())
+    }
+}

@@ -4,7 +4,51 @@
 //! Hirvonen, Korhonen, Lempiäinen, Östergård, Purcell, Rybicki, Suomela,
 //! Uznański — PODC 2017, arXiv:1702.05456).
 //!
-//! This umbrella crate re-exports the whole workspace:
+//! # The engine: one way in
+//!
+//! The paper's central message is that every radius-1 LCL on oriented
+//! grids reduces to one normal form (sets of allowed 2×2 blocks) and one
+//! complexity landscape (`O(1)`, `Θ(log* n)`, `Θ(n)`); the [`engine`]
+//! module gives this repository the matching API. Describe the problem as
+//! a [`engine::ProblemSpec`], build an [`engine::Engine`], and solve —
+//! the engine's [`engine::Registry`] dispatches to the best available
+//! solver family (hand-built §8/§10 constructions, §7 normal-form
+//! synthesis with memoised SAT calls, or the exact `Θ(n)` SAT existence
+//! baseline) and re-validates every labelling with the independent block
+//! checker:
+//!
+//! ```
+//! use lcl_grids::engine::{Engine, ProblemSpec};
+//! use lcl_grids::local::{GridInstance, IdAssignment};
+//!
+//! // Proper vertex 5-colouring: Θ(log* n), synthesis finds the algorithm.
+//! let engine = Engine::builder()
+//!     .problem(ProblemSpec::vertex_colouring(5))
+//!     .max_synthesis_k(2)
+//!     .build()
+//!     .unwrap();
+//!
+//! let inst = GridInstance::new(16, &IdAssignment::Shuffled { seed: 1 });
+//! let labelling = engine.solve(&inst).unwrap();
+//! assert!(labelling.report.validated);
+//!
+//! // Failures are typed values, not panics:
+//! use lcl_grids::engine::SolveError;
+//! let odd = Engine::builder()
+//!     .problem(ProblemSpec::vertex_colouring(2))
+//!     .max_synthesis_k(1)
+//!     .build()
+//!     .unwrap();
+//! let err = odd.solve(&GridInstance::new(5, &IdAssignment::Sequential));
+//! assert!(matches!(err, Err(SolveError::Unsolvable { .. })));
+//! ```
+//!
+//! Batch workloads go through [`engine::Engine::solve_batch`], which
+//! amortises synthesis across instances; round budgets
+//! ([`engine::EngineBuilder::rounds_budget`]) make the engine refuse
+//! solutions that are asymptotically too slow for the caller.
+//!
+//! # The layers underneath
 //!
 //! * [`grid`] — toroidal grid topologies, metrics, powers, Voronoi tilings.
 //! * [`local`] — the LOCAL model: identifiers, views, round accounting, and
@@ -22,17 +66,14 @@
 //! * [`lowerbounds`] — q-sum coordination (§9), row invariants for
 //!   3-colouring and {0,3,4}-orientations, parity impossibilities.
 //!
-//! # Quickstart
-//!
-//! ```
-//! use lcl_grids::core::problems;
-//! use lcl_grids::core::synthesis::{synthesize, SynthesisConfig};
-//!
-//! // Synthesise an optimal O(log* n) algorithm for 4-colouring (§7):
-//! let problem = problems::vertex_colouring(4);
-//! let algo = synthesize(&problem, &SynthesisConfig::for_k(3)).expect("k=3 succeeds");
-//! assert_eq!(algo.k(), 3);
-//! ```
+//! The domain crates stay importable for research workflows (cycle
+//! classification, the speed-up transformation, invariant experiments);
+//! for *solving grid LCLs*, the engine is the documented way in. See
+//! DESIGN.md for the architecture and the solver escalation scheme.
+
+pub mod engine;
+
+pub use engine::{Engine, Labelling, ProblemSpec, Registry, Solve, SolveError};
 
 pub use lcl_algorithms as algorithms;
 pub use lcl_core as core;

@@ -1,0 +1,338 @@
+//! Integration tests for the unified engine API: every problem in the
+//! registry solves through [`Engine`] and re-validates against the
+//! *independent* canonical block checker; failures come back as typed
+//! [`SolveError`] values, never panics.
+
+use lcl_grids::algorithms::corner::{self, BoundaryGrid};
+use lcl_grids::core::classify::GridClass;
+use lcl_grids::core::lcl::block_at;
+use lcl_grids::core::problems::XSet;
+use lcl_grids::engine::{decode_forest, Engine, ProblemSpec, Registry, SolveError, Topology};
+use lcl_grids::local::{GridInstance, IdAssignment};
+use std::sync::Arc;
+
+fn engine_for(spec: ProblemSpec, registry: &Arc<Registry>) -> Engine {
+    Engine::builder()
+        .problem(spec)
+        .max_synthesis_k(2)
+        .registry(Arc::clone(registry))
+        .build()
+        .expect("every registry problem has a solver plan")
+}
+
+/// Every torus problem in the registry solves on a small torus through
+/// the engine, and the labelling passes the canonical-normal-form checker
+/// (an independent tabulation of the validity predicate).
+#[test]
+fn registry_problems_solve_and_revalidate() {
+    let registry = Arc::new(Registry::new());
+    let inst = GridInstance::new(12, &IdAssignment::Shuffled { seed: 2017 });
+    let torus = inst.torus();
+    for spec in Registry::problems() {
+        if spec.topology() != Topology::Torus {
+            continue; // corner coordination: see boundary test below
+        }
+        let name = spec.name().to_string();
+        let block_lcl = spec.to_block_lcl().expect("torus problems normalise");
+        let engine = engine_for(spec, &registry);
+        let labelling = engine
+            .solve(&inst)
+            .unwrap_or_else(|e| panic!("{name} failed on 12x12: {e}"));
+        assert_eq!(labelling.labels.len(), torus.node_count(), "{name}");
+        assert!(labelling.report.validated, "{name}");
+        // Independent re-validation: every 2x2 window against the
+        // tabulated normal form, not the structured checker the engine
+        // itself used.
+        for p in torus.positions() {
+            let block = block_at(&torus, &labelling.labels, p);
+            assert!(
+                block_lcl.block_allowed(block),
+                "{name}: disallowed block {block:?} at {p} (solver {})",
+                labelling.report.solver
+            );
+        }
+    }
+}
+
+/// The hand-built §8 construction is what the engine picks for vertex
+/// 4-colouring once the torus is big enough for it.
+#[test]
+fn four_colouring_uses_ball_carving_when_it_fits() {
+    let engine = Engine::builder()
+        .problem(ProblemSpec::vertex_colouring(4))
+        .max_synthesis_k(1) // keep synthesis out of the way
+        .build()
+        .unwrap();
+    let inst = GridInstance::new(24, &IdAssignment::Shuffled { seed: 3 });
+    let labelling = engine.solve(&inst).unwrap();
+    assert_eq!(labelling.report.solver, "ball-carving-4-colouring");
+    // On a torus too small for ball carving the engine falls back to SAT.
+    let small = GridInstance::new(8, &IdAssignment::Shuffled { seed: 3 });
+    let fallback = engine.solve(&small).unwrap();
+    assert_eq!(fallback.report.solver, "sat-existence");
+}
+
+/// Unsolvable instances surface as the exact `Unsolvable` verdict.
+#[test]
+fn unsolvable_is_a_typed_error() {
+    let engine = Engine::builder()
+        .problem(ProblemSpec::vertex_colouring(2))
+        .max_synthesis_k(1)
+        .build()
+        .unwrap();
+    // 2-colouring has no solution on odd tori …
+    let odd = GridInstance::new(5, &IdAssignment::Sequential);
+    match engine.solve(&odd) {
+        Err(SolveError::Unsolvable {
+            problem,
+            width,
+            height,
+        }) => {
+            assert_eq!(problem, "vertex-2-colouring");
+            assert_eq!((width, height), (5, 5));
+        }
+        other => panic!("expected Unsolvable, got {other:?}"),
+    }
+    // … and solves fine on even ones.
+    let even = GridInstance::new(6, &IdAssignment::Sequential);
+    assert!(engine.solve(&even).is_ok());
+    assert_eq!(
+        engine.solvable(&lcl_grids::grid::Torus2::square(6)),
+        Ok(true)
+    );
+    assert_eq!(
+        engine.solvable(&lcl_grids::grid::Torus2::square(7)),
+        Ok(false)
+    );
+}
+
+/// A round budget below the only available solver's cost is reported as
+/// `RoundBudgetExceeded`, with the cheapest achievable count.
+#[test]
+fn round_budget_exhaustion_is_a_typed_error() {
+    // 3-colouring is global: only the Θ(n) SAT baseline can solve it.
+    let engine = Engine::builder()
+        .problem(ProblemSpec::vertex_colouring(3))
+        .max_synthesis_k(1)
+        .rounds_budget(1)
+        .build()
+        .unwrap();
+    let inst = GridInstance::new(6, &IdAssignment::Sequential);
+    match engine.solve(&inst) {
+        Err(SolveError::RoundBudgetExceeded { budget, needed }) => {
+            assert_eq!(budget, 1);
+            assert!(needed > 1, "gathering a 6x6 torus costs its diameter");
+        }
+        other => panic!("expected RoundBudgetExceeded, got {other:?}"),
+    }
+    // A generous budget admits the same solution.
+    let engine = Engine::builder()
+        .problem(ProblemSpec::vertex_colouring(3))
+        .max_synthesis_k(1)
+        .rounds_budget(1_000)
+        .build()
+        .unwrap();
+    assert!(engine.solve(&inst).is_ok());
+}
+
+/// Topology mismatches are typed errors in both directions.
+#[test]
+fn topology_mismatch_is_a_typed_error() {
+    let corner_engine = Engine::builder()
+        .problem(ProblemSpec::corner_coordination())
+        .build()
+        .unwrap();
+    let inst = GridInstance::new(6, &IdAssignment::Sequential);
+    assert!(matches!(
+        corner_engine.solve(&inst),
+        Err(SolveError::TopologyUnsupported { .. })
+    ));
+
+    let torus_engine = Engine::builder()
+        .problem(ProblemSpec::independent_set())
+        .build()
+        .unwrap();
+    assert!(matches!(
+        torus_engine.solve_boundary(&BoundaryGrid::new(5)),
+        Err(SolveError::TopologyUnsupported { .. })
+    ));
+}
+
+/// An engine without a problem refuses to build.
+#[test]
+fn missing_problem_is_a_typed_error() {
+    assert!(matches!(
+        Engine::builder().build().map(|_| ()),
+        Err(SolveError::MissingProblem)
+    ));
+}
+
+/// Corner coordination solves through the engine's boundary path and
+/// decodes back to a pseudoforest the independent checker accepts.
+#[test]
+fn corner_coordination_via_engine() {
+    let engine = Engine::builder()
+        .problem(ProblemSpec::corner_coordination())
+        .build()
+        .unwrap();
+    for m in [3usize, 5, 8] {
+        let grid = BoundaryGrid::new(m);
+        let labelling = engine.solve_boundary(&grid).unwrap();
+        assert_eq!(labelling.labels.len(), m * m);
+        assert!(labelling.report.validated);
+        let forest = decode_forest(&grid, &labelling.labels);
+        corner::check(&grid, &forest).unwrap_or_else(|e| panic!("m={m}: {e}"));
+    }
+}
+
+/// `solve_batch` keeps per-instance failures independent and aggregates
+/// round accounting.
+#[test]
+fn batch_mixes_successes_and_failures() {
+    let engine = Engine::builder()
+        .problem(ProblemSpec::vertex_colouring(2))
+        .max_synthesis_k(1)
+        .build()
+        .unwrap();
+    let batch: Vec<GridInstance> = [4usize, 5, 6, 7]
+        .iter()
+        .map(|&n| GridInstance::new(n, &IdAssignment::Sequential))
+        .collect();
+    let report = engine.solve_batch(&batch);
+    assert_eq!(report.solved(), 2, "even tori solve");
+    assert_eq!(report.failed(), 2, "odd tori are unsolvable");
+    assert!(report.total_rounds() > 0);
+    let results = report.into_results();
+    assert!(results[0].is_ok() && results[2].is_ok());
+    assert!(matches!(results[1], Err(SolveError::Unsolvable { .. })));
+    assert!(matches!(results[3], Err(SolveError::Unsolvable { .. })));
+}
+
+/// Engines sharing a registry share memoised synthesis: the second engine
+/// reuses the first one's SAT-backed synthesis instead of re-running it.
+#[test]
+fn registry_memoises_synthesis_across_engines() {
+    let registry = Arc::new(Registry::new());
+    let spec = ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4]));
+    let inst = GridInstance::new(10, &IdAssignment::Shuffled { seed: 9 });
+
+    let first = engine_for(spec.clone(), &registry);
+    first.solve(&inst).unwrap();
+    assert_eq!(registry.cached_syntheses(), 1);
+
+    let second = engine_for(spec, &registry);
+    let labelling = second.solve(&inst).unwrap();
+    assert_eq!(labelling.report.solver, "synthesised-tiles");
+    assert_eq!(registry.cached_syntheses(), 1, "no re-synthesis");
+}
+
+/// The classification adapter reproduces the paper's verdicts.
+#[test]
+fn classification_through_engine() {
+    let registry = Arc::new(Registry::new());
+    let classify = |spec: ProblemSpec| engine_for(spec, &registry).classify().unwrap();
+    assert_eq!(
+        classify(ProblemSpec::independent_set()),
+        GridClass::Constant
+    );
+    assert_eq!(
+        classify(ProblemSpec::orientation(XSet::from_degrees(&[2]))),
+        GridClass::Constant
+    );
+    assert_eq!(
+        classify(ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4]))),
+        GridClass::LogStar
+    );
+    assert_eq!(
+        classify(ProblemSpec::vertex_colouring(3)),
+        GridClass::Global
+    );
+}
+
+/// classify() consults the certified hand-built solvers, so vertex
+/// 4-colouring is LogStar even when the synthesis budget is too small to
+/// find a certificate (§8 is an a-priori upper bound).
+#[test]
+fn classification_sees_hand_built_upper_bounds() {
+    let engine = Engine::builder()
+        .problem(ProblemSpec::vertex_colouring(4))
+        .max_synthesis_k(1) // synthesis fails at k = 1 (§7)
+        .build()
+        .unwrap();
+    assert_eq!(engine.classify().unwrap(), GridClass::LogStar);
+    let edge = Engine::builder()
+        .problem(ProblemSpec::edge_colouring(5))
+        .max_synthesis_k(1)
+        .build()
+        .unwrap();
+    assert_eq!(edge.classify().unwrap(), GridClass::LogStar);
+}
+
+/// classify() stays panic-free on block problems whose alphabet is too
+/// large for the synthesis encoder (9–16: SAT-only territory).
+#[test]
+fn classification_of_unsynthesisable_block_is_panic_free() {
+    use lcl_grids::core::lcl::BlockLcl;
+    let spec = ProblemSpec::block(
+        "wide-alphabet",
+        BlockLcl::from_predicate(9, |b| b[0] != b[3]),
+    );
+    let engine = Engine::builder()
+        .problem(spec)
+        .max_synthesis_k(2)
+        .build()
+        .unwrap();
+    assert_eq!(engine.solver_names(), vec!["sat-existence"]);
+    assert_eq!(engine.classify().unwrap(), GridClass::Global);
+}
+
+/// Two different block LCLs under the same free-form name must not share
+/// a memoised synthesis outcome in a shared registry.
+#[test]
+fn synthesis_cache_distinguishes_same_named_blocks() {
+    use lcl_grids::core::lcl::BlockLcl;
+    let registry = Arc::new(Registry::new());
+    // Same name, different problems: the {1,3,4}-orientation in block
+    // form (synthesises at k = 1, populating the cache) vs vertex
+    // 2-colouring in block form (global).
+    let x134 = lcl_grids::core::problems::orientation(XSet::from_degrees(&[1, 3, 4]));
+    let easy = ProblemSpec::block("p", BlockLcl::from_predicate(4, |b| x134.block_allowed(b)));
+    let hard = ProblemSpec::block(
+        "p",
+        BlockLcl::from_predicate(2, |[sw, se, nw, ne]| {
+            sw != se && nw != ne && sw != nw && se != ne
+        }),
+    );
+    let classify = |spec: ProblemSpec| {
+        Engine::builder()
+            .problem(spec)
+            .max_synthesis_k(1)
+            .registry(Arc::clone(&registry))
+            .build()
+            .unwrap()
+            .classify()
+            .unwrap()
+    };
+    assert_eq!(classify(easy), GridClass::LogStar);
+    assert!(registry.cached_syntheses() > 0, "cache was populated");
+    assert_eq!(classify(hard), GridClass::Global, "no cache collision");
+}
+
+/// The round ledger of a log* solver stays flat across instance sizes —
+/// the engine reports rounds faithfully enough to see the complexity.
+#[test]
+fn report_rounds_reflect_log_star_behaviour() {
+    let registry = Arc::new(Registry::new());
+    let spec = ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4]));
+    let engine = engine_for(spec, &registry);
+    let rounds = |n: usize| {
+        let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed: 5 });
+        engine.solve(&inst).unwrap().report.rounds.total()
+    };
+    let small = rounds(12);
+    let large = rounds(48);
+    assert!(
+        large <= small + 8,
+        "log* solver rounds grew: {small} -> {large}"
+    );
+}

@@ -1,5 +1,7 @@
-//! Cross-crate integration tests: full pipelines for the experiments of
-//! EXPERIMENTS.md (one test per experiment family).
+//! Cross-crate integration tests: full pipelines for the experiment
+//! families of DESIGN.md §4 (one test per family), exercised through the
+//! domain-layer APIs. The engine-level integration tests live in
+//! `tests/engine.rs`.
 
 use lcl_grids::algorithms::edge_colouring::EdgeColouring;
 use lcl_grids::algorithms::four_colouring::FourColouring;
@@ -23,7 +25,10 @@ fn e1_cycle_classification() {
         classify(&CycleLcl::colouring(3)),
         CycleClass::LogStar { .. }
     ));
-    assert!(matches!(classify(&CycleLcl::mis()), CycleClass::LogStar { .. }));
+    assert!(matches!(
+        classify(&CycleLcl::mis()),
+        CycleClass::LogStar { .. }
+    ));
     assert_eq!(classify(&CycleLcl::colouring(2)), CycleClass::Global);
     assert!(matches!(
         classify(&CycleLcl::independent_set()),
@@ -135,8 +140,7 @@ fn e8_edge_colouring_algorithm() {
 fn e9_three_colouring_invariants() {
     for (n, seed) in [(7usize, 1u64), (9, 2)] {
         let torus = Torus2::square(n);
-        let labels =
-            existence::solve_seeded(&problems::vertex_colouring(3), &torus, seed).unwrap();
+        let labels = existence::solve_seeded(&problems::vertex_colouring(3), &torus, seed).unwrap();
         let s = three_col::s_invariant(&torus, &labels);
         assert_eq!(s.rem_euclid(2), 1, "odd n={n} must give odd s");
     }
@@ -176,7 +180,10 @@ fn e12_normal_form() {
 #[test]
 fn classification_front_end() {
     // O(1): independent set.
-    assert_eq!(probe(&problems::independent_set(), 1).0, GridClass::Constant);
+    assert_eq!(
+        probe(&problems::independent_set(), 1).0,
+        GridClass::Constant
+    );
     // log*: MIS with pointers.
     let (class, algo) = probe(&problems::mis_with_pointers(), 2);
     assert_eq!(class, GridClass::LogStar);
@@ -185,5 +192,8 @@ fn classification_front_end() {
     let run = algo.run(&inst);
     assert!(problems::is_mis(&inst.torus(), &run.labels));
     // global (as far as the probe can tell): 3-colouring.
-    assert_eq!(probe(&problems::vertex_colouring(3), 1).0, GridClass::Global);
+    assert_eq!(
+        probe(&problems::vertex_colouring(3), 1).0,
+        GridClass::Global
+    );
 }
