@@ -174,13 +174,15 @@ pub fn corner_visibility_radius(grid: &BoundaryGrid) -> usize {
     let targets = &grid.corners()[1..];
     let mut dist = vec![usize::MAX; grid.graph.node_count()];
     let mut queue = std::collections::VecDeque::new();
+    let mut nbrs = Vec::with_capacity(4);
     dist[start] = 0;
     queue.push_back(start);
     while let Some(v) = queue.pop_front() {
         if targets.contains(&v) {
             return dist[v];
         }
-        for u in grid.graph.neighbours_vec(v) {
+        grid.graph.neighbours_into(v, &mut nbrs);
+        for &u in &nbrs {
             if dist[u] == usize::MAX {
                 dist[u] = dist[v] + 1;
                 queue.push_back(u);

@@ -1,0 +1,212 @@
+//! Offline benchmark for the batch-solving performance subsystem.
+//!
+//! Measures, on one machine and with no external crates:
+//!
+//! 1. **Synthesis cache**: wall time of a cold solve (SAT synthesis runs)
+//!    vs a warm solve from the persistent disk cache, verified through
+//!    the registry counters and the `synth_origin` solver-report detail.
+//! 2. **Batch throughput**: sequential (`threads(1)`) vs parallel
+//!    (`threads(0)` = all cores) `solve_batch` on a warm registry, plus
+//!    the in-batch labelling dedup on a batch with repeated instances.
+//!
+//! Writes a JSON report (default `BENCH_batch.json`) for the repo's perf
+//! trajectory. `--smoke` shrinks the workload to seconds so CI can keep
+//! the binary honest without benchmarking anything.
+//!
+//! Usage: `batch_bench [--smoke] [--out PATH] [--batch N] [--side N]`
+
+use lcl_grids::core::problems::XSet;
+use lcl_grids::engine::{Engine, ProblemSpec, Registry};
+use lcl_grids::local::{GridInstance, IdAssignment};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Config {
+    smoke: bool,
+    out: PathBuf,
+    batch: usize,
+    side: usize,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        smoke: false,
+        out: PathBuf::from("BENCH_batch.json"),
+        batch: 0,
+        side: 0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--smoke" => cfg.smoke = true,
+            "--out" => cfg.out = PathBuf::from(value("--out")),
+            "--batch" => cfg.batch = value("--batch").parse().expect("--batch: integer"),
+            "--side" => cfg.side = value("--side").parse().expect("--side: integer"),
+            other => panic!("unknown argument {other} (try --smoke, --out, --batch, --side)"),
+        }
+    }
+    if cfg.batch == 0 {
+        cfg.batch = if cfg.smoke { 8 } else { 64 };
+    }
+    if cfg.side == 0 {
+        cfg.side = if cfg.smoke { 8 } else { 20 };
+    }
+    cfg
+}
+
+fn spec() -> ProblemSpec {
+    // {1,3,4}-orientation: synthesises at k = 1 (Lemma 23), so the cold
+    // path exercises one real SAT call and the solve path is the full
+    // normal form A' ∘ S_k.
+    ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4]))
+}
+
+fn engine(registry: &Arc<Registry>, threads: usize, dedup: bool) -> Engine {
+    Engine::builder()
+        .problem(spec())
+        .max_synthesis_k(1)
+        .registry(Arc::clone(registry))
+        .threads(threads)
+        .dedup(dedup)
+        .build()
+        .expect("orientation has a solver plan")
+}
+
+fn ms(from: Instant) -> f64 {
+    from.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let cfg = parse_args();
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let cache_dir = std::env::temp_dir().join(format!("lcl-batch-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    // ── 1. Synthesis cache: cold (SAT) vs warm (disk) ──────────────────
+    let probe = GridInstance::new(cfg.side, &IdAssignment::Shuffled { seed: 1 });
+
+    let cold_registry = Arc::new(Registry::with_cache_dir(&cache_dir));
+    let started = Instant::now();
+    let cold_labelling = engine(&cold_registry, 1, true)
+        .solve(&probe)
+        .expect("cold solve");
+    let cold_ms = ms(started);
+    let cold_origin = cold_labelling
+        .report
+        .detail("synth_origin")
+        .unwrap_or("?")
+        .to_string();
+    assert_eq!(cold_registry.synth_stats().synthesised, 1);
+
+    // A fresh registry simulates a restart: only the disk cache survives.
+    let warm_registry = Arc::new(Registry::with_cache_dir(&cache_dir));
+    let started = Instant::now();
+    let warm_labelling = engine(&warm_registry, 1, true)
+        .solve(&probe)
+        .expect("warm solve");
+    let warm_ms = ms(started);
+    let warm_origin = warm_labelling
+        .report
+        .detail("synth_origin")
+        .unwrap_or("?")
+        .to_string();
+    let warm_stats = warm_registry.synth_stats();
+    assert_eq!(
+        warm_stats.synthesised, 0,
+        "a warm disk cache must eliminate the synthesis SAT call"
+    );
+    assert_eq!(warm_stats.disk_hits, 1);
+    assert_eq!(cold_labelling.labels, warm_labelling.labels);
+
+    // ── 2. Batch throughput on a warm registry ─────────────────────────
+    let distinct = (cfg.batch / 2).max(1);
+    let batch: Vec<GridInstance> = (0..cfg.batch)
+        .map(|i| {
+            GridInstance::new(
+                cfg.side,
+                &IdAssignment::Shuffled {
+                    seed: (i % distinct) as u64,
+                },
+            )
+        })
+        .collect();
+
+    let started = Instant::now();
+    let sequential = engine(&warm_registry, 1, false).solve_batch(&batch);
+    let seq_ms = ms(started);
+    assert_eq!(sequential.solved(), cfg.batch);
+
+    let started = Instant::now();
+    let parallel = engine(&warm_registry, 0, false).solve_batch(&batch);
+    let par_ms = ms(started);
+    assert_eq!(parallel.solved(), cfg.batch);
+
+    let started = Instant::now();
+    let deduped = engine(&warm_registry, 0, true).solve_batch(&batch);
+    let dedup_ms = ms(started);
+    assert_eq!(deduped.solved(), cfg.batch);
+    assert_eq!(deduped.dedup_hits(), cfg.batch - distinct);
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let throughput = |total_ms: f64| cfg.batch as f64 / (total_ms / 1e3);
+    let json = format!(
+        r#"{{
+  "bench": "batch_bench",
+  "smoke": {smoke},
+  "cores": {cores},
+  "batch_size": {batch},
+  "distinct_instances": {distinct},
+  "torus_side": {side},
+  "synthesis_cache": {{
+    "cold_ms": {cold_ms:.3},
+    "warm_ms": {warm_ms:.3},
+    "cold_origin": "{cold_origin}",
+    "warm_origin": "{warm_origin}",
+    "warm_sat_calls": {warm_sat},
+    "warm_disk_hits": {warm_disk}
+  }},
+  "throughput": {{
+    "sequential_ms": {seq_ms:.3},
+    "parallel_ms": {par_ms:.3},
+    "parallel_threads": {par_threads},
+    "parallel_speedup": {par_speedup:.3},
+    "sequential_inst_per_s": {seq_tp:.1},
+    "parallel_inst_per_s": {par_tp:.1},
+    "dedup_ms": {dedup_ms:.3},
+    "dedup_hits": {dedup_hits},
+    "dedup_speedup_vs_sequential": {dedup_speedup:.3}
+  }},
+  "note": "parallel speedup is bounded by the core count reported above"
+}}
+"#,
+        smoke = cfg.smoke,
+        cores = cores,
+        batch = cfg.batch,
+        distinct = distinct,
+        side = cfg.side,
+        cold_ms = cold_ms,
+        warm_ms = warm_ms,
+        cold_origin = cold_origin,
+        warm_origin = warm_origin,
+        warm_sat = warm_stats.synthesised,
+        warm_disk = warm_stats.disk_hits,
+        seq_ms = seq_ms,
+        par_ms = par_ms,
+        par_threads = parallel.threads(),
+        par_speedup = seq_ms / par_ms,
+        seq_tp = throughput(seq_ms),
+        par_tp = throughput(par_ms),
+        dedup_ms = dedup_ms,
+        dedup_hits = deduped.dedup_hits(),
+        dedup_speedup = seq_ms / dedup_ms,
+    );
+    std::fs::write(&cfg.out, &json).expect("write bench report");
+    print!("{json}");
+    eprintln!("wrote {}", cfg.out.display());
+}

@@ -14,7 +14,6 @@ use crate::lcl::{GridProblem, Label};
 use lcl_grid::{Metric, Pos, Torus2};
 use lcl_local::{GridInstance, Rounds};
 use lcl_sat::{exactly_one, Lit, SolveOutcome, Solver, Var};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Typed failure of a synthesised-algorithm run: the `try_run` entry
@@ -86,14 +85,23 @@ impl SynthesisConfig {
 
 /// A synthesised normal-form algorithm `A′ ∘ S_k` (Figure 1): the
 /// problem-independent anchor component plus a finite lookup table.
+///
+/// The table is stored *interned*: the realizable tiles in their sorted
+/// canonical enumeration order plus a parallel label array. Lookups are
+/// binary searches by reference — no tile is ever cloned or hashed on the
+/// hot path, and the flat arrays (de)serialise directly for the
+/// persistent synthesis cache (see [`super::persist`]).
 #[derive(Clone, Debug)]
 pub struct SynthesizedAlgorithm {
-    problem_name: String,
-    k: usize,
-    shape: TileShape,
-    row_off: usize,
-    col_off: usize,
-    table: HashMap<Tile, Label>,
+    pub(in crate::synthesis) problem_name: String,
+    pub(in crate::synthesis) k: usize,
+    pub(in crate::synthesis) shape: TileShape,
+    pub(in crate::synthesis) row_off: usize,
+    pub(in crate::synthesis) col_off: usize,
+    /// Realizable tiles, strictly sorted (the canonical enumeration order).
+    pub(in crate::synthesis) tiles: Vec<Tile>,
+    /// `labels[i]` is `A′(tiles[i])`.
+    pub(in crate::synthesis) labels: Vec<Label>,
 }
 
 /// The result of running a synthesised algorithm.
@@ -119,7 +127,7 @@ impl SynthesizedAlgorithm {
     /// Number of entries in the lookup table (= number of realizable
     /// tiles).
     pub fn table_len(&self) -> usize {
-        self.table.len()
+        self.tiles.len()
     }
 
     /// The problem this algorithm solves.
@@ -127,9 +135,13 @@ impl SynthesizedAlgorithm {
         &self.problem_name
     }
 
-    /// Evaluates `A′` on one anchor window.
+    /// Evaluates `A′` on one anchor window: a binary search over the
+    /// sorted interned tiles — no hashing, no cloning.
     pub fn evaluate(&self, window: &Tile) -> Option<Label> {
-        self.table.get(window).copied()
+        self.tiles
+            .binary_search(window)
+            .ok()
+            .map(|i| self.labels[i])
     }
 
     /// The smallest torus side the algorithm runs on: the `A′` window plus
@@ -187,26 +199,29 @@ impl SynthesizedAlgorithm {
     ) -> Result<Vec<Label>, SynthRunError> {
         assert_eq!(anchors.len(), torus.node_count());
         self.check_size(torus)?;
-        (0..torus.node_count())
-            .map(|v| {
-                let p = torus.pos(v);
-                let mut window = Tile::empty(self.shape);
-                for r in 0..self.shape.rows {
-                    for c in 0..self.shape.cols {
-                        let q = torus.offset(
-                            p,
-                            c as i64 - self.col_off as i64,
-                            r as i64 - self.row_off as i64,
-                        );
-                        window.set(r, c, anchors[torus.index(q)]);
-                    }
+        // One scratch window, overwritten in full for every node: the
+        // per-node loop performs no allocation, and each lookup is a
+        // binary search by reference into the interned tile table.
+        let mut window = Tile::empty(self.shape);
+        let mut labels = Vec::with_capacity(torus.node_count());
+        for v in 0..torus.node_count() {
+            let p = torus.pos(v);
+            for r in 0..self.shape.rows {
+                for c in 0..self.shape.cols {
+                    let q = torus.offset(
+                        p,
+                        c as i64 - self.col_off as i64,
+                        r as i64 - self.row_off as i64,
+                    );
+                    window.set(r, c, anchors[torus.index(q)]);
                 }
-                self.table
-                    .get(&window)
-                    .copied()
-                    .ok_or(SynthRunError::UnrealizableWindow { at: p })
-            })
-            .collect()
+            }
+            match self.tiles.binary_search(&window) {
+                Ok(i) => labels.push(self.labels[i]),
+                Err(_) => return Err(SynthRunError::UnrealizableWindow { at: p }),
+            }
+        }
+        Ok(labels)
     }
 
     fn check_size(&self, torus: &Torus2) -> Result<(), SynthRunError> {
@@ -229,40 +244,33 @@ pub fn synthesize(problem: &GridProblem, config: &SynthesisConfig) -> Option<Syn
     let shape = config.shape;
     let k = config.k;
     let tiles = enumerate_tiles(k, shape);
-    let index: HashMap<Tile, usize> = tiles
-        .iter()
-        .enumerate()
-        .map(|(i, t)| (t.clone(), i))
-        .collect();
+    let index = TileIndex(&tiles);
 
     let mut solver = Solver::new();
     let assignment: AssignmentFn = match problem {
         GridProblem::VertexColouring { k: colours } => {
-            encode_vertex(&mut solver, k, shape, &tiles, &index, *colours)
+            encode_vertex(&mut solver, k, shape, &tiles, index, *colours)
         }
         GridProblem::EdgeColouring { k: colours } => {
-            encode_edge(&mut solver, k, shape, &tiles, &index, *colours)
+            encode_edge(&mut solver, k, shape, &tiles, index, *colours)
         }
         GridProblem::Orientation { x } => {
-            encode_orientation(&mut solver, k, shape, &tiles, &index, *x)
+            encode_orientation(&mut solver, k, shape, &tiles, index, *x)
         }
-        GridProblem::Block(b) => encode_block(&mut solver, k, shape, &tiles, &index, b),
+        GridProblem::Block(b) => encode_block(&mut solver, k, shape, &tiles, index, b),
     };
 
     match solver.solve() {
         SolveOutcome::Sat(model) => {
-            let table = tiles
-                .iter()
-                .enumerate()
-                .map(|(i, t)| (t.clone(), assignment(&model, i)))
-                .collect();
+            let labels = (0..tiles.len()).map(|i| assignment(&model, i)).collect();
             Some(SynthesizedAlgorithm {
                 problem_name: problem.name(),
                 k,
                 shape,
                 row_off: shape.rows / 2,
                 col_off: shape.cols / 2,
-                table,
+                tiles,
+                labels,
             })
         }
         SolveOutcome::Unsat => None,
@@ -289,14 +297,25 @@ pub fn synthesize_auto(problem: &GridProblem, max_k: usize) -> Option<Synthesize
     None
 }
 
+/// The interned tile table: indices are binary searches over the sorted
+/// canonical enumeration, so building the CSP neither hashes nor clones
+/// tiles as map keys.
+#[derive(Clone, Copy)]
+struct TileIndex<'a>(&'a [Tile]);
+
+impl TileIndex<'_> {
+    fn get(&self, tile: &Tile) -> usize {
+        self.0
+            .binary_search(tile)
+            .expect("sub-tile of a realizable tile is realizable (hereditary)")
+    }
+}
+
 /// Corner sub-tiles `[sw, se, nw, ne]` of a `(rows+1) × (cols+1)`
 /// super-tile, as indices into the tile table.
-fn corner_indices(super_tile: &Tile, shape: TileShape, index: &HashMap<Tile, usize>) -> [usize; 4] {
+fn corner_indices(super_tile: &Tile, shape: TileShape, index: TileIndex<'_>) -> [usize; 4] {
     let sub = |r0: usize, c0: usize| -> usize {
-        let t = super_tile.subtile(r0, c0, shape.rows, shape.cols);
-        *index
-            .get(&t)
-            .expect("sub-tile of a realizable tile is realizable (hereditary)")
+        index.get(&super_tile.subtile(r0, c0, shape.rows, shape.cols))
     };
     [sub(0, 0), sub(0, 1), sub(1, 0), sub(1, 1)]
 }
@@ -308,7 +327,7 @@ fn encode_vertex(
     k: usize,
     shape: TileShape,
     tiles: &[Tile],
-    index: &HashMap<Tile, usize>,
+    index: TileIndex<'_>,
     colours: u16,
 ) -> AssignmentFn {
     let vars: Vec<Vec<Var>> = tiles
@@ -321,16 +340,16 @@ fn encode_vertex(
     }
     // Horizontally adjacent windows: super-tiles one column wider.
     for sup in enumerate_tiles(k, TileShape::new(shape.rows, shape.cols + 1)) {
-        let left = index[&sup.subtile(0, 0, shape.rows, shape.cols)];
-        let right = index[&sup.subtile(0, 1, shape.rows, shape.cols)];
+        let left = index.get(&sup.subtile(0, 0, shape.rows, shape.cols));
+        let right = index.get(&sup.subtile(0, 1, shape.rows, shape.cols));
         for (&mine, &theirs) in vars[left].iter().zip(&vars[right]) {
             solver.add_clause([Lit::neg(mine), Lit::neg(theirs)]);
         }
     }
     // Vertically adjacent windows: one row taller.
     for sup in enumerate_tiles(k, TileShape::new(shape.rows + 1, shape.cols)) {
-        let bottom = index[&sup.subtile(0, 0, shape.rows, shape.cols)];
-        let top = index[&sup.subtile(1, 0, shape.rows, shape.cols)];
+        let bottom = index.get(&sup.subtile(0, 0, shape.rows, shape.cols));
+        let top = index.get(&sup.subtile(1, 0, shape.rows, shape.cols));
         for (&mine, &theirs) in vars[bottom].iter().zip(&vars[top]) {
             solver.add_clause([Lit::neg(mine), Lit::neg(theirs)]);
         }
@@ -343,7 +362,7 @@ fn encode_edge(
     k: usize,
     shape: TileShape,
     tiles: &[Tile],
-    index: &HashMap<Tile, usize>,
+    index: TileIndex<'_>,
     colours: u16,
 ) -> AssignmentFn {
     // Factored variables: east colour and north colour per tile.
@@ -386,7 +405,7 @@ fn encode_orientation(
     k: usize,
     shape: TileShape,
     tiles: &[Tile],
-    index: &HashMap<Tile, usize>,
+    index: TileIndex<'_>,
     x: crate::problems::XSet,
 ) -> AssignmentFn {
     // One boolean per tile and owned edge: true = "points away".
@@ -418,7 +437,7 @@ fn encode_block(
     k: usize,
     shape: TileShape,
     tiles: &[Tile],
-    index: &HashMap<Tile, usize>,
+    index: TileIndex<'_>,
     lcl: &crate::lcl::BlockLcl,
 ) -> AssignmentFn {
     let a = lcl.alphabet();

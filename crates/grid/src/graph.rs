@@ -39,6 +39,95 @@ pub trait Graph {
         self.for_each_neighbour(v, &mut |u| out.push(u));
         out
     }
+
+    /// Collects the neighbours of `v` into a caller-provided buffer,
+    /// clearing it first. Hot loops should prefer this over
+    /// [`Graph::neighbours_vec`]: the buffer's capacity is reused across
+    /// calls, so steady state performs no allocation.
+    fn neighbours_into(&self, v: usize, out: &mut Vec<usize>) {
+        out.clear();
+        self.for_each_neighbour(v, &mut |u| out.push(u));
+    }
+
+    /// Materialises the whole adjacency relation as a compact CSR view:
+    /// one flat neighbour array plus per-node offsets. Costs one pass over
+    /// the graph; afterwards every neighbour list is a slice borrow, so
+    /// per-node scans stop allocating entirely.
+    fn adjacency(&self) -> CsrAdjacency {
+        let n = self.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut nbrs = Vec::new();
+        offsets.push(0);
+        for v in 0..n {
+            self.for_each_neighbour(v, &mut |u| nbrs.push(u));
+            offsets.push(nbrs.len());
+        }
+        CsrAdjacency { offsets, nbrs }
+    }
+}
+
+/// A compact, immutable adjacency view in CSR (compressed sparse row)
+/// layout: node `v`'s neighbours are the slice
+/// `nbrs[offsets[v]..offsets[v + 1]]`, in [`Graph::for_each_neighbour`]
+/// order (so slice positions coincide with the simulator's port numbers).
+///
+/// Built once via [`Graph::adjacency`]; reading it never allocates.
+#[derive(Clone, Debug)]
+pub struct CsrAdjacency {
+    offsets: Vec<usize>,
+    nbrs: Vec<usize>,
+}
+
+impl CsrAdjacency {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of directed edge slots (`Σ degree(v)`).
+    pub fn edge_slots(&self) -> usize {
+        self.nbrs.len()
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Start of `v`'s slot range in the flat arrays.
+    #[inline]
+    pub fn offset(&self, v: usize) -> usize {
+        self.offsets[v]
+    }
+
+    /// `v`'s slot range in the flat arrays (index it into any per-slot
+    /// arena, e.g. the simulator's message buffers).
+    #[inline]
+    pub fn range(&self, v: usize) -> std::ops::Range<usize> {
+        self.offsets[v]..self.offsets[v + 1]
+    }
+
+    /// The neighbours of `v`, in port order.
+    #[inline]
+    pub fn neighbours(&self, v: usize) -> &[usize] {
+        &self.nbrs[self.range(v)]
+    }
+
+    /// True iff the adjacency relation is symmetric and self-loop free —
+    /// the contract every [`Graph`] implementation must satisfy. Runs in
+    /// `O(Σ degree²/n)` time with no per-edge allocation (the CSR slices
+    /// are borrowed, never rebuilt).
+    pub fn is_symmetric(&self) -> bool {
+        for v in 0..self.node_count() {
+            for &u in self.neighbours(v) {
+                if u == v || !self.neighbours(u).contains(&v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
 }
 
 impl Graph for Torus2 {
@@ -313,15 +402,11 @@ mod tests {
     use super::*;
     use crate::Pos;
 
+    /// Symmetry validation over the CSR view: one adjacency
+    /// materialisation instead of two fresh `neighbours_vec` allocations
+    /// per edge (which was quadratic allocation churn on large tori).
     fn symmetric<G: Graph>(g: &G) -> bool {
-        for v in 0..g.node_count() {
-            for u in g.neighbours_vec(v) {
-                if !g.neighbours_vec(u).contains(&v) {
-                    return false;
-                }
-            }
-        }
-        true
+        g.adjacency().is_symmetric()
     }
 
     #[test]
@@ -384,6 +469,57 @@ mod tests {
         assert_eq!(p.degree(0), 1);
         assert_eq!(p.degree(1), 2);
         assert!(symmetric(&p));
+    }
+
+    #[test]
+    fn csr_matches_neighbours_vec() {
+        let t = Torus2::rect(5, 3);
+        let csr = t.adjacency();
+        assert_eq!(csr.node_count(), 15);
+        assert_eq!(csr.edge_slots(), 15 * 4);
+        let mut buf = Vec::new();
+        for v in 0..csr.node_count() {
+            assert_eq!(csr.neighbours(v), t.neighbours_vec(v).as_slice());
+            assert_eq!(csr.degree(v), t.degree(v));
+            assert_eq!(csr.range(v).len(), csr.degree(v));
+            t.neighbours_into(v, &mut buf);
+            assert_eq!(csr.neighbours(v), buf.as_slice());
+        }
+    }
+
+    #[test]
+    fn neighbours_into_reuses_buffer() {
+        let t = Torus2::square(6);
+        let mut buf = Vec::with_capacity(4);
+        t.neighbours_into(0, &mut buf);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        for v in 1..Graph::node_count(&t) {
+            t.neighbours_into(v, &mut buf);
+        }
+        assert_eq!(buf.capacity(), cap, "buffer capacity must be stable");
+        assert_eq!(buf.as_ptr(), ptr, "buffer must not be reallocated");
+    }
+
+    #[test]
+    fn csr_detects_asymmetry() {
+        // Bypass AdjGraph::add_edge to build a deliberately broken
+        // adjacency: 0 → 1 without the reverse arc.
+        struct OneWay;
+        impl Graph for OneWay {
+            fn node_count(&self) -> usize {
+                2
+            }
+            fn for_each_neighbour(&self, v: usize, f: &mut dyn FnMut(usize)) {
+                if v == 0 {
+                    f(1);
+                }
+            }
+        }
+        assert!(!OneWay.adjacency().is_symmetric());
+        let mut ok = AdjGraph::new(2);
+        ok.add_edge(0, 1);
+        assert!(ok.adjacency().is_symmetric());
     }
 
     #[test]

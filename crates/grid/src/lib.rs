@@ -25,7 +25,7 @@ mod torusd;
 mod voronoi;
 
 pub use dir::Dir4;
-pub use graph::{AdjGraph, CycleGraph, Graph, PathGraph, Power2};
+pub use graph::{AdjGraph, CsrAdjacency, CycleGraph, Graph, PathGraph, Power2};
 pub use torus2::{Metric, Pos, Torus2};
 pub use torusd::{PosD, TorusD};
 pub use voronoi::{VoronoiCell, VoronoiTiling};

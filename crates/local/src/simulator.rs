@@ -105,40 +105,47 @@ impl Simulator {
         let n = graph.node_count();
         assert_eq!(ids.len(), n, "one identifier per node required");
 
-        // Port maps: for each node, its neighbour list; and for each
-        // (node, port) the reverse port on the other side.
-        let nbrs: Vec<Vec<usize>> = (0..n).map(|v| graph.neighbours_vec(v)).collect();
-        let reverse_port: Vec<Vec<usize>> = (0..n)
-            .map(|v| {
-                nbrs[v]
+        // Topology setup, paid once: the CSR adjacency view (slot `i` of
+        // node `v` is its port `i`) and, per slot, the reverse port on the
+        // other side of the edge.
+        let adj = graph.adjacency();
+        let slots = adj.edge_slots();
+        let mut reverse_port = vec![0usize; slots];
+        for v in 0..n {
+            let base = adj.offset(v);
+            for (port, &u) in adj.neighbours(v).iter().enumerate() {
+                reverse_port[base + port] = adj
+                    .neighbours(u)
                     .iter()
-                    .map(|&u| {
-                        nbrs[u]
-                            .iter()
-                            .position(|&w| w == v)
-                            .expect("graph adjacency must be symmetric")
-                    })
-                    .collect()
-            })
-            .collect();
+                    .position(|&w| w == v)
+                    .expect("graph adjacency must be symmetric");
+            }
+        }
 
         let mut states: Vec<P::State> = (0..n)
-            .map(|v| protocol.init(v, ids[v], nbrs[v].len(), n))
+            .map(|v| protocol.init(v, ids[v], adj.degree(v), n))
             .collect();
         let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
-        let mut inboxes: Vec<Vec<Option<P::Msg>>> =
-            (0..n).map(|v| vec![None; nbrs[v].len()]).collect();
+        // Message arenas, double-buffered: flat per-slot buffers indexed by
+        // the CSR offsets. These are the only message storage for the whole
+        // simulation — the round loop below never allocates (asserted by
+        // the counting-allocator test).
+        let mut inbox: Vec<Option<P::Msg>> = (0..slots).map(|_| None).collect();
+        let mut inbox_next: Vec<Option<P::Msg>> = (0..slots).map(|_| None).collect();
+        let mut outbox: Vec<Option<P::Msg>> = (0..slots).map(|_| None).collect();
         let mut done = 0usize;
 
         for round in 1..=self.max_rounds {
             // Compute all outboxes against the previous round's inboxes.
-            let mut outboxes: Vec<Vec<Option<P::Msg>>> =
-                (0..n).map(|v| vec![None; nbrs[v].len()]).collect();
+            // Halted nodes are skipped, so their slots stay drained (None).
             for v in 0..n {
                 if outputs[v].is_some() {
                     continue;
                 }
-                if let Some(out) = protocol.round(&mut states[v], &inboxes[v], &mut outboxes[v]) {
+                let range = adj.range(v);
+                if let Some(out) =
+                    protocol.round(&mut states[v], &inbox[range.clone()], &mut outbox[range])
+                {
                     outputs[v] = Some(out);
                     done += 1;
                 }
@@ -149,20 +156,20 @@ impl Simulator {
                     rounds: round,
                 });
             }
-            // Deliver.
-            for inbox in inboxes.iter_mut() {
-                for slot in inbox.iter_mut() {
-                    *slot = None;
-                }
+            // Deliver into the back buffer, then swap. Taking each outbox
+            // slot leaves the whole outbox arena drained for the next round.
+            for slot in inbox_next.iter_mut() {
+                *slot = None;
             }
             for v in 0..n {
-                for (port, msg) in outboxes[v].iter_mut().enumerate() {
-                    if let Some(m) = msg.take() {
-                        let u = nbrs[v][port];
-                        inboxes[u][reverse_port[v][port]] = Some(m);
+                let base = adj.offset(v);
+                for (port, &u) in adj.neighbours(v).iter().enumerate() {
+                    if let Some(m) = outbox[base + port].take() {
+                        inbox_next[adj.offset(u) + reverse_port[base + port]] = Some(m);
                     }
                 }
             }
+            std::mem::swap(&mut inbox, &mut inbox_next);
         }
         Err(SimulationError::RoundLimitExceeded {
             limit: self.max_rounds,
@@ -259,5 +266,75 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, SimulationError::RoundLimitExceeded { .. }));
         assert!(err.to_string().contains("exceeded"));
+    }
+
+    mod alloc_counting {
+        //! A counting global allocator proving the round loop allocates
+        //! nothing: two runs that differ only in round count must perform
+        //! exactly the same number of heap allocations (setup is identical,
+        //! so any difference would be per-round allocation).
+
+        use super::*;
+        use std::alloc::{GlobalAlloc, Layout, System};
+        use std::cell::Cell;
+
+        thread_local! {
+            static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+        }
+
+        struct CountingAllocator;
+
+        // Safety: defers entirely to `System`; the counter is a const-
+        // initialised thread-local `Cell`, whose access does not allocate.
+        unsafe impl GlobalAlloc for CountingAllocator {
+            unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+                let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+                System.alloc(layout)
+            }
+
+            unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+                System.dealloc(ptr, layout)
+            }
+
+            unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+                let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+                System.realloc(ptr, layout, new_size)
+            }
+        }
+
+        #[global_allocator]
+        static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+        /// Heap allocations performed by `f` on this thread.
+        fn allocations_during<R>(f: impl FnOnce() -> R) -> u64 {
+            let before = ALLOCATIONS.with(Cell::get);
+            let _keep = f();
+            let after = ALLOCATIONS.with(Cell::get);
+            after - before
+        }
+
+        #[test]
+        fn round_loop_is_allocation_free() {
+            let g = CycleGraph::new(48);
+            let ids: Vec<u64> = (1..=48).collect();
+            // Warm up so lazy one-time costs (TLS, allocator internals)
+            // don't skew the first measurement.
+            let _ = Simulator::new(1000).run(&g, &ids, &FloodMax { rounds: 2 });
+            let short = allocations_during(|| {
+                Simulator::new(1000)
+                    .run(&g, &ids, &FloodMax { rounds: 4 })
+                    .unwrap()
+            });
+            let long = allocations_during(|| {
+                Simulator::new(1000)
+                    .run(&g, &ids, &FloodMax { rounds: 100 })
+                    .unwrap()
+            });
+            assert_eq!(
+                short, long,
+                "extra allocations in 96 extra rounds: the message arenas \
+                 are not being reused"
+            );
+        }
     }
 }

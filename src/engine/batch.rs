@@ -1,20 +1,32 @@
 //! The batched solve path.
 //!
-//! `solve_batch` is the entry point production callers should grow into:
-//! it keeps per-instance failures independent (one unsolvable torus does
-//! not poison the batch), shares the engine's memoised synthesis across
-//! items, and is the seam where parallel dispatch and labelling caches
-//! will land (see ROADMAP "Open items").
+//! `solve_batch` is the entry point production callers should grow into.
+//! It keeps per-instance failures independent (one unsolvable torus does
+//! not poison the batch — even a panicking solver comes back as a typed
+//! [`SolveError::Panicked`]), shares the engine's memoised synthesis
+//! across items, dedups identical instances so each distinct labelling is
+//! computed once, and dispatches over the worker pool configured with
+//! [`EngineBuilder::threads`](crate::engine::EngineBuilder::threads).
+//!
+//! Determinism contract: for a fixed engine configuration, the results —
+//! labels, reports, and errors alike — are identical whatever the thread
+//! count, and identical with dedup on or off. The tests in
+//! `tests/batch.rs` pin this down byte-for-byte.
 
-use super::{Engine, Labelling, SolveError};
+use super::registry::fnv1a64;
+use super::{pool, Engine, Labelling, SolveError};
 use lcl_local::GridInstance;
+use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// The outcome of [`Engine::solve_batch`]: one result per instance, in
 /// input order.
 #[derive(Debug)]
 pub struct BatchReport {
     results: Vec<Result<Labelling, SolveError>>,
+    dedup_hits: usize,
+    threads: usize,
 }
 
 impl BatchReport {
@@ -38,6 +50,18 @@ impl BatchReport {
         self.results.len() - self.solved()
     }
 
+    /// Instances answered by the in-batch labelling cache instead of a
+    /// fresh solve (duplicates of an earlier instance in the same batch).
+    pub fn dedup_hits(&self) -> usize {
+        self.dedup_hits
+    }
+
+    /// Worker threads the batch actually ran with (never more than the
+    /// number of instances dispatched after dedup).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Total LOCAL rounds across all solved instances.
     pub fn total_rounds(&self) -> u64 {
         self.results
@@ -52,23 +76,131 @@ impl fmt::Display for BatchReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "batch: {} solved, {} failed, {} total rounds",
+            "batch: {} solved, {} failed, {} deduped, {} total rounds",
             self.solved(),
             self.failed(),
+            self.dedup_hits(),
             self.total_rounds()
         )
+    }
+}
+
+/// Groups a batch into equivalence classes of identical instances (same
+/// torus dimensions, same identifier assignment — solving is
+/// deterministic, so identical inputs have identical outputs).
+///
+/// Returns the representative index of each group (first occurrence, in
+/// input order) and, per instance, the index of its group. Grouping is
+/// keyed by an FNV hash of the identifiers but always verified against
+/// the actual id slices, so a hash collision costs a comparison, never a
+/// wrong share.
+fn dedup_groups(instances: &[GridInstance]) -> (Vec<usize>, Vec<usize>) {
+    let mut reps: Vec<usize> = Vec::new();
+    let mut group_of: Vec<usize> = Vec::with_capacity(instances.len());
+    let mut buckets: HashMap<(usize, usize, u64), Vec<usize>> = HashMap::new();
+    for (i, inst) in instances.iter().enumerate() {
+        let torus = inst.torus();
+        let hash = fnv1a64(inst.ids().iter().flat_map(|id| id.to_le_bytes()));
+        let bucket = buckets
+            .entry((torus.width(), torus.height(), hash))
+            .or_default();
+        let group = bucket
+            .iter()
+            .copied()
+            .find(|&g| instances[reps[g]].ids() == inst.ids());
+        match group {
+            Some(g) => group_of.push(g),
+            None => {
+                let g = reps.len();
+                reps.push(i);
+                bucket.push(g);
+                group_of.push(g);
+            }
+        }
+    }
+    (reps, group_of)
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
 impl Engine {
     /// Solves a batch of torus instances.
     ///
-    /// Currently sequential; the expensive shared work (synthesis) is
-    /// memoised in the registry, so the marginal cost per instance is the
-    /// solver run itself.
+    /// Identical instances are solved once per batch (see
+    /// [`EngineBuilder::dedup`](crate::engine::EngineBuilder::dedup)), and
+    /// distinct instances are dispatched over the configured worker pool
+    /// ([`EngineBuilder::threads`](crate::engine::EngineBuilder::threads)).
+    /// Results come back in input order; per-instance failures — including
+    /// solver panics — stay independent.
     pub fn solve_batch(&self, instances: &[GridInstance]) -> BatchReport {
-        BatchReport {
-            results: instances.iter().map(|inst| self.solve(inst)).collect(),
+        let solve_one = |inst: &GridInstance| -> Result<Labelling, SolveError> {
+            catch_unwind(AssertUnwindSafe(|| self.solve(inst))).unwrap_or_else(|payload| {
+                Err(SolveError::Panicked {
+                    detail: panic_detail(payload),
+                })
+            })
+        };
+        if !self.dedup {
+            let threads = self.batch_threads(instances.len());
+            let results = pool::run_indexed(threads, instances.len(), |i| solve_one(&instances[i]));
+            return BatchReport {
+                results,
+                dedup_hits: 0,
+                threads,
+            };
         }
+        let (reps, group_of) = dedup_groups(instances);
+        // Size the pool to the deduped work list, so the report never
+        // claims workers that had nothing to run.
+        let threads = self.batch_threads(reps.len());
+        let mut rep_results: Vec<Option<Result<Labelling, SolveError>>> =
+            pool::run_indexed(threads, reps.len(), |g| solve_one(&instances[reps[g]]))
+                .into_iter()
+                .map(Some)
+                .collect();
+        // Move each group's result into its last occurrence and clone only
+        // for the earlier duplicates: an all-distinct batch (the common
+        // case) pays zero clones.
+        let mut remaining = vec![0usize; reps.len()];
+        for &g in &group_of {
+            remaining[g] += 1;
+        }
+        let results = group_of
+            .iter()
+            .map(|&g| {
+                remaining[g] -= 1;
+                let slot = &mut rep_results[g];
+                if remaining[g] == 0 {
+                    slot.take()
+                } else {
+                    slot.clone()
+                }
+                .expect("each group result is moved out exactly once")
+            })
+            .collect();
+        BatchReport {
+            results,
+            dedup_hits: instances.len() - reps.len(),
+            threads,
+        }
+    }
+
+    /// Resolves the configured thread count for a batch of `len` items
+    /// (`0` = all cores; never more workers than items).
+    fn batch_threads(&self, len: usize) -> usize {
+        let configured = match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            t => t,
+        };
+        configured.min(len.max(1))
     }
 }

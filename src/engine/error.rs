@@ -81,6 +81,14 @@ pub enum SolveError {
         /// The first violated 2×2 window.
         violation: Violation,
     },
+    /// A solver panicked while handling one instance. The batch path
+    /// catches the unwind and reports it as this typed failure, so one
+    /// panicking instance neither takes down the process nor poisons the
+    /// shared caches for the rest of the batch.
+    Panicked {
+        /// The panic payload, if it was a string.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -122,6 +130,9 @@ impl fmt::Display for SolveError {
                     f,
                     "solver {solver} produced an invalid labelling: {violation}"
                 )
+            }
+            SolveError::Panicked { detail } => {
+                write!(f, "solver panicked: {detail}")
             }
         }
     }

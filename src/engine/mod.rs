@@ -32,12 +32,13 @@
 
 mod batch;
 mod error;
+mod pool;
 mod registry;
 mod spec;
 
 pub use batch::BatchReport;
 pub use error::SolveError;
-pub use registry::{PlanOptions, Registry};
+pub use registry::{PlanOptions, Registry, SynthOrigin, SynthStats};
 pub use spec::{ProblemSpec, Topology};
 
 use lcl_algorithms::corner::{self, BoundaryGrid, PseudoForest};
@@ -160,6 +161,9 @@ pub struct EngineBuilder {
     seed: Option<u64>,
     validate: bool,
     registry: Option<Arc<Registry>>,
+    threads: usize,
+    cache_dir: Option<std::path::PathBuf>,
+    dedup: bool,
 }
 
 impl EngineBuilder {
@@ -212,11 +216,47 @@ impl EngineBuilder {
         self
     }
 
+    /// Worker threads for [`Engine::solve_batch`] (default: 1, fully
+    /// sequential — the historical behaviour). `0` means "use every core
+    /// the OS reports". Single-instance `solve` calls are unaffected.
+    pub fn threads(mut self, threads: usize) -> EngineBuilder {
+        self.threads = threads;
+        self
+    }
+
+    /// Persist the synthesis cache under this directory so synthesised
+    /// `A′ ∘ S_k` tables survive process restarts (default: no
+    /// persistence).
+    ///
+    /// Applies to the engine's registry — including a shared one passed
+    /// via [`EngineBuilder::registry`], where `build()` reconfigures the
+    /// shared cache and the most recently built engine wins. When several
+    /// engines share a registry, prefer configuring the directory once at
+    /// registry construction ([`Registry::with_cache_dir`]) and omitting
+    /// this knob.
+    pub fn cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> EngineBuilder {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// In-batch labelling dedup (default: on): instances with the same
+    /// torus dimensions and identifier assignment are solved once per
+    /// batch and the labelling is shared. Solving is deterministic, so
+    /// this is observationally transparent; turn it off to force every
+    /// instance through a full solve (e.g. when benchmarking).
+    pub fn dedup(mut self, dedup: bool) -> EngineBuilder {
+        self.dedup = dedup;
+        self
+    }
+
     /// Builds the engine, resolving the solver plan now so that
     /// misconfiguration surfaces here rather than at solve time.
     pub fn build(self) -> Result<Engine, SolveError> {
         let spec = self.problem.ok_or(SolveError::MissingProblem)?;
         let registry = self.registry.unwrap_or_default();
+        if let Some(dir) = self.cache_dir {
+            registry.set_cache_dir(Some(dir));
+        }
         let opts = PlanOptions {
             profile: self.profile,
             max_synthesis_k: self.max_synthesis_k,
@@ -235,6 +275,8 @@ impl EngineBuilder {
             opts,
             rounds_budget: self.rounds_budget,
             validate: self.validate,
+            threads: self.threads,
+            dedup: self.dedup,
         })
     }
 }
@@ -248,6 +290,8 @@ pub struct Engine {
     opts: PlanOptions,
     rounds_budget: Option<u64>,
     validate: bool,
+    threads: usize,
+    dedup: bool,
 }
 
 impl Engine {
@@ -261,6 +305,9 @@ impl Engine {
             seed: None,
             validate: true,
             registry: None,
+            threads: 1,
+            cache_dir: None,
+            dedup: true,
         }
     }
 

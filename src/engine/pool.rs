@@ -1,0 +1,97 @@
+//! A scoped worker pool for batch solving.
+//!
+//! Built on `std::thread::scope` only — the offline build environment has
+//! no crate registry, so no rayon. Workers steal fixed-size chunks of
+//! indices from a shared atomic cursor: the classic self-scheduling loop
+//! that keeps all workers busy until the batch drains, regardless of how
+//! unevenly per-instance solve times are distributed. Results land in
+//! per-index slots, so input order is preserved exactly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Runs `job(i)` for every `i in 0..count` and returns the results in
+/// index order.
+///
+/// With `threads <= 1` (or a trivial batch) the jobs run inline on the
+/// caller's thread — byte-identical scheduling to the historical
+/// sequential path. Otherwise `threads` scoped workers claim chunks from
+/// a shared cursor until the range is exhausted.
+///
+/// `job` must not panic: batch callers wrap each solve in `catch_unwind`
+/// and map panics to typed errors. If a job panics anyway, the scope
+/// propagates the panic after all workers have joined.
+pub(crate) fn run_indexed<T, F>(threads: usize, count: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(job).collect();
+    }
+    let workers = threads.min(count);
+    // Chunks amortise cursor contention but stay small enough that a slow
+    // chunk cannot leave workers idle at the tail of the batch.
+    let chunk = (count / (workers * 4)).clamp(1, 64);
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= count {
+                    break;
+                }
+                let end = (start + chunk).min(count);
+                for (i, slot) in slots.iter().enumerate().take(end).skip(start) {
+                    let result = job(i);
+                    *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("worker pool visits every index exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn preserves_input_order() {
+        for threads in [1, 2, 4, 7] {
+            let out = run_indexed(threads, 100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let out = run_indexed(4, 33, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out.len(), 33);
+        assert_eq!(calls.load(Ordering::Relaxed), 33);
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        assert_eq!(run_indexed(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(8, 1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        assert_eq!(run_indexed(64, 3, |i| i), vec![0, 1, 2]);
+    }
+}

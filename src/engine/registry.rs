@@ -14,11 +14,13 @@ use lcl_algorithms::edge_colouring::EdgeColouring;
 use lcl_algorithms::four_colouring::FourColouring;
 use lcl_algorithms::{AlgoError, Profile};
 use lcl_core::problems::XSet;
-use lcl_core::synthesis::{synthesize_auto, SynthRunError, SynthesizedAlgorithm};
+use lcl_core::synthesis::{persist, synthesize_auto, SynthRunError, SynthesizedAlgorithm};
 use lcl_core::{existence, GridProblem};
 use lcl_local::{GridInstance, Rounds};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// Options the registry consults when planning solvers for a problem.
 #[derive(Clone, Copy, Debug)]
@@ -41,13 +43,72 @@ impl Default for PlanOptions {
     }
 }
 
+/// Where a cached synthesis outcome originally came from, as recorded in
+/// the in-memory memo and surfaced in solver reports (`synth_origin`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SynthOrigin {
+    /// Loaded from the persistent on-disk cache — no SAT call ran in this
+    /// process.
+    Disk,
+    /// Produced by running the SAT synthesis in this process.
+    Sat,
+}
+
+impl SynthOrigin {
+    fn as_str(self) -> &'static str {
+        match self {
+            SynthOrigin::Disk => "disk",
+            SynthOrigin::Sat => "sat",
+        }
+    }
+}
+
+/// Aggregate counters of the synthesis cache: how often a request was
+/// answered from the in-process memo, the persistent disk cache, or by
+/// actually running the SAT synthesis. Benchmarks and tests use these to
+/// prove that a warm cache eliminates the SAT call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SynthStats {
+    /// Requests answered from the in-process memo.
+    pub memory_hits: u64,
+    /// Outcomes loaded from the persistent disk cache.
+    pub disk_hits: u64,
+    /// SAT synthesis runs actually performed.
+    pub synthesised: u64,
+}
+
+/// A memoised synthesis outcome plus its provenance.
+#[derive(Clone)]
+pub(crate) struct CachedSynth {
+    pub(crate) outcome: Option<SynthesizedAlgorithm>,
+    pub(crate) origin: SynthOrigin,
+}
+
 /// Memoised synthesis results, shared by every engine built from the same
 /// registry: synthesising `A′` is expensive (it is a SAT call over all
 /// realizable tiles), while running it is cheap, so batch workloads must
 /// pay the cost once.
+///
+/// Three design points matter for the batch path:
+///
+/// * **Single-flight**: each key maps to an `Arc<OnceLock>`, so when a
+///   parallel batch goes cold, exactly one worker synthesises while the
+///   others block on the cell — never N redundant SAT calls.
+/// * **Panic containment**: the `Mutex` guards only brief map accesses and
+///   every lock recovers from poisoning via [`PoisonError::into_inner`];
+///   a panic inside a synthesis closure leaves the `OnceLock` vacant, so
+///   later solves simply retry instead of dying on a poisoned cache.
+/// * **Persistence**: with a cache directory configured, outcomes
+///   (including negative "no normal form up to k" verdicts, the costliest
+///   to recompute) are content-addressed on disk and survive restarts;
+///   corrupt or mismatched files silently fall back to resynthesis.
 #[derive(Default)]
 pub(crate) struct SynthCache {
-    map: Mutex<HashMap<String, Option<SynthesizedAlgorithm>>>,
+    map: Mutex<HashMap<String, Arc<OnceLock<CachedSynth>>>>,
+    dir: Mutex<Option<PathBuf>>,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    synthesised: AtomicU64,
 }
 
 /// The stable name of the synthesis adapter, used by
@@ -61,51 +122,116 @@ fn synthesisable(problem: &GridProblem) -> bool {
     !matches!(problem, GridProblem::Block(b) if b.alphabet() > 8)
 }
 
+pub(crate) use persist::fnv1a64;
+
 /// The canonical cache key of a problem: the name alone is not enough,
 /// because two different custom [`GridProblem::Block`] LCLs may be
 /// registered under the same free-form name in a shared registry.
 fn cache_key(problem: &GridProblem, name: &str, max_k: usize) -> String {
-    use std::hash::{Hash, Hasher};
     match problem {
-        // Structured problems are fully determined by their canonical name.
+        // Block problems are content-addressed by their tabulated allowed
+        // set; everything else is fully determined by its canonical name.
         GridProblem::Block(b) => {
             let mut blocks: Vec<_> = b.allowed_blocks().collect();
             blocks.sort_unstable();
-            let mut hasher = std::collections::hash_map::DefaultHasher::new();
-            b.alphabet().hash(&mut hasher);
-            blocks.hash(&mut hasher);
-            format!("{name}#{:016x}@k{max_k}", hasher.finish())
+            let content = std::iter::once(b.alphabet())
+                .chain(blocks.into_iter().flatten())
+                .flat_map(|l| l.to_le_bytes());
+            format!("{name}#{:016x}@k{max_k}", fnv1a64(content))
         }
         _ => format!("{name}@k{max_k}"),
     }
 }
 
+/// The on-disk file for a cache key: content-addressed by a stable hash of
+/// the key (the key itself is re-verified inside the file on load, so a
+/// file-name collision degrades to a cache miss, never a wrong table).
+fn synth_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("synth-{:016x}.bin", fnv1a64(key.bytes())))
+}
+
 impl SynthCache {
     /// Returns the cached synthesis outcome for `spec` at `max_k`,
-    /// synthesising on the first request.
-    fn get_or_synthesize(
-        &self,
-        problem: &GridProblem,
-        name: &str,
-        max_k: usize,
-    ) -> Option<SynthesizedAlgorithm> {
+    /// loading it from disk or synthesising on the first request.
+    fn get_or_synthesize(&self, problem: &GridProblem, name: &str, max_k: usize) -> CachedSynth {
         let key = cache_key(problem, name, max_k);
-        if let Some(hit) = self.map.lock().unwrap().get(&key) {
+        let cell = Arc::clone(
+            self.lock_map()
+                .entry(key.clone())
+                .or_insert_with(|| Arc::new(OnceLock::new())),
+        );
+        if let Some(hit) = cell.get() {
+            self.memory_hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
-        // Synthesise outside the lock: long SAT calls must not serialise
-        // unrelated problems.
-        let outcome = synthesize_auto(problem, max_k);
-        self.map
+        // Single-flight initialisation: concurrent requests for the same
+        // key block here while one of them fills the cell; requests for
+        // *different* keys proceed independently (the map lock above is
+        // only held for the entry lookup, never across a SAT call).
+        let mut initialised_here = false;
+        let hit = cell.get_or_init(|| {
+            initialised_here = true;
+            let dir = self.cache_dir();
+            if let Some(dir) = &dir {
+                if let Some(outcome) = persist::load_outcome(&synth_path(dir, &key), &key) {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    return CachedSynth {
+                        outcome,
+                        origin: SynthOrigin::Disk,
+                    };
+                }
+            }
+            let outcome = synthesize_auto(problem, max_k);
+            self.synthesised.fetch_add(1, Ordering::Relaxed);
+            if let Some(dir) = &dir {
+                // Best-effort: an unwritable cache dir costs future time,
+                // not correctness.
+                let _ = persist::save_outcome(&synth_path(dir, &key), &key, &outcome);
+            }
+            CachedSynth {
+                outcome,
+                origin: SynthOrigin::Sat,
+            }
+        });
+        if !initialised_here {
+            // We blocked while another thread filled the cell: served from
+            // memory, as far as this request is concerned. Keeps
+            // memory_hits + disk_hits + synthesised == total requests.
+            self.memory_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit.clone()
+    }
+
+    fn lock_map(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<OnceLock<CachedSynth>>>> {
+        // A panicking solver thread must not poison the cache for the rest
+        // of the batch (or the process): recover the guard and continue.
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn cache_dir(&self) -> Option<PathBuf> {
+        self.dir
             .lock()
-            .unwrap()
-            .entry(key)
-            .or_insert(outcome)
+            .unwrap_or_else(PoisonError::into_inner)
             .clone()
     }
 
+    fn set_cache_dir(&self, dir: Option<PathBuf>) {
+        *self.dir.lock().unwrap_or_else(PoisonError::into_inner) = dir;
+    }
+
+    fn stats(&self) -> SynthStats {
+        SynthStats {
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            synthesised: self.synthesised.load(Ordering::Relaxed),
+        }
+    }
+
     fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        self.lock_map()
+            .values()
+            .filter(|cell| cell.get().is_some())
+            .count()
     }
 }
 
@@ -122,6 +248,29 @@ impl Registry {
     /// cache.
     pub fn new() -> Registry {
         Registry::default()
+    }
+
+    /// A registry whose synthesis cache is persisted under `dir`:
+    /// synthesis outcomes are content-addressed there and survive process
+    /// restarts. The directory is created on first write; corrupt or
+    /// foreign files in it are ignored (and resynthesised over).
+    pub fn with_cache_dir(dir: impl Into<PathBuf>) -> Registry {
+        let registry = Registry::default();
+        registry.set_cache_dir(Some(dir.into()));
+        registry
+    }
+
+    /// Points the synthesis cache at a persistence directory (`None`
+    /// disables persistence). Affects future lookups only; the in-memory
+    /// memo is kept.
+    pub fn set_cache_dir(&self, dir: Option<PathBuf>) {
+        self.synth_cache.set_cache_dir(dir);
+    }
+
+    /// Aggregate synthesis-cache counters (memo hits, disk hits, SAT
+    /// synthesis runs) since this registry was created.
+    pub fn synth_stats(&self) -> SynthStats {
+        self.synth_cache.stats()
     }
 
     /// Number of problems with a memoised synthesis outcome.
@@ -209,6 +358,7 @@ impl Registry {
         }
         self.synth_cache
             .get_or_synthesize(problem, spec.name(), max_k)
+            .outcome
     }
 }
 
@@ -354,13 +504,14 @@ impl Solve for SynthesisSolver {
     }
 
     fn solve(&self, inst: &GridInstance) -> Result<Labelling, SolveError> {
-        let algo = self
+        let cached = self
             .cache
-            .get_or_synthesize(&self.grid_problem, &self.problem, self.max_k)
-            .ok_or_else(|| SolveError::SynthesisFailed {
-                problem: self.problem.clone(),
-                max_k: self.max_k,
-            })?;
+            .get_or_synthesize(&self.grid_problem, &self.problem, self.max_k);
+        let origin = cached.origin;
+        let algo = cached.outcome.ok_or_else(|| SolveError::SynthesisFailed {
+            problem: self.problem.clone(),
+            max_k: self.max_k,
+        })?;
         let run = algo.try_run(inst).map_err(|e| match e {
             SynthRunError::TorusTooSmall { min_side, .. } => SolveError::TorusTooSmall {
                 problem: self.problem.clone(),
@@ -375,7 +526,8 @@ impl Solve for SynthesisSolver {
         let report = SolveReport::new(&self.problem, self.name(), run.rounds)
             .with_detail("k", algo.k())
             .with_detail("window", algo.shape())
-            .with_detail("table_len", algo.table_len());
+            .with_detail("table_len", algo.table_len())
+            .with_detail("synth_origin", origin.as_str());
         Ok(Labelling {
             labels: run.labels,
             report,

@@ -1,0 +1,251 @@
+//! Integration tests for the batch-solving performance subsystem:
+//! parallel dispatch determinism, in-batch labelling dedup, and the
+//! persistent synthesis cache (round-trip and corruption recovery).
+
+use lcl_grids::core::problems::XSet;
+use lcl_grids::engine::{Engine, ProblemSpec, Registry, SolveError};
+use lcl_grids::local::{GridInstance, IdAssignment};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A fresh, unique scratch directory for one test.
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lcl-batch-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A mixed batch for vertex 2-colouring: even tori are solvable, odd tori
+/// are exactly unsolvable, and several entries are duplicates.
+fn mixed_batch() -> Vec<GridInstance> {
+    [6usize, 5, 7, 6, 8, 5, 6, 12]
+        .iter()
+        .map(|&n| GridInstance::new(n, &IdAssignment::Sequential))
+        .collect()
+}
+
+fn two_colouring(threads: usize, dedup: bool) -> Engine {
+    Engine::builder()
+        .problem(ProblemSpec::vertex_colouring(2))
+        .max_synthesis_k(1)
+        .threads(threads)
+        .dedup(dedup)
+        .build()
+        .unwrap()
+}
+
+/// Parallel `solve_batch` output must be byte-identical to sequential
+/// output for a mixed batch — labels, reports, and typed errors alike.
+#[test]
+fn parallel_batch_is_byte_identical_to_sequential() {
+    let batch = mixed_batch();
+    let sequential = two_colouring(1, true).solve_batch(&batch);
+    let parallel = two_colouring(4, true).solve_batch(&batch);
+    assert_eq!(sequential.threads(), 1);
+    assert_eq!(parallel.threads(), 4.min(batch.len()));
+    assert_eq!(
+        format!("{:?}", sequential.results()),
+        format!("{:?}", parallel.results()),
+        "parallel dispatch changed the batch output"
+    );
+    // Dedup must be observationally transparent too.
+    let undeduped = two_colouring(4, false).solve_batch(&batch);
+    assert_eq!(undeduped.dedup_hits(), 0);
+    assert_eq!(
+        format!("{:?}", sequential.results()),
+        format!("{:?}", undeduped.results()),
+        "dedup changed the batch output"
+    );
+}
+
+/// The in-batch labelling cache solves each distinct instance once and
+/// reports the duplicate count.
+#[test]
+fn batch_dedup_counts_hits_and_shares_labellings() {
+    let registry = Arc::new(Registry::new());
+    let engine = Engine::builder()
+        .problem(ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4])))
+        .max_synthesis_k(1)
+        .registry(Arc::clone(&registry))
+        .build()
+        .unwrap();
+    // Three distinct instances, each appearing twice.
+    let batch: Vec<GridInstance> = [3u64, 5, 3, 9, 5, 9]
+        .iter()
+        .map(|&seed| GridInstance::new(10, &IdAssignment::Shuffled { seed }))
+        .collect();
+    let report = engine.solve_batch(&batch);
+    assert_eq!(report.solved(), 6);
+    assert_eq!(report.dedup_hits(), 3, "three duplicates in the batch");
+    assert_eq!(registry.synth_stats().synthesised, 1, "one SAT call total");
+    let results = report.results();
+    for (a, b) in [(0usize, 2usize), (1, 4), (3, 5)] {
+        assert_eq!(
+            results[a].as_ref().unwrap().labels,
+            results[b].as_ref().unwrap().labels,
+            "duplicate instances share one labelling"
+        );
+    }
+    // Distinct instances really are distinct solves.
+    assert_ne!(
+        results[0].as_ref().unwrap().labels,
+        results[1].as_ref().unwrap().labels
+    );
+}
+
+/// Same torus size with different id assignments must NOT dedup.
+#[test]
+fn dedup_distinguishes_id_assignments() {
+    let engine = two_colouring(2, true);
+    let batch = vec![
+        GridInstance::new(6, &IdAssignment::Sequential),
+        GridInstance::new(6, &IdAssignment::Shuffled { seed: 1 }),
+        GridInstance::new(6, &IdAssignment::Sequential),
+    ];
+    let report = engine.solve_batch(&batch);
+    assert_eq!(report.dedup_hits(), 1, "only the exact duplicate dedups");
+    assert_eq!(report.solved(), 3);
+}
+
+/// `threads(0)` resolves to the machine's available parallelism.
+#[test]
+fn zero_threads_means_all_cores() {
+    let engine = two_colouring(0, true);
+    let batch = mixed_batch();
+    let report = engine.solve_batch(&batch);
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    // The pool is sized to the deduped work list (5 distinct instances).
+    assert_eq!(
+        report.threads(),
+        cores.min(batch.len() - report.dedup_hits())
+    );
+    assert_eq!(report.solved(), 5, "the five even tori solve");
+    assert_eq!(report.failed(), 3, "the three odd tori are unsolvable");
+}
+
+/// A synthesis outcome written by one registry is loaded — not re-solved —
+/// by a fresh registry pointed at the same cache directory, and the
+/// labelling is identical.
+#[test]
+fn disk_cache_round_trip_eliminates_the_sat_call() {
+    let dir = scratch_dir("roundtrip");
+    let spec = ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4]));
+    let inst = GridInstance::new(10, &IdAssignment::Shuffled { seed: 7 });
+
+    let cold_registry = Arc::new(Registry::new());
+    let cold = Engine::builder()
+        .problem(spec.clone())
+        .max_synthesis_k(1)
+        .registry(Arc::clone(&cold_registry))
+        .cache_dir(&dir)
+        .build()
+        .unwrap();
+    let first = cold.solve(&inst).unwrap();
+    assert_eq!(first.report.solver, "synthesised-tiles");
+    assert_eq!(first.report.detail("synth_origin"), Some("sat"));
+    assert_eq!(cold_registry.synth_stats().synthesised, 1);
+
+    // A fresh registry simulates a process restart: only the disk cache
+    // survives.
+    let warm_registry = Arc::new(Registry::new());
+    let warm = Engine::builder()
+        .problem(spec)
+        .max_synthesis_k(1)
+        .registry(Arc::clone(&warm_registry))
+        .cache_dir(&dir)
+        .build()
+        .unwrap();
+    let second = warm.solve(&inst).unwrap();
+    let stats = warm_registry.synth_stats();
+    assert_eq!(stats.synthesised, 0, "warm cache must skip the SAT call");
+    assert_eq!(stats.disk_hits, 1);
+    assert_eq!(second.report.detail("synth_origin"), Some("disk"));
+    assert_eq!(first.labels, second.labels);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Negative verdicts ("no normal form up to k") persist too — they are
+/// the most expensive outcome to recompute.
+#[test]
+fn negative_synthesis_outcome_persists() {
+    let dir = scratch_dir("negative");
+    let spec = ProblemSpec::vertex_colouring(3); // global: synthesis fails
+    let inst = GridInstance::new(6, &IdAssignment::Sequential);
+    let build = |registry: &Arc<Registry>| {
+        Engine::builder()
+            .problem(spec.clone())
+            .max_synthesis_k(1)
+            .registry(Arc::clone(registry))
+            .cache_dir(&dir)
+            .build()
+            .unwrap()
+    };
+
+    let cold_registry = Arc::new(Registry::new());
+    build(&cold_registry).solve(&inst).unwrap();
+    assert_eq!(cold_registry.synth_stats().synthesised, 1);
+
+    let warm_registry = Arc::new(Registry::new());
+    let labelling = build(&warm_registry).solve(&inst).unwrap();
+    assert_eq!(labelling.report.solver, "sat-existence");
+    let stats = warm_registry.synth_stats();
+    assert_eq!(stats.synthesised, 0, "cached negative verdict was ignored");
+    assert_eq!(stats.disk_hits, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corrupt cache files are silently discarded and resynthesised; the
+/// labelling stays correct.
+#[test]
+fn corrupt_cache_file_triggers_resynthesis() {
+    let dir = scratch_dir("corrupt");
+    let spec = ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4]));
+    let inst = GridInstance::new(10, &IdAssignment::Shuffled { seed: 7 });
+    let build = |registry: &Arc<Registry>| {
+        Engine::builder()
+            .problem(spec.clone())
+            .max_synthesis_k(1)
+            .registry(Arc::clone(registry))
+            .cache_dir(&dir)
+            .build()
+            .unwrap()
+    };
+
+    let cold_registry = Arc::new(Registry::new());
+    let first = build(&cold_registry).solve(&inst).unwrap();
+
+    // Vandalise every cache file.
+    let mut clobbered = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        std::fs::write(&path, b"not a synthesis table").unwrap();
+        clobbered += 1;
+    }
+    assert!(clobbered > 0, "the cold engine must have written a file");
+
+    let recovering_registry = Arc::new(Registry::new());
+    let second = build(&recovering_registry).solve(&inst).unwrap();
+    let stats = recovering_registry.synth_stats();
+    assert_eq!(stats.disk_hits, 0, "corrupt file must not count as a hit");
+    assert_eq!(stats.synthesised, 1, "resynthesised from scratch");
+    assert_eq!(second.report.detail("synth_origin"), Some("sat"));
+    assert_eq!(first.labels, second.labels);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An unsolvable duplicate shares its typed error across the batch, and
+/// batch totals add up.
+#[test]
+fn unsolvable_duplicates_share_the_verdict() {
+    let engine = two_colouring(3, true);
+    let batch: Vec<GridInstance> = [5usize, 5, 5]
+        .iter()
+        .map(|&n| GridInstance::new(n, &IdAssignment::Sequential))
+        .collect();
+    let report = engine.solve_batch(&batch);
+    assert_eq!(report.failed(), 3);
+    assert_eq!(report.dedup_hits(), 2);
+    for result in report.results() {
+        assert!(matches!(result, Err(SolveError::Unsolvable { .. })));
+    }
+}
