@@ -47,6 +47,20 @@ impl EdgeColouringD {
         self.colours[self.torus.index(v) * self.torus.dim() + axis]
     }
 
+    /// Encodes the colouring as one label per node under the
+    /// [`lcl_core::problems::edge_label_encode_d`] owner convention (each
+    /// node owns its `d` positive-direction edges), with palette size `k`.
+    /// For `d = 2` this is exactly the label format the `Torus2`-based
+    /// engine validators consume. Returns `None` when `k^d` does not fit
+    /// the label space or a colour is out of range.
+    pub fn to_labels(&self, k: u16) -> Option<Vec<lcl_core::Label>> {
+        let d = self.torus.dim();
+        self.colours
+            .chunks_exact(d)
+            .map(|owned| lcl_core::problems::edge_label_encode_d(owned, k))
+            .collect()
+    }
+
     /// Checks that all `2d` edges incident to every node have distinct
     /// colours and all colours are `< palette`.
     pub fn is_proper(&self, palette: u16) -> bool {
@@ -151,6 +165,22 @@ mod tests {
     /// depends on core, not on this crate, so we avoid a cycle).
     fn lcl_lowerbounds_parity_stub(d: u32, n: usize) -> bool {
         n % 2 == 1 && d >= 1
+    }
+
+    #[test]
+    fn to_labels_passes_d_dim_validator() {
+        for (d, n) in [(2usize, 6usize), (3, 4), (4, 4)] {
+            let t = TorusD::new(d, n);
+            let k = (2 * d + 1) as u16; // headroom colours stay unused
+            let labels = edge_2d_colouring_even(&t).to_labels(k).unwrap();
+            assert!(
+                lcl_core::problems::is_proper_edge_colouring_d(&t, &labels, k),
+                "d={d} n={n}"
+            );
+        }
+        // k^d beyond the label space is refused, not wrapped.
+        let wide = TorusD::new(5, 4);
+        assert!(edge_2d_colouring_even(&wide).to_labels(12).is_none());
     }
 
     #[test]

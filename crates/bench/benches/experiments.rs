@@ -1,4 +1,4 @@
-//! One Criterion group per experiment family (DESIGN.md §4, E1–E14).
+//! One Criterion group per experiment family (DESIGN.md §6, E1–E14).
 //!
 //! These benches measure the wall-clock cost of regenerating each paper
 //! artefact; the *round* measurements (the quantities the paper is about)
@@ -18,6 +18,7 @@ use lcl_core::speedup::{speedup, RowColeVishkin};
 use lcl_core::synthesis::{enumerate_tiles, synthesize, SynthesisConfig, TileShape};
 use lcl_grid::{CycleGraph, Torus2};
 use lcl_grids::algorithms::corner;
+use lcl_grids::engine::Instance;
 use lcl_grids::engine::{Engine, ProblemSpec, Registry};
 use lcl_local::{GridInstance, IdAssignment};
 use lcl_lowerbounds::{orientation_034, qsum, three_col};
@@ -89,14 +90,15 @@ fn bench_e4_e5_existence(c: &mut Criterion) {
     let registry = Arc::new(Registry::new());
     let three = engine(&registry, ProblemSpec::vertex_colouring(3), 1);
     for n in [6usize, 8, 10] {
-        let inst = GridInstance::new(n, &IdAssignment::Sequential);
+        let inst = Instance::square(n, &IdAssignment::Sequential);
         g.bench_with_input(BenchmarkId::new("3col_sat_engine", n), &n, |b, _| {
             b.iter(|| three.solve(&inst).unwrap())
         });
     }
     let edge4 = engine(&registry, ProblemSpec::edge_colouring(4), 1);
     g.bench_function("edge4_unsat_n5", |b| {
-        b.iter(|| edge4.solvable(&Torus2::square(5)).unwrap())
+        let odd5 = Instance::from(Torus2::square(5));
+        b.iter(|| edge4.solvable(&odd5).unwrap())
     });
     g.finish();
 }
@@ -124,10 +126,10 @@ fn bench_e7_four_colouring(c: &mut Criterion) {
     let e = engine(&registry, ProblemSpec::vertex_colouring(4), 3);
     // n = 16 dispatches to the synthesised tiles (warm the memo first);
     // larger sizes dispatch to §8 ball carving.
-    let warm = GridInstance::new(16, &IdAssignment::Shuffled { seed: 3 });
+    let warm = Instance::square(16, &IdAssignment::Shuffled { seed: 3 });
     e.solve(&warm).unwrap();
     for n in [16usize, 32, 64, 128] {
-        let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed: 3 });
+        let inst = Instance::square(n, &IdAssignment::Shuffled { seed: 3 });
         g.bench_with_input(BenchmarkId::new("engine_solve", n), &n, |b, _| {
             b.iter(|| e.solve(&inst).unwrap())
         });
@@ -141,7 +143,7 @@ fn bench_e8_edge_colouring(c: &mut Criterion) {
     let registry = Arc::new(Registry::new());
     let e = engine(&registry, ProblemSpec::edge_colouring(5), 1);
     for n in [80usize, 120] {
-        let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed: 4 });
+        let inst = Instance::square(n, &IdAssignment::Shuffled { seed: 4 });
         g.bench_with_input(BenchmarkId::new("engine_solve", n), &n, |b, _| {
             b.iter(|| e.solve(&inst).unwrap())
         });
@@ -160,9 +162,9 @@ fn bench_e9_three_col_invariant(c: &mut Criterion) {
         .registry(registry)
         .build()
         .unwrap();
-    let inst = GridInstance::new(9, &IdAssignment::Sequential);
+    let inst = Instance::square(9, &IdAssignment::Sequential);
     let labels = e.solve(&inst).unwrap().labels;
-    let torus = inst.torus();
+    let torus = inst.as_torus2().unwrap().torus();
     g.bench_function("s_invariant_n9", |b| {
         b.iter(|| three_col::s_invariant(&torus, &labels))
     });
@@ -180,9 +182,9 @@ fn bench_e10_orientation_invariant(c: &mut Criterion) {
         .registry(registry)
         .build()
         .unwrap();
-    let inst = GridInstance::new(6, &IdAssignment::Sequential);
+    let inst = Instance::square(6, &IdAssignment::Sequential);
     let labels = e.solve(&inst).unwrap().labels;
-    let torus = inst.torus();
+    let torus = inst.as_torus2().unwrap().torus();
     g.bench_function("row_invariant_n6", |b| {
         b.iter(|| orientation_034::invariant(&torus, &labels))
     });
@@ -225,8 +227,9 @@ fn bench_e13_corner(c: &mut Criterion) {
     let e = engine(&registry, ProblemSpec::corner_coordination(), 1);
     for m in [16usize, 64] {
         let grid = corner::BoundaryGrid::new(m);
+        let inst = Instance::boundary(m);
         g.bench_with_input(BenchmarkId::new("engine_solve_boundary", m), &m, |b, _| {
-            b.iter(|| e.solve_boundary(&grid).unwrap())
+            b.iter(|| e.solve(&inst).unwrap())
         });
         g.bench_with_input(BenchmarkId::new("visibility_radius", m), &m, |b, _| {
             b.iter(|| corner::corner_visibility_radius(&grid))
@@ -258,8 +261,8 @@ fn bench_engine_batch(c: &mut Criterion) {
         ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4])),
         1,
     );
-    let batch: Vec<GridInstance> = (0..16)
-        .map(|seed| GridInstance::new(24, &IdAssignment::Shuffled { seed }))
+    let batch: Vec<Instance> = (0..16)
+        .map(|seed| Instance::square(24, &IdAssignment::Shuffled { seed }))
         .collect();
     // Warm the synthesis memo so the bench measures the batch path.
     e.solve(&batch[0]).unwrap();

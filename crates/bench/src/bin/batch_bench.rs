@@ -16,8 +16,8 @@
 //! Usage: `batch_bench [--smoke] [--out PATH] [--batch N] [--side N]`
 
 use lcl_grids::core::problems::XSet;
-use lcl_grids::engine::{Engine, ProblemSpec, Registry};
-use lcl_grids::local::{GridInstance, IdAssignment};
+use lcl_grids::engine::{Engine, Instance, ProblemSpec, Registry};
+use lcl_grids::local::IdAssignment;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -88,7 +88,7 @@ fn main() {
     let _ = std::fs::remove_dir_all(&cache_dir);
 
     // ── 1. Synthesis cache: cold (SAT) vs warm (disk) ──────────────────
-    let probe = GridInstance::new(cfg.side, &IdAssignment::Shuffled { seed: 1 });
+    let probe = Instance::square(cfg.side, &IdAssignment::Shuffled { seed: 1 });
 
     let cold_registry = Arc::new(Registry::with_cache_dir(&cache_dir));
     let started = Instant::now();
@@ -125,9 +125,9 @@ fn main() {
 
     // ── 2. Batch throughput on a warm registry ─────────────────────────
     let distinct = (cfg.batch / 2).max(1);
-    let batch: Vec<GridInstance> = (0..cfg.batch)
+    let batch: Vec<Instance> = (0..cfg.batch)
         .map(|i| {
-            GridInstance::new(
+            Instance::square(
                 cfg.side,
                 &IdAssignment::Shuffled {
                     seed: (i % distinct) as u64,
@@ -152,6 +152,42 @@ fn main() {
     assert_eq!(deduped.solved(), cfg.batch);
     assert_eq!(deduped.dedup_hits(), cfg.batch - distinct);
 
+    // ── 3. Mixed-topology batch: TorusD through the same engine ────────
+    // Edge 2d-colouring on 3-dimensional tori via the registered
+    // Theorem 21 solver, with even (solvable), odd (exactly unsolvable),
+    // and duplicate entries — keeps the d-dimensional dispatch path and
+    // its dedup keys honest in CI smoke runs.
+    let ddim_side = if cfg.side.is_multiple_of(2) {
+        cfg.side
+    } else {
+        cfg.side + 1
+    };
+    let ddim_batch: Vec<Instance> = (0..cfg.batch)
+        .map(|i| match i % 3 {
+            0 => Instance::torus_d(3, ddim_side, &IdAssignment::Sequential),
+            1 => Instance::torus_d(3, ddim_side + 1, &IdAssignment::Sequential), // odd side
+            _ => Instance::torus_d(3, ddim_side, &IdAssignment::Sequential),     // dup of 0
+        })
+        .collect();
+    let ddim_engine = Engine::builder()
+        .problem(ProblemSpec::edge_colouring(6))
+        .max_synthesis_k(1)
+        .threads(0)
+        .build()
+        .expect("edge 2d-colouring has a d-dimensional solver plan");
+    let started = Instant::now();
+    let ddim_report = ddim_engine.solve_batch(&ddim_batch);
+    let ddim_ms = ms(started);
+    assert!(ddim_report.solved() > 0, "even-side 3-d tori must solve");
+    assert!(
+        ddim_report.failed() > 0 || cfg.batch < 2,
+        "odd-side 3-d tori must be exactly unsolvable"
+    );
+    assert!(
+        ddim_report.dedup_hits() > 0 || cfg.batch < 3,
+        "duplicate TorusD instances must dedup"
+    );
+
     let _ = std::fs::remove_dir_all(&cache_dir);
 
     let throughput = |total_ms: f64| cfg.batch as f64 / (total_ms / 1e3);
@@ -170,6 +206,13 @@ fn main() {
     "warm_origin": "{warm_origin}",
     "warm_sat_calls": {warm_sat},
     "warm_disk_hits": {warm_disk}
+  }},
+  "ddim_batch": {{
+    "torus": "3-d, side {ddim_side}",
+    "total_ms": {ddim_ms:.3},
+    "solved": {ddim_solved},
+    "unsolvable": {ddim_failed},
+    "dedup_hits": {ddim_dedup}
   }},
   "throughput": {{
     "sequential_ms": {seq_ms:.3},
@@ -190,6 +233,11 @@ fn main() {
         batch = cfg.batch,
         distinct = distinct,
         side = cfg.side,
+        ddim_side = ddim_side,
+        ddim_ms = ddim_ms,
+        ddim_solved = ddim_report.solved(),
+        ddim_failed = ddim_report.failed(),
+        ddim_dedup = ddim_report.dedup_hits(),
         cold_ms = cold_ms,
         warm_ms = warm_ms,
         cold_origin = cold_origin,

@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (DESIGN.md §4) and prints
+//! Regenerates every experiment table (DESIGN.md §6) and prints
 //! paper-claim vs. measured values.
 //!
 //! All grid-LCL solving and classification goes through the unified
@@ -17,7 +17,7 @@ use lcl_grids::core::lm::{LmProblem, LmStrategy};
 use lcl_grids::core::problems::XSet;
 use lcl_grids::core::speedup::{choose_k, speedup, RowColeVishkin};
 use lcl_grids::core::synthesis::{enumerate_tiles, synthesize, SynthesisConfig, TileShape};
-use lcl_grids::engine::{decode_forest, Engine, ProblemSpec, Registry};
+use lcl_grids::engine::{decode_forest, Engine, Instance, ProblemSpec, Registry};
 use lcl_grids::grid::{CycleGraph, Torus2};
 use lcl_grids::local::{log_star, GridInstance, IdAssignment};
 use lcl_grids::lowerbounds::{orientation_034, qsum, three_col};
@@ -102,8 +102,8 @@ fn main() {
         (ProblemSpec::edge_colouring(5), 1),
     ] {
         let e = engine(&registry, spec, max_k);
-        let even = e.solvable(&Torus2::square(6)).unwrap();
-        let odd = e.solvable(&Torus2::square(5)).unwrap();
+        let even = e.solvable(&Instance::from(Torus2::square(6))).unwrap();
+        let odd = e.solvable(&Instance::from(Torus2::square(5))).unwrap();
         println!(
             "  {:<20} solvable n=6: {even:<5}  n=5: {odd}",
             e.problem().name()
@@ -119,7 +119,7 @@ fn main() {
         let e = engine(&registry, ProblemSpec::orientation(x), 1);
         let predicted = predicted_class(x);
         let class = e.classify().unwrap();
-        let solvable_odd_5 = e.solvable(&Torus2::square(5)).unwrap();
+        let solvable_odd_5 = e.solvable(&Instance::from(Torus2::square(5))).unwrap();
         agree += predicted.agrees_with(&class) as usize;
         let shown = match predicted {
             OrientationClass::Trivial => "Θ(1)    ",
@@ -139,7 +139,7 @@ fn main() {
     );
     let e4 = engine(&registry, ProblemSpec::vertex_colouring(4), 3);
     for n in [16usize, 32, 64, 128] {
-        let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed: 3 });
+        let inst = Instance::square(n, &IdAssignment::Shuffled { seed: 3 });
         let lab = e4.solve(&inst).unwrap();
         println!(
             "  n={n:>4} (log* n² = {}): `{}`, {} rounds, details {:?}",
@@ -153,7 +153,7 @@ fn main() {
     header("E8", "5-edge-colouring through the engine (§10)");
     let e5 = engine(&registry, ProblemSpec::edge_colouring(5), 1);
     for n in [80usize, 120] {
-        let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed: 4 });
+        let inst = Instance::square(n, &IdAssignment::Shuffled { seed: 4 });
         let lab = e5.solve(&inst).unwrap();
         println!(
             "  n={n:>4}: `{}`, {} rounds, details {:?}",
@@ -175,9 +175,9 @@ fn main() {
             .registry(Arc::clone(&registry))
             .build()
             .unwrap();
-        let inst = GridInstance::new(n, &IdAssignment::Sequential);
+        let inst = Instance::square(n, &IdAssignment::Sequential);
         let lab = e.solve(&inst).unwrap();
-        let s = three_col::s_invariant(&inst.torus(), &lab.labels);
+        let s = three_col::s_invariant(&inst.as_torus2().unwrap().torus(), &lab.labels);
         println!(
             "  n={n}: s(G) = {s:>3} (parity {} — paper: ≡ n mod 2)",
             s.rem_euclid(2)
@@ -194,10 +194,10 @@ fn main() {
             .registry(Arc::clone(&registry))
             .build()
             .unwrap();
-        let inst = GridInstance::new(n, &IdAssignment::Sequential);
+        let inst = Instance::square(n, &IdAssignment::Sequential);
         match e.solve(&inst) {
             Ok(lab) => {
-                let r = orientation_034::invariant(&inst.torus(), &lab.labels);
+                let r = orientation_034::invariant(&inst.as_torus2().unwrap().torus(), &lab.labels);
                 println!("  n={n}: r(G) = {r} (constant across all rows)");
             }
             Err(err) => println!("  n={n}: {err}"),
@@ -243,12 +243,12 @@ fn main() {
 
     header(
         "E13",
-        "corner coordination (Appendix A.3, Θ(√n)), via Engine::solve_boundary",
+        "corner coordination (Appendix A.3, Θ(√n)), via the registered boundary-paths solver",
     );
     let corner_engine = engine(&registry, ProblemSpec::corner_coordination(), 1);
     for m in [9usize, 16, 25, 36] {
         let grid = corner::BoundaryGrid::new(m);
-        let lab = corner_engine.solve_boundary(&grid).unwrap();
+        let lab = corner_engine.solve(&Instance::boundary(m)).unwrap();
         corner::check(&grid, &decode_forest(&grid, &lab.labels)).unwrap();
         println!(
             "  m={m:>3} (n={:>5}): corner visibility radius = {} (≈ √n = {}), {} rounds",

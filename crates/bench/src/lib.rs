@@ -1,4 +1,4 @@
 //! Benchmark harness crate: see `benches/` for per-experiment Criterion
 //! benches (feature-gated behind `criterion-benches`) and
 //! `src/bin/reproduce.rs` for the table generator that regenerates every
-//! experiment family of DESIGN.md §4 through the unified `Engine` API.
+//! experiment family of DESIGN.md §6 through the unified `Engine` API.

@@ -6,7 +6,7 @@
 //! the block semantics in [`crate::lcl`].
 
 use crate::lcl::{GridProblem, Label};
-use lcl_grid::{Dir4, Pos, Torus2};
+use lcl_grid::{Dir4, Pos, Torus2, TorusD};
 use std::fmt;
 
 /// A set of allowed in-degrees `X ⊆ {0, 1, 2, 3, 4}` for the
@@ -192,6 +192,122 @@ pub fn orientation_indegrees(torus: &Torus2, labels: &[Label]) -> Vec<u8> {
         .collect()
 }
 
+/// Encodes the `d` owned edge colours of a node on a d-dimensional torus
+/// (colour `q` = colour of the positive edge along axis `q`) into one
+/// label, big-endian in axis order. For `d = 2` with axes (x, y) read as
+/// (east, north) this coincides exactly with [`edge_label_encode`], so
+/// 2-dimensional labellings stay interchangeable between the `Torus2` and
+/// `TorusD` validators.
+///
+/// Returns `None` when `k^d` does not fit the label space (or a colour is
+/// out of range) instead of silently wrapping.
+pub fn edge_label_encode_d(colours: &[u16], k: u16) -> Option<Label> {
+    // The whole label space k^d must fit, not just this colour vector:
+    // otherwise two labellings of the same problem could disagree on
+    // representability, which would make the codec ambiguous.
+    let mut space: u64 = 1;
+    for _ in colours {
+        space = space.checked_mul(u64::from(k))?;
+        if space > u64::from(Label::MAX) + 1 {
+            return None;
+        }
+    }
+    let mut label: u64 = 0;
+    for &c in colours {
+        if c >= k {
+            return None;
+        }
+        label = label * u64::from(k) + u64::from(c);
+    }
+    Some(label as Label)
+}
+
+/// Inverse of [`edge_label_encode_d`]: the `d` owned edge colours of a
+/// node, in axis order.
+pub fn edge_label_decode_d(label: Label, k: u16, d: usize) -> Vec<u16> {
+    let mut colours = vec![0u16; d];
+    let mut rest = label;
+    for c in colours.iter_mut().rev() {
+        *c = rest % k;
+        rest /= k;
+    }
+    colours
+}
+
+/// Native validator: proper edge colouring on a d-dimensional torus under
+/// the [`edge_label_encode_d`] owner convention (each node owns its `d`
+/// positive-direction edges). All `2d` incident edge colours must be
+/// distinct and `< k` at every node.
+pub fn is_proper_edge_colouring_d(torus: &TorusD, labels: &[Label], k: u16) -> bool {
+    let d = torus.dim();
+    let n = torus.node_count();
+    if labels.len() != n {
+        return false;
+    }
+    let limit = edge_label_encode_d(&vec![k - 1; d], k);
+    if limit.is_none() || labels.iter().any(|&l| Some(l) > limit) {
+        return false;
+    }
+    // Decode every label exactly once into one flat (node, axis) table;
+    // the scan below then only reads u16s — no per-node allocation.
+    let mut owned = vec![0u16; n * d];
+    for (v, &label) in labels.iter().enumerate() {
+        let mut rest = label;
+        for slot in owned[v * d..(v + 1) * d].iter_mut().rev() {
+            *slot = rest % k;
+            rest /= k;
+        }
+    }
+    let mut incident = Vec::with_capacity(2 * d);
+    for v in 0..n {
+        let p = torus.pos(v);
+        incident.clear();
+        incident.extend_from_slice(&owned[v * d..(v + 1) * d]);
+        for q in 0..d {
+            let back = torus.index(&torus.offset(&p, q, -1));
+            incident.push(owned[back * d + q]);
+        }
+        let proper = incident
+            .iter()
+            .enumerate()
+            .all(|(i, a)| *a < k && incident[..i].iter().all(|b| b != a));
+        if !proper {
+            return false;
+        }
+    }
+    true
+}
+
+/// Native validator: proper vertex colouring with `< k` colours on a
+/// d-dimensional torus (adjacent nodes along every axis differ).
+pub fn is_proper_vertex_colouring_d(torus: &TorusD, labels: &[Label], k: u16) -> bool {
+    labels.len() == torus.node_count()
+        && labels.iter().all(|&l| l < k)
+        && (0..torus.node_count()).all(|v| {
+            let p = torus.pos(v);
+            (0..torus.dim()).all(|q| {
+                let u = torus.index(&torus.offset(&p, q, 1));
+                u == v || labels[v] != labels[u]
+            })
+        })
+}
+
+/// Native validator: the label-1 nodes form an independent set of a
+/// d-dimensional torus (labels are 0/1).
+pub fn is_independent_set_d(torus: &TorusD, labels: &[Label]) -> bool {
+    labels.len() == torus.node_count()
+        && labels.iter().all(|&l| l <= 1)
+        && (0..torus.node_count()).all(|v| {
+            labels[v] == 0 || {
+                let p = torus.pos(v);
+                (0..torus.dim()).all(|q| {
+                    let u = torus.index(&torus.offset(&p, q, 1));
+                    u == v || labels[u] == 0
+                })
+            }
+        })
+}
+
 /// Native validator: MIS under the pointer encoding of
 /// [`mis_with_pointers`].
 pub fn is_mis(torus: &Torus2, labels: &[Label]) -> bool {
@@ -329,6 +445,70 @@ mod tests {
         assert_eq!(independent_set().constant_solution(), Some(0));
         assert_eq!(mis_with_pointers().constant_solution(), None);
         assert_eq!(vertex_colouring(9).constant_solution(), None);
+    }
+
+    #[test]
+    fn edge_label_encode_d_matches_2d_encoding() {
+        for k in [4u16, 5] {
+            for e in 0..k {
+                for n in 0..k {
+                    assert_eq!(
+                        edge_label_encode_d(&[e, n], k),
+                        Some(edge_label_encode(e, n, k))
+                    );
+                    assert_eq!(
+                        edge_label_decode_d(edge_label_encode(e, n, k), k, 2),
+                        vec![e, n]
+                    );
+                }
+            }
+        }
+        // Out-of-range colours and label-space overflow are rejected.
+        assert_eq!(edge_label_encode_d(&[4, 0], 4), None);
+        assert_eq!(edge_label_encode_d(&[9u16; 5], 10), None);
+    }
+
+    #[test]
+    fn d_dim_edge_validator_agrees_with_torus2_validator() {
+        let td = TorusD::new(2, 4);
+        let t2 = Torus2::square(4);
+        let k = 5u16;
+        let mut seed = 4242u64;
+        for _ in 0..300 {
+            let labels: Vec<Label> = (0..16)
+                .map(|_| {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(11);
+                    ((seed >> 33) % (k as u64 * k as u64)) as u16
+                })
+                .collect();
+            assert_eq!(
+                is_proper_edge_colouring_d(&td, &labels, k),
+                is_proper_edge_colouring(&t2, &labels, k)
+            );
+        }
+    }
+
+    #[test]
+    fn d_dim_vertex_validator_checkerboard() {
+        let t = TorusD::new(3, 4);
+        let good: Vec<Label> = (0..t.node_count())
+            .map(|v| (t.pos(v).0.iter().sum::<usize>() % 2) as u16)
+            .collect();
+        assert!(is_proper_vertex_colouring_d(&t, &good, 2));
+        let bad = vec![0u16; t.node_count()];
+        assert!(!is_proper_vertex_colouring_d(&t, &bad, 2));
+    }
+
+    #[test]
+    fn d_dim_independent_set_validator() {
+        let t = TorusD::new(3, 4);
+        assert!(is_independent_set_d(&t, &vec![0u16; t.node_count()]));
+        let sparse: Vec<Label> = (0..t.node_count())
+            .map(|v| u16::from(t.pos(v).0.iter().all(|&c| c == 0)))
+            .collect();
+        assert!(is_independent_set_d(&t, &sparse));
+        assert!(!is_independent_set_d(&t, &vec![1u16; t.node_count()]));
+        assert!(!is_independent_set_d(&t, &vec![2u16; t.node_count()]));
     }
 
     #[test]

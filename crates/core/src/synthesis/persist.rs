@@ -10,7 +10,9 @@
 //! Format (all integers little-endian):
 //!
 //! ```text
-//! magic    8 bytes  b"LCLSYN01"  (bump the suffix on layout changes)
+//! magic    8 bytes  b"LCLSYN02"  (bump the suffix on layout OR cache-key
+//!                                 schema changes; 01 → 02 added the
+//!                                 topology tag to engine cache keys)
 //! key_len  u32      length of the cache key
 //! key      bytes    the content-addressed cache key, verified on load
 //! flag     u8       0 = negative outcome, 1 = algorithm follows
@@ -42,7 +44,7 @@ use std::fs;
 use std::io::Write;
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"LCLSYN01";
+const MAGIC: &[u8; 8] = b"LCLSYN02";
 
 /// A stable 64-bit FNV-1a hash: the payload checksum of the cache files,
 /// also reused by the engine layer for content-addressed file names and
@@ -335,6 +337,18 @@ mod tests {
         huge[count_at..header].copy_from_slice(&u32::MAX.to_le_bytes());
         refresh_checksum(&mut huge);
         assert!(decode_outcome(&huge, "key").is_none());
+    }
+
+    #[test]
+    fn old_format_version_is_a_miss() {
+        // A file written by a previous release (version tag 01) must be a
+        // clean cache miss — the caller silently resynthesises over it —
+        // even when the rest of the payload is intact and the checksum is
+        // valid for those bytes.
+        let mut bytes = encode_outcome("key", &Some(sample()));
+        bytes[..8].copy_from_slice(b"LCLSYN01");
+        refresh_checksum(&mut bytes);
+        assert!(decode_outcome(&bytes, "key").is_none());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! grid powers, cycles, and arbitrary auxiliary graphs (such as the anchor
 //! graph `H` of §8).
 
-use crate::{Metric, Torus2};
+use crate::{Metric, Torus2, TorusD};
 
 /// An undirected graph on nodes `0..node_count()`.
 ///
@@ -154,6 +154,38 @@ impl Graph for Torus2 {
     fn max_degree(&self) -> usize {
         if self.width() > 2 && self.height() > 2 {
             4
+        } else {
+            (0..Graph::node_count(self))
+                .map(|v| self.degree(v))
+                .max()
+                .unwrap_or(0)
+        }
+    }
+}
+
+impl Graph for TorusD {
+    fn node_count(&self) -> usize {
+        TorusD::node_count(self)
+    }
+
+    fn for_each_neighbour(&self, v: usize, f: &mut dyn FnMut(usize)) {
+        let p = self.pos(v);
+        // On a side-≤2 torus the two formal neighbours along an axis
+        // coincide (and on side 1 they equal the node itself); deduplicate
+        // so the relation stays simple, mirroring the `Torus2` impl.
+        let mut seen = Vec::with_capacity(2 * self.dim());
+        for q in self.neighbours(&p) {
+            let i = self.index(&q);
+            if i != v && !seen.contains(&i) {
+                seen.push(i);
+                f(i);
+            }
+        }
+    }
+
+    fn max_degree(&self) -> usize {
+        if self.side() > 2 {
+            2 * self.dim()
         } else {
             (0..Graph::node_count(self))
                 .map(|v| self.degree(v))
@@ -520,6 +552,37 @@ mod tests {
         let mut ok = AdjGraph::new(2);
         ok.add_edge(0, 1);
         assert!(ok.adjacency().is_symmetric());
+    }
+
+    #[test]
+    fn torusd_graph_matches_ball_one() {
+        let t = TorusD::new(3, 5);
+        assert_eq!(Graph::max_degree(&t), 6);
+        assert!(symmetric(&t));
+        let p = t.pos(31);
+        let mut nbrs = t.neighbours_vec(31);
+        nbrs.sort_unstable();
+        let mut expect: Vec<usize> = t
+            .ball(Metric::L1, &p, 1)
+            .into_iter()
+            .map(|q| t.index(&q))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(nbrs, expect);
+    }
+
+    #[test]
+    fn tiny_torusd_dedups_coinciding_neighbours() {
+        let t = TorusD::new(3, 2);
+        for v in 0..Graph::node_count(&t) {
+            let nbrs = t.neighbours_vec(v);
+            let mut dedup = nbrs.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(nbrs.len(), dedup.len());
+            assert!(!nbrs.contains(&v));
+        }
+        assert!(symmetric(&t));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Grid instances and the functional (view-based) face of the LOCAL model.
 
 use crate::IdAssignment;
-use lcl_grid::{Pos, Torus2};
+use lcl_grid::{Pos, PosD, Torus2, TorusD};
 
 /// A concrete problem instance: an oriented toroidal grid together with a
 /// unique-identifier assignment.
@@ -69,6 +69,93 @@ impl GridInstance {
     /// The radius-`radius` view of the node at `center`.
     pub fn view(&self, center: Pos, radius: usize) -> GridView<'_> {
         GridView::from_parts(self.torus, &self.ids, center, radius, self.n())
+    }
+}
+
+/// A concrete problem instance on a d-dimensional torus: a [`TorusD`]
+/// together with a unique-identifier assignment. The d-dimensional
+/// counterpart of [`GridInstance`]; node order is the torus's dense index
+/// order, which for `d = 2` coincides with [`Torus2`]'s row-major order,
+/// so a 2-dimensional `TorusDInstance` lowers to a byte-identical
+/// [`GridInstance`] via [`TorusDInstance::to_grid_instance`].
+///
+/// # Example
+///
+/// ```
+/// use lcl_local::{IdAssignment, TorusDInstance};
+/// let inst = TorusDInstance::new(3, 4, &IdAssignment::Shuffled { seed: 1 });
+/// assert_eq!(inst.torus().node_count(), 64);
+/// assert_eq!(inst.dim(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TorusDInstance {
+    torus: TorusD,
+    ids: Vec<u64>,
+}
+
+impl TorusDInstance {
+    /// Creates a `d`-dimensional side-`n` instance with the given
+    /// identifier assignment.
+    pub fn new(dim: usize, side: usize, ids: &IdAssignment) -> TorusDInstance {
+        let torus = TorusD::new(dim, side);
+        let ids = ids.materialise(torus.node_count());
+        TorusDInstance { torus, ids }
+    }
+
+    /// Creates an instance from an explicit identifier vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier vector has the wrong length or contains
+    /// duplicates.
+    pub fn from_ids(torus: TorusD, ids: Vec<u64>) -> TorusDInstance {
+        assert_eq!(ids.len(), torus.node_count(), "wrong number of identifiers");
+        let mut sorted = ids.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "identifiers must be unique");
+        TorusDInstance { torus, ids }
+    }
+
+    /// The underlying torus.
+    pub fn torus(&self) -> &TorusD {
+        &self.torus
+    }
+
+    /// Dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.torus.dim()
+    }
+
+    /// Side length `n`.
+    pub fn side(&self) -> usize {
+        self.torus.side()
+    }
+
+    /// Identifier of the node at `p`.
+    #[inline]
+    pub fn id(&self, p: &PosD) -> u64 {
+        self.ids[self.torus.index(p)]
+    }
+
+    /// All identifiers in node-index order.
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Lowers a 2-dimensional instance to the equivalent [`GridInstance`]:
+    /// same node order, same identifiers, same labelling semantics
+    /// (`TorusD::index` of `[x, y]` equals `Torus2::index` of `(x, y)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d != 2`.
+    pub fn to_grid_instance(&self) -> GridInstance {
+        assert_eq!(self.dim(), 2, "only 2-dimensional instances lower");
+        GridInstance {
+            torus: Torus2::square(self.side()),
+            ids: self.ids.clone(),
+        }
     }
 }
 
@@ -275,5 +362,33 @@ mod tests {
     fn duplicate_ids_rejected() {
         let torus = Torus2::square(2);
         let _ = GridInstance::from_ids(torus, vec![1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn torusd_instance_lowers_to_grid_instance() {
+        let inst = TorusDInstance::new(2, 6, &IdAssignment::Shuffled { seed: 11 });
+        let grid = inst.to_grid_instance();
+        assert_eq!(grid.ids(), inst.ids());
+        let torus2 = grid.torus();
+        for v in 0..inst.torus().node_count() {
+            let pd = inst.torus().pos(v);
+            let p2 = Pos::new(pd.0[0], pd.0[1]);
+            // Same dense index ⇒ same identifier under both addressings.
+            assert_eq!(inst.torus().index(&pd), torus2.index(p2));
+            assert_eq!(inst.id(&pd), grid.id(p2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only 2-dimensional")]
+    fn three_dim_instance_does_not_lower() {
+        let _ = TorusDInstance::new(3, 4, &IdAssignment::Sequential).to_grid_instance();
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn torusd_duplicate_ids_rejected() {
+        let torus = TorusD::new(3, 2);
+        let _ = TorusDInstance::from_ids(torus, vec![1; 8]);
     }
 }

@@ -21,7 +21,7 @@ mod rounds;
 mod simulator;
 
 pub use ids::{IdAssignment, SplitMix64};
-pub use instance::{GridAlgorithm, GridInstance, GridView};
+pub use instance::{GridAlgorithm, GridInstance, GridView, TorusDInstance};
 pub use rounds::Rounds;
 pub use simulator::{Protocol, SimulationError, SimulationRun, Simulator};
 

@@ -7,7 +7,7 @@
 //! ```
 
 use lcl_grids::core::classify::GridClass;
-use lcl_grids::engine::{Engine, ProblemSpec, Registry};
+use lcl_grids::engine::{Engine, Instance, ProblemSpec, Registry};
 use lcl_grids::grid::Torus2;
 use std::sync::Arc;
 
@@ -27,7 +27,9 @@ fn row(registry: &Arc<Registry>, spec: ProblemSpec, max_k: usize) {
         .build()
         .expect("colouring problems always have a plan");
     let class = engine.classify().expect("torus problem");
-    let odd = engine.solvable(&Torus2::square(5)).expect("torus problem");
+    let odd = engine
+        .solvable(&Instance::from(Torus2::square(5)))
+        .expect("torus problem");
     println!(
         "  {:<22} {:<45} solvable at n=5: {odd}",
         engine.problem().name(),

@@ -7,7 +7,7 @@
 
 use lcl_grids::algorithms::orientations::{predicted_class, OrientationClass};
 use lcl_grids::core::problems::XSet;
-use lcl_grids::engine::{Engine, ProblemSpec, Registry};
+use lcl_grids::engine::{Engine, Instance, ProblemSpec, Registry};
 use lcl_grids::grid::Torus2;
 use std::sync::Arc;
 
@@ -28,7 +28,9 @@ fn main() {
             .expect("orientations always have a plan");
         let predicted = predicted_class(x);
         let class = engine.classify().expect("torus problem");
-        let solvable_odd = engine.solvable(&Torus2::square(5)).expect("torus problem");
+        let solvable_odd = engine
+            .solvable(&Instance::from(Torus2::square(5)))
+            .expect("torus problem");
         agreements += predicted.agrees_with(&class) as usize;
         let predicted_str = match predicted {
             OrientationClass::Trivial => "Θ(1)",

@@ -1,14 +1,15 @@
-//! Quickstart: the unified engine API. One `ProblemSpec`, one `Engine`,
-//! one `solve` — the registry picks the best algorithm family and the
-//! labelling comes back validated, with its LOCAL-round ledger attached.
+//! Quickstart: the unified engine API. One `ProblemSpec`, one `Instance`,
+//! one `solve` — the registry picks the best algorithm family for the
+//! `(problem, topology)` pair and the labelling comes back validated,
+//! with its LOCAL-round ledger attached.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use lcl_grids::engine::{Engine, ProblemSpec, SolveError};
+use lcl_grids::engine::{Engine, Instance, ProblemSpec, SolveError};
 use lcl_grids::grid::Pos;
-use lcl_grids::local::{GridInstance, IdAssignment};
+use lcl_grids::local::IdAssignment;
 
 fn main() -> Result<(), SolveError> {
     // The problem: proper vertex 4-colouring of the oriented torus
@@ -22,7 +23,7 @@ fn main() -> Result<(), SolveError> {
     // Solve a 64×64 torus. The ball-carving construction of §8 applies at
     // this size; smaller tori would transparently fall back to synthesis
     // or the SAT baseline.
-    let instance = GridInstance::new(64, &IdAssignment::Shuffled { seed: 2026 });
+    let instance = Instance::square(64, &IdAssignment::Shuffled { seed: 2026 });
     let labelling = engine.solve(&instance)?;
     println!(
         "64x64 torus coloured by `{}` (validated: {}); ledger:\n{}",
@@ -33,7 +34,7 @@ fn main() -> Result<(), SolveError> {
     }
 
     // Show a corner of the colouring.
-    let torus = instance.torus();
+    let torus = instance.as_torus2().expect("built as a 2-d torus").torus();
     println!("south-west 12x6 corner of the colouring:");
     for y in (0..6).rev() {
         let row: String = (0..12)
@@ -42,25 +43,51 @@ fn main() -> Result<(), SolveError> {
         println!("  {row}");
     }
 
-    // Failures are typed values, not panics: 2-colouring on an odd torus.
+    // Topology is a dispatch dimension: the same API solves edge
+    // 2d-colouring on a 3-dimensional torus through the registered
+    // Theorem 21 construction.
+    let cube_engine = Engine::builder()
+        .problem(ProblemSpec::edge_colouring(6))
+        .max_synthesis_k(1)
+        .build()?;
+    let cube = Instance::torus_d(3, 6, &IdAssignment::Shuffled { seed: 2026 });
+    let cube_labelling = cube_engine.solve(&cube)?;
+    println!(
+        "\n6x6x6 torus edge-6-coloured by `{}` (validated: {})",
+        cube_labelling.report.solver, cube_labelling.report.validated
+    );
+
+    // Failures are typed values, not panics: 2-colouring on an odd torus,
+    // and a (problem, topology) pair with no registered solver.
     let two = Engine::builder()
         .problem(ProblemSpec::vertex_colouring(2))
         .max_synthesis_k(1)
         .build()?;
-    let odd = GridInstance::new(5, &IdAssignment::Sequential);
+    let odd = Instance::square(5, &IdAssignment::Sequential);
     match two.solve(&odd) {
         Err(SolveError::Unsolvable { .. }) => {
             println!("\n2-colouring the 5x5 torus: correctly reported unsolvable")
         }
         other => println!("\nunexpected outcome: {other:?}"),
     }
+    match two.solve(&cube) {
+        Err(SolveError::UnsupportedTopology { topology, .. }) => {
+            println!("2-colouring a {topology}: correctly reported unsupported")
+        }
+        other => println!("unexpected outcome: {other:?}"),
+    }
 
     // Batches amortise the expensive shared work (synthesis is memoised
-    // in the engine's registry).
-    let batch: Vec<GridInstance> = (0..4)
-        .map(|seed| GridInstance::new(32, &IdAssignment::Shuffled { seed }))
+    // in the engine's registry) — and may mix topologies freely.
+    let mut batch: Vec<Instance> = (0..4)
+        .map(|seed| Instance::square(32, &IdAssignment::Shuffled { seed }))
         .collect();
+    batch.push(Instance::torus_d(
+        2,
+        32,
+        &IdAssignment::Shuffled { seed: 0 },
+    )); // dedups onto entry 0
     let report = engine.solve_batch(&batch);
-    println!("\nbatch of four 32x32 instances: {report}");
+    println!("\nbatch of five 32x32 instances (one a TorusD twin): {report}");
     Ok(())
 }

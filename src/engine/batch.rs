@@ -14,8 +14,7 @@
 //! `tests/batch.rs` pin this down byte-for-byte.
 
 use super::registry::fnv1a64;
-use super::{pool, Engine, Labelling, SolveError};
-use lcl_local::GridInstance;
+use super::{pool, Engine, Instance, Labelling, SolveError};
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -85,29 +84,32 @@ impl fmt::Display for BatchReport {
     }
 }
 
-/// Groups a batch into equivalence classes of identical instances (same
-/// torus dimensions, same identifier assignment — solving is
-/// deterministic, so identical inputs have identical outputs).
+/// Groups a batch into equivalence classes of interchangeable instances
+/// (same canonical topology, same dimensions, same identifier assignment
+/// — solving is deterministic, so identical inputs have identical
+/// outputs). The canonical form folds `TorusD { d: 2 }` onto `Torus2`:
+/// the two spellings solve through the same lowered plan, so they may
+/// share one group.
 ///
 /// Returns the representative index of each group (first occurrence, in
 /// input order) and, per instance, the index of its group. Grouping is
-/// keyed by an FNV hash of the identifiers but always verified against
-/// the actual id slices, so a hash collision costs a comparison, never a
-/// wrong share.
-fn dedup_groups(instances: &[GridInstance]) -> (Vec<usize>, Vec<usize>) {
+/// keyed by an FNV hash of the canonical topology tag, dimensions, and
+/// identifiers, but always verified against the actual instances, so a
+/// hash collision costs a comparison, never a wrong share.
+fn dedup_groups(instances: &[Instance]) -> (Vec<usize>, Vec<usize>) {
     let mut reps: Vec<usize> = Vec::new();
     let mut group_of: Vec<usize> = Vec::with_capacity(instances.len());
-    let mut buckets: HashMap<(usize, usize, u64), Vec<usize>> = HashMap::new();
+    let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
     for (i, inst) in instances.iter().enumerate() {
-        let torus = inst.torus();
-        let hash = fnv1a64(inst.ids().iter().flat_map(|id| id.to_le_bytes()));
-        let bucket = buckets
-            .entry((torus.width(), torus.height(), hash))
-            .or_default();
+        let (tag, dims) = inst.canonical_shape();
+        let key_bytes = std::iter::once(tag)
+            .chain(dims.iter().flat_map(|d| (*d as u64).to_le_bytes()))
+            .chain(inst.ids().iter().flat_map(|id| id.to_le_bytes()));
+        let bucket = buckets.entry(fnv1a64(key_bytes)).or_default();
         let group = bucket
             .iter()
             .copied()
-            .find(|&g| instances[reps[g]].ids() == inst.ids());
+            .find(|&g| instances[reps[g]].same_input(inst));
         match group {
             Some(g) => group_of.push(g),
             None => {
@@ -133,16 +135,17 @@ fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 impl Engine {
-    /// Solves a batch of torus instances.
+    /// Solves a batch of instances — mixed topologies welcome: 2-d tori,
+    /// d-dimensional tori, and boundary grids can share one batch.
     ///
-    /// Identical instances are solved once per batch (see
+    /// Interchangeable instances are solved once per batch (see
     /// [`EngineBuilder::dedup`](crate::engine::EngineBuilder::dedup)), and
     /// distinct instances are dispatched over the configured worker pool
     /// ([`EngineBuilder::threads`](crate::engine::EngineBuilder::threads)).
     /// Results come back in input order; per-instance failures — including
     /// solver panics — stay independent.
-    pub fn solve_batch(&self, instances: &[GridInstance]) -> BatchReport {
-        let solve_one = |inst: &GridInstance| -> Result<Labelling, SolveError> {
+    pub fn solve_batch(&self, instances: &[Instance]) -> BatchReport {
+        let solve_one = |inst: &Instance| -> Result<Labelling, SolveError> {
             catch_unwind(AssertUnwindSafe(|| self.solve(inst))).unwrap_or_else(|payload| {
                 Err(SolveError::Panicked {
                     detail: panic_detail(payload),

@@ -1,6 +1,5 @@
 //! The typed, panic-free failure surface of the engine.
 
-use lcl_core::Violation;
 use std::fmt;
 
 /// Everything that can go wrong when building an [`crate::engine::Engine`]
@@ -12,23 +11,26 @@ use std::fmt;
 /// particular solver declined the instance.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SolveError {
-    /// The problem has no valid labelling on this torus — an exact verdict
-    /// from the SAT existence solver (e.g. 2-colouring on an odd torus).
+    /// The problem has no valid labelling on this torus — an exact
+    /// verdict, from the SAT existence solver (e.g. 2-colouring on an odd
+    /// 2-d torus) or from a counting argument (edge `2d`-colouring on an
+    /// odd-side d-dimensional torus, Theorem 21).
     Unsolvable {
         /// Problem name.
         problem: String,
-        /// Torus width.
-        width: usize,
-        /// Torus height.
-        height: usize,
+        /// The instance's side lengths, one per dimension.
+        dims: Vec<usize>,
     },
-    /// The engine's problem lives on a different topology than the
-    /// instance (e.g. corner coordination needs a boundary grid, not a
-    /// torus), or a solver supports only a subfamily of instances.
-    TopologyUnsupported {
+    /// The `(problem, topology)` pair is not supported: the problem has no
+    /// semantics on the instance's topology, or no registered solver
+    /// covers the pair (e.g. vertex colouring on a 3-dimensional torus, or
+    /// corner coordination on a torus instance).
+    UnsupportedTopology {
         /// Problem name.
         problem: String,
-        /// What was expected and what was given.
+        /// The instance topology, rendered (e.g. "oriented 3-d torus").
+        topology: String,
+        /// What was expected or why the pair is uncovered.
         reason: String,
     },
     /// Every candidate solver rejected the instance as too small; the
@@ -73,13 +75,14 @@ pub enum SolveError {
     },
     /// An engine was built without a problem.
     MissingProblem,
-    /// A solver returned a labelling that the independent LCL checker
-    /// rejected — a solver bug, reported rather than trusted.
+    /// A solver returned a labelling that the independent topology-native
+    /// checker rejected — a solver bug, reported rather than trusted.
     ValidationFailed {
         /// The offending solver.
         solver: String,
-        /// The first violated 2×2 window.
-        violation: Violation,
+        /// The first violation, rendered by the topology's checker (a 2×2
+        /// window on 2-d tori, a native-validator description elsewhere).
+        violation: String,
     },
     /// A solver panicked while handling one instance. The batch path
     /// catches the unwind and reports it as this typed failure, so one
@@ -94,13 +97,20 @@ pub enum SolveError {
 impl fmt::Display for SolveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SolveError::Unsolvable {
+            SolveError::Unsolvable { problem, dims } => {
+                let dims: Vec<String> = dims.iter().map(|d| d.to_string()).collect();
+                write!(
+                    f,
+                    "{problem} has no solution on the {} torus",
+                    dims.join("x")
+                )
+            }
+            SolveError::UnsupportedTopology {
                 problem,
-                width,
-                height,
-            } => write!(f, "{problem} has no solution on the {width}x{height} torus"),
-            SolveError::TopologyUnsupported { problem, reason } => {
-                write!(f, "{problem}: unsupported topology ({reason})")
+                topology,
+                reason,
+            } => {
+                write!(f, "{problem}: unsupported topology {topology} ({reason})")
             }
             SolveError::TorusTooSmall {
                 problem,

@@ -2,16 +2,19 @@
 //! and topology in this repository.
 //!
 //! The paper shows that every radius-1 LCL on oriented grids reduces to
-//! one normal form and one complexity landscape; this module gives the
-//! code base the matching shape. A [`ProblemSpec`] is the canonical
-//! problem representation, a [`Registry`] maps it to the best available
-//! solvers (hand-built §8/§10 constructions, §7 synthesis with memoised
-//! SAT calls, the `Θ(n)` SAT existence baseline), and an [`Engine`] walks
-//! that plan with a `Result`-based, panic-free surface:
+//! one normal form and one complexity landscape — in every dimension; this
+//! module gives the code base the matching shape. A [`ProblemSpec`] is the
+//! canonical problem representation, an [`Instance`] is the canonical
+//! input — one currency over 2-d tori, d-dimensional tori, and boundary
+//! grids — and a [`Registry`] maps each `(problem, topology)` pair to the
+//! best available solvers (hand-built §8/§10 constructions, §7 synthesis
+//! with memoised SAT calls, the d-dimensional Theorem 21 constructions,
+//! corner coordination, the `Θ(n)` SAT existence baseline). An [`Engine`]
+//! walks that plan with a `Result`-based, panic-free surface:
 //!
 //! ```
-//! use lcl_grids::engine::{Engine, ProblemSpec};
-//! use lcl_grids::local::{GridInstance, IdAssignment};
+//! use lcl_grids::engine::{Engine, Instance, ProblemSpec};
+//! use lcl_grids::local::IdAssignment;
 //!
 //! let engine = Engine::builder()
 //!     .problem(ProblemSpec::orientation(
@@ -20,33 +23,48 @@
 //!     .max_synthesis_k(1)
 //!     .build()
 //!     .unwrap();
-//! let inst = GridInstance::new(12, &IdAssignment::Shuffled { seed: 7 });
+//! let inst = Instance::square(12, &IdAssignment::Shuffled { seed: 7 });
 //! let labelling = engine.solve(&inst).unwrap();
 //! assert_eq!(labelling.labels.len(), 144);
 //! assert!(labelling.report.validated);
+//!
+//! // The same engine API covers d-dimensional tori: edge 2d-colouring on
+//! // a 3-dimensional torus dispatches to the Theorem 21 construction.
+//! let cube = Engine::builder()
+//!     .problem(ProblemSpec::edge_colouring(6))
+//!     .max_synthesis_k(1)
+//!     .build()
+//!     .unwrap();
+//! let inst3 = Instance::torus_d(3, 4, &IdAssignment::Sequential);
+//! let labelling3 = cube.solve(&inst3).unwrap();
+//! assert_eq!(labelling3.labels.len(), 64);
 //! ```
 //!
 //! Failures are values, not panics: unsolvable instances, undersized
-//! tori, exhausted synthesis budgets, and exceeded round budgets all come
-//! back as [`SolveError`] variants.
+//! tori, unsupported `(problem, topology)` pairs, exhausted synthesis
+//! budgets, and exceeded round budgets all come back as [`SolveError`]
+//! variants.
 
 mod batch;
 mod error;
+mod instance;
 mod pool;
 mod registry;
 mod spec;
 
 pub use batch::BatchReport;
 pub use error::SolveError;
+pub use instance::Instance;
 pub use registry::{PlanOptions, Registry, SynthOrigin, SynthStats};
 pub use spec::{ProblemSpec, Topology};
 
-use lcl_algorithms::corner::{self, BoundaryGrid, PseudoForest};
+use lcl_algorithms::corner::{BoundaryGrid, PseudoForest};
 use lcl_algorithms::Profile;
 use lcl_core::classify::GridClass;
 use lcl_core::{existence, Label};
-use lcl_grid::Torus2;
-use lcl_local::{GridInstance, Rounds};
+use lcl_grid::CycleGraph;
+use lcl_local::{Rounds, Simulator};
+use lcl_symmetry::protocol_validation::CvProtocol;
 use std::fmt;
 use std::sync::Arc;
 
@@ -74,14 +92,45 @@ impl fmt::Display for Complexity {
     }
 }
 
+/// The family of topologies a solver accepts — the coarse dispatch
+/// dimension of [`Capabilities`]. Finer constraints (dimension-dependent
+/// palette sizes, parity of the side length) are the solver's own
+/// business and surface as typed per-instance errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologySupport {
+    /// Exactly the oriented 2-d torus.
+    Torus2,
+    /// Oriented tori of every dimension `d ≥ 2` (2-d instances are
+    /// presented to the solver in their `Torus2` form).
+    AnyTorusD,
+    /// Boundary grids.
+    Boundary,
+}
+
+impl TopologySupport {
+    /// True iff a solver with this support accepts an instance of the
+    /// given topology.
+    pub fn accepts(self, topology: Topology) -> bool {
+        matches!(
+            (self, topology),
+            (TopologySupport::Torus2, Topology::Torus2)
+                | (
+                    TopologySupport::AnyTorusD,
+                    Topology::Torus2 | Topology::TorusD { .. }
+                )
+                | (TopologySupport::Boundary, Topology::Boundary)
+        )
+    }
+}
+
 /// What a solver supports: consulted by the engine before dispatch.
 #[derive(Clone, Copy, Debug)]
 pub struct Capabilities {
-    /// The topology the solver runs on.
-    pub topology: Topology,
-    /// Smallest supported torus side.
+    /// The topology family the solver runs on.
+    pub topology: TopologySupport,
+    /// Smallest supported side length.
     pub min_side: usize,
-    /// True if only square tori are supported.
+    /// True if only equal side lengths are supported.
     pub square_only: bool,
     /// Promised asymptotic round complexity.
     pub complexity: Complexity,
@@ -98,7 +147,7 @@ pub struct SolveReport {
     /// The LOCAL round ledger (phase-by-phase, see `lcl_local::Rounds`).
     pub rounds: Rounds,
     /// True once the engine has re-validated the labelling with the
-    /// independent block checker.
+    /// topology-native independent checker.
     pub validated: bool,
     /// Solver-specific diagnostics (spacing `ℓ`, anchor counts, measured
     /// gaps, lookup-table sizes, …) as key/value pairs.
@@ -140,7 +189,9 @@ pub struct Labelling {
 }
 
 /// A solver the engine can dispatch to: the object the [`Registry`] hands
-/// out, and the extension point for new algorithm families.
+/// out, and the extension point for new algorithm families. Solvers take
+/// the topology-polymorphic [`Instance`]; the engine only routes
+/// instances whose topology the solver's [`Capabilities`] accept.
 pub trait Solve: Send + Sync {
     /// Stable solver name for reports and errors.
     fn name(&self) -> &str;
@@ -149,7 +200,7 @@ pub trait Solve: Send + Sync {
     fn capabilities(&self) -> Capabilities;
 
     /// Solves one instance, never panicking on bad input.
-    fn solve(&self, inst: &GridInstance) -> Result<Labelling, SolveError>;
+    fn solve(&self, inst: &Instance) -> Result<Labelling, SolveError>;
 }
 
 /// Builder for [`Engine`]; start from [`Engine::builder`].
@@ -160,6 +211,7 @@ pub struct EngineBuilder {
     max_synthesis_k: usize,
     seed: Option<u64>,
     validate: bool,
+    debug_validation: bool,
     registry: Option<Arc<Registry>>,
     threads: usize,
     cache_dir: Option<std::path::PathBuf>,
@@ -202,10 +254,32 @@ impl EngineBuilder {
         self
     }
 
-    /// Re-check every labelling with the independent block checker before
-    /// returning it (default: on; turn off only on measured hot paths).
+    /// Re-check every labelling with the topology-native independent
+    /// checker before returning it (default: on; turn off only on
+    /// measured hot paths).
     pub fn validate(mut self, validate: bool) -> EngineBuilder {
         self.validate = validate;
+        self
+    }
+
+    /// Cross-validate the batched round accounting against the
+    /// message-passing LOCAL simulator on small torus instances
+    /// (default: off — it is a debugging aid, not a production knob).
+    ///
+    /// When enabled, each successful torus solve with at most
+    /// [`DEBUG_VALIDATION_MAX_NODES`] nodes additionally runs the
+    /// Cole–Vishkin protocol — the symmetry-breaking core every `log*`
+    /// solver builds on — through the real synchronous simulator on a
+    /// cycle of the instance's side length, using the instance's own
+    /// identifiers, and checks the batched ledger against the measured
+    /// synchronous round count (the invariant of
+    /// `lcl_symmetry::protocol_validation`: `ledger ≤ protocol ≤
+    /// ledger + 5`). The measurements land in the [`SolveReport`] as
+    /// `debug_cv_ledger_rounds` / `debug_cv_protocol_rounds` /
+    /// `debug_validation`; a violated invariant is a
+    /// [`SolveError::ValidationFailed`].
+    pub fn debug_validation(mut self, enabled: bool) -> EngineBuilder {
+        self.debug_validation = enabled;
         self
     }
 
@@ -240,10 +314,11 @@ impl EngineBuilder {
     }
 
     /// In-batch labelling dedup (default: on): instances with the same
-    /// torus dimensions and identifier assignment are solved once per
-    /// batch and the labelling is shared. Solving is deterministic, so
-    /// this is observationally transparent; turn it off to force every
-    /// instance through a full solve (e.g. when benchmarking).
+    /// canonical topology, dimensions, and identifier assignment are
+    /// solved once per batch and the labelling is shared. Solving is
+    /// deterministic, so this is observationally transparent; turn it off
+    /// to force every instance through a full solve (e.g. when
+    /// benchmarking).
     pub fn dedup(mut self, dedup: bool) -> EngineBuilder {
         self.dedup = dedup;
         self
@@ -263,7 +338,7 @@ impl EngineBuilder {
             seed: self.seed,
         };
         let plan = registry.plan(&spec, &opts);
-        if plan.is_empty() && spec.topology() == Topology::Torus {
+        if plan.is_empty() {
             return Err(SolveError::NoSolver {
                 problem: spec.name().to_string(),
             });
@@ -275,14 +350,21 @@ impl EngineBuilder {
             opts,
             rounds_budget: self.rounds_budget,
             validate: self.validate,
+            debug_validation: self.debug_validation,
             threads: self.threads,
             dedup: self.dedup,
         })
     }
 }
 
-/// The single entry point: solves its problem on any supported instance
-/// through the best applicable registered solver.
+/// Largest instance (in nodes) the opt-in
+/// [`EngineBuilder::debug_validation`] cross-check runs on; larger solves
+/// skip it silently (the simulator cross-check is a small-instance
+/// debugging aid by design).
+pub const DEBUG_VALIDATION_MAX_NODES: usize = 4096;
+
+/// The single entry point: solves its problem on any supported
+/// [`Instance`] through the best applicable registered solver.
 pub struct Engine {
     spec: ProblemSpec,
     plan: Vec<Box<dyn Solve>>,
@@ -290,6 +372,7 @@ pub struct Engine {
     opts: PlanOptions,
     rounds_budget: Option<u64>,
     validate: bool,
+    debug_validation: bool,
     threads: usize,
     dedup: bool,
 }
@@ -304,6 +387,7 @@ impl Engine {
             max_synthesis_k: 3,
             seed: None,
             validate: true,
+            debug_validation: false,
             registry: None,
             threads: 1,
             cache_dir: None,
@@ -321,39 +405,49 @@ impl Engine {
         &self.registry
     }
 
-    /// The resolved solver plan, best first.
+    /// The resolved solver plan, best first (across all topologies the
+    /// problem has registered solvers on).
     pub fn solver_names(&self) -> Vec<&str> {
         self.plan.iter().map(|s| s.name()).collect()
     }
 
-    /// Solves one torus instance.
+    /// Solves one instance on any supported topology.
     ///
-    /// Walks the solver plan: solvers whose [`Capabilities`] reject the
-    /// instance are skipped, typed per-solver failures fall through to
-    /// the next solver, and successful labellings are re-validated with
-    /// the independent block checker before being returned.
-    pub fn solve(&self, inst: &GridInstance) -> Result<Labelling, SolveError> {
-        if self.spec.topology() != Topology::Torus {
-            return Err(SolveError::TopologyUnsupported {
+    /// 2-dimensional `TorusD` instances are lowered to their canonical
+    /// `Torus2` form first, then the engine walks the solver plan:
+    /// solvers whose [`Capabilities`] reject the instance's topology or
+    /// size are skipped, typed per-solver failures fall through to the
+    /// next solver, and successful labellings are re-validated with the
+    /// topology-native independent checker before being returned. A
+    /// `(problem, topology)` pair no registered solver covers comes back
+    /// as [`SolveError::UnsupportedTopology`].
+    pub fn solve(&self, inst: &Instance) -> Result<Labelling, SolveError> {
+        let lowered = inst.lower_d2();
+        let inst = lowered.as_ref().unwrap_or(inst);
+        let topology = inst.topology();
+        if !self.spec.supports(topology) {
+            return Err(SolveError::UnsupportedTopology {
                 problem: self.spec.name().to_string(),
+                topology: topology.to_string(),
                 reason: format!(
-                    "{} lives on a {}; use Engine::solve_boundary",
+                    "{} has no semantics on a {topology}; its home is the {}",
                     self.spec.name(),
-                    self.spec.topology()
+                    self.spec.home_topology()
                 ),
             });
         }
-        let torus = inst.torus();
-        let side = torus.width().min(torus.height());
+        let side = inst.min_side();
+        let mut topology_covered = false;
         let mut cheapest_over_budget: Option<u64> = None;
         let mut smallest_supported: Option<usize> = None;
         let mut fallthrough: Option<SolveError> = None;
         for solver in &self.plan {
             let caps = solver.capabilities();
-            if caps.topology != Topology::Torus {
+            if !caps.topology.accepts(topology) {
                 continue;
             }
-            if caps.square_only && torus.width() != torus.height() {
+            topology_covered = true;
+            if caps.square_only && !inst.is_square() {
                 continue;
             }
             if side < caps.min_side {
@@ -364,7 +458,7 @@ impl Engine {
             match solver.solve(inst) {
                 Ok(mut labelling) => {
                     if self.validate {
-                        if let Err(violation) = self.spec.check(&torus, &labelling.labels) {
+                        if let Err(violation) = self.spec.check_instance(inst, &labelling.labels) {
                             fallthrough.get_or_insert(SolveError::ValidationFailed {
                                 solver: solver.name().to_string(),
                                 violation,
@@ -372,6 +466,9 @@ impl Engine {
                             continue;
                         }
                         labelling.report.validated = true;
+                    }
+                    if self.debug_validation {
+                        self.cross_validate_rounds(inst, &mut labelling.report)?;
                     }
                     let needed = labelling.report.rounds.total();
                     if let Some(budget) = self.rounds_budget {
@@ -394,6 +491,13 @@ impl Engine {
                 }
             }
         }
+        if !topology_covered {
+            return Err(SolveError::UnsupportedTopology {
+                problem: self.spec.name().to_string(),
+                topology: topology.to_string(),
+                reason: "no registered solver covers this (problem, topology) pair".to_string(),
+            });
+        }
         if let (Some(needed), Some(budget)) = (cheapest_over_budget, self.rounds_budget) {
             return Err(SolveError::RoundBudgetExceeded { budget, needed });
         }
@@ -412,14 +516,79 @@ impl Engine {
         })
     }
 
-    /// Decides whether the problem has *any* valid labelling on the torus
-    /// (the exact SAT existence question, independent of round budgets).
-    pub fn solvable(&self, torus: &Torus2) -> Result<bool, SolveError> {
-        let problem = self
-            .spec
-            .grid_problem()
-            .ok_or_else(|| self.boundary_only_error())?;
-        Ok(existence::solvable(problem, torus))
+    /// Decides whether the problem has *any* valid labelling on the
+    /// instance's topology and dimensions (independent of round budgets
+    /// and identifier assignments).
+    ///
+    /// On 2-d tori (and lowered `d = 2` instances) this is the exact SAT
+    /// existence question; on higher-dimensional tori it is answered by
+    /// the paper's counting arguments where those apply (Theorem 21 for
+    /// edge `2d`-colouring, §10 for larger palettes, the Cartesian-product
+    /// chromatic bound for vertex colouring); unsupported pairs come back
+    /// as [`SolveError::UnsupportedTopology`].
+    pub fn solvable(&self, inst: &Instance) -> Result<bool, SolveError> {
+        let lowered = inst.lower_d2();
+        let inst = lowered.as_ref().unwrap_or(inst);
+        let topology = inst.topology();
+        let unsupported = |reason: String| SolveError::UnsupportedTopology {
+            problem: self.spec.name().to_string(),
+            topology: topology.to_string(),
+            reason,
+        };
+        if !self.spec.supports(topology) {
+            return Err(unsupported(format!(
+                "{} has no semantics on a {topology}",
+                self.spec.name()
+            )));
+        }
+        if self.spec.mis_power_params().is_some() {
+            // The greedy sweep always produces a maximal independent set.
+            return Ok(true);
+        }
+        match inst {
+            Instance::Boundary(_) => Ok(true), // the boundary-paths witness
+            Instance::Torus2(gi) => {
+                let problem = self
+                    .spec
+                    .grid_problem()
+                    .ok_or_else(|| unsupported("not a block problem".to_string()))?;
+                Ok(existence::solvable(problem, &gi.torus()))
+            }
+            Instance::TorusD(di) => {
+                use lcl_core::GridProblem;
+                let n = di.side();
+                let d = di.dim();
+                if n == 1 {
+                    // A side-1 torus has no edges: everything labels.
+                    return Ok(true);
+                }
+                match self.spec.grid_problem() {
+                    Some(GridProblem::EdgeColouring { k }) => {
+                        let k = usize::from(*k);
+                        if k < 2 * d {
+                            Ok(false) // fewer colours than the degree
+                        } else if k == 2 * d {
+                            Ok(n % 2 == 0) // Theorem 21, exactly
+                        } else {
+                            Ok(true) // §10: 2d+1 colours always suffice
+                        }
+                    }
+                    Some(GridProblem::VertexColouring { k }) => {
+                        // χ of a Cartesian product of cycles is
+                        // max over the factors: 2 for even n, 3 for odd.
+                        let chi = if n % 2 == 0 { 2 } else { 3 };
+                        Ok(usize::from(*k) >= chi)
+                    }
+                    Some(p) => match spec::ddim_semantics(p, d) {
+                        Some(spec::DdimSemantics::IndependentSet) => Ok(true),
+                        _ => Err(unsupported(
+                            "existence is not tabulated for this problem in d ≥ 3".to_string(),
+                        )),
+                    },
+                    None => Err(unsupported("not a block problem".to_string())),
+                }
+            }
+        }
     }
 
     /// The one-sided classification adapter (§7): `Constant` if a
@@ -428,8 +597,12 @@ impl Engine {
     /// within the engine's `k` budget (memoised), `Global` otherwise —
     /// which, by Theorem 3, no procedure can sharpen.
     pub fn classify(&self) -> Result<GridClass, SolveError> {
-        if self.spec.grid_problem().is_none() {
-            return Err(self.boundary_only_error());
+        if self.spec.home_topology() == Topology::Boundary {
+            return Err(SolveError::UnsupportedTopology {
+                problem: self.spec.name().to_string(),
+                topology: Topology::Boundary.to_string(),
+                reason: "classification covers the torus landscape (Theorem 1)".to_string(),
+            });
         }
         if self.spec.constant_solution().is_some() {
             return Ok(GridClass::Constant);
@@ -443,6 +616,9 @@ impl Engine {
         if certified_log_star {
             return Ok(GridClass::LogStar);
         }
+        if self.spec.grid_problem().is_none() {
+            return Ok(GridClass::Global);
+        }
         match self
             .registry
             .memoised_synthesis(&self.spec, self.opts.max_synthesis_k)
@@ -452,44 +628,71 @@ impl Engine {
         }
     }
 
-    /// Solves the corner coordination problem on a boundary grid
-    /// (Appendix A.3). Labels encode each node's out-pointer: 0 = none,
-    /// 1 = north, 2 = east, 3 = south, 4 = west.
-    pub fn solve_boundary(&self, grid: &BoundaryGrid) -> Result<Labelling, SolveError> {
-        if self.spec.topology() != Topology::Boundary {
-            return Err(SolveError::TopologyUnsupported {
-                problem: self.spec.name().to_string(),
-                reason: format!(
-                    "{} lives on an oriented torus; use Engine::solve",
-                    self.spec.name()
+    /// The opt-in round-ledger cross-validation (see
+    /// [`EngineBuilder::debug_validation`]): runs Cole–Vishkin as a real
+    /// message-passing protocol on a cycle of the instance's side length
+    /// and checks the batched ledger invariant, recording both round
+    /// counts in the report.
+    fn cross_validate_rounds(
+        &self,
+        inst: &Instance,
+        report: &mut SolveReport,
+    ) -> Result<(), SolveError> {
+        let side = inst.min_side();
+        if inst.node_count() > DEBUG_VALIDATION_MAX_NODES || side < 3 || inst.ids().is_empty() {
+            report
+                .details
+                .push(("debug_validation".to_string(), "skipped".to_string()));
+            return Ok(());
+        }
+        let cycle = CycleGraph::new(side);
+        let ids = &inst.ids()[..side];
+        let batched = lcl_symmetry::cv3_cycle(&cycle, ids).rounds.total();
+        let run = Simulator::new(64)
+            .run(&cycle, ids, &CvProtocol)
+            .map_err(|e| SolveError::ValidationFailed {
+                solver: "cv-protocol-cross-check".to_string(),
+                violation: format!("protocol did not halt: {e}"),
+            })?;
+        for v in 0..side {
+            if run.outputs[v] >= 3 || run.outputs[v] == run.outputs[cycle.succ(v)] {
+                return Err(SolveError::ValidationFailed {
+                    solver: "cv-protocol-cross-check".to_string(),
+                    violation: format!("protocol output is not a proper 3-colouring at node {v}"),
+                });
+            }
+        }
+        // The invariant proven in lcl_symmetry::protocol_validation: the
+        // batched ledger may undercut the fixed synchronous schedule by
+        // the adaptively skipped iterations, never overcharge it, and the
+        // schedule adds at most the identifier exchange + halting rounds.
+        if batched > run.rounds || run.rounds > batched + 5 {
+            return Err(SolveError::ValidationFailed {
+                solver: "cv-protocol-cross-check".to_string(),
+                violation: format!(
+                    "round ledger drifted from the synchronous protocol: \
+                     ledger {batched}, protocol {}",
+                    run.rounds
                 ),
             });
         }
-        let forest = corner::solve_boundary_paths(grid);
-        corner::check(grid, &forest).map_err(|detail| SolveError::SolverFailed {
-            solver: "boundary-paths".to_string(),
-            detail,
-        })?;
-        let labels = encode_forest(grid, &forest);
-        let mut rounds = Rounds::new();
-        // Proposition 28: radius 2√n = 2m exploration suffices.
-        rounds.charge("corner-exploration", 2 * grid.side() as u64);
-        let mut report = SolveReport::new(self.spec.name(), "boundary-paths", rounds);
-        report.validated = true;
-        Ok(Labelling { labels, report })
-    }
-
-    fn boundary_only_error(&self) -> SolveError {
-        SolveError::TopologyUnsupported {
-            problem: self.spec.name().to_string(),
-            reason: format!("{} lives on a {}", self.spec.name(), self.spec.topology()),
-        }
+        report
+            .details
+            .push(("debug_cv_ledger_rounds".to_string(), batched.to_string()));
+        report.details.push((
+            "debug_cv_protocol_rounds".to_string(),
+            run.rounds.to_string(),
+        ));
+        report
+            .details
+            .push(("debug_validation".to_string(), "ok".to_string()));
+        Ok(())
     }
 }
 
 /// Encodes a pseudoforest as per-node out-pointer labels (0 = none,
 /// 1 = north, 2 = east, 3 = south, 4 = west).
-fn encode_forest(grid: &BoundaryGrid, forest: &PseudoForest) -> Vec<Label> {
+pub(crate) fn encode_forest(grid: &BoundaryGrid, forest: &PseudoForest) -> Vec<Label> {
     let m = grid.side();
     let mut labels = vec![0 as Label; m * m];
     for &(u, v) in &forest.arcs {
@@ -507,8 +710,8 @@ fn encode_forest(grid: &BoundaryGrid, forest: &PseudoForest) -> Vec<Label> {
 }
 
 /// Decodes out-pointer labels back to a [`PseudoForest`] (the inverse of
-/// the encoding used by [`Engine::solve_boundary`]), for re-validation
-/// with [`lcl_algorithms::corner::check`].
+/// the encoding used by the registered boundary-paths solver), for
+/// re-validation with [`lcl_algorithms::corner::check`].
 pub fn decode_forest(grid: &BoundaryGrid, labels: &[Label]) -> PseudoForest {
     let m = grid.side();
     let mut arcs = Vec::new();

@@ -1,21 +1,30 @@
-//! Solver adapters and the problem→solver registry.
+//! Solver adapters and the `(problem, topology)` → solver registry.
 //!
-//! The registry owns the resolution policy "best available first": a
-//! constant labelling when one exists (`O(1)`), then the hand-built §8/§10
-//! constructions, then §7 normal-form synthesis (memoised per problem),
-//! and finally the SAT-backed existence solver — the `Θ(n)` baseline that
-//! is exact but slow. The [`crate::engine::Engine`] walks this plan and
-//! falls through on capability mismatches and typed errors.
+//! The registry owns the resolution policy "best available first", per
+//! topology family: a constant labelling when one exists (`O(1)`), then
+//! the hand-built §8/§10 constructions, then §7 normal-form synthesis
+//! (memoised per problem), then the d-dimensional constructions of
+//! Theorem 21, and finally the SAT-backed existence solver — the `Θ(n)`
+//! baseline that is exact but slow. Every solver declares the topology
+//! family it accepts ([`TopologySupport`]); the
+//! [`crate::engine::Engine`] walks this plan, skips solvers whose
+//! capabilities reject the instance, and falls through on typed errors.
+//! Corner coordination and the d-dimensional algorithms are first-class
+//! registered solvers, not side doors.
 
 use super::error::SolveError;
+use super::instance::Instance;
 use super::spec::{ProblemSpec, Topology};
-use super::{Capabilities, Complexity, Labelling, Solve, SolveReport};
+use super::{Capabilities, Complexity, Labelling, Solve, SolveReport, TopologySupport};
+use lcl_algorithms::corner::{self, BoundaryGrid};
+use lcl_algorithms::ddim;
 use lcl_algorithms::edge_colouring::EdgeColouring;
 use lcl_algorithms::four_colouring::FourColouring;
 use lcl_algorithms::{AlgoError, Profile};
 use lcl_core::problems::XSet;
 use lcl_core::synthesis::{persist, synthesize_auto, SynthRunError, SynthesizedAlgorithm};
 use lcl_core::{existence, GridProblem};
+use lcl_grid::{Metric, TorusD};
 use lcl_local::{GridInstance, Rounds};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -101,7 +110,8 @@ pub(crate) struct CachedSynth {
 /// * **Persistence**: with a cache directory configured, outcomes
 ///   (including negative "no normal form up to k" verdicts, the costliest
 ///   to recompute) are content-addressed on disk and survive restarts;
-///   corrupt or mismatched files silently fall back to resynthesis.
+///   corrupt, mismatched, or previous-version files silently fall back to
+///   resynthesis.
 #[derive(Default)]
 pub(crate) struct SynthCache {
     map: Mutex<HashMap<String, Arc<OnceLock<CachedSynth>>>>,
@@ -127,6 +137,14 @@ pub(crate) use persist::fnv1a64;
 /// The canonical cache key of a problem: the name alone is not enough,
 /// because two different custom [`GridProblem::Block`] LCLs may be
 /// registered under the same free-form name in a shared registry.
+///
+/// Keys carry a trailing topology tag (`+t2`: synthesis runs on the 2-d
+/// block normal form) so that mixed-topology engines sharing one cache
+/// directory can never alias outcomes across topologies. Adding the tag
+/// changed the key schema, so the on-disk format version was bumped in
+/// lockstep (`LCLSYN01` → `LCLSYN02`, see `lcl_core::synthesis::persist`):
+/// pre-tag cache files fail the version check and are silently
+/// resynthesised over.
 fn cache_key(problem: &GridProblem, name: &str, max_k: usize) -> String {
     match problem {
         // Block problems are content-addressed by their tabulated allowed
@@ -137,9 +155,9 @@ fn cache_key(problem: &GridProblem, name: &str, max_k: usize) -> String {
             let content = std::iter::once(b.alphabet())
                 .chain(blocks.into_iter().flatten())
                 .flat_map(|l| l.to_le_bytes());
-            format!("{name}#{:016x}@k{max_k}", fnv1a64(content))
+            format!("{name}#{:016x}@k{max_k}+t2", fnv1a64(content))
         }
-        _ => format!("{name}@k{max_k}"),
+        _ => format!("{name}@k{max_k}+t2"),
     }
 }
 
@@ -235,9 +253,9 @@ impl SynthCache {
     }
 }
 
-/// Maps a [`ProblemSpec`] to an ordered plan of [`Solve`] implementations,
-/// best first. Also the home of the named problem library and the shared
-/// synthesis cache.
+/// Maps a `(problem, topology)` pair to an ordered plan of [`Solve`]
+/// implementations, best first. Also the home of the named problem
+/// library and the shared synthesis cache.
 #[derive(Default)]
 pub struct Registry {
     synth_cache: Arc<SynthCache>,
@@ -294,22 +312,49 @@ impl Registry {
             ProblemSpec::orientation(XSet::from_degrees(&[1, 3])),
             ProblemSpec::orientation(XSet::from_degrees(&[0, 3, 4])),
             ProblemSpec::mis_with_pointers(),
+            ProblemSpec::mis_power(Metric::L1, 2),
             ProblemSpec::corner_coordination(),
         ]
     }
 
-    /// Resolves the ordered solver plan for a problem. An empty plan means
+    /// Resolves the ordered solver plan for a problem, covering every
+    /// topology the problem has registered solvers on; the engine filters
+    /// by the instance's topology at dispatch time. An empty plan means
     /// [`SolveError::NoSolver`].
     pub fn plan(&self, spec: &ProblemSpec, opts: &PlanOptions) -> Vec<Box<dyn Solve>> {
         let mut plan: Vec<Box<dyn Solve>> = Vec::new();
+        if spec.home_topology() == Topology::Boundary {
+            plan.push(Box::new(CornerSolver {
+                problem: spec.name().to_string(),
+            }));
+            return plan;
+        }
+        if let Some((metric, k)) = spec.mis_power_params() {
+            plan.push(Box::new(MisPowerSolver {
+                problem: spec.name().to_string(),
+                metric,
+                k,
+            }));
+            plan.push(Box::new(GreedyMisDSolver {
+                problem: spec.name().to_string(),
+                metric,
+                k,
+            }));
+            return plan;
+        }
         let problem = match spec.grid_problem() {
             Some(p) => p,
-            None => return plan, // corner coordination: see Engine::solve_boundary
+            None => return plan,
         };
         if let Some(label) = problem.constant_solution() {
             plan.push(Box::new(ConstantSolver {
                 problem: spec.name().to_string(),
                 label,
+                topology: if spec.constant_solution_on_any_torus() {
+                    TopologySupport::AnyTorusD
+                } else {
+                    TopologySupport::Torus2
+                },
             }));
         }
         match problem {
@@ -330,6 +375,17 @@ impl Registry {
                 max_k: opts.max_synthesis_k,
                 cache: Arc::clone(&self.synth_cache),
             }));
+        }
+        // Theorem 21's even-n edge 2d-colouring: the only registered
+        // d ≥ 3 path for a block problem, and also an exact (and
+        // CDCL-free) Θ(n) route for edge 2d-colouring of 2-d tori.
+        if let GridProblem::EdgeColouring { k } = problem {
+            if k % 2 == 0 && *k >= 4 {
+                plan.push(Box::new(DdimEdgeSolver {
+                    problem: spec.name().to_string(),
+                    k: *k,
+                }));
+            }
         }
         // SAT existence: exact for every n, Θ(n) rounds, small alphabets
         // only for the generic encoder (≤ 16).
@@ -362,10 +418,36 @@ impl Registry {
     }
 }
 
+/// Internal guard: the engine's capability filter must have routed a 2-d
+/// instance here; anything else is an engine bug surfaced as a typed
+/// error rather than a panic.
+fn expect_torus2<'i>(inst: &'i Instance, solver: &str) -> Result<&'i GridInstance, SolveError> {
+    inst.as_torus2().ok_or_else(|| SolveError::SolverFailed {
+        solver: solver.to_string(),
+        detail: format!("dispatched a {} to a 2-d torus solver", inst.topology()),
+    })
+}
+
+/// The d-dimensional torus behind an instance: `TorusD` instances
+/// directly, square 2-d instances as their `d = 2` reading.
+fn torus_d_of(inst: &Instance, solver: &str) -> Result<TorusD, SolveError> {
+    match inst {
+        Instance::TorusD(di) => Ok(di.torus().clone()),
+        Instance::Torus2(gi) if gi.torus().width() == gi.torus().height() => {
+            Ok(TorusD::new(2, gi.torus().width()))
+        }
+        _ => Err(SolveError::SolverFailed {
+            solver: solver.to_string(),
+            detail: format!("dispatched a {} to a d-dimensional torus solver", inst),
+        }),
+    }
+}
+
 /// `O(1)`: output the constant label everywhere (§7 triviality criterion).
 struct ConstantSolver {
     problem: String,
     label: u16,
+    topology: TopologySupport,
 }
 
 impl Solve for ConstantSolver {
@@ -375,18 +457,18 @@ impl Solve for ConstantSolver {
 
     fn capabilities(&self) -> Capabilities {
         Capabilities {
-            topology: Topology::Torus,
+            topology: self.topology,
             min_side: 1,
             square_only: false,
             complexity: Complexity::Constant,
         }
     }
 
-    fn solve(&self, inst: &GridInstance) -> Result<Labelling, SolveError> {
+    fn solve(&self, inst: &Instance) -> Result<Labelling, SolveError> {
         let mut rounds = Rounds::new();
         rounds.charge("constant-output", 0);
         Ok(Labelling {
-            labels: vec![self.label; inst.torus().node_count()],
+            labels: vec![self.label; inst.node_count()],
             report: SolveReport::new(&self.problem, self.name(), rounds),
         })
     }
@@ -419,14 +501,15 @@ impl Solve for BallCarvingSolver {
 
     fn capabilities(&self) -> Capabilities {
         Capabilities {
-            topology: Topology::Torus,
+            topology: TopologySupport::Torus2,
             min_side: self.algo.min_side(),
             square_only: true,
             complexity: Complexity::LogStar,
         }
     }
 
-    fn solve(&self, inst: &GridInstance) -> Result<Labelling, SolveError> {
+    fn solve(&self, inst: &Instance) -> Result<Labelling, SolveError> {
+        let inst = expect_torus2(inst, self.name())?;
         let run = self
             .algo
             .try_solve(inst)
@@ -455,14 +538,15 @@ impl Solve for CutAndColourSolver {
 
     fn capabilities(&self) -> Capabilities {
         Capabilities {
-            topology: Topology::Torus,
+            topology: TopologySupport::Torus2,
             min_side: self.algo.min_side(),
             square_only: true,
             complexity: Complexity::LogStar,
         }
     }
 
-    fn solve(&self, inst: &GridInstance) -> Result<Labelling, SolveError> {
+    fn solve(&self, inst: &Instance) -> Result<Labelling, SolveError> {
+        let inst = expect_torus2(inst, self.name())?;
         let run = self
             .algo
             .try_solve(inst)
@@ -493,7 +577,7 @@ impl Solve for SynthesisSolver {
 
     fn capabilities(&self) -> Capabilities {
         Capabilities {
-            topology: Topology::Torus,
+            topology: TopologySupport::Torus2,
             // The smallest conceivable window frame (k = 1, 3×2 window);
             // the exact bound depends on the synthesised k and is checked
             // again in solve().
@@ -503,7 +587,8 @@ impl Solve for SynthesisSolver {
         }
     }
 
-    fn solve(&self, inst: &GridInstance) -> Result<Labelling, SolveError> {
+    fn solve(&self, inst: &Instance) -> Result<Labelling, SolveError> {
+        let inst = expect_torus2(inst, self.name())?;
         let cached = self
             .cache
             .get_or_synthesize(&self.grid_problem, &self.problem, self.max_k);
@@ -535,6 +620,194 @@ impl Solve for SynthesisSolver {
     }
 }
 
+/// Theorem 21: the even-`n` edge `2d`-colouring witness on d-dimensional
+/// tori, with the exact parity impossibility for odd `n`. A centralised
+/// construction (colours come from global coordinate parity), so it
+/// charges the full gather like the SAT baseline — but needs no CDCL
+/// call, and it is the only registered route for `d ≥ 3` block problems.
+struct DdimEdgeSolver {
+    problem: String,
+    k: u16,
+}
+
+impl Solve for DdimEdgeSolver {
+    fn name(&self) -> &str {
+        "ddim-parity-edge-colouring"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            topology: TopologySupport::AnyTorusD,
+            min_side: 2,
+            square_only: true,
+            complexity: Complexity::Linear,
+        }
+    }
+
+    fn solve(&self, inst: &Instance) -> Result<Labelling, SolveError> {
+        let torus = torus_d_of(inst, self.name())?;
+        let d = torus.dim();
+        if usize::from(self.k) != 2 * d {
+            return Err(SolveError::UnsupportedTopology {
+                problem: self.problem.clone(),
+                topology: inst.topology().to_string(),
+                reason: format!(
+                    "the parity construction colours with exactly 2d = {} colours, not {}",
+                    2 * d,
+                    self.k
+                ),
+            });
+        }
+        if torus.side() % 2 != 0 {
+            // Exact: Theorem 21's counting argument rules out edge
+            // 2d-colourings of odd-side tori in every dimension.
+            return Err(SolveError::Unsolvable {
+                problem: self.problem.clone(),
+                dims: inst.dims(),
+            });
+        }
+        let colouring = ddim::edge_2d_colouring_even(&torus);
+        let labels = colouring
+            .to_labels(self.k)
+            .ok_or_else(|| SolveError::SolverFailed {
+                solver: self.name().to_string(),
+                detail: format!("{}^{} exceeds the label space", self.k, d),
+            })?;
+        let mut rounds = Rounds::new();
+        // Coordinate parity is global information: gather the diameter.
+        rounds.charge("gather-whole-grid", (d * (torus.side() / 2)) as u64);
+        rounds.charge("parity-colouring", 0);
+        let report = SolveReport::new(&self.problem, self.name(), rounds)
+            .with_detail("d", d)
+            .with_detail("palette", self.k);
+        Ok(Labelling { labels, report })
+    }
+}
+
+/// §8's anchor substrate on 2-d tori: distributed MIS of the
+/// `metric`-power via Linial colour reduction, `O(log* n)` with the
+/// power-graph simulation slowdown.
+struct MisPowerSolver {
+    problem: String,
+    metric: Metric,
+    k: usize,
+}
+
+impl Solve for MisPowerSolver {
+    fn name(&self) -> &str {
+        "power-mis-log-star"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            topology: TopologySupport::Torus2,
+            min_side: 2,
+            square_only: true,
+            complexity: Complexity::LogStar,
+        }
+    }
+
+    fn solve(&self, inst: &Instance) -> Result<Labelling, SolveError> {
+        let inst = expect_torus2(inst, self.name())?;
+        let torus = inst.torus();
+        let run = lcl_symmetry::mis_torus_power(&torus, self.metric, self.k, inst.ids());
+        let labels = run.in_mis.iter().map(|&m| u16::from(m)).collect();
+        let report = SolveReport::new(&self.problem, self.name(), run.rounds)
+            .with_detail("metric", format!("{:?}", self.metric))
+            .with_detail("k", self.k);
+        Ok(Labelling { labels, report })
+    }
+}
+
+/// The centralised greedy MIS sweep on d-dimensional torus powers
+/// (`lcl_algorithms::ddim::greedy_mis`) — the deterministic reference
+/// implementation of the anchor substrate `S_k`, exact on every
+/// dimension but `Θ(n)` as a LOCAL algorithm (the sweep order is global).
+struct GreedyMisDSolver {
+    problem: String,
+    metric: Metric,
+    k: usize,
+}
+
+impl Solve for GreedyMisDSolver {
+    fn name(&self) -> &str {
+        "ddim-greedy-mis"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            topology: TopologySupport::AnyTorusD,
+            min_side: 1,
+            square_only: true,
+            complexity: Complexity::Linear,
+        }
+    }
+
+    fn solve(&self, inst: &Instance) -> Result<Labelling, SolveError> {
+        let torus = torus_d_of(inst, self.name())?;
+        let marked = ddim::greedy_mis(&torus, self.metric, self.k);
+        let labels = marked.iter().map(|&m| u16::from(m)).collect();
+        let mut rounds = Rounds::new();
+        rounds.charge(
+            "gather-whole-grid",
+            (torus.dim() * (torus.side() / 2)) as u64,
+        );
+        rounds.charge("greedy-sweep", 0);
+        let report = SolveReport::new(&self.problem, self.name(), rounds)
+            .with_detail("d", torus.dim())
+            .with_detail("metric", format!("{:?}", self.metric))
+            .with_detail("k", self.k)
+            .with_detail("reference", "centralised greedy sweep");
+        Ok(Labelling { labels, report })
+    }
+}
+
+/// Appendix A.3: corner coordination on boundary grids, `Θ(√n)` —
+/// registered like every other solver instead of living behind a
+/// dedicated engine entry point. Labels encode each node's out-pointer:
+/// 0 = none, 1 = north, 2 = east, 3 = south, 4 = west.
+struct CornerSolver {
+    problem: String,
+}
+
+impl Solve for CornerSolver {
+    fn name(&self) -> &str {
+        "boundary-paths"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            topology: TopologySupport::Boundary,
+            min_side: 2,
+            square_only: true,
+            complexity: Complexity::SqrtN,
+        }
+    }
+
+    fn solve(&self, inst: &Instance) -> Result<Labelling, SolveError> {
+        let grid: &BoundaryGrid = inst.as_boundary().ok_or_else(|| SolveError::SolverFailed {
+            solver: self.name().to_string(),
+            detail: format!(
+                "dispatched a {} to the boundary-grid solver",
+                inst.topology()
+            ),
+        })?;
+        let forest = corner::solve_boundary_paths(grid);
+        corner::check(grid, &forest).map_err(|detail| SolveError::SolverFailed {
+            solver: self.name().to_string(),
+            detail,
+        })?;
+        let labels = super::encode_forest(grid, &forest);
+        let mut rounds = Rounds::new();
+        // Proposition 28: radius 2√n = 2m exploration suffices.
+        rounds.charge("corner-exploration", 2 * grid.side() as u64);
+        Ok(Labelling {
+            labels,
+            report: SolveReport::new(&self.problem, self.name(), rounds),
+        })
+    }
+}
+
 /// The `Θ(n)` baseline: gather the whole grid and let the CDCL solver
 /// produce a canonical solution; exact unsolvability proofs for free.
 struct SatExistenceSolver {
@@ -550,14 +823,15 @@ impl Solve for SatExistenceSolver {
 
     fn capabilities(&self) -> Capabilities {
         Capabilities {
-            topology: Topology::Torus,
+            topology: TopologySupport::Torus2,
             min_side: 1,
             square_only: false,
             complexity: Complexity::Linear,
         }
     }
 
-    fn solve(&self, inst: &GridInstance) -> Result<Labelling, SolveError> {
+    fn solve(&self, inst: &Instance) -> Result<Labelling, SolveError> {
+        let inst = expect_torus2(inst, self.name())?;
         let torus = inst.torus();
         let labels = match self.seed {
             Some(seed) => existence::solve_seeded(&self.grid_problem, &torus, seed),
@@ -565,8 +839,7 @@ impl Solve for SatExistenceSolver {
         }
         .ok_or_else(|| SolveError::Unsolvable {
             problem: self.problem.clone(),
-            width: torus.width(),
-            height: torus.height(),
+            dims: vec![torus.width(), torus.height()],
         })?;
         let mut rounds = Rounds::new();
         // Gathering the full instance costs the torus diameter.

@@ -5,20 +5,33 @@
 //! [`GridProblem`] plus a stable name; the named constructors tag the
 //! problem library of [`lcl_core::problems`] so that the
 //! [`Registry`](crate::engine::Registry) can recognise the problems with
-//! hand-built algorithms. Corner coordination (Appendix A.3) lives on
-//! bounded grids rather than tori and is carried as its own variant.
+//! hand-built algorithms. The spec is *topology-aware*: the registry
+//! resolves solvers per `(problem, topology)` pair, and
+//! [`ProblemSpec::check_instance`] validates a labelling on whichever
+//! supported topology the [`Instance`] lives on — 2-d tori through the
+//! block normal form, d-dimensional tori through the native §8/§10
+//! validators, boundary grids through the corner-coordination rules.
 
+use super::instance::Instance;
+use lcl_algorithms::corner;
 use lcl_core::lcl::{Block, BlockLcl};
 use lcl_core::problems::{self, XSet};
 use lcl_core::{GridProblem, Label, Violation};
-use lcl_grid::Torus2;
+use lcl_grid::{Metric, Torus2, TorusD};
 use std::fmt;
 
-/// The topology a problem (or a solver) lives on.
+/// The topology an instance (or a problem family) lives on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Topology {
     /// Oriented two-dimensional tori — the paper's main setting.
-    Torus,
+    Torus2,
+    /// Oriented d-dimensional tori (§8, §10, Theorem 21). `d = 2` is
+    /// canonically equivalent to [`Topology::Torus2`] and is lowered to it
+    /// by the engine.
+    TorusD {
+        /// The dimension `d ≥ 2`.
+        d: usize,
+    },
     /// Non-toroidal `m × m` grids with boundary (Appendix A.3).
     Boundary,
 }
@@ -26,7 +39,8 @@ pub enum Topology {
 impl fmt::Display for Topology {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Topology::Torus => write!(f, "oriented torus"),
+            Topology::Torus2 => write!(f, "oriented 2-d torus"),
+            Topology::TorusD { d } => write!(f, "oriented {d}-d torus"),
             Topology::Boundary => write!(f, "boundary grid"),
         }
     }
@@ -35,6 +49,7 @@ impl fmt::Display for Topology {
 #[derive(Clone, Debug)]
 enum SpecKind {
     Grid(GridProblem),
+    MisPower { metric: Metric, k: usize },
     Corner,
 }
 
@@ -43,10 +58,13 @@ enum SpecKind {
 /// # Example
 ///
 /// ```
-/// use lcl_grids::engine::ProblemSpec;
+/// use lcl_grids::engine::{ProblemSpec, Topology};
 /// let spec = ProblemSpec::vertex_colouring(4);
 /// assert_eq!(spec.name(), "vertex-4-colouring");
 /// assert_eq!(spec.to_block_lcl().unwrap().alphabet(), 4);
+/// // Edge 2d-colouring is meaningful on higher-dimensional tori too:
+/// assert!(ProblemSpec::edge_colouring(6).supports(Topology::TorusD { d: 3 }));
+/// assert!(!spec.supports(Topology::Boundary));
 /// ```
 #[derive(Clone, Debug)]
 pub struct ProblemSpec {
@@ -60,7 +78,13 @@ impl ProblemSpec {
         ProblemSpec::from_problem(problems::vertex_colouring(k))
     }
 
-    /// Proper edge `k`-colouring (§1.3); labels encode (east, north).
+    /// Proper edge `k`-colouring (§1.3); labels encode the owned
+    /// positive-direction edge colours, one per dimension
+    /// ([`lcl_core::problems::edge_label_encode_d`]; on 2-d tori this is
+    /// the classic (east, north) encoding). On a d-dimensional torus the
+    /// problem reads as edge `k`-colouring of the `2d`-regular torus
+    /// graph — Theorem 21's `k = 2d` case is solvable exactly for even
+    /// side lengths.
     pub fn edge_colouring(k: u16) -> ProblemSpec {
         ProblemSpec::from_problem(problems::edge_colouring(k))
     }
@@ -83,6 +107,25 @@ impl ProblemSpec {
         ProblemSpec {
             name: "independent-set".to_string(),
             kind: SpecKind::Grid(problems::independent_set()),
+        }
+    }
+
+    /// Maximal independent set of the `metric`-power `G^k` — the paper's
+    /// problem-independent anchor substrate `S_k` (§8), meaningful on tori
+    /// of every dimension. Labels: 1 = in the set, 0 = out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn mis_power(metric: Metric, k: usize) -> ProblemSpec {
+        assert!(k > 0, "power exponent must be positive");
+        let tag = match metric {
+            Metric::L1 => "l1",
+            Metric::Linf => "linf",
+        };
+        ProblemSpec {
+            name: format!("mis-power-{tag}-{k}"),
+            kind: SpecKind::MisPower { metric, k },
         }
     }
 
@@ -115,37 +158,68 @@ impl ProblemSpec {
         &self.name
     }
 
-    /// The topology the problem lives on.
-    pub fn topology(&self) -> Topology {
+    /// The problem's home topology: where its canonical definition lives
+    /// (2-d tori for the grid library, boundary grids for corner
+    /// coordination). Use [`ProblemSpec::supports`] to ask about a
+    /// *specific* topology — several problems are meaningful on more than
+    /// their home.
+    pub fn home_topology(&self) -> Topology {
         match self.kind {
-            SpecKind::Grid(_) => Topology::Torus,
+            SpecKind::Grid(_) | SpecKind::MisPower { .. } => Topology::Torus2,
             SpecKind::Corner => Topology::Boundary,
         }
     }
 
-    /// The underlying grid problem, if this is a torus problem.
+    /// True iff the problem has defined semantics (and a checker) on the
+    /// given topology. This is the dispatch dimension the registry and
+    /// [`Engine::solve`](crate::engine::Engine::solve) match on; a
+    /// supported topology may still have no registered solver.
+    pub fn supports(&self, topology: Topology) -> bool {
+        match (&self.kind, topology) {
+            (SpecKind::Corner, t) => t == Topology::Boundary,
+            (_, Topology::Boundary) => false,
+            // Every torus problem lives on 2-d tori (d = 2 included).
+            (_, Topology::Torus2) | (_, Topology::TorusD { d: 2 }) => true,
+            (SpecKind::MisPower { .. }, Topology::TorusD { .. }) => true,
+            (SpecKind::Grid(p), Topology::TorusD { d }) => ddim_semantics(p, d).is_some(),
+        }
+    }
+
+    /// The underlying grid problem, if this is a torus block problem.
     pub fn grid_problem(&self) -> Option<&GridProblem> {
         match &self.kind {
             SpecKind::Grid(p) => Some(p),
-            SpecKind::Corner => None,
+            _ => None,
+        }
+    }
+
+    /// The MIS-power parameters, if this is a [`ProblemSpec::mis_power`]
+    /// problem.
+    pub fn mis_power_params(&self) -> Option<(Metric, usize)> {
+        match self.kind {
+            SpecKind::MisPower { metric, k } => Some((metric, k)),
+            _ => None,
         }
     }
 
     /// Output alphabet size (corner coordination uses the 5 out-pointer
-    /// labels of [`crate::engine::Engine::solve_boundary`]).
+    /// labels of the boundary-paths solver).
     pub fn alphabet(&self) -> u16 {
         match &self.kind {
             SpecKind::Grid(p) => p.alphabet(),
+            SpecKind::MisPower { .. } => 2,
             SpecKind::Corner => 5,
         }
     }
 
     /// The canonical normal form: the explicit set of allowed 2×2 blocks,
     /// tabulated from the problem's validity predicate. `None` for
-    /// non-torus problems.
+    /// problems without a radius-1 block normal form (corner coordination,
+    /// MIS powers with `k ≥ 2`).
     ///
-    /// This is the "one representation" every torus problem converts to;
-    /// it also serves as an independent checker for engine output.
+    /// This is the "one representation" every radius-1 torus problem
+    /// converts to; it also serves as an independent checker for engine
+    /// output.
     pub fn to_block_lcl(&self) -> Option<BlockLcl> {
         let p = self.grid_problem()?;
         Some(BlockLcl::from_predicate(p.alphabet(), |b| {
@@ -153,34 +227,185 @@ impl ProblemSpec {
         }))
     }
 
-    /// True iff the 2×2 window is allowed (torus problems only).
+    /// True iff the 2×2 window is allowed (torus block problems only).
     pub fn block_allowed(&self, block: Block) -> bool {
         match &self.kind {
             SpecKind::Grid(p) => p.block_allowed(block),
-            SpecKind::Corner => false,
+            _ => false,
         }
     }
 
-    /// A label whose constant labelling is valid — the `O(1)` criterion.
+    /// A label whose constant labelling is valid on 2-d tori — the `O(1)`
+    /// criterion.
     pub fn constant_solution(&self) -> Option<Label> {
         self.grid_problem().and_then(|p| p.constant_solution())
     }
 
-    /// Checks a labelling with the independent block checker.
+    /// True iff the constant solution (when one exists) stays valid on
+    /// tori of *every* dimension, not just `d = 2`. Block semantics only
+    /// pin down 2×2 windows, so this holds exactly when the problem has
+    /// d-dimensional semantics and the uniform labelling satisfies them —
+    /// currently the independent-set family (the empty set is independent
+    /// in any graph).
+    pub(crate) fn constant_solution_on_any_torus(&self) -> bool {
+        match &self.kind {
+            SpecKind::Grid(p) => {
+                matches!(ddim_semantics(p, 3), Some(DdimSemantics::IndependentSet))
+                    .then(|| p.constant_solution())
+                    .flatten()
+                    .is_some()
+            }
+            _ => false,
+        }
+    }
+
+    /// Checks a labelling with the independent 2-d block checker.
     ///
     /// # Panics
     ///
-    /// Panics if called on a non-torus problem or with a labelling of the
-    /// wrong length.
+    /// Panics if called on a problem without a block normal form or with a
+    /// labelling of the wrong length. Prefer
+    /// [`ProblemSpec::check_instance`], which handles every topology.
     pub fn check(&self, torus: &Torus2, labels: &[Label]) -> Result<(), Violation> {
         self.grid_problem()
-            .expect("check() applies to torus problems")
+            .expect("check() applies to torus block problems")
             .check(torus, labels)
     }
+
+    /// Validates a labelling on any supported topology with the
+    /// problem-native checker for that topology: the tabulated block
+    /// normal form on 2-d tori, the d-dimensional §8/§10 validators on
+    /// higher-dimensional tori, and the corner-coordination rules (1)–(5)
+    /// on boundary grids.
+    ///
+    /// Errors are human-readable descriptions of the first violation (or
+    /// of a topology the problem has no semantics on).
+    pub fn check_instance(&self, inst: &Instance, labels: &[Label]) -> Result<(), String> {
+        if labels.len() != inst.node_count() {
+            return Err(format!(
+                "labelling has {} labels for {} nodes",
+                labels.len(),
+                inst.node_count()
+            ));
+        }
+        if let Some(lowered) = inst.lower_d2() {
+            return self.check_instance(&lowered, labels);
+        }
+        match (&self.kind, inst) {
+            (SpecKind::Corner, Instance::Boundary(grid)) => {
+                let forest = super::decode_forest(grid, labels);
+                corner::check(grid, &forest)
+            }
+            (SpecKind::Grid(p), Instance::Torus2(gi)) => p
+                .check(&gi.torus(), labels)
+                .map_err(|violation| violation.to_string()),
+            (SpecKind::Grid(p), Instance::TorusD(di)) => {
+                let torus = di.torus();
+                match ddim_semantics(p, torus.dim()) {
+                    Some(DdimSemantics::VertexColouring { k }) => {
+                        check_named(problems::is_proper_vertex_colouring_d(torus, labels, k))
+                            .map_err(|()| format!("not a proper vertex {k}-colouring of {torus:?}"))
+                    }
+                    Some(DdimSemantics::EdgeColouring { k }) => {
+                        check_named(problems::is_proper_edge_colouring_d(torus, labels, k))
+                            .map_err(|()| format!("not a proper edge {k}-colouring of {torus:?}"))
+                    }
+                    Some(DdimSemantics::IndependentSet) => {
+                        check_named(problems::is_independent_set_d(torus, labels))
+                            .map_err(|()| format!("label-1 nodes not independent in {torus:?}"))
+                    }
+                    None => Err(format!(
+                        "{} has no {}-dimensional semantics",
+                        self.name,
+                        torus.dim()
+                    )),
+                }
+            }
+            (SpecKind::MisPower { metric, k }, _) => {
+                let torus = match inst {
+                    Instance::TorusD(di) => di.torus().clone(),
+                    Instance::Torus2(gi) => {
+                        let t = gi.torus();
+                        if t.width() != t.height() {
+                            return Err("mis-power validation needs a square torus".to_string());
+                        }
+                        TorusD::new(2, t.side())
+                    }
+                    Instance::Boundary(_) => {
+                        return Err(format!("{} lives on tori, not boundary grids", self.name))
+                    }
+                };
+                if labels.iter().any(|&l| l > 1) {
+                    return Err("mis-power labels must be 0 or 1".to_string());
+                }
+                let marked: Vec<bool> = labels.iter().map(|&l| l == 1).collect();
+                check_named(torus.is_maximal_independent(*metric, *k, &marked)).map_err(|()| {
+                    format!("not a maximal independent set of the {metric:?}-power k={k}")
+                })
+            }
+            (_, _) => Err(format!(
+                "{} has no semantics on a {}",
+                self.name,
+                inst.topology()
+            )),
+        }
+    }
+}
+
+fn check_named(ok: bool) -> Result<(), ()> {
+    if ok {
+        Ok(())
+    } else {
+        Err(())
+    }
+}
+
+/// The d-dimensional reading of a 2-d grid problem, when one exists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum DdimSemantics {
+    /// Proper vertex `k`-colouring of the d-dimensional torus graph.
+    VertexColouring { k: u16 },
+    /// Proper edge `k`-colouring under the owner convention.
+    EdgeColouring { k: u16 },
+    /// Label-1 nodes form an independent set.
+    IndependentSet,
+}
+
+/// Which 2-d problems generalise to `d ≥ 3` tori with well-defined
+/// semantics. Vertex and edge colouring carry over verbatim (the torus
+/// graph just becomes `2d`-regular; edge labels need `k^d` to fit the
+/// label space); the independent-set family carries over through its
+/// pairwise reading. Orientations, MIS-with-pointers and custom block
+/// LCLs constrain oriented 2×2 windows, which have no canonical
+/// d-dimensional counterpart — they stay 2-d.
+pub(crate) fn ddim_semantics(problem: &GridProblem, d: usize) -> Option<DdimSemantics> {
+    match problem {
+        GridProblem::VertexColouring { k } => Some(DdimSemantics::VertexColouring { k: *k }),
+        GridProblem::EdgeColouring { k } => {
+            // The mixed-radix label encoding must fit: k^d ≤ Label::MAX+1.
+            problems::edge_label_encode_d(&vec![0; d], *k)
+                .map(|_| DdimSemantics::EdgeColouring { k: *k })
+        }
+        GridProblem::Block(b) if b.alphabet() == 2 && is_independent_set_block(b) => {
+            Some(DdimSemantics::IndependentSet)
+        }
+        _ => None,
+    }
+}
+
+/// True iff a 2-label block LCL is exactly the independent-set predicate
+/// (no two adjacent 1s, in both directions) — the one block problem whose
+/// pairwise reading generalises to any dimension.
+fn is_independent_set_block(b: &BlockLcl) -> bool {
+    let reference = problems::independent_set();
+    (0u16..16).all(|i| {
+        let block: Block = [i & 1, (i >> 1) & 1, (i >> 2) & 1, (i >> 3) & 1];
+        b.block_allowed(block) == reference.block_allowed(block)
+    })
 }
 
 impl fmt::Display for ProblemSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} on {}", self.name, self.topology())
+        write!(f, "{} on {}", self.name, self.home_topology())
     }
 }

@@ -8,18 +8,21 @@
 //!
 //! The paper's central message is that every radius-1 LCL on oriented
 //! grids reduces to one normal form (sets of allowed 2×2 blocks) and one
-//! complexity landscape (`O(1)`, `Θ(log* n)`, `Θ(n)`); the [`engine`]
-//! module gives this repository the matching API. Describe the problem as
-//! a [`engine::ProblemSpec`], build an [`engine::Engine`], and solve —
-//! the engine's [`engine::Registry`] dispatches to the best available
-//! solver family (hand-built §8/§10 constructions, §7 normal-form
-//! synthesis with memoised SAT calls, or the exact `Θ(n)` SAT existence
-//! baseline) and re-validates every labelling with the independent block
-//! checker:
+//! complexity landscape (`O(1)`, `Θ(log* n)`, `Θ(n)`) — in every
+//! dimension; the [`engine`] module gives this repository the matching
+//! API. Describe the problem as a [`engine::ProblemSpec`], wrap the input
+//! as an [`engine::Instance`] — one currency over 2-d tori, d-dimensional
+//! tori, and boundary grids — build an [`engine::Engine`], and solve. The
+//! engine's [`engine::Registry`] resolves each `(problem, topology)` pair
+//! to the best available solver family (hand-built §8/§10 constructions,
+//! §7 normal-form synthesis with memoised SAT calls, the d-dimensional
+//! Theorem 21 constructions, corner coordination, or the exact `Θ(n)` SAT
+//! existence baseline) and re-validates every labelling with the
+//! topology-native independent checker:
 //!
 //! ```
-//! use lcl_grids::engine::{Engine, ProblemSpec};
-//! use lcl_grids::local::{GridInstance, IdAssignment};
+//! use lcl_grids::engine::{Engine, Instance, ProblemSpec};
+//! use lcl_grids::local::IdAssignment;
 //!
 //! // Proper vertex 5-colouring: Θ(log* n), synthesis finds the algorithm.
 //! let engine = Engine::builder()
@@ -28,7 +31,7 @@
 //!     .build()
 //!     .unwrap();
 //!
-//! let inst = GridInstance::new(16, &IdAssignment::Shuffled { seed: 1 });
+//! let inst = Instance::square(16, &IdAssignment::Shuffled { seed: 1 });
 //! let labelling = engine.solve(&inst).unwrap();
 //! assert!(labelling.report.validated);
 //!
@@ -39,12 +42,28 @@
 //!     .max_synthesis_k(1)
 //!     .build()
 //!     .unwrap();
-//! let err = odd.solve(&GridInstance::new(5, &IdAssignment::Sequential));
+//! let err = odd.solve(&Instance::square(5, &IdAssignment::Sequential));
 //! assert!(matches!(err, Err(SolveError::Unsolvable { .. })));
+//!
+//! // Topology is a dispatch dimension, not a dead end: the same problem
+//! // spec solves on a 3-dimensional torus through the registered
+//! // Theorem 21 construction, and unsupported pairs are typed errors.
+//! let edge6 = Engine::builder()
+//!     .problem(ProblemSpec::edge_colouring(6))
+//!     .max_synthesis_k(1)
+//!     .build()
+//!     .unwrap();
+//! let cube = Instance::torus_d(3, 4, &IdAssignment::Sequential);
+//! assert!(edge6.solve(&cube).is_ok());
+//! assert!(matches!(
+//!     odd.solve(&cube),
+//!     Err(SolveError::UnsupportedTopology { .. })
+//! ));
 //! ```
 //!
 //! Batch workloads go through [`engine::Engine::solve_batch`], which
-//! amortises synthesis across instances; round budgets
+//! amortises synthesis across instances (mixed-topology batches dedup
+//! and cache correctly — cache keys carry a topology tag); round budgets
 //! ([`engine::EngineBuilder::rounds_budget`]) make the engine refuse
 //! solutions that are asymptotically too slow for the caller.
 //!
@@ -73,7 +92,7 @@
 
 pub mod engine;
 
-pub use engine::{Engine, Labelling, ProblemSpec, Registry, Solve, SolveError};
+pub use engine::{Engine, Instance, Labelling, ProblemSpec, Registry, Solve, SolveError, Topology};
 
 pub use lcl_algorithms as algorithms;
 pub use lcl_core as core;

@@ -1,10 +1,11 @@
 //! Integration tests for the batch-solving performance subsystem:
 //! parallel dispatch determinism, in-batch labelling dedup, and the
-//! persistent synthesis cache (round-trip and corruption recovery).
+//! persistent synthesis cache (round-trip and corruption recovery) — on
+//! single-topology and mixed-topology batches alike.
 
 use lcl_grids::core::problems::XSet;
-use lcl_grids::engine::{Engine, ProblemSpec, Registry, SolveError};
-use lcl_grids::local::{GridInstance, IdAssignment};
+use lcl_grids::engine::{Engine, Instance, ProblemSpec, Registry, SolveError};
+use lcl_grids::local::IdAssignment;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -17,17 +18,40 @@ fn scratch_dir(name: &str) -> PathBuf {
 
 /// A mixed batch for vertex 2-colouring: even tori are solvable, odd tori
 /// are exactly unsolvable, and several entries are duplicates.
-fn mixed_batch() -> Vec<GridInstance> {
+fn mixed_batch() -> Vec<Instance> {
     [6usize, 5, 7, 6, 8, 5, 6, 12]
         .iter()
-        .map(|&n| GridInstance::new(n, &IdAssignment::Sequential))
+        .map(|&n| Instance::square(n, &IdAssignment::Sequential))
         .collect()
+}
+
+/// A mixed-topology batch: 2-d tori, their TorusD{d = 2} spellings, and
+/// 3-dimensional tori — with duplicate entries across the spellings.
+fn mixed_topology_batch() -> Vec<Instance> {
+    vec![
+        Instance::square(6, &IdAssignment::Sequential),
+        Instance::torus_d(3, 4, &IdAssignment::Sequential),
+        Instance::torus_d(2, 6, &IdAssignment::Sequential), // = entry 0
+        Instance::torus_d(3, 5, &IdAssignment::Sequential),
+        Instance::square(6, &IdAssignment::Sequential), // = entry 0
+        Instance::torus_d(3, 4, &IdAssignment::Sequential), // = entry 1
+        Instance::square(8, &IdAssignment::Shuffled { seed: 4 }),
+    ]
 }
 
 fn two_colouring(threads: usize, dedup: bool) -> Engine {
     Engine::builder()
         .problem(ProblemSpec::vertex_colouring(2))
         .max_synthesis_k(1)
+        .threads(threads)
+        .dedup(dedup)
+        .build()
+        .unwrap()
+}
+
+fn mis_power(threads: usize, dedup: bool) -> Engine {
+    Engine::builder()
+        .problem(ProblemSpec::mis_power(lcl_grids::grid::Metric::L1, 2))
         .threads(threads)
         .dedup(dedup)
         .build()
@@ -58,6 +82,83 @@ fn parallel_batch_is_byte_identical_to_sequential() {
     );
 }
 
+/// The determinism contract holds on a mixed `Torus2` + `TorusD` batch
+/// too: whatever the thread count and dedup setting, results are
+/// byte-identical — and the d = 2 spelling of a 2-d torus produces
+/// exactly the labelling of its `Torus2` twin.
+#[test]
+fn mixed_topology_batch_is_byte_identical_and_deduped() {
+    let batch = mixed_topology_batch();
+    let sequential = mis_power(1, true).solve_batch(&batch);
+    let parallel = mis_power(4, true).solve_batch(&batch);
+    assert_eq!(
+        format!("{:?}", sequential.results()),
+        format!("{:?}", parallel.results()),
+        "parallel dispatch changed the mixed-topology batch output"
+    );
+    let undeduped = mis_power(4, false).solve_batch(&batch);
+    assert_eq!(undeduped.dedup_hits(), 0);
+    assert_eq!(
+        format!("{:?}", sequential.results()),
+        format!("{:?}", undeduped.results()),
+        "dedup changed the mixed-topology batch output"
+    );
+    // Three duplicates: the TorusD{d=2} twin dedups onto the Torus2
+    // entry (canonical topology folding), plus the exact repeats.
+    assert_eq!(sequential.dedup_hits(), 3);
+    assert_eq!(sequential.solved(), 7);
+    let results = sequential.results();
+    assert_eq!(
+        results[0].as_ref().unwrap().labels,
+        results[2].as_ref().unwrap().labels,
+        "TorusD{{d=2}} must label exactly like its Torus2 twin"
+    );
+    // The 2-d entries ride the distributed log* power-MIS; the 3-d
+    // entries ride the registered greedy reference — both validated by
+    // the topology-native checker.
+    assert_eq!(
+        results[0].as_ref().unwrap().report.solver,
+        "power-mis-log-star"
+    );
+    assert_eq!(
+        results[1].as_ref().unwrap().report.solver,
+        "ddim-greedy-mis"
+    );
+    assert!(results[1].as_ref().unwrap().report.validated);
+}
+
+/// Theorem 21 through the batch path: even-side 3-d tori edge-colour via
+/// the registered ddim solver, odd-side ones are exactly unsolvable, and
+/// duplicates dedup.
+#[test]
+fn ddim_edge_colouring_batch_mixes_verdicts() {
+    let engine = Engine::builder()
+        .problem(ProblemSpec::edge_colouring(6))
+        .max_synthesis_k(1)
+        .threads(2)
+        .build()
+        .unwrap();
+    let batch = vec![
+        Instance::torus_d(3, 4, &IdAssignment::Sequential),
+        Instance::torus_d(3, 5, &IdAssignment::Sequential),
+        Instance::torus_d(3, 4, &IdAssignment::Sequential),
+    ];
+    let report = engine.solve_batch(&batch);
+    assert_eq!(report.solved(), 2);
+    assert_eq!(report.failed(), 1);
+    assert_eq!(report.dedup_hits(), 1);
+    let results = report.results();
+    assert_eq!(
+        results[0].as_ref().unwrap().report.solver,
+        "ddim-parity-edge-colouring"
+    );
+    assert!(results[0].as_ref().unwrap().report.validated);
+    match &results[1] {
+        Err(SolveError::Unsolvable { dims, .. }) => assert_eq!(dims, &vec![5, 5, 5]),
+        other => panic!("expected Unsolvable for the odd 3-d torus, got {other:?}"),
+    }
+}
+
 /// The in-batch labelling cache solves each distinct instance once and
 /// reports the duplicate count.
 #[test]
@@ -70,9 +171,9 @@ fn batch_dedup_counts_hits_and_shares_labellings() {
         .build()
         .unwrap();
     // Three distinct instances, each appearing twice.
-    let batch: Vec<GridInstance> = [3u64, 5, 3, 9, 5, 9]
+    let batch: Vec<Instance> = [3u64, 5, 3, 9, 5, 9]
         .iter()
-        .map(|&seed| GridInstance::new(10, &IdAssignment::Shuffled { seed }))
+        .map(|&seed| Instance::square(10, &IdAssignment::Shuffled { seed }))
         .collect();
     let report = engine.solve_batch(&batch);
     assert_eq!(report.solved(), 6);
@@ -93,18 +194,30 @@ fn batch_dedup_counts_hits_and_shares_labellings() {
     );
 }
 
-/// Same torus size with different id assignments must NOT dedup.
+/// Same torus size with different id assignments must NOT dedup — and
+/// same dims on different topologies must not either.
 #[test]
-fn dedup_distinguishes_id_assignments() {
+fn dedup_distinguishes_id_assignments_and_topologies() {
     let engine = two_colouring(2, true);
     let batch = vec![
-        GridInstance::new(6, &IdAssignment::Sequential),
-        GridInstance::new(6, &IdAssignment::Shuffled { seed: 1 }),
-        GridInstance::new(6, &IdAssignment::Sequential),
+        Instance::square(6, &IdAssignment::Sequential),
+        Instance::square(6, &IdAssignment::Shuffled { seed: 1 }),
+        Instance::square(6, &IdAssignment::Sequential),
     ];
     let report = engine.solve_batch(&batch);
     assert_eq!(report.dedup_hits(), 1, "only the exact duplicate dedups");
     assert_eq!(report.solved(), 3);
+
+    // A 3-d torus and a 2-d torus with the same node count and ids are
+    // different inputs: no shared group.
+    let engine = mis_power(2, true);
+    let batch = vec![
+        Instance::torus_d(3, 4, &IdAssignment::Sequential),
+        Instance::square(8, &IdAssignment::Sequential), // 64 nodes too
+    ];
+    let report = engine.solve_batch(&batch);
+    assert_eq!(report.dedup_hits(), 0, "topologies must not alias");
+    assert_eq!(report.solved(), 2);
 }
 
 /// `threads(0)` resolves to the machine's available parallelism.
@@ -130,7 +243,7 @@ fn zero_threads_means_all_cores() {
 fn disk_cache_round_trip_eliminates_the_sat_call() {
     let dir = scratch_dir("roundtrip");
     let spec = ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4]));
-    let inst = GridInstance::new(10, &IdAssignment::Shuffled { seed: 7 });
+    let inst = Instance::square(10, &IdAssignment::Shuffled { seed: 7 });
 
     let cold_registry = Arc::new(Registry::new());
     let cold = Engine::builder()
@@ -164,13 +277,64 @@ fn disk_cache_round_trip_eliminates_the_sat_call() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The persistent cache stays warm across a mixed-topology batch: the
+/// 2-d instances share one persisted (topology-tagged) synthesis verdict
+/// while the d ≥ 3 instances come back as typed per-instance errors —
+/// edge 4-colouring has no 3-dimensional solver — and a process restart
+/// reproduces the batch byte-for-byte from disk.
+#[test]
+fn disk_cache_survives_mixed_topology_batches() {
+    let dir = scratch_dir("mixed-topo");
+    let build = |registry: &Arc<Registry>| {
+        Engine::builder()
+            .problem(ProblemSpec::edge_colouring(4))
+            .max_synthesis_k(1)
+            .registry(Arc::clone(registry))
+            .cache_dir(&dir)
+            .threads(2)
+            .build()
+            .unwrap()
+    };
+    let batch = mixed_topology_batch();
+
+    let cold_registry = Arc::new(Registry::new());
+    let cold = build(&cold_registry).solve_batch(&batch);
+    assert_eq!(cold.solved(), 4, "the four 2-d entries solve");
+    assert_eq!(cold.failed(), 3, "the three 3-d entries are uncovered");
+    // Edge 4-colouring is global: one negative synthesis verdict total,
+    // shared by every 2-d instance in the batch and persisted; solving
+    // then falls through to the (CDCL-free) parity construction.
+    assert_eq!(cold_registry.synth_stats().synthesised, 1);
+    let results = cold.results();
+    assert_eq!(
+        results[0].as_ref().unwrap().report.solver,
+        "ddim-parity-edge-colouring"
+    );
+    assert!(matches!(
+        results[1],
+        Err(SolveError::UnsupportedTopology { .. })
+    ));
+
+    let warm_registry = Arc::new(Registry::new());
+    let warm = build(&warm_registry).solve_batch(&batch);
+    assert_eq!(
+        format!("{:?}", cold.results()),
+        format!("{:?}", warm.results()),
+        "restart changed the batch output"
+    );
+    let stats = warm_registry.synth_stats();
+    assert_eq!(stats.synthesised, 0, "warm cache must skip the SAT call");
+    assert_eq!(stats.disk_hits, 1, "negative verdict loaded from disk");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Negative verdicts ("no normal form up to k") persist too — they are
 /// the most expensive outcome to recompute.
 #[test]
 fn negative_synthesis_outcome_persists() {
     let dir = scratch_dir("negative");
     let spec = ProblemSpec::vertex_colouring(3); // global: synthesis fails
-    let inst = GridInstance::new(6, &IdAssignment::Sequential);
+    let inst = Instance::square(6, &IdAssignment::Sequential);
     let build = |registry: &Arc<Registry>| {
         Engine::builder()
             .problem(spec.clone())
@@ -195,12 +359,15 @@ fn negative_synthesis_outcome_persists() {
 }
 
 /// Corrupt cache files are silently discarded and resynthesised; the
-/// labelling stays correct.
+/// labelling stays correct. (Files from the previous on-disk format
+/// version fail the same magic/checksum gate — see
+/// `lcl_core::synthesis::persist` — so a version bump degrades to a cold
+/// cache, never a wrong table.)
 #[test]
 fn corrupt_cache_file_triggers_resynthesis() {
     let dir = scratch_dir("corrupt");
     let spec = ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4]));
-    let inst = GridInstance::new(10, &IdAssignment::Shuffled { seed: 7 });
+    let inst = Instance::square(10, &IdAssignment::Shuffled { seed: 7 });
     let build = |registry: &Arc<Registry>| {
         Engine::builder()
             .problem(spec.clone())
@@ -238,9 +405,9 @@ fn corrupt_cache_file_triggers_resynthesis() {
 #[test]
 fn unsolvable_duplicates_share_the_verdict() {
     let engine = two_colouring(3, true);
-    let batch: Vec<GridInstance> = [5usize, 5, 5]
+    let batch: Vec<Instance> = [5usize, 5, 5]
         .iter()
-        .map(|&n| GridInstance::new(n, &IdAssignment::Sequential))
+        .map(|&n| Instance::square(n, &IdAssignment::Sequential))
         .collect();
     let report = engine.solve_batch(&batch);
     assert_eq!(report.failed(), 3);

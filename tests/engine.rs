@@ -1,14 +1,16 @@
 //! Integration tests for the unified engine API: every problem in the
 //! registry solves through [`Engine`] and re-validates against the
-//! *independent* canonical block checker; failures come back as typed
+//! *independent* topology-native checker; failures come back as typed
 //! [`SolveError`] values, never panics.
 
 use lcl_grids::algorithms::corner::{self, BoundaryGrid};
 use lcl_grids::core::classify::GridClass;
 use lcl_grids::core::lcl::block_at;
 use lcl_grids::core::problems::XSet;
-use lcl_grids::engine::{decode_forest, Engine, ProblemSpec, Registry, SolveError, Topology};
-use lcl_grids::local::{GridInstance, IdAssignment};
+use lcl_grids::engine::{
+    decode_forest, Engine, Instance, ProblemSpec, Registry, SolveError, Topology,
+};
+use lcl_grids::local::IdAssignment;
 use std::sync::Arc;
 
 fn engine_for(spec: ProblemSpec, registry: &Arc<Registry>) -> Engine {
@@ -21,35 +23,45 @@ fn engine_for(spec: ProblemSpec, registry: &Arc<Registry>) -> Engine {
 }
 
 /// Every torus problem in the registry solves on a small torus through
-/// the engine, and the labelling passes the canonical-normal-form checker
-/// (an independent tabulation of the validity predicate).
+/// the engine, and the labelling passes the canonical checker for its
+/// topology — the tabulated 2×2 normal form where one exists, the native
+/// validator otherwise.
 #[test]
 fn registry_problems_solve_and_revalidate() {
     let registry = Arc::new(Registry::new());
-    let inst = GridInstance::new(12, &IdAssignment::Shuffled { seed: 2017 });
-    let torus = inst.torus();
+    let inst = Instance::square(12, &IdAssignment::Shuffled { seed: 2017 });
+    let torus = inst.as_torus2().unwrap().torus();
     for spec in Registry::problems() {
-        if spec.topology() != Topology::Torus {
+        if spec.home_topology() != Topology::Torus2 {
             continue; // corner coordination: see boundary test below
         }
         let name = spec.name().to_string();
-        let block_lcl = spec.to_block_lcl().expect("torus problems normalise");
-        let engine = engine_for(spec, &registry);
+        let block_lcl = spec.to_block_lcl();
+        let engine = engine_for(spec.clone(), &registry);
         let labelling = engine
             .solve(&inst)
             .unwrap_or_else(|e| panic!("{name} failed on 12x12: {e}"));
         assert_eq!(labelling.labels.len(), torus.node_count(), "{name}");
         assert!(labelling.report.validated, "{name}");
-        // Independent re-validation: every 2x2 window against the
-        // tabulated normal form, not the structured checker the engine
-        // itself used.
-        for p in torus.positions() {
-            let block = block_at(&torus, &labelling.labels, p);
-            assert!(
-                block_lcl.block_allowed(block),
-                "{name}: disallowed block {block:?} at {p} (solver {})",
-                labelling.report.solver
-            );
+        match block_lcl {
+            // Independent re-validation: every 2x2 window against the
+            // tabulated normal form, not the structured checker the
+            // engine itself used.
+            Some(block_lcl) => {
+                for p in torus.positions() {
+                    let block = block_at(&torus, &labelling.labels, p);
+                    assert!(
+                        block_lcl.block_allowed(block),
+                        "{name}: disallowed block {block:?} at {p} (solver {})",
+                        labelling.report.solver
+                    );
+                }
+            }
+            // Problems without a radius-1 block form (mis-power) go
+            // through the spec's topology-native checker.
+            None => spec
+                .check_instance(&inst, &labelling.labels)
+                .unwrap_or_else(|e| panic!("{name}: {e}")),
         }
     }
 }
@@ -63,11 +75,11 @@ fn four_colouring_uses_ball_carving_when_it_fits() {
         .max_synthesis_k(1) // keep synthesis out of the way
         .build()
         .unwrap();
-    let inst = GridInstance::new(24, &IdAssignment::Shuffled { seed: 3 });
+    let inst = Instance::square(24, &IdAssignment::Shuffled { seed: 3 });
     let labelling = engine.solve(&inst).unwrap();
     assert_eq!(labelling.report.solver, "ball-carving-4-colouring");
     // On a torus too small for ball carving the engine falls back to SAT.
-    let small = GridInstance::new(8, &IdAssignment::Shuffled { seed: 3 });
+    let small = Instance::square(8, &IdAssignment::Shuffled { seed: 3 });
     let fallback = engine.solve(&small).unwrap();
     assert_eq!(fallback.report.solver, "sat-existence");
 }
@@ -81,27 +93,23 @@ fn unsolvable_is_a_typed_error() {
         .build()
         .unwrap();
     // 2-colouring has no solution on odd tori …
-    let odd = GridInstance::new(5, &IdAssignment::Sequential);
+    let odd = Instance::square(5, &IdAssignment::Sequential);
     match engine.solve(&odd) {
-        Err(SolveError::Unsolvable {
-            problem,
-            width,
-            height,
-        }) => {
+        Err(SolveError::Unsolvable { problem, dims }) => {
             assert_eq!(problem, "vertex-2-colouring");
-            assert_eq!((width, height), (5, 5));
+            assert_eq!(dims, vec![5, 5]);
         }
         other => panic!("expected Unsolvable, got {other:?}"),
     }
     // … and solves fine on even ones.
-    let even = GridInstance::new(6, &IdAssignment::Sequential);
+    let even = Instance::square(6, &IdAssignment::Sequential);
     assert!(engine.solve(&even).is_ok());
     assert_eq!(
-        engine.solvable(&lcl_grids::grid::Torus2::square(6)),
+        engine.solvable(&Instance::from(lcl_grids::grid::Torus2::square(6))),
         Ok(true)
     );
     assert_eq!(
-        engine.solvable(&lcl_grids::grid::Torus2::square(7)),
+        engine.solvable(&Instance::from(lcl_grids::grid::Torus2::square(7))),
         Ok(false)
     );
 }
@@ -117,7 +125,7 @@ fn round_budget_exhaustion_is_a_typed_error() {
         .rounds_budget(1)
         .build()
         .unwrap();
-    let inst = GridInstance::new(6, &IdAssignment::Sequential);
+    let inst = Instance::square(6, &IdAssignment::Sequential);
     match engine.solve(&inst) {
         Err(SolveError::RoundBudgetExceeded { budget, needed }) => {
             assert_eq!(budget, 1);
@@ -135,17 +143,18 @@ fn round_budget_exhaustion_is_a_typed_error() {
     assert!(engine.solve(&inst).is_ok());
 }
 
-/// Topology mismatches are typed errors in both directions.
+/// Topology mismatches are typed errors in both directions — through the
+/// one `solve` entry point.
 #[test]
 fn topology_mismatch_is_a_typed_error() {
     let corner_engine = Engine::builder()
         .problem(ProblemSpec::corner_coordination())
         .build()
         .unwrap();
-    let inst = GridInstance::new(6, &IdAssignment::Sequential);
+    let inst = Instance::square(6, &IdAssignment::Sequential);
     assert!(matches!(
         corner_engine.solve(&inst),
-        Err(SolveError::TopologyUnsupported { .. })
+        Err(SolveError::UnsupportedTopology { .. })
     ));
 
     let torus_engine = Engine::builder()
@@ -153,8 +162,8 @@ fn topology_mismatch_is_a_typed_error() {
         .build()
         .unwrap();
     assert!(matches!(
-        torus_engine.solve_boundary(&BoundaryGrid::new(5)),
-        Err(SolveError::TopologyUnsupported { .. })
+        torus_engine.solve(&Instance::boundary(5)),
+        Err(SolveError::UnsupportedTopology { .. })
     ));
 }
 
@@ -167,7 +176,8 @@ fn missing_problem_is_a_typed_error() {
     ));
 }
 
-/// Corner coordination solves through the engine's boundary path and
+/// Corner coordination solves through the engine's single entry point —
+/// the boundary-paths solver is a registered solver like any other — and
 /// decodes back to a pseudoforest the independent checker accepts.
 #[test]
 fn corner_coordination_via_engine() {
@@ -175,14 +185,17 @@ fn corner_coordination_via_engine() {
         .problem(ProblemSpec::corner_coordination())
         .build()
         .unwrap();
+    assert_eq!(engine.solver_names(), vec!["boundary-paths"]);
     for m in [3usize, 5, 8] {
-        let grid = BoundaryGrid::new(m);
-        let labelling = engine.solve_boundary(&grid).unwrap();
+        let inst = Instance::boundary(m);
+        let labelling = engine.solve(&inst).unwrap();
         assert_eq!(labelling.labels.len(), m * m);
         assert!(labelling.report.validated);
+        let grid = BoundaryGrid::new(m);
         let forest = decode_forest(&grid, &labelling.labels);
         corner::check(&grid, &forest).unwrap_or_else(|e| panic!("m={m}: {e}"));
     }
+    assert_eq!(engine.solvable(&Instance::boundary(4)), Ok(true));
 }
 
 /// `solve_batch` keeps per-instance failures independent and aggregates
@@ -194,9 +207,9 @@ fn batch_mixes_successes_and_failures() {
         .max_synthesis_k(1)
         .build()
         .unwrap();
-    let batch: Vec<GridInstance> = [4usize, 5, 6, 7]
+    let batch: Vec<Instance> = [4usize, 5, 6, 7]
         .iter()
-        .map(|&n| GridInstance::new(n, &IdAssignment::Sequential))
+        .map(|&n| Instance::square(n, &IdAssignment::Sequential))
         .collect();
     let report = engine.solve_batch(&batch);
     assert_eq!(report.solved(), 2, "even tori solve");
@@ -214,7 +227,7 @@ fn batch_mixes_successes_and_failures() {
 fn registry_memoises_synthesis_across_engines() {
     let registry = Arc::new(Registry::new());
     let spec = ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4]));
-    let inst = GridInstance::new(10, &IdAssignment::Shuffled { seed: 9 });
+    let inst = Instance::square(10, &IdAssignment::Shuffled { seed: 9 });
 
     let first = engine_for(spec.clone(), &registry);
     first.solve(&inst).unwrap();
@@ -246,6 +259,12 @@ fn classification_through_engine() {
     assert_eq!(
         classify(ProblemSpec::vertex_colouring(3)),
         GridClass::Global
+    );
+    // The anchor substrate S_k itself: log* via the distributed
+    // power-MIS solver (§8), certified without synthesis.
+    assert_eq!(
+        classify(ProblemSpec::mis_power(lcl_grids::grid::Metric::L1, 2)),
+        GridClass::LogStar
     );
 }
 
@@ -326,7 +345,7 @@ fn report_rounds_reflect_log_star_behaviour() {
     let spec = ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4]));
     let engine = engine_for(spec, &registry);
     let rounds = |n: usize| {
-        let inst = GridInstance::new(n, &IdAssignment::Shuffled { seed: 5 });
+        let inst = Instance::square(n, &IdAssignment::Shuffled { seed: 5 });
         engine.solve(&inst).unwrap().report.rounds.total()
     };
     let small = rounds(12);
@@ -335,4 +354,45 @@ fn report_rounds_reflect_log_star_behaviour() {
         large <= small + 8,
         "log* solver rounds grew: {small} -> {large}"
     );
+}
+
+/// The opt-in debug-validation mode cross-checks the batched round
+/// ledger against the real message-passing simulator on small instances
+/// and records both measurements in the report.
+#[test]
+fn debug_validation_records_protocol_rounds() {
+    let engine = Engine::builder()
+        .problem(ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4])))
+        .max_synthesis_k(1)
+        .debug_validation(true)
+        .build()
+        .unwrap();
+    let inst = Instance::square(12, &IdAssignment::Shuffled { seed: 31 });
+    let labelling = engine.solve(&inst).unwrap();
+    assert_eq!(labelling.report.detail("debug_validation"), Some("ok"));
+    let ledger: u64 = labelling
+        .report
+        .detail("debug_cv_ledger_rounds")
+        .unwrap()
+        .parse()
+        .unwrap();
+    let protocol: u64 = labelling
+        .report
+        .detail("debug_cv_protocol_rounds")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(ledger <= protocol && protocol <= ledger + 5);
+    // Large instances skip the cross-check instead of paying for it.
+    let big = Instance::square(80, &IdAssignment::Shuffled { seed: 31 });
+    let labelling = engine.solve(&big).unwrap();
+    assert_eq!(labelling.report.detail("debug_validation"), Some("skipped"));
+    // Off by default: no debug details in a plain engine's reports.
+    let plain = Engine::builder()
+        .problem(ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4])))
+        .max_synthesis_k(1)
+        .build()
+        .unwrap();
+    let labelling = plain.solve(&inst).unwrap();
+    assert_eq!(labelling.report.detail("debug_validation"), None);
 }

@@ -1,5 +1,5 @@
 //! Cross-crate integration tests: full pipelines for the experiment
-//! families of DESIGN.md §4 (one test per family), exercised through the
+//! families of DESIGN.md §6 (one test per family), exercised through the
 //! domain-layer APIs. The engine-level integration tests live in
 //! `tests/engine.rs`.
 
