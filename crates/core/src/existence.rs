@@ -13,8 +13,8 @@
 //! limited to small alphabets.
 
 use crate::lcl::{GridProblem, Label};
-use crate::problems::edge_label_encode;
-use lcl_grid::{Dir4, Torus2};
+use crate::problems::{edge_label_encode, edge_label_encode_d};
+use lcl_grid::{Dir4, Torus2, TorusD};
 use lcl_local::SplitMix64;
 use lcl_sat::{exactly_one, Lit, Model, SolveOutcome, Solver, Var};
 
@@ -68,6 +68,71 @@ fn solve_with_phases(
             debug_assert!(problem.check(torus, &labels).is_ok());
             Some(labels)
         }
+        SolveOutcome::Unsat => None,
+    }
+}
+
+/// Solves the problem on a d-dimensional torus, for problems with
+/// d-dimensional semantics. The outer `Option` distinguishes "no
+/// d-dimensional reading of this problem" (`None`) from the exact SAT
+/// verdict (`Some(None)` = unsolvable, `Some(Some(labels))` = a valid
+/// labelling). This is the generic-fallback extension of [`solve`] to
+/// `TorusD` (ROADMAP: `Unsolvable` verdicts beyond Theorem 21 on d ≥ 3):
+///
+/// * vertex `k`-colouring — one colour group per node, adjacent nodes
+///   differ along every axis;
+/// * edge `k`-colouring under the [`edge_label_encode_d`] owner
+///   convention — `d` factored colour groups per node, all `2d` incident
+///   edges distinct (side-2 double edges handled like the 2-d encoder);
+/// * any block problem whose predicate factors into one pair relation on
+///   both axes ([`crate::lcl::BlockLcl::axis_symmetric_pairs`]) — which
+///   covers independent sets and every pairwise `lcl-lang` definition.
+///
+/// Orientations and non-decomposable block problems constrain oriented
+/// 2×2 windows, which have no canonical d-dimensional counterpart; they
+/// return `None`.
+pub fn solve_d(problem: &GridProblem, torus: &TorusD) -> Option<Option<Vec<Label>>> {
+    let mut solver = Solver::new();
+    let decode: DecodeFn = match problem {
+        GridProblem::VertexColouring { k } => encode_vertex_d(&mut solver, torus, *k),
+        GridProblem::EdgeColouring { k } => {
+            // The mixed-radix label encoding must fit the label space.
+            edge_label_encode_d(&vec![0; torus.dim()], *k)?;
+            encode_edge_d(&mut solver, torus, *k)
+        }
+        GridProblem::Block(b) => {
+            let pairs = b.axis_symmetric_pairs()?;
+            encode_pairwise_d(&mut solver, torus, b.alphabet(), &pairs)
+        }
+        GridProblem::Orientation { .. } => return None,
+    };
+    Some(match solver.solve() {
+        SolveOutcome::Sat(model) => Some(decode(&model)),
+        SolveOutcome::Unsat => None,
+    })
+}
+
+/// The d-dimensional existence question: `None` if the problem has no
+/// d-dimensional semantics, otherwise the exact SAT verdict for this
+/// torus.
+pub fn solvable_d(problem: &GridProblem, torus: &TorusD) -> Option<bool> {
+    solve_d(problem, torus).map(|outcome| outcome.is_some())
+}
+
+/// The pairwise arm of [`solve_d`] with the relation table supplied by
+/// the caller (who typically derived it once via
+/// [`crate::lcl::BlockLcl::axis_symmetric_pairs`] and wants to reuse it):
+/// a valid labelling if one exists, `None` if the instance is exactly
+/// unsolvable.
+pub fn solve_pairwise_d(
+    torus: &TorusD,
+    alphabet: u16,
+    pair_allowed: &[bool],
+) -> Option<Vec<Label>> {
+    let mut solver = Solver::new();
+    let decode = encode_pairwise_d(&mut solver, torus, alphabet, pair_allowed);
+    match solver.solve() {
+        SolveOutcome::Sat(model) => Some(decode(&model)),
         SolveOutcome::Unsat => None,
     }
 }
@@ -229,6 +294,121 @@ fn encode_block(solver: &mut Solver, torus: &Torus2, lcl: &crate::lcl::BlockLcl)
     })
 }
 
+fn encode_vertex_d(solver: &mut Solver, torus: &TorusD, k: u16) -> DecodeFn {
+    let n = torus.node_count();
+    let vars: Vec<Vec<Var>> = (0..n).map(|_| solver.new_vars(k as usize)).collect();
+    for vc in &vars {
+        let lits: Vec<Lit> = vc.iter().map(|&x| Lit::pos(x)).collect();
+        exactly_one(solver, &lits);
+    }
+    for v in 0..n {
+        let p = torus.pos(v);
+        for q in 0..torus.dim() {
+            let u = torus.index(&torus.offset(&p, q, 1));
+            if u == v {
+                continue;
+            }
+            for (&mine, &theirs) in vars[v].iter().zip(&vars[u]) {
+                solver.add_clause([Lit::neg(mine), Lit::neg(theirs)]);
+            }
+        }
+    }
+    Box::new(move |model| {
+        vars.iter()
+            .map(|vc| {
+                vc.iter()
+                    .position(|&x| model.value(x))
+                    .expect("exactly-one guarantees a colour") as Label
+            })
+            .collect()
+    })
+}
+
+fn encode_edge_d(solver: &mut Solver, torus: &TorusD, k: u16) -> DecodeFn {
+    let n = torus.node_count();
+    let d = torus.dim();
+    // owned[v * d + q]: the colour group of v's positive edge along axis q.
+    let owned: Vec<Vec<Var>> = (0..n * d).map(|_| solver.new_vars(k as usize)).collect();
+    for group in &owned {
+        let lits: Vec<Lit> = group.iter().map(|&x| Lit::pos(x)).collect();
+        exactly_one(solver, &lits);
+    }
+    for v in 0..n {
+        let p = torus.pos(v);
+        // The 2d incident colour groups of v: its own d positive edges
+        // plus, per axis, the back-neighbour's positive edge — the same
+        // incidence set the native validator checks.
+        let mut groups: Vec<&Vec<Var>> = (0..d).map(|q| &owned[v * d + q]).collect();
+        for q in 0..d {
+            let back = torus.index(&torus.offset(&p, q, -1));
+            groups.push(&owned[back * d + q]);
+        }
+        for i in 0..groups.len() {
+            for j in i + 1..groups.len() {
+                if std::ptr::eq(groups[i], groups[j]) {
+                    // Degenerate side-1 torus: the same physical edge
+                    // seen twice; skip the vacuous inequality.
+                    continue;
+                }
+                for (&mine, &theirs) in groups[i].iter().zip(groups[j]) {
+                    solver.add_clause([Lit::neg(mine), Lit::neg(theirs)]);
+                }
+            }
+        }
+    }
+    Box::new(move |model| {
+        (0..n)
+            .map(|v| {
+                let colours: Vec<u16> = (0..d)
+                    .map(|q| {
+                        owned[v * d + q]
+                            .iter()
+                            .position(|&x| model.value(x))
+                            .unwrap() as u16
+                    })
+                    .collect();
+                edge_label_encode_d(&colours, k).expect("label space checked before encoding")
+            })
+            .collect()
+    })
+}
+
+fn encode_pairwise_d(
+    solver: &mut Solver,
+    torus: &TorusD,
+    alphabet: u16,
+    pair_allowed: &[bool],
+) -> DecodeFn {
+    let n = torus.node_count();
+    let a = alphabet as usize;
+    let vars: Vec<Vec<Var>> = (0..n).map(|_| solver.new_vars(a)).collect();
+    for vc in &vars {
+        let lits: Vec<Lit> = vc.iter().map(|&x| Lit::pos(x)).collect();
+        exactly_one(solver, &lits);
+    }
+    for v in 0..n {
+        let p = torus.pos(v);
+        for q in 0..torus.dim() {
+            let u = torus.index(&torus.offset(&p, q, 1));
+            if u == v {
+                continue;
+            }
+            for x in 0..a {
+                for y in 0..a {
+                    if !pair_allowed[x * a + y] {
+                        solver.add_clause([Lit::neg(vars[v][x]), Lit::neg(vars[u][y])]);
+                    }
+                }
+            }
+        }
+    }
+    Box::new(move |model| {
+        vars.iter()
+            .map(|vc| vc.iter().position(|&x| model.value(x)).unwrap() as Label)
+            .collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,5 +511,80 @@ mod tests {
         let p = problems::vertex_colouring(2);
         assert!(solvable(&p, &Torus2::rect(4, 6)));
         assert!(!solvable(&p, &Torus2::rect(4, 5)));
+    }
+
+    #[test]
+    fn d3_vertex_colouring_parity() {
+        // χ(C_n^□3) = 2 for even n, 3 for odd n: the SAT encoder agrees
+        // with the Cartesian-product bound on both sides.
+        let p = problems::vertex_colouring(2);
+        assert_eq!(solvable_d(&p, &TorusD::new(3, 3)), Some(false));
+        let labels = solve_d(&p, &TorusD::new(3, 2))
+            .expect("vertex colouring has 3-d semantics")
+            .expect("even side is 2-chromatic");
+        assert!(problems::is_proper_vertex_colouring_d(
+            &TorusD::new(3, 2),
+            &labels,
+            2
+        ));
+        assert_eq!(
+            solvable_d(&problems::vertex_colouring(3), &TorusD::new(3, 3)),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn d3_edge_colouring_encoder() {
+        // Theorem 21's even-n witness exists: edge 6-colouring of the
+        // 2x2x2 torus, found by SAT and checked by the native validator.
+        let p = problems::edge_colouring(6);
+        let torus = TorusD::new(3, 2);
+        let labels = solve_d(&p, &torus).unwrap().expect("even side solvable");
+        assert!(problems::is_proper_edge_colouring_d(&torus, &labels, 6));
+        // Fewer colours than the degree 2d is exactly unsolvable. (The
+        // odd-n parity impossibility of Theorem 21 itself is a global
+        // counting argument — famously hard for resolution, so it stays
+        // with the closed-form check in `Engine::solvable`.)
+        assert_eq!(
+            solvable_d(&problems::edge_colouring(5), &torus),
+            Some(false)
+        );
+        // One extra colour keeps odd sides solvable (§10).
+        assert_eq!(
+            solvable_d(&problems::edge_colouring(7), &TorusD::new(3, 3)),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn d3_pairwise_block_fallback() {
+        // Independent set: axis-symmetric pairwise, always solvable.
+        let p = problems::independent_set();
+        let torus = TorusD::new(3, 4);
+        let labels = solve_d(&p, &torus)
+            .expect("pairwise fallback applies")
+            .unwrap();
+        assert!(problems::is_independent_set_d(&torus, &labels));
+        // The 2-colouring written as a *generic block table* rides the
+        // same fallback and still gets the exact odd-side verdict.
+        let two = GridProblem::Block(crate::lcl::BlockLcl::from_pairs(
+            2,
+            |a, b| a != b,
+            |a, b| a != b,
+        ));
+        assert_eq!(solvable_d(&two, &TorusD::new(3, 3)), Some(false));
+        assert_eq!(solvable_d(&two, &TorusD::new(3, 4)), Some(true));
+    }
+
+    #[test]
+    fn problems_without_d_semantics_are_none() {
+        let torus = TorusD::new(3, 4);
+        assert_eq!(
+            solvable_d(&problems::orientation(XSet::from_degrees(&[1, 3])), &torus),
+            None
+        );
+        // MIS-with-pointers does not factor into one axis-symmetric pair
+        // relation.
+        assert_eq!(solvable_d(&problems::mis_with_pointers(), &torus), None);
     }
 }

@@ -141,9 +141,82 @@ impl BlockLcl {
         self.allowed.contains(&block)
     }
 
-    /// Iterates over all allowed blocks.
+    /// Iterates over all allowed blocks, in `HashSet` order — use
+    /// [`BlockLcl::sorted_blocks`] wherever the ordering is observable
+    /// (display, error rendering, cache keys, golden files).
     pub fn allowed_blocks(&self) -> impl Iterator<Item = Block> + '_ {
         self.allowed.iter().copied()
+    }
+
+    /// The canonical listing of the allowed blocks: sorted
+    /// lexicographically in `[sw, se, nw, ne]` order. This is the
+    /// deterministic ordering every user-visible rendering (and every
+    /// content-addressed cache key) is derived from.
+    pub fn sorted_blocks(&self) -> Vec<Block> {
+        let mut blocks: Vec<Block> = self.allowed.iter().copied().collect();
+        blocks.sort_unstable();
+        blocks
+    }
+
+    /// If the block predicate factors into one pair relation applied
+    /// along **both** axes — `allowed([sw,se,nw,ne]) ≡ P(sw,se) ∧
+    /// P(nw,ne) ∧ P(sw,nw) ∧ P(se,ne)` for a single `P` — returns `P` as
+    /// a row-major table (`table[a·alphabet + b]`). Such problems are
+    /// exactly the ones whose semantics lift verbatim to oriented tori of
+    /// every dimension (`P` on each adjacent pair along every axis):
+    /// vertex colourings, independent sets, and any pairwise `lcl-lang`
+    /// definition. Returns `None` for alphabets above 16 (the tabulation
+    /// guard of the d-dimensional SAT encoder) or when no such `P`
+    /// exists.
+    pub fn axis_symmetric_pairs(&self) -> Option<Vec<bool>> {
+        let a = self.alphabet;
+        if a > 16 {
+            return None;
+        }
+        let n = a as usize;
+        // Candidate P: the union of the horizontal and vertical pair
+        // projections of the allowed set. If the predicate decomposes at
+        // all, verification below makes this choice canonical: pairs that
+        // appear in no allowed block are unusable either way.
+        let mut table = vec![false; n * n];
+        for &[sw, se, nw, ne] in &self.allowed {
+            table[sw as usize * n + se as usize] = true;
+            table[nw as usize * n + ne as usize] = true;
+            table[sw as usize * n + nw as usize] = true;
+            table[se as usize * n + ne as usize] = true;
+        }
+        let pair = |x: Label, y: Label| table[x as usize * n + y as usize];
+        for sw in 0..a {
+            for se in 0..a {
+                for nw in 0..a {
+                    for ne in 0..a {
+                        let factored = pair(sw, se) && pair(nw, ne) && pair(sw, nw) && pair(se, ne);
+                        if factored != self.block_allowed([sw, se, nw, ne]) {
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+        Some(table)
+    }
+}
+
+/// Lists the alphabet size and the full sorted block table — deterministic
+/// by construction (see [`BlockLcl::sorted_blocks`]), unlike the derived
+/// `Debug`, which exposes `HashSet` iteration order.
+impl fmt::Display for BlockLcl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "block LCL over {} labels, {} allowed blocks (sw,se,nw,ne):",
+            self.alphabet,
+            self.allowed.len()
+        )?;
+        for block in self.sorted_blocks() {
+            write!(f, " {block:?}")?;
+        }
+        Ok(())
     }
 }
 
@@ -264,6 +337,17 @@ impl GridProblem {
     }
 }
 
+/// The canonical human-readable rendering: the problem name for the
+/// structured variants, the full sorted block listing for tabulated ones.
+impl fmt::Display for GridProblem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridProblem::Block(b) => b.fmt(f),
+            other => f.write_str(&other.name()),
+        }
+    }
+}
+
 /// The 2×2 window of `labels` whose south-west corner is `p`.
 pub fn block_at(torus: &Torus2, labels: &[Label], p: Pos) -> Block {
     let se = torus.offset(p, 1, 0);
@@ -342,6 +426,60 @@ mod tests {
     #[should_panic(expected = "alphabet too large")]
     fn tabulation_guard() {
         let _ = BlockLcl::from_predicate(300, |_| true);
+    }
+
+    #[test]
+    fn sorted_blocks_is_canonical() {
+        let mut a = BlockLcl::new(3);
+        let mut b = BlockLcl::new(3);
+        let blocks = [[2, 1, 0, 2], [0, 0, 0, 0], [1, 2, 2, 1], [0, 2, 1, 0]];
+        for &bl in &blocks {
+            a.allow(bl);
+        }
+        for &bl in blocks.iter().rev() {
+            b.allow(bl);
+        }
+        assert_eq!(a.sorted_blocks(), b.sorted_blocks());
+        let sorted = a.sorted_blocks();
+        assert!(sorted.windows(2).all(|w| w[0] < w[1]));
+        // Display renders the canonical order, identically for both.
+        assert_eq!(a.to_string(), b.to_string());
+        assert!(a.to_string().contains("[0, 0, 0, 0] [0, 2, 1, 0]"));
+    }
+
+    #[test]
+    fn axis_symmetric_pair_decomposition() {
+        // Vertex colouring decomposes into "differ" on both axes.
+        let vc = BlockLcl::from_predicate(3, |[sw, se, nw, ne]| {
+            sw != se && nw != ne && sw != nw && se != ne
+        });
+        let table = vc.axis_symmetric_pairs().expect("colouring decomposes");
+        for x in 0..3usize {
+            for y in 0..3usize {
+                assert_eq!(table[x * 3 + y], x != y);
+            }
+        }
+        // Independent set decomposes too.
+        let ind = crate::problems::independent_set();
+        let b = match ind {
+            GridProblem::Block(b) => b,
+            _ => unreachable!(),
+        };
+        let table = b
+            .axis_symmetric_pairs()
+            .expect("independent set decomposes");
+        // pair(1,1) is the only forbidden pair; pair(0,0) is allowed.
+        assert!(!table[3] && table[0]);
+        // Stripes (equal horizontally, differ vertically) is pair-built
+        // but NOT axis-symmetric: no single P serves both axes.
+        let stripes = BlockLcl::from_pairs(2, |a, b| a == b, |a, b| a != b);
+        assert!(stripes.axis_symmetric_pairs().is_none());
+        // MIS-with-pointers: horizontal and vertical relations differ.
+        let mis = match crate::problems::mis_with_pointers() {
+            GridProblem::Block(b) => b,
+            _ => unreachable!(),
+        };
+        assert!(mis.axis_symmetric_pairs().is_none());
     }
 
     #[test]

@@ -308,6 +308,32 @@ pub fn is_independent_set_d(torus: &TorusD, labels: &[Label]) -> bool {
         })
 }
 
+/// Native validator for axis-symmetric pairwise problems on a
+/// d-dimensional torus: every adjacent pair along every positive axis
+/// direction must satisfy the relation
+/// (`pair_allowed[a · alphabet + b]`, see
+/// [`crate::lcl::BlockLcl::axis_symmetric_pairs`]). On side-2 tori both
+/// orientations of each double edge are checked, matching the SAT
+/// encoder in [`crate::existence`].
+pub fn is_pairwise_valid_d(
+    torus: &TorusD,
+    labels: &[Label],
+    alphabet: u16,
+    pair_allowed: &[bool],
+) -> bool {
+    let n = alphabet as usize;
+    assert_eq!(pair_allowed.len(), n * n);
+    labels.len() == torus.node_count()
+        && labels.iter().all(|&l| l < alphabet)
+        && (0..torus.node_count()).all(|v| {
+            let p = torus.pos(v);
+            (0..torus.dim()).all(|q| {
+                let u = torus.index(&torus.offset(&p, q, 1));
+                u == v || pair_allowed[labels[v] as usize * n + labels[u] as usize]
+            })
+        })
+}
+
 /// Native validator: MIS under the pointer encoding of
 /// [`mis_with_pointers`].
 pub fn is_mis(torus: &Torus2, labels: &[Label]) -> bool {

@@ -1,0 +1,266 @@
+//! The typed AST of `lcl-lang`, and its canonical rendering.
+//!
+//! The AST mirrors the surface syntax clause-for-clause (sugar is *not*
+//! desugared here — that is the compiler's job), so
+//! [`ProblemDef::to_source`] can render any parsed program back to
+//! equivalent source and `parse(render(p)) == p` holds structurally
+//! (spans are ignored by equality, see [`crate::span::Spanned`]).
+
+use crate::span::Spanned;
+use std::fmt;
+
+/// One cell of a pattern: a named label or the `_` wildcard.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Cell {
+    /// Matches any label.
+    Wild,
+    /// Matches exactly this label.
+    Label(String),
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Wild => write!(f, "_"),
+            Cell::Label(name) => write!(f, "{name}"),
+        }
+    }
+}
+
+/// A rectangular pattern of cells, written `[ row / row / … ]` with rows
+/// listed **north to south** (the way you would draw the grid) and cells
+/// west to east within a row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pattern {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Cells in row-major order; row 0 is the **northmost** row.
+    pub cells: Vec<Spanned<Cell>>,
+}
+
+impl Pattern {
+    /// The cell at (row-from-north, col-from-west).
+    pub fn cell(&self, row: usize, col: usize) -> &Cell {
+        &self.cells[row * self.cols + col].node
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for r in 0..self.rows {
+            if r > 0 {
+                write!(f, " /")?;
+            }
+            for c in 0..self.cols {
+                write!(f, " {}", self.cell(r, c))?;
+            }
+        }
+        write!(f, " ]")
+    }
+}
+
+/// A grid axis, for the pair-constraint sugar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// West–east pairs, written `(west east)`.
+    Horizontal,
+    /// South–north pairs, written `(south north)`.
+    Vertical,
+}
+
+impl Dir {
+    /// The source keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Dir::Horizontal => "horizontal",
+            Dir::Vertical => "vertical",
+        }
+    }
+}
+
+/// Which adjacent pairs a uniform (`differ` / `equal`) clause constrains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeScope {
+    /// Horizontal pairs only.
+    Horizontal,
+    /// Vertical pairs only.
+    Vertical,
+    /// Both axes (`edges differ` / `edges equal`).
+    Both,
+}
+
+impl EdgeScope {
+    /// The source keyword introducing the clause.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            EdgeScope::Horizontal => "horizontal",
+            EdgeScope::Vertical => "vertical",
+            EdgeScope::Both => "edges",
+        }
+    }
+}
+
+/// Whether a clause whitelists or blacklists its patterns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Polarity {
+    /// Every placement of the clause's shape must match one of the listed
+    /// patterns.
+    Allow,
+    /// No placement may match any of the listed patterns.
+    Forbid,
+}
+
+impl Polarity {
+    /// The source keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Polarity::Allow => "allow",
+            Polarity::Forbid => "forbid",
+        }
+    }
+}
+
+/// The uniform pair relations (sugar over pair lists).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UniformRelation {
+    /// Adjacent labels must differ (proper-colouring style).
+    Differ,
+    /// Adjacent labels must be equal.
+    Equal,
+}
+
+impl UniformRelation {
+    /// The source keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            UniformRelation::Differ => "differ",
+            UniformRelation::Equal => "equal",
+        }
+    }
+}
+
+/// One constraint clause of a problem body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClauseKind {
+    /// `nodes allow { a, b }` / `nodes forbid { c }` — a 1×1 label-set
+    /// constraint.
+    Nodes {
+        /// Allow or forbid.
+        polarity: Polarity,
+        /// The listed labels.
+        labels: Vec<Spanned<String>>,
+    },
+    /// `horizontal allow (a b) …` / `vertical forbid (a b) …` — adjacent
+    /// pair constraints; horizontal pairs read `(west east)`, vertical
+    /// pairs `(south north)`. Cells may be wildcards.
+    Pairs {
+        /// The constrained axis.
+        dir: Dir,
+        /// Allow or forbid.
+        polarity: Polarity,
+        /// The listed pairs.
+        pairs: Vec<[Spanned<Cell>; 2]>,
+    },
+    /// `horizontal differ` / `vertical equal` / `edges differ` — uniform
+    /// relation sugar over all labels.
+    Uniform {
+        /// Which axes are constrained.
+        scope: EdgeScope,
+        /// The relation imposed on every adjacent pair.
+        relation: UniformRelation,
+    },
+    /// `allow [ … ] …` / `forbid [ … ] …` — general rectangular window
+    /// patterns (the only clause form that reaches beyond radius-1
+    /// shapes).
+    Patterns {
+        /// Allow or forbid.
+        polarity: Polarity,
+        /// The listed patterns (all must share one shape per clause).
+        patterns: Vec<Spanned<Pattern>>,
+    },
+}
+
+/// A parsed `problem … { … }` definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProblemDef {
+    /// The problem name (also the engine/cache problem name).
+    pub name: Spanned<String>,
+    /// The declared label alphabet, in declaration order (which fixes the
+    /// numeric label encoding: the i-th name is label `i`).
+    pub alphabet: Vec<Spanned<String>>,
+    /// The declared checkability radius (`None` = the default, 1).
+    pub radius: Option<Spanned<usize>>,
+    /// The constraint clauses, in source order.
+    pub clauses: Vec<Spanned<ClauseKind>>,
+}
+
+impl ProblemDef {
+    /// The effective radius (default 1).
+    pub fn radius(&self) -> usize {
+        self.radius.as_ref().map_or(1, |r| r.node)
+    }
+
+    /// The window side the constraints are interpreted over: `radius + 1`.
+    pub fn window(&self) -> usize {
+        self.radius() + 1
+    }
+
+    /// Renders the definition back to canonical source text. The result
+    /// parses to an AST equal to `self` (spans aside); comments and
+    /// original whitespace are not preserved.
+    pub fn to_source(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "problem {} {{", self.name.node);
+        let names: Vec<&str> = self.alphabet.iter().map(|l| l.node.as_str()).collect();
+        let _ = writeln!(out, "  alphabet {{ {} }}", names.join(", "));
+        if let Some(radius) = &self.radius {
+            let _ = writeln!(out, "  radius {}", radius.node);
+        }
+        for clause in &self.clauses {
+            match &clause.node {
+                ClauseKind::Nodes { polarity, labels } => {
+                    let names: Vec<&str> = labels.iter().map(|l| l.node.as_str()).collect();
+                    let _ = writeln!(
+                        out,
+                        "  nodes {} {{ {} }}",
+                        polarity.keyword(),
+                        names.join(", ")
+                    );
+                }
+                ClauseKind::Pairs {
+                    dir,
+                    polarity,
+                    pairs,
+                } => {
+                    let _ = write!(out, "  {} {}", dir.keyword(), polarity.keyword());
+                    for [a, b] in pairs {
+                        let _ = write!(out, " ({} {})", a.node, b.node);
+                    }
+                    let _ = writeln!(out);
+                }
+                ClauseKind::Uniform { scope, relation } => {
+                    let _ = writeln!(out, "  {} {}", scope.keyword(), relation.keyword());
+                }
+                ClauseKind::Patterns { polarity, patterns } => {
+                    let _ = write!(out, "  {}", polarity.keyword());
+                    for p in patterns {
+                        let _ = write!(out, " {}", p.node);
+                    }
+                    let _ = writeln!(out);
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl fmt::Display for ProblemDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_source())
+    }
+}

@@ -1,0 +1,701 @@
+//! The normalizing compiler: `lcl-lang` source → radius-1 block normal
+//! form.
+//!
+//! A problem of radius `r` constrains the `w × w` windows of the
+//! labelling, `w = r + 1` (for `r = 1` these are exactly the 2×2 blocks
+//! of [`lcl_core::lcl`]). Compilation proceeds in three stages:
+//!
+//! 1. **Semantic checks** resolve label names, validate the radius, and
+//!    bound the enumeration, reporting span-carrying [`LangError`]s.
+//! 2. **Window tabulation** enumerates all `|Σ|^(w²)` windows and keeps
+//!    those satisfying every clause. Clause semantics are *sliding*: a
+//!    pattern of shape `p × q` constrains **every** placement of that
+//!    shape inside the window — so `horizontal forbid (a a)` forbids the
+//!    pair in both rows of a 2×2 window, exactly like the hand-built
+//!    [`BlockLcl::from_pairs`] tabulations.
+//! 3. **Lowering** produces the block normal form. For `r = 1` the
+//!    windows *are* the blocks. For `r > 1` the classic alphabet-product
+//!    construction applies: the compiled alphabet is the set of `r × r`
+//!    label patches occurring as corner sub-patches of allowed windows,
+//!    and a 2×2 block of patches is allowed iff the four patches are the
+//!    corners of one allowed `w × w` window (overlap consistency is then
+//!    automatic, so valid labellings of the compiled problem are exactly
+//!    the patch-codings of valid labellings of the source problem).
+//!
+//! The output is **canonical**: the compiled alphabet is ordered (source
+//! order for `r = 1`, lexicographically sorted patches for `r > 1`),
+//! labels that appear in no allowed block are pruned, and the block table
+//! is content-addressed downstream from its sorted listing — so compiling
+//! the same source twice (or the same problem written with reordered
+//! clauses) yields identical synthesis-cache keys.
+
+use crate::ast::{Cell, ClauseKind, Dir, EdgeScope, Polarity, ProblemDef, UniformRelation};
+use crate::parser::parse;
+use crate::span::{LangError, Spanned};
+use lcl_core::lcl::{Block, BlockLcl, Label};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// Upper bound on `|Σ|^(w²)`, the number of windows the compiler will
+/// tabulate. Keeps compilation interactive (about a million windows).
+pub const MAX_WINDOW_ENUMERATION: u64 = 1 << 20;
+
+/// Largest supported checkability radius. Alphabets of two or more
+/// labels hit [`MAX_WINDOW_ENUMERATION`] far earlier; this cap exists so
+/// a degenerate 1-letter alphabet (whose window *count* is always 1)
+/// cannot smuggle in arbitrarily large window and patch buffers.
+pub const MAX_RADIUS: usize = 8;
+
+/// Largest compiled alphabet: the engine's tabulators
+/// ([`BlockLcl::from_predicate`] via `ProblemSpec::to_block_lcl`) need
+/// `|Σ′|⁴` to stay tractable.
+pub const MAX_COMPILED_ALPHABET: usize = 256;
+
+/// A problem compiled to radius-1 block normal form, with enough
+/// provenance to decode solutions back to source labels and to render the
+/// normal form as diagnostics.
+#[derive(Clone, Debug)]
+pub struct CompiledLcl {
+    name: String,
+    source_radius: usize,
+    source_alphabet: Vec<String>,
+    /// Compiled label → display name (source label name for `r = 1`;
+    /// dot-joined patch cells for `r > 1`).
+    label_names: Vec<String>,
+    /// Compiled label → the source label at the node itself (for `r > 1`,
+    /// the south-west cell of the patch).
+    decode: Vec<Label>,
+    lcl: BlockLcl,
+}
+
+impl CompiledLcl {
+    /// The problem name declared in the source.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared checkability radius of the source problem.
+    pub fn source_radius(&self) -> usize {
+        self.source_radius
+    }
+
+    /// The source alphabet names, in declaration order.
+    pub fn source_alphabet(&self) -> &[String] {
+        &self.source_alphabet
+    }
+
+    /// Size of the compiled (normal-form) alphabet.
+    pub fn alphabet(&self) -> u16 {
+        self.lcl.alphabet()
+    }
+
+    /// Display name of a compiled label.
+    pub fn label_name(&self, label: Label) -> Option<&str> {
+        self.label_names.get(label as usize).map(String::as_str)
+    }
+
+    /// The source label a compiled label denotes *at the node itself*
+    /// (inverse of the patch coding for `r > 1`, identity for `r = 1`).
+    pub fn decode_label(&self, label: Label) -> Option<Label> {
+        self.decode.get(label as usize).copied()
+    }
+
+    /// Source-alphabet name of [`CompiledLcl::decode_label`].
+    pub fn decode_name(&self, label: Label) -> Option<&str> {
+        self.decode_label(label)
+            .and_then(|l| self.source_alphabet.get(l as usize))
+            .map(String::as_str)
+    }
+
+    /// The compiled block normal form.
+    pub fn block_lcl(&self) -> &BlockLcl {
+        &self.lcl
+    }
+
+    /// Consumes the compilation into its block normal form.
+    pub fn into_block_lcl(self) -> BlockLcl {
+        self.lcl
+    }
+
+    /// Renders the *normal form* as canonical radius-1 `lcl-lang` source:
+    /// the compiled alphabet plus one explicit `allow` pattern per block,
+    /// in sorted order. Re-compiling the result reproduces the same
+    /// alphabet and block table — the diagnostic round trip.
+    pub fn to_source(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "problem {} {{", self.name);
+        let _ = writeln!(out, "  alphabet {{ {} }}", self.label_names.join(", "));
+        let blocks = self.lcl.sorted_blocks();
+        if blocks.is_empty() {
+            // An empty allowed set must stay empty through a round trip; a
+            // clause-free program would instead allow everything.
+            let _ = writeln!(out, "  forbid [ _ _ / _ _ ]");
+        }
+        for [sw, se, nw, ne] in blocks {
+            let name = |l: Label| &self.label_names[l as usize];
+            let _ = writeln!(
+                out,
+                "  allow [ {} {} / {} {} ]",
+                name(nw),
+                name(ne),
+                name(sw),
+                name(se)
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl fmt::Display for CompiledLcl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: radius {} over {} source labels -> {} normal-form labels, {} allowed blocks",
+            self.name,
+            self.source_radius,
+            self.source_alphabet.len(),
+            self.lcl.alphabet(),
+            self.lcl.allowed_count()
+        )
+    }
+}
+
+/// Parses and compiles one problem definition.
+pub fn compile(src: &str) -> Result<CompiledLcl, LangError> {
+    compile_def(&parse(src)?)
+}
+
+/// Compiles an already-parsed definition.
+pub fn compile_def(def: &ProblemDef) -> Result<CompiledLcl, LangError> {
+    let ctx = Sema::check(def)?;
+    let windows = ctx.tabulate_windows();
+    let (label_names, decode, lcl) = if def.radius() == 1 {
+        lower_radius_1(&ctx, &windows)
+    } else {
+        lower_radius_r(&ctx, &windows, def)?
+    };
+    Ok(CompiledLcl {
+        name: def.name.node.clone(),
+        source_radius: def.radius(),
+        source_alphabet: ctx.alphabet,
+        label_names,
+        decode,
+        lcl,
+    })
+}
+
+/// A resolved pattern: cells in row-major order with row 0 the
+/// **southmost** row (the canonical grid orientation used throughout the
+/// compiler — note this is flipped from the AST, which stores rows as
+/// written, north first).
+#[derive(Default)]
+struct ShapeRules {
+    allow_exact: HashSet<Vec<Label>>,
+    allow_wild: Vec<Vec<Option<Label>>>,
+    has_allow: bool,
+    forbid_exact: HashSet<Vec<Label>>,
+    forbid_wild: Vec<Vec<Option<Label>>>,
+}
+
+impl ShapeRules {
+    fn add(&mut self, polarity: Polarity, cells: Vec<Option<Label>>) {
+        let concrete: Option<Vec<Label>> = cells.iter().copied().collect();
+        match (polarity, concrete) {
+            (Polarity::Allow, Some(exact)) => {
+                self.allow_exact.insert(exact);
+                self.has_allow = true;
+            }
+            (Polarity::Allow, None) => {
+                self.allow_wild.push(cells);
+                self.has_allow = true;
+            }
+            (Polarity::Forbid, Some(exact)) => {
+                self.forbid_exact.insert(exact);
+            }
+            (Polarity::Forbid, None) => {
+                self.forbid_wild.push(cells);
+            }
+        }
+    }
+}
+
+fn wild_match(pattern: &[Option<Label>], cells: &[Label]) -> bool {
+    pattern
+        .iter()
+        .zip(cells)
+        .all(|(p, &c)| p.is_none_or(|l| l == c))
+}
+
+/// The semantic-checked compilation context.
+struct Sema {
+    alphabet: Vec<String>,
+    window: usize,
+    /// Pattern rules grouped by shape `(rows, cols)` — `BTreeMap` so the
+    /// evaluation (and thus any short-circuit behaviour) is deterministic.
+    rules: BTreeMap<(usize, usize), ShapeRules>,
+}
+
+impl Sema {
+    fn check(def: &ProblemDef) -> Result<Sema, LangError> {
+        let mut names: HashMap<&str, Label> = HashMap::new();
+        for (i, label) in def.alphabet.iter().enumerate() {
+            if label.node == "_" {
+                return Err(LangError::at(label.span, "the label name `_` is reserved"));
+            }
+            if names.insert(&label.node, i as Label).is_some() {
+                return Err(LangError::at(
+                    label.span,
+                    format!("duplicate label `{}`", label.node),
+                ));
+            }
+        }
+        let radius = def.radius();
+        if radius == 0 {
+            let span = def.radius.as_ref().map(|r| r.span).unwrap_or(def.name.span);
+            return Err(LangError::at(span, "the radius must be at least 1"));
+        }
+        if radius > MAX_RADIUS {
+            // The enumeration-count guard below cannot catch this for a
+            // 1-letter alphabet (1^cells = 1 window), yet the per-window
+            // and per-patch cell counts still grow as radius²: cap the
+            // radius itself so a tiny source cannot demand huge buffers.
+            let span = def.radius.as_ref().map(|r| r.span).unwrap_or(def.name.span);
+            return Err(LangError::at(
+                span,
+                format!("radius {radius} is beyond the supported maximum {MAX_RADIUS}"),
+            ));
+        }
+        let window = radius + 1;
+        let cells = window * window;
+        let mut enumeration: u64 = 1;
+        for _ in 0..cells {
+            enumeration = enumeration.saturating_mul(def.alphabet.len() as u64);
+            if enumeration > MAX_WINDOW_ENUMERATION {
+                let span = def.radius.as_ref().map(|r| r.span).unwrap_or(def.name.span);
+                return Err(LangError::at(
+                    span,
+                    format!(
+                        "window tabulation needs {}^{cells} > {MAX_WINDOW_ENUMERATION} entries; \
+                         shrink the alphabet or the radius",
+                        def.alphabet.len()
+                    ),
+                ));
+            }
+        }
+
+        let mut sema = Sema {
+            alphabet: def.alphabet.iter().map(|l| l.node.clone()).collect(),
+            window,
+            rules: BTreeMap::new(),
+        };
+        let lookup = |cell: &Spanned<Cell>| -> Result<Option<Label>, LangError> {
+            match &cell.node {
+                Cell::Wild => Ok(None),
+                Cell::Label(name) => names.get(name.as_str()).copied().map(Some).ok_or_else(|| {
+                    LangError::at(
+                        cell.span,
+                        format!("unknown label `{name}` (not in the alphabet)"),
+                    )
+                }),
+            }
+        };
+        for clause in &def.clauses {
+            match &clause.node {
+                ClauseKind::Nodes { polarity, labels } => {
+                    let rule = sema.rules.entry((1, 1)).or_default();
+                    for label in labels {
+                        let resolved =
+                            lookup(&Spanned::new(Cell::Label(label.node.clone()), label.span))?;
+                        rule.add(*polarity, vec![resolved]);
+                    }
+                }
+                ClauseKind::Pairs {
+                    dir,
+                    polarity,
+                    pairs,
+                } => {
+                    let shape = match dir {
+                        Dir::Horizontal => (1, 2),
+                        Dir::Vertical => (2, 1),
+                    };
+                    for [a, b] in pairs {
+                        // Horizontal `(west east)` and vertical
+                        // `(south north)` both list the origin-side cell
+                        // first, which is exactly the canonical row-major,
+                        // south-first cell order.
+                        let cells = vec![lookup(a)?, lookup(b)?];
+                        sema.rules.entry(shape).or_default().add(*polarity, cells);
+                    }
+                }
+                ClauseKind::Uniform { scope, relation } => {
+                    let dirs: &[(usize, usize)] = match scope {
+                        EdgeScope::Horizontal => &[(1, 2)],
+                        EdgeScope::Vertical => &[(2, 1)],
+                        EdgeScope::Both => &[(1, 2), (2, 1)],
+                    };
+                    let polarity = match relation {
+                        UniformRelation::Differ => Polarity::Forbid,
+                        UniformRelation::Equal => Polarity::Allow,
+                    };
+                    for &shape in dirs {
+                        let rule = sema.rules.entry(shape).or_default();
+                        for l in 0..def.alphabet.len() as Label {
+                            rule.add(polarity, vec![Some(l), Some(l)]);
+                        }
+                    }
+                }
+                ClauseKind::Patterns { polarity, patterns } => {
+                    for pattern in patterns {
+                        let p = &pattern.node;
+                        if p.rows > window || p.cols > window {
+                            return Err(LangError::at(
+                                pattern.span,
+                                format!(
+                                    "pattern is {}x{} but radius {radius} windows are only \
+                                     {window}x{window}",
+                                    p.rows, p.cols
+                                ),
+                            ));
+                        }
+                        // Flip rows: the AST stores them as written (north
+                        // first), the compiler works south-first.
+                        let mut cells = Vec::with_capacity(p.rows * p.cols);
+                        for r in (0..p.rows).rev() {
+                            for c in 0..p.cols {
+                                cells.push(lookup(&p.cells[r * p.cols + c])?);
+                            }
+                        }
+                        sema.rules
+                            .entry((p.rows, p.cols))
+                            .or_default()
+                            .add(*polarity, cells);
+                    }
+                }
+            }
+        }
+        Ok(sema)
+    }
+
+    /// True iff every clause admits the window (canonical south-first
+    /// row-major cells), sliding each shape over all placements.
+    fn window_allowed(&self, window: &[Label], scratch: &mut Vec<Label>) -> bool {
+        let w = self.window;
+        for (&(rows, cols), rule) in &self.rules {
+            for dr in 0..=(w - rows) {
+                for dc in 0..=(w - cols) {
+                    scratch.clear();
+                    for r in 0..rows {
+                        for c in 0..cols {
+                            scratch.push(window[(dr + r) * w + (dc + c)]);
+                        }
+                    }
+                    if rule.forbid_exact.contains(scratch.as_slice())
+                        || rule.forbid_wild.iter().any(|p| wild_match(p, scratch))
+                    {
+                        return false;
+                    }
+                    if rule.has_allow
+                        && !(rule.allow_exact.contains(scratch.as_slice())
+                            || rule.allow_wild.iter().any(|p| wild_match(p, scratch)))
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Enumerates the allowed `w × w` windows, in lexicographic cell
+    /// order (deterministic — the canonicalization guarantee rests on it).
+    fn tabulate_windows(&self) -> Vec<Vec<Label>> {
+        let a = self.alphabet.len() as Label;
+        let cells = self.window * self.window;
+        let mut window = vec![0 as Label; cells];
+        let mut scratch = Vec::with_capacity(cells);
+        let mut allowed = Vec::new();
+        'enumerate: loop {
+            if self.window_allowed(&window, &mut scratch) {
+                allowed.push(window.clone());
+            }
+            let mut i = 0;
+            loop {
+                if i == cells {
+                    break 'enumerate;
+                }
+                window[i] += 1;
+                if window[i] < a {
+                    break;
+                }
+                window[i] = 0;
+                i += 1;
+            }
+        }
+        allowed
+    }
+}
+
+/// Radius 1: the windows are the blocks; prune labels that no allowed
+/// block uses (keeping at least one so the alphabet stays non-empty).
+fn lower_radius_1(ctx: &Sema, windows: &[Vec<Label>]) -> (Vec<String>, Vec<Label>, BlockLcl) {
+    let mut used: BTreeSet<Label> = windows.iter().flatten().copied().collect();
+    if used.is_empty() {
+        used.insert(0);
+    }
+    let remap: HashMap<Label, Label> = used
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new as Label))
+        .collect();
+    let label_names: Vec<String> = used
+        .iter()
+        .map(|&l| ctx.alphabet[l as usize].clone())
+        .collect();
+    let decode: Vec<Label> = used.iter().copied().collect();
+    let mut lcl = BlockLcl::new(label_names.len() as u16);
+    for window in windows {
+        // Canonical south-first row-major 2×2 cells are [sw, se, nw, ne] —
+        // exactly the Block layout.
+        let block: Block = [
+            remap[&window[0]],
+            remap[&window[1]],
+            remap[&window[2]],
+            remap[&window[3]],
+        ];
+        lcl.allow(block);
+    }
+    (label_names, decode, lcl)
+}
+
+/// Radius `r > 1`: the alphabet-product lowering. Compiled labels are the
+/// `r × r` patches occurring as corner sub-patches of allowed windows
+/// (sorted lexicographically — the canonical order); a block is allowed
+/// iff its four patches are the corners of one allowed window.
+fn lower_radius_r(
+    ctx: &Sema,
+    windows: &[Vec<Label>],
+    def: &ProblemDef,
+) -> Result<(Vec<String>, Vec<Label>, BlockLcl), LangError> {
+    let r = ctx.window - 1;
+    let w = ctx.window;
+    let patch_of = |window: &[Label], dr: usize, dc: usize| -> Vec<Label> {
+        let mut cells = Vec::with_capacity(r * r);
+        for row in 0..r {
+            for col in 0..r {
+                cells.push(window[(dr + row) * w + (dc + col)]);
+            }
+        }
+        cells
+    };
+    // Corner offsets in Block order [sw, se, nw, ne].
+    const CORNERS: [(usize, usize); 4] = [(0, 0), (0, 1), (1, 0), (1, 1)];
+    let mut patches: BTreeSet<Vec<Label>> = BTreeSet::new();
+    for window in windows {
+        for (dr, dc) in CORNERS {
+            patches.insert(patch_of(window, dr, dc));
+        }
+    }
+    if patches.is_empty() {
+        // No allowed window at all: the canonical empty problem over a
+        // single stand-in label.
+        return Ok((vec![ctx.alphabet[0].clone()], vec![0], BlockLcl::new(1)));
+    }
+    if patches.len() > MAX_COMPILED_ALPHABET {
+        return Err(LangError::at(
+            def.radius.as_ref().map(|s| s.span).unwrap_or(def.name.span),
+            format!(
+                "the normal form needs {} patch labels; at most {MAX_COMPILED_ALPHABET} are \
+                 supported — restrict the problem or shrink the alphabet",
+                patches.len()
+            ),
+        ));
+    }
+    let ordered: Vec<Vec<Label>> = patches.into_iter().collect();
+    let index: HashMap<&[Label], Label> = ordered
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.as_slice(), i as Label))
+        .collect();
+    let mut label_names: Vec<String> = ordered
+        .iter()
+        .map(|patch| {
+            let names: Vec<&str> = patch
+                .iter()
+                .map(|&l| ctx.alphabet[l as usize].as_str())
+                .collect();
+            names.join(".")
+        })
+        .collect();
+    // Dot-joined names are unique unless source names themselves contain
+    // dots; fall back to positional names rather than emit an alphabet a
+    // re-parse would reject as duplicated.
+    if label_names.iter().collect::<HashSet<_>>().len() != label_names.len() {
+        label_names = (0..ordered.len()).map(|i| format!("p{i}")).collect();
+    }
+    // A patch's own-node label is its south-west cell.
+    let decode: Vec<Label> = ordered.iter().map(|patch| patch[0]).collect();
+    let mut lcl = BlockLcl::new(ordered.len() as u16);
+    for window in windows {
+        let block: Block = [
+            index[patch_of(window, CORNERS[0].0, CORNERS[0].1).as_slice()],
+            index[patch_of(window, CORNERS[1].0, CORNERS[1].1).as_slice()],
+            index[patch_of(window, CORNERS[2].0, CORNERS[2].1).as_slice()],
+            index[patch_of(window, CORNERS[3].0, CORNERS[3].1).as_slice()],
+        ];
+        lcl.allow(block);
+    }
+    Ok((label_names, decode, lcl))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripes_matches_the_hand_built_tabulation() {
+        let compiled = compile(
+            "problem stripes {\n  alphabet { a, b }\n  horizontal equal\n  vertical differ\n}",
+        )
+        .unwrap();
+        let reference = BlockLcl::from_pairs(2, |x, y| x == y, |x, y| x != y);
+        assert_eq!(compiled.alphabet(), 2);
+        assert_eq!(compiled.source_radius(), 1);
+        for sw in 0..2 {
+            for se in 0..2 {
+                for nw in 0..2 {
+                    for ne in 0..2 {
+                        let b = [sw, se, nw, ne];
+                        assert_eq!(
+                            compiled.block_lcl().block_allowed(b),
+                            reference.block_allowed(b),
+                            "block {b:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_rows_read_north_to_south() {
+        // Allow exactly one full window: nw=a ne=b / sw=b se=a.
+        let compiled = compile("problem one { alphabet { a, b } allow [ a b / b a ] }").unwrap();
+        assert_eq!(compiled.block_lcl().allowed_count(), 1);
+        // Block layout is [sw, se, nw, ne].
+        assert!(compiled.block_lcl().block_allowed([1, 0, 0, 1]));
+    }
+
+    #[test]
+    fn unused_labels_are_pruned_and_decoded() {
+        let compiled =
+            compile("problem narrow { alphabet { dead, live } nodes allow { live } }").unwrap();
+        assert_eq!(compiled.alphabet(), 1);
+        assert_eq!(compiled.label_name(0), Some("live"));
+        assert_eq!(compiled.decode_name(0), Some("live"));
+        assert!(compiled.block_lcl().block_allowed([0, 0, 0, 0]));
+    }
+
+    #[test]
+    fn empty_allowed_set_compiles_to_the_empty_problem() {
+        let compiled = compile("problem impossible { alphabet { x } nodes forbid { x } }").unwrap();
+        assert_eq!(compiled.alphabet(), 1);
+        assert_eq!(compiled.block_lcl().allowed_count(), 0);
+        // …and survives the diagnostic round trip.
+        let again = compile(&compiled.to_source()).unwrap();
+        assert_eq!(again.block_lcl().allowed_count(), 0);
+    }
+
+    #[test]
+    fn radius_2_product_construction_is_faithful() {
+        // "No monochromatic 3×3 window" over two labels.
+        let compiled = compile(
+            "problem no-mono {\n  alphabet { a, b }\n  radius 2\n  \
+             forbid [ a a a / a a a / a a a ] [ b b b / b b b / b b b ]\n}",
+        )
+        .unwrap();
+        // 2^9 windows minus the two constant ones; windows biject with
+        // blocks for w = 3 (the four corner patches cover all nine cells).
+        assert_eq!(compiled.block_lcl().allowed_count(), 510);
+        // All sixteen 2×2 patches occur in some allowed window.
+        assert_eq!(compiled.alphabet(), 16);
+        // Four equal corner patches force a period-1 (constant) window,
+        // and constant windows are exactly the forbidden ones — so no
+        // compiled label admits a constant block. Every compiled label
+        // decodes to a source label.
+        for l in 0..16u16 {
+            assert!(compiled.decode_name(l).is_some());
+            assert!(
+                !compiled.block_lcl().block_allowed([l, l, l, l]),
+                "label {l}"
+            );
+        }
+        // A genuinely non-trivial block survives: the all-a patch next to
+        // patches introducing a b.
+        let idx = |name: &str| {
+            (0..16u16)
+                .find(|&l| compiled.label_name(l) == Some(name))
+                .expect("patch exists")
+        };
+        assert!(compiled.block_lcl().block_allowed([
+            idx("a.a.a.a"),
+            idx("a.a.a.a"),
+            idx("a.a.b.a"),
+            idx("a.a.a.b"),
+        ]));
+    }
+
+    #[test]
+    fn identical_sources_compile_identically() {
+        let src = "problem p { alphabet { a, b } radius 2 forbid [ a a a / a a a / a a a ] }";
+        let x = compile(src).unwrap();
+        let y = compile(src).unwrap();
+        assert_eq!(x.block_lcl().sorted_blocks(), y.block_lcl().sorted_blocks());
+        assert_eq!(x.alphabet(), y.alphabet());
+    }
+
+    #[test]
+    fn compiled_to_source_round_trips_the_normal_form() {
+        let compiled = compile("problem vc { alphabet { r, g, b } edges differ }").unwrap();
+        let again = compile(&compiled.to_source()).unwrap();
+        assert_eq!(again.alphabet(), compiled.alphabet());
+        assert_eq!(
+            again.block_lcl().sorted_blocks(),
+            compiled.block_lcl().sorted_blocks()
+        );
+    }
+
+    #[test]
+    fn semantic_errors_carry_spans() {
+        let src = "problem p { alphabet { a } vertical forbid (a zz) }";
+        let err = compile(src).unwrap_err();
+        let span = err.span.unwrap();
+        assert_eq!(&src[span.start..span.end], "zz");
+        assert!(err.message.contains("unknown label"));
+
+        let src = "problem p { alphabet { a, a } }";
+        let err = compile(src).unwrap_err();
+        assert!(err.message.contains("duplicate label"));
+
+        let src = "problem p { alphabet { a } radius 1 forbid [ a a / a a / a a ] }";
+        let err = compile(src).unwrap_err();
+        assert!(err.message.contains("3x2"), "{}", err.message);
+
+        let src = "problem p { alphabet { a } radius 0 }";
+        let err = compile(src).unwrap_err();
+        assert!(err.message.contains("at least 1"));
+
+        let src = "problem p { alphabet { a, b, c } radius 3 }";
+        let err = compile(src).unwrap_err();
+        assert!(err.message.contains("tabulation"), "{}", err.message);
+
+        // A 1-letter alphabet keeps the window *count* at 1 for any
+        // radius; the radius cap must still reject huge windows.
+        let src = "problem p { alphabet { a } radius 20000 }";
+        let err = compile(src).unwrap_err();
+        assert!(err.message.contains("maximum 8"), "{}", err.message);
+        let span = err.span.unwrap();
+        assert_eq!(&src[span.start..span.end], "20000");
+    }
+}

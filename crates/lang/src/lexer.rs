@@ -1,0 +1,189 @@
+//! The `lcl-lang` lexer: a hand-rolled, dependency-free tokenizer.
+//!
+//! Identifiers are liberal — `[A-Za-z_][A-Za-z0-9_.-]*` — so problem
+//! names like `vertex-3-colouring` and compiler-generated patch names
+//! like `a.b.a.a` both lex as single tokens; keywords (`problem`,
+//! `alphabet`, `allow`, …) are contextual identifiers resolved by the
+//! parser. `#` starts a comment that runs to the end of the line.
+
+use crate::span::{LangError, Span};
+
+/// What a token is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier (including contextual keywords and the `_` wildcard).
+    Ident(String),
+    /// An unsigned integer literal.
+    Int(usize),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `/` — the pattern row separator.
+    Slash,
+}
+
+impl TokenKind {
+    /// A short human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("`{name}`"),
+            TokenKind::Int(value) => format!("`{value}`"),
+            TokenKind::LBrace => "`{`".to_string(),
+            TokenKind::RBrace => "`}`".to_string(),
+            TokenKind::LParen => "`(`".to_string(),
+            TokenKind::RParen => "`)`".to_string(),
+            TokenKind::LBracket => "`[`".to_string(),
+            TokenKind::RBracket => "`]`".to_string(),
+            TokenKind::Comma => "`,`".to_string(),
+            TokenKind::Slash => "`/`".to_string(),
+        }
+    }
+}
+
+/// One lexed token with its source range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What it is.
+    pub kind: TokenKind,
+    /// Where it is.
+    pub span: Span,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.')
+}
+
+/// Tokenizes `src`, rejecting characters outside the language.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    let mut tokens = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' | '}' | '(' | ')' | '[' | ']' | ',' | '/' => {
+                let kind = match c {
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '[' => TokenKind::LBracket,
+                    ']' => TokenKind::RBracket,
+                    ',' => TokenKind::Comma,
+                    _ => TokenKind::Slash,
+                };
+                i += 1;
+                tokens.push(Token {
+                    kind,
+                    span: Span::new(start, i),
+                });
+            }
+            '0'..='9' => {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let value: usize = text.parse().map_err(|_| {
+                    LangError::at(
+                        Span::new(start, i),
+                        format!("integer `{text}` is too large"),
+                    )
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    span: Span::new(start, i),
+                });
+            }
+            c if is_ident_start(c) => {
+                while i < bytes.len() && is_ident_continue(bytes[i] as char) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_string()),
+                    span: Span::new(start, i),
+                });
+            }
+            _ => {
+                // Re-decode from the string: `bytes[i] as char` only saw
+                // the first byte, which for multi-byte UTF-8 would both
+                // garble the message and produce a span ending inside a
+                // character (panicking any consumer that slices with it).
+                let other = src[start..].chars().next().expect("loop guard");
+                return Err(LangError::at(
+                    Span::new(start, start + other.len_utf8()),
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_basic_shapes() {
+        let toks = lex("problem p-1 { radius 2 , [ a / _ ] } # tail").unwrap();
+        let kinds: Vec<&TokenKind> = toks.iter().map(|t| &t.kind).collect();
+        assert_eq!(kinds.len(), 12);
+        assert_eq!(*kinds[0], TokenKind::Ident("problem".into()));
+        assert_eq!(*kinds[1], TokenKind::Ident("p-1".into()));
+        assert_eq!(*kinds[4], TokenKind::Int(2));
+        assert_eq!(*kinds[8], TokenKind::Slash);
+        assert_eq!(*kinds[9], TokenKind::Ident("_".into()));
+    }
+
+    #[test]
+    fn comments_run_to_end_of_line() {
+        let toks = lex("# whole line\nx # tail\ny").unwrap();
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn spans_are_byte_ranges() {
+        let toks = lex("ab  cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(4, 6));
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        let err = lex("a ; b").unwrap_err();
+        assert_eq!(err.span, Some(Span::new(2, 3)));
+        assert!(err.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn multibyte_characters_error_on_boundaries() {
+        let src = "ab €";
+        let err = lex(src).unwrap_err();
+        assert!(err.message.contains('€'), "{}", err.message);
+        let span = err.span.unwrap();
+        // The span covers the whole character, so slicing with it works.
+        assert_eq!(&src[span.start..span.end], "€");
+    }
+}

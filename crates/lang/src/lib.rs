@@ -1,0 +1,64 @@
+//! # lcl-lang
+//!
+//! A small, dependency-free textual format for LCL problems on oriented
+//! grids, plus the normalizing compiler that lowers any definition —
+//! radius 1 or higher — to the radius-1 **block normal form** of
+//! [`lcl_core::lcl`], the one representation the whole engine stack
+//! (synthesis, SAT existence, classification, caching) consumes. The
+//! paper's point (§3), echoed by Cruciani et al.'s "It does not matter
+//! how you define locally checkable labelings", is that the formalisms
+//! are interconvertible; this crate makes arbitrary LCLs arrive as
+//! *data*, not code.
+//!
+//! ## The language
+//!
+//! ```text
+//! # Proper 3-colouring of the oriented grid.
+//! problem vertex-3-colouring {
+//!   alphabet { c0, c1, c2 }
+//!   edges differ
+//! }
+//! ```
+//!
+//! A problem declares a named label `alphabet`, an optional checkability
+//! `radius` (default 1), and constraint clauses over the `(r+1) × (r+1)`
+//! windows of the labelling:
+//!
+//! * `nodes allow { … }` / `nodes forbid { … }` — label-set sugar;
+//! * `horizontal allow (west east) …`, `vertical forbid (south north) …`
+//!   — adjacent-pair (edge-set) sugar, wildcards `_` permitted;
+//! * `horizontal differ`, `vertical equal`, `edges differ` — uniform
+//!   relation sugar (proper colourings in one line);
+//! * `allow [ … ]` / `forbid [ … ]` — general rectangular patterns, rows
+//!   written north to south and separated by `/`.
+//!
+//! Every clause *slides*: a `p × q` pattern constrains each placement of
+//! that shape inside the window. Comments run from `#` to end of line.
+//!
+//! ## Compilation
+//!
+//! [`compile`] parses ([`parse`]), checks (span-carrying [`LangError`]s,
+//! rendered against the source by [`LangError::render`]), tabulates the
+//! allowed windows, and lowers radius `r > 1` to radius 1 by the
+//! alphabet-product construction (compiled labels are `r × r` patches of
+//! source labels; see [`compile_def`] and DESIGN.md §7). The output
+//! [`CompiledLcl`] is canonical — sorted patch alphabet, unused labels
+//! pruned — so identical sources yield identical downstream cache keys,
+//! and it renders back to source ([`CompiledLcl::to_source`]) for
+//! diagnostics.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+pub mod lexer;
+pub mod parser;
+pub mod span;
+
+pub use ast::ProblemDef;
+pub use compile::{compile, compile_def, CompiledLcl};
+pub use parser::parse;
+pub use span::{LangError, Span, Spanned};
+
+#[cfg(all(test, feature = "proptests"))]
+mod proptests;

@@ -1,0 +1,520 @@
+//! The `lcl-lang` recursive-descent parser.
+//!
+//! ```text
+//! program  := "problem" IDENT "{" item* "}"
+//! item     := "alphabet" "{" names "}"
+//!           | "radius" INT
+//!           | "nodes" polarity "{" names "}"
+//!           | dir ( polarity pair+ | "differ" | "equal" )
+//!           | "edges" ( "differ" | "equal" )
+//!           | polarity pattern+
+//! names    := IDENT ("," IDENT)* ","?
+//! dir      := "horizontal" | "vertical"
+//! polarity := "allow" | "forbid"
+//! pair     := "(" cell cell ")"
+//! pattern  := "[" row ("/" row)* "]"
+//! row      := cell+
+//! cell     := IDENT | "_"
+//! ```
+//!
+//! Keywords are contextual: they only act as keywords in item-head
+//! position, so labels may reuse them freely (label references always sit
+//! inside `{…}`, `(…)`, or `[…]` delimiters).
+
+use crate::ast::{
+    Cell, ClauseKind, Dir, EdgeScope, Pattern, Polarity, ProblemDef, UniformRelation,
+};
+use crate::lexer::{lex, Token, TokenKind};
+use crate::span::{LangError, Span, Spanned};
+
+/// Parses one problem definition from source text.
+pub fn parse(src: &str) -> Result<ProblemDef, LangError> {
+    let tokens = lex(src)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        end: Span::new(src.len(), src.len()),
+    };
+    let def = parser.problem()?;
+    if let Some(tok) = parser.peek() {
+        return Err(LangError::at(
+            tok.span,
+            format!(
+                "unexpected {} after the closing `}}` of the problem",
+                tok.kind.describe()
+            ),
+        ));
+    }
+    Ok(def)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// An empty span at end-of-input, for truncated-source errors.
+    end: Span,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let tok = self.tokens.get(self.pos).cloned();
+        if tok.is_some() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn here(&self) -> Span {
+        self.peek().map_or(self.end, |t| t.span)
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<Span, LangError> {
+        match self.next() {
+            Some(tok) if tok.kind == kind => Ok(tok.span),
+            Some(tok) => Err(LangError::at(
+                tok.span,
+                format!("expected {what}, found {}", tok.kind.describe()),
+            )),
+            None => Err(LangError::at(self.end, format!("expected {what}"))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<Spanned<String>, LangError> {
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Ident(name),
+                span,
+            }) => Ok(Spanned::new(name, span)),
+            Some(tok) => Err(LangError::at(
+                tok.span,
+                format!("expected {what}, found {}", tok.kind.describe()),
+            )),
+            None => Err(LangError::at(self.end, format!("expected {what}"))),
+        }
+    }
+
+    fn keyword(&mut self, keyword: &str) -> Result<Span, LangError> {
+        let id = self.ident(&format!("keyword `{keyword}`"))?;
+        if id.node == keyword {
+            Ok(id.span)
+        } else {
+            Err(LangError::at(
+                id.span,
+                format!("expected keyword `{keyword}`, found `{}`", id.node),
+            ))
+        }
+    }
+
+    fn problem(&mut self) -> Result<ProblemDef, LangError> {
+        self.keyword("problem")?;
+        let name = self.ident("a problem name")?;
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut alphabet: Option<Vec<Spanned<String>>> = None;
+        let mut radius: Option<Spanned<usize>> = None;
+        let mut clauses = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token {
+                    kind: TokenKind::RBrace,
+                    ..
+                }) => {
+                    self.next();
+                    break;
+                }
+                Some(_) => {}
+                None => {
+                    return Err(LangError::at(
+                        self.end,
+                        "unclosed problem body: expected `}`",
+                    ))
+                }
+            }
+            let head = self.ident("an item (`alphabet`, `radius`, `nodes`, `horizontal`, `vertical`, `edges`, `allow`, or `forbid`)")?;
+            match head.node.as_str() {
+                "alphabet" => {
+                    let labels = self.name_set("a label name")?;
+                    if alphabet.is_some() {
+                        return Err(LangError::at(head.span, "duplicate `alphabet` item"));
+                    }
+                    alphabet = Some(labels);
+                }
+                "radius" => {
+                    let (value, span) = self.integer("the radius")?;
+                    if radius.is_some() {
+                        return Err(LangError::at(head.span, "duplicate `radius` item"));
+                    }
+                    radius = Some(Spanned::new(value, span));
+                }
+                "nodes" => {
+                    let polarity = self.polarity()?;
+                    let labels = self.name_set("a label name")?;
+                    let span = head.span.to(self.previous_span());
+                    clauses.push(Spanned::new(ClauseKind::Nodes { polarity, labels }, span));
+                }
+                "horizontal" | "vertical" => {
+                    let dir = if head.node == "horizontal" {
+                        Dir::Horizontal
+                    } else {
+                        Dir::Vertical
+                    };
+                    let clause = self.pair_clause(dir)?;
+                    let span = head.span.to(self.previous_span());
+                    clauses.push(Spanned::new(clause, span));
+                }
+                "edges" => {
+                    let relation = self.uniform_relation()?;
+                    let span = head.span.to(self.previous_span());
+                    clauses.push(Spanned::new(
+                        ClauseKind::Uniform {
+                            scope: EdgeScope::Both,
+                            relation,
+                        },
+                        span,
+                    ));
+                }
+                "allow" | "forbid" => {
+                    let polarity = if head.node == "allow" {
+                        Polarity::Allow
+                    } else {
+                        Polarity::Forbid
+                    };
+                    let patterns = self.patterns()?;
+                    let span = head.span.to(self.previous_span());
+                    clauses.push(Spanned::new(
+                        ClauseKind::Patterns { polarity, patterns },
+                        span,
+                    ));
+                }
+                other => {
+                    return Err(LangError::at(
+                        head.span,
+                        format!(
+                            "unknown item `{other}` (expected `alphabet`, `radius`, `nodes`, \
+                             `horizontal`, `vertical`, `edges`, `allow`, or `forbid`)"
+                        ),
+                    ));
+                }
+            }
+        }
+        let alphabet = alphabet.ok_or_else(|| {
+            LangError::at(name.span, "the problem declares no `alphabet { … }` item")
+        })?;
+        Ok(ProblemDef {
+            name,
+            alphabet,
+            radius,
+            clauses,
+        })
+    }
+
+    /// `{` IDENT (`,` IDENT)* `,`? `}` — at least one name required.
+    fn name_set(&mut self, what: &str) -> Result<Vec<Spanned<String>>, LangError> {
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut names = vec![self.ident(what)?];
+        loop {
+            match self.next() {
+                Some(Token {
+                    kind: TokenKind::RBrace,
+                    ..
+                }) => return Ok(names),
+                Some(Token {
+                    kind: TokenKind::Comma,
+                    ..
+                }) => {
+                    // Allow a trailing comma before the closing brace.
+                    if matches!(
+                        self.peek(),
+                        Some(Token {
+                            kind: TokenKind::RBrace,
+                            ..
+                        })
+                    ) {
+                        self.next();
+                        return Ok(names);
+                    }
+                    names.push(self.ident(what)?);
+                }
+                Some(tok) => {
+                    return Err(LangError::at(
+                        tok.span,
+                        format!("expected `,` or `}}`, found {}", tok.kind.describe()),
+                    ))
+                }
+                None => return Err(LangError::at(self.end, "unclosed `{ … }` name list")),
+            }
+        }
+    }
+
+    fn previous_span(&self) -> Span {
+        self.tokens
+            .get(self.pos.wrapping_sub(1))
+            .map_or(self.end, |t| t.span)
+    }
+
+    fn integer(&mut self, what: &str) -> Result<(usize, Span), LangError> {
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Int(value),
+                span,
+            }) => Ok((value, span)),
+            Some(tok) => Err(LangError::at(
+                tok.span,
+                format!(
+                    "expected an integer for {what}, found {}",
+                    tok.kind.describe()
+                ),
+            )),
+            None => Err(LangError::at(
+                self.end,
+                format!("expected an integer for {what}"),
+            )),
+        }
+    }
+
+    fn polarity(&mut self) -> Result<Polarity, LangError> {
+        let id = self.ident("`allow` or `forbid`")?;
+        match id.node.as_str() {
+            "allow" => Ok(Polarity::Allow),
+            "forbid" => Ok(Polarity::Forbid),
+            other => Err(LangError::at(
+                id.span,
+                format!("expected `allow` or `forbid`, found `{other}`"),
+            )),
+        }
+    }
+
+    fn uniform_relation(&mut self) -> Result<UniformRelation, LangError> {
+        let id = self.ident("`differ` or `equal`")?;
+        match id.node.as_str() {
+            "differ" => Ok(UniformRelation::Differ),
+            "equal" => Ok(UniformRelation::Equal),
+            other => Err(LangError::at(
+                id.span,
+                format!("expected `differ` or `equal`, found `{other}`"),
+            )),
+        }
+    }
+
+    /// After `horizontal` / `vertical`: either a uniform relation or a
+    /// polarity followed by one or more `(cell cell)` pairs.
+    fn pair_clause(&mut self, dir: Dir) -> Result<ClauseKind, LangError> {
+        let id = self.ident("`allow`, `forbid`, `differ`, or `equal`")?;
+        let scope = match dir {
+            Dir::Horizontal => EdgeScope::Horizontal,
+            Dir::Vertical => EdgeScope::Vertical,
+        };
+        let polarity = match id.node.as_str() {
+            "differ" => {
+                return Ok(ClauseKind::Uniform {
+                    scope,
+                    relation: UniformRelation::Differ,
+                })
+            }
+            "equal" => {
+                return Ok(ClauseKind::Uniform {
+                    scope,
+                    relation: UniformRelation::Equal,
+                })
+            }
+            "allow" => Polarity::Allow,
+            "forbid" => Polarity::Forbid,
+            other => {
+                return Err(LangError::at(
+                    id.span,
+                    format!("expected `allow`, `forbid`, `differ`, or `equal`, found `{other}`"),
+                ))
+            }
+        };
+        let mut pairs = Vec::new();
+        while matches!(
+            self.peek(),
+            Some(Token {
+                kind: TokenKind::LParen,
+                ..
+            })
+        ) {
+            self.next();
+            let a = self.cell()?;
+            let b = self.cell()?;
+            self.expect(TokenKind::RParen, "`)`")?;
+            pairs.push([a, b]);
+        }
+        if pairs.is_empty() {
+            return Err(LangError::at(
+                self.here(),
+                "expected at least one `(a b)` pair",
+            ));
+        }
+        Ok(ClauseKind::Pairs {
+            dir,
+            polarity,
+            pairs,
+        })
+    }
+
+    fn cell(&mut self) -> Result<Spanned<Cell>, LangError> {
+        let id = self.ident("a label name or `_`")?;
+        let cell = if id.node == "_" {
+            Cell::Wild
+        } else {
+            Cell::Label(id.node)
+        };
+        Ok(Spanned::new(cell, id.span))
+    }
+
+    fn patterns(&mut self) -> Result<Vec<Spanned<Pattern>>, LangError> {
+        let mut patterns = Vec::new();
+        while matches!(
+            self.peek(),
+            Some(Token {
+                kind: TokenKind::LBracket,
+                ..
+            })
+        ) {
+            patterns.push(self.pattern()?);
+        }
+        if patterns.is_empty() {
+            return Err(LangError::at(
+                self.here(),
+                "expected at least one `[ … ]` pattern",
+            ));
+        }
+        Ok(patterns)
+    }
+
+    fn pattern(&mut self) -> Result<Spanned<Pattern>, LangError> {
+        let open = self.expect(TokenKind::LBracket, "`[`")?;
+        let mut rows: Vec<Vec<Spanned<Cell>>> = vec![Vec::new()];
+        loop {
+            match self.peek() {
+                Some(Token {
+                    kind: TokenKind::RBracket,
+                    ..
+                }) => {
+                    let close = self.next().expect("peeked").span;
+                    let span = open.to(close);
+                    let cols = rows[0].len();
+                    if rows.iter().any(|r| r.is_empty()) {
+                        return Err(LangError::at(span, "pattern has an empty row"));
+                    }
+                    if rows.iter().any(|r| r.len() != cols) {
+                        return Err(LangError::at(
+                            span,
+                            "pattern rows have different lengths".to_string(),
+                        ));
+                    }
+                    let pattern = Pattern {
+                        rows: rows.len(),
+                        cols,
+                        cells: rows.into_iter().flatten().collect(),
+                    };
+                    return Ok(Spanned::new(pattern, span));
+                }
+                Some(Token {
+                    kind: TokenKind::Slash,
+                    ..
+                }) => {
+                    self.next();
+                    rows.push(Vec::new());
+                }
+                Some(Token {
+                    kind: TokenKind::Ident(_),
+                    ..
+                }) => {
+                    let cell = self.cell()?;
+                    rows.last_mut().expect("rows is never empty").push(cell);
+                }
+                Some(tok) => {
+                    return Err(LangError::at(
+                        tok.span,
+                        format!(
+                            "expected a label, `_`, `/`, or `]` in the pattern, found {}",
+                            tok.kind.describe()
+                        ),
+                    ))
+                }
+                None => return Err(LangError::at(self.end, "unclosed `[ … ]` pattern")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STRIPES: &str = "\
+problem stripes {
+  alphabet { a, b }
+  horizontal equal
+  vertical differ
+}";
+
+    #[test]
+    fn parses_sugar_clauses() {
+        let def = parse(STRIPES).unwrap();
+        assert_eq!(def.name.node, "stripes");
+        assert_eq!(def.alphabet.len(), 2);
+        assert_eq!(def.radius(), 1);
+        assert_eq!(def.clauses.len(), 2);
+        assert_eq!(
+            def.clauses[0].node,
+            ClauseKind::Uniform {
+                scope: EdgeScope::Horizontal,
+                relation: UniformRelation::Equal
+            }
+        );
+    }
+
+    #[test]
+    fn parses_patterns_with_wildcards() {
+        let def = parse("problem p { alphabet { x } radius 2 forbid [ x x x / x _ x / x x x ] }")
+            .unwrap();
+        match &def.clauses[0].node {
+            ClauseKind::Patterns { polarity, patterns } => {
+                assert_eq!(*polarity, Polarity::Forbid);
+                assert_eq!(patterns[0].node.rows, 3);
+                assert_eq!(patterns[0].node.cols, 3);
+                assert_eq!(*patterns[0].node.cell(1, 1), Cell::Wild);
+            }
+            other => panic!("unexpected clause {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_to_source() {
+        let def = parse(STRIPES).unwrap();
+        assert_eq!(parse(&def.to_source()).unwrap(), def);
+        let def2 = parse(
+            "problem q { alphabet { a, b } radius 2 nodes allow { a } \
+             horizontal forbid (a b) (_ a) allow [ a b / b _ ] edges differ }",
+        )
+        .unwrap();
+        assert_eq!(parse(&def2.to_source()).unwrap(), def2);
+    }
+
+    #[test]
+    fn ragged_pattern_is_an_error() {
+        let err = parse("problem p { alphabet { x } allow [ x x / x ] }").unwrap_err();
+        assert!(err.message.contains("different lengths"));
+        assert!(err.span.is_some());
+    }
+
+    #[test]
+    fn missing_alphabet_is_an_error_at_the_name() {
+        let src = "problem nameless { radius 1 }";
+        let err = parse(src).unwrap_err();
+        let span = err.span.unwrap();
+        assert_eq!(&src[span.start..span.end], "nameless");
+    }
+
+    #[test]
+    fn unknown_item_is_an_error() {
+        let err = parse("problem p { alphabet { x } wibble }").unwrap_err();
+        assert!(err.message.contains("unknown item `wibble`"));
+    }
+}

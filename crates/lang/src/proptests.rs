@@ -1,0 +1,108 @@
+//! Property-based tests for the language layer: the canonical rendering
+//! round-trips through the parser, `parse(render(p)) == p` (AST equality
+//! ignores spans by construction, see [`crate::span::Spanned`]).
+
+use crate::ast::{
+    Cell, ClauseKind, Dir, EdgeScope, Pattern, Polarity, ProblemDef, UniformRelation,
+};
+use crate::parser::parse;
+use crate::span::Spanned;
+use proptest::prelude::*;
+
+fn name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,5}"
+}
+
+fn alphabet() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::btree_set(name(), 1..4).prop_map(|s| s.into_iter().collect())
+}
+
+fn cell(labels: Vec<String>) -> impl Strategy<Value = Spanned<Cell>> {
+    let n = labels.len();
+    (0..=n).prop_map(move |i| {
+        Spanned::synthetic(if i == n {
+            Cell::Wild
+        } else {
+            Cell::Label(labels[i].clone())
+        })
+    })
+}
+
+fn pattern(labels: Vec<String>) -> impl Strategy<Value = Spanned<Pattern>> {
+    (1usize..3, 1usize..3).prop_flat_map(move |(rows, cols)| {
+        prop::collection::vec(cell(labels.clone()), rows * cols)
+            .prop_map(move |cells| Spanned::synthetic(Pattern { rows, cols, cells }))
+    })
+}
+
+fn clause(labels: Vec<String>) -> impl Strategy<Value = Spanned<ClauseKind>> {
+    let polarity = prop_oneof![Just(Polarity::Allow), Just(Polarity::Forbid)];
+    let dir = prop_oneof![Just(Dir::Horizontal), Just(Dir::Vertical)];
+    let scope = prop_oneof![
+        Just(EdgeScope::Horizontal),
+        Just(EdgeScope::Vertical),
+        Just(EdgeScope::Both)
+    ];
+    let relation = prop_oneof![Just(UniformRelation::Differ), Just(UniformRelation::Equal)];
+    let some_label = {
+        let labels = labels.clone();
+        let n = labels.len();
+        (0..n).prop_map(move |i| Spanned::synthetic(labels[i].clone()))
+    };
+    prop_oneof![
+        (polarity.clone(), prop::collection::vec(some_label, 1..4))
+            .prop_map(|(polarity, labels)| ClauseKind::Nodes { polarity, labels }),
+        (
+            dir,
+            polarity.clone(),
+            prop::collection::vec(
+                (cell(labels.clone()), cell(labels.clone())).prop_map(|(a, b)| [a, b]),
+                1..4
+            )
+        )
+            .prop_map(|(dir, polarity, pairs)| ClauseKind::Pairs {
+                dir,
+                polarity,
+                pairs
+            }),
+        (scope, relation).prop_map(|(scope, relation)| ClauseKind::Uniform { scope, relation }),
+        (
+            polarity,
+            prop::collection::vec(pattern(labels.clone()), 1..3)
+        )
+            .prop_map(|(polarity, patterns)| ClauseKind::Patterns { polarity, patterns }),
+    ]
+    .prop_map(Spanned::synthetic)
+}
+
+fn problem_def() -> impl Strategy<Value = ProblemDef> {
+    (name(), alphabet(), prop::option::of(1usize..4)).prop_flat_map(|(name, alphabet, radius)| {
+        let labels = alphabet.clone();
+        prop::collection::vec(clause(labels), 0..5).prop_map(move |clauses| ProblemDef {
+            name: Spanned::synthetic(name.clone()),
+            alphabet: alphabet.iter().cloned().map(Spanned::synthetic).collect(),
+            radius: radius.map(Spanned::synthetic),
+            clauses,
+        })
+    })
+}
+
+proptest! {
+    /// The round-trip law: rendering any AST and parsing it back yields
+    /// the same AST.
+    #[test]
+    fn parse_render_round_trips(def in problem_def()) {
+        let rendered = def.to_source();
+        let reparsed = parse(&rendered)
+            .unwrap_or_else(|e| panic!("rendered source failed to parse: {e}\n{rendered}"));
+        prop_assert_eq!(reparsed, def);
+    }
+
+    /// Rendering is a fixed point: render(parse(render(p))) == render(p).
+    #[test]
+    fn render_is_stable(def in problem_def()) {
+        let once = def.to_source();
+        let twice = parse(&once).unwrap().to_source();
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,172 @@
+//! Source locations and the span-carrying error type of `lcl-lang`.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span from byte offsets.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both operands.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// 1-based `(line, column)` of the span start within `src` (column in
+    /// characters, counting a tab as one).
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        let upto = &src[..self.start.min(src.len())];
+        let line = upto.bytes().filter(|&b| b == b'\n').count() + 1;
+        let col = upto.chars().rev().take_while(|&c| c != '\n').count() + 1;
+        (line, col)
+    }
+}
+
+/// An AST node together with where it came from in the source.
+///
+/// Equality (and hashing, ordering) deliberately ignore the span: two
+/// parses are equal iff their source-independent *content* matches, which
+/// is what the `parse(render(p)) == p` round-trip law needs. Assert on the
+/// `span` field directly when a test cares about positions.
+#[derive(Clone, Copy, Debug)]
+pub struct Spanned<T> {
+    /// The node itself.
+    pub node: T,
+    /// Where it was parsed from ([`Span::default`] for synthesized nodes).
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Wraps a node with its span.
+    pub fn new(node: T, span: Span) -> Spanned<T> {
+        Spanned { node, span }
+    }
+
+    /// Wraps a synthesized node (no source location).
+    pub fn synthetic(node: T) -> Spanned<T> {
+        Spanned {
+            node,
+            span: Span::default(),
+        }
+    }
+}
+
+impl<T: PartialEq> PartialEq for Spanned<T> {
+    fn eq(&self, other: &Spanned<T>) -> bool {
+        self.node == other.node
+    }
+}
+
+impl<T: Eq> Eq for Spanned<T> {}
+
+impl<T: fmt::Display> fmt::Display for Spanned<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.node.fmt(f)
+    }
+}
+
+/// A lexing, parsing, semantic, or compilation failure, pointing at the
+/// offending source range when one exists.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LangError {
+    /// What went wrong.
+    pub message: String,
+    /// The offending source range (`None` for whole-file conditions such
+    /// as an unreadable path).
+    pub span: Option<Span>,
+}
+
+impl LangError {
+    /// An error anchored at a source range.
+    pub fn at(span: Span, message: impl Into<String>) -> LangError {
+        LangError {
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// An error with no source anchor.
+    pub fn whole_file(message: impl Into<String>) -> LangError {
+        LangError {
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// Renders the error against its source: `line:column`, the message,
+    /// the offending line, and a caret marker under the span.
+    pub fn render(&self, src: &str) -> String {
+        let span = match self.span {
+            Some(span) => span,
+            None => return format!("error: {}", self.message),
+        };
+        let (line, col) = span.line_col(src);
+        let text = src.lines().nth(line - 1).unwrap_or("");
+        let width = (span.end - span.start).clamp(1, text.len().saturating_sub(col - 1).max(1));
+        format!(
+            "error at line {line}, column {col}: {}\n  |  {text}\n  |  {}{}",
+            self.message,
+            " ".repeat(col - 1),
+            "^".repeat(width),
+        )
+    }
+}
+
+/// `Display` shows the message plus the byte span; use
+/// [`LangError::render`] when the source text is at hand.
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(span) => write!(
+                f,
+                "{} (at bytes {}..{})",
+                self.message, span.start, span.end
+            ),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_counts_from_one() {
+        let src = "ab\ncde\nf";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(4, 5).line_col(src), (2, 2));
+        assert_eq!(Span::new(7, 8).line_col(src), (3, 1));
+    }
+
+    #[test]
+    fn spanned_equality_ignores_spans() {
+        let a = Spanned::new("x", Span::new(0, 1));
+        let b = Spanned::new("x", Span::new(5, 6));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn render_points_at_the_span() {
+        let src = "problem p {\n  radius zero\n}";
+        let err = LangError::at(Span::new(21, 25), "expected an integer");
+        let rendered = err.render(src);
+        assert!(rendered.contains("line 2, column 10"));
+        assert!(rendered.contains("^^^^"));
+    }
+}

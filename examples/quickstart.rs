@@ -1,7 +1,10 @@
-//! Quickstart: the unified engine API. One `ProblemSpec`, one `Instance`,
-//! one `solve` — the registry picks the best algorithm family for the
-//! `(problem, topology)` pair and the labelling comes back validated,
-//! with its LOCAL-round ledger attached.
+//! Quickstart: problems as data, one engine for all of them.
+//!
+//! An LCL problem is just a set of window constraints — so it can arrive
+//! as *text*. This example opens with an `lcl-lang` definition compiled
+//! to the engine's block normal form (`ProblemSpec::compile`), then shows
+//! the same API on a named library problem, a d-dimensional torus, typed
+//! failure verdicts, and batching.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -11,29 +14,41 @@ use lcl_grids::engine::{Engine, Instance, ProblemSpec, SolveError};
 use lcl_grids::grid::Pos;
 use lcl_grids::local::IdAssignment;
 
+/// Proper vertex 5-colouring, written down instead of baked in. The
+/// compiler lowers it to 2×2 block normal form; the registry routes it
+/// through §7 synthesis, which finds a Θ(log* n) algorithm.
+const FIVE_COLOURING: &str = "
+problem vertex-5-colouring {
+  alphabet { c0, c1, c2, c3, c4 }
+  edges differ
+}";
+
 fn main() -> Result<(), SolveError> {
-    // The problem: proper vertex 4-colouring of the oriented torus
-    // (§7's flagship example, Θ(log* n)).
-    let engine = Engine::builder()
+    // 1. A problem compiled from source text.
+    let spec = ProblemSpec::compile(FIVE_COLOURING).expect("the DSL source is well-formed");
+    let engine = Engine::builder().problem(spec).max_synthesis_k(2).build()?;
+    println!("compiled problem: {}", engine.problem());
+    println!("solver plan (best first): {:?}", engine.solver_names());
+    let inst = Instance::square(24, &IdAssignment::Shuffled { seed: 2026 });
+    let labelling = engine.solve(&inst)?;
+    println!(
+        "24x24 torus coloured by `{}` (validated: {}); {} rounds\n",
+        labelling.report.solver,
+        labelling.report.validated,
+        labelling.report.rounds.total()
+    );
+
+    // 2. The named library: 4-colouring through the hand-built §8
+    // ball-carving construction at scale.
+    let four = Engine::builder()
         .problem(ProblemSpec::vertex_colouring(4))
         .build()?;
-    println!("problem: {}", engine.problem());
-    println!("solver plan (best first): {:?}\n", engine.solver_names());
-
-    // Solve a 64×64 torus. The ball-carving construction of §8 applies at
-    // this size; smaller tori would transparently fall back to synthesis
-    // or the SAT baseline.
     let instance = Instance::square(64, &IdAssignment::Shuffled { seed: 2026 });
-    let labelling = engine.solve(&instance)?;
+    let labelling = four.solve(&instance)?;
     println!(
-        "64x64 torus coloured by `{}` (validated: {}); ledger:\n{}",
-        labelling.report.solver, labelling.report.validated, labelling.report.rounds
+        "64x64 torus coloured by `{}`; ledger:\n{}",
+        labelling.report.solver, labelling.report.rounds
     );
-    if let Some((phase, cost)) = labelling.report.rounds.dominant_phase() {
-        println!("dominant phase: {phase} ({cost} rounds)\n");
-    }
-
-    // Show a corner of the colouring.
     let torus = instance.as_torus2().expect("built as a 2-d torus").torus();
     println!("south-west 12x6 corner of the colouring:");
     for y in (0..6).rev() {
@@ -43,9 +58,8 @@ fn main() -> Result<(), SolveError> {
         println!("  {row}");
     }
 
-    // Topology is a dispatch dimension: the same API solves edge
-    // 2d-colouring on a 3-dimensional torus through the registered
-    // Theorem 21 construction.
+    // 3. Topology is a dispatch dimension: edge 2d-colouring on a
+    // 3-dimensional torus rides the registered Theorem 21 construction.
     let cube_engine = Engine::builder()
         .problem(ProblemSpec::edge_colouring(6))
         .max_synthesis_k(1)
@@ -57,28 +71,33 @@ fn main() -> Result<(), SolveError> {
         cube_labelling.report.solver, cube_labelling.report.validated
     );
 
-    // Failures are typed values, not panics: 2-colouring on an odd torus,
-    // and a (problem, topology) pair with no registered solver.
+    // 4. Failures are typed values, not panics — including for compiled
+    // problems: 2-colouring (three DSL lines) is exactly unsolvable on
+    // odd tori, in two *and* three dimensions (the latter via the
+    // d-dimensional SAT existence route for pairwise problems).
     let two = Engine::builder()
-        .problem(ProblemSpec::vertex_colouring(2))
+        .problem(
+            ProblemSpec::compile(
+                "problem two-colouring { alphabet { black, white } edges differ }",
+            )
+            .expect("well-formed"),
+        )
         .max_synthesis_k(1)
         .build()?;
-    let odd = Instance::square(5, &IdAssignment::Sequential);
-    match two.solve(&odd) {
-        Err(SolveError::Unsolvable { .. }) => {
-            println!("\n2-colouring the 5x5 torus: correctly reported unsolvable")
+    for odd in [
+        Instance::square(5, &IdAssignment::Sequential),
+        Instance::torus_d(3, 3, &IdAssignment::Sequential),
+    ] {
+        match two.solve(&odd) {
+            Err(SolveError::Unsolvable { dims, .. }) => {
+                println!("2-colouring the {odd}: correctly reported unsolvable ({dims:?})")
+            }
+            other => println!("unexpected outcome: {other:?}"),
         }
-        other => println!("\nunexpected outcome: {other:?}"),
-    }
-    match two.solve(&cube) {
-        Err(SolveError::UnsupportedTopology { topology, .. }) => {
-            println!("2-colouring a {topology}: correctly reported unsupported")
-        }
-        other => println!("unexpected outcome: {other:?}"),
     }
 
-    // Batches amortise the expensive shared work (synthesis is memoised
-    // in the engine's registry) — and may mix topologies freely.
+    // 5. Batches amortise the expensive shared work (synthesis is
+    // memoised in the engine's registry) — and may mix topologies.
     let mut batch: Vec<Instance> = (0..4)
         .map(|seed| Instance::square(32, &IdAssignment::Shuffled { seed }))
         .collect();
@@ -87,7 +106,7 @@ fn main() -> Result<(), SolveError> {
         32,
         &IdAssignment::Shuffled { seed: 0 },
     )); // dedups onto entry 0
-    let report = engine.solve_batch(&batch);
+    let report = four.solve_batch(&batch);
     println!("\nbatch of five 32x32 instances (one a TorusD twin): {report}");
     Ok(())
 }

@@ -581,6 +581,16 @@ impl Engine {
                     }
                     Some(p) => match spec::ddim_semantics(p, d) {
                         Some(spec::DdimSemantics::IndependentSet) => Ok(true),
+                        Some(spec::DdimSemantics::Pairwise(pairs)) => {
+                            // The d-dimensional SAT existence encoder:
+                            // exact verdicts for axis-symmetric pairwise
+                            // problems (compiled lcl-lang definitions
+                            // included) beyond the tabulated formulas.
+                            Ok(
+                                existence::solve_pairwise_d(di.torus(), p.alphabet(), &pairs)
+                                    .is_some(),
+                            )
+                        }
                         _ => Err(unsupported(
                             "existence is not tabulated for this problem in d ≥ 3".to_string(),
                         )),

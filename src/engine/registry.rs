@@ -397,7 +397,35 @@ impl Registry {
                 seed: opts.seed,
             }));
         }
+        // Block problems whose predicate factors into one axis-symmetric
+        // pair relation (vertex-colouring-like `lcl-lang` definitions,
+        // independent sets) additionally get the d-dimensional SAT
+        // existence route: exact solves and `Unsolvable` verdicts on
+        // every torus dimension, not just d = 2. The relation table is
+        // derived once here and carried by the solver.
+        if let GridProblem::Block(b) = problem {
+            if let Some(pairs) = b.axis_symmetric_pairs() {
+                plan.push(Box::new(DdimPairwiseSatSolver {
+                    problem: spec.name().to_string(),
+                    alphabet: b.alphabet(),
+                    pairs,
+                }));
+            }
+        }
         plan
+    }
+
+    /// The canonical synthesis-cache key of a (torus block) problem at
+    /// the given synthesis budget — the exact string the in-memory memo
+    /// and the on-disk `LCLSYN02` cache are addressed by. Block problems
+    /// are content-addressed from their canonical sorted block table, so
+    /// two compilations of the same `lcl-lang` source (or a compiled
+    /// problem and an identically-named hand-built table with the same
+    /// blocks) report the same key. `None` for problems without a block
+    /// form (corner coordination, MIS powers).
+    pub fn synthesis_cache_key(&self, spec: &ProblemSpec, max_k: usize) -> Option<String> {
+        spec.grid_problem()
+            .map(|p| cache_key(p, spec.name(), max_k))
     }
 
     /// Memoised synthesis for a spec (the adapter [`Engine::classify`]
@@ -805,6 +833,56 @@ impl Solve for CornerSolver {
             labels,
             report: SolveReport::new(&self.problem, self.name(), rounds),
         })
+    }
+}
+
+/// The d-dimensional arm of the `Θ(n)` baseline, for block problems that
+/// factor into one axis-symmetric pair relation
+/// ([`lcl_core::lcl::BlockLcl::axis_symmetric_pairs`] — derived once at
+/// plan time and carried here): gather the whole torus and hand the
+/// pairwise CNF to the CDCL solver ([`existence::solve_pairwise_d`]).
+/// Exact in every dimension — the route that extends `Unsolvable`
+/// verdicts beyond Theorem 21 to compiled `lcl-lang` problems on d ≥ 3
+/// tori.
+struct DdimPairwiseSatSolver {
+    problem: String,
+    alphabet: u16,
+    pairs: Vec<bool>,
+}
+
+impl Solve for DdimPairwiseSatSolver {
+    fn name(&self) -> &str {
+        "ddim-pairwise-sat"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            topology: TopologySupport::AnyTorusD,
+            min_side: 1,
+            square_only: true,
+            complexity: Complexity::Linear,
+        }
+    }
+
+    fn solve(&self, inst: &Instance) -> Result<Labelling, SolveError> {
+        let torus = torus_d_of(inst, self.name())?;
+        let labels =
+            existence::solve_pairwise_d(&torus, self.alphabet, &self.pairs).ok_or_else(|| {
+                SolveError::Unsolvable {
+                    problem: self.problem.clone(),
+                    dims: inst.dims(),
+                }
+            })?;
+        let mut rounds = Rounds::new();
+        // Gathering the full instance costs the torus diameter.
+        rounds.charge(
+            "gather-whole-grid",
+            (torus.dim() * (torus.side() / 2)) as u64,
+        );
+        rounds.charge("central-sat-solve", 0);
+        let report =
+            SolveReport::new(&self.problem, self.name(), rounds).with_detail("d", torus.dim());
+        Ok(Labelling { labels, report })
     }
 }
 

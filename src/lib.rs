@@ -67,6 +67,33 @@
 //! ([`engine::EngineBuilder::rounds_budget`]) make the engine refuse
 //! solutions that are asymptotically too slow for the caller.
 //!
+//! # Problems as data: `lcl-lang`
+//!
+//! Problems need not be baked into the binary: the [`lang`] crate defines
+//! a small textual format for LCLs (named alphabets, window constraints
+//! at any radius, node-set and edge-set sugar) and a normalizing compiler
+//! to the radius-1 block normal form. [`engine::ProblemSpec::compile`]
+//! turns source text into a first-class spec that rides the same
+//! registry tiers, classification, batching, and synthesis cache as the
+//! built-in library:
+//!
+//! ```
+//! use lcl_grids::engine::{Engine, Instance, ProblemSpec};
+//! use lcl_grids::local::IdAssignment;
+//!
+//! let spec = ProblemSpec::compile(
+//!     "problem vertex-5-colouring { alphabet { a, b, c, d, e } edges differ }",
+//! )
+//! .unwrap();
+//! let engine = Engine::builder()
+//!     .problem(spec)
+//!     .max_synthesis_k(2)
+//!     .build()
+//!     .unwrap();
+//! let inst = Instance::square(16, &IdAssignment::Shuffled { seed: 3 });
+//! assert!(engine.solve(&inst).unwrap().report.validated);
+//! ```
+//!
 //! # The layers underneath
 //!
 //! * [`grid`] — toroidal grid topologies, metrics, powers, Voronoi tilings.
@@ -79,6 +106,8 @@
 //! * [`core`] — the LCL formalism, cycle classification (§4), the speed-up
 //!   normal form (§5), algorithm synthesis (§7, App. A.1), and the
 //!   `L_M` construction (§6).
+//! * [`lang`] — the `lcl-lang` problem-definition language: lexer, parser,
+//!   typed AST, and the normalizing compiler to block normal form.
 //! * [`algorithms`] — concrete distributed algorithms: 4-colouring (§8),
 //!   (2d+1)-edge-colouring (§10), orientations (§11), corner coordination
 //!   (App. A.3).
@@ -97,6 +126,7 @@ pub use engine::{Engine, Instance, Labelling, ProblemSpec, Registry, Solve, Solv
 pub use lcl_algorithms as algorithms;
 pub use lcl_core as core;
 pub use lcl_grid as grid;
+pub use lcl_lang as lang;
 pub use lcl_local as local;
 pub use lcl_lowerbounds as lowerbounds;
 pub use lcl_sat as sat;

@@ -1,0 +1,381 @@
+//! `lcl-lang` end-to-end: golden tests pinning DSL re-expressions of the
+//! named problem library against the hand-built originals (byte-identical
+//! block verdicts + synthesis-cache-key equality), parse-error span
+//! assertions, and the acceptance path — a checked-in radius-2 source
+//! compiling to block normal form and riding `Engine::solve`,
+//! `solve_batch` (with dedup), and `classify`, with a stable cache key.
+
+use lcl_grids::core::lcl::{Block, BlockLcl};
+use lcl_grids::core::problems::{self, XSet};
+use lcl_grids::engine::{Engine, Instance, ProblemSpec, Registry, SolveError};
+use lcl_grids::lang;
+use lcl_grids::local::IdAssignment;
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/no_mono_3x3.lcl");
+
+/// Every block verdict of `compiled` matches `reference` (same alphabet,
+/// same allowed set).
+fn assert_same_verdicts(name: &str, compiled: &BlockLcl, reference: &BlockLcl) {
+    assert_eq!(
+        compiled.alphabet(),
+        reference.alphabet(),
+        "{name}: alphabet"
+    );
+    let a = compiled.alphabet();
+    for sw in 0..a {
+        for se in 0..a {
+            for nw in 0..a {
+                for ne in 0..a {
+                    let b: Block = [sw, se, nw, ne];
+                    assert_eq!(
+                        compiled.block_allowed(b),
+                        reference.block_allowed(b),
+                        "{name}: verdicts diverge on block {b:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The compiled spec and the hand-built block table under the same name
+/// must content-address to the same synthesis-cache key — they are the
+/// same problem as far as the cache (and batch workloads sharing it) are
+/// concerned.
+fn assert_same_cache_key(registry: &Registry, compiled: &ProblemSpec, reference: &ProblemSpec) {
+    let a = registry
+        .synthesis_cache_key(compiled, 3)
+        .expect("block problem");
+    let b = registry
+        .synthesis_cache_key(reference, 3)
+        .expect("block problem");
+    assert_eq!(a, b, "cache keys diverge for {}", compiled.name());
+}
+
+/// Renders `[ nw ne / sw se ]` for a block `[sw, se, nw, ne]`.
+fn block_pattern(names: &[&str], b: Block) -> String {
+    format!(
+        "[ {} {} / {} {} ]",
+        names[b[2] as usize], names[b[3] as usize], names[b[0] as usize], names[b[1] as usize]
+    )
+}
+
+#[test]
+fn golden_vertex_colourings_match_hand_built() {
+    let registry = Registry::new();
+    for k in [3u16, 4, 5] {
+        let names: Vec<String> = (0..k).map(|i| format!("c{i}")).collect();
+        let src = format!(
+            "problem vertex-{k}-colouring {{\n  alphabet {{ {} }}\n  edges differ\n}}",
+            names.join(", ")
+        );
+        let spec = ProblemSpec::compile(&src).unwrap();
+        let reference = ProblemSpec::vertex_colouring(k);
+        assert_eq!(spec.name(), reference.name());
+        assert_same_verdicts(
+            spec.name(),
+            &spec.to_block_lcl().unwrap(),
+            &reference.to_block_lcl().unwrap(),
+        );
+        assert_same_cache_key(
+            &registry,
+            &spec,
+            &ProblemSpec::block(
+                reference.name().to_string(),
+                reference.to_block_lcl().unwrap(),
+            ),
+        );
+    }
+    // Sanity: different problems do not collide.
+    let vc3 =
+        ProblemSpec::compile("problem vertex-3-colouring { alphabet { c0, c1, c2 } edges differ }")
+            .unwrap();
+    let vc4 = ProblemSpec::compile(
+        "problem vertex-4-colouring { alphabet { c0, c1, c2, c3 } edges differ }",
+    )
+    .unwrap();
+    assert_ne!(
+        registry.synthesis_cache_key(&vc3, 3),
+        registry.synthesis_cache_key(&vc4, 3)
+    );
+}
+
+#[test]
+fn golden_independent_set_matches_and_stays_constant_class() {
+    let src = "problem independent-set {\n  alphabet { out, in }\n  \
+               horizontal forbid (in in)\n  vertical forbid (in in)\n}";
+    let spec = ProblemSpec::compile(src).unwrap();
+    let reference = ProblemSpec::independent_set();
+    assert_same_verdicts(
+        "independent-set",
+        &spec.to_block_lcl().unwrap(),
+        &reference.to_block_lcl().unwrap(),
+    );
+    assert_same_cache_key(
+        &Registry::new(),
+        &spec,
+        &ProblemSpec::block("independent-set", reference.to_block_lcl().unwrap()),
+    );
+    // The compiled problem routes through the constant tier, like the
+    // hand-built one.
+    let engine = Engine::builder().problem(spec).build().unwrap();
+    assert_eq!(
+        engine.classify().unwrap(),
+        lcl_grids::core::classify::GridClass::Constant
+    );
+    let labelling = engine
+        .solve(&Instance::square(6, &IdAssignment::Sequential))
+        .unwrap();
+    assert_eq!(labelling.report.solver, "constant");
+}
+
+#[test]
+fn golden_mis_with_pointers_matches_hand_built() {
+    // Re-express the pointer MIS through its horizontal/vertical pair
+    // relations (labels: in, n, e, s, w — the hand-built encoding order).
+    let names = ["in", "n", "e", "s", "w"];
+    let hpair =
+        |a: usize, b: usize| !(a == 0 && b == 0) && (a != 2 || b == 0) && (b != 4 || a == 0);
+    let vpair =
+        |a: usize, b: usize| !(a == 0 && b == 0) && (a != 1 || b == 0) && (b != 3 || a == 0);
+    let mut src = String::from("problem mis-with-pointers {\n  alphabet { in, n, e, s, w }\n");
+    src.push_str("  horizontal allow");
+    for a in 0..5 {
+        for b in 0..5 {
+            if hpair(a, b) {
+                src.push_str(&format!(" ({} {})", names[a], names[b]));
+            }
+        }
+    }
+    src.push_str("\n  vertical allow");
+    for a in 0..5 {
+        for b in 0..5 {
+            if vpair(a, b) {
+                src.push_str(&format!(" ({} {})", names[a], names[b]));
+            }
+        }
+    }
+    src.push_str("\n}\n");
+    let spec = ProblemSpec::compile(&src).unwrap();
+    let reference = ProblemSpec::mis_with_pointers();
+    assert_same_verdicts(
+        "mis-with-pointers",
+        &spec.to_block_lcl().unwrap(),
+        &reference.to_block_lcl().unwrap(),
+    );
+    assert_same_cache_key(
+        &Registry::new(),
+        &spec,
+        &ProblemSpec::block("mis-with-pointers", reference.to_block_lcl().unwrap()),
+    );
+}
+
+#[test]
+fn golden_orientation_matches_hand_built() {
+    // {1,3,4}-orientation via an exhaustive forbid list over full 2x2
+    // windows — the fully general (sugar-free) route. The canonical name
+    // `{1,3,4}-orientation` is not a DSL identifier, so both sides of
+    // the cache-key comparison use a DSL-safe spelling (keys for block
+    // problems are `name` + content hash).
+    let x = XSet::from_degrees(&[1, 3, 4]);
+    let reference = ProblemSpec::orientation(x);
+    let table = reference.to_block_lcl().unwrap();
+    let dsl_name = "orientation-1-3-4";
+    let names: Vec<String> = (0..4).map(|i| format!("o{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut src = format!(
+        "problem {dsl_name} {{\n  alphabet {{ {} }}\n  forbid",
+        names.join(", ")
+    );
+    for sw in 0..4u16 {
+        for se in 0..4u16 {
+            for nw in 0..4u16 {
+                for ne in 0..4u16 {
+                    let b = [sw, se, nw, ne];
+                    if !table.block_allowed(b) {
+                        src.push(' ');
+                        src.push_str(&block_pattern(&name_refs, b));
+                    }
+                }
+            }
+        }
+    }
+    src.push_str("\n}\n");
+    let spec = ProblemSpec::compile(&src).unwrap();
+    assert_same_verdicts(dsl_name, &spec.to_block_lcl().unwrap(), &table);
+    assert_same_cache_key(
+        &Registry::new(),
+        &spec,
+        &ProblemSpec::block(dsl_name, table),
+    );
+}
+
+#[test]
+fn golden_edge_colouring_matches_hand_built() {
+    // Edge 4-colouring over the 16 (east, north) pair labels, as an
+    // explicit allow list of full windows.
+    let k = 4u16;
+    let reference = ProblemSpec::edge_colouring(k);
+    let table = reference.to_block_lcl().unwrap();
+    let names: Vec<String> = (0..k * k)
+        .map(|l| {
+            let (e, n) = problems::edge_label_decode(l, k);
+            format!("e{e}n{n}")
+        })
+        .collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut src = format!(
+        "problem {} {{\n  alphabet {{ {} }}\n  allow",
+        reference.name(),
+        names.join(", ")
+    );
+    for sw in 0..16u16 {
+        for se in 0..16u16 {
+            for nw in 0..16u16 {
+                for ne in 0..16u16 {
+                    let b = [sw, se, nw, ne];
+                    if table.block_allowed(b) {
+                        src.push(' ');
+                        src.push_str(&block_pattern(&name_refs, b));
+                    }
+                }
+            }
+        }
+    }
+    src.push_str("\n}\n");
+    let spec = ProblemSpec::compile(&src).unwrap();
+    assert_same_verdicts(reference.name(), &spec.to_block_lcl().unwrap(), &table);
+    assert_same_cache_key(
+        &Registry::new(),
+        &spec,
+        &ProblemSpec::block(reference.name().to_string(), table),
+    );
+}
+
+#[test]
+fn parse_and_semantic_errors_carry_spans() {
+    // Unknown label: the span points at the offending reference.
+    let src = "problem p {\n  alphabet { a, b }\n  vertical forbid (a c)\n}";
+    let err = ProblemSpec::compile(src).unwrap_err();
+    let span = err.span.expect("semantic errors carry spans");
+    assert_eq!(&src[span.start..span.end], "c");
+    let rendered = err.render(src);
+    assert!(rendered.contains("line 3"), "{rendered}");
+    assert!(rendered.contains("unknown label"), "{rendered}");
+
+    // Syntax error: missing pattern bracket.
+    let src = "problem p { alphabet { a } allow a a }";
+    let err = ProblemSpec::compile(src).unwrap_err();
+    let span = err.span.unwrap();
+    assert_eq!(&src[span.start..span.end], "a");
+
+    // Oversized pattern for the declared radius.
+    let src = "problem p { alphabet { a } radius 1 forbid [ a a a / a a a ] }";
+    let err = ProblemSpec::compile(src).unwrap_err();
+    assert!(err.message.contains("2x3"), "{}", err.message);
+    let span = err.span.unwrap();
+    assert!(src[span.start..span.end].starts_with('['));
+}
+
+/// The acceptance path: the checked-in radius-2 fixture compiles to
+/// block normal form and routes end-to-end through solve, batch dedup,
+/// and classification, with a compilation-stable cache key.
+#[test]
+fn radius_2_fixture_end_to_end() {
+    let spec = ProblemSpec::compile_file(FIXTURE).unwrap();
+    assert_eq!(spec.name(), "no-mono-3x3");
+    // 16 patch labels, 510 of 512 windows allowed.
+    assert_eq!(spec.alphabet(), 16);
+    assert_eq!(spec.to_block_lcl().unwrap().allowed_count(), 510);
+    assert_eq!(spec.constant_solution(), None);
+
+    // Cache keys are stable across independent compilations of the same
+    // source — the canonicalization guarantee.
+    let registry = Registry::new();
+    let again = ProblemSpec::compile_file(FIXTURE).unwrap();
+    let key = registry.synthesis_cache_key(&spec, 3).unwrap();
+    assert_eq!(key, registry.synthesis_cache_key(&again, 3).unwrap());
+
+    // …and survive the diagnostic round trip through to_source().
+    let compiled = lang::compile(&std::fs::read_to_string(FIXTURE).unwrap()).unwrap();
+    let reparsed = ProblemSpec::compile(&compiled.to_source()).unwrap();
+    assert_eq!(key, registry.synthesis_cache_key(&reparsed, 3).unwrap());
+
+    // classify: alphabet 16 is beyond the synthesis tabulator and there
+    // is no constant solution — Global is the honest one-sided verdict.
+    let engine = Engine::builder().problem(spec).build().unwrap();
+    assert_eq!(
+        engine.classify().unwrap(),
+        lcl_grids::core::classify::GridClass::Global
+    );
+
+    // solve: the SAT existence baseline produces a validated labelling.
+    let inst = Instance::square(8, &IdAssignment::Shuffled { seed: 11 });
+    let labelling = engine.solve(&inst).unwrap();
+    assert_eq!(labelling.report.solver, "sat-existence");
+    assert!(labelling.report.validated);
+    // Decode back to source labels and check the original property: no
+    // 3x3 monochromatic window of the patch south-west cells.
+    let torus = inst.as_torus2().unwrap().torus();
+    let decoded: Vec<u16> = labelling
+        .labels
+        .iter()
+        .map(|&l| compiled.decode_label(l).unwrap())
+        .collect();
+    for v in 0..torus.node_count() {
+        let p = torus.pos(v);
+        let mono = (0..3).all(|dx| {
+            (0..3)
+                .all(|dy| decoded[torus.index(torus.offset(p, dx, dy))] == decoded[torus.index(p)])
+        });
+        assert!(!mono, "monochromatic 3x3 window at {p}");
+    }
+
+    // solve_batch: repeated instances dedup onto one solve.
+    let batch = [
+        Instance::square(8, &IdAssignment::Shuffled { seed: 11 }),
+        Instance::square(8, &IdAssignment::Shuffled { seed: 11 }),
+        Instance::square(8, &IdAssignment::Shuffled { seed: 12 }),
+    ];
+    let report = engine.solve_batch(&batch);
+    assert_eq!(report.solved(), 3);
+    assert_eq!(report.dedup_hits(), 1);
+    let results = report.results();
+    assert_eq!(
+        results[0].as_ref().unwrap().labels,
+        results[1].as_ref().unwrap().labels
+    );
+}
+
+/// A compiled pairwise problem gains d ≥ 3 support: exact SAT existence
+/// verdicts (the satellite extension of `lcl_core::existence` to
+/// `TorusD`) and end-to-end solves through the registered
+/// `ddim-pairwise-sat` route.
+#[test]
+fn compiled_pairwise_problem_solves_on_d3_tori() {
+    let spec =
+        ProblemSpec::compile("problem two-colouring { alphabet { black, white } edges differ }")
+            .unwrap();
+    let engine = Engine::builder()
+        .problem(spec)
+        .max_synthesis_k(1)
+        .build()
+        .unwrap();
+    let even = Instance::torus_d(3, 4, &IdAssignment::Sequential);
+    let labelling = engine.solve(&even).unwrap();
+    assert_eq!(labelling.report.solver, "ddim-pairwise-sat");
+    assert!(labelling.report.validated);
+    assert!(problems::is_proper_vertex_colouring_d(
+        &lcl_grids::grid::TorusD::new(3, 4),
+        &labelling.labels,
+        2
+    ));
+    // Odd side: an exact Unsolvable verdict beyond Theorem 21's family.
+    let odd = Instance::torus_d(3, 3, &IdAssignment::Sequential);
+    match engine.solve(&odd) {
+        Err(SolveError::Unsolvable { dims, .. }) => assert_eq!(dims, vec![3, 3, 3]),
+        other => panic!("expected Unsolvable, got {other:?}"),
+    }
+    assert_eq!(engine.solvable(&even), Ok(true));
+    assert_eq!(engine.solvable(&odd), Ok(false));
+}
