@@ -19,18 +19,18 @@ use lcl_core::synthesis::{enumerate_tiles, synthesize, SynthesisConfig, TileShap
 use lcl_grid::{CycleGraph, Torus2};
 use lcl_grids::algorithms::corner;
 use lcl_grids::engine::Instance;
-use lcl_grids::engine::{Engine, ProblemSpec, Registry};
+use lcl_grids::engine::{Engine, PreparedProblem, ProblemSpec, Registry};
 use lcl_local::{GridInstance, IdAssignment};
 use lcl_lowerbounds::{orientation_034, qsum, three_col};
 use lcl_turing::machines;
 use std::sync::Arc;
 
-fn engine(registry: &Arc<Registry>, spec: ProblemSpec, max_k: usize) -> Engine {
+fn prepare(registry: &Arc<Registry>, spec: ProblemSpec, max_k: usize) -> Arc<PreparedProblem> {
     Engine::builder()
-        .problem(spec)
         .max_synthesis_k(max_k)
         .registry(Arc::clone(registry))
         .build()
+        .prepare(&spec)
         .unwrap()
 }
 
@@ -88,14 +88,14 @@ fn bench_e4_e5_existence(c: &mut Criterion) {
     let mut g = c.benchmark_group("e4_e5_existence");
     g.sample_size(10);
     let registry = Arc::new(Registry::new());
-    let three = engine(&registry, ProblemSpec::vertex_colouring(3), 1);
+    let three = prepare(&registry, ProblemSpec::vertex_colouring(3), 1);
     for n in [6usize, 8, 10] {
         let inst = Instance::square(n, &IdAssignment::Sequential);
         g.bench_with_input(BenchmarkId::new("3col_sat_engine", n), &n, |b, _| {
             b.iter(|| three.solve(&inst).unwrap())
         });
     }
-    let edge4 = engine(&registry, ProblemSpec::edge_colouring(4), 1);
+    let edge4 = prepare(&registry, ProblemSpec::edge_colouring(4), 1);
     g.bench_function("edge4_unsat_n5", |b| {
         let odd5 = Instance::from(Torus2::square(5));
         b.iter(|| edge4.solvable(&odd5).unwrap())
@@ -110,9 +110,12 @@ fn bench_e6_orientations(c: &mut Criterion) {
         b.iter(|| {
             // Fresh registry per iteration: measures the un-memoised cost.
             let registry = Arc::new(Registry::new());
+            let engine = Engine::builder()
+                .max_synthesis_k(1)
+                .registry(registry)
+                .build();
             for x in XSet::all() {
-                let e = engine(&registry, ProblemSpec::orientation(x), 1);
-                e.classify().unwrap();
+                engine.classify(&ProblemSpec::orientation(x)).unwrap();
             }
         })
     });
@@ -123,7 +126,7 @@ fn bench_e7_four_colouring(c: &mut Criterion) {
     let mut g = c.benchmark_group("e7_four_colouring");
     g.sample_size(10);
     let registry = Arc::new(Registry::new());
-    let e = engine(&registry, ProblemSpec::vertex_colouring(4), 3);
+    let e = prepare(&registry, ProblemSpec::vertex_colouring(4), 3);
     // n = 16 dispatches to the synthesised tiles (warm the memo first);
     // larger sizes dispatch to §8 ball carving.
     let warm = Instance::square(16, &IdAssignment::Shuffled { seed: 3 });
@@ -141,7 +144,7 @@ fn bench_e8_edge_colouring(c: &mut Criterion) {
     let mut g = c.benchmark_group("e8_edge_colouring");
     g.sample_size(10);
     let registry = Arc::new(Registry::new());
-    let e = engine(&registry, ProblemSpec::edge_colouring(5), 1);
+    let e = prepare(&registry, ProblemSpec::edge_colouring(5), 1);
     for n in [80usize, 120] {
         let inst = Instance::square(n, &IdAssignment::Shuffled { seed: 4 });
         g.bench_with_input(BenchmarkId::new("engine_solve", n), &n, |b, _| {
@@ -156,11 +159,11 @@ fn bench_e9_three_col_invariant(c: &mut Criterion) {
     g.sample_size(10);
     let registry = Arc::new(Registry::new());
     let e = Engine::builder()
-        .problem(ProblemSpec::vertex_colouring(3))
         .max_synthesis_k(1)
         .seed(1)
         .registry(registry)
         .build()
+        .prepare(&ProblemSpec::vertex_colouring(3))
         .unwrap();
     let inst = Instance::square(9, &IdAssignment::Sequential);
     let labels = e.solve(&inst).unwrap().labels;
@@ -176,11 +179,11 @@ fn bench_e10_orientation_invariant(c: &mut Criterion) {
     g.sample_size(10);
     let registry = Arc::new(Registry::new());
     let e = Engine::builder()
-        .problem(ProblemSpec::orientation(XSet::from_degrees(&[0, 3, 4])))
         .max_synthesis_k(1)
         .seed(1)
         .registry(registry)
         .build()
+        .prepare(&ProblemSpec::orientation(XSet::from_degrees(&[0, 3, 4])))
         .unwrap();
     let inst = Instance::square(6, &IdAssignment::Sequential);
     let labels = e.solve(&inst).unwrap().labels;
@@ -224,7 +227,7 @@ fn bench_e13_corner(c: &mut Criterion) {
     let mut g = c.benchmark_group("e13_corner_coordination");
     g.sample_size(10);
     let registry = Arc::new(Registry::new());
-    let e = engine(&registry, ProblemSpec::corner_coordination(), 1);
+    let e = prepare(&registry, ProblemSpec::corner_coordination(), 1);
     for m in [16usize, 64] {
         let grid = corner::BoundaryGrid::new(m);
         let inst = Instance::boundary(m);
@@ -255,18 +258,18 @@ fn bench_e14_qsum(c: &mut Criterion) {
 fn bench_engine_batch(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine_batch");
     g.sample_size(10);
-    let registry = Arc::new(Registry::new());
-    let e = engine(
-        &registry,
-        ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4])),
-        1,
-    );
+    let engine = Engine::builder().max_synthesis_k(1).build();
+    let prepared = engine
+        .prepare(&ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4])))
+        .unwrap();
     let batch: Vec<Instance> = (0..16)
         .map(|seed| Instance::square(24, &IdAssignment::Shuffled { seed }))
         .collect();
     // Warm the synthesis memo so the bench measures the batch path.
-    e.solve(&batch[0]).unwrap();
-    g.bench_function("solve_batch_16x_24", |b| b.iter(|| e.solve_batch(&batch)));
+    prepared.solve(&batch[0]).unwrap();
+    g.bench_function("solve_batch_16x_24", |b| {
+        b.iter(|| engine.solve_batch(&prepared, &batch))
+    });
     g.finish();
 }
 

@@ -8,15 +8,18 @@
 //! 2. **Batch throughput**: sequential (`threads(1)`) vs parallel
 //!    (`threads(0)` = all cores) `solve_batch` on a warm registry, plus
 //!    the in-batch labelling dedup on a batch with repeated instances.
+//! 3. **Mixed-problem streaming**: two prepared problems interleaved
+//!    through `solve_stream`, drained in bounded memory.
 //!
 //! Writes a JSON report (default `BENCH_batch.json`) for the repo's perf
-//! trajectory. `--smoke` shrinks the workload to seconds so CI can keep
-//! the binary honest without benchmarking anything.
+//! trajectory; `cores` and `threads` record the parallel envelope the
+//! numbers were taken in. `--smoke` shrinks the workload to seconds so
+//! CI can keep the binary honest without benchmarking anything.
 //!
 //! Usage: `batch_bench [--smoke] [--out PATH] [--batch N] [--side N]`
 
 use lcl_grids::core::problems::XSet;
-use lcl_grids::engine::{Engine, Instance, ProblemSpec, Registry};
+use lcl_grids::engine::{Engine, Instance, Job, PreparedProblem, ProblemSpec, Registry};
 use lcl_grids::local::IdAssignment;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -68,12 +71,16 @@ fn spec() -> ProblemSpec {
 
 fn engine(registry: &Arc<Registry>, threads: usize, dedup: bool) -> Engine {
     Engine::builder()
-        .problem(spec())
         .max_synthesis_k(1)
         .registry(Arc::clone(registry))
         .threads(threads)
         .dedup(dedup)
         .build()
+}
+
+fn prepared(engine: &Engine) -> Arc<PreparedProblem> {
+    engine
+        .prepare(&spec())
         .expect("orientation has a solver plan")
 }
 
@@ -92,7 +99,7 @@ fn main() {
 
     let cold_registry = Arc::new(Registry::with_cache_dir(&cache_dir));
     let started = Instant::now();
-    let cold_labelling = engine(&cold_registry, 1, true)
+    let cold_labelling = prepared(&engine(&cold_registry, 1, true))
         .solve(&probe)
         .expect("cold solve");
     let cold_ms = ms(started);
@@ -106,7 +113,7 @@ fn main() {
     // A fresh registry simulates a restart: only the disk cache survives.
     let warm_registry = Arc::new(Registry::with_cache_dir(&cache_dir));
     let started = Instant::now();
-    let warm_labelling = engine(&warm_registry, 1, true)
+    let warm_labelling = prepared(&engine(&warm_registry, 1, true))
         .solve(&probe)
         .expect("warm solve");
     let warm_ms = ms(started);
@@ -136,18 +143,24 @@ fn main() {
         })
         .collect();
 
+    let seq_engine = engine(&warm_registry, 1, false);
+    let seq_prepared = prepared(&seq_engine);
     let started = Instant::now();
-    let sequential = engine(&warm_registry, 1, false).solve_batch(&batch);
+    let sequential = seq_engine.solve_batch(&seq_prepared, &batch);
     let seq_ms = ms(started);
     assert_eq!(sequential.solved(), cfg.batch);
 
+    let par_engine = engine(&warm_registry, 0, false);
+    let par_prepared = prepared(&par_engine);
     let started = Instant::now();
-    let parallel = engine(&warm_registry, 0, false).solve_batch(&batch);
+    let parallel = par_engine.solve_batch(&par_prepared, &batch);
     let par_ms = ms(started);
     assert_eq!(parallel.solved(), cfg.batch);
 
+    let dedup_engine = engine(&warm_registry, 0, true);
+    let dedup_prepared = prepared(&dedup_engine);
     let started = Instant::now();
-    let deduped = engine(&warm_registry, 0, true).solve_batch(&batch);
+    let deduped = dedup_engine.solve_batch(&dedup_prepared, &batch);
     let dedup_ms = ms(started);
     assert_eq!(deduped.solved(), cfg.batch);
     assert_eq!(deduped.dedup_hits(), cfg.batch - distinct);
@@ -169,14 +182,12 @@ fn main() {
             _ => Instance::torus_d(3, ddim_side, &IdAssignment::Sequential),     // dup of 0
         })
         .collect();
-    let ddim_engine = Engine::builder()
-        .problem(ProblemSpec::edge_colouring(6))
-        .max_synthesis_k(1)
-        .threads(0)
-        .build()
+    let ddim_engine = Engine::builder().max_synthesis_k(1).threads(0).build();
+    let ddim_prepared = ddim_engine
+        .prepare(&ProblemSpec::edge_colouring(6))
         .expect("edge 2d-colouring has a d-dimensional solver plan");
     let started = Instant::now();
-    let ddim_report = ddim_engine.solve_batch(&ddim_batch);
+    let ddim_report = ddim_engine.solve_batch(&ddim_prepared, &ddim_batch);
     let ddim_ms = ms(started);
     assert!(ddim_report.solved() > 0, "even-side 3-d tori must solve");
     assert!(
@@ -188,14 +199,59 @@ fn main() {
         "duplicate TorusD instances must dedup"
     );
 
+    // ── 4. Mixed-problem stream: two prepared problems interleaved ─────
+    // The {1,3,4}-orientation (synthesised log* normal form, warm) and
+    // the power-MIS substrate share one engine and one stream; the input
+    // is a lazy iterator, drained through the bounded channel in
+    // O(threads) memory. Verifies count and per-problem success.
+    let stream_engine = engine(&warm_registry, 0, true);
+    let stream_jobs = 2 * cfg.batch;
+    let orientation = prepared(&stream_engine);
+    let mis = stream_engine
+        .prepare(&ProblemSpec::mis_power(lcl_grids::grid::Metric::L1, 2))
+        .expect("mis-power has a solver plan");
+    // Warm both plans so the stream measures steady-state throughput.
+    orientation.solve(&probe).expect("orientation warm-up");
+    mis.solve(&probe).expect("mis warm-up");
+    let side = cfg.side;
+    let lazy_jobs = (0..stream_jobs as u64).map(move |i| {
+        let prepared = if i % 2 == 0 { &orientation } else { &mis };
+        Job::new(
+            Arc::clone(prepared),
+            Instance::square(side, &IdAssignment::Shuffled { seed: i / 2 }),
+        )
+    });
+    let started = Instant::now();
+    let stream = stream_engine.solve_stream(lazy_jobs);
+    let stream_threads = stream.threads();
+    let mut stream_solved = 0usize;
+    let mut stream_failed = 0usize;
+    for outcome in stream {
+        match outcome.result {
+            Ok(_) => stream_solved += 1,
+            Err(e) => {
+                stream_failed += 1;
+                eprintln!(
+                    "stream job {} ({}) failed: {e}",
+                    outcome.index, outcome.problem
+                );
+            }
+        }
+    }
+    let stream_ms = ms(started);
+    assert_eq!(stream_solved + stream_failed, stream_jobs);
+    assert_eq!(stream_failed, 0, "both stream problems solve when warm");
+
     let _ = std::fs::remove_dir_all(&cache_dir);
 
+    let threads = parallel.threads();
     let throughput = |total_ms: f64| cfg.batch as f64 / (total_ms / 1e3);
     let json = format!(
         r#"{{
   "bench": "batch_bench",
   "smoke": {smoke},
   "cores": {cores},
+  "threads": {threads},
   "batch_size": {batch},
   "distinct_instances": {distinct},
   "torus_side": {side},
@@ -214,6 +270,14 @@ fn main() {
     "unsolvable": {ddim_failed},
     "dedup_hits": {ddim_dedup}
   }},
+  "mixed_stream": {{
+    "problems": "{{1,3,4}}-orientation + mis-power-l1-2, interleaved",
+    "jobs": {stream_jobs},
+    "threads": {stream_threads},
+    "total_ms": {stream_ms:.3},
+    "solved": {stream_solved},
+    "jobs_per_s": {stream_tp:.1}
+  }},
   "throughput": {{
     "sequential_ms": {seq_ms:.3},
     "parallel_ms": {par_ms:.3},
@@ -230,6 +294,7 @@ fn main() {
 "#,
         smoke = cfg.smoke,
         cores = cores,
+        threads = threads,
         batch = cfg.batch,
         distinct = distinct,
         side = cfg.side,
@@ -244,6 +309,11 @@ fn main() {
         warm_origin = warm_origin,
         warm_sat = warm_stats.synthesised,
         warm_disk = warm_stats.disk_hits,
+        stream_jobs = stream_jobs,
+        stream_threads = stream_threads,
+        stream_ms = stream_ms,
+        stream_solved = stream_solved,
+        stream_tp = stream_jobs as f64 / (stream_ms / 1e3),
         seq_ms = seq_ms,
         par_ms = par_ms,
         par_threads = parallel.threads(),

@@ -17,7 +17,7 @@ use lcl_grids::core::lm::{LmProblem, LmStrategy};
 use lcl_grids::core::problems::XSet;
 use lcl_grids::core::speedup::{choose_k, speedup, RowColeVishkin};
 use lcl_grids::core::synthesis::{enumerate_tiles, synthesize, SynthesisConfig, TileShape};
-use lcl_grids::engine::{decode_forest, Engine, Instance, ProblemSpec, Registry};
+use lcl_grids::engine::{decode_forest, Engine, Instance, PreparedProblem, ProblemSpec, Registry};
 use lcl_grids::grid::{CycleGraph, Torus2};
 use lcl_grids::local::{log_star, GridInstance, IdAssignment};
 use lcl_grids::lowerbounds::{orientation_034, qsum, three_col};
@@ -29,12 +29,15 @@ fn header(id: &str, what: &str) {
     println!("\n=== {id}: {what} ===");
 }
 
-fn engine(registry: &Arc<Registry>, spec: ProblemSpec, max_k: usize) -> Engine {
+/// Prepares a problem on a throwaway engine bound to the shared registry:
+/// the handle carries the resolved plan and outlives the engine, and all
+/// synthesis stays memoised registry-wide.
+fn prepare(registry: &Arc<Registry>, spec: ProblemSpec, max_k: usize) -> Arc<PreparedProblem> {
     Engine::builder()
-        .problem(spec)
         .max_synthesis_k(max_k)
         .registry(Arc::clone(registry))
         .build()
+        .prepare(&spec)
         .expect("experiment problems all have solver plans")
 }
 
@@ -101,12 +104,12 @@ fn main() {
         (ProblemSpec::edge_colouring(4), 1),
         (ProblemSpec::edge_colouring(5), 1),
     ] {
-        let e = engine(&registry, spec, max_k);
+        let e = prepare(&registry, spec, max_k);
         let even = e.solvable(&Instance::from(Torus2::square(6))).unwrap();
         let odd = e.solvable(&Instance::from(Torus2::square(5))).unwrap();
         println!(
             "  {:<20} solvable n=6: {even:<5}  n=5: {odd}",
-            e.problem().name()
+            e.spec().name()
         );
     }
 
@@ -116,7 +119,7 @@ fn main() {
     );
     let mut agree = 0;
     for x in XSet::all() {
-        let e = engine(&registry, ProblemSpec::orientation(x), 1);
+        let e = prepare(&registry, ProblemSpec::orientation(x), 1);
         let predicted = predicted_class(x);
         let class = e.classify().unwrap();
         let solvable_odd_5 = e.solvable(&Instance::from(Torus2::square(5))).unwrap();
@@ -137,7 +140,7 @@ fn main() {
         "E7",
         "4-colouring through the engine (registry picks §8 or §7)",
     );
-    let e4 = engine(&registry, ProblemSpec::vertex_colouring(4), 3);
+    let e4 = prepare(&registry, ProblemSpec::vertex_colouring(4), 3);
     for n in [16usize, 32, 64, 128] {
         let inst = Instance::square(n, &IdAssignment::Shuffled { seed: 3 });
         let lab = e4.solve(&inst).unwrap();
@@ -151,7 +154,7 @@ fn main() {
     }
 
     header("E8", "5-edge-colouring through the engine (§10)");
-    let e5 = engine(&registry, ProblemSpec::edge_colouring(5), 1);
+    let e5 = prepare(&registry, ProblemSpec::edge_colouring(5), 1);
     for n in [80usize, 120] {
         let inst = Instance::square(n, &IdAssignment::Shuffled { seed: 4 });
         let lab = e5.solve(&inst).unwrap();
@@ -169,11 +172,11 @@ fn main() {
     );
     for (n, seed) in [(7usize, 1u64), (8, 2), (9, 3)] {
         let e = Engine::builder()
-            .problem(ProblemSpec::vertex_colouring(3))
             .max_synthesis_k(1)
             .seed(seed)
             .registry(Arc::clone(&registry))
             .build()
+            .prepare(&ProblemSpec::vertex_colouring(3))
             .unwrap();
         let inst = Instance::square(n, &IdAssignment::Sequential);
         let lab = e.solve(&inst).unwrap();
@@ -188,11 +191,11 @@ fn main() {
     let x034 = XSet::from_degrees(&[0, 3, 4]);
     for (n, seed) in [(5usize, 0u64), (6, 1), (7, 2)] {
         let e = Engine::builder()
-            .problem(ProblemSpec::orientation(x034))
             .max_synthesis_k(1)
             .seed(seed)
             .registry(Arc::clone(&registry))
             .build()
+            .prepare(&ProblemSpec::orientation(x034))
             .unwrap();
         let inst = Instance::square(n, &IdAssignment::Sequential);
         match e.solve(&inst) {
@@ -245,7 +248,7 @@ fn main() {
         "E13",
         "corner coordination (Appendix A.3, Θ(√n)), via the registered boundary-paths solver",
     );
-    let corner_engine = engine(&registry, ProblemSpec::corner_coordination(), 1);
+    let corner_engine = prepare(&registry, ProblemSpec::corner_coordination(), 1);
     for m in [9usize, 16, 25, 36] {
         let grid = corner::BoundaryGrid::new(m);
         let lab = corner_engine.solve(&Instance::boundary(m)).unwrap();

@@ -37,7 +37,7 @@
 //!
 //! ## Compilation
 //!
-//! [`compile`] parses ([`parse`]), checks (span-carrying [`LangError`]s,
+//! [`compile()`](compile()) parses ([`parse`]), checks (span-carrying [`LangError`]s,
 //! rendered against the source by [`LangError::render`]), tabulates the
 //! allowed windows, and lowers radius `r > 1` to radius 1 by the
 //! alphabet-product construction (compiled labels are `r × r` patches of

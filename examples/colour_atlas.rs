@@ -7,9 +7,8 @@
 //! ```
 
 use lcl_grids::core::classify::GridClass;
-use lcl_grids::engine::{Engine, Instance, ProblemSpec, Registry};
+use lcl_grids::engine::{Engine, Instance, ProblemSpec};
 use lcl_grids::grid::Torus2;
-use std::sync::Arc;
 
 fn class_name(c: &GridClass) -> &'static str {
     match c {
@@ -19,42 +18,51 @@ fn class_name(c: &GridClass) -> &'static str {
     }
 }
 
-fn row(registry: &Arc<Registry>, spec: ProblemSpec, max_k: usize) {
-    let engine = Engine::builder()
-        .problem(spec)
-        .max_synthesis_k(max_k)
-        .registry(Arc::clone(registry))
-        .build()
+fn row(engine: &Engine, spec: ProblemSpec) {
+    let prepared = engine
+        .prepare(&spec)
         .expect("colouring problems always have a plan");
-    let class = engine.classify().expect("torus problem");
-    let odd = engine
+    let class = prepared.classify().expect("torus problem");
+    let odd = prepared
         .solvable(&Instance::from(Torus2::square(5)))
         .expect("torus problem");
     println!(
         "  {:<22} {:<45} solvable at n=5: {odd}",
-        engine.problem().name(),
+        prepared.spec().name(),
         class_name(&class),
     );
 }
 
 fn main() {
-    // One registry for the whole atlas: every synthesis outcome is
-    // memoised and shared across the engines built below.
-    let registry = Arc::new(Registry::new());
+    // Two engines sharing one registry: the deep one gives the k = 3
+    // synthesis budget to the rows that need a certificate at that
+    // spacing (vertex k ≥ 4), the quick one keeps the global rows cheap.
+    // Plans and synthesis outcomes memoise per engine and registry.
+    let registry = std::sync::Arc::new(lcl_grids::engine::Registry::new());
+    let quick = Engine::builder()
+        .max_synthesis_k(2)
+        .registry(std::sync::Arc::clone(&registry))
+        .build();
+    let deep = Engine::builder()
+        .max_synthesis_k(3)
+        .registry(std::sync::Arc::clone(&registry))
+        .build();
 
     println!("Vertex colouring (paper: global for k ≤ 3, log* for k ≥ 4):");
     for k in 2..=6u16 {
-        let budget = if k >= 4 { 3 } else { 2 };
-        row(&registry, ProblemSpec::vertex_colouring(k), budget);
+        let engine = if k >= 4 { &deep } else { &quick };
+        row(engine, ProblemSpec::vertex_colouring(k));
     }
 
     println!("\nEdge colouring (paper: global for k ≤ 4, log* for k ≥ 5):");
     for k in 3..=6u16 {
-        row(&registry, ProblemSpec::edge_colouring(k), 2);
+        row(&quick, ProblemSpec::edge_colouring(k));
     }
 
     println!(
-        "\n{} synthesis outcomes memoised in the shared registry",
-        registry.cached_syntheses()
+        "\n{} synthesis outcomes memoised in the shared registry; {} + {} plans prepared",
+        registry.cached_syntheses(),
+        quick.prepared_plans(),
+        deep.prepared_plans()
     );
 }

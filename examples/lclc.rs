@@ -61,25 +61,25 @@ fn main() -> ExitCode {
     println!();
 
     let spec = ProblemSpec::compiled(&compiled);
-    let engine = match Engine::builder().problem(spec).max_synthesis_k(2).build() {
-        Ok(engine) => engine,
+    let engine = Engine::builder().max_synthesis_k(2).build();
+    let prepared = match engine.prepare(&spec) {
+        Ok(prepared) => prepared,
         Err(e) => {
-            eprintln!("error: cannot build an engine: {e}");
+            eprintln!("error: cannot prepare the problem: {e}");
             return ExitCode::FAILURE;
         }
     };
-    // The canonical compiled form is what the synthesis cache is keyed
-    // by: recompiling the same source always lands on this key.
-    if let Some(key) = engine.registry().synthesis_cache_key(engine.problem(), 2) {
-        println!("synthesis-cache key: {key}");
-    }
-    match engine.classify() {
+    // The canonical compiled form is what the plan memo and synthesis
+    // cache are keyed by: recompiling the same source always lands on
+    // this key (and thus on the same prepared plan).
+    println!("plan cache key: {}", prepared.cache_key());
+    match prepared.classify() {
         Ok(class) => println!("classification: {class:?}"),
         Err(e) => println!("classification: unavailable ({e})"),
     }
 
     let inst = Instance::square(side, &IdAssignment::Shuffled { seed: 2026 });
-    match engine.solve(&inst) {
+    match prepared.solve(&inst) {
         Ok(labelling) => {
             println!(
                 "solved the {side}x{side} torus with `{}` in {} rounds (validated: {})",

@@ -7,12 +7,14 @@
 
 use lcl_grids::algorithms::orientations::{predicted_class, OrientationClass};
 use lcl_grids::core::problems::XSet;
-use lcl_grids::engine::{Engine, Instance, ProblemSpec, Registry};
+use lcl_grids::engine::{Engine, Instance, ProblemSpec};
 use lcl_grids::grid::Torus2;
-use std::sync::Arc;
 
 fn main() {
-    let registry = Arc::new(Registry::new());
+    // One engine for the whole census: all 32 plans prepare on it.
+    let engine = Engine::builder()
+        .max_synthesis_k(1) // Lemma 23: k = 1 suffices for the log* rows
+        .build();
     println!("X-orientation classification (Theorem 22):");
     println!(
         "{:<12} {:>10} {:>14} {:>14}",
@@ -20,15 +22,12 @@ fn main() {
     );
     let mut agreements = 0;
     for x in XSet::all() {
-        let engine = Engine::builder()
-            .problem(ProblemSpec::orientation(x))
-            .max_synthesis_k(1) // Lemma 23: k = 1 suffices for the log* rows
-            .registry(registry.clone())
-            .build()
+        let prepared = engine
+            .prepare(&ProblemSpec::orientation(x))
             .expect("orientations always have a plan");
         let predicted = predicted_class(x);
-        let class = engine.classify().expect("torus problem");
-        let solvable_odd = engine
+        let class = prepared.classify().expect("torus problem");
+        let solvable_odd = prepared
             .solvable(&Instance::from(Torus2::square(5)))
             .expect("torus problem");
         agreements += predicted.agrees_with(&class) as usize;

@@ -1,16 +1,18 @@
-//! Quickstart: problems as data, one engine for all of them.
+//! Quickstart: problems as data, one shared engine for all of them.
 //!
 //! An LCL problem is just a set of window constraints — so it can arrive
-//! as *text*. This example opens with an `lcl-lang` definition compiled
-//! to the engine's block normal form (`ProblemSpec::compile`), then shows
-//! the same API on a named library problem, a d-dimensional torus, typed
-//! failure verdicts, and batching.
+//! as *text*, and a single problem-agnostic [`Engine`] can serve many
+//! problems at once. This example builds one engine, prepares several
+//! problems on it (an `lcl-lang` definition compiled to block normal
+//! form, named library problems, a d-dimensional palette), solves through
+//! the prepared handles, and finishes with a mixed-problem batch and a
+//! stream.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use lcl_grids::engine::{Engine, Instance, ProblemSpec, SolveError};
+use lcl_grids::engine::{Engine, Instance, Job, ProblemSpec, SolveError};
 use lcl_grids::grid::Pos;
 use lcl_grids::local::IdAssignment;
 
@@ -24,13 +26,17 @@ problem vertex-5-colouring {
 }";
 
 fn main() -> Result<(), SolveError> {
-    // 1. A problem compiled from source text.
+    // One engine for the whole process: it owns the registry, caches,
+    // and worker pool — problems are prepared on it per call.
+    let engine = Engine::builder().max_synthesis_k(2).threads(2).build();
+
+    // 1. A problem compiled from source text, prepared once.
     let spec = ProblemSpec::compile(FIVE_COLOURING).expect("the DSL source is well-formed");
-    let engine = Engine::builder().problem(spec).max_synthesis_k(2).build()?;
-    println!("compiled problem: {}", engine.problem());
-    println!("solver plan (best first): {:?}", engine.solver_names());
+    let five = engine.prepare(&spec)?;
+    println!("prepared problem: {}", five.spec());
+    println!("solver plan (best first): {:?}", five.solver_names());
     let inst = Instance::square(24, &IdAssignment::Shuffled { seed: 2026 });
-    let labelling = engine.solve(&inst)?;
+    let labelling = five.solve(&inst)?;
     println!(
         "24x24 torus coloured by `{}` (validated: {}); {} rounds\n",
         labelling.report.solver,
@@ -38,11 +44,9 @@ fn main() -> Result<(), SolveError> {
         labelling.report.rounds.total()
     );
 
-    // 2. The named library: 4-colouring through the hand-built §8
-    // ball-carving construction at scale.
-    let four = Engine::builder()
-        .problem(ProblemSpec::vertex_colouring(4))
-        .build()?;
+    // 2. The named library on the same engine: 4-colouring through the
+    // hand-built §8 ball-carving construction at scale.
+    let four = engine.prepare(&ProblemSpec::vertex_colouring(4))?;
     let instance = Instance::square(64, &IdAssignment::Shuffled { seed: 2026 });
     let labelling = four.solve(&instance)?;
     println!(
@@ -60,12 +64,9 @@ fn main() -> Result<(), SolveError> {
 
     // 3. Topology is a dispatch dimension: edge 2d-colouring on a
     // 3-dimensional torus rides the registered Theorem 21 construction.
-    let cube_engine = Engine::builder()
-        .problem(ProblemSpec::edge_colouring(6))
-        .max_synthesis_k(1)
-        .build()?;
+    // `engine.solve` is the prepare-and-memoise convenience.
     let cube = Instance::torus_d(3, 6, &IdAssignment::Shuffled { seed: 2026 });
-    let cube_labelling = cube_engine.solve(&cube)?;
+    let cube_labelling = engine.solve(&ProblemSpec::edge_colouring(6), &cube)?;
     println!(
         "\n6x6x6 torus edge-6-coloured by `{}` (validated: {})",
         cube_labelling.report.solver, cube_labelling.report.validated
@@ -75,15 +76,10 @@ fn main() -> Result<(), SolveError> {
     // problems: 2-colouring (three DSL lines) is exactly unsolvable on
     // odd tori, in two *and* three dimensions (the latter via the
     // d-dimensional SAT existence route for pairwise problems).
-    let two = Engine::builder()
-        .problem(
-            ProblemSpec::compile(
-                "problem two-colouring { alphabet { black, white } edges differ }",
-            )
+    let two = engine.prepare(
+        &ProblemSpec::compile("problem two-colouring { alphabet { black, white } edges differ }")
             .expect("well-formed"),
-        )
-        .max_synthesis_k(1)
-        .build()?;
+    )?;
     for odd in [
         Instance::square(5, &IdAssignment::Sequential),
         Instance::torus_d(3, 3, &IdAssignment::Sequential),
@@ -96,8 +92,10 @@ fn main() -> Result<(), SolveError> {
         }
     }
 
-    // 5. Batches amortise the expensive shared work (synthesis is
-    // memoised in the engine's registry) — and may mix topologies.
+    // 5. Batches amortise the shared work (synthesis and prepared plans
+    // are memoised) — and may mix topologies *and problems*; dedup is
+    // namespaced per problem, so identical instances under different
+    // problems never share a labelling.
     let mut batch: Vec<Instance> = (0..4)
         .map(|seed| Instance::square(32, &IdAssignment::Shuffled { seed }))
         .collect();
@@ -106,7 +104,22 @@ fn main() -> Result<(), SolveError> {
         32,
         &IdAssignment::Shuffled { seed: 0 },
     )); // dedups onto entry 0
-    let report = four.solve_batch(&batch);
+    let report = engine.solve_batch(&four, &batch);
     println!("\nbatch of five 32x32 instances (one a TorusD twin): {report}");
+
+    // 6. Streaming: an *iterator* of mixed-problem jobs drained through a
+    // bounded channel — constant memory however long the stream.
+    let stream_jobs = (0..64u64).map(move |seed| {
+        let prepared = if seed % 2 == 0 { &four } else { &five };
+        Job::new(
+            prepared.clone(),
+            Instance::square(24, &IdAssignment::Shuffled { seed }),
+        )
+    });
+    let solved = engine
+        .solve_stream(stream_jobs)
+        .filter(|outcome| outcome.result.is_ok())
+        .count();
+    println!("streamed 64 interleaved 4-/5-colouring jobs: {solved} solved");
     Ok(())
 }

@@ -1,12 +1,20 @@
-//! The batched solve path.
+//! The batched solve path: slices of jobs, mixed problems welcome.
 //!
-//! `solve_batch` is the entry point production callers should grow into.
-//! It keeps per-instance failures independent (one unsolvable torus does
-//! not poison the batch — even a panicking solver comes back as a typed
-//! [`SolveError::Panicked`]), shares the engine's memoised synthesis
-//! across items, dedups identical instances so each distinct labelling is
-//! computed once, and dispatches over the worker pool configured with
+//! [`Engine::solve_batch`] (one prepared problem, a slice of instances)
+//! and [`Engine::solve_jobs`] (a slice of mixed-problem [`Job`]s) are the
+//! slice entry points: per-instance failures stay independent (one
+//! unsolvable torus does not poison the batch — even a panicking solver
+//! comes back as a typed [`SolveError::Panicked`]), interchangeable jobs
+//! dedup so each distinct labelling is computed once, and distinct jobs
+//! dispatch over the worker pool configured with
 //! [`EngineBuilder::threads`](crate::engine::EngineBuilder::threads).
+//! For workloads too large to materialise, use the streaming surface
+//! ([`Engine::solve_stream`](crate::engine::Engine::solve_stream)).
+//!
+//! Dedup shares only between jobs of the *same prepared handle* (with
+//! the canonical cache key namespacing the hash buckets): two problems —
+//! or two differently-configured engines' handles — solving instances
+//! with identical dimensions and identifiers never share a labelling.
 //!
 //! Determinism contract: for a fixed engine configuration, the results —
 //! labels, reports, and errors alike — are identical whatever the thread
@@ -14,54 +22,97 @@
 //! `tests/batch.rs` pin this down byte-for-byte.
 
 use super::registry::fnv1a64;
-use super::{pool, Engine, Instance, Labelling, SolveError};
+use super::{pool, Engine, Instance, Labelling, PreparedProblem, SolveError};
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
-/// The outcome of [`Engine::solve_batch`]: one result per instance, in
-/// input order.
+/// One unit of batch or stream work: a prepared problem plus an instance
+/// of it. Mixed-problem batches are just slices (or iterators) of jobs
+/// whose `prepared` handles differ — the handles are `Arc`s, so jobs are
+/// cheap to mint from a prepared plan.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// The resolved plan to solve with.
+    pub prepared: Arc<PreparedProblem>,
+    /// The instance to solve.
+    pub instance: Instance,
+}
+
+impl Job {
+    /// Pairs a prepared problem with an instance.
+    pub fn new(prepared: Arc<PreparedProblem>, instance: Instance) -> Job {
+        Job { prepared, instance }
+    }
+}
+
+/// Per-problem accounting of a batch: one row per distinct prepared
+/// problem (by cache key), in order of first appearance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProblemBatchStats {
+    /// The problem's display name.
+    pub problem: String,
+    /// The prepared problem's canonical cache key (the dedup namespace).
+    pub cache_key: String,
+    /// Jobs in the batch for this problem.
+    pub jobs: usize,
+    /// Jobs that solved.
+    pub solved: usize,
+    /// Jobs that failed.
+    pub failed: usize,
+    /// Jobs answered by the in-batch labelling cache instead of a fresh
+    /// solve.
+    pub dedup_hits: usize,
+    /// Fresh solves answered by the §7 synthesised normal form (the
+    /// solver whose tables ride the registry's synthesis cache).
+    pub synth_solves: usize,
+}
+
+/// The outcome of a batch solve: one result per job, in input order, plus
+/// aggregate and per-problem counters.
 #[derive(Debug)]
 pub struct BatchReport {
     results: Vec<Result<Labelling, SolveError>>,
     dedup_hits: usize,
     threads: usize,
+    per_problem: Vec<ProblemBatchStats>,
 }
 
 impl BatchReport {
-    /// Per-instance results, in input order.
+    /// Per-job results, in input order.
     pub fn results(&self) -> &[Result<Labelling, SolveError>] {
         &self.results
     }
 
-    /// Consumes the report into its per-instance results.
+    /// Consumes the report into its per-job results.
     pub fn into_results(self) -> Vec<Result<Labelling, SolveError>> {
         self.results
     }
 
-    /// Number of solved instances.
+    /// Number of solved jobs.
     pub fn solved(&self) -> usize {
         self.results.iter().filter(|r| r.is_ok()).count()
     }
 
-    /// Number of failed instances.
+    /// Number of failed jobs.
     pub fn failed(&self) -> usize {
         self.results.len() - self.solved()
     }
 
-    /// Instances answered by the in-batch labelling cache instead of a
-    /// fresh solve (duplicates of an earlier instance in the same batch).
+    /// Jobs answered by the in-batch labelling cache instead of a fresh
+    /// solve (duplicates of an earlier job in the same batch).
     pub fn dedup_hits(&self) -> usize {
         self.dedup_hits
     }
 
     /// Worker threads the batch actually ran with (never more than the
-    /// number of instances dispatched after dedup).
+    /// number of jobs dispatched after dedup).
     pub fn threads(&self) -> usize {
         self.threads
     }
 
-    /// Total LOCAL rounds across all solved instances.
+    /// Total LOCAL rounds across all solved jobs.
     pub fn total_rounds(&self) -> u64 {
         self.results
             .iter()
@@ -69,47 +120,84 @@ impl BatchReport {
             .map(|l| l.report.rounds.total())
             .sum()
     }
+
+    /// Per-problem counters, one row per distinct prepared problem in the
+    /// batch, in order of first appearance.
+    pub fn per_problem(&self) -> &[ProblemBatchStats] {
+        &self.per_problem
+    }
+
+    /// The counters of one problem, looked up by display name or by
+    /// canonical cache key. Display names may collide (two different
+    /// block tables can share a free-form name); the cache key is unique
+    /// per row, so ambiguous names are disambiguated by passing
+    /// [`PreparedProblem::cache_key`](crate::engine::PreparedProblem::cache_key)
+    /// instead.
+    pub fn problem_stats(&self, problem: &str) -> Option<&ProblemBatchStats> {
+        self.per_problem
+            .iter()
+            .find(|s| s.problem == problem || s.cache_key == problem)
+    }
 }
 
 impl fmt::Display for BatchReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "batch: {} solved, {} failed, {} deduped, {} total rounds",
+            "batch: {} solved, {} failed, {} deduped, {} problems, {} total rounds",
             self.solved(),
             self.failed(),
             self.dedup_hits(),
+            self.per_problem.len(),
             self.total_rounds()
         )
     }
 }
 
-/// Groups a batch into equivalence classes of interchangeable instances
-/// (same canonical topology, same dimensions, same identifier assignment
-/// — solving is deterministic, so identical inputs have identical
-/// outputs). The canonical form folds `TorusD { d: 2 }` onto `Torus2`:
-/// the two spellings solve through the same lowered plan, so they may
-/// share one group.
+/// A borrowed batch item: the shape both slice entry points lower to.
+type JobRef<'a> = (&'a PreparedProblem, &'a Instance);
+
+/// Groups a batch into equivalence classes of interchangeable jobs: same
+/// prepared problem, same canonical topology, same dimensions, same
+/// identifier assignment — solving is deterministic, so identical inputs
+/// have identical outputs. The canonical instance form folds
+/// `TorusD { d: 2 }` onto `Torus2`: the two spellings solve through the
+/// same lowered plan, so they may share one group.
+///
+/// "Same prepared problem" means the same *handle* (pointer identity),
+/// which both namespaces groups per problem — two problems over
+/// instances with identical dims and ids can never collide — and keeps
+/// jobs from differently-configured engines apart: two handles may share
+/// a cache key yet disagree on seed, profile, budget, or validation
+/// policy, so only handle identity guarantees interchangeable outputs.
+/// Nothing is lost within one engine, where `prepare` memoises key-equal
+/// specs onto one `Arc` (the hash still folds the cache key in, so the
+/// common same-problem batch buckets exactly as before).
 ///
 /// Returns the representative index of each group (first occurrence, in
-/// input order) and, per instance, the index of its group. Grouping is
-/// keyed by an FNV hash of the canonical topology tag, dimensions, and
-/// identifiers, but always verified against the actual instances, so a
+/// input order) and, per job, the index of its group. Grouping is keyed
+/// by an FNV hash of the cache key, canonical topology tag, dimensions,
+/// and identifiers, but always verified against the actual jobs, so a
 /// hash collision costs a comparison, never a wrong share.
-fn dedup_groups(instances: &[Instance]) -> (Vec<usize>, Vec<usize>) {
+fn dedup_groups(jobs: &[JobRef<'_>]) -> (Vec<usize>, Vec<usize>) {
     let mut reps: Vec<usize> = Vec::new();
-    let mut group_of: Vec<usize> = Vec::with_capacity(instances.len());
+    let mut group_of: Vec<usize> = Vec::with_capacity(jobs.len());
     let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
-    for (i, inst) in instances.iter().enumerate() {
+    for (i, (prepared, inst)) in jobs.iter().enumerate() {
         let (tag, dims) = inst.canonical_shape();
-        let key_bytes = std::iter::once(tag)
+        let key_bytes = prepared
+            .cache_key()
+            .bytes()
+            // 0xff cannot occur in the UTF-8 cache key: an unambiguous
+            // separator between the problem and instance halves.
+            .chain([0xff, tag])
             .chain(dims.iter().flat_map(|d| (*d as u64).to_le_bytes()))
             .chain(inst.ids().iter().flat_map(|id| id.to_le_bytes()));
         let bucket = buckets.entry(fnv1a64(key_bytes)).or_default();
-        let group = bucket
-            .iter()
-            .copied()
-            .find(|&g| instances[reps[g]].same_input(inst));
+        let group = bucket.iter().copied().find(|&g| {
+            let (rep_prepared, rep_inst) = jobs[reps[g]];
+            std::ptr::eq(rep_prepared, *prepared) && rep_inst.same_input(inst)
+        });
         match group {
             Some(g) => group_of.push(g),
             None => {
@@ -124,7 +212,7 @@ fn dedup_groups(instances: &[Instance]) -> (Vec<usize>, Vec<usize>) {
 }
 
 /// Extracts a human-readable message from a panic payload.
-fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -134,9 +222,66 @@ fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Solves one job, mapping a panicking solver to a typed error.
+pub(crate) fn solve_caught(
+    prepared: &PreparedProblem,
+    inst: &Instance,
+) -> Result<Labelling, SolveError> {
+    catch_unwind(AssertUnwindSafe(|| prepared.solve(inst))).unwrap_or_else(|payload| {
+        Err(SolveError::Panicked {
+            detail: panic_detail(payload),
+        })
+    })
+}
+
+/// Aggregates the per-problem rows of a finished batch. Rows are keyed
+/// by prepared-handle identity — the same criterion dedup shares by — so
+/// key-equal handles from differently-configured engines report as
+/// separate rows, matching the dedup accounting exactly.
+fn per_problem_stats(
+    jobs: &[JobRef<'_>],
+    results: &[Result<Labelling, SolveError>],
+    fresh: &[bool],
+) -> Vec<ProblemBatchStats> {
+    let mut rows: Vec<ProblemBatchStats> = Vec::new();
+    let mut row_of: HashMap<*const PreparedProblem, usize> = HashMap::new();
+    for (i, (prepared, _)) in jobs.iter().enumerate() {
+        let row = *row_of
+            .entry(std::ptr::from_ref(*prepared))
+            .or_insert_with(|| {
+                rows.push(ProblemBatchStats {
+                    problem: prepared.spec().name().to_string(),
+                    cache_key: prepared.cache_key().to_string(),
+                    jobs: 0,
+                    solved: 0,
+                    failed: 0,
+                    dedup_hits: 0,
+                    synth_solves: 0,
+                });
+                rows.len() - 1
+            });
+        let stats = &mut rows[row];
+        stats.jobs += 1;
+        match &results[i] {
+            Ok(labelling) => {
+                stats.solved += 1;
+                if fresh[i] && labelling.report.solver == super::registry::SYNTHESIS_SOLVER_NAME {
+                    stats.synth_solves += 1;
+                }
+            }
+            Err(_) => stats.failed += 1,
+        }
+        if !fresh[i] {
+            stats.dedup_hits += 1;
+        }
+    }
+    rows
+}
+
 impl Engine {
-    /// Solves a batch of instances — mixed topologies welcome: 2-d tori,
-    /// d-dimensional tori, and boundary grids can share one batch.
+    /// Solves a slice of instances of one prepared problem — mixed
+    /// topologies welcome: 2-d tori, d-dimensional tori, and boundary
+    /// grids can share one batch.
     ///
     /// Interchangeable instances are solved once per batch (see
     /// [`EngineBuilder::dedup`](crate::engine::EngineBuilder::dedup)), and
@@ -144,32 +289,47 @@ impl Engine {
     /// ([`EngineBuilder::threads`](crate::engine::EngineBuilder::threads)).
     /// Results come back in input order; per-instance failures — including
     /// solver panics — stay independent.
-    pub fn solve_batch(&self, instances: &[Instance]) -> BatchReport {
-        let solve_one = |inst: &Instance| -> Result<Labelling, SolveError> {
-            catch_unwind(AssertUnwindSafe(|| self.solve(inst))).unwrap_or_else(|payload| {
-                Err(SolveError::Panicked {
-                    detail: panic_detail(payload),
-                })
-            })
-        };
-        if !self.dedup {
-            let threads = self.batch_threads(instances.len());
-            let results = pool::run_indexed(threads, instances.len(), |i| solve_one(&instances[i]));
+    pub fn solve_batch(&self, prepared: &PreparedProblem, instances: &[Instance]) -> BatchReport {
+        let jobs: Vec<JobRef<'_>> = instances.iter().map(|inst| (prepared, inst)).collect();
+        self.run_batch(&jobs)
+    }
+
+    /// Solves a slice of mixed-problem [`Job`]s with the same contract as
+    /// [`Engine::solve_batch`]: input order preserved, per-job failures
+    /// independent, dedup namespaced by each job's prepared problem.
+    pub fn solve_jobs(&self, jobs: &[Job]) -> BatchReport {
+        let refs: Vec<JobRef<'_>> = jobs
+            .iter()
+            .map(|job| (&*job.prepared, &job.instance))
+            .collect();
+        self.run_batch(&refs)
+    }
+
+    fn run_batch(&self, jobs: &[JobRef<'_>]) -> BatchReport {
+        if !self.dedup_enabled() {
+            let threads = self.batch_threads(jobs.len());
+            let results =
+                pool::run_indexed(threads, jobs.len(), |i| solve_caught(jobs[i].0, jobs[i].1));
+            let fresh = vec![true; jobs.len()];
+            let per_problem = per_problem_stats(jobs, &results, &fresh);
             return BatchReport {
                 results,
                 dedup_hits: 0,
                 threads,
+                per_problem,
             };
         }
-        let (reps, group_of) = dedup_groups(instances);
+        let (reps, group_of) = dedup_groups(jobs);
         // Size the pool to the deduped work list, so the report never
         // claims workers that had nothing to run.
         let threads = self.batch_threads(reps.len());
         let mut rep_results: Vec<Option<Result<Labelling, SolveError>>> =
-            pool::run_indexed(threads, reps.len(), |g| solve_one(&instances[reps[g]]))
-                .into_iter()
-                .map(Some)
-                .collect();
+            pool::run_indexed(threads, reps.len(), |g| {
+                solve_caught(jobs[reps[g]].0, jobs[reps[g]].1)
+            })
+            .into_iter()
+            .map(Some)
+            .collect();
         // Move each group's result into its last occurrence and clone only
         // for the earlier duplicates: an all-distinct batch (the common
         // case) pays zero clones.
@@ -177,7 +337,12 @@ impl Engine {
         for &g in &group_of {
             remaining[g] += 1;
         }
-        let results = group_of
+        let fresh: Vec<bool> = group_of
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| reps[g] == i)
+            .collect();
+        let results: Vec<Result<Labelling, SolveError>> = group_of
             .iter()
             .map(|&g| {
                 remaining[g] -= 1;
@@ -190,20 +355,18 @@ impl Engine {
                 .expect("each group result is moved out exactly once")
             })
             .collect();
+        let per_problem = per_problem_stats(jobs, &results, &fresh);
         BatchReport {
             results,
-            dedup_hits: instances.len() - reps.len(),
+            dedup_hits: jobs.len() - reps.len(),
             threads,
+            per_problem,
         }
     }
 
     /// Resolves the configured thread count for a batch of `len` items
     /// (`0` = all cores; never more workers than items).
     fn batch_threads(&self, len: usize) -> usize {
-        let configured = match self.threads {
-            0 => std::thread::available_parallelism().map_or(1, usize::from),
-            t => t,
-        };
-        configured.min(len.max(1))
+        self.worker_threads().min(len.max(1))
     }
 }

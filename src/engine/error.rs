@@ -2,8 +2,9 @@
 
 use std::fmt;
 
-/// Everything that can go wrong when building an [`crate::engine::Engine`]
-/// or solving an instance through it.
+/// Everything that can go wrong when preparing a problem on an
+/// [`crate::engine::Engine`] or solving an instance through the prepared
+/// plan.
 ///
 /// Variants are ordered roughly by how definitive they are: an
 /// [`SolveError::Unsolvable`] verdict comes from an exact SAT
@@ -73,8 +74,6 @@ pub enum SolveError {
         /// Problem name.
         problem: String,
     },
-    /// An engine was built without a problem.
-    MissingProblem,
     /// A solver returned a labelling that the independent topology-native
     /// checker rejected — a solver bug, reported rather than trusted.
     ValidationFailed {
@@ -134,7 +133,6 @@ impl fmt::Display for SolveError {
             SolveError::NoSolver { problem } => {
                 write!(f, "no registered solver applies to {problem}")
             }
-            SolveError::MissingProblem => write!(f, "engine built without a problem"),
             SolveError::ValidationFailed { solver, violation } => {
                 write!(
                     f,

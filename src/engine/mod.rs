@@ -1,5 +1,5 @@
-//! The unified engine: one entry point for every LCL problem, algorithm,
-//! and topology in this repository.
+//! The unified engine: one shared service for every LCL problem,
+//! algorithm, and topology in this repository.
 //!
 //! The paper shows that every radius-1 LCL on oriented grids reduces to
 //! one normal form and one complexity landscape — in every dimension; this
@@ -9,36 +9,50 @@
 //! grids — and a [`Registry`] maps each `(problem, topology)` pair to the
 //! best available solvers (hand-built §8/§10 constructions, §7 synthesis
 //! with memoised SAT calls, the d-dimensional Theorem 21 constructions,
-//! corner coordination, the `Θ(n)` SAT existence baseline). An [`Engine`]
-//! walks that plan with a `Result`-based, panic-free surface:
+//! corner coordination, the `Θ(n)` SAT existence baseline).
+//!
+//! An [`Engine`] is *problem-agnostic*: one `Send + Sync` service holding
+//! the registry, worker-pool configuration, and the dedup / synthesis /
+//! plan caches, shared across however many problems a process serves.
+//! [`Engine::prepare`] resolves a problem's solver plan once into an
+//! immutable [`PreparedProblem`] handle with `solve`, `solvable`,
+//! `classify`, and `solver_names`; [`Engine::solve`] is the convenience
+//! that prepares-and-memoises keyed by the canonical problem cache key, so
+//! identical problem definitions share one plan:
 //!
 //! ```
 //! use lcl_grids::engine::{Engine, Instance, ProblemSpec};
 //! use lcl_grids::local::IdAssignment;
 //!
-//! let engine = Engine::builder()
-//!     .problem(ProblemSpec::orientation(
+//! let engine = Engine::builder().max_synthesis_k(1).build();
+//! let orientation = engine
+//!     .prepare(&ProblemSpec::orientation(
 //!         lcl_grids::core::problems::XSet::from_degrees(&[1, 3, 4]),
 //!     ))
-//!     .max_synthesis_k(1)
-//!     .build()
 //!     .unwrap();
 //! let inst = Instance::square(12, &IdAssignment::Shuffled { seed: 7 });
-//! let labelling = engine.solve(&inst).unwrap();
+//! let labelling = orientation.solve(&inst).unwrap();
 //! assert_eq!(labelling.labels.len(), 144);
 //! assert!(labelling.report.validated);
 //!
-//! // The same engine API covers d-dimensional tori: edge 2d-colouring on
-//! // a 3-dimensional torus dispatches to the Theorem 21 construction.
-//! let cube = Engine::builder()
-//!     .problem(ProblemSpec::edge_colouring(6))
-//!     .max_synthesis_k(1)
-//!     .build()
-//!     .unwrap();
+//! // The same engine serves other problems and other topologies: edge
+//! // 2d-colouring on a 3-dimensional torus dispatches to the Theorem 21
+//! // construction — no second engine, no duplicated caches.
+//! let edge6 = engine.prepare(&ProblemSpec::edge_colouring(6)).unwrap();
 //! let inst3 = Instance::torus_d(3, 4, &IdAssignment::Sequential);
-//! let labelling3 = cube.solve(&inst3).unwrap();
-//! assert_eq!(labelling3.labels.len(), 64);
+//! assert_eq!(edge6.solve(&inst3).unwrap().labels.len(), 64);
+//!
+//! // One-shot convenience: prepares (memoised) and solves.
+//! let labelling = engine
+//!     .solve(&ProblemSpec::edge_colouring(6), &inst3)
+//!     .unwrap();
+//! assert_eq!(labelling.labels.len(), 64);
 //! ```
+//!
+//! Batch workloads go through [`Engine::solve_batch`] /
+//! [`Engine::solve_jobs`] (slices, in-batch dedup, ordered results) or
+//! the streaming [`Engine::solve_stream`] (an iterator of mixed-problem
+//! [`Job`]s drained through a bounded channel in `O(threads)` memory).
 //!
 //! Failures are values, not panics: unsolvable instances, undersized
 //! tori, unsupported `(problem, topology)` pairs, exhausted synthesis
@@ -49,24 +63,28 @@ mod batch;
 mod error;
 mod instance;
 mod pool;
+mod prepared;
 mod registry;
 mod spec;
+mod stream;
 
-pub use batch::BatchReport;
+pub use batch::{BatchReport, Job, ProblemBatchStats};
 pub use error::SolveError;
 pub use instance::Instance;
+pub use prepared::PreparedProblem;
 pub use registry::{PlanOptions, Registry, SynthOrigin, SynthStats};
 pub use spec::{ProblemSpec, Topology};
+pub use stream::{JobOutcome, SolveStream, JOBS_ITERATOR_PANICKED};
 
 use lcl_algorithms::corner::{BoundaryGrid, PseudoForest};
 use lcl_algorithms::Profile;
 use lcl_core::classify::GridClass;
-use lcl_core::{existence, Label};
-use lcl_grid::CycleGraph;
-use lcl_local::{Rounds, Simulator};
-use lcl_symmetry::protocol_validation::CvProtocol;
+use lcl_core::Label;
+use lcl_local::Rounds;
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// Asymptotic round complexity a solver promises.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -203,9 +221,11 @@ pub trait Solve: Send + Sync {
     fn solve(&self, inst: &Instance) -> Result<Labelling, SolveError>;
 }
 
-/// Builder for [`Engine`]; start from [`Engine::builder`].
+/// Builder for [`Engine`]; start from [`Engine::builder`]. The builder
+/// configures the *service* — registry, caches, worker pool, validation
+/// policy — not a problem: problems arrive per call, through
+/// [`Engine::prepare`] and the convenience entry points.
 pub struct EngineBuilder {
-    problem: Option<ProblemSpec>,
     profile: Profile,
     rounds_budget: Option<u64>,
     max_synthesis_k: usize,
@@ -219,12 +239,6 @@ pub struct EngineBuilder {
 }
 
 impl EngineBuilder {
-    /// The problem the engine will solve (required).
-    pub fn problem(mut self, spec: ProblemSpec) -> EngineBuilder {
-        self.problem = Some(spec);
-        self
-    }
-
     /// Parameter profile for the hand-built constructions (default:
     /// [`Profile::Practical`]).
     pub fn profile(mut self, profile: Profile) -> EngineBuilder {
@@ -241,7 +255,8 @@ impl EngineBuilder {
     }
 
     /// Largest anchor spacing `k` synthesis may try (default: 3, the
-    /// paper's 4-colouring threshold).
+    /// paper's 4-colouring threshold). Part of every prepared problem's
+    /// cache key: plans prepared at different budgets never alias.
     pub fn max_synthesis_k(mut self, k: usize) -> EngineBuilder {
         self.max_synthesis_k = k;
         self
@@ -290,9 +305,9 @@ impl EngineBuilder {
         self
     }
 
-    /// Worker threads for [`Engine::solve_batch`] (default: 1, fully
-    /// sequential — the historical behaviour). `0` means "use every core
-    /// the OS reports". Single-instance `solve` calls are unaffected.
+    /// Worker threads for the batch and stream entry points (default: 1,
+    /// fully sequential — the historical behaviour). `0` means "use every
+    /// core the OS reports". Single-instance `solve` calls are unaffected.
     pub fn threads(mut self, threads: usize) -> EngineBuilder {
         self.threads = threads;
         self
@@ -313,47 +328,41 @@ impl EngineBuilder {
         self
     }
 
-    /// In-batch labelling dedup (default: on): instances with the same
-    /// canonical topology, dimensions, and identifier assignment are
-    /// solved once per batch and the labelling is shared. Solving is
-    /// deterministic, so this is observationally transparent; turn it off
-    /// to force every instance through a full solve (e.g. when
-    /// benchmarking).
+    /// In-batch labelling dedup (default: on): jobs with the same
+    /// prepared problem (by cache key), canonical topology, dimensions,
+    /// and identifier assignment are solved once per batch and the
+    /// labelling is shared. Solving is deterministic, so this is
+    /// observationally transparent; turn it off to force every instance
+    /// through a full solve (e.g. when benchmarking).
     pub fn dedup(mut self, dedup: bool) -> EngineBuilder {
         self.dedup = dedup;
         self
     }
 
-    /// Builds the engine, resolving the solver plan now so that
-    /// misconfiguration surfaces here rather than at solve time.
-    pub fn build(self) -> Result<Engine, SolveError> {
-        let spec = self.problem.ok_or(SolveError::MissingProblem)?;
+    /// Builds the engine. Infallible: the engine carries no problem of
+    /// its own — plans resolve per problem in [`Engine::prepare`], where
+    /// misconfiguration surfaces as a typed [`SolveError`].
+    pub fn build(self) -> Engine {
         let registry = self.registry.unwrap_or_default();
         if let Some(dir) = self.cache_dir {
             registry.set_cache_dir(Some(dir));
         }
-        let opts = PlanOptions {
-            profile: self.profile,
-            max_synthesis_k: self.max_synthesis_k,
-            seed: self.seed,
-        };
-        let plan = registry.plan(&spec, &opts);
-        if plan.is_empty() {
-            return Err(SolveError::NoSolver {
-                problem: spec.name().to_string(),
-            });
-        }
-        Ok(Engine {
-            spec,
-            plan,
+        Engine {
             registry,
-            opts,
+            opts: PlanOptions {
+                profile: self.profile,
+                max_synthesis_k: self.max_synthesis_k,
+                seed: self.seed,
+            },
             rounds_budget: self.rounds_budget,
             validate: self.validate,
             debug_validation: self.debug_validation,
             threads: self.threads,
             dedup: self.dedup,
-        })
+            plans: Mutex::new(HashMap::new()),
+            plan_hits: AtomicU64::new(0),
+            plans_resolved: AtomicU64::new(0),
+        }
     }
 }
 
@@ -363,11 +372,40 @@ impl EngineBuilder {
 /// debugging aid by design).
 pub const DEBUG_VALIDATION_MAX_NODES: usize = 4096;
 
-/// The single entry point: solves its problem on any supported
-/// [`Instance`] through the best applicable registered solver.
+/// Counters of the engine's prepared-plan memo (see [`Engine::prepare`]):
+/// how many `prepare` requests were answered from the memo versus how
+/// many actually resolved a plan. `hits + resolved` equals the total
+/// number of `prepare` calls (including the ones issued internally by the
+/// spec-taking convenience entry points).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrepareStats {
+    /// Requests answered from the memoised plan (or by blocking on a
+    /// concurrent resolution of the same key).
+    pub hits: u64,
+    /// Plans actually resolved (registry tier walk performed).
+    pub resolved: u64,
+}
+
+/// The shared, problem-agnostic solving service: one engine per process
+/// (or per configuration), however many problems it serves.
+///
+/// An `Engine` owns no problem. It holds the [`Registry`] (and through it
+/// the memoised synthesis cache), the worker-pool and dedup
+/// configuration, and a memo of [`PreparedProblem`] plans keyed by the
+/// canonical problem cache key. It is `Send + Sync`: wrap it in an `Arc`
+/// and share it across threads; every entry point takes `&self`.
+///
+/// Two ways in:
+///
+/// * [`Engine::prepare`] — resolve a problem's plan once, keep the cheap
+///   [`Arc<PreparedProblem>`] handle, and solve through it (the service
+///   shape: prepare at startup, solve per request).
+/// * [`Engine::solve`] / [`Engine::solvable`] / [`Engine::classify`] —
+///   spec-taking conveniences that prepare-and-memoise internally, so
+///   repeated calls with equivalent specs (two compilations of one
+///   `lcl-lang` source, a compiled problem and an equal hand-built
+///   table) share one plan.
 pub struct Engine {
-    spec: ProblemSpec,
-    plan: Vec<Box<dyn Solve>>,
     registry: Arc<Registry>,
     opts: PlanOptions,
     rounds_budget: Option<u64>,
@@ -375,13 +413,26 @@ pub struct Engine {
     debug_validation: bool,
     threads: usize,
     dedup: bool,
+    /// Prepared-plan memo: canonical cache key → single-flight cell, the
+    /// same shape as the registry's synthesis cache (one resolution per
+    /// key, concurrent requests block on the cell, poisoned map locks
+    /// recover).
+    #[allow(clippy::type_complexity)]
+    plans: Mutex<HashMap<String, Arc<OnceLock<Result<Arc<PreparedProblem>, SolveError>>>>>,
+    plan_hits: AtomicU64,
+    plans_resolved: AtomicU64,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::builder().build()
+    }
 }
 
 impl Engine {
     /// Starts building an engine.
     pub fn builder() -> EngineBuilder {
         EngineBuilder {
-            problem: None,
             profile: Profile::Practical,
             rounds_budget: None,
             max_synthesis_k: 3,
@@ -395,308 +446,141 @@ impl Engine {
         }
     }
 
-    /// The problem this engine solves.
-    pub fn problem(&self) -> &ProblemSpec {
-        &self.spec
-    }
-
     /// The registry backing this engine.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
     }
 
-    /// The resolved solver plan, best first (across all topologies the
-    /// problem has registered solvers on).
-    pub fn solver_names(&self) -> Vec<&str> {
-        self.plan.iter().map(|s| s.name()).collect()
-    }
-
-    /// Solves one instance on any supported topology.
+    /// Resolves the solver plan for a problem into an immutable,
+    /// cheaply-cloneable [`PreparedProblem`] handle — the registry tier
+    /// walk, the canonical cache key, and the per-topology capability
+    /// table are fixed here, once. Handles are memoised by the canonical
+    /// cache key ([`Registry::plan_cache_key`]): preparing two equivalent
+    /// specs returns the *same* `Arc` (pointer-equal), and concurrent
+    /// `prepare` calls for one key resolve the plan exactly once.
     ///
-    /// 2-dimensional `TorusD` instances are lowered to their canonical
-    /// `Torus2` form first, then the engine walks the solver plan:
-    /// solvers whose [`Capabilities`] reject the instance's topology or
-    /// size are skipped, typed per-solver failures fall through to the
-    /// next solver, and successful labellings are re-validated with the
-    /// topology-native independent checker before being returned. A
-    /// `(problem, topology)` pair no registered solver covers comes back
-    /// as [`SolveError::UnsupportedTopology`].
-    pub fn solve(&self, inst: &Instance) -> Result<Labelling, SolveError> {
-        let lowered = inst.lower_d2();
-        let inst = lowered.as_ref().unwrap_or(inst);
-        let topology = inst.topology();
-        if !self.spec.supports(topology) {
-            return Err(SolveError::UnsupportedTopology {
-                problem: self.spec.name().to_string(),
-                topology: topology.to_string(),
-                reason: format!(
-                    "{} has no semantics on a {topology}; its home is the {}",
-                    self.spec.name(),
-                    self.spec.home_topology()
-                ),
-            });
-        }
-        let side = inst.min_side();
-        let mut topology_covered = false;
-        let mut cheapest_over_budget: Option<u64> = None;
-        let mut smallest_supported: Option<usize> = None;
-        let mut fallthrough: Option<SolveError> = None;
-        for solver in &self.plan {
-            let caps = solver.capabilities();
-            if !caps.topology.accepts(topology) {
-                continue;
-            }
-            topology_covered = true;
-            if caps.square_only && !inst.is_square() {
-                continue;
-            }
-            if side < caps.min_side {
-                smallest_supported =
-                    Some(smallest_supported.map_or(caps.min_side, |m: usize| m.min(caps.min_side)));
-                continue;
-            }
-            match solver.solve(inst) {
-                Ok(mut labelling) => {
-                    if self.validate {
-                        if let Err(violation) = self.spec.check_instance(inst, &labelling.labels) {
-                            fallthrough.get_or_insert(SolveError::ValidationFailed {
-                                solver: solver.name().to_string(),
-                                violation,
-                            });
-                            continue;
-                        }
-                        labelling.report.validated = true;
-                    }
-                    if self.debug_validation {
-                        self.cross_validate_rounds(inst, &mut labelling.report)?;
-                    }
-                    let needed = labelling.report.rounds.total();
-                    if let Some(budget) = self.rounds_budget {
-                        if needed > budget {
-                            cheapest_over_budget =
-                                Some(cheapest_over_budget.map_or(needed, |c: u64| c.min(needed)));
-                            continue;
-                        }
-                    }
-                    return Ok(labelling);
-                }
-                // Unsatisfiability is exact: no other solver can succeed.
-                Err(e @ SolveError::Unsolvable { .. }) => return Err(e),
-                Err(SolveError::TorusTooSmall { min_side, .. }) => {
-                    smallest_supported =
-                        Some(smallest_supported.map_or(min_side, |m: usize| m.min(min_side)));
-                }
-                Err(e) => {
-                    fallthrough.get_or_insert(e);
-                }
-            }
-        }
-        if !topology_covered {
-            return Err(SolveError::UnsupportedTopology {
-                problem: self.spec.name().to_string(),
-                topology: topology.to_string(),
-                reason: "no registered solver covers this (problem, topology) pair".to_string(),
-            });
-        }
-        if let (Some(needed), Some(budget)) = (cheapest_over_budget, self.rounds_budget) {
-            return Err(SolveError::RoundBudgetExceeded { budget, needed });
-        }
-        if let Some(e) = fallthrough {
-            return Err(e);
-        }
-        if let Some(min_side) = smallest_supported {
-            return Err(SolveError::TorusTooSmall {
-                problem: self.spec.name().to_string(),
-                min_side,
-                side,
-            });
-        }
-        Err(SolveError::NoSolver {
-            problem: self.spec.name().to_string(),
-        })
-    }
-
-    /// Decides whether the problem has *any* valid labelling on the
-    /// instance's topology and dimensions (independent of round budgets
-    /// and identifier assignments).
+    /// A problem no registered solver applies to is a typed
+    /// [`SolveError::NoSolver`] (memoised like any other verdict).
     ///
-    /// On 2-d tori (and lowered `d = 2` instances) this is the exact SAT
-    /// existence question; on higher-dimensional tori it is answered by
-    /// the paper's counting arguments where those apply (Theorem 21 for
-    /// edge `2d`-colouring, §10 for larger palettes, the Cartesian-product
-    /// chromatic bound for vertex colouring); unsupported pairs come back
-    /// as [`SolveError::UnsupportedTopology`].
-    pub fn solvable(&self, inst: &Instance) -> Result<bool, SolveError> {
-        let lowered = inst.lower_d2();
-        let inst = lowered.as_ref().unwrap_or(inst);
-        let topology = inst.topology();
-        let unsupported = |reason: String| SolveError::UnsupportedTopology {
-            problem: self.spec.name().to_string(),
-            topology: topology.to_string(),
-            reason,
-        };
-        if !self.spec.supports(topology) {
-            return Err(unsupported(format!(
-                "{} has no semantics on a {topology}",
-                self.spec.name()
-            )));
-        }
-        if self.spec.mis_power_params().is_some() {
-            // The greedy sweep always produces a maximal independent set.
-            return Ok(true);
-        }
-        match inst {
-            Instance::Boundary(_) => Ok(true), // the boundary-paths witness
-            Instance::Torus2(gi) => {
-                let problem = self
-                    .spec
-                    .grid_problem()
-                    .ok_or_else(|| unsupported("not a block problem".to_string()))?;
-                Ok(existence::solvable(problem, &gi.torus()))
-            }
-            Instance::TorusD(di) => {
-                use lcl_core::GridProblem;
-                let n = di.side();
-                let d = di.dim();
-                if n == 1 {
-                    // A side-1 torus has no edges: everything labels.
-                    return Ok(true);
-                }
-                match self.spec.grid_problem() {
-                    Some(GridProblem::EdgeColouring { k }) => {
-                        let k = usize::from(*k);
-                        if k < 2 * d {
-                            Ok(false) // fewer colours than the degree
-                        } else if k == 2 * d {
-                            Ok(n % 2 == 0) // Theorem 21, exactly
-                        } else {
-                            Ok(true) // §10: 2d+1 colours always suffice
-                        }
-                    }
-                    Some(GridProblem::VertexColouring { k }) => {
-                        // χ of a Cartesian product of cycles is
-                        // max over the factors: 2 for even n, 3 for odd.
-                        let chi = if n % 2 == 0 { 2 } else { 3 };
-                        Ok(usize::from(*k) >= chi)
-                    }
-                    Some(p) => match spec::ddim_semantics(p, d) {
-                        Some(spec::DdimSemantics::IndependentSet) => Ok(true),
-                        Some(spec::DdimSemantics::Pairwise(pairs)) => {
-                            // The d-dimensional SAT existence encoder:
-                            // exact verdicts for axis-symmetric pairwise
-                            // problems (compiled lcl-lang definitions
-                            // included) beyond the tabulated formulas.
-                            Ok(
-                                existence::solve_pairwise_d(di.torus(), p.alphabet(), &pairs)
-                                    .is_some(),
-                            )
-                        }
-                        _ => Err(unsupported(
-                            "existence is not tabulated for this problem in d ≥ 3".to_string(),
-                        )),
-                    },
-                    None => Err(unsupported("not a block problem".to_string())),
-                }
-            }
-        }
-    }
-
-    /// The one-sided classification adapter (§7): `Constant` if a
-    /// constant labelling works, `LogStar` with certainty if a certified
-    /// hand-built `O(log* n)` solver is registered or synthesis succeeds
-    /// within the engine's `k` budget (memoised), `Global` otherwise —
-    /// which, by Theorem 3, no procedure can sharpen.
-    pub fn classify(&self) -> Result<GridClass, SolveError> {
-        if self.spec.home_topology() == Topology::Boundary {
-            return Err(SolveError::UnsupportedTopology {
-                problem: self.spec.name().to_string(),
-                topology: Topology::Boundary.to_string(),
-                reason: "classification covers the torus landscape (Theorem 1)".to_string(),
-            });
-        }
-        if self.spec.constant_solution().is_some() {
-            return Ok(GridClass::Constant);
-        }
-        // A hand-built solver in the plan is an a-priori log* upper bound
-        // (Theorems 4 and 15), independent of the synthesis budget.
-        let certified_log_star = self.plan.iter().any(|s| {
-            s.capabilities().complexity == Complexity::LogStar
-                && s.name() != registry::SYNTHESIS_SOLVER_NAME
-        });
-        if certified_log_star {
-            return Ok(GridClass::LogStar);
-        }
-        if self.spec.grid_problem().is_none() {
-            return Ok(GridClass::Global);
-        }
-        match self
+    /// Deriving the key is `O(table)` for block problems (the canonical
+    /// content hash is what lets equivalent specs share a plan), and it
+    /// is paid on every `prepare` — including the one inside each
+    /// spec-taking convenience call. Hot paths should prepare once and
+    /// hold the handle rather than re-presenting the spec per request.
+    pub fn prepare(&self, spec: &ProblemSpec) -> Result<Arc<PreparedProblem>, SolveError> {
+        let key = self
             .registry
-            .memoised_synthesis(&self.spec, self.opts.max_synthesis_k)
-        {
-            Some(_) => Ok(GridClass::LogStar),
-            None => Ok(GridClass::Global),
+            .plan_cache_key(spec, self.opts.max_synthesis_k);
+        let cell = Arc::clone(
+            self.plans
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .entry(key.clone())
+                .or_insert_with(|| Arc::new(OnceLock::new())),
+        );
+        let mut resolved_here = false;
+        let outcome = cell.get_or_init(|| {
+            resolved_here = true;
+            self.resolve_plan(spec, key)
+        });
+        if resolved_here {
+            self.plans_resolved.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome.clone()
+    }
+
+    /// The uncached plan resolution behind [`Engine::prepare`].
+    fn resolve_plan(
+        &self,
+        spec: &ProblemSpec,
+        cache_key: String,
+    ) -> Result<Arc<PreparedProblem>, SolveError> {
+        let plan = self.registry.plan(spec, &self.opts);
+        if plan.is_empty() {
+            return Err(SolveError::NoSolver {
+                problem: spec.name().to_string(),
+            });
+        }
+        Ok(Arc::new(PreparedProblem::new(
+            spec.clone(),
+            cache_key,
+            plan,
+            Arc::clone(&self.registry),
+            self.opts,
+            self.rounds_budget,
+            self.validate,
+            self.debug_validation,
+        )))
+    }
+
+    /// Number of distinct prepared plans memoised so far (resolved or
+    /// verdict-cached failures).
+    pub fn prepared_plans(&self) -> usize {
+        self.plans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .filter(|cell| cell.get().is_some())
+            .count()
+    }
+
+    /// Prepared-plan memo counters since this engine was built.
+    pub fn prepare_stats(&self) -> PrepareStats {
+        PrepareStats {
+            hits: self.plan_hits.load(Ordering::Relaxed),
+            resolved: self.plans_resolved.load(Ordering::Relaxed),
         }
     }
 
-    /// The opt-in round-ledger cross-validation (see
-    /// [`EngineBuilder::debug_validation`]): runs Cole–Vishkin as a real
-    /// message-passing protocol on a cycle of the instance's side length
-    /// and checks the batched ledger invariant, recording both round
-    /// counts in the report.
-    fn cross_validate_rounds(
-        &self,
-        inst: &Instance,
-        report: &mut SolveReport,
-    ) -> Result<(), SolveError> {
-        let side = inst.min_side();
-        if inst.node_count() > DEBUG_VALIDATION_MAX_NODES || side < 3 || inst.ids().is_empty() {
-            report
-                .details
-                .push(("debug_validation".to_string(), "skipped".to_string()));
-            return Ok(());
+    /// Drops every memoised prepared plan (successes and cached failure
+    /// verdicts alike). The memo otherwise grows by one entry per
+    /// distinct canonical cache key for the engine's lifetime — a
+    /// long-lived service preparing *user-supplied* problem definitions
+    /// should bound that growth by clearing periodically. Outstanding
+    /// `Arc<PreparedProblem>` handles stay fully usable (they own their
+    /// plan and registry), and the registry's synthesis cache is
+    /// untouched, so re-preparing a cleared problem re-walks the
+    /// registry tiers but re-runs no SAT call.
+    pub fn clear_plans(&self) {
+        self.plans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+
+    /// Convenience: prepares the problem (memoised) and solves one
+    /// instance. Equivalent to `self.prepare(spec)?.solve(inst)`; see
+    /// [`PreparedProblem::solve`] for the dispatch contract.
+    pub fn solve(&self, spec: &ProblemSpec, inst: &Instance) -> Result<Labelling, SolveError> {
+        self.prepare(spec)?.solve(inst)
+    }
+
+    /// Convenience: prepares the problem (memoised) and decides whether it
+    /// has *any* valid labelling on the instance's topology and
+    /// dimensions. See [`PreparedProblem::solvable`].
+    pub fn solvable(&self, spec: &ProblemSpec, inst: &Instance) -> Result<bool, SolveError> {
+        self.prepare(spec)?.solvable(inst)
+    }
+
+    /// Convenience: prepares the problem (memoised) and classifies it on
+    /// the torus landscape. See [`PreparedProblem::classify`].
+    pub fn classify(&self, spec: &ProblemSpec) -> Result<GridClass, SolveError> {
+        self.prepare(spec)?.classify()
+    }
+
+    /// Resolves the configured worker-thread count (`0` = all cores).
+    pub(crate) fn worker_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            t => t,
         }
-        let cycle = CycleGraph::new(side);
-        let ids = &inst.ids()[..side];
-        let batched = lcl_symmetry::cv3_cycle(&cycle, ids).rounds.total();
-        let run = Simulator::new(64)
-            .run(&cycle, ids, &CvProtocol)
-            .map_err(|e| SolveError::ValidationFailed {
-                solver: "cv-protocol-cross-check".to_string(),
-                violation: format!("protocol did not halt: {e}"),
-            })?;
-        for v in 0..side {
-            if run.outputs[v] >= 3 || run.outputs[v] == run.outputs[cycle.succ(v)] {
-                return Err(SolveError::ValidationFailed {
-                    solver: "cv-protocol-cross-check".to_string(),
-                    violation: format!("protocol output is not a proper 3-colouring at node {v}"),
-                });
-            }
-        }
-        // The invariant proven in lcl_symmetry::protocol_validation: the
-        // batched ledger may undercut the fixed synchronous schedule by
-        // the adaptively skipped iterations, never overcharge it, and the
-        // schedule adds at most the identifier exchange + halting rounds.
-        if batched > run.rounds || run.rounds > batched + 5 {
-            return Err(SolveError::ValidationFailed {
-                solver: "cv-protocol-cross-check".to_string(),
-                violation: format!(
-                    "round ledger drifted from the synchronous protocol: \
-                     ledger {batched}, protocol {}",
-                    run.rounds
-                ),
-            });
-        }
-        report
-            .details
-            .push(("debug_cv_ledger_rounds".to_string(), batched.to_string()));
-        report.details.push((
-            "debug_cv_protocol_rounds".to_string(),
-            run.rounds.to_string(),
-        ));
-        report
-            .details
-            .push(("debug_validation".to_string(), "ok".to_string()));
-        Ok(())
+    }
+
+    /// Whether in-batch labelling dedup is enabled.
+    pub(crate) fn dedup_enabled(&self) -> bool {
+        self.dedup
     }
 }
 

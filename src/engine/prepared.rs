@@ -1,0 +1,403 @@
+//! The prepared-plan handle: one problem, resolved once, solved many
+//! times.
+//!
+//! [`Engine::prepare`](crate::engine::Engine::prepare) walks the registry
+//! tiers for a [`ProblemSpec`] exactly once and freezes the outcome — the
+//! ordered solver plan, the canonical cache key, and the engine's
+//! validation policy — into a [`PreparedProblem`]. The handle is
+//! immutable, `Send + Sync`, and cheap to clone behind its `Arc`, so a
+//! server resolves each problem at startup (or on first sight) and then
+//! hands the same handle to every request thread; the classification
+//! verdict memoises inside the handle on first use, sharing the
+//! registry's synthesis cache with the solve path.
+
+use super::registry::{self, PlanOptions, Registry};
+use super::spec::{self, ProblemSpec, Topology};
+use super::{
+    Complexity, Instance, Labelling, Solve, SolveError, SolveReport, DEBUG_VALIDATION_MAX_NODES,
+};
+use lcl_core::classify::GridClass;
+use lcl_core::existence;
+use lcl_grid::CycleGraph;
+use lcl_local::Simulator;
+use lcl_symmetry::protocol_validation::CvProtocol;
+use std::sync::{Arc, OnceLock};
+
+/// A problem whose solver plan has been resolved by
+/// [`Engine::prepare`](crate::engine::Engine::prepare): the immutable,
+/// shareable handle production callers solve through.
+///
+/// ```
+/// use lcl_grids::engine::{Engine, Instance, ProblemSpec};
+/// use lcl_grids::local::IdAssignment;
+///
+/// let engine = Engine::builder().max_synthesis_k(2).build();
+/// let five = engine.prepare(&ProblemSpec::vertex_colouring(5)).unwrap();
+/// assert!(!five.solver_names().is_empty());
+/// let inst = Instance::square(16, &IdAssignment::Shuffled { seed: 1 });
+/// assert!(five.solve(&inst).unwrap().report.validated);
+/// ```
+pub struct PreparedProblem {
+    spec: ProblemSpec,
+    cache_key: String,
+    plan: Vec<Box<dyn Solve>>,
+    registry: Arc<Registry>,
+    opts: PlanOptions,
+    rounds_budget: Option<u64>,
+    validate: bool,
+    debug_validation: bool,
+    /// The classification verdict, memoised on first `classify()` call
+    /// (it may cost a synthesis attempt, shared with the solve path
+    /// through the registry's synthesis cache).
+    classification: OnceLock<Result<GridClass, SolveError>>,
+}
+
+impl PreparedProblem {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        spec: ProblemSpec,
+        cache_key: String,
+        plan: Vec<Box<dyn Solve>>,
+        registry: Arc<Registry>,
+        opts: PlanOptions,
+        rounds_budget: Option<u64>,
+        validate: bool,
+        debug_validation: bool,
+    ) -> PreparedProblem {
+        PreparedProblem {
+            spec,
+            cache_key,
+            plan,
+            registry,
+            opts,
+            rounds_budget,
+            validate,
+            debug_validation,
+            classification: OnceLock::new(),
+        }
+    }
+
+    /// The problem this plan solves.
+    pub fn spec(&self) -> &ProblemSpec {
+        &self.spec
+    }
+
+    /// The canonical cache key the plan is memoised (and batch-dedup
+    /// namespaced) under — [`Registry::plan_cache_key`]: content-addressed
+    /// for block problems, name-addressed otherwise, always carrying the
+    /// synthesis budget.
+    pub fn cache_key(&self) -> &str {
+        &self.cache_key
+    }
+
+    /// The resolved solver plan, best first (across all topologies the
+    /// problem has registered solvers on).
+    pub fn solver_names(&self) -> Vec<&str> {
+        self.plan.iter().map(|s| s.name()).collect()
+    }
+
+    /// Solves one instance on any supported topology.
+    ///
+    /// 2-dimensional `TorusD` instances are lowered to their canonical
+    /// `Torus2` form first, then the plan is walked: solvers whose
+    /// [`super::Capabilities`] reject the instance's topology or size are
+    /// skipped, typed per-solver failures fall through to the next
+    /// solver, and successful labellings are re-validated with the
+    /// topology-native independent checker before being returned. A
+    /// `(problem, topology)` pair no registered solver covers comes back
+    /// as [`SolveError::UnsupportedTopology`].
+    pub fn solve(&self, inst: &Instance) -> Result<Labelling, SolveError> {
+        let lowered = inst.lower_d2();
+        let inst = lowered.as_ref().unwrap_or(inst);
+        let topology = inst.topology();
+        if !self.spec.supports(topology) {
+            return Err(SolveError::UnsupportedTopology {
+                problem: self.spec.name().to_string(),
+                topology: topology.to_string(),
+                reason: format!(
+                    "{} has no semantics on a {topology}; its home is the {}",
+                    self.spec.name(),
+                    self.spec.home_topology()
+                ),
+            });
+        }
+        let side = inst.min_side();
+        let mut topology_covered = false;
+        let mut cheapest_over_budget: Option<u64> = None;
+        let mut smallest_supported: Option<usize> = None;
+        let mut fallthrough: Option<SolveError> = None;
+        for solver in &self.plan {
+            let caps = solver.capabilities();
+            if !caps.topology.accepts(topology) {
+                continue;
+            }
+            topology_covered = true;
+            if caps.square_only && !inst.is_square() {
+                continue;
+            }
+            if side < caps.min_side {
+                smallest_supported =
+                    Some(smallest_supported.map_or(caps.min_side, |m: usize| m.min(caps.min_side)));
+                continue;
+            }
+            match solver.solve(inst) {
+                Ok(mut labelling) => {
+                    if self.validate {
+                        if let Err(violation) = self.spec.check_instance(inst, &labelling.labels) {
+                            fallthrough.get_or_insert(SolveError::ValidationFailed {
+                                solver: solver.name().to_string(),
+                                violation,
+                            });
+                            continue;
+                        }
+                        labelling.report.validated = true;
+                    }
+                    if self.debug_validation {
+                        self.cross_validate_rounds(inst, &mut labelling.report)?;
+                    }
+                    let needed = labelling.report.rounds.total();
+                    if let Some(budget) = self.rounds_budget {
+                        if needed > budget {
+                            cheapest_over_budget =
+                                Some(cheapest_over_budget.map_or(needed, |c: u64| c.min(needed)));
+                            continue;
+                        }
+                    }
+                    return Ok(labelling);
+                }
+                // Unsatisfiability is exact: no other solver can succeed.
+                Err(e @ SolveError::Unsolvable { .. }) => return Err(e),
+                Err(SolveError::TorusTooSmall { min_side, .. }) => {
+                    smallest_supported =
+                        Some(smallest_supported.map_or(min_side, |m: usize| m.min(min_side)));
+                }
+                Err(e) => {
+                    fallthrough.get_or_insert(e);
+                }
+            }
+        }
+        if !topology_covered {
+            return Err(SolveError::UnsupportedTopology {
+                problem: self.spec.name().to_string(),
+                topology: topology.to_string(),
+                reason: "no registered solver covers this (problem, topology) pair".to_string(),
+            });
+        }
+        if let (Some(needed), Some(budget)) = (cheapest_over_budget, self.rounds_budget) {
+            return Err(SolveError::RoundBudgetExceeded { budget, needed });
+        }
+        if let Some(e) = fallthrough {
+            return Err(e);
+        }
+        if let Some(min_side) = smallest_supported {
+            return Err(SolveError::TorusTooSmall {
+                problem: self.spec.name().to_string(),
+                min_side,
+                side,
+            });
+        }
+        Err(SolveError::NoSolver {
+            problem: self.spec.name().to_string(),
+        })
+    }
+
+    /// Decides whether the problem has *any* valid labelling on the
+    /// instance's topology and dimensions (independent of round budgets
+    /// and identifier assignments).
+    ///
+    /// On 2-d tori (and lowered `d = 2` instances) this is the exact SAT
+    /// existence question; on higher-dimensional tori it is answered by
+    /// the paper's counting arguments where those apply (Theorem 21 for
+    /// edge `2d`-colouring, §10 for larger palettes, the Cartesian-product
+    /// chromatic bound for vertex colouring); unsupported pairs come back
+    /// as [`SolveError::UnsupportedTopology`].
+    pub fn solvable(&self, inst: &Instance) -> Result<bool, SolveError> {
+        let lowered = inst.lower_d2();
+        let inst = lowered.as_ref().unwrap_or(inst);
+        let topology = inst.topology();
+        let unsupported = |reason: String| SolveError::UnsupportedTopology {
+            problem: self.spec.name().to_string(),
+            topology: topology.to_string(),
+            reason,
+        };
+        if !self.spec.supports(topology) {
+            return Err(unsupported(format!(
+                "{} has no semantics on a {topology}",
+                self.spec.name()
+            )));
+        }
+        if self.spec.mis_power_params().is_some() {
+            // The greedy sweep always produces a maximal independent set.
+            return Ok(true);
+        }
+        match inst {
+            Instance::Boundary(_) => Ok(true), // the boundary-paths witness
+            Instance::Torus2(gi) => {
+                let problem = self
+                    .spec
+                    .grid_problem()
+                    .ok_or_else(|| unsupported("not a block problem".to_string()))?;
+                Ok(existence::solvable(problem, &gi.torus()))
+            }
+            Instance::TorusD(di) => {
+                use lcl_core::GridProblem;
+                let n = di.side();
+                let d = di.dim();
+                if n == 1 {
+                    // A side-1 torus has no edges: everything labels.
+                    return Ok(true);
+                }
+                match self.spec.grid_problem() {
+                    Some(GridProblem::EdgeColouring { k }) => {
+                        let k = usize::from(*k);
+                        if k < 2 * d {
+                            Ok(false) // fewer colours than the degree
+                        } else if k == 2 * d {
+                            Ok(n % 2 == 0) // Theorem 21, exactly
+                        } else {
+                            Ok(true) // §10: 2d+1 colours always suffice
+                        }
+                    }
+                    Some(GridProblem::VertexColouring { k }) => {
+                        // χ of a Cartesian product of cycles is
+                        // max over the factors: 2 for even n, 3 for odd.
+                        let chi = if n % 2 == 0 { 2 } else { 3 };
+                        Ok(usize::from(*k) >= chi)
+                    }
+                    Some(p) => match spec::ddim_semantics(p, d) {
+                        Some(spec::DdimSemantics::IndependentSet) => Ok(true),
+                        Some(spec::DdimSemantics::Pairwise(pairs)) => {
+                            // The d-dimensional SAT existence encoder:
+                            // exact verdicts for axis-symmetric pairwise
+                            // problems (compiled lcl-lang definitions
+                            // included) beyond the tabulated formulas.
+                            Ok(
+                                existence::solve_pairwise_d(di.torus(), p.alphabet(), &pairs)
+                                    .is_some(),
+                            )
+                        }
+                        _ => Err(unsupported(
+                            "existence is not tabulated for this problem in d ≥ 3".to_string(),
+                        )),
+                    },
+                    None => Err(unsupported("not a block problem".to_string())),
+                }
+            }
+        }
+    }
+
+    /// The one-sided classification adapter (§7): `Constant` if a
+    /// constant labelling works, `LogStar` with certainty if a certified
+    /// hand-built `O(log* n)` solver is registered or synthesis succeeds
+    /// within the plan's `k` budget (memoised), `Global` otherwise —
+    /// which, by Theorem 3, no procedure can sharpen. The verdict is
+    /// computed once per prepared problem and cached in the handle.
+    pub fn classify(&self) -> Result<GridClass, SolveError> {
+        self.classification
+            .get_or_init(|| self.classify_uncached())
+            .clone()
+    }
+
+    fn classify_uncached(&self) -> Result<GridClass, SolveError> {
+        if self.spec.home_topology() == Topology::Boundary {
+            return Err(SolveError::UnsupportedTopology {
+                problem: self.spec.name().to_string(),
+                topology: Topology::Boundary.to_string(),
+                reason: "classification covers the torus landscape (Theorem 1)".to_string(),
+            });
+        }
+        if self.spec.constant_solution().is_some() {
+            return Ok(GridClass::Constant);
+        }
+        // A hand-built solver in the plan is an a-priori log* upper bound
+        // (Theorems 4 and 15), independent of the synthesis budget.
+        let certified_log_star = self.plan.iter().any(|s| {
+            s.capabilities().complexity == Complexity::LogStar
+                && s.name() != registry::SYNTHESIS_SOLVER_NAME
+        });
+        if certified_log_star {
+            return Ok(GridClass::LogStar);
+        }
+        if self.spec.grid_problem().is_none() {
+            return Ok(GridClass::Global);
+        }
+        match self
+            .registry
+            .memoised_synthesis(&self.spec, self.opts.max_synthesis_k)
+        {
+            Some(_) => Ok(GridClass::LogStar),
+            None => Ok(GridClass::Global),
+        }
+    }
+
+    /// The opt-in round-ledger cross-validation (see
+    /// [`super::EngineBuilder::debug_validation`]): runs Cole–Vishkin as a
+    /// real message-passing protocol on a cycle of the instance's side
+    /// length and checks the batched ledger invariant, recording both
+    /// round counts in the report.
+    fn cross_validate_rounds(
+        &self,
+        inst: &Instance,
+        report: &mut SolveReport,
+    ) -> Result<(), SolveError> {
+        let side = inst.min_side();
+        if inst.node_count() > DEBUG_VALIDATION_MAX_NODES || side < 3 || inst.ids().is_empty() {
+            report
+                .details
+                .push(("debug_validation".to_string(), "skipped".to_string()));
+            return Ok(());
+        }
+        let cycle = CycleGraph::new(side);
+        let ids = &inst.ids()[..side];
+        let batched = lcl_symmetry::cv3_cycle(&cycle, ids).rounds.total();
+        let run = Simulator::new(64)
+            .run(&cycle, ids, &CvProtocol)
+            .map_err(|e| SolveError::ValidationFailed {
+                solver: "cv-protocol-cross-check".to_string(),
+                violation: format!("protocol did not halt: {e}"),
+            })?;
+        for v in 0..side {
+            if run.outputs[v] >= 3 || run.outputs[v] == run.outputs[cycle.succ(v)] {
+                return Err(SolveError::ValidationFailed {
+                    solver: "cv-protocol-cross-check".to_string(),
+                    violation: format!("protocol output is not a proper 3-colouring at node {v}"),
+                });
+            }
+        }
+        // The invariant proven in lcl_symmetry::protocol_validation: the
+        // batched ledger may undercut the fixed synchronous schedule by
+        // the adaptively skipped iterations, never overcharge it, and the
+        // schedule adds at most the identifier exchange + halting rounds.
+        if batched > run.rounds || run.rounds > batched + 5 {
+            return Err(SolveError::ValidationFailed {
+                solver: "cv-protocol-cross-check".to_string(),
+                violation: format!(
+                    "round ledger drifted from the synchronous protocol: \
+                     ledger {batched}, protocol {}",
+                    run.rounds
+                ),
+            });
+        }
+        report
+            .details
+            .push(("debug_cv_ledger_rounds".to_string(), batched.to_string()));
+        report.details.push((
+            "debug_cv_protocol_rounds".to_string(),
+            run.rounds.to_string(),
+        ));
+        report
+            .details
+            .push(("debug_validation".to_string(), "ok".to_string()));
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for PreparedProblem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedProblem")
+            .field("problem", &self.spec.name())
+            .field("cache_key", &self.cache_key)
+            .field("solvers", &self.solver_names())
+            .finish()
+    }
+}

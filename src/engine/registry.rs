@@ -428,6 +428,22 @@ impl Registry {
             .map(|p| cache_key(p, spec.name(), max_k))
     }
 
+    /// The canonical *plan* cache key of any problem at the given
+    /// synthesis budget: the key [`Engine::prepare`] memoises prepared
+    /// plans under and batch dedup namespaces groups by. For torus block
+    /// problems this is exactly [`Registry::synthesis_cache_key`]
+    /// (content-addressed, so two compilations of one `lcl-lang` source —
+    /// or a compiled problem and an equal hand-built table — share one
+    /// plan); problems without a block form (corner coordination, MIS
+    /// powers) are addressed by their canonical constructor-assigned
+    /// name.
+    ///
+    /// [`Engine::prepare`]: crate::engine::Engine::prepare
+    pub fn plan_cache_key(&self, spec: &ProblemSpec, max_k: usize) -> String {
+        self.synthesis_cache_key(spec, max_k)
+            .unwrap_or_else(|| format!("{}@k{max_k}", spec.name()))
+    }
+
     /// Memoised synthesis for a spec (the adapter [`Engine::classify`]
     /// and [`SynthesisSolver`] share). Returns `None` without attempting
     /// synthesis for problems the CNF encoder cannot tabulate.

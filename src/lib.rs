@@ -4,68 +4,62 @@
 //! Hirvonen, Korhonen, Lempiäinen, Östergård, Purcell, Rybicki, Suomela,
 //! Uznański — PODC 2017, arXiv:1702.05456).
 //!
-//! # The engine: one way in
+//! # The engine: one shared service, many problems
 //!
 //! The paper's central message is that every radius-1 LCL on oriented
 //! grids reduces to one normal form (sets of allowed 2×2 blocks) and one
 //! complexity landscape (`O(1)`, `Θ(log* n)`, `Θ(n)`) — in every
 //! dimension; the [`engine`] module gives this repository the matching
-//! API. Describe the problem as a [`engine::ProblemSpec`], wrap the input
-//! as an [`engine::Instance`] — one currency over 2-d tori, d-dimensional
-//! tori, and boundary grids — build an [`engine::Engine`], and solve. The
-//! engine's [`engine::Registry`] resolves each `(problem, topology)` pair
-//! to the best available solver family (hand-built §8/§10 constructions,
-//! §7 normal-form synthesis with memoised SAT calls, the d-dimensional
-//! Theorem 21 constructions, corner coordination, or the exact `Θ(n)` SAT
-//! existence baseline) and re-validates every labelling with the
-//! topology-native independent checker:
+//! API. One problem-agnostic [`engine::Engine`] — `Send + Sync`, holding
+//! the [`engine::Registry`], worker pool, and dedup/synthesis/plan
+//! caches — serves every problem a process handles.
+//! [`engine::Engine::prepare`] resolves a [`engine::ProblemSpec`]'s
+//! solver plan once (hand-built §8/§10 constructions, §7 normal-form
+//! synthesis with memoised SAT calls, the d-dimensional Theorem 21
+//! constructions, corner coordination, or the exact `Θ(n)` SAT existence
+//! baseline) into an immutable [`engine::PreparedProblem`] handle; every
+//! labelling is re-validated with the topology-native independent
+//! checker:
 //!
 //! ```
 //! use lcl_grids::engine::{Engine, Instance, ProblemSpec};
 //! use lcl_grids::local::IdAssignment;
 //!
-//! // Proper vertex 5-colouring: Θ(log* n), synthesis finds the algorithm.
-//! let engine = Engine::builder()
-//!     .problem(ProblemSpec::vertex_colouring(5))
-//!     .max_synthesis_k(2)
-//!     .build()
-//!     .unwrap();
+//! // One engine for the whole process.
+//! let engine = Engine::builder().max_synthesis_k(2).build();
 //!
+//! // Proper vertex 5-colouring: Θ(log* n), synthesis finds the algorithm.
+//! let five = engine.prepare(&ProblemSpec::vertex_colouring(5)).unwrap();
 //! let inst = Instance::square(16, &IdAssignment::Shuffled { seed: 1 });
-//! let labelling = engine.solve(&inst).unwrap();
+//! let labelling = five.solve(&inst).unwrap();
 //! assert!(labelling.report.validated);
 //!
 //! // Failures are typed values, not panics:
 //! use lcl_grids::engine::SolveError;
-//! let odd = Engine::builder()
-//!     .problem(ProblemSpec::vertex_colouring(2))
-//!     .max_synthesis_k(1)
-//!     .build()
-//!     .unwrap();
-//! let err = odd.solve(&Instance::square(5, &IdAssignment::Sequential));
+//! let two = engine.prepare(&ProblemSpec::vertex_colouring(2)).unwrap();
+//! let err = two.solve(&Instance::square(5, &IdAssignment::Sequential));
 //! assert!(matches!(err, Err(SolveError::Unsolvable { .. })));
 //!
-//! // Topology is a dispatch dimension, not a dead end: the same problem
-//! // spec solves on a 3-dimensional torus through the registered
-//! // Theorem 21 construction, and unsupported pairs are typed errors.
-//! let edge6 = Engine::builder()
-//!     .problem(ProblemSpec::edge_colouring(6))
-//!     .max_synthesis_k(1)
-//!     .build()
-//!     .unwrap();
+//! // Topology is a dispatch dimension, not a dead end: the same engine
+//! // solves on a 3-dimensional torus through the registered Theorem 21
+//! // construction, and unsupported pairs are typed errors.
 //! let cube = Instance::torus_d(3, 4, &IdAssignment::Sequential);
-//! assert!(edge6.solve(&cube).is_ok());
+//! let edge6 = ProblemSpec::edge_colouring(6);
+//! assert!(engine.solve(&edge6, &cube).is_ok());
 //! assert!(matches!(
-//!     odd.solve(&cube),
+//!     two.solve(&cube),
 //!     Err(SolveError::UnsupportedTopology { .. })
 //! ));
 //! ```
 //!
-//! Batch workloads go through [`engine::Engine::solve_batch`], which
-//! amortises synthesis across instances (mixed-topology batches dedup
-//! and cache correctly — cache keys carry a topology tag); round budgets
-//! ([`engine::EngineBuilder::rounds_budget`]) make the engine refuse
-//! solutions that are asymptotically too slow for the caller.
+//! Batch workloads go through [`engine::Engine::solve_batch`] /
+//! [`engine::Engine::solve_jobs`] (slices, in-batch dedup namespaced per
+//! problem, ordered results) or the streaming
+//! [`engine::Engine::solve_stream`] (an iterator of mixed-problem
+//! [`engine::Job`]s drained through a bounded channel in `O(threads)`
+//! memory); round budgets ([`engine::EngineBuilder::rounds_budget`]) make
+//! the engine refuse solutions that are asymptotically too slow for the
+//! caller.
 //!
 //! # Problems as data: `lcl-lang`
 //!
@@ -85,13 +79,9 @@
 //!     "problem vertex-5-colouring { alphabet { a, b, c, d, e } edges differ }",
 //! )
 //! .unwrap();
-//! let engine = Engine::builder()
-//!     .problem(spec)
-//!     .max_synthesis_k(2)
-//!     .build()
-//!     .unwrap();
+//! let engine = Engine::builder().max_synthesis_k(2).build();
 //! let inst = Instance::square(16, &IdAssignment::Shuffled { seed: 3 });
-//! assert!(engine.solve(&inst).unwrap().report.validated);
+//! assert!(engine.solve(&spec, &inst).unwrap().report.validated);
 //! ```
 //!
 //! # The layers underneath
@@ -121,7 +111,10 @@
 
 pub mod engine;
 
-pub use engine::{Engine, Instance, Labelling, ProblemSpec, Registry, Solve, SolveError, Topology};
+pub use engine::{
+    Engine, Instance, Job, Labelling, PreparedProblem, ProblemSpec, Registry, Solve, SolveError,
+    Topology,
+};
 
 pub use lcl_algorithms as algorithms;
 pub use lcl_core as core;

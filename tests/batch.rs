@@ -1,10 +1,13 @@
 //! Integration tests for the batch-solving performance subsystem:
-//! parallel dispatch determinism, in-batch labelling dedup, and the
-//! persistent synthesis cache (round-trip and corruption recovery) — on
-//! single-topology and mixed-topology batches alike.
+//! parallel dispatch determinism, in-batch labelling dedup (namespaced
+//! per prepared problem), and the persistent synthesis cache (round-trip
+//! and corruption recovery) — on single-topology, mixed-topology, and
+//! mixed-problem batches alike.
 
 use lcl_grids::core::problems::XSet;
-use lcl_grids::engine::{Engine, Instance, ProblemSpec, Registry, SolveError};
+use lcl_grids::engine::{
+    Engine, Instance, Job, PreparedProblem, ProblemSpec, Registry, SolveError,
+};
 use lcl_grids::local::IdAssignment;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -39,23 +42,26 @@ fn mixed_topology_batch() -> Vec<Instance> {
     ]
 }
 
-fn two_colouring(threads: usize, dedup: bool) -> Engine {
+fn engine(threads: usize, dedup: bool) -> Engine {
     Engine::builder()
-        .problem(ProblemSpec::vertex_colouring(2))
         .max_synthesis_k(1)
         .threads(threads)
         .dedup(dedup)
         .build()
-        .unwrap()
 }
 
-fn mis_power(threads: usize, dedup: bool) -> Engine {
-    Engine::builder()
-        .problem(ProblemSpec::mis_power(lcl_grids::grid::Metric::L1, 2))
-        .threads(threads)
-        .dedup(dedup)
-        .build()
-        .unwrap()
+fn two_colouring(threads: usize, dedup: bool) -> (Engine, Arc<PreparedProblem>) {
+    let engine = engine(threads, dedup);
+    let prepared = engine.prepare(&ProblemSpec::vertex_colouring(2)).unwrap();
+    (engine, prepared)
+}
+
+fn mis_power(threads: usize, dedup: bool) -> (Engine, Arc<PreparedProblem>) {
+    let engine = engine(threads, dedup);
+    let prepared = engine
+        .prepare(&ProblemSpec::mis_power(lcl_grids::grid::Metric::L1, 2))
+        .unwrap();
+    (engine, prepared)
 }
 
 /// Parallel `solve_batch` output must be byte-identical to sequential
@@ -63,8 +69,10 @@ fn mis_power(threads: usize, dedup: bool) -> Engine {
 #[test]
 fn parallel_batch_is_byte_identical_to_sequential() {
     let batch = mixed_batch();
-    let sequential = two_colouring(1, true).solve_batch(&batch);
-    let parallel = two_colouring(4, true).solve_batch(&batch);
+    let (seq_engine, seq_prepared) = two_colouring(1, true);
+    let sequential = seq_engine.solve_batch(&seq_prepared, &batch);
+    let (par_engine, par_prepared) = two_colouring(4, true);
+    let parallel = par_engine.solve_batch(&par_prepared, &batch);
     assert_eq!(sequential.threads(), 1);
     assert_eq!(parallel.threads(), 4.min(batch.len()));
     assert_eq!(
@@ -73,7 +81,8 @@ fn parallel_batch_is_byte_identical_to_sequential() {
         "parallel dispatch changed the batch output"
     );
     // Dedup must be observationally transparent too.
-    let undeduped = two_colouring(4, false).solve_batch(&batch);
+    let (raw_engine, raw_prepared) = two_colouring(4, false);
+    let undeduped = raw_engine.solve_batch(&raw_prepared, &batch);
     assert_eq!(undeduped.dedup_hits(), 0);
     assert_eq!(
         format!("{:?}", sequential.results()),
@@ -89,14 +98,17 @@ fn parallel_batch_is_byte_identical_to_sequential() {
 #[test]
 fn mixed_topology_batch_is_byte_identical_and_deduped() {
     let batch = mixed_topology_batch();
-    let sequential = mis_power(1, true).solve_batch(&batch);
-    let parallel = mis_power(4, true).solve_batch(&batch);
+    let (seq_engine, seq_prepared) = mis_power(1, true);
+    let sequential = seq_engine.solve_batch(&seq_prepared, &batch);
+    let (par_engine, par_prepared) = mis_power(4, true);
+    let parallel = par_engine.solve_batch(&par_prepared, &batch);
     assert_eq!(
         format!("{:?}", sequential.results()),
         format!("{:?}", parallel.results()),
         "parallel dispatch changed the mixed-topology batch output"
     );
-    let undeduped = mis_power(4, false).solve_batch(&batch);
+    let (raw_engine, raw_prepared) = mis_power(4, false);
+    let undeduped = raw_engine.solve_batch(&raw_prepared, &batch);
     assert_eq!(undeduped.dedup_hits(), 0);
     assert_eq!(
         format!("{:?}", sequential.results()),
@@ -132,18 +144,14 @@ fn mixed_topology_batch_is_byte_identical_and_deduped() {
 /// duplicates dedup.
 #[test]
 fn ddim_edge_colouring_batch_mixes_verdicts() {
-    let engine = Engine::builder()
-        .problem(ProblemSpec::edge_colouring(6))
-        .max_synthesis_k(1)
-        .threads(2)
-        .build()
-        .unwrap();
+    let engine = engine(2, true);
+    let prepared = engine.prepare(&ProblemSpec::edge_colouring(6)).unwrap();
     let batch = vec![
         Instance::torus_d(3, 4, &IdAssignment::Sequential),
         Instance::torus_d(3, 5, &IdAssignment::Sequential),
         Instance::torus_d(3, 4, &IdAssignment::Sequential),
     ];
-    let report = engine.solve_batch(&batch);
+    let report = engine.solve_batch(&prepared, &batch);
     assert_eq!(report.solved(), 2);
     assert_eq!(report.failed(), 1);
     assert_eq!(report.dedup_hits(), 1);
@@ -160,25 +168,31 @@ fn ddim_edge_colouring_batch_mixes_verdicts() {
 }
 
 /// The in-batch labelling cache solves each distinct instance once and
-/// reports the duplicate count.
+/// reports the duplicate count — aggregate and per problem.
 #[test]
 fn batch_dedup_counts_hits_and_shares_labellings() {
-    let registry = Arc::new(Registry::new());
-    let engine = Engine::builder()
-        .problem(ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4])))
-        .max_synthesis_k(1)
-        .registry(Arc::clone(&registry))
-        .build()
-        .unwrap();
+    let engine = Engine::builder().max_synthesis_k(1).build();
+    let spec = ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4]));
+    let prepared = engine.prepare(&spec).unwrap();
     // Three distinct instances, each appearing twice.
     let batch: Vec<Instance> = [3u64, 5, 3, 9, 5, 9]
         .iter()
         .map(|&seed| Instance::square(10, &IdAssignment::Shuffled { seed }))
         .collect();
-    let report = engine.solve_batch(&batch);
+    let report = engine.solve_batch(&prepared, &batch);
     assert_eq!(report.solved(), 6);
     assert_eq!(report.dedup_hits(), 3, "three duplicates in the batch");
-    assert_eq!(registry.synth_stats().synthesised, 1, "one SAT call total");
+    assert_eq!(
+        engine.registry().synth_stats().synthesised,
+        1,
+        "one SAT call total"
+    );
+    // The per-problem row carries the same accounting.
+    let stats = report.problem_stats(spec.name()).unwrap();
+    assert_eq!(stats.jobs, 6);
+    assert_eq!(stats.solved, 6);
+    assert_eq!(stats.dedup_hits, 3);
+    assert_eq!(stats.synth_solves, 3, "three fresh synthesised solves");
     let results = report.results();
     for (a, b) in [(0usize, 2usize), (1, 4), (3, 5)] {
         assert_eq!(
@@ -198,34 +212,122 @@ fn batch_dedup_counts_hits_and_shares_labellings() {
 /// same dims on different topologies must not either.
 #[test]
 fn dedup_distinguishes_id_assignments_and_topologies() {
-    let engine = two_colouring(2, true);
+    let (engine, prepared) = two_colouring(2, true);
     let batch = vec![
         Instance::square(6, &IdAssignment::Sequential),
         Instance::square(6, &IdAssignment::Shuffled { seed: 1 }),
         Instance::square(6, &IdAssignment::Sequential),
     ];
-    let report = engine.solve_batch(&batch);
+    let report = engine.solve_batch(&prepared, &batch);
     assert_eq!(report.dedup_hits(), 1, "only the exact duplicate dedups");
     assert_eq!(report.solved(), 3);
 
     // A 3-d torus and a 2-d torus with the same node count and ids are
     // different inputs: no shared group.
-    let engine = mis_power(2, true);
+    let (engine, prepared) = mis_power(2, true);
     let batch = vec![
         Instance::torus_d(3, 4, &IdAssignment::Sequential),
         Instance::square(8, &IdAssignment::Sequential), // 64 nodes too
     ];
-    let report = engine.solve_batch(&batch);
+    let report = engine.solve_batch(&prepared, &batch);
     assert_eq!(report.dedup_hits(), 0, "topologies must not alias");
     assert_eq!(report.solved(), 2);
+}
+
+/// Two different problems over instances with identical dimensions and
+/// identifiers must never share a dedup group: the dedup key carries the
+/// prepared problem's cache key. Pinned cross-problem through
+/// `solve_jobs` and the per-problem `dedup_hits` counters.
+#[test]
+fn dedup_never_collides_across_problems() {
+    let engine = Engine::builder().max_synthesis_k(1).threads(2).build();
+    let two = engine.prepare(&ProblemSpec::vertex_colouring(2)).unwrap();
+    let ind = engine.prepare(&ProblemSpec::independent_set()).unwrap();
+    // Identical instance (same dims, same ids) under both problems, plus
+    // one true duplicate per problem.
+    let inst = || Instance::square(6, &IdAssignment::Sequential);
+    let jobs = vec![
+        Job::new(two.clone(), inst()),
+        Job::new(ind.clone(), inst()),
+        Job::new(two.clone(), inst()),
+        Job::new(ind.clone(), inst()),
+    ];
+    let report = engine.solve_jobs(&jobs);
+    assert_eq!(report.solved(), 4);
+    assert_eq!(
+        report.dedup_hits(),
+        2,
+        "one duplicate per problem; never across problems"
+    );
+    let results = report.results();
+    // Within a problem: shared labelling. Across problems: the
+    // independent-set solve is the constant-0 labelling, the 2-colouring
+    // solve is not — a collision would hand one problem the other's
+    // labels (and fail validation).
+    assert_eq!(
+        results[0].as_ref().unwrap().labels,
+        results[2].as_ref().unwrap().labels
+    );
+    assert_eq!(
+        results[1].as_ref().unwrap().labels,
+        results[3].as_ref().unwrap().labels
+    );
+    assert!(results[1].as_ref().unwrap().labels.iter().all(|&l| l == 0));
+    assert_ne!(
+        results[0].as_ref().unwrap().labels,
+        results[1].as_ref().unwrap().labels,
+        "problems with identical dims/ids must not share labellings"
+    );
+    // Per-problem accounting: one dedup hit each.
+    assert_eq!(report.per_problem().len(), 2);
+    let two_stats = report.problem_stats("vertex-2-colouring").unwrap();
+    assert_eq!((two_stats.jobs, two_stats.dedup_hits), (2, 1));
+    let ind_stats = report.problem_stats("independent-set").unwrap();
+    assert_eq!((ind_stats.jobs, ind_stats.dedup_hits), (2, 1));
+}
+
+/// Handles from differently-configured engines may share a cache key
+/// (the key carries problem content + synthesis budget, not seed or
+/// policy) — dedup must still keep them apart, because their outputs can
+/// differ. Sharing requires the same prepared handle, not a key match.
+#[test]
+fn dedup_respects_engine_configuration_not_just_cache_key() {
+    let seeded = |seed| Engine::builder().max_synthesis_k(1).seed(seed).build();
+    let a = seeded(1);
+    let b = seeded(2);
+    // 3-colouring solves through the seed-sampled SAT baseline.
+    let pa = a.prepare(&ProblemSpec::vertex_colouring(3)).unwrap();
+    let pb = b.prepare(&ProblemSpec::vertex_colouring(3)).unwrap();
+    assert_eq!(pa.cache_key(), pb.cache_key(), "keys agree by design");
+    let inst = Instance::square(6, &IdAssignment::Sequential);
+    let jobs = vec![
+        Job::new(pa.clone(), inst.clone()),
+        Job::new(pb.clone(), inst.clone()),
+    ];
+    let report = a.solve_jobs(&jobs);
+    assert_eq!(
+        report.dedup_hits(),
+        0,
+        "equal cache keys from differently-seeded engines must not share"
+    );
+    // Each job got exactly what its own handle would have produced.
+    let results = report.results();
+    assert_eq!(
+        results[0].as_ref().unwrap().labels,
+        pa.solve(&inst).unwrap().labels
+    );
+    assert_eq!(
+        results[1].as_ref().unwrap().labels,
+        pb.solve(&inst).unwrap().labels
+    );
 }
 
 /// `threads(0)` resolves to the machine's available parallelism.
 #[test]
 fn zero_threads_means_all_cores() {
-    let engine = two_colouring(0, true);
+    let (engine, prepared) = two_colouring(0, true);
     let batch = mixed_batch();
-    let report = engine.solve_batch(&batch);
+    let report = engine.solve_batch(&prepared, &batch);
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     // The pool is sized to the deduped work list (5 distinct instances).
     assert_eq!(
@@ -247,13 +349,11 @@ fn disk_cache_round_trip_eliminates_the_sat_call() {
 
     let cold_registry = Arc::new(Registry::new());
     let cold = Engine::builder()
-        .problem(spec.clone())
         .max_synthesis_k(1)
         .registry(Arc::clone(&cold_registry))
         .cache_dir(&dir)
-        .build()
-        .unwrap();
-    let first = cold.solve(&inst).unwrap();
+        .build();
+    let first = cold.solve(&spec, &inst).unwrap();
     assert_eq!(first.report.solver, "synthesised-tiles");
     assert_eq!(first.report.detail("synth_origin"), Some("sat"));
     assert_eq!(cold_registry.synth_stats().synthesised, 1);
@@ -262,13 +362,11 @@ fn disk_cache_round_trip_eliminates_the_sat_call() {
     // survives.
     let warm_registry = Arc::new(Registry::new());
     let warm = Engine::builder()
-        .problem(spec)
         .max_synthesis_k(1)
         .registry(Arc::clone(&warm_registry))
         .cache_dir(&dir)
-        .build()
-        .unwrap();
-    let second = warm.solve(&inst).unwrap();
+        .build();
+    let second = warm.solve(&spec, &inst).unwrap();
     let stats = warm_registry.synth_stats();
     assert_eq!(stats.synthesised, 0, "warm cache must skip the SAT call");
     assert_eq!(stats.disk_hits, 1);
@@ -285,20 +383,21 @@ fn disk_cache_round_trip_eliminates_the_sat_call() {
 #[test]
 fn disk_cache_survives_mixed_topology_batches() {
     let dir = scratch_dir("mixed-topo");
+    let spec = ProblemSpec::edge_colouring(4);
     let build = |registry: &Arc<Registry>| {
         Engine::builder()
-            .problem(ProblemSpec::edge_colouring(4))
             .max_synthesis_k(1)
             .registry(Arc::clone(registry))
             .cache_dir(&dir)
             .threads(2)
             .build()
-            .unwrap()
     };
     let batch = mixed_topology_batch();
 
     let cold_registry = Arc::new(Registry::new());
-    let cold = build(&cold_registry).solve_batch(&batch);
+    let cold_engine = build(&cold_registry);
+    let cold_prepared = cold_engine.prepare(&spec).unwrap();
+    let cold = cold_engine.solve_batch(&cold_prepared, &batch);
     assert_eq!(cold.solved(), 4, "the four 2-d entries solve");
     assert_eq!(cold.failed(), 3, "the three 3-d entries are uncovered");
     // Edge 4-colouring is global: one negative synthesis verdict total,
@@ -316,7 +415,9 @@ fn disk_cache_survives_mixed_topology_batches() {
     ));
 
     let warm_registry = Arc::new(Registry::new());
-    let warm = build(&warm_registry).solve_batch(&batch);
+    let warm_engine = build(&warm_registry);
+    let warm_prepared = warm_engine.prepare(&spec).unwrap();
+    let warm = warm_engine.solve_batch(&warm_prepared, &batch);
     assert_eq!(
         format!("{:?}", cold.results()),
         format!("{:?}", warm.results()),
@@ -337,20 +438,18 @@ fn negative_synthesis_outcome_persists() {
     let inst = Instance::square(6, &IdAssignment::Sequential);
     let build = |registry: &Arc<Registry>| {
         Engine::builder()
-            .problem(spec.clone())
             .max_synthesis_k(1)
             .registry(Arc::clone(registry))
             .cache_dir(&dir)
             .build()
-            .unwrap()
     };
 
     let cold_registry = Arc::new(Registry::new());
-    build(&cold_registry).solve(&inst).unwrap();
+    build(&cold_registry).solve(&spec, &inst).unwrap();
     assert_eq!(cold_registry.synth_stats().synthesised, 1);
 
     let warm_registry = Arc::new(Registry::new());
-    let labelling = build(&warm_registry).solve(&inst).unwrap();
+    let labelling = build(&warm_registry).solve(&spec, &inst).unwrap();
     assert_eq!(labelling.report.solver, "sat-existence");
     let stats = warm_registry.synth_stats();
     assert_eq!(stats.synthesised, 0, "cached negative verdict was ignored");
@@ -370,16 +469,14 @@ fn corrupt_cache_file_triggers_resynthesis() {
     let inst = Instance::square(10, &IdAssignment::Shuffled { seed: 7 });
     let build = |registry: &Arc<Registry>| {
         Engine::builder()
-            .problem(spec.clone())
             .max_synthesis_k(1)
             .registry(Arc::clone(registry))
             .cache_dir(&dir)
             .build()
-            .unwrap()
     };
 
     let cold_registry = Arc::new(Registry::new());
-    let first = build(&cold_registry).solve(&inst).unwrap();
+    let first = build(&cold_registry).solve(&spec, &inst).unwrap();
 
     // Vandalise every cache file.
     let mut clobbered = 0;
@@ -391,7 +488,7 @@ fn corrupt_cache_file_triggers_resynthesis() {
     assert!(clobbered > 0, "the cold engine must have written a file");
 
     let recovering_registry = Arc::new(Registry::new());
-    let second = build(&recovering_registry).solve(&inst).unwrap();
+    let second = build(&recovering_registry).solve(&spec, &inst).unwrap();
     let stats = recovering_registry.synth_stats();
     assert_eq!(stats.disk_hits, 0, "corrupt file must not count as a hit");
     assert_eq!(stats.synthesised, 1, "resynthesised from scratch");
@@ -404,15 +501,17 @@ fn corrupt_cache_file_triggers_resynthesis() {
 /// batch totals add up.
 #[test]
 fn unsolvable_duplicates_share_the_verdict() {
-    let engine = two_colouring(3, true);
+    let (engine, prepared) = two_colouring(3, true);
     let batch: Vec<Instance> = [5usize, 5, 5]
         .iter()
         .map(|&n| Instance::square(n, &IdAssignment::Sequential))
         .collect();
-    let report = engine.solve_batch(&batch);
+    let report = engine.solve_batch(&prepared, &batch);
     assert_eq!(report.failed(), 3);
     assert_eq!(report.dedup_hits(), 2);
     for result in report.results() {
         assert!(matches!(result, Err(SolveError::Unsolvable { .. })));
     }
+    let stats = report.problem_stats("vertex-2-colouring").unwrap();
+    assert_eq!((stats.failed, stats.dedup_hits), (3, 2));
 }

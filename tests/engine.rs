@@ -1,7 +1,7 @@
-//! Integration tests for the unified engine API: every problem in the
-//! registry solves through [`Engine`] and re-validates against the
-//! *independent* topology-native checker; failures come back as typed
-//! [`SolveError`] values, never panics.
+//! Integration tests for the unified engine API: one problem-agnostic
+//! [`Engine`] prepares and solves every problem in the registry,
+//! re-validating against the *independent* topology-native checker;
+//! failures come back as typed [`SolveError`] values, never panics.
 
 use lcl_grids::algorithms::corner::{self, BoundaryGrid};
 use lcl_grids::core::classify::GridClass;
@@ -13,22 +13,20 @@ use lcl_grids::engine::{
 use lcl_grids::local::IdAssignment;
 use std::sync::Arc;
 
-fn engine_for(spec: ProblemSpec, registry: &Arc<Registry>) -> Engine {
+fn engine_with(registry: &Arc<Registry>) -> Engine {
     Engine::builder()
-        .problem(spec)
         .max_synthesis_k(2)
         .registry(Arc::clone(registry))
         .build()
-        .expect("every registry problem has a solver plan")
 }
 
 /// Every torus problem in the registry solves on a small torus through
-/// the engine, and the labelling passes the canonical checker for its
-/// topology — the tabulated 2×2 normal form where one exists, the native
-/// validator otherwise.
+/// one shared engine, and the labelling passes the canonical checker for
+/// its topology — the tabulated 2×2 normal form where one exists, the
+/// native validator otherwise.
 #[test]
 fn registry_problems_solve_and_revalidate() {
-    let registry = Arc::new(Registry::new());
+    let engine = engine_with(&Arc::new(Registry::new()));
     let inst = Instance::square(12, &IdAssignment::Shuffled { seed: 2017 });
     let torus = inst.as_torus2().unwrap().torus();
     for spec in Registry::problems() {
@@ -37,8 +35,10 @@ fn registry_problems_solve_and_revalidate() {
         }
         let name = spec.name().to_string();
         let block_lcl = spec.to_block_lcl();
-        let engine = engine_for(spec.clone(), &registry);
-        let labelling = engine
+        let prepared = engine
+            .prepare(&spec)
+            .expect("every registry problem has a solver plan");
+        let labelling = prepared
             .solve(&inst)
             .unwrap_or_else(|e| panic!("{name} failed on 12x12: {e}"));
         assert_eq!(labelling.labels.len(), torus.node_count(), "{name}");
@@ -64,6 +64,14 @@ fn registry_problems_solve_and_revalidate() {
                 .unwrap_or_else(|e| panic!("{name}: {e}")),
         }
     }
+    // One prepared plan per registry problem, resolved exactly once.
+    assert_eq!(
+        engine.prepared_plans(),
+        Registry::problems()
+            .iter()
+            .filter(|s| s.home_topology() == Topology::Torus2)
+            .count()
+    );
 }
 
 /// The hand-built §8 construction is what the engine picks for vertex
@@ -71,30 +79,26 @@ fn registry_problems_solve_and_revalidate() {
 #[test]
 fn four_colouring_uses_ball_carving_when_it_fits() {
     let engine = Engine::builder()
-        .problem(ProblemSpec::vertex_colouring(4))
         .max_synthesis_k(1) // keep synthesis out of the way
-        .build()
-        .unwrap();
+        .build();
+    let prepared = engine.prepare(&ProblemSpec::vertex_colouring(4)).unwrap();
     let inst = Instance::square(24, &IdAssignment::Shuffled { seed: 3 });
-    let labelling = engine.solve(&inst).unwrap();
+    let labelling = prepared.solve(&inst).unwrap();
     assert_eq!(labelling.report.solver, "ball-carving-4-colouring");
     // On a torus too small for ball carving the engine falls back to SAT.
     let small = Instance::square(8, &IdAssignment::Shuffled { seed: 3 });
-    let fallback = engine.solve(&small).unwrap();
+    let fallback = prepared.solve(&small).unwrap();
     assert_eq!(fallback.report.solver, "sat-existence");
 }
 
 /// Unsolvable instances surface as the exact `Unsolvable` verdict.
 #[test]
 fn unsolvable_is_a_typed_error() {
-    let engine = Engine::builder()
-        .problem(ProblemSpec::vertex_colouring(2))
-        .max_synthesis_k(1)
-        .build()
-        .unwrap();
+    let engine = Engine::builder().max_synthesis_k(1).build();
+    let two = engine.prepare(&ProblemSpec::vertex_colouring(2)).unwrap();
     // 2-colouring has no solution on odd tori …
     let odd = Instance::square(5, &IdAssignment::Sequential);
-    match engine.solve(&odd) {
+    match two.solve(&odd) {
         Err(SolveError::Unsolvable { problem, dims }) => {
             assert_eq!(problem, "vertex-2-colouring");
             assert_eq!(dims, vec![5, 5]);
@@ -103,13 +107,13 @@ fn unsolvable_is_a_typed_error() {
     }
     // … and solves fine on even ones.
     let even = Instance::square(6, &IdAssignment::Sequential);
-    assert!(engine.solve(&even).is_ok());
+    assert!(two.solve(&even).is_ok());
     assert_eq!(
-        engine.solvable(&Instance::from(lcl_grids::grid::Torus2::square(6))),
+        two.solvable(&Instance::from(lcl_grids::grid::Torus2::square(6))),
         Ok(true)
     );
     assert_eq!(
-        engine.solvable(&Instance::from(lcl_grids::grid::Torus2::square(7))),
+        two.solvable(&Instance::from(lcl_grids::grid::Torus2::square(7))),
         Ok(false)
     );
 }
@@ -119,14 +123,12 @@ fn unsolvable_is_a_typed_error() {
 #[test]
 fn round_budget_exhaustion_is_a_typed_error() {
     // 3-colouring is global: only the Θ(n) SAT baseline can solve it.
-    let engine = Engine::builder()
-        .problem(ProblemSpec::vertex_colouring(3))
+    let strict = Engine::builder()
         .max_synthesis_k(1)
         .rounds_budget(1)
-        .build()
-        .unwrap();
+        .build();
     let inst = Instance::square(6, &IdAssignment::Sequential);
-    match engine.solve(&inst) {
+    match strict.solve(&ProblemSpec::vertex_colouring(3), &inst) {
         Err(SolveError::RoundBudgetExceeded { budget, needed }) => {
             assert_eq!(budget, 1);
             assert!(needed > 1, "gathering a 6x6 torus costs its diameter");
@@ -134,45 +136,28 @@ fn round_budget_exhaustion_is_a_typed_error() {
         other => panic!("expected RoundBudgetExceeded, got {other:?}"),
     }
     // A generous budget admits the same solution.
-    let engine = Engine::builder()
-        .problem(ProblemSpec::vertex_colouring(3))
+    let generous = Engine::builder()
         .max_synthesis_k(1)
         .rounds_budget(1_000)
-        .build()
-        .unwrap();
-    assert!(engine.solve(&inst).is_ok());
+        .build();
+    assert!(generous
+        .solve(&ProblemSpec::vertex_colouring(3), &inst)
+        .is_ok());
 }
 
 /// Topology mismatches are typed errors in both directions — through the
-/// one `solve` entry point.
+/// one engine.
 #[test]
 fn topology_mismatch_is_a_typed_error() {
-    let corner_engine = Engine::builder()
-        .problem(ProblemSpec::corner_coordination())
-        .build()
-        .unwrap();
+    let engine = Engine::builder().build();
     let inst = Instance::square(6, &IdAssignment::Sequential);
     assert!(matches!(
-        corner_engine.solve(&inst),
+        engine.solve(&ProblemSpec::corner_coordination(), &inst),
         Err(SolveError::UnsupportedTopology { .. })
     ));
-
-    let torus_engine = Engine::builder()
-        .problem(ProblemSpec::independent_set())
-        .build()
-        .unwrap();
     assert!(matches!(
-        torus_engine.solve(&Instance::boundary(5)),
+        engine.solve(&ProblemSpec::independent_set(), &Instance::boundary(5)),
         Err(SolveError::UnsupportedTopology { .. })
-    ));
-}
-
-/// An engine without a problem refuses to build.
-#[test]
-fn missing_problem_is_a_typed_error() {
-    assert!(matches!(
-        Engine::builder().build().map(|_| ()),
-        Err(SolveError::MissingProblem)
     ));
 }
 
@@ -181,37 +166,32 @@ fn missing_problem_is_a_typed_error() {
 /// decodes back to a pseudoforest the independent checker accepts.
 #[test]
 fn corner_coordination_via_engine() {
-    let engine = Engine::builder()
-        .problem(ProblemSpec::corner_coordination())
-        .build()
-        .unwrap();
-    assert_eq!(engine.solver_names(), vec!["boundary-paths"]);
+    let engine = Engine::builder().build();
+    let prepared = engine.prepare(&ProblemSpec::corner_coordination()).unwrap();
+    assert_eq!(prepared.solver_names(), vec!["boundary-paths"]);
     for m in [3usize, 5, 8] {
         let inst = Instance::boundary(m);
-        let labelling = engine.solve(&inst).unwrap();
+        let labelling = prepared.solve(&inst).unwrap();
         assert_eq!(labelling.labels.len(), m * m);
         assert!(labelling.report.validated);
         let grid = BoundaryGrid::new(m);
         let forest = decode_forest(&grid, &labelling.labels);
         corner::check(&grid, &forest).unwrap_or_else(|e| panic!("m={m}: {e}"));
     }
-    assert_eq!(engine.solvable(&Instance::boundary(4)), Ok(true));
+    assert_eq!(prepared.solvable(&Instance::boundary(4)), Ok(true));
 }
 
 /// `solve_batch` keeps per-instance failures independent and aggregates
 /// round accounting.
 #[test]
 fn batch_mixes_successes_and_failures() {
-    let engine = Engine::builder()
-        .problem(ProblemSpec::vertex_colouring(2))
-        .max_synthesis_k(1)
-        .build()
-        .unwrap();
+    let engine = Engine::builder().max_synthesis_k(1).build();
+    let prepared = engine.prepare(&ProblemSpec::vertex_colouring(2)).unwrap();
     let batch: Vec<Instance> = [4usize, 5, 6, 7]
         .iter()
         .map(|&n| Instance::square(n, &IdAssignment::Sequential))
         .collect();
-    let report = engine.solve_batch(&batch);
+    let report = engine.solve_batch(&prepared, &batch);
     assert_eq!(report.solved(), 2, "even tori solve");
     assert_eq!(report.failed(), 2, "odd tori are unsolvable");
     assert!(report.total_rounds() > 0);
@@ -229,21 +209,22 @@ fn registry_memoises_synthesis_across_engines() {
     let spec = ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4]));
     let inst = Instance::square(10, &IdAssignment::Shuffled { seed: 9 });
 
-    let first = engine_for(spec.clone(), &registry);
-    first.solve(&inst).unwrap();
+    let first = engine_with(&registry);
+    first.solve(&spec, &inst).unwrap();
     assert_eq!(registry.cached_syntheses(), 1);
 
-    let second = engine_for(spec, &registry);
-    let labelling = second.solve(&inst).unwrap();
+    let second = engine_with(&registry);
+    let labelling = second.solve(&spec, &inst).unwrap();
     assert_eq!(labelling.report.solver, "synthesised-tiles");
     assert_eq!(registry.cached_syntheses(), 1, "no re-synthesis");
 }
 
-/// The classification adapter reproduces the paper's verdicts.
+/// The classification adapter reproduces the paper's verdicts — all
+/// through one shared engine.
 #[test]
 fn classification_through_engine() {
-    let registry = Arc::new(Registry::new());
-    let classify = |spec: ProblemSpec| engine_for(spec, &registry).classify().unwrap();
+    let engine = engine_with(&Arc::new(Registry::new()));
+    let classify = |spec: ProblemSpec| engine.classify(&spec).unwrap();
     assert_eq!(
         classify(ProblemSpec::independent_set()),
         GridClass::Constant
@@ -274,17 +255,16 @@ fn classification_through_engine() {
 #[test]
 fn classification_sees_hand_built_upper_bounds() {
     let engine = Engine::builder()
-        .problem(ProblemSpec::vertex_colouring(4))
         .max_synthesis_k(1) // synthesis fails at k = 1 (§7)
-        .build()
-        .unwrap();
-    assert_eq!(engine.classify().unwrap(), GridClass::LogStar);
-    let edge = Engine::builder()
-        .problem(ProblemSpec::edge_colouring(5))
-        .max_synthesis_k(1)
-        .build()
-        .unwrap();
-    assert_eq!(edge.classify().unwrap(), GridClass::LogStar);
+        .build();
+    assert_eq!(
+        engine.classify(&ProblemSpec::vertex_colouring(4)).unwrap(),
+        GridClass::LogStar
+    );
+    assert_eq!(
+        engine.classify(&ProblemSpec::edge_colouring(5)).unwrap(),
+        GridClass::LogStar
+    );
 }
 
 /// classify() stays panic-free on block problems whose alphabet is too
@@ -296,21 +276,17 @@ fn classification_of_unsynthesisable_block_is_panic_free() {
         "wide-alphabet",
         BlockLcl::from_predicate(9, |b| b[0] != b[3]),
     );
-    let engine = Engine::builder()
-        .problem(spec)
-        .max_synthesis_k(2)
-        .build()
-        .unwrap();
-    assert_eq!(engine.solver_names(), vec!["sat-existence"]);
-    assert_eq!(engine.classify().unwrap(), GridClass::Global);
+    let engine = Engine::builder().max_synthesis_k(2).build();
+    let prepared = engine.prepare(&spec).unwrap();
+    assert_eq!(prepared.solver_names(), vec!["sat-existence"]);
+    assert_eq!(prepared.classify().unwrap(), GridClass::Global);
 }
 
 /// Two different block LCLs under the same free-form name must not share
-/// a memoised synthesis outcome in a shared registry.
+/// a memoised synthesis outcome — or a prepared plan — in one engine.
 #[test]
 fn synthesis_cache_distinguishes_same_named_blocks() {
     use lcl_grids::core::lcl::BlockLcl;
-    let registry = Arc::new(Registry::new());
     // Same name, different problems: the {1,3,4}-orientation in block
     // form (synthesises at k = 1, populating the cache) vs vertex
     // 2-colouring in block form (global).
@@ -322,31 +298,35 @@ fn synthesis_cache_distinguishes_same_named_blocks() {
             sw != se && nw != ne && sw != nw && se != ne
         }),
     );
-    let classify = |spec: ProblemSpec| {
-        Engine::builder()
-            .problem(spec)
-            .max_synthesis_k(1)
-            .registry(Arc::clone(&registry))
-            .build()
-            .unwrap()
-            .classify()
-            .unwrap()
-    };
-    assert_eq!(classify(easy), GridClass::LogStar);
-    assert!(registry.cached_syntheses() > 0, "cache was populated");
-    assert_eq!(classify(hard), GridClass::Global, "no cache collision");
+    let engine = Engine::builder().max_synthesis_k(1).build();
+    assert_eq!(engine.classify(&easy).unwrap(), GridClass::LogStar);
+    assert!(
+        engine.registry().cached_syntheses() > 0,
+        "cache was populated"
+    );
+    assert_eq!(
+        engine.classify(&hard).unwrap(),
+        GridClass::Global,
+        "no cache collision"
+    );
+    assert_eq!(
+        engine.prepared_plans(),
+        2,
+        "same-named blocks resolve to distinct prepared plans"
+    );
 }
 
 /// The round ledger of a log* solver stays flat across instance sizes —
 /// the engine reports rounds faithfully enough to see the complexity.
 #[test]
 fn report_rounds_reflect_log_star_behaviour() {
-    let registry = Arc::new(Registry::new());
-    let spec = ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4]));
-    let engine = engine_for(spec, &registry);
+    let engine = engine_with(&Arc::new(Registry::new()));
+    let prepared = engine
+        .prepare(&ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4])))
+        .unwrap();
     let rounds = |n: usize| {
         let inst = Instance::square(n, &IdAssignment::Shuffled { seed: 5 });
-        engine.solve(&inst).unwrap().report.rounds.total()
+        prepared.solve(&inst).unwrap().report.rounds.total()
     };
     let small = rounds(12);
     let large = rounds(48);
@@ -361,14 +341,13 @@ fn report_rounds_reflect_log_star_behaviour() {
 /// and records both measurements in the report.
 #[test]
 fn debug_validation_records_protocol_rounds() {
+    let spec = ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4]));
     let engine = Engine::builder()
-        .problem(ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4])))
         .max_synthesis_k(1)
         .debug_validation(true)
-        .build()
-        .unwrap();
+        .build();
     let inst = Instance::square(12, &IdAssignment::Shuffled { seed: 31 });
-    let labelling = engine.solve(&inst).unwrap();
+    let labelling = engine.solve(&spec, &inst).unwrap();
     assert_eq!(labelling.report.detail("debug_validation"), Some("ok"));
     let ledger: u64 = labelling
         .report
@@ -385,14 +364,10 @@ fn debug_validation_records_protocol_rounds() {
     assert!(ledger <= protocol && protocol <= ledger + 5);
     // Large instances skip the cross-check instead of paying for it.
     let big = Instance::square(80, &IdAssignment::Shuffled { seed: 31 });
-    let labelling = engine.solve(&big).unwrap();
+    let labelling = engine.solve(&spec, &big).unwrap();
     assert_eq!(labelling.report.detail("debug_validation"), Some("skipped"));
     // Off by default: no debug details in a plain engine's reports.
-    let plain = Engine::builder()
-        .problem(ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4])))
-        .max_synthesis_k(1)
-        .build()
-        .unwrap();
-    let labelling = plain.solve(&inst).unwrap();
+    let plain = Engine::builder().max_synthesis_k(1).build();
+    let labelling = plain.solve(&spec, &inst).unwrap();
     assert_eq!(labelling.report.detail("debug_validation"), None);
 }

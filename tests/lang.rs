@@ -118,12 +118,13 @@ fn golden_independent_set_matches_and_stays_constant_class() {
     );
     // The compiled problem routes through the constant tier, like the
     // hand-built one.
-    let engine = Engine::builder().problem(spec).build().unwrap();
+    let engine = Engine::builder().build();
+    let prepared = engine.prepare(&spec).unwrap();
     assert_eq!(
-        engine.classify().unwrap(),
+        prepared.classify().unwrap(),
         lcl_grids::core::classify::GridClass::Constant
     );
-    let labelling = engine
+    let labelling = prepared
         .solve(&Instance::square(6, &IdAssignment::Sequential))
         .unwrap();
     assert_eq!(labelling.report.solver, "constant");
@@ -303,15 +304,16 @@ fn radius_2_fixture_end_to_end() {
 
     // classify: alphabet 16 is beyond the synthesis tabulator and there
     // is no constant solution — Global is the honest one-sided verdict.
-    let engine = Engine::builder().problem(spec).build().unwrap();
+    let engine = Engine::builder().build();
+    let prepared = engine.prepare(&spec).unwrap();
     assert_eq!(
-        engine.classify().unwrap(),
+        prepared.classify().unwrap(),
         lcl_grids::core::classify::GridClass::Global
     );
 
     // solve: the SAT existence baseline produces a validated labelling.
     let inst = Instance::square(8, &IdAssignment::Shuffled { seed: 11 });
-    let labelling = engine.solve(&inst).unwrap();
+    let labelling = prepared.solve(&inst).unwrap();
     assert_eq!(labelling.report.solver, "sat-existence");
     assert!(labelling.report.validated);
     // Decode back to source labels and check the original property: no
@@ -337,7 +339,7 @@ fn radius_2_fixture_end_to_end() {
         Instance::square(8, &IdAssignment::Shuffled { seed: 11 }),
         Instance::square(8, &IdAssignment::Shuffled { seed: 12 }),
     ];
-    let report = engine.solve_batch(&batch);
+    let report = engine.solve_batch(&prepared, &batch);
     assert_eq!(report.solved(), 3);
     assert_eq!(report.dedup_hits(), 1);
     let results = report.results();
@@ -356,13 +358,10 @@ fn compiled_pairwise_problem_solves_on_d3_tori() {
     let spec =
         ProblemSpec::compile("problem two-colouring { alphabet { black, white } edges differ }")
             .unwrap();
-    let engine = Engine::builder()
-        .problem(spec)
-        .max_synthesis_k(1)
-        .build()
-        .unwrap();
+    let engine = Engine::builder().max_synthesis_k(1).build();
+    let prepared = engine.prepare(&spec).unwrap();
     let even = Instance::torus_d(3, 4, &IdAssignment::Sequential);
-    let labelling = engine.solve(&even).unwrap();
+    let labelling = prepared.solve(&even).unwrap();
     assert_eq!(labelling.report.solver, "ddim-pairwise-sat");
     assert!(labelling.report.validated);
     assert!(problems::is_proper_vertex_colouring_d(
@@ -372,10 +371,10 @@ fn compiled_pairwise_problem_solves_on_d3_tori() {
     ));
     // Odd side: an exact Unsolvable verdict beyond Theorem 21's family.
     let odd = Instance::torus_d(3, 3, &IdAssignment::Sequential);
-    match engine.solve(&odd) {
+    match prepared.solve(&odd) {
         Err(SolveError::Unsolvable { dims, .. }) => assert_eq!(dims, vec![3, 3, 3]),
         other => panic!("expected Unsolvable, got {other:?}"),
     }
-    assert_eq!(engine.solvable(&even), Ok(true));
-    assert_eq!(engine.solvable(&odd), Ok(false));
+    assert_eq!(prepared.solvable(&even), Ok(true));
+    assert_eq!(prepared.solvable(&odd), Ok(false));
 }

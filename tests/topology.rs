@@ -9,16 +9,6 @@ use lcl_grids::core::problems::{self, XSet};
 use lcl_grids::engine::{Engine, Instance, ProblemSpec, Registry, SolveError, Topology};
 use lcl_grids::grid::{Metric, Torus2, TorusD};
 use lcl_grids::local::IdAssignment;
-use std::sync::Arc;
-
-fn engine_for(spec: ProblemSpec, registry: &Arc<Registry>) -> Engine {
-    Engine::builder()
-        .problem(spec)
-        .max_synthesis_k(2)
-        .registry(Arc::clone(registry))
-        .build()
-        .expect("every registry problem has a solver plan")
-}
 
 /// Solving a `TorusD::new(2, n)` instance through the engine must produce
 /// a labelling that the `Torus2`-based validators accept — for every
@@ -26,7 +16,7 @@ fn engine_for(spec: ProblemSpec, registry: &Arc<Registry>) -> Engine {
 /// `Torus2` spelling of the same instance.
 #[test]
 fn d2_torus_solves_like_torus2_for_every_registered_problem() {
-    let registry = Arc::new(Registry::new());
+    let engine = Engine::builder().max_synthesis_k(2).build();
     let n = 12;
     let seed = 2017;
     let d2 = Instance::torus_d(2, n, &IdAssignment::Shuffled { seed });
@@ -38,11 +28,13 @@ fn d2_torus_solves_like_torus2_for_every_registered_problem() {
         }
         let name = spec.name().to_string();
         assert!(spec.supports(Topology::TorusD { d: 2 }), "{name}");
-        let engine = engine_for(spec.clone(), &registry);
-        let from_d2 = engine
+        let prepared = engine
+            .prepare(&spec)
+            .expect("every registry problem has a solver plan");
+        let from_d2 = prepared
             .solve(&d2)
             .unwrap_or_else(|e| panic!("{name} failed on TorusD(2, {n}): {e}"));
-        let from_flat = engine.solve(&flat).unwrap();
+        let from_flat = prepared.solve(&flat).unwrap();
         assert_eq!(
             from_d2.labels, from_flat.labels,
             "{name}: TorusD{{d=2}} and Torus2 labellings diverged"
@@ -77,14 +69,11 @@ fn d2_torus_solves_like_torus2_for_every_registered_problem() {
 /// labelling checked by the native d-dimensional validator.
 #[test]
 fn d3_edge_colouring_end_to_end() {
-    let engine = Engine::builder()
-        .problem(ProblemSpec::edge_colouring(6))
-        .max_synthesis_k(1)
-        .build()
-        .unwrap();
+    let engine = Engine::builder().max_synthesis_k(1).build();
+    let prepared = engine.prepare(&ProblemSpec::edge_colouring(6)).unwrap();
     let torus = TorusD::new(3, 6);
     let inst = Instance::torus_d(3, 6, &IdAssignment::Shuffled { seed: 8 });
-    let labelling = engine.solve(&inst).unwrap();
+    let labelling = prepared.solve(&inst).unwrap();
     assert_eq!(labelling.report.solver, "ddim-parity-edge-colouring");
     assert!(labelling.report.validated);
     assert_eq!(labelling.labels.len(), 216);
@@ -95,7 +84,7 @@ fn d3_edge_colouring_end_to_end() {
     ));
     // Odd side: the exact Theorem 21 impossibility, as a typed verdict.
     let odd = Instance::torus_d(3, 5, &IdAssignment::Sequential);
-    match engine.solve(&odd) {
+    match prepared.solve(&odd) {
         Err(SolveError::Unsolvable { problem, dims }) => {
             assert_eq!(problem, "edge-6-colouring");
             assert_eq!(dims, vec![5, 5, 5]);
@@ -104,20 +93,18 @@ fn d3_edge_colouring_end_to_end() {
     }
     // solvable() answers the d-dimensional existence question without
     // solving: Theorem 21 exactly.
-    assert_eq!(engine.solvable(&inst), Ok(true));
-    assert_eq!(engine.solvable(&odd), Ok(false));
+    assert_eq!(prepared.solvable(&inst), Ok(true));
+    assert_eq!(prepared.solvable(&odd), Ok(false));
 }
 
 /// Higher dimensions too: d = 4 with its 8-colour palette.
 #[test]
 fn d4_edge_colouring_end_to_end() {
-    let engine = Engine::builder()
-        .problem(ProblemSpec::edge_colouring(8))
-        .max_synthesis_k(1)
-        .build()
-        .unwrap();
+    let engine = Engine::builder().max_synthesis_k(1).build();
     let inst = Instance::torus_d(4, 4, &IdAssignment::Sequential);
-    let labelling = engine.solve(&inst).unwrap();
+    let labelling = engine
+        .solve(&ProblemSpec::edge_colouring(8), &inst)
+        .unwrap();
     assert_eq!(labelling.report.solver, "ddim-parity-edge-colouring");
     assert!(problems::is_proper_edge_colouring_d(
         &TorusD::new(4, 4),
@@ -131,29 +118,27 @@ fn d4_edge_colouring_end_to_end() {
 /// set of the power graph.
 #[test]
 fn d3_mis_power_end_to_end() {
-    let engine = Engine::builder()
-        .problem(ProblemSpec::mis_power(Metric::L1, 2))
-        .build()
+    let engine = Engine::builder().build();
+    let prepared = engine
+        .prepare(&ProblemSpec::mis_power(Metric::L1, 2))
         .unwrap();
     let inst = Instance::torus_d(3, 6, &IdAssignment::Sequential);
-    let labelling = engine.solve(&inst).unwrap();
+    let labelling = prepared.solve(&inst).unwrap();
     assert_eq!(labelling.report.solver, "ddim-greedy-mis");
     assert!(labelling.report.validated);
     let marked: Vec<bool> = labelling.labels.iter().map(|&l| l == 1).collect();
     assert!(TorusD::new(3, 6).is_maximal_independent(Metric::L1, 2, &marked));
-    assert_eq!(engine.solvable(&inst), Ok(true));
+    assert_eq!(prepared.solvable(&inst), Ok(true));
 }
 
 /// Independent set rides its constant solver onto every torus dimension.
 #[test]
 fn independent_set_is_constant_on_any_dimension() {
-    let engine = Engine::builder()
-        .problem(ProblemSpec::independent_set())
-        .build()
-        .unwrap();
+    let engine = Engine::builder().build();
+    let prepared = engine.prepare(&ProblemSpec::independent_set()).unwrap();
     for d in [2usize, 3, 4] {
         let inst = Instance::torus_d(d, 4, &IdAssignment::Sequential);
-        let labelling = engine.solve(&inst).unwrap();
+        let labelling = prepared.solve(&inst).unwrap();
         assert_eq!(labelling.report.solver, "constant", "d={d}");
         assert!(labelling.labels.iter().all(|&l| l == 0));
         assert!(labelling.report.validated, "d={d}");
@@ -168,12 +153,9 @@ fn independent_set_is_constant_on_any_dimension() {
 #[test]
 fn unsupported_pairs_are_typed_errors() {
     let cube = Instance::torus_d(3, 6, &IdAssignment::Sequential);
+    let engine = Engine::builder().max_synthesis_k(1).build();
 
-    let vertex = Engine::builder()
-        .problem(ProblemSpec::vertex_colouring(4))
-        .max_synthesis_k(1)
-        .build()
-        .unwrap();
+    let vertex = engine.prepare(&ProblemSpec::vertex_colouring(4)).unwrap();
     match vertex.solve(&cube) {
         Err(SolveError::UnsupportedTopology {
             problem, topology, ..
@@ -186,12 +168,10 @@ fn unsupported_pairs_are_typed_errors() {
     // Existence is still answerable (the Cartesian-product bound).
     assert_eq!(vertex.solvable(&cube), Ok(true));
 
-    let orient = Engine::builder()
-        .problem(ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4])))
-        .max_synthesis_k(1)
-        .build()
+    let orient = engine
+        .prepare(&ProblemSpec::orientation(XSet::from_degrees(&[1, 3, 4])))
         .unwrap();
-    assert!(!orient.problem().supports(Topology::TorusD { d: 3 }));
+    assert!(!orient.spec().supports(Topology::TorusD { d: 3 }));
     assert!(matches!(
         orient.solve(&cube),
         Err(SolveError::UnsupportedTopology { .. })
