@@ -1,0 +1,87 @@
+//! The `lcl-serve` binary: bind the service and run until a
+//! `POST /shutdown` drains it.
+//!
+//! ```text
+//! lcl-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!           [--engine-threads N] [--max-batch-jobs N]
+//!           [--max-instance-nodes N] [--port-file PATH]
+//! ```
+//!
+//! `--port-file` writes the bound `host:port` to a file once the socket
+//! is live — the hook CI's serve-smoke job uses to find an ephemeral
+//! port without racing the bind.
+
+use lcl_serve::{ServeConfig, Server};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut config = ServeConfig::default();
+    let mut port_file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        let result: Result<(), String> = match arg.as_str() {
+            "--addr" => value("--addr").map(|v| config.addr = v),
+            "--workers" => parse(value("--workers"), &mut config.workers),
+            "--queue-cap" => parse(value("--queue-cap"), &mut config.queue_cap),
+            "--engine-threads" => parse(value("--engine-threads"), &mut config.engine_threads),
+            "--max-batch-jobs" => parse(value("--max-batch-jobs"), &mut config.max_batch_jobs),
+            "--max-instance-nodes" => parse(
+                value("--max-instance-nodes"),
+                &mut config.max_instance_nodes,
+            ),
+            "--port-file" => value("--port-file").map(|v| port_file = Some(v)),
+            "--help" | "-h" => {
+                println!(
+                    "lcl-serve: networked LCL solve service\n\
+                     \n\
+                     options:\n\
+                     \x20 --addr HOST:PORT        bind address (default 127.0.0.1:0)\n\
+                     \x20 --workers N             HTTP worker threads (default 4)\n\
+                     \x20 --queue-cap N           admission queue bound (default 64)\n\
+                     \x20 --engine-threads N      engine threads, 0 = all cores (default 0)\n\
+                     \x20 --max-batch-jobs N      per-batch job cap (default 1024)\n\
+                     \x20 --max-instance-nodes N  per-instance node cap (default 65536)\n\
+                     \x20 --port-file PATH        write the bound address here once live"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag '{other}' (try --help)")),
+        };
+        if let Err(message) = result {
+            eprintln!("lcl-serve: {message}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("lcl-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.addr();
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, addr.to_string()) {
+            eprintln!("lcl-serve: cannot write port file {path}: {e}");
+            server.shutdown();
+            server.wait();
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("lcl-serve: listening on {addr} (POST /shutdown to stop)");
+    server.wait();
+    eprintln!("lcl-serve: drained, bye");
+    ExitCode::SUCCESS
+}
+
+/// Parses one numeric flag value in place.
+fn parse(value: Result<String, String>, slot: &mut usize) -> Result<(), String> {
+    let value = value?;
+    *slot = value
+        .parse()
+        .map_err(|_| format!("'{value}' is not a non-negative integer"))?;
+    Ok(())
+}

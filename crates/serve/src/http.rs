@@ -1,0 +1,328 @@
+//! Hand-rolled HTTP/1.1, exactly the slice the service speaks.
+//!
+//! One request per connection (`Connection: close` on every response),
+//! request-line + headers + `Content-Length` bodies, hard limits on line
+//! length, header count, and body size so a hostile peer cannot make a
+//! worker allocate unboundedly. No chunked transfer, no keep-alive, no
+//! TLS — the protocol surface is documented in DESIGN.md §9 and pinned by
+//! `tests/serve.rs` over real loopback sockets.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request line or header line, in bytes.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Most headers accepted on one request.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed request: method, target path, headers, and the raw body.
+#[derive(Debug)]
+pub struct Request {
+    /// The request method, upper-case as received (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target (path + optional query), as received.
+    pub target: String,
+    /// Header name/value pairs in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes (empty without one).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (first occurrence).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. [`HttpError::status`] maps each
+/// variant to the response the worker writes before closing.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before sending a request line —
+    /// a normal event (health probes, dropped clients), not an error to
+    /// answer.
+    ConnectionClosed,
+    /// A socket read timed out mid-request.
+    Timeout,
+    /// The request line was not `METHOD TARGET HTTP/1.x`.
+    MalformedRequestLine,
+    /// A header line had no `:` separator, or there were too many.
+    MalformedHeader,
+    /// A line exceeded the 8 KiB line limit.
+    LineTooLong,
+    /// A body was signalled (via `Transfer-Encoding`) in a form the
+    /// service does not speak; only `Content-Length` bodies are accepted.
+    UnsupportedTransferEncoding,
+    /// The `Content-Length` value was not a decimal integer.
+    BadContentLength,
+    /// The declared body exceeds the configured cap.
+    BodyTooLarge {
+        /// The declared length.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// Any other socket failure.
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// The status line this error is answered with; `None` means "do not
+    /// answer" (the peer is gone).
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::ConnectionClosed => None,
+            HttpError::Timeout => Some((408, "Request Timeout")),
+            HttpError::MalformedRequestLine => Some((400, "Bad Request")),
+            HttpError::MalformedHeader => Some((400, "Bad Request")),
+            HttpError::LineTooLong => Some((431, "Request Header Fields Too Large")),
+            HttpError::UnsupportedTransferEncoding => Some((501, "Not Implemented")),
+            HttpError::BadContentLength => Some((400, "Bad Request")),
+            HttpError::BodyTooLarge { .. } => Some((413, "Payload Too Large")),
+            HttpError::Io(_) => None,
+        }
+    }
+
+    /// A machine-readable error code for the JSON body.
+    pub fn code(&self) -> &'static str {
+        match self {
+            HttpError::ConnectionClosed => "connection-closed",
+            HttpError::Timeout => "timeout",
+            HttpError::MalformedRequestLine => "malformed-request-line",
+            HttpError::MalformedHeader => "malformed-header",
+            HttpError::LineTooLong => "line-too-long",
+            HttpError::UnsupportedTransferEncoding => "unsupported-transfer-encoding",
+            HttpError::BadContentLength => "bad-content-length",
+            HttpError::BodyTooLarge { .. } => "body-too-large",
+            HttpError::Io(_) => "io",
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::ConnectionClosed => write!(f, "connection closed before a request"),
+            HttpError::Timeout => write!(f, "socket read timed out"),
+            HttpError::MalformedRequestLine => write!(f, "malformed request line"),
+            HttpError::MalformedHeader => write!(f, "malformed header"),
+            HttpError::LineTooLong => write!(f, "line exceeds {MAX_LINE_BYTES} bytes"),
+            HttpError::UnsupportedTransferEncoding => {
+                write!(f, "only Content-Length bodies are supported")
+            }
+            HttpError::BadContentLength => write!(f, "Content-Length is not a decimal integer"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(
+                    f,
+                    "declared body of {declared} bytes exceeds the {limit}-byte cap"
+                )
+            }
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> HttpError {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => HttpError::Timeout,
+            io::ErrorKind::UnexpectedEof => HttpError::ConnectionClosed,
+            _ => HttpError::Io(e),
+        }
+    }
+}
+
+/// Reads one `\r\n`- (or `\n`-) terminated line, enforcing the line cap.
+/// `Ok(None)` is clean EOF before any byte of the line.
+fn read_line(reader: &mut impl BufRead) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::ConnectionClosed);
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let text = String::from_utf8(line).map_err(|_| HttpError::MalformedHeader)?;
+                    return Ok(Some(text));
+                }
+                if line.len() >= MAX_LINE_BYTES {
+                    return Err(HttpError::LineTooLong);
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Reads one request from the stream: request line, headers, and a
+/// `Content-Length` body no larger than `max_body_bytes`.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    max_body_bytes: usize,
+) -> Result<Request, HttpError> {
+    let request_line = match read_line(reader)? {
+        None => return Err(HttpError::ConnectionClosed),
+        Some(line) => line,
+    };
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && t.starts_with('/') => (m, t, v),
+        _ => return Err(HttpError::MalformedRequestLine),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::MalformedRequestLine);
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?.ok_or(HttpError::ConnectionClosed)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::MalformedHeader);
+        }
+        let (name, value) = line.split_once(':').ok_or(HttpError::MalformedHeader)?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::MalformedHeader);
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut request = Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::UnsupportedTransferEncoding);
+    }
+    let declared = match request.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadContentLength)?,
+    };
+    if declared > max_body_bytes {
+        return Err(HttpError::BodyTooLarge {
+            declared,
+            limit: max_body_bytes,
+        });
+    }
+    if declared > 0 {
+        let mut body = vec![0u8; declared];
+        let mut read = 0;
+        while read < declared {
+            match reader.read(&mut body[read..]) {
+                Ok(0) => return Err(HttpError::ConnectionClosed),
+                Ok(n) => read += n,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        request.body = body;
+    }
+    Ok(request)
+}
+
+/// Writes one response and flushes. Every response carries
+/// `Connection: close`; the caller drops the stream afterwards.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            parse("POST /solve HTTP/1.1\r\nContent-Length: 4\r\nX-Tenant: a\r\n\r\nbody").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/solve");
+        assert_eq!(req.header("x-tenant"), Some("a"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(
+            parse("NOT-HTTP\r\n\r\n"),
+            Err(HttpError::MalformedRequestLine)
+        ));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nbadheader\r\n\r\n"),
+            Err(HttpError::MalformedHeader)
+        ));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::BadContentLength)
+        ));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nContent-Length: 9999\r\n\r\n"),
+            Err(HttpError::BodyTooLarge { .. })
+        ));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::UnsupportedTransferEncoding)
+        ));
+        assert!(matches!(parse(""), Err(HttpError::ConnectionClosed)));
+    }
+
+    #[test]
+    fn response_shape() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", &[("retry-after", "1")], "{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

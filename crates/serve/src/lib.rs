@@ -1,0 +1,83 @@
+//! `lcl-serve`: the engine as a network service.
+//!
+//! PR 5 gave the repository a prepared-plan *library* API — one shared
+//! [`Engine`](lcl_grids::engine::Engine), many problems, streaming
+//! mixed-problem batches. This crate puts that engine behind a socket:
+//! a dependency-free HTTP/1.1 front end (hand-rolled request parsing and
+//! JSON over `std::net` — the container bakes in no HTTP or serde
+//! crates) with the operational pieces a long-lived solver service
+//! needs and the library cannot provide:
+//!
+//! * **Admission control** — an acceptor thread feeds a *bounded*
+//!   connection queue; when it is full the client gets a typed
+//!   `429 busy` response immediately instead of an unbounded buffer.
+//!   Batch bodies then ride `solve_stream`'s own `O(threads)`
+//!   backpressure, so peak memory is `O(queue_cap + workers)` whatever
+//!   the offered load.
+//! * **Multi-tenant plan namespaces** — plans are keyed by the
+//!   canonical [`Registry::plan_cache_key`](lcl_grids::engine::Registry::plan_cache_key)
+//!   per tenant, with per-tenant LRU caps on top of the engine's own
+//!   [`max_prepared_plans`](lcl_grids::engine::EngineBuilder::max_prepared_plans)
+//!   memo bound; a tenant can solve by `plan` reference only through
+//!   keys it prepared itself.
+//! * **Observability** — `GET /metrics` surfaces per-endpoint latency
+//!   histograms (p50/p99), queue depth and rejection counts, the
+//!   engine's prepare/synthesis/dedup counters, and per-problem solve
+//!   rows.
+//! * **Graceful shutdown** — `POST /shutdown` (or [`Server::shutdown`])
+//!   stops accepting and drains every admitted request before the
+//!   process exits.
+//!
+//! # Quickstart
+//!
+//! Start a server and speak the protocol with nothing but a TCP socket
+//! (see DESIGN.md §9 for the full endpoint grammar):
+//!
+//! ```
+//! use lcl_serve::{Server, ServeConfig};
+//! use std::io::{Read, Write};
+//!
+//! let server = Server::start(ServeConfig::default()).unwrap();
+//! let mut conn = std::net::TcpStream::connect(server.addr()).unwrap();
+//! let body = r#"{"problem":{"type":"vertex-colouring","k":4},
+//!                "instance":{"topology":"torus2","side":8}}"#;
+//! write!(
+//!     conn,
+//!     "POST /solve HTTP/1.1\r\ncontent-length: {}\r\n\r\n{}",
+//!     body.len(),
+//!     body
+//! )
+//! .unwrap();
+//! let mut response = String::new();
+//! conn.read_to_string(&mut response).unwrap();
+//! assert!(response.starts_with("HTTP/1.1 200 OK"));
+//! assert!(response.contains("\"validated\":true"));
+//! server.shutdown();
+//! server.wait();
+//! ```
+//!
+//! The same protocol from the shell, against the `lcl-serve` binary:
+//!
+//! ```text
+//! $ lcl-serve --addr 127.0.0.1:7171 &
+//! $ curl -s localhost:7171/classify -d \
+//!     '{"problem":{"type":"orientation","degrees":[1,3,4]}}'
+//! {"problem":"orientation-1-3-4","class":"log-star"}
+//! $ curl -s localhost:7171/metrics | head -c 80
+//! $ curl -s -X POST localhost:7171/shutdown
+//! ```
+//!
+//! The `loadgen` binary drives mixed prepare/solve/classify traffic over
+//! real sockets and writes `BENCH_service.json` (p50/p99 latency,
+//! jobs/s) — the service benchmark CI's serve-smoke job replays.
+
+pub mod api;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod server;
+
+pub use api::ApiError;
+pub use json::{Json, JsonError};
+pub use metrics::{Histogram, Metrics};
+pub use server::{ServeConfig, Server};

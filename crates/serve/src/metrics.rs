@@ -1,0 +1,334 @@
+//! Service metrics: lock-cheap counters, log-bucketed latency
+//! histograms with p50/p99 estimation, and the `/metrics` JSON document
+//! that stitches them together with the engine's own counters
+//! (prepare/synthesis stats, plan counts, stream dedup hits) and
+//! per-problem solve rows.
+
+use crate::json::Json;
+use lcl_grids::engine::Engine;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Histogram bucket upper bounds, in microseconds: half-decade log scale
+/// from 100 µs to 100 s, plus a catch-all. Coarse on purpose — the
+/// service promises percentile *estimates* (bucket upper bounds), not
+/// exact order statistics, in O(1) memory per endpoint.
+const BUCKET_BOUNDS_US: [u64; 13] = [
+    100,
+    300,
+    1_000,
+    3_000,
+    10_000,
+    30_000,
+    100_000,
+    300_000,
+    1_000_000,
+    3_000_000,
+    10_000_000,
+    30_000_000,
+    100_000_000,
+];
+
+/// A fixed-bucket latency histogram; `record` is wait-free.
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one latency observation.
+    pub fn record(&self, micros: u64) {
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| micros <= bound)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Estimates the `q`-quantile (`0 < q ≤ 1`) as the upper bound of the
+    /// bucket holding the q-th observation; `None` when empty. The
+    /// catch-all bucket reports the largest finite bound.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(
+                    BUCKET_BOUNDS_US
+                        .get(idx)
+                        .copied()
+                        .unwrap_or(BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1]),
+                );
+            }
+        }
+        None
+    }
+
+    /// Mean latency in microseconds; `None` when empty.
+    pub fn mean_us(&self) -> Option<f64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        Some(self.sum_us.load(Ordering::Relaxed) as f64 / count as f64)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::count(self.count())),
+            (
+                "p50_us",
+                self.quantile_us(0.50).map_or(Json::Null, Json::count),
+            ),
+            (
+                "p99_us",
+                self.quantile_us(0.99).map_or(Json::Null, Json::count),
+            ),
+            ("mean_us", self.mean_us().map_or(Json::Null, Json::num)),
+        ])
+    }
+}
+
+/// Per-endpoint accounting: request count by outcome class plus the
+/// end-to-end (read-to-write) latency histogram.
+#[derive(Default)]
+pub struct EndpointMetrics {
+    /// 2xx responses.
+    pub ok: AtomicU64,
+    /// 4xx responses (including 429 admission rejections).
+    pub client_error: AtomicU64,
+    /// 5xx responses.
+    pub server_error: AtomicU64,
+    /// End-to-end request latency.
+    pub latency: Histogram,
+}
+
+impl EndpointMetrics {
+    /// Records one finished request.
+    pub fn record(&self, status: u16, micros: u64) {
+        let counter = match status {
+            200..=299 => &self.ok,
+            400..=499 => &self.client_error,
+            _ => &self.server_error,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(micros);
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("ok", Json::count(self.ok.load(Ordering::Relaxed))),
+            (
+                "client_error",
+                Json::count(self.client_error.load(Ordering::Relaxed)),
+            ),
+            (
+                "server_error",
+                Json::count(self.server_error.load(Ordering::Relaxed)),
+            ),
+            ("latency", self.latency.to_json()),
+        ])
+    }
+}
+
+/// One per-problem solve row, keyed by problem name in `/metrics`.
+#[derive(Clone, Debug, Default)]
+struct ProblemRow {
+    jobs: u64,
+    solved: u64,
+    failed: u64,
+    dedup_hits: u64,
+}
+
+/// Everything the service counts, shared by acceptor, workers, and the
+/// `/metrics` endpoint.
+#[derive(Default)]
+pub struct Metrics {
+    /// `POST /prepare`.
+    pub prepare: EndpointMetrics,
+    /// `POST /solve`.
+    pub solve: EndpointMetrics,
+    /// `POST /solve-batch`.
+    pub solve_batch: EndpointMetrics,
+    /// `POST /classify`.
+    pub classify: EndpointMetrics,
+    /// Everything else (`/metrics`, `/healthz`, `/shutdown`, 404s).
+    pub other: EndpointMetrics,
+    /// Connections turned away at the admission queue (429s).
+    pub busy_rejections: AtomicU64,
+    /// Connections currently queued or being served (the admission
+    /// gauge the acceptor checks against the queue bound).
+    pub queue_depth: AtomicUsize,
+    /// Requests that failed HTTP parsing (before reaching an endpoint).
+    pub malformed_requests: AtomicU64,
+    /// Per-problem solve accounting, keyed by problem display name.
+    per_problem: Mutex<HashMap<String, ProblemRow>>,
+}
+
+impl Metrics {
+    /// The endpoint bucket for a request target.
+    pub fn endpoint(&self, target: &str) -> &EndpointMetrics {
+        match target {
+            "/prepare" => &self.prepare,
+            "/solve" => &self.solve,
+            "/solve-batch" => &self.solve_batch,
+            "/classify" => &self.classify,
+            _ => &self.other,
+        }
+    }
+
+    /// Folds one solve outcome into the named problem's row.
+    pub fn record_solve(&self, problem: &str, solved: bool, deduped: bool) {
+        let mut rows = self
+            .per_problem
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let row = rows.entry(problem.to_string()).or_default();
+        row.jobs += 1;
+        if solved {
+            row.solved += 1;
+        } else {
+            row.failed += 1;
+        }
+        if deduped {
+            row.dedup_hits += 1;
+        }
+    }
+
+    /// Renders the full `/metrics` document, joining the service-side
+    /// counters with the engine's.
+    pub fn to_json(&self, engine: &Engine, queue_cap: usize, tenants: Json) -> Json {
+        let prepare_stats = engine.prepare_stats();
+        let synth_stats = engine.registry().synth_stats();
+        let rows = {
+            let rows = self
+                .per_problem
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let mut rows: Vec<(String, ProblemRow)> =
+                rows.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            rows.sort_by(|a, b| a.0.cmp(&b.0));
+            rows
+        };
+        Json::obj(vec![
+            (
+                "endpoints",
+                Json::obj(vec![
+                    ("prepare", self.prepare.to_json()),
+                    ("solve", self.solve.to_json()),
+                    ("solve_batch", self.solve_batch.to_json()),
+                    ("classify", self.classify.to_json()),
+                    ("other", self.other.to_json()),
+                ]),
+            ),
+            (
+                "admission",
+                Json::obj(vec![
+                    (
+                        "queue_depth",
+                        Json::size(self.queue_depth.load(Ordering::Relaxed)),
+                    ),
+                    ("queue_cap", Json::size(queue_cap)),
+                    (
+                        "busy_rejections",
+                        Json::count(self.busy_rejections.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "malformed_requests",
+                        Json::count(self.malformed_requests.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            (
+                "engine",
+                Json::obj(vec![
+                    (
+                        "prepare_stats",
+                        Json::obj(vec![
+                            ("hits", Json::count(prepare_stats.hits)),
+                            ("resolved", Json::count(prepare_stats.resolved)),
+                            ("evicted", Json::count(prepare_stats.evicted)),
+                        ]),
+                    ),
+                    (
+                        "synth_stats",
+                        Json::obj(vec![
+                            ("memory_hits", Json::count(synth_stats.memory_hits)),
+                            ("disk_hits", Json::count(synth_stats.disk_hits)),
+                            ("synthesised", Json::count(synth_stats.synthesised)),
+                        ]),
+                    ),
+                    ("prepared_plans", Json::size(engine.prepared_plans())),
+                    ("stream_dedup_hits", Json::count(engine.stream_dedup_hits())),
+                ]),
+            ),
+            (
+                "problems",
+                Json::Obj(
+                    rows.into_iter()
+                        .map(|(name, row)| {
+                            (
+                                name,
+                                Json::obj(vec![
+                                    ("jobs", Json::count(row.jobs)),
+                                    ("solved", Json::count(row.solved)),
+                                    ("failed", Json::count(row.failed)),
+                                    ("dedup_hits", Json::count(row.dedup_hits)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            ("tenants", tenants),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_track_buckets() {
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.record(50); // first bucket, bound 100
+        }
+        h.record(2_000_000); // 3s bucket
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.50), Some(100));
+        assert_eq!(h.quantile_us(0.99), Some(100));
+        assert_eq!(h.quantile_us(1.0), Some(3_000_000));
+        assert!(h.mean_us().unwrap() > 50.0);
+        assert_eq!(Histogram::default().quantile_us(0.5), None);
+    }
+
+    #[test]
+    fn endpoint_counters_classify_status() {
+        let m = Metrics::default();
+        m.endpoint("/solve").record(200, 10);
+        m.endpoint("/solve").record(429, 10);
+        m.endpoint("/solve").record(500, 10);
+        m.endpoint("/nope").record(404, 10);
+        assert_eq!(m.solve.ok.load(Ordering::Relaxed), 1);
+        assert_eq!(m.solve.client_error.load(Ordering::Relaxed), 1);
+        assert_eq!(m.solve.server_error.load(Ordering::Relaxed), 1);
+        assert_eq!(m.other.client_error.load(Ordering::Relaxed), 1);
+    }
+}

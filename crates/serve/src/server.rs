@@ -1,0 +1,723 @@
+//! The service itself: one shared [`Engine`], an acceptor thread feeding
+//! a *bounded* connection queue, a small pool of HTTP workers, per-tenant
+//! prepared-plan namespaces, and a graceful shutdown that drains every
+//! admitted request.
+//!
+//! Admission control is the load-bearing design point: the acceptor
+//! never buffers unboundedly. A connection either fits in the
+//! `queue_cap`-bounded queue (where it waits for a worker, which in turn
+//! rides [`Engine::solve_stream`]'s own `O(threads)` backpressure for
+//! batch bodies) or is answered `429 busy` on the spot and closed — so
+//! peak memory is `O(queue_cap + workers)`, whatever the offered load.
+
+use crate::api::{parse_instance, parse_problem, solve_error_body, solve_error_status, ApiError};
+use crate::http::{read_request, write_response, Request};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use lcl_grids::core::classify::GridClass;
+use lcl_grids::engine::{Engine, Job, Labelling, PreparedProblem, SolveError};
+use std::collections::HashMap;
+use std::io::{self, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service configuration; [`ServeConfig::default`] is sized for a small
+/// host and every knob has a CLI flag in the `lcl-serve` binary.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// HTTP worker threads.
+    pub workers: usize,
+    /// Bounded connection-queue capacity; `0` is a rendezvous queue
+    /// (a connection is admitted only if a worker is already waiting).
+    pub queue_cap: usize,
+    /// Engine worker threads for batch bodies (`0` = all cores).
+    pub engine_threads: usize,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Per-request socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-request socket write timeout.
+    pub write_timeout: Duration,
+    /// Most prepared plans each tenant namespace keeps (LRU beyond it).
+    pub max_plans_per_tenant: usize,
+    /// Engine-level prepared-plan memo cap
+    /// ([`lcl_grids::engine::EngineBuilder::max_prepared_plans`]).
+    pub max_prepared_plans: usize,
+    /// Largest instance (in nodes) admitted per job.
+    pub max_instance_nodes: usize,
+    /// Most jobs admitted per `/solve-batch` body.
+    pub max_batch_jobs: usize,
+    /// Stream dedup window for batch bodies
+    /// ([`lcl_grids::engine::EngineBuilder::stream_dedup_window`]).
+    pub stream_dedup_window: usize,
+    /// Synthesis budget `k` (part of every plan cache key).
+    pub max_synthesis_k: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_cap: 64,
+            engine_threads: 0,
+            max_body_bytes: 1 << 20,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_plans_per_tenant: 32,
+            max_prepared_plans: 256,
+            max_instance_nodes: 1 << 16,
+            max_batch_jobs: 1024,
+            stream_dedup_window: 32,
+            max_synthesis_k: 3,
+        }
+    }
+}
+
+/// One tenant's prepared-plan namespace: plan keys this tenant has
+/// prepared, with an LRU cap and hit/miss/eviction accounting. The plans
+/// themselves live in (and are shared through) the engine's memo — the
+/// namespace is the *visibility and accounting* boundary: a tenant can
+/// only solve by `plan` reference through keys it prepared itself, and
+/// its eviction pressure never touches another tenant's keys.
+#[derive(Default)]
+struct TenantPlans {
+    plans: HashMap<String, PlanEntry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+struct PlanEntry {
+    prepared: Arc<PreparedProblem>,
+    last_used: u64,
+}
+
+/// State shared by the acceptor, the workers, and the [`Server`] handle.
+struct Shared {
+    engine: Engine,
+    config: ServeConfig,
+    metrics: Metrics,
+    tenants: Mutex<HashMap<String, TenantPlans>>,
+    tenant_clock: AtomicU64,
+    shutting_down: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Resolves a plan inside a tenant namespace: answers from the
+    /// tenant's cache when the canonical key is already there, otherwise
+    /// prepares through the engine (itself memoised and capped) and
+    /// records the key under the tenant, evicting that tenant's
+    /// least-recently-used plans beyond the per-tenant cap.
+    fn prepare_for_tenant(
+        &self,
+        tenant: &str,
+        spec: &lcl_grids::engine::ProblemSpec,
+    ) -> Result<(Arc<PreparedProblem>, String, bool), SolveError> {
+        let key = self
+            .engine
+            .registry()
+            .plan_cache_key(spec, self.config.max_synthesis_k);
+        let stamp = self.tenant_clock.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+            let ns = tenants.entry(tenant.to_string()).or_default();
+            if let Some(entry) = ns.plans.get_mut(&key) {
+                entry.last_used = stamp;
+                ns.hits += 1;
+                return Ok((Arc::clone(&entry.prepared), key, true));
+            }
+        }
+        // Resolve outside the tenants lock: plan resolution can run SAT
+        // synthesis, and the engine memo has its own single-flight cells.
+        let prepared = self.engine.prepare(spec)?;
+        let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+        let ns = tenants.entry(tenant.to_string()).or_default();
+        ns.misses += 1;
+        ns.plans.insert(
+            key.clone(),
+            PlanEntry {
+                prepared: Arc::clone(&prepared),
+                last_used: stamp,
+            },
+        );
+        while ns.plans.len() > self.config.max_plans_per_tenant {
+            let victim = ns
+                .plans
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    ns.plans.remove(&k);
+                    ns.evictions += 1;
+                }
+                None => break,
+            }
+        }
+        Ok((prepared, key, false))
+    }
+
+    /// Looks up a plan a tenant previously prepared, by its plan key.
+    fn plan_by_key(&self, tenant: &str, key: &str) -> Option<Arc<PreparedProblem>> {
+        let stamp = self.tenant_clock.fetch_add(1, Ordering::Relaxed);
+        let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+        let ns = tenants.get_mut(tenant)?;
+        let entry = ns.plans.get_mut(key)?;
+        entry.last_used = stamp;
+        ns.hits += 1;
+        Some(Arc::clone(&entry.prepared))
+    }
+
+    /// Per-tenant rows for `/metrics`.
+    fn tenants_json(&self) -> Json {
+        let tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut rows: Vec<(String, Json)> = tenants
+            .iter()
+            .map(|(name, ns)| {
+                (
+                    name.clone(),
+                    Json::obj(vec![
+                        ("plans", Json::size(ns.plans.len())),
+                        ("hits", Json::count(ns.hits)),
+                        ("misses", Json::count(ns.misses)),
+                        ("evictions", Json::count(ns.evictions)),
+                    ]),
+                )
+            })
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        Json::Obj(rows)
+    }
+
+    /// Flags shutdown and wakes the acceptor with a dummy connection.
+    fn request_shutdown(&self) {
+        if !self.shutting_down.swap(true, Ordering::SeqCst) {
+            // The acceptor may be blocked in `accept()`; a throwaway
+            // loopback connection gets it to observe the flag.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// A running service: bound address, shutdown trigger, and join handle.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener, builds the shared engine, and starts the
+    /// acceptor and worker threads. Returns once the socket is live.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let engine = Engine::builder()
+            .threads(config.engine_threads)
+            .max_synthesis_k(config.max_synthesis_k)
+            .max_prepared_plans(config.max_prepared_plans)
+            .stream_dedup_window(config.stream_dedup_window)
+            .build();
+        let shared = Arc::new(Shared {
+            engine,
+            config: config.clone(),
+            metrics: Metrics::default(),
+            tenants: Mutex::new(HashMap::new()),
+            tenant_clock: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+            addr,
+        });
+
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue_cap);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || worker_loop(&shared, &rx))
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || acceptor_loop(&shared, listener, tx))
+        };
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral `:0` port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Starts a graceful shutdown: stop accepting, drain admitted
+    /// requests. Returns immediately; pair with [`Server::wait`].
+    pub fn shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Blocks until the acceptor and every worker have exited — i.e.
+    /// until a shutdown (from [`Server::shutdown`] or `POST /shutdown`)
+    /// has drained all in-flight work.
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Accept loop: admit into the bounded queue or answer `429` inline.
+fn acceptor_loop(shared: &Shared, listener: TcpListener, tx: SyncSender<TcpStream>) {
+    loop {
+        let conn = match listener.accept() {
+            Ok((conn, _)) => conn,
+            Err(_) => continue,
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            // The wake-up connection (or a late client); stop accepting.
+            // Dropping `tx` disconnects the queue once drained, which is
+            // what lets the workers exit after finishing admitted work.
+            return;
+        }
+        match tx.try_send(conn) {
+            Ok(()) => {
+                shared.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Full(mut conn)) => {
+                shared
+                    .metrics
+                    .busy_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.metrics.endpoint("busy").record(429, 0);
+                let body = Json::obj(vec![
+                    ("error", Json::str("busy")),
+                    ("queue_cap", Json::size(shared.config.queue_cap)),
+                    ("message", Json::str("admission queue is full; retry later")),
+                ])
+                .to_string();
+                let _ = conn.set_write_timeout(Some(shared.config.write_timeout));
+                let _ = write_response(
+                    &mut conn,
+                    429,
+                    "Too Many Requests",
+                    &[("retry-after", "1")],
+                    &body,
+                );
+                // Closing with unread request bytes in the receive buffer
+                // makes the kernel send RST, which can destroy the 429
+                // in flight. Send FIN, then briefly drain what the client
+                // already wrote so the close is orderly. The drain is
+                // capped in both time and bytes, so a hostile peer can
+                // hold the acceptor for at most ~100 ms.
+                let _ = conn.shutdown(Shutdown::Write);
+                let _ = conn.set_read_timeout(Some(Duration::from_millis(100)));
+                let mut scratch = [0u8; 4096];
+                let mut drained = 0usize;
+                while let Ok(n) = conn.read(&mut scratch) {
+                    if n == 0 {
+                        break;
+                    }
+                    drained += n;
+                    if drained > 64 * 1024 {
+                        break;
+                    }
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+/// Worker loop: pull admitted connections until the queue disconnects
+/// (acceptor gone) *and* drains — the graceful-shutdown contract.
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        let conn = {
+            let rx = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            rx.recv()
+        };
+        let Ok(conn) = conn else { return };
+        handle_connection(shared, conn);
+        shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Serves one connection: one request, one response, close. A panic in
+/// request handling is caught and answered as a 500 so the worker (and
+/// the queue behind it) survives hostile input.
+fn handle_connection(shared: &Shared, mut conn: TcpStream) {
+    let started = Instant::now();
+    let _ = conn.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = conn.set_write_timeout(Some(shared.config.write_timeout));
+    let mut reader = BufReader::new(match conn.try_clone() {
+        Ok(reader) => reader,
+        Err(_) => return,
+    });
+    let request = match read_request(&mut reader, shared.config.max_body_bytes) {
+        Ok(request) => request,
+        Err(err) => {
+            shared
+                .metrics
+                .malformed_requests
+                .fetch_add(1, Ordering::Relaxed);
+            if let Some((status, reason)) = err.status() {
+                let body = ApiError {
+                    status,
+                    code: err.code(),
+                    message: err.to_string(),
+                }
+                .body();
+                record(shared, "malformed", status, started);
+                let _ = write_response(&mut conn, status, reason, &[], &body);
+            }
+            return;
+        }
+    };
+
+    let target = request.target.clone();
+    let outcome = catch_unwind(AssertUnwindSafe(|| route(shared, &request)));
+    let (status, reason, headers, body): (u16, &str, Vec<(&str, &str)>, String) = match outcome {
+        Ok(Ok((status, body))) => (status, reason_for(status), Vec::new(), body),
+        Ok(Err(err)) => (err.status, reason_for(err.status), Vec::new(), err.body()),
+        Err(_) => (
+            500,
+            "Internal Server Error",
+            Vec::new(),
+            ApiError {
+                status: 500,
+                code: "panic",
+                message: "request handler panicked".to_string(),
+            }
+            .body(),
+        ),
+    };
+    record(shared, &target, status, started);
+    let _ = write_response(&mut conn, status, reason, &headers, &body);
+    let _ = conn.flush();
+}
+
+fn record(shared: &Shared, target: &str, status: u16, started: Instant) {
+    let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    shared.metrics.endpoint(target).record(status, micros);
+}
+
+fn reason_for(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Dispatches one parsed request to its endpoint handler.
+fn route(shared: &Shared, request: &Request) -> Result<(u16, String), ApiError> {
+    match (request.method.as_str(), request.target.as_str()) {
+        ("POST", "/prepare") => endpoint_prepare(shared, request),
+        ("POST", "/solve") => endpoint_solve(shared, request),
+        ("POST", "/solve-batch") => endpoint_solve_batch(shared, request),
+        ("POST", "/classify") => endpoint_classify(shared, request),
+        ("GET", "/metrics") => {
+            let doc = shared.metrics.to_json(
+                &shared.engine,
+                shared.config.queue_cap,
+                shared.tenants_json(),
+            );
+            Ok((200, doc.to_string()))
+        }
+        ("GET", "/healthz") => Ok((200, Json::obj(vec![("ok", Json::Bool(true))]).to_string())),
+        ("POST", "/shutdown") => {
+            shared.request_shutdown();
+            Ok((
+                200,
+                Json::obj(vec![("draining", Json::Bool(true))]).to_string(),
+            ))
+        }
+        ("POST" | "GET", _) => Err(ApiError {
+            status: 404,
+            code: "not-found",
+            message: format!("no endpoint at {}", request.target),
+        }),
+        _ => Err(ApiError {
+            status: 405,
+            code: "method-not-allowed",
+            message: format!("method {} is not supported", request.method),
+        }),
+    }
+}
+
+/// Parses the JSON body of a request.
+fn parse_body(request: &Request) -> Result<Json, ApiError> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| ApiError::bad_request("bad-encoding", "body must be UTF-8"))?;
+    Json::parse(text).map_err(|e| ApiError::bad_request("bad-json", e.to_string()))
+}
+
+/// The tenant a request belongs to: the body's `"tenant"` field wins,
+/// then the `x-tenant` header, then the shared `"public"` namespace.
+fn tenant_of(request: &Request, body: &Json) -> String {
+    body.get("tenant")
+        .and_then(Json::as_str)
+        .or_else(|| request.header("x-tenant"))
+        .unwrap_or("public")
+        .to_string()
+}
+
+/// Resolves the plan a job body names: an inline `"problem"` object
+/// (prepared through the tenant namespace) or a `"plan"` key reference
+/// to a previously prepared plan.
+fn resolve_plan(
+    shared: &Shared,
+    tenant: &str,
+    body: &Json,
+) -> Result<Arc<PreparedProblem>, ApiError> {
+    if let Some(problem) = body.get("problem") {
+        let spec = parse_problem(problem)?;
+        let (prepared, _, _) = shared
+            .prepare_for_tenant(tenant, &spec)
+            .map_err(|e| ApiError {
+                status: solve_error_status(&e),
+                code: "prepare-failed",
+                message: e.to_string(),
+            })?;
+        return Ok(prepared);
+    }
+    if let Some(key) = body.get("plan").and_then(Json::as_str) {
+        return shared.plan_by_key(tenant, key).ok_or(ApiError {
+            status: 404,
+            code: "unknown-plan",
+            message: format!("tenant '{tenant}' has no prepared plan '{key}'"),
+        });
+    }
+    Err(ApiError::bad_request(
+        "missing-field",
+        "each job needs a 'problem' object or a 'plan' key",
+    ))
+}
+
+fn endpoint_prepare(shared: &Shared, request: &Request) -> Result<(u16, String), ApiError> {
+    let body = parse_body(request)?;
+    let tenant = tenant_of(request, &body);
+    let spec = parse_problem(require_field(&body, "problem")?)?;
+    let (prepared, plan_key, cached) =
+        shared
+            .prepare_for_tenant(&tenant, &spec)
+            .map_err(|e| ApiError {
+                status: solve_error_status(&e),
+                code: "prepare-failed",
+                message: e.to_string(),
+            })?;
+    let solvers = prepared.solver_names().into_iter().map(Json::str).collect();
+    Ok((
+        200,
+        Json::obj(vec![
+            ("tenant", Json::str(tenant)),
+            ("problem", Json::str(prepared.spec().name())),
+            ("plan_key", Json::str(plan_key)),
+            ("solvers", Json::Arr(solvers)),
+            ("cached", Json::Bool(cached)),
+        ])
+        .to_string(),
+    ))
+}
+
+fn require_field<'a>(body: &'a Json, key: &str) -> Result<&'a Json, ApiError> {
+    body.get(key)
+        .ok_or_else(|| ApiError::bad_request("missing-field", format!("missing field '{key}'")))
+}
+
+/// Renders one labelling as the wire shape shared by `/solve` and
+/// `/solve-batch` rows.
+fn labelling_json(labelling: &Labelling, return_labels: bool) -> Json {
+    let mut fields = vec![
+        ("ok", Json::Bool(true)),
+        ("problem", Json::str(labelling.report.problem.clone())),
+        ("solver", Json::str(labelling.report.solver.clone())),
+        ("rounds", Json::count(labelling.report.rounds.total())),
+        ("validated", Json::Bool(labelling.report.validated)),
+        ("nodes", Json::size(labelling.labels.len())),
+    ];
+    if return_labels {
+        fields.push((
+            "labels",
+            Json::Arr(
+                labelling
+                    .labels
+                    .iter()
+                    .map(|&l| Json::num(f64::from(l)))
+                    .collect(),
+            ),
+        ));
+    }
+    Json::obj(fields)
+}
+
+/// Renders one solve failure as a `/solve-batch` row.
+fn error_json(err: &SolveError) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::str(crate::api::solve_error_code(err))),
+        ("message", Json::str(err.to_string())),
+    ])
+}
+
+fn endpoint_solve(shared: &Shared, request: &Request) -> Result<(u16, String), ApiError> {
+    let body = parse_body(request)?;
+    let tenant = tenant_of(request, &body);
+    let prepared = resolve_plan(shared, &tenant, &body)?;
+    let instance = parse_instance(
+        require_field(&body, "instance")?,
+        shared.config.max_instance_nodes,
+    )?;
+    let return_labels = body
+        .get("return_labels")
+        .and_then(Json::as_bool)
+        .unwrap_or(true);
+    match prepared.solve(&instance) {
+        Ok(labelling) => {
+            shared
+                .metrics
+                .record_solve(&labelling.report.problem, true, false);
+            Ok((200, labelling_json(&labelling, return_labels).to_string()))
+        }
+        Err(err) => {
+            shared
+                .metrics
+                .record_solve(prepared.spec().name(), false, false);
+            Ok((solve_error_status(&err), solve_error_body(&err)))
+        }
+    }
+}
+
+fn endpoint_solve_batch(shared: &Shared, request: &Request) -> Result<(u16, String), ApiError> {
+    let body = parse_body(request)?;
+    let tenant = tenant_of(request, &body);
+    let jobs_json = require_field(&body, "jobs")?
+        .as_arr()
+        .ok_or_else(|| ApiError::bad_request("bad-field", "field 'jobs' must be an array"))?;
+    if jobs_json.len() > shared.config.max_batch_jobs {
+        return Err(ApiError {
+            status: 413,
+            code: "batch-too-large",
+            message: format!(
+                "batch of {} jobs exceeds the {}-job admission cap",
+                jobs_json.len(),
+                shared.config.max_batch_jobs
+            ),
+        });
+    }
+    let return_labels = body
+        .get("return_labels")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+
+    // Decode every job before solving any: a malformed job rejects the
+    // whole body as a 400 (the slice entry points' "typed errors, no
+    // partial surprises" contract, applied at the wire).
+    let mut jobs = Vec::with_capacity(jobs_json.len());
+    for (idx, job) in jobs_json.iter().enumerate() {
+        let prepared = resolve_plan(shared, &tenant, job).map_err(|mut e| {
+            e.message = format!("job {idx}: {}", e.message);
+            e
+        })?;
+        let instance = parse_instance(
+            require_field(job, "instance").map_err(|mut e| {
+                e.message = format!("job {idx}: {}", e.message);
+                e
+            })?,
+            shared.config.max_instance_nodes,
+        )
+        .map_err(|mut e| {
+            e.message = format!("job {idx}: {}", e.message);
+            e
+        })?;
+        jobs.push(Job::new(prepared, instance));
+    }
+
+    // Ride the engine's streaming surface: bounded channel, worker-pool
+    // parallelism, and the opt-in dedup window all come from the engine
+    // configuration; outcomes arrive in completion order and are
+    // re-sequenced by index here.
+    let total = jobs.len();
+    let mut rows: Vec<Json> = (0..total).map(|_| Json::Null).collect();
+    let (mut solved, mut failed, mut dedup_hits) = (0u64, 0u64, 0u64);
+    for outcome in shared.engine.solve_stream(jobs) {
+        let idx = outcome.index as usize;
+        if idx >= total {
+            continue;
+        }
+        if outcome.deduped {
+            dedup_hits += 1;
+        }
+        shared
+            .metrics
+            .record_solve(&outcome.problem, outcome.result.is_ok(), outcome.deduped);
+        rows[idx] = match &outcome.result {
+            Ok(labelling) => {
+                solved += 1;
+                labelling_json(labelling, return_labels)
+            }
+            Err(err) => {
+                failed += 1;
+                error_json(err)
+            }
+        };
+    }
+    Ok((
+        200,
+        Json::obj(vec![
+            ("tenant", Json::str(tenant)),
+            ("jobs", Json::size(total)),
+            ("solved", Json::count(solved)),
+            ("failed", Json::count(failed)),
+            ("dedup_hits", Json::count(dedup_hits)),
+            ("results", Json::Arr(rows)),
+        ])
+        .to_string(),
+    ))
+}
+
+fn endpoint_classify(shared: &Shared, request: &Request) -> Result<(u16, String), ApiError> {
+    let body = parse_body(request)?;
+    let tenant = tenant_of(request, &body);
+    let prepared = resolve_plan(shared, &tenant, &body)?;
+    match prepared.classify() {
+        Ok(class) => Ok((
+            200,
+            Json::obj(vec![
+                ("problem", Json::str(prepared.spec().name())),
+                (
+                    "class",
+                    Json::str(match class {
+                        GridClass::Constant => "constant",
+                        GridClass::LogStar => "log-star",
+                        GridClass::Global => "global",
+                    }),
+                ),
+            ])
+            .to_string(),
+        )),
+        Err(err) => Ok((solve_error_status(&err), solve_error_body(&err))),
+    }
+}

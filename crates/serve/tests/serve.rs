@@ -1,0 +1,404 @@
+//! Wire-protocol tests over real loopback sockets: the service contract
+//! as a client experiences it — happy paths, malformed input answered
+//! with 4xx (never a panic, never a hang), admission-queue overflow
+//! answered with a typed 429, concurrent clients, and a graceful
+//! shutdown that drains in-flight requests.
+
+use lcl_serve::json::Json;
+use lcl_serve::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A small test server: 2 HTTP workers, tiny queue, fast timeouts.
+fn test_server(queue_cap: usize, workers: usize) -> Server {
+    Server::start(ServeConfig {
+        workers,
+        queue_cap,
+        engine_threads: 1,
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        max_synthesis_k: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind test server")
+}
+
+/// One-shot request helper; returns (status, body).
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    raw(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    raw(addr, &format!("GET {path} HTTP/1.1\r\n\r\n"))
+}
+
+/// Sends raw bytes, reads the whole response (the server closes the
+/// connection after one response), returns (status, body).
+fn raw(addr: SocketAddr, bytes: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    conn.write_all(bytes.as_bytes()).expect("send");
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("receive");
+    let status = response
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse().ok())
+        .expect("status line");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn happy_path_prepare_solve_classify_metrics() {
+    let server = test_server(16, 2);
+    let addr = server.addr();
+
+    // Prepare: names the plan and the solver tier list.
+    let (status, body) = post(
+        addr,
+        "/prepare",
+        r#"{"problem":{"type":"vertex-colouring","k":4},"tenant":"t1"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let prepared = Json::parse(&body).unwrap();
+    assert_eq!(prepared.get("tenant").unwrap().as_str(), Some("t1"));
+    assert_eq!(prepared.get("cached").unwrap().as_bool(), Some(false));
+    let plan_key = prepared
+        .get("plan_key")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    assert!(!prepared
+        .get("solvers")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .is_empty());
+
+    // Preparing the same problem again hits the tenant cache.
+    let (_, body) = post(
+        addr,
+        "/prepare",
+        r#"{"problem":{"type":"vertex-colouring","k":4},"tenant":"t1"}"#,
+    );
+    assert_eq!(
+        Json::parse(&body).unwrap().get("cached").unwrap().as_bool(),
+        Some(true)
+    );
+
+    // Solve by plan reference, inside the tenant namespace.
+    let (status, body) = post(
+        addr,
+        "/solve",
+        &format!(
+            r#"{{"plan":"{plan_key}","tenant":"t1",
+                "instance":{{"topology":"torus2","side":16,
+                             "ids":{{"kind":"shuffled","seed":3}}}}}}"#
+        ),
+    );
+    assert_eq!(status, 200, "{body}");
+    let solved = Json::parse(&body).unwrap();
+    assert_eq!(solved.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(solved.get("validated").unwrap().as_bool(), Some(true));
+    assert_eq!(solved.get("nodes").unwrap().as_usize(), Some(256));
+    assert_eq!(
+        solved.get("labels").unwrap().as_arr().unwrap().len(),
+        256,
+        "single solves return labels by default"
+    );
+
+    // The same plan key is invisible from another tenant.
+    let (status, body) = post(
+        addr,
+        "/solve",
+        &format!(
+            r#"{{"plan":"{plan_key}","tenant":"t2",
+                "instance":{{"topology":"torus2","side":16}}}}"#
+        ),
+    );
+    assert_eq!(status, 404, "{body}");
+    assert_eq!(
+        Json::parse(&body).unwrap().get("error").unwrap().as_str(),
+        Some("unknown-plan")
+    );
+
+    // Classify an inline problem.
+    let (status, body) = post(
+        addr,
+        "/classify",
+        r#"{"problem":{"type":"independent-set"}}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        Json::parse(&body).unwrap().get("class").unwrap().as_str(),
+        Some("constant")
+    );
+
+    // Metrics reflect all of the above.
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let metrics = Json::parse(&body).unwrap();
+    let solve_ok = metrics
+        .get("endpoints")
+        .and_then(|e| e.get("solve"))
+        .and_then(|s| s.get("ok"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert_eq!(solve_ok, 1);
+    let tenant = metrics.get("tenants").and_then(|t| t.get("t1")).unwrap();
+    assert_eq!(tenant.get("plans").unwrap().as_usize(), Some(1));
+    assert!(tenant.get("hits").unwrap().as_u64().unwrap() >= 2);
+    let row = metrics
+        .get("problems")
+        .and_then(|p| p.get("vertex-4-colouring"))
+        .unwrap();
+    assert_eq!(row.get("solved").unwrap().as_u64(), Some(1));
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn solve_batch_dedups_and_orders_results() {
+    let server = test_server(16, 2);
+    let addr = server.addr();
+    // 12 jobs over 3 distinct (problem, instance) groups: the stream
+    // dedup window answers the repeats.
+    let jobs: Vec<String> = (0..12)
+        .map(|i| {
+            format!(
+                r#"{{"problem":{{"type":"independent-set"}},"instance":{{"topology":"torus2","side":6,"ids":{{"kind":"shuffled","seed":{}}}}}}}"#,
+                i % 3
+            )
+        })
+        .collect();
+    let (status, body) = post(
+        addr,
+        "/solve-batch",
+        &format!(r#"{{"jobs":[{}]}}"#, jobs.join(",")),
+    );
+    assert_eq!(status, 200, "{body}");
+    let report = Json::parse(&body).unwrap();
+    assert_eq!(report.get("jobs").unwrap().as_usize(), Some(12));
+    assert_eq!(report.get("solved").unwrap().as_usize(), Some(12));
+    assert_eq!(report.get("failed").unwrap().as_usize(), Some(0));
+    assert!(
+        report.get("dedup_hits").unwrap().as_u64().unwrap() >= 6,
+        "12 jobs over 3 groups must mostly dedup: {body}"
+    );
+    let results = report.get("results").unwrap().as_arr().unwrap();
+    assert_eq!(results.len(), 12);
+    for row in results {
+        assert_eq!(row.get("ok").unwrap().as_bool(), Some(true));
+        assert!(row.get("labels").is_none(), "batch omits labels by default");
+    }
+
+    // A mixed batch with an unsolvable job: per-job failure, 200 overall.
+    let (status, body) = post(
+        addr,
+        "/solve-batch",
+        r#"{"jobs":[
+            {"problem":{"type":"vertex-colouring","k":2},
+             "instance":{"topology":"torus2","side":5}},
+            {"problem":{"type":"independent-set"},
+             "instance":{"topology":"torus2","side":6}}]}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let report = Json::parse(&body).unwrap();
+    assert_eq!(report.get("solved").unwrap().as_usize(), Some(1));
+    assert_eq!(report.get("failed").unwrap().as_usize(), Some(1));
+    let rows = report.get("results").unwrap().as_arr().unwrap();
+    assert_eq!(rows[0].get("ok").unwrap().as_bool(), Some(false));
+    assert_eq!(rows[0].get("error").unwrap().as_str(), Some("unsolvable"));
+    assert_eq!(rows[1].get("ok").unwrap().as_bool(), Some(true));
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn malformed_requests_get_4xx_not_panics() {
+    let server = test_server(16, 2);
+    let addr = server.addr();
+
+    // Garbage request line.
+    let (status, _) = raw(addr, "NONSENSE\r\n\r\n");
+    assert_eq!(status, 400);
+    // Bad header.
+    let (status, _) = raw(addr, "GET /healthz HTTP/1.1\r\nno-colon-here\r\n\r\n");
+    assert_eq!(status, 400);
+    // Body is not JSON.
+    let (status, body) = post(addr, "/solve", "this is not json");
+    assert_eq!(status, 400);
+    assert_eq!(
+        Json::parse(&body).unwrap().get("error").unwrap().as_str(),
+        Some("bad-json")
+    );
+    // JSON but schema-invalid, in several ways.
+    for bad in [
+        r#"{}"#,
+        r#"{"problem":{"type":"mystery"},"instance":{"topology":"torus2","side":8}}"#,
+        r#"{"problem":{"type":"vertex-colouring","k":4}}"#,
+        r#"{"problem":{"type":"vertex-colouring","k":4},"instance":{"topology":"moebius","side":8}}"#,
+        r#"{"problem":{"type":"dsl","source":"syntax error {"},"instance":{"topology":"torus2","side":8}}"#,
+    ] {
+        let (status, body) = post(addr, "/solve", bad);
+        assert_eq!(status, 400, "{bad} -> {body}");
+    }
+    // Oversized instance: typed 413.
+    let (status, body) = post(
+        addr,
+        "/solve",
+        r#"{"problem":{"type":"independent-set"},"instance":{"topology":"torus2","side":100000}}"#,
+    );
+    assert_eq!(status, 413, "{body}");
+    // Oversized declared body: typed 413 before reading it.
+    let (status, _) = raw(
+        addr,
+        "POST /solve HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n",
+    );
+    assert_eq!(status, 413);
+    // Unknown endpoint and unsupported method.
+    let (status, _) = post(addr, "/no-such-endpoint", "{}");
+    assert_eq!(status, 404);
+    let (status, _) = raw(addr, "DELETE /solve HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 405);
+    // Domain failure: unsolvable instance is a 422 verdict, not a 500.
+    let (status, body) = post(
+        addr,
+        "/solve",
+        r#"{"problem":{"type":"vertex-colouring","k":2},"instance":{"topology":"torus2","side":5}}"#,
+    );
+    assert_eq!(status, 422, "{body}");
+    assert_eq!(
+        Json::parse(&body).unwrap().get("error").unwrap().as_str(),
+        Some("unsolvable")
+    );
+
+    // After all that abuse the service still works.
+    let (status, _) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn queue_overflow_is_a_typed_429() {
+    // One worker, rendezvous queue: a connection is admitted only when
+    // the worker is already waiting.
+    let server = test_server(0, 1);
+    let addr = server.addr();
+
+    // Pin the only worker with a stalled request (headers promise a body
+    // that never arrives, so the worker blocks in read until timeout).
+    let mut stall = TcpStream::connect(addr).expect("connect");
+    stall
+        .write_all(b"POST /solve HTTP/1.1\r\ncontent-length: 5\r\n\r\n")
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Now the queue (capacity 0) cannot admit anyone: typed 429.
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 429, "{body}");
+    let busy = Json::parse(&body).unwrap();
+    assert_eq!(busy.get("error").unwrap().as_str(), Some("busy"));
+    assert_eq!(busy.get("queue_cap").unwrap().as_usize(), Some(0));
+
+    // Release the worker; the service recovers. With a rendezvous queue
+    // the worker must be back in its blocking receive before a new
+    // connection is admitted, so poll rather than racing a fixed sleep.
+    drop(stall);
+    let recovered = (0..50).any(|_| {
+        std::thread::sleep(Duration::from_millis(100));
+        get(addr, "/healthz").0 == 200
+    });
+    assert!(recovered, "service did not recover after the stall closed");
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn concurrent_clients_all_get_answers() {
+    let server = test_server(32, 4);
+    let addr = server.addr();
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let body = format!(
+                    r#"{{"problem":{{"type":"independent-set"}},"instance":{{"topology":"torus2","side":8,"ids":{{"kind":"shuffled","seed":{i}}}}},"return_labels":false}}"#
+                );
+                let mut statuses = Vec::new();
+                for _ in 0..5 {
+                    statuses.push(post(addr, "/solve", &body).0);
+                }
+                statuses
+            })
+        })
+        .collect();
+    for handle in handles {
+        for status in handle.join().expect("client thread") {
+            assert_eq!(status, 200);
+        }
+    }
+    let (_, body) = get(addr, "/metrics");
+    let metrics = Json::parse(&body).unwrap();
+    let ok = metrics
+        .get("endpoints")
+        .and_then(|e| e.get("solve"))
+        .and_then(|s| s.get("ok"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert_eq!(ok, 40);
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let server = test_server(8, 2);
+    let addr = server.addr();
+
+    // Open an in-flight request: headers sent, body held back.
+    let body = r#"{"problem":{"type":"independent-set"},"instance":{"topology":"torus2","side":8},"return_labels":false}"#;
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        conn,
+        "POST /solve HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )
+    .unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Trigger shutdown while that request is in flight.
+    let (status, shutdown_body) = post(addr, "/shutdown", "{}");
+    assert_eq!(status, 200, "{shutdown_body}");
+
+    // Completing the in-flight request still gets a full 200.
+    conn.write_all(body.as_bytes()).unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response)
+        .expect("drained response");
+    assert!(
+        response.starts_with("HTTP/1.1 200 OK"),
+        "in-flight request must drain with a real answer, got: {response}"
+    );
+
+    // And the server winds down completely.
+    server.wait();
+}

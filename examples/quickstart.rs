@@ -9,7 +9,7 @@
 //! stream.
 //!
 //! ```sh
-//! cargo run --release --example quickstart
+//! cargo run --release -p lcl-grids --example quickstart
 //! ```
 
 use lcl_grids::engine::{Engine, Instance, Job, ProblemSpec, SolveError};

@@ -184,16 +184,7 @@ fn dedup_groups(jobs: &[JobRef<'_>]) -> (Vec<usize>, Vec<usize>) {
     let mut group_of: Vec<usize> = Vec::with_capacity(jobs.len());
     let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
     for (i, (prepared, inst)) in jobs.iter().enumerate() {
-        let (tag, dims) = inst.canonical_shape();
-        let key_bytes = prepared
-            .cache_key()
-            .bytes()
-            // 0xff cannot occur in the UTF-8 cache key: an unambiguous
-            // separator between the problem and instance halves.
-            .chain([0xff, tag])
-            .chain(dims.iter().flat_map(|d| (*d as u64).to_le_bytes()))
-            .chain(inst.ids().iter().flat_map(|id| id.to_le_bytes()));
-        let bucket = buckets.entry(fnv1a64(key_bytes)).or_default();
+        let bucket = buckets.entry(job_fingerprint(prepared, inst)).or_default();
         let group = bucket.iter().copied().find(|&g| {
             let (rep_prepared, rep_inst) = jobs[reps[g]];
             std::ptr::eq(rep_prepared, *prepared) && rep_inst.same_input(inst)
@@ -209,6 +200,25 @@ fn dedup_groups(jobs: &[JobRef<'_>]) -> (Vec<usize>, Vec<usize>) {
         }
     }
     (reps, group_of)
+}
+
+/// The FNV fingerprint of a job's dedup identity: problem cache key,
+/// canonical topology tag, dimensions, and identifiers. Shared by the
+/// batch dedup grouping and the stream dedup window — both always verify
+/// candidate matches against the actual jobs, so a fingerprint collision
+/// costs a comparison, never a wrong share.
+pub(crate) fn job_fingerprint(prepared: &PreparedProblem, inst: &Instance) -> u64 {
+    let (tag, dims) = inst.canonical_shape();
+    fnv1a64(
+        prepared
+            .cache_key()
+            .bytes()
+            // 0xff cannot occur in the UTF-8 cache key: an unambiguous
+            // separator between the problem and instance halves.
+            .chain([0xff, tag])
+            .chain(dims.iter().flat_map(|d| (*d as u64).to_le_bytes()))
+            .chain(inst.ids().iter().flat_map(|id| id.to_le_bytes())),
+    )
 }
 
 /// Extracts a human-readable message from a panic payload.

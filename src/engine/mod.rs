@@ -236,6 +236,8 @@ pub struct EngineBuilder {
     threads: usize,
     cache_dir: Option<std::path::PathBuf>,
     dedup: bool,
+    max_prepared_plans: Option<usize>,
+    stream_dedup_window: usize,
 }
 
 impl EngineBuilder {
@@ -339,6 +341,40 @@ impl EngineBuilder {
         self
     }
 
+    /// Bounds the prepared-plan memo to at most `cap` resolved plans
+    /// (default: unbounded). When a `prepare` resolution pushes the memo
+    /// past the cap, the least-recently-used resolved entries are evicted
+    /// until it fits — the policy a service preparing *user-supplied*
+    /// problem definitions needs, without hand-rolling
+    /// [`Engine::clear_plans`] schedules. Outstanding
+    /// `Arc<PreparedProblem>` handles stay fully usable after their entry
+    /// is evicted (they own their plan), re-preparing an evicted problem
+    /// re-walks the registry tiers but re-runs no SAT call (the synthesis
+    /// cache is untouched), and [`Engine::clear_plans`] still drops
+    /// everything at once. Evictions are counted in
+    /// [`PrepareStats::evicted`]. A cap of `0` means "no memo at all":
+    /// every entry is evicted as soon as the next one resolves.
+    pub fn max_prepared_plans(mut self, cap: usize) -> EngineBuilder {
+        self.max_prepared_plans = Some(cap);
+        self
+    }
+
+    /// Bounded dedup window for [`Engine::solve_stream`] (default: 0 =
+    /// off). A window of `n` keeps the last `n` distinct solved jobs
+    /// (plan-key × instance-key groups, the batch path's dedup identity)
+    /// in an LRU; a streamed job that matches a window entry is answered
+    /// from it instead of re-solved, flagged via
+    /// [`JobOutcome::deduped`] and counted by
+    /// [`SolveStream::dedup_hits`] / [`Engine::stream_dedup_hits`].
+    /// Solving is deterministic, so the window is observationally
+    /// transparent — but it holds up to `n` labellings, so the stream's
+    /// memory bound becomes `O(threads + window × nodes)`; the default
+    /// keeps the documented `O(threads)` bound.
+    pub fn stream_dedup_window(mut self, window: usize) -> EngineBuilder {
+        self.stream_dedup_window = window;
+        self
+    }
+
     /// Builds the engine. Infallible: the engine carries no problem of
     /// its own — plans resolve per problem in [`Engine::prepare`], where
     /// misconfiguration surfaces as a typed [`SolveError`].
@@ -359,9 +395,14 @@ impl EngineBuilder {
             debug_validation: self.debug_validation,
             threads: self.threads,
             dedup: self.dedup,
+            max_prepared_plans: self.max_prepared_plans,
+            stream_dedup_window: self.stream_dedup_window,
             plans: Mutex::new(HashMap::new()),
+            plan_clock: AtomicU64::new(0),
             plan_hits: AtomicU64::new(0),
             plans_resolved: AtomicU64::new(0),
+            plans_evicted: AtomicU64::new(0),
+            stream_dedup_hits: Arc::new(AtomicU64::new(0)),
         }
     }
 }
@@ -384,6 +425,9 @@ pub struct PrepareStats {
     pub hits: u64,
     /// Plans actually resolved (registry tier walk performed).
     pub resolved: u64,
+    /// Resolved plans evicted by the
+    /// [`EngineBuilder::max_prepared_plans`] LRU cap.
+    pub evicted: u64,
 }
 
 /// The shared, problem-agnostic solving service: one engine per process
@@ -413,14 +457,30 @@ pub struct Engine {
     debug_validation: bool,
     threads: usize,
     dedup: bool,
+    max_prepared_plans: Option<usize>,
+    stream_dedup_window: usize,
     /// Prepared-plan memo: canonical cache key → single-flight cell, the
     /// same shape as the registry's synthesis cache (one resolution per
     /// key, concurrent requests block on the cell, poisoned map locks
-    /// recover).
-    #[allow(clippy::type_complexity)]
-    plans: Mutex<HashMap<String, Arc<OnceLock<Result<Arc<PreparedProblem>, SolveError>>>>>,
+    /// recover), plus a last-used stamp for the optional LRU cap.
+    plans: Mutex<HashMap<String, PlanSlot>>,
+    /// Monotone stamp source for the memo's LRU ordering.
+    plan_clock: AtomicU64,
     plan_hits: AtomicU64,
     plans_resolved: AtomicU64,
+    plans_evicted: AtomicU64,
+    /// Cumulative stream dedup-window hits; `Arc`ed because stream
+    /// workers are detached `'static` threads that may outlive the
+    /// engine.
+    stream_dedup_hits: Arc<AtomicU64>,
+}
+
+/// One prepared-plan memo entry: the single-flight cell and the stamp of
+/// its most recent use (consulted by the
+/// [`EngineBuilder::max_prepared_plans`] eviction policy).
+struct PlanSlot {
+    cell: Arc<OnceLock<Result<Arc<PreparedProblem>, SolveError>>>,
+    last_used: u64,
 }
 
 impl Default for Engine {
@@ -443,6 +503,8 @@ impl Engine {
             threads: 1,
             cache_dir: None,
             dedup: true,
+            max_prepared_plans: None,
+            stream_dedup_window: 0,
         }
     }
 
@@ -471,31 +533,61 @@ impl Engine {
         let key = self
             .registry
             .plan_cache_key(spec, self.opts.max_synthesis_k);
-        let cell = Arc::clone(
-            self.plans
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .entry(key.clone())
-                .or_insert_with(|| Arc::new(OnceLock::new())),
-        );
+        let stamp = self.plan_clock.fetch_add(1, Ordering::Relaxed);
+        let cell = {
+            let mut plans = self.plans.lock().unwrap_or_else(PoisonError::into_inner);
+            let slot = plans.entry(key.clone()).or_insert_with(|| PlanSlot {
+                cell: Arc::new(OnceLock::new()),
+                last_used: stamp,
+            });
+            slot.last_used = stamp;
+            Arc::clone(&slot.cell)
+        };
         let mut resolved_here = false;
         let outcome = cell.get_or_init(|| {
             resolved_here = true;
-            self.resolve_plan(spec, key)
+            self.resolve_plan(spec, &key)
         });
         if resolved_here {
             self.plans_resolved.fetch_add(1, Ordering::Relaxed);
+            self.evict_lru_plans(&key);
         } else {
             self.plan_hits.fetch_add(1, Ordering::Relaxed);
         }
         outcome.clone()
     }
 
+    /// Enforces the [`EngineBuilder::max_prepared_plans`] cap after a
+    /// resolution: evicts least-recently-used *resolved* entries (never
+    /// the just-used `keep` key, never in-flight single-flight cells)
+    /// until the memo fits. No-op without a configured cap.
+    fn evict_lru_plans(&self, keep: &str) {
+        let Some(cap) = self.max_prepared_plans else {
+            return;
+        };
+        let mut plans = self.plans.lock().unwrap_or_else(PoisonError::into_inner);
+        while plans.len() > cap {
+            let victim = plans
+                .iter()
+                .filter(|(key, slot)| key.as_str() != keep && slot.cell.get().is_some())
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(key, _)| key.clone());
+            match victim {
+                Some(key) => {
+                    plans.remove(&key);
+                    self.plans_evicted.fetch_add(1, Ordering::Relaxed);
+                }
+                // Everything left is in flight or the protected key.
+                None => break,
+            }
+        }
+    }
+
     /// The uncached plan resolution behind [`Engine::prepare`].
     fn resolve_plan(
         &self,
         spec: &ProblemSpec,
-        cache_key: String,
+        cache_key: &str,
     ) -> Result<Arc<PreparedProblem>, SolveError> {
         let plan = self.registry.plan(spec, &self.opts);
         if plan.is_empty() {
@@ -505,7 +597,7 @@ impl Engine {
         }
         Ok(Arc::new(PreparedProblem::new(
             spec.clone(),
-            cache_key,
+            cache_key.to_string(),
             plan,
             Arc::clone(&self.registry),
             self.opts,
@@ -522,7 +614,7 @@ impl Engine {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .values()
-            .filter(|cell| cell.get().is_some())
+            .filter(|slot| slot.cell.get().is_some())
             .count()
     }
 
@@ -531,7 +623,15 @@ impl Engine {
         PrepareStats {
             hits: self.plan_hits.load(Ordering::Relaxed),
             resolved: self.plans_resolved.load(Ordering::Relaxed),
+            evicted: self.plans_evicted.load(Ordering::Relaxed),
         }
+    }
+
+    /// Total [`Engine::solve_stream`] jobs (across every stream this
+    /// engine has run) answered from the bounded dedup window instead of
+    /// a fresh solve; see [`EngineBuilder::stream_dedup_window`].
+    pub fn stream_dedup_hits(&self) -> u64 {
+        self.stream_dedup_hits.load(Ordering::Relaxed)
     }
 
     /// Drops every memoised prepared plan (successes and cached failure
@@ -581,6 +681,17 @@ impl Engine {
     /// Whether in-batch labelling dedup is enabled.
     pub(crate) fn dedup_enabled(&self) -> bool {
         self.dedup
+    }
+
+    /// The configured stream dedup window size (0 = off).
+    pub(crate) fn stream_dedup_window(&self) -> usize {
+        self.stream_dedup_window
+    }
+
+    /// The engine-cumulative stream dedup-hit counter, shared with the
+    /// detached stream workers.
+    pub(crate) fn stream_dedup_hits_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.stream_dedup_hits)
     }
 }
 

@@ -13,17 +13,27 @@
 //! not yet yielded. `tests/prepare.rs` pins the bound with a counting
 //! iterator over 10 000 jobs.
 //!
-//! Streaming trades the batch path's in-batch dedup for the memory
-//! bound — remembering previously seen jobs is exactly what an unbounded
-//! workload cannot afford. The shared caches still amortise across the
-//! stream: synthesis tables and prepared plans are resolved once per
-//! problem, not per job. Results arrive in *completion* order, tagged
-//! with the job's input index; a consumer that needs input order should
-//! use the slice entry points, which preserve it for free.
+//! Streaming trades the batch path's *unbounded* in-batch dedup for the
+//! memory bound — remembering every previously seen job is exactly what
+//! an unbounded workload cannot afford. The opt-in compromise is the
+//! *bounded* dedup window
+//! ([`EngineBuilder::stream_dedup_window`](crate::engine::EngineBuilder::stream_dedup_window)):
+//! an LRU over the last `n` distinct plan-key × instance-key groups, so
+//! repeat-heavy service traffic recovers most of the slice path's dedup
+//! savings in `O(window × nodes)` extra memory. Window answers are
+//! flagged per outcome ([`JobOutcome::deduped`]) and counted per stream
+//! ([`SolveStream::dedup_hits`]) and per engine
+//! ([`Engine::stream_dedup_hits`](crate::engine::Engine::stream_dedup_hits)).
+//! The shared caches still amortise across the stream either way:
+//! synthesis tables and prepared plans are resolved once per problem, not
+//! per job. Results arrive in *completion* order, tagged with the job's
+//! input index; a consumer that needs input order should use the slice
+//! entry points, which preserve it for free.
 
 use super::batch::{self, panic_detail, Job};
-use super::{Engine, Labelling, SolveError};
+use super::{Engine, Instance, Labelling, PreparedProblem, SolveError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -38,6 +48,12 @@ pub struct JobOutcome {
     pub problem: String,
     /// The solve result.
     pub result: Result<Labelling, SolveError>,
+    /// True iff the result was answered from the bounded stream dedup
+    /// window (see
+    /// [`EngineBuilder::stream_dedup_window`](crate::engine::EngineBuilder::stream_dedup_window))
+    /// instead of a fresh solve. Solving is deterministic, so a deduped
+    /// result is byte-identical to the fresh one.
+    pub deduped: bool,
 }
 
 /// The shared pull-end of a stream: the job iterator plus the running
@@ -47,6 +63,90 @@ pub struct JobOutcome {
 struct JobSource<I> {
     jobs: Option<I>,
     next_index: u64,
+}
+
+/// One remembered job group in the bounded stream dedup window.
+struct WindowEntry {
+    fingerprint: u64,
+    prepared: Arc<PreparedProblem>,
+    instance: Instance,
+    result: Result<Labelling, SolveError>,
+    last_used: u64,
+}
+
+/// The bounded LRU over plan-key × instance-key groups behind
+/// [`EngineBuilder::stream_dedup_window`](crate::engine::EngineBuilder::stream_dedup_window).
+/// At most `cap` entries; a linear scan per lookup is fine at window
+/// sizes (the fingerprint comparison rejects non-matches in one branch,
+/// and candidates are verified against the actual job like the batch
+/// path, so a fingerprint collision costs a comparison, never a wrong
+/// share).
+struct DedupWindow {
+    cap: usize,
+    clock: u64,
+    entries: Vec<WindowEntry>,
+}
+
+impl DedupWindow {
+    fn new(cap: usize) -> DedupWindow {
+        DedupWindow {
+            cap,
+            clock: 0,
+            entries: Vec::with_capacity(cap.min(1024)),
+        }
+    }
+
+    /// The window answer for a job, bumping its LRU stamp on a hit.
+    /// Matching follows the batch dedup identity exactly: same prepared
+    /// *handle* (pointer identity — differently-configured engines'
+    /// key-equal handles never alias) and interchangeable instance.
+    fn lookup(
+        &mut self,
+        fingerprint: u64,
+        prepared: &Arc<PreparedProblem>,
+        inst: &Instance,
+    ) -> Option<Result<Labelling, SolveError>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries
+            .iter_mut()
+            .find(|e| {
+                e.fingerprint == fingerprint
+                    && Arc::ptr_eq(&e.prepared, prepared)
+                    && e.instance.same_input(inst)
+            })
+            .map(|e| {
+                e.last_used = clock;
+                e.result.clone()
+            })
+    }
+
+    /// Remembers a freshly solved job, evicting the least-recently-used
+    /// entry when the window is full. A concurrent worker may have
+    /// inserted the same group while this one was solving; the duplicate
+    /// is harmless (identical deterministic results) and ages out.
+    fn insert(&mut self, entry: WindowEntry) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.entries.len() >= self.cap {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+            {
+                self.entries.swap_remove(oldest);
+            }
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.push(WindowEntry {
+            last_used: clock,
+            ..entry
+        });
+    }
 }
 
 /// The `problem` tag of the outcome reporting a panicking jobs iterator
@@ -60,6 +160,7 @@ pub struct SolveStream {
     rx: Option<mpsc::Receiver<JobOutcome>>,
     workers: Vec<JoinHandle<()>>,
     threads: usize,
+    dedup_hits: Arc<AtomicU64>,
 }
 
 impl SolveStream {
@@ -71,9 +172,19 @@ impl SolveStream {
     /// The guaranteed bound on jobs pulled from the input but not yet
     /// yielded to the consumer: one in-flight job per worker plus one
     /// buffered result slot per worker (`2 × threads`). This is what
-    /// keeps an arbitrarily long input in `O(threads)` memory.
+    /// keeps an arbitrarily long input in `O(threads)` memory (plus the
+    /// opt-in dedup window's `O(window × nodes)`, when configured).
     pub fn buffer_bound(&self) -> usize {
         2 * self.threads
+    }
+
+    /// Jobs of *this* stream answered from the bounded dedup window so
+    /// far (0 unless
+    /// [`EngineBuilder::stream_dedup_window`](crate::engine::EngineBuilder::stream_dedup_window)
+    /// is configured). Iterate the stream via `&mut` to read the counter
+    /// mid-drain or after exhaustion.
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits.load(Ordering::Relaxed)
     }
 }
 
@@ -140,12 +251,21 @@ impl Engine {
             jobs: Some(jobs.into_iter()),
             next_index: 0u64,
         }));
+        let window = match self.stream_dedup_window() {
+            0 => None,
+            cap => Some(Arc::new(Mutex::new(DedupWindow::new(cap)))),
+        };
+        let stream_hits = Arc::new(AtomicU64::new(0));
+        let engine_hits = self.stream_dedup_hits_counter();
         // Capacity `threads`: with one in-flight job per worker this caps
         // pulled-but-unyielded jobs at 2 × threads, the documented bound.
         let (tx, rx) = mpsc::sync_channel::<JobOutcome>(threads);
         let workers = (0..threads)
             .map(|_| {
                 let source = Arc::clone(&source);
+                let window = window.clone();
+                let stream_hits = Arc::clone(&stream_hits);
+                let engine_hits = Arc::clone(&engine_hits);
                 let tx = tx.clone();
                 std::thread::spawn(move || loop {
                     let (index, job) = {
@@ -178,15 +298,22 @@ impl Engine {
                                     result: Err(SolveError::Panicked {
                                         detail: panic_detail(payload),
                                     }),
+                                    deduped: false,
                                 });
                                 break;
                             }
                         }
                     };
+                    let (result, deduped) = solve_windowed(&job, window.as_deref());
+                    if deduped {
+                        stream_hits.fetch_add(1, Ordering::Relaxed);
+                        engine_hits.fetch_add(1, Ordering::Relaxed);
+                    }
                     let outcome = JobOutcome {
                         index,
                         problem: job.prepared.spec().name().to_string(),
-                        result: batch::solve_caught(&job.prepared, &job.instance),
+                        result,
+                        deduped,
                     };
                     // A dropped consumer disconnects the channel: stop
                     // pulling and wind down.
@@ -200,6 +327,39 @@ impl Engine {
             rx: Some(rx),
             workers,
             threads,
+            dedup_hits: stream_hits,
         }
     }
+}
+
+/// Solves one stream job through the dedup window (when one is
+/// configured): window hit → shared result, miss → fresh solve that is
+/// then remembered. Returns the result and whether it was a window hit.
+fn solve_windowed(
+    job: &Job,
+    window: Option<&Mutex<DedupWindow>>,
+) -> (Result<Labelling, SolveError>, bool) {
+    let Some(window) = window else {
+        return (batch::solve_caught(&job.prepared, &job.instance), false);
+    };
+    let fingerprint = batch::job_fingerprint(&job.prepared, &job.instance);
+    if let Some(hit) = window
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .lookup(fingerprint, &job.prepared, &job.instance)
+    {
+        return (hit, true);
+    }
+    let result = batch::solve_caught(&job.prepared, &job.instance);
+    window
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(WindowEntry {
+            fingerprint,
+            prepared: Arc::clone(&job.prepared),
+            instance: job.instance.clone(),
+            result: result.clone(),
+            last_used: 0, // stamped by insert
+        });
+    (result, false)
 }

@@ -334,3 +334,100 @@ fn stream_mixes_problems() {
     assert_eq!(solved_per_problem["vertex-2-colouring"], 10);
     assert_eq!(failed, 10);
 }
+
+/// `max_prepared_plans` bounds the plan memo with LRU eviction: the memo
+/// never exceeds the cap, the least-recently-used plan goes first, and
+/// outstanding handles survive their entry's eviction.
+#[test]
+fn max_prepared_plans_evicts_lru() {
+    let engine = Engine::builder()
+        .max_synthesis_k(1)
+        .max_prepared_plans(2)
+        .build();
+    let a = ProblemSpec::independent_set();
+    let b = ProblemSpec::vertex_colouring(2);
+    let c = ProblemSpec::vertex_colouring(3);
+
+    let handle_a = engine.prepare(&a).unwrap();
+    engine.prepare(&b).unwrap();
+    assert_eq!(engine.prepared_plans(), 2);
+    // Touch `a` so `b` is the LRU entry, then overflow with `c`.
+    engine.prepare(&a).unwrap();
+    engine.prepare(&c).unwrap();
+    let stats = engine.prepare_stats();
+    assert_eq!(engine.prepared_plans(), 2, "cap holds after overflow");
+    assert_eq!(stats.evicted, 1, "exactly one entry evicted");
+    // `a` survived (memo hit), `b` was evicted (fresh resolution).
+    let again_a = engine.prepare(&a).unwrap();
+    assert!(Arc::ptr_eq(&handle_a, &again_a), "a stayed memoised");
+    let resolved_before = engine.prepare_stats().resolved;
+    engine.prepare(&b).unwrap();
+    assert_eq!(
+        engine.prepare_stats().resolved,
+        resolved_before + 1,
+        "b re-resolves after its eviction"
+    );
+    // The evicted-then-orphaned handle still solves.
+    let inst = Instance::square(4, &IdAssignment::Sequential);
+    assert!(handle_a.solve(&inst).is_ok());
+}
+
+/// The bounded stream dedup window answers repeat jobs from the LRU —
+/// byte-identically to fresh solves — and reports hits per outcome, per
+/// stream, and per engine; a fresh engine without the window reports
+/// none.
+#[test]
+fn stream_dedup_window_shares_repeat_jobs() {
+    let engine = Engine::builder().threads(2).stream_dedup_window(8).build();
+    let prepared = engine.prepare(&ProblemSpec::independent_set()).unwrap();
+    // 40 jobs over 4 distinct (seed) groups: at least 36 must hit the
+    // window once each group has been solved (racing workers may solve a
+    // group twice before it lands in the window, so exact counts are not
+    // guaranteed — the floor is jobs - 2×groups with 2 workers).
+    let jobs = (0..40u64).map({
+        let prepared = Arc::clone(&prepared);
+        move |i| {
+            Job::new(
+                Arc::clone(&prepared),
+                Instance::square(4, &IdAssignment::Shuffled { seed: i % 4 }),
+            )
+        }
+    });
+    let mut stream = engine.solve_stream(jobs);
+    let mut fresh: Vec<Option<Vec<u16>>> = vec![None; 4];
+    let mut outcomes = 0usize;
+    let mut hits = 0u64;
+    for outcome in &mut stream {
+        outcomes += 1;
+        let labels = outcome.result.unwrap().labels;
+        let group = usize::try_from(outcome.index % 4).unwrap();
+        match &fresh[group] {
+            Some(reference) => assert_eq!(
+                reference, &labels,
+                "window answers are byte-identical to fresh solves"
+            ),
+            None => fresh[group] = Some(labels),
+        }
+        if outcome.deduped {
+            hits += 1;
+        }
+    }
+    assert_eq!(outcomes, 40);
+    assert!(hits >= 40 - 2 * 4, "repeat groups hit the window: {hits}");
+    assert_eq!(stream.dedup_hits(), hits);
+    assert_eq!(engine.stream_dedup_hits(), hits);
+
+    // Default engines keep the documented O(threads) bound: no window.
+    let plain = Engine::builder().threads(2).build();
+    let prepared = plain.prepare(&ProblemSpec::independent_set()).unwrap();
+    let jobs = (0..10u64).map(move |_| {
+        Job::new(
+            Arc::clone(&prepared),
+            Instance::square(4, &IdAssignment::Shuffled { seed: 1 }),
+        )
+    });
+    let mut stream = plain.solve_stream(jobs);
+    assert!(stream.all(|o| !o.deduped));
+    assert_eq!(stream.dedup_hits(), 0);
+    assert_eq!(plain.stream_dedup_hits(), 0);
+}
