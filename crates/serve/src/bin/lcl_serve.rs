@@ -4,7 +4,8 @@
 //! ```text
 //! lcl-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!           [--engine-threads N] [--max-batch-jobs N]
-//!           [--max-instance-nodes N] [--port-file PATH]
+//!           [--max-instance-nodes N] [--max-tenants N]
+//!           [--port-file PATH]
 //! ```
 //!
 //! `--port-file` writes the bound `host:port` to a file once the socket
@@ -31,6 +32,7 @@ fn main() -> ExitCode {
                 value("--max-instance-nodes"),
                 &mut config.max_instance_nodes,
             ),
+            "--max-tenants" => parse(value("--max-tenants"), &mut config.max_tenants),
             "--port-file" => value("--port-file").map(|v| port_file = Some(v)),
             "--help" | "-h" => {
                 println!(
@@ -43,6 +45,7 @@ fn main() -> ExitCode {
                      \x20 --engine-threads N      engine threads, 0 = all cores (default 0)\n\
                      \x20 --max-batch-jobs N      per-batch job cap (default 1024)\n\
                      \x20 --max-instance-nodes N  per-instance node cap (default 65536)\n\
+                     \x20 --max-tenants N         tenant namespace cap (default 64)\n\
                      \x20 --port-file PATH        write the bound address here once live"
                 );
                 return ExitCode::SUCCESS;

@@ -260,16 +260,35 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Parses a number, enforcing the JSON grammar while scanning (not
+    /// just `f64::parse` afterwards, which is laxer): the integer part
+    /// is `0` or a nonzero digit followed by digits (no leading zeros,
+    /// no bare `-`), a fraction needs at least one digit after the
+    /// `.`, and an exponent needs at least one digit after `e[+-]`.
     fn number(&mut self) -> Result<Json, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-            self.pos += 1;
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    return Err(self.err("leading zeros are not allowed"));
+                }
+            }
+            Some(c) if c.is_ascii_digit() => {
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected a digit")),
         }
         if self.peek() == Some(b'.') {
             self.pos += 1;
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("expected a digit after '.'"));
+            }
             while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
                 self.pos += 1;
             }
@@ -278,6 +297,9 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("expected a digit in the exponent"));
             }
             while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
                 self.pos += 1;
@@ -440,6 +462,7 @@ mod tests {
             r#"{"a":[1,2.5,-3],"b":"x\"y","c":true,"d":null,"e":{}}"#,
             r#"[[],[[]],"\u00e9\ud83d\ude00"]"#,
             "12345",
+            "[0,-0.5,1e3,1.25E-2,100]",
         ] {
             let parsed = Json::parse(src).unwrap();
             assert_eq!(Json::parse(&parsed.to_string()).unwrap(), parsed);
@@ -450,6 +473,8 @@ mod tests {
     fn rejects_malformed() {
         for src in [
             "", "{", "[1,", "{\"a\"}", "tru", "1 2", "\"\\x\"", "\"", "{\"a\":}", "nan", "1e999",
+            // Non-JSON number shapes f64::parse would happily accept:
+            "1.", "-.5", ".5", "007", "01", "-", "1e", "2e+", "[-]", "[1.,2]",
         ] {
             assert!(Json::parse(src).is_err(), "accepted {src:?}");
         }

@@ -155,6 +155,15 @@ struct ProblemRow {
     dedup_hits: u64,
 }
 
+/// Most distinct per-problem rows kept. Problem names are client-chosen
+/// (the `dsl` problem type mints one per definition), so the map must
+/// not grow with the number of names ever seen: beyond the cap, new
+/// names fold into the [`OVERFLOW_PROBLEM_ROW`] row.
+const MAX_PROBLEM_ROWS: usize = 256;
+
+/// The catch-all row absorbing solves beyond [`MAX_PROBLEM_ROWS`].
+const OVERFLOW_PROBLEM_ROW: &str = "(other)";
+
 /// Everything the service counts, shared by acceptor, workers, and the
 /// `/metrics` endpoint.
 #[derive(Default)]
@@ -176,6 +185,9 @@ pub struct Metrics {
     pub queue_depth: AtomicUsize,
     /// Requests that failed HTTP parsing (before reaching an endpoint).
     pub malformed_requests: AtomicU64,
+    /// Whole tenant namespaces evicted to keep the tenant map under its
+    /// `max_tenants` bound.
+    pub tenant_evictions: AtomicU64,
     /// Per-problem solve accounting, keyed by problem display name.
     per_problem: Mutex<HashMap<String, ProblemRow>>,
 }
@@ -192,13 +204,21 @@ impl Metrics {
         }
     }
 
-    /// Folds one solve outcome into the named problem's row.
+    /// Folds one solve outcome into the named problem's row — or into
+    /// the `(other)` overflow row once [`MAX_PROBLEM_ROWS`] distinct
+    /// names exist, so client-minted problem names (DSL sources) cannot
+    /// grow this map or the `/metrics` document without bound.
     pub fn record_solve(&self, problem: &str, solved: bool, deduped: bool) {
         let mut rows = self
             .per_problem
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        let row = rows.entry(problem.to_string()).or_default();
+        let key = if rows.contains_key(problem) || rows.len() < MAX_PROBLEM_ROWS {
+            problem
+        } else {
+            OVERFLOW_PROBLEM_ROW
+        };
+        let row = rows.entry(key.to_string()).or_default();
         row.jobs += 1;
         if solved {
             row.solved += 1;
@@ -251,6 +271,10 @@ impl Metrics {
                     (
                         "malformed_requests",
                         Json::count(self.malformed_requests.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "tenant_evictions",
+                        Json::count(self.tenant_evictions.load(Ordering::Relaxed)),
                     ),
                 ]),
             ),
@@ -317,6 +341,22 @@ mod tests {
         assert_eq!(h.quantile_us(1.0), Some(3_000_000));
         assert!(h.mean_us().unwrap() > 50.0);
         assert_eq!(Histogram::default().quantile_us(0.5), None);
+    }
+
+    #[test]
+    fn per_problem_rows_fold_overflow_into_other() {
+        let m = Metrics::default();
+        for i in 0..(MAX_PROBLEM_ROWS + 50) {
+            m.record_solve(&format!("minted-{i}"), true, false);
+        }
+        let rows = m.per_problem.lock().unwrap();
+        assert!(rows.len() <= MAX_PROBLEM_ROWS + 1, "rows: {}", rows.len());
+        assert_eq!(rows.get(OVERFLOW_PROBLEM_ROW).unwrap().jobs, 50);
+        drop(rows);
+        // Known names keep accumulating on their own row past the cap.
+        m.record_solve("minted-0", false, false);
+        let rows = m.per_problem.lock().unwrap();
+        assert_eq!(rows.get("minted-0").unwrap().failed, 1);
     }
 
     #[test]

@@ -47,6 +47,11 @@ pub struct ServeConfig {
     pub write_timeout: Duration,
     /// Most prepared plans each tenant namespace keeps (LRU beyond it).
     pub max_plans_per_tenant: usize,
+    /// Most tenant namespaces kept at once. Tenant names are
+    /// client-chosen, so the namespace map must be bounded like every
+    /// other per-request allocation: beyond the cap, whole
+    /// least-recently-used namespaces are evicted.
+    pub max_tenants: usize,
     /// Engine-level prepared-plan memo cap
     /// ([`lcl_grids::engine::EngineBuilder::max_prepared_plans`]).
     pub max_prepared_plans: usize,
@@ -72,6 +77,7 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             max_plans_per_tenant: 32,
+            max_tenants: 64,
             max_prepared_plans: 256,
             max_instance_nodes: 1 << 16,
             max_batch_jobs: 1024,
@@ -93,6 +99,7 @@ struct TenantPlans {
     hits: u64,
     misses: u64,
     evictions: u64,
+    last_used: u64,
 }
 
 struct PlanEntry {
@@ -112,6 +119,40 @@ struct Shared {
 }
 
 impl Shared {
+    /// The named tenant's namespace, created on first use. The map
+    /// itself is bounded: tenant names come off the wire, so admitting a
+    /// new name beyond `max_tenants` first evicts whole
+    /// least-recently-used namespaces — keeping memory and the
+    /// `/metrics` document `O(max_tenants × max_plans_per_tenant)` no
+    /// matter how many names a client mints.
+    fn namespace<'a>(
+        &self,
+        tenants: &'a mut HashMap<String, TenantPlans>,
+        tenant: &str,
+        stamp: u64,
+    ) -> &'a mut TenantPlans {
+        if !tenants.contains_key(tenant) {
+            while tenants.len() >= self.config.max_tenants.max(1) {
+                let victim = tenants
+                    .iter()
+                    .min_by_key(|(_, ns)| ns.last_used)
+                    .map(|(name, _)| name.clone());
+                match victim {
+                    Some(name) => {
+                        tenants.remove(&name);
+                        self.metrics
+                            .tenant_evictions
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => break,
+                }
+            }
+        }
+        let ns = tenants.entry(tenant.to_string()).or_default();
+        ns.last_used = stamp;
+        ns
+    }
+
     /// Resolves a plan inside a tenant namespace: answers from the
     /// tenant's cache when the canonical key is already there, otherwise
     /// prepares through the engine (itself memoised and capped) and
@@ -129,7 +170,7 @@ impl Shared {
         let stamp = self.tenant_clock.fetch_add(1, Ordering::Relaxed);
         {
             let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
-            let ns = tenants.entry(tenant.to_string()).or_default();
+            let ns = self.namespace(&mut tenants, tenant, stamp);
             if let Some(entry) = ns.plans.get_mut(&key) {
                 entry.last_used = stamp;
                 ns.hits += 1;
@@ -140,7 +181,7 @@ impl Shared {
         // synthesis, and the engine memo has its own single-flight cells.
         let prepared = self.engine.prepare(spec)?;
         let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
-        let ns = tenants.entry(tenant.to_string()).or_default();
+        let ns = self.namespace(&mut tenants, tenant, stamp);
         ns.misses += 1;
         ns.plans.insert(
             key.clone(),
@@ -172,6 +213,7 @@ impl Shared {
         let stamp = self.tenant_clock.fetch_add(1, Ordering::Relaxed);
         let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
         let ns = tenants.get_mut(tenant)?;
+        ns.last_used = stamp;
         let entry = ns.plans.get_mut(key)?;
         entry.last_used = stamp;
         ns.hits += 1;
@@ -295,11 +337,15 @@ fn acceptor_loop(shared: &Shared, listener: TcpListener, tx: SyncSender<TcpStrea
             // what lets the workers exit after finishing admitted work.
             return;
         }
+        // The gauge goes up *before* the send: a worker may receive and
+        // finish the connection the instant `try_send` returns, and its
+        // `fetch_sub` must never observe a not-yet-incremented gauge
+        // (which would wrap the `AtomicUsize` to ~`usize::MAX`).
+        shared.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
         match tx.try_send(conn) {
-            Ok(()) => {
-                shared.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
-            }
+            Ok(()) => {}
             Err(TrySendError::Full(mut conn)) => {
+                shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 shared
                     .metrics
                     .busy_rejections
@@ -323,8 +369,12 @@ fn acceptor_loop(shared: &Shared, listener: TcpListener, tx: SyncSender<TcpStrea
                 // makes the kernel send RST, which can destroy the 429
                 // in flight. Send FIN, then briefly drain what the client
                 // already wrote so the close is orderly. The drain is
-                // capped in both time and bytes, so a hostile peer can
-                // hold the acceptor for at most ~100 ms.
+                // capped in bytes, per-read idle time, AND total wall
+                // time: the overall deadline is what stops a hostile
+                // peer trickling one byte per read from holding the
+                // (single) acceptor thread — worst case is the deadline
+                // plus one read timeout, ~200 ms.
+                let deadline = Instant::now() + Duration::from_millis(100);
                 let _ = conn.shutdown(Shutdown::Write);
                 let _ = conn.set_read_timeout(Some(Duration::from_millis(100)));
                 let mut scratch = [0u8; 4096];
@@ -334,12 +384,15 @@ fn acceptor_loop(shared: &Shared, listener: TcpListener, tx: SyncSender<TcpStrea
                         break;
                     }
                     drained += n;
-                    if drained > 64 * 1024 {
+                    if drained > 64 * 1024 || Instant::now() >= deadline {
                         break;
                     }
                 }
             }
-            Err(TrySendError::Disconnected(_)) => return,
+            Err(TrySendError::Disconnected(_)) => {
+                shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                return;
+            }
         }
     }
 }

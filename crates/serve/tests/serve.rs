@@ -230,6 +230,71 @@ fn solve_batch_dedups_and_orders_results() {
 }
 
 #[test]
+fn tenant_namespaces_are_bounded_with_lru_eviction() {
+    // Tenant names are client-chosen, so the namespace map is capped:
+    // minting names beyond `max_tenants` evicts whole LRU namespaces
+    // instead of growing memory (and /metrics) without bound.
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        queue_cap: 16,
+        engine_threads: 1,
+        max_tenants: 3,
+        max_synthesis_k: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind test server");
+    let addr = server.addr();
+
+    for i in 0..8 {
+        let (status, body) = post(
+            addr,
+            "/prepare",
+            &format!(r#"{{"problem":{{"type":"independent-set"}},"tenant":"mint-{i}"}}"#),
+        );
+        assert_eq!(status, 200, "{body}");
+    }
+
+    let (_, body) = get(addr, "/metrics");
+    let metrics = Json::parse(&body).unwrap();
+    let tenants = match metrics.get("tenants").unwrap() {
+        Json::Obj(rows) => rows,
+        other => panic!("tenants must be an object, got {other}"),
+    };
+    assert!(
+        tenants.len() <= 3,
+        "namespace map exceeded max_tenants: {body}"
+    );
+    // The most recent tenant survived; the earliest was evicted.
+    assert!(tenants.iter().any(|(name, _)| name == "mint-7"), "{body}");
+    assert!(tenants.iter().all(|(name, _)| name != "mint-0"), "{body}");
+    let evictions = metrics
+        .get("admission")
+        .and_then(|a| a.get("tenant_evictions"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert_eq!(evictions, 5, "8 minted names over a 3-namespace cap");
+
+    // An evicted tenant's plan references are gone (typed 404), but
+    // re-preparing works and is warm through the shared engine memo.
+    let (status, body) = post(
+        addr,
+        "/solve",
+        r#"{"plan":"anything","tenant":"mint-0",
+            "instance":{"topology":"torus2","side":6}}"#,
+    );
+    assert_eq!(status, 404, "{body}");
+    let (status, body) = post(
+        addr,
+        "/prepare",
+        r#"{"problem":{"type":"independent-set"},"tenant":"mint-0"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
 fn malformed_requests_get_4xx_not_panics() {
     let server = test_server(16, 2);
     let addr = server.addr();
