@@ -1,0 +1,266 @@
+//! `lcl-budget`: cooperative cancellation and solve budgets.
+//!
+//! Every unbounded loop in the workspace — the SAT solver's
+//! conflict/decision loop, the synthesis iterative-deepening fixpoint,
+//! the existence encoders, the LOCAL simulator's round loop — accepts a
+//! [`Budget`] and polls it at hot-loop granularity. A budget combines up
+//! to three independent limits:
+//!
+//! * a **deadline** (wall clock, via [`Budget::deadline`]),
+//! * a **step quota** (solver-defined work units, via [`Budget::steps`]),
+//! * a **[`CancelToken`]** another thread can trip at any time.
+//!
+//! Checks are designed to be cheap enough for inner loops: a cancelled
+//! flag is one relaxed atomic load, a step charge is one relaxed
+//! `fetch_add`, and the deadline costs a single `Instant::now()`. The
+//! default [`Budget::unlimited`] never trips and short-circuits to the
+//! token check alone, so budget-aware code pays nothing measurable when
+//! no limit is armed.
+//!
+//! The crate is dependency-free and knows nothing about solvers: callers
+//! map [`BudgetExceeded`] into their own typed errors (the engine maps
+//! it to `SolveError::DeadlineExceeded` / `SolveError::Cancelled`).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shareable cancellation flag: clone it anywhere, trip it once, and
+/// every [`Budget`] carrying a clone observes the cancellation at its
+/// next check.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Trips the token; idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Why a budget check failed. `Clone + Eq` so solver errors built from
+/// it stay comparable in tests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BudgetExceeded {
+    /// The wall-clock deadline passed; `elapsed` is measured from the
+    /// budget's creation.
+    Deadline {
+        /// Time spent when the deadline was observed.
+        elapsed: Duration,
+    },
+    /// The step quota ran out.
+    Steps {
+        /// The quota that was exhausted.
+        quota: u64,
+    },
+    /// The attached [`CancelToken`] was tripped.
+    Cancelled,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetExceeded::Deadline { elapsed } => {
+                write!(
+                    f,
+                    "deadline exceeded after {:.1}ms",
+                    elapsed.as_secs_f64() * 1e3
+                )
+            }
+            BudgetExceeded::Steps { quota } => write!(f, "step quota of {quota} exhausted"),
+            BudgetExceeded::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// A solve budget: deadline and/or step quota and/or cancellation token,
+/// any combination, all optional. Cloning shares the step counter and
+/// token (the limits are joint across clones), which is what lets one
+/// request-level budget govern every tier and worker thread it touches.
+#[derive(Clone, Debug)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    quota: Option<u64>,
+    steps: Arc<AtomicU64>,
+    token: Option<CancelToken>,
+    started: Instant,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget that never trips (the token check still applies if one
+    /// is attached later via [`Budget::with_token`]).
+    pub fn unlimited() -> Budget {
+        Budget {
+            deadline: None,
+            quota: None,
+            steps: Arc::new(AtomicU64::new(0)),
+            token: None,
+            started: Instant::now(),
+        }
+    }
+
+    /// A budget with a wall-clock deadline `d` from now.
+    pub fn deadline(d: Duration) -> Budget {
+        Budget::unlimited().with_deadline(d)
+    }
+
+    /// A budget with a step quota (solver-defined work units; the SAT
+    /// tier charges propagations, the simulator charges node-rounds).
+    pub fn steps(quota: u64) -> Budget {
+        Budget::unlimited().with_steps(quota)
+    }
+
+    /// Adds (or tightens) a wall-clock deadline `d` from now.
+    pub fn with_deadline(mut self, d: Duration) -> Budget {
+        let at = Instant::now() + d;
+        self.deadline = Some(match self.deadline {
+            Some(existing) => existing.min(at),
+            None => at,
+        });
+        self
+    }
+
+    /// Adds (or tightens) a step quota.
+    pub fn with_steps(mut self, quota: u64) -> Budget {
+        self.quota = Some(self.quota.map_or(quota, |q| q.min(quota)));
+        self
+    }
+
+    /// Attaches a cancellation token.
+    pub fn with_token(mut self, token: CancelToken) -> Budget {
+        self.token = Some(token);
+        self
+    }
+
+    /// True iff no deadline, quota, or token is armed — the fast path
+    /// hot loops may use to skip per-iteration checks entirely.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.quota.is_none() && self.token.is_none()
+    }
+
+    /// Time since the budget was created.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Steps charged so far across every clone of this budget.
+    pub fn steps_used(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    /// Checks every armed limit; cheap enough for inner loops.
+    pub fn check(&self) -> Result<(), BudgetExceeded> {
+        if let Some(token) = &self.token {
+            if token.is_cancelled() {
+                return Err(BudgetExceeded::Cancelled);
+            }
+        }
+        if let Some(quota) = self.quota {
+            if self.steps.load(Ordering::Relaxed) > quota {
+                return Err(BudgetExceeded::Steps { quota });
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(BudgetExceeded::Deadline {
+                    elapsed: self.started.elapsed(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges `n` work units against the quota, then checks all limits.
+    pub fn charge(&self, n: u64) -> Result<(), BudgetExceeded> {
+        if self.quota.is_some() || n > 0 {
+            self.steps.fetch_add(n, Ordering::Relaxed);
+        }
+        self.check()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        for _ in 0..1000 {
+            assert_eq!(b.charge(1_000_000), Ok(()));
+        }
+    }
+
+    #[test]
+    fn step_quota_trips_exactly_past_quota() {
+        let b = Budget::steps(10);
+        assert_eq!(b.charge(10), Ok(()));
+        assert_eq!(b.charge(1), Err(BudgetExceeded::Steps { quota: 10 }));
+    }
+
+    #[test]
+    fn quota_is_joint_across_clones() {
+        let b = Budget::steps(10);
+        let c = b.clone();
+        assert_eq!(c.charge(8), Ok(()));
+        assert_eq!(b.charge(5), Err(BudgetExceeded::Steps { quota: 10 }));
+        assert_eq!(b.steps_used(), 13);
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let b = Budget::deadline(Duration::ZERO);
+        match b.check() {
+            Err(BudgetExceeded::Deadline { .. }) => {}
+            other => panic!("expected deadline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tightening_keeps_the_smaller_limit() {
+        let b = Budget::steps(100).with_steps(5);
+        assert_eq!(b.charge(6), Err(BudgetExceeded::Steps { quota: 5 }));
+        let b = Budget::deadline(Duration::from_secs(3600)).with_deadline(Duration::ZERO);
+        assert!(matches!(b.check(), Err(BudgetExceeded::Deadline { .. })));
+    }
+
+    #[test]
+    fn token_cancels_every_clone() {
+        let token = CancelToken::new();
+        let b = Budget::unlimited().with_token(token.clone());
+        let c = b.clone();
+        assert_eq!(b.check(), Ok(()));
+        token.cancel();
+        assert_eq!(b.check(), Err(BudgetExceeded::Cancelled));
+        assert_eq!(c.check(), Err(BudgetExceeded::Cancelled));
+    }
+
+    #[test]
+    fn cancellation_outranks_other_limits() {
+        let token = CancelToken::new();
+        token.cancel();
+        let b = Budget::steps(0).with_token(token);
+        assert_eq!(b.charge(5), Err(BudgetExceeded::Cancelled));
+    }
+}

@@ -16,7 +16,7 @@ use crate::lcl::{GridProblem, Label};
 use crate::problems::{edge_label_encode, edge_label_encode_d};
 use lcl_grid::{Dir4, Torus2, TorusD};
 use lcl_local::SplitMix64;
-use lcl_sat::{exactly_one, Lit, Model, SolveOutcome, Solver, Var};
+use lcl_sat::{exactly_one, Budget, BudgetExceeded, Lit, Model, SolveOutcome, Solver, Var};
 
 /// A closure reading a labelling back out of a SAT model.
 type DecodeFn = Box<dyn Fn(&Model) -> Vec<Label>>;
@@ -34,20 +34,17 @@ pub fn solve_seeded(problem: &GridProblem, torus: &Torus2, seed: u64) -> Option<
     solve_with_phases(problem, torus, Some(seed))
 }
 
-/// True iff the problem has a solution on this torus.
-pub fn solvable(problem: &GridProblem, torus: &Torus2) -> bool {
-    // Cheap shortcut: a constant solution settles it.
-    if problem.constant_solution().is_some() {
-        return true;
-    }
-    solve(problem, torus).is_some()
-}
-
-fn solve_with_phases(
+/// [`solve`]/[`solve_seeded`] under a cooperative [`Budget`], polled at
+/// the SAT solver's propagation-loop granularity: `Err` means the budget
+/// tripped mid-search (not an unsolvability verdict), `Ok(None)` is the
+/// exact "no solution on this torus" answer.
+pub fn solve_budgeted(
     problem: &GridProblem,
     torus: &Torus2,
     seed: Option<u64>,
-) -> Option<Vec<Label>> {
+    budget: &Budget,
+) -> Result<Option<Vec<Label>>, BudgetExceeded> {
+    budget.check()?;
     let mut solver = Solver::new();
     let decode: DecodeFn = match problem {
         GridProblem::VertexColouring { k } => encode_vertex(&mut solver, torus, *k),
@@ -62,14 +59,32 @@ fn solve_with_phases(
             solver.set_phase(Var(v as u32), bit);
         }
     }
-    match solver.solve() {
+    Ok(match solver.solve_budgeted(budget)? {
         SolveOutcome::Sat(model) => {
             let labels = decode(&model);
             debug_assert!(problem.check(torus, &labels).is_ok());
             Some(labels)
         }
         SolveOutcome::Unsat => None,
+    })
+}
+
+/// True iff the problem has a solution on this torus.
+pub fn solvable(problem: &GridProblem, torus: &Torus2) -> bool {
+    // Cheap shortcut: a constant solution settles it.
+    if problem.constant_solution().is_some() {
+        return true;
     }
+    solve(problem, torus).is_some()
+}
+
+fn solve_with_phases(
+    problem: &GridProblem,
+    torus: &Torus2,
+    seed: Option<u64>,
+) -> Option<Vec<Label>> {
+    solve_budgeted(problem, torus, seed, &Budget::unlimited())
+        .expect("an unlimited budget never trips")
 }
 
 /// Solves the problem on a d-dimensional torus, for problems with
@@ -129,12 +144,25 @@ pub fn solve_pairwise_d(
     alphabet: u16,
     pair_allowed: &[bool],
 ) -> Option<Vec<Label>> {
+    solve_pairwise_d_budgeted(torus, alphabet, pair_allowed, &Budget::unlimited())
+        .expect("an unlimited budget never trips")
+}
+
+/// [`solve_pairwise_d`] under a cooperative [`Budget`] (see
+/// [`solve_budgeted`] for the `Err` vs `Ok(None)` distinction).
+pub fn solve_pairwise_d_budgeted(
+    torus: &TorusD,
+    alphabet: u16,
+    pair_allowed: &[bool],
+    budget: &Budget,
+) -> Result<Option<Vec<Label>>, BudgetExceeded> {
+    budget.check()?;
     let mut solver = Solver::new();
     let decode = encode_pairwise_d(&mut solver, torus, alphabet, pair_allowed);
-    match solver.solve() {
+    Ok(match solver.solve_budgeted(budget)? {
         SolveOutcome::Sat(model) => Some(decode(&model)),
         SolveOutcome::Unsat => None,
-    }
+    })
 }
 
 fn encode_vertex(solver: &mut Solver, torus: &Torus2, k: u16) -> DecodeFn {

@@ -23,6 +23,7 @@ mod synth;
 pub mod tiles;
 
 pub use synth::{
-    synthesize, synthesize_auto, SynthRun, SynthRunError, SynthesisConfig, SynthesizedAlgorithm,
+    synthesize, synthesize_auto, synthesize_auto_budgeted, synthesize_budgeted, SynthRun,
+    SynthRunError, SynthesisConfig, SynthesizedAlgorithm,
 };
 pub use tiles::{enumerate_tiles, realizable, Tile, TileShape};

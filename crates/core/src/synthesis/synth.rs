@@ -13,7 +13,7 @@ use super::tiles::{enumerate_tiles, Tile, TileShape};
 use crate::lcl::{GridProblem, Label};
 use lcl_grid::{Metric, Pos, Torus2};
 use lcl_local::{GridInstance, Rounds};
-use lcl_sat::{exactly_one, Lit, SolveOutcome, Solver, Var};
+use lcl_sat::{exactly_one, Budget, BudgetExceeded, Lit, SolveOutcome, Solver, Var};
 use std::fmt;
 
 /// Typed failure of a synthesised-algorithm run: the `try_run` entry
@@ -241,8 +241,22 @@ impl SynthesizedAlgorithm {
 /// given parameters. Returns `None` if the constraint system is
 /// unsatisfiable — meaning no `A′` with this window shape exists.
 pub fn synthesize(problem: &GridProblem, config: &SynthesisConfig) -> Option<SynthesizedAlgorithm> {
+    synthesize_budgeted(problem, config, &Budget::unlimited())
+        .expect("an unlimited budget never trips")
+}
+
+/// [`synthesize`] under a cooperative [`Budget`]: the tile-realizability
+/// SAT solve polls the budget at propagation-loop granularity. A budget
+/// trip is distinguished from unsatisfiability — `Err` means "ran out of
+/// budget", `Ok(None)` means "provably no `A′` with this window shape".
+pub fn synthesize_budgeted(
+    problem: &GridProblem,
+    config: &SynthesisConfig,
+    budget: &Budget,
+) -> Result<Option<SynthesizedAlgorithm>, BudgetExceeded> {
     let shape = config.shape;
     let k = config.k;
+    budget.check()?;
     let tiles = enumerate_tiles(k, shape);
     let index = TileIndex(&tiles);
 
@@ -260,7 +274,7 @@ pub fn synthesize(problem: &GridProblem, config: &SynthesisConfig) -> Option<Syn
         GridProblem::Block(b) => encode_block(&mut solver, k, shape, &tiles, index, b),
     };
 
-    match solver.solve() {
+    Ok(match solver.solve_budgeted(budget)? {
         SolveOutcome::Sat(model) => {
             let labels = (0..tiles.len()).map(|i| assignment(&model, i)).collect();
             Some(SynthesizedAlgorithm {
@@ -274,7 +288,7 @@ pub fn synthesize(problem: &GridProblem, config: &SynthesisConfig) -> Option<Syn
             })
         }
         SolveOutcome::Unsat => None,
-    }
+    })
 }
 
 /// Iterative deepening over `k` and window shapes, as §7 prescribes:
@@ -283,18 +297,31 @@ pub fn synthesize(problem: &GridProblem, config: &SynthesisConfig) -> Option<Syn
 /// (Theorem 3) means no synthesiser can do better than such a one-sided
 /// test.
 pub fn synthesize_auto(problem: &GridProblem, max_k: usize) -> Option<SynthesizedAlgorithm> {
+    synthesize_auto_budgeted(problem, max_k, &Budget::unlimited())
+        .expect("an unlimited budget never trips")
+}
+
+/// [`synthesize_auto`] under a cooperative [`Budget`], polled between
+/// deepening steps and inside every tile-realizability SAT solve. An
+/// `Err` means the fixpoint was interrupted mid-deepening: the caller
+/// must *not* cache it as a "no normal form up to `max_k`" verdict.
+pub fn synthesize_auto_budgeted(
+    problem: &GridProblem,
+    max_k: usize,
+    budget: &Budget,
+) -> Result<Option<SynthesizedAlgorithm>, BudgetExceeded> {
     for k in 1..=max_k {
         let shapes = [
             TileShape::new(2 * k + 1, (2 * k - 1).max(2)),
             TileShape::new(2 * k + 1, 2 * k + 1),
         ];
         for shape in shapes {
-            if let Some(a) = synthesize(problem, &SynthesisConfig { k, shape }) {
-                return Some(a);
+            if let Some(a) = synthesize_budgeted(problem, &SynthesisConfig { k, shape }, budget)? {
+                return Ok(Some(a));
             }
         }
     }
-    None
+    Ok(None)
 }
 
 /// The interned tile table: indices are binary searches over the sorted

@@ -7,6 +7,7 @@
 //! number of rounds until the *last* node halts — the running time in the
 //! sense of the paper.
 
+use lcl_budget::{Budget, BudgetExceeded};
 use lcl_grid::Graph;
 use std::fmt;
 
@@ -50,6 +51,16 @@ pub enum SimulationError {
         /// How many nodes had not yet halted.
         unfinished: usize,
     },
+    /// A cooperative [`Budget`] tripped between rounds (see
+    /// [`Simulator::run_budgeted`]); distinct from the simulator's own
+    /// round limit so callers can tell "protocol too slow" from "caller
+    /// out of time".
+    BudgetExceeded {
+        /// Rounds completed before the budget tripped.
+        rounds: u64,
+        /// What tripped.
+        cause: BudgetExceeded,
+    },
 }
 
 impl fmt::Display for SimulationError {
@@ -59,6 +70,12 @@ impl fmt::Display for SimulationError {
                 f,
                 "simulation exceeded {limit} rounds with {unfinished} nodes unfinished"
             ),
+            SimulationError::BudgetExceeded { rounds, cause } => {
+                write!(
+                    f,
+                    "simulation budget tripped after {rounds} rounds: {cause}"
+                )
+            }
         }
     }
 }
@@ -102,6 +119,30 @@ impl Simulator {
         ids: &[u64],
         protocol: &P,
     ) -> Result<SimulationRun<P::Output>, SimulationError> {
+        self.run_budgeted(graph, ids, protocol, &Budget::unlimited())
+    }
+
+    /// Like [`Simulator::run`], but polls a cooperative [`Budget`] once
+    /// per synchronous round, charging one work unit per node-round. The
+    /// check is allocation-free (two atomics and a clock read), so the
+    /// round loop's no-allocation guarantee holds with a budget armed.
+    ///
+    /// # Errors
+    ///
+    /// [`SimulationError::RoundLimitExceeded`] if some node has not
+    /// halted within the round budget;
+    /// [`SimulationError::BudgetExceeded`] if `budget` tripped first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids.len() != graph.node_count()`.
+    pub fn run_budgeted<G: Graph, P: Protocol>(
+        &self,
+        graph: &G,
+        ids: &[u64],
+        protocol: &P,
+        budget: &Budget,
+    ) -> Result<SimulationRun<P::Output>, SimulationError> {
         let n = graph.node_count();
         assert_eq!(ids.len(), n, "one identifier per node required");
 
@@ -135,7 +176,16 @@ impl Simulator {
         let mut outbox: Vec<Option<P::Msg>> = (0..slots).map(|_| None).collect();
         let mut done = 0usize;
 
+        let unlimited = budget.is_unlimited();
         for round in 1..=self.max_rounds {
+            if !unlimited {
+                if let Err(cause) = budget.charge(n as u64) {
+                    return Err(SimulationError::BudgetExceeded {
+                        rounds: round - 1,
+                        cause,
+                    });
+                }
+            }
             // Compute all outboxes against the previous round's inboxes.
             // Halted nodes are skipped, so their slots stay drained (None).
             for v in 0..n {
@@ -255,6 +305,33 @@ mod tests {
             .unwrap();
         // Nodes far from the maximum have not heard of it.
         assert!(run.outputs.iter().any(|&o| o != 32));
+    }
+
+    #[test]
+    fn budget_trips_between_rounds() {
+        let g = CycleGraph::new(8);
+        let ids: Vec<u64> = (1..=8).collect();
+        // 8 nodes/round: a 20-step quota admits round 1 (8 steps) and
+        // round 2 (16), then trips before round 3's outboxes compute.
+        let budget = Budget::steps(20);
+        let err = Simulator::new(100)
+            .run_budgeted(&g, &ids, &FloodMax { rounds: 10 }, &budget)
+            .unwrap_err();
+        match err {
+            SimulationError::BudgetExceeded { rounds, .. } => assert_eq!(rounds, 2),
+            other => panic!("expected budget trip, got {other:?}"),
+        }
+        // An unlimited budget reproduces `run` exactly.
+        let run = Simulator::new(100)
+            .run_budgeted(&g, &ids, &FloodMax { rounds: 3 }, &Budget::unlimited())
+            .unwrap();
+        assert_eq!(
+            run.outputs,
+            Simulator::new(100)
+                .run(&g, &ids, &FloodMax { rounds: 3 })
+                .unwrap()
+                .outputs
+        );
     }
 
     #[test]

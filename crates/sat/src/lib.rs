@@ -28,6 +28,7 @@ pub mod dimacs;
 mod solver;
 
 pub use cnf::{at_least_one, at_most_one, exactly_one};
+pub use lcl_budget::{Budget, BudgetExceeded, CancelToken};
 pub use solver::{Lit, Model, SolveOutcome, Solver, Var};
 
 #[cfg(all(test, feature = "proptests"))]

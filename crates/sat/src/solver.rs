@@ -1,5 +1,6 @@
 //! The CDCL solver core.
 
+use lcl_budget::{Budget, BudgetExceeded};
 use std::fmt;
 
 /// A propositional variable, numbered from 0.
@@ -510,20 +511,44 @@ impl Solver {
 
     /// Solves the instance.
     pub fn solve(&mut self) -> SolveOutcome {
+        self.solve_budgeted(&Budget::unlimited())
+            .expect("an unlimited budget never trips")
+    }
+
+    /// Solves the instance under a cooperative [`Budget`]: one work unit
+    /// is charged per unit propagation, and the budget is polled once
+    /// per conflict/decision iteration of the CDCL main loop — the
+    /// propagation-loop granularity that keeps even a pathological
+    /// instance from overrunning a deadline by more than one BCP pass.
+    ///
+    /// An unlimited budget takes a check-free fast path, so `solve()`
+    /// (which delegates here) pays nothing for the hook. On a budget
+    /// trip the solver returns early with the partial search state
+    /// intact; the instance can be re-solved with a larger budget.
+    pub fn solve_budgeted(&mut self, budget: &Budget) -> Result<SolveOutcome, BudgetExceeded> {
         if self.trivially_unsat {
-            return SolveOutcome::Unsat;
+            return Ok(SolveOutcome::Unsat);
         }
         if self.propagate().is_some() {
-            return SolveOutcome::Unsat;
+            return Ok(SolveOutcome::Unsat);
         }
+        let unlimited = budget.is_unlimited();
+        let mut charged = self.propagations;
         let mut restart_count = 0u64;
         let mut conflicts_until_restart = luby(restart_count) * 64;
         loop {
+            if !unlimited {
+                // Charge the propagations of the previous iteration (at
+                // least one unit, so decision-only iterations count too).
+                let delta = (self.propagations - charged).max(1);
+                charged = self.propagations;
+                budget.charge(delta)?;
+            }
             match self.propagate() {
                 Some(confl) => {
                     self.conflicts += 1;
                     if self.trail_lim.is_empty() {
-                        return SolveOutcome::Unsat;
+                        return Ok(SolveOutcome::Unsat);
                     }
                     let (learnt, backjump) = self.analyze(confl);
                     self.backtrack(backjump);
@@ -531,7 +556,7 @@ impl Solver {
                     if learnt.len() == 1 {
                         let ok = self.enqueue(asserting, None);
                         if !ok {
-                            return SolveOutcome::Unsat;
+                            return Ok(SolveOutcome::Unsat);
                         }
                     } else {
                         let cref = self.clauses.len() as ClauseRef;
@@ -554,7 +579,7 @@ impl Solver {
                     match self.pick_branch_var() {
                         None => {
                             let values = self.assign.iter().map(|&a| a == VTRUE).collect();
-                            return SolveOutcome::Sat(Model { values });
+                            return Ok(SolveOutcome::Sat(Model { values }));
                         }
                         Some(v) => {
                             self.decisions += 1;

@@ -231,7 +231,8 @@ pub fn parse_instance(instance: &Json, max_nodes: usize) -> Result<Instance, Api
 
 /// Maps a [`SolveError`] to its HTTP status: domain verdicts (the problem
 /// or instance is the issue) are 422s the client can act on, engine-side
-/// failures are 500s.
+/// failures are 500s, a tripped request budget is a 504, and a cancelled
+/// request is a 503.
 pub fn solve_error_status(err: &SolveError) -> u16 {
     match err {
         SolveError::Unsolvable { .. }
@@ -243,6 +244,8 @@ pub fn solve_error_status(err: &SolveError) -> u16 {
         SolveError::SolverFailed { .. }
         | SolveError::ValidationFailed { .. }
         | SolveError::Panicked { .. } => 500,
+        SolveError::Cancelled => 503,
+        SolveError::DeadlineExceeded { .. } => 504,
     }
 }
 
@@ -258,6 +261,8 @@ pub fn solve_error_code(err: &SolveError) -> &'static str {
         SolveError::NoSolver { .. } => "no-solver",
         SolveError::ValidationFailed { .. } => "validation-failed",
         SolveError::Panicked { .. } => "solver-panicked",
+        SolveError::Cancelled => "cancelled",
+        SolveError::DeadlineExceeded { .. } => "deadline",
     }
 }
 

@@ -5,15 +5,23 @@
 //! lcl-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!           [--engine-threads N] [--max-batch-jobs N]
 //!           [--max-instance-nodes N] [--max-tenants N]
+//!           [--default-deadline-ms N] [--chaos-seed N]
 //!           [--port-file PATH]
 //! ```
 //!
 //! `--port-file` writes the bound `host:port` to a file once the socket
 //! is live — the hook CI's serve-smoke job uses to find an ephemeral
 //! port without racing the bind.
+//!
+//! `--chaos-seed` arms the engine's deterministic fault-injection
+//! battery (DESIGN.md §10): disk-cache I/O errors, solver panics,
+//! artificial latency, and poisoned dedup entries, all scheduled purely
+//! by the seed. Off by default; never arm it in production.
 
+use lcl_grids::engine::ChaosConfig;
 use lcl_serve::{ServeConfig, Server};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let mut config = ServeConfig::default();
@@ -33,6 +41,16 @@ fn main() -> ExitCode {
                 &mut config.max_instance_nodes,
             ),
             "--max-tenants" => parse(value("--max-tenants"), &mut config.max_tenants),
+            "--default-deadline-ms" => value("--default-deadline-ms").and_then(|v| {
+                v.parse::<u64>()
+                    .map(|ms| config.default_deadline = Some(Duration::from_millis(ms)))
+                    .map_err(|_| format!("'{v}' is not a non-negative integer"))
+            }),
+            "--chaos-seed" => value("--chaos-seed").and_then(|v| {
+                v.parse::<u64>()
+                    .map(|seed| config.chaos = Some(ChaosConfig::from_seed(seed)))
+                    .map_err(|_| format!("'{v}' is not a non-negative integer"))
+            }),
             "--port-file" => value("--port-file").map(|v| port_file = Some(v)),
             "--help" | "-h" => {
                 println!(
@@ -46,6 +64,8 @@ fn main() -> ExitCode {
                      \x20 --max-batch-jobs N      per-batch job cap (default 1024)\n\
                      \x20 --max-instance-nodes N  per-instance node cap (default 65536)\n\
                      \x20 --max-tenants N         tenant namespace cap (default 64)\n\
+                     \x20 --default-deadline-ms N deadline for requests naming none (default: unlimited)\n\
+                     \x20 --chaos-seed N          arm deterministic fault injection (default: off)\n\
                      \x20 --port-file PATH        write the bound address here once live"
                 );
                 return ExitCode::SUCCESS;

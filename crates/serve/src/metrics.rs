@@ -9,6 +9,7 @@ use lcl_grids::engine::Engine;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
 
 /// Histogram bucket upper bounds, in microseconds: half-decade log scale
 /// from 100 µs to 100 s, plus a catch-all. Coarse on purpose — the
@@ -164,9 +165,13 @@ const MAX_PROBLEM_ROWS: usize = 256;
 /// The catch-all row absorbing solves beyond [`MAX_PROBLEM_ROWS`].
 const OVERFLOW_PROBLEM_ROW: &str = "(other)";
 
+/// Minimum 5xx responses before the fault-rate signal can fire: below
+/// this, a couple of early failures on an idle server would flap
+/// `/healthz` to `degraded`.
+const FAULT_RATE_MIN_SAMPLES: u64 = 8;
+
 /// Everything the service counts, shared by acceptor, workers, and the
 /// `/metrics` endpoint.
-#[derive(Default)]
 pub struct Metrics {
     /// `POST /prepare`.
     pub prepare: EndpointMetrics,
@@ -190,6 +195,27 @@ pub struct Metrics {
     pub tenant_evictions: AtomicU64,
     /// Per-problem solve accounting, keyed by problem display name.
     per_problem: Mutex<HashMap<String, ProblemRow>>,
+    /// When this metrics registry (i.e. the server) came up; `/metrics`
+    /// reports it as `uptime_secs`.
+    started: Instant,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics {
+            prepare: EndpointMetrics::default(),
+            solve: EndpointMetrics::default(),
+            solve_batch: EndpointMetrics::default(),
+            classify: EndpointMetrics::default(),
+            other: EndpointMetrics::default(),
+            busy_rejections: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            malformed_requests: AtomicU64::new(0),
+            tenant_evictions: AtomicU64::new(0),
+            per_problem: Mutex::new(HashMap::new()),
+            started: Instant::now(),
+        }
+    }
 }
 
 impl Metrics {
@@ -205,7 +231,7 @@ impl Metrics {
     }
 
     /// Folds one solve outcome into the named problem's row — or into
-    /// the `(other)` overflow row once [`MAX_PROBLEM_ROWS`] distinct
+    /// the `(other)` overflow row once `MAX_PROBLEM_ROWS` distinct
     /// names exist, so client-minted problem names (DSL sources) cannot
     /// grow this map or the `/metrics` document without bound.
     pub fn record_solve(&self, problem: &str, solved: bool, deduped: bool) {
@@ -230,6 +256,26 @@ impl Metrics {
         }
     }
 
+    /// True while server-side failures dominate traffic: at least
+    /// `FAULT_RATE_MIN_SAMPLES` 5xx responses so far *and* more 5xx
+    /// than 2xx across every endpoint. One of `/healthz`'s two
+    /// degradation signals (the other is an open circuit breaker).
+    pub fn fault_rate_exceeded(&self) -> bool {
+        let endpoints = [
+            &self.prepare,
+            &self.solve,
+            &self.solve_batch,
+            &self.classify,
+            &self.other,
+        ];
+        let server_errors: u64 = endpoints
+            .iter()
+            .map(|e| e.server_error.load(Ordering::Relaxed))
+            .sum();
+        let ok: u64 = endpoints.iter().map(|e| e.ok.load(Ordering::Relaxed)).sum();
+        server_errors >= FAULT_RATE_MIN_SAMPLES && server_errors > ok
+    }
+
     /// Renders the full `/metrics` document, joining the service-side
     /// counters with the engine's.
     pub fn to_json(&self, engine: &Engine, queue_cap: usize, tenants: Json) -> Json {
@@ -245,7 +291,71 @@ impl Metrics {
             rows.sort_by(|a, b| a.0.cmp(&b.0));
             rows
         };
+        let health = engine.health();
+        let health_json = Json::obj(vec![
+            ("open_breakers", Json::size(health.open_breakers())),
+            ("breaker_trips", Json::count(health.breaker_trips())),
+            (
+                "breakers",
+                Json::Obj(
+                    health
+                        .breakers()
+                        .into_iter()
+                        .map(|b| {
+                            (
+                                b.solver,
+                                Json::obj(vec![
+                                    ("state", Json::str(b.state.name())),
+                                    ("trips", Json::count(b.trips)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "tiers",
+                Json::Obj(
+                    health
+                        .tier_counters()
+                        .into_iter()
+                        .map(|(tier, c)| {
+                            (
+                                tier,
+                                Json::obj(vec![
+                                    ("timeouts", Json::count(c.timeouts)),
+                                    ("fallbacks", Json::count(c.fallbacks)),
+                                    ("breaker_skips", Json::count(c.breaker_skips)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "dedup_poison_recoveries",
+                Json::count(health.dedup_poison_recoveries()),
+            ),
+        ]);
+        let chaos_json = match engine.chaos() {
+            Some(chaos) => Json::obj(vec![
+                ("seed", Json::count(chaos.config().seed)),
+                (
+                    "injected",
+                    Json::Obj(
+                        chaos
+                            .injected_counts()
+                            .into_iter()
+                            .map(|(point, n)| (point.to_string(), Json::count(n)))
+                            .collect(),
+                    ),
+                ),
+                ("injected_total", Json::count(chaos.injected_total())),
+            ]),
+            None => Json::Null,
+        };
         Json::obj(vec![
+            ("uptime_secs", Json::count(self.started.elapsed().as_secs())),
             (
                 "endpoints",
                 Json::obj(vec![
@@ -319,6 +429,8 @@ impl Metrics {
                         .collect(),
                 ),
             ),
+            ("health", health_json),
+            ("chaos", chaos_json),
             ("tenants", tenants),
         ])
     }

@@ -15,7 +15,7 @@ use crate::http::{read_request, write_response, Request};
 use crate::json::Json;
 use crate::metrics::Metrics;
 use lcl_grids::core::classify::GridClass;
-use lcl_grids::engine::{Engine, Job, Labelling, PreparedProblem, SolveError};
+use lcl_grids::engine::{Budget, ChaosConfig, Engine, Job, Labelling, PreparedProblem, SolveError};
 use std::collections::HashMap;
 use std::io::{self, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -64,6 +64,13 @@ pub struct ServeConfig {
     pub stream_dedup_window: usize,
     /// Synthesis budget `k` (part of every plan cache key).
     pub max_synthesis_k: usize,
+    /// Deadline applied to requests that do not name one themselves
+    /// (body `deadline_ms` or `x-deadline-ms` header). `None` means
+    /// unlimited by default.
+    pub default_deadline: Option<Duration>,
+    /// Deterministic fault injection, armed at engine build time. `None`
+    /// (the default) leaves every chaos hook inert.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +90,8 @@ impl Default for ServeConfig {
             max_batch_jobs: 1024,
             stream_dedup_window: 32,
             max_synthesis_k: 3,
+            default_deadline: None,
+            chaos: None,
         }
     }
 }
@@ -264,12 +273,15 @@ impl Server {
     pub fn start(config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let engine = Engine::builder()
+        let mut builder = Engine::builder()
             .threads(config.engine_threads)
             .max_synthesis_k(config.max_synthesis_k)
             .max_prepared_plans(config.max_prepared_plans)
-            .stream_dedup_window(config.stream_dedup_window)
-            .build();
+            .stream_dedup_window(config.stream_dedup_window);
+        if let Some(chaos) = config.chaos.clone() {
+            builder = builder.chaos_config(chaos);
+        }
+        let engine = builder.build();
         let shared = Arc::new(Shared {
             engine,
             config: config.clone(),
@@ -480,6 +492,8 @@ fn reason_for(status: u16) -> &'static str {
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Internal Server Error",
     }
 }
@@ -499,7 +513,25 @@ fn route(shared: &Shared, request: &Request) -> Result<(u16, String), ApiError> 
             );
             Ok((200, doc.to_string()))
         }
-        ("GET", "/healthz") => Ok((200, Json::obj(vec![("ok", Json::Bool(true))]).to_string())),
+        ("GET", "/healthz") => {
+            // `ok` is pure liveness (the process answered); `status`
+            // degrades while any tier breaker is open/half-open or while
+            // server-side failures dominate recent traffic.
+            let open = shared.engine.health().open_breakers();
+            let degraded = open > 0 || shared.metrics.fault_rate_exceeded();
+            Ok((
+                200,
+                Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    (
+                        "status",
+                        Json::str(if degraded { "degraded" } else { "ok" }),
+                    ),
+                    ("open_breakers", Json::size(open)),
+                ])
+                .to_string(),
+            ))
+        }
         ("POST", "/shutdown") => {
             shared.request_shutdown();
             Ok((
@@ -525,6 +557,55 @@ fn parse_body(request: &Request) -> Result<Json, ApiError> {
     let text = std::str::from_utf8(&request.body)
         .map_err(|_| ApiError::bad_request("bad-encoding", "body must be UTF-8"))?;
     Json::parse(text).map_err(|e| ApiError::bad_request("bad-json", e.to_string()))
+}
+
+/// The budget a request solves/classifies under: the body's
+/// `deadline_ms` field wins, then the `x-deadline-ms` header, then the
+/// configured [`ServeConfig::default_deadline`]; absent all three the
+/// budget is unlimited. A deadline of `0` is legal and trips at the
+/// engine's pre-dispatch check — the cheapest way to ask "is this plan
+/// already warm?".
+fn budget_of(shared: &Shared, request: &Request, body: &Json) -> Result<Budget, ApiError> {
+    let ms = match body.get("deadline_ms") {
+        Some(v) => Some(v.as_u64().ok_or_else(|| {
+            ApiError::bad_request(
+                "bad-field",
+                "field 'deadline_ms' must be a non-negative integer",
+            )
+        })?),
+        None => match request.header("x-deadline-ms") {
+            Some(v) => Some(v.trim().parse::<u64>().map_err(|_| {
+                ApiError::bad_request(
+                    "bad-deadline",
+                    "header 'x-deadline-ms' must be a non-negative integer",
+                )
+            })?),
+            None => None,
+        },
+    };
+    Ok(match ms {
+        Some(ms) => Budget::deadline(Duration::from_millis(ms)),
+        None => shared
+            .config
+            .default_deadline
+            .map_or_else(Budget::unlimited, Budget::deadline),
+    })
+}
+
+/// The standard solve-failure body; a tripped deadline additionally
+/// carries the tier ledger — the solver tiers the plan walks, in order —
+/// so a 504 names what the budget ran out on and what was skipped.
+fn solve_failure_body(err: &SolveError, prepared: &PreparedProblem) -> String {
+    if matches!(err, SolveError::DeadlineExceeded { .. }) {
+        let tiers = prepared.solver_names().into_iter().map(Json::str).collect();
+        return Json::obj(vec![
+            ("error", Json::str(crate::api::solve_error_code(err))),
+            ("message", Json::str(err.to_string())),
+            ("tiers", Json::Arr(tiers)),
+        ])
+        .to_string();
+    }
+    solve_error_body(err)
 }
 
 /// The tenant a request belongs to: the body's `"tenant"` field wins,
@@ -647,7 +728,8 @@ fn endpoint_solve(shared: &Shared, request: &Request) -> Result<(u16, String), A
         .get("return_labels")
         .and_then(Json::as_bool)
         .unwrap_or(true);
-    match prepared.solve(&instance) {
+    let budget = budget_of(shared, request, &body)?;
+    match prepared.solve_with(&instance, &budget) {
         Ok(labelling) => {
             shared
                 .metrics
@@ -658,7 +740,10 @@ fn endpoint_solve(shared: &Shared, request: &Request) -> Result<(u16, String), A
             shared
                 .metrics
                 .record_solve(prepared.spec().name(), false, false);
-            Ok((solve_error_status(&err), solve_error_body(&err)))
+            Ok((
+                solve_error_status(&err),
+                solve_failure_body(&err, &prepared),
+            ))
         }
     }
 }
@@ -712,10 +797,14 @@ fn endpoint_solve_batch(shared: &Shared, request: &Request) -> Result<(u16, Stri
     // parallelism, and the opt-in dedup window all come from the engine
     // configuration; outcomes arrive in completion order and are
     // re-sequenced by index here.
+    // One budget for the whole body: deadline and step quota are joint
+    // across every job, which is what a caller's end-to-end deadline
+    // means.
+    let budget = budget_of(shared, request, &body)?;
     let total = jobs.len();
     let mut rows: Vec<Json> = (0..total).map(|_| Json::Null).collect();
     let (mut solved, mut failed, mut dedup_hits) = (0u64, 0u64, 0u64);
-    for outcome in shared.engine.solve_stream(jobs) {
+    for outcome in shared.engine.solve_stream_with(jobs, &budget) {
         let idx = outcome.index as usize;
         if idx >= total {
             continue;
@@ -755,7 +844,8 @@ fn endpoint_classify(shared: &Shared, request: &Request) -> Result<(u16, String)
     let body = parse_body(request)?;
     let tenant = tenant_of(request, &body);
     let prepared = resolve_plan(shared, &tenant, &body)?;
-    match prepared.classify() {
+    let budget = budget_of(shared, request, &body)?;
+    match prepared.classify_with(&budget) {
         Ok(class) => Ok((
             200,
             Json::obj(vec![
@@ -771,6 +861,9 @@ fn endpoint_classify(shared: &Shared, request: &Request) -> Result<(u16, String)
             ])
             .to_string(),
         )),
-        Err(err) => Ok((solve_error_status(&err), solve_error_body(&err))),
+        Err(err) => Ok((
+            solve_error_status(&err),
+            solve_failure_body(&err, &prepared),
+        )),
     }
 }

@@ -4,6 +4,7 @@
 //! answered with a typed 429, concurrent clients, and a graceful
 //! shutdown that drains in-flight requests.
 
+use lcl_grids::engine::ChaosConfig;
 use lcl_serve::json::Json;
 use lcl_serve::{ServeConfig, Server};
 use std::io::{Read, Write};
@@ -37,6 +38,24 @@ fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
 
 fn get(addr: SocketAddr, path: &str) -> (u16, String) {
     raw(addr, &format!("GET {path} HTTP/1.1\r\n\r\n"))
+}
+
+/// POST with one extra header (e.g. `x-deadline-ms`).
+fn post_with_header(
+    addr: SocketAddr,
+    path: &str,
+    header: (&str, &str),
+    body: &str,
+) -> (u16, String) {
+    raw(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\n{}: {}\r\ncontent-length: {}\r\n\r\n{body}",
+            header.0,
+            header.1,
+            body.len()
+        ),
+    )
 }
 
 /// Sends raw bytes, reads the whole response (the server closes the
@@ -428,6 +447,346 @@ fn concurrent_clients_all_get_answers() {
         .and_then(Json::as_u64)
         .unwrap();
     assert_eq!(ok, 40);
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn zero_deadline_is_a_typed_504_and_the_plan_stays_usable() {
+    let server = test_server(16, 2);
+    let addr = server.addr();
+
+    // A zero deadline trips at the pre-dispatch check: typed 504 with
+    // the tier ledger, before any solver burns a cycle.
+    let with_deadline = r#"{"problem":{"type":"vertex-colouring","k":4},"instance":{"topology":"torus2","side":16},"return_labels":false,"deadline_ms":0}"#;
+    let (status, text) = post(addr, "/solve", with_deadline);
+    assert_eq!(status, 504, "{text}");
+    let err = Json::parse(&text).unwrap();
+    assert_eq!(err.get("error").unwrap().as_str(), Some("deadline"));
+    assert!(
+        !err.get("tiers").unwrap().as_arr().unwrap().is_empty(),
+        "a 504 must carry the tier ledger: {text}"
+    );
+
+    // The header spelling maps the same way.
+    let body = r#"{"problem":{"type":"vertex-colouring","k":4},"instance":{"topology":"torus2","side":16},"return_labels":false}"#;
+    let (status, text) = post_with_header(addr, "/solve", ("x-deadline-ms", "0"), body);
+    assert_eq!(status, 504, "{text}");
+
+    // A malformed deadline is a 400, not a panic.
+    let (status, _) = post_with_header(addr, "/solve", ("x-deadline-ms", "soon"), body);
+    assert_eq!(status, 400);
+
+    // The trip left the plan fully reusable: the same solve without a
+    // deadline succeeds.
+    let (status, text) = post(addr, "/solve", body);
+    assert_eq!(status, 200, "{text}");
+
+    // A classification memo is never poisoned by a budget trip: after a
+    // zero-deadline classify (which may or may not trip, depending on
+    // how far the closed-form analyses get), an unbudgeted classify
+    // still answers.
+    let _ = post(
+        addr,
+        "/classify",
+        r#"{"problem":{"type":"independent-set"},"deadline_ms":0}"#,
+    );
+    let (status, text) = post(
+        addr,
+        "/classify",
+        r#"{"problem":{"type":"independent-set"}}"#,
+    );
+    assert_eq!(status, 200, "{text}");
+
+    // Batch bodies accept the same field, covering every job jointly.
+    let (status, text) = post(
+        addr,
+        "/solve-batch",
+        r#"{"deadline_ms":0,"jobs":[{"problem":{"type":"independent-set"},"instance":{"topology":"torus2","side":6}}]}"#,
+    );
+    assert_eq!(status, 200, "{text}");
+    let report = Json::parse(&text).unwrap();
+    assert_eq!(report.get("failed").unwrap().as_usize(), Some(1), "{text}");
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn deadline_storms_trip_the_breaker_and_healthz_recovers() {
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        queue_cap: 16,
+        engine_threads: 1,
+        max_synthesis_k: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind test server");
+    let addr = server.addr();
+
+    // A DSL problem has no closed-form tier, so a too-tight deadline
+    // trips inside the SAT-backed tiers on every request. Five
+    // consecutive trips reach the breaker threshold.
+    let tight = r#"{"problem":{"type":"dsl","source":"problem serve-3c { alphabet { a, b, c } edges differ }"},"instance":{"topology":"torus2","side":12},"return_labels":false,"deadline_ms":1}"#;
+    for i in 0..5 {
+        let (status, text) = post(addr, "/solve", tight);
+        assert_eq!(status, 504, "request {i}: {text}");
+    }
+
+    let (status, text) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    let health = Json::parse(&text).unwrap();
+    assert_eq!(
+        health.get("status").unwrap().as_str(),
+        Some("degraded"),
+        "open breakers must degrade /healthz: {text}"
+    );
+    assert!(
+        health.get("open_breakers").unwrap().as_usize().unwrap() >= 1,
+        "{text}"
+    );
+
+    // The ledgers in /metrics account for every trip.
+    let (_, text) = get(addr, "/metrics");
+    let metrics = Json::parse(&text).unwrap();
+    let tiers = metrics.get("health").and_then(|h| h.get("tiers")).unwrap();
+    let timeouts: u64 = match tiers {
+        Json::Obj(rows) => rows
+            .iter()
+            .filter_map(|(_, row)| row.get("timeouts").and_then(Json::as_u64))
+            .sum(),
+        other => panic!("tiers must be an object, got {other}"),
+    };
+    assert!(timeouts >= 5, "five tight solves, each a trip: {text}");
+    assert!(
+        metrics
+            .get("health")
+            .and_then(|h| h.get("breaker_trips"))
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 1,
+        "{text}"
+    );
+    assert!(metrics.get("uptime_secs").is_some(), "{text}");
+
+    // After the cooldown a roomy solve probes the tier, succeeds, and
+    // closes the breaker: /healthz recovers on its own traffic.
+    std::thread::sleep(Duration::from_millis(250));
+    let roomy = r#"{"problem":{"type":"dsl","source":"problem serve-3c { alphabet { a, b, c } edges differ }"},"instance":{"topology":"torus2","side":12},"return_labels":false}"#;
+    let (status, text) = post(addr, "/solve", roomy);
+    assert_eq!(status, 200, "the probe solve must succeed: {text}");
+    let (_, breakers) = get(addr, "/metrics");
+    let (_, text) = get(addr, "/healthz");
+    let health = Json::parse(&text).unwrap();
+    assert_eq!(
+        health.get("status").unwrap().as_str(),
+        Some("ok"),
+        "{text}\n{breakers}"
+    );
+    assert_eq!(health.get("open_breakers").unwrap().as_usize(), Some(0));
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn chaos_panic_storm_is_contained_and_accounted() {
+    // Every solver dispatch panics: the worst persistent-failure mode.
+    let mut chaos = ChaosConfig::quiet(7);
+    chaos.solve_panic_period = Some(1);
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        queue_cap: 16,
+        engine_threads: 1,
+        max_synthesis_k: 1,
+        chaos: Some(chaos),
+        ..ServeConfig::default()
+    })
+    .expect("bind test server");
+    let addr = server.addr();
+
+    let body = r#"{"problem":{"type":"independent-set"},"instance":{"topology":"torus2","side":8},"return_labels":false}"#;
+    let mut observed_panics = 0u64;
+    for i in 0..12 {
+        let (status, text) = post(addr, "/solve", body);
+        assert_eq!(status, 500, "request {i}: {text}");
+        assert_eq!(
+            Json::parse(&text).unwrap().get("error").unwrap().as_str(),
+            Some("panic"),
+            "request {i}: {text}"
+        );
+        observed_panics += 1;
+    }
+
+    // Every injected fault is accounted for: the chaos ledger matches
+    // the typed 500s observed on the wire, one for one.
+    let (_, text) = get(addr, "/metrics");
+    let metrics = Json::parse(&text).unwrap();
+    let injected = metrics
+        .get("chaos")
+        .and_then(|c| c.get("injected"))
+        .and_then(|i| i.get("solve_panic"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert_eq!(injected, observed_panics, "{text}");
+
+    // With 5xx dominating traffic, the fault-rate signal degrades
+    // /healthz even though no breaker recorded the panics.
+    let (status, text) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(
+        Json::parse(&text).unwrap().get("status").unwrap().as_str(),
+        Some("degraded"),
+        "{text}"
+    );
+
+    // The worker pool survived the storm: a full drain still works.
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn chaos_schedules_are_deterministic_across_runs() {
+    // The same seed over the same request sequence must produce the
+    // same fault schedule, observable both on the wire (statuses, row
+    // error codes) and in the /metrics ledgers.
+    let run = || {
+        let server = Server::start(ServeConfig {
+            workers: 2,
+            queue_cap: 16,
+            engine_threads: 1,
+            max_synthesis_k: 1,
+            chaos: Some(ChaosConfig::from_seed(42)),
+            ..ServeConfig::default()
+        })
+        .expect("bind test server");
+        let addr = server.addr();
+
+        let mut outcomes: Vec<String> = Vec::new();
+        for i in 0..10 {
+            let body = format!(
+                r#"{{"problem":{{"type":"independent-set"}},"instance":{{"topology":"torus2","side":8,"ids":{{"kind":"shuffled","seed":{i}}}}},"return_labels":false}}"#
+            );
+            let (status, _) = post(addr, "/solve", &body);
+            outcomes.push(format!("solve:{status}"));
+        }
+        // A batch over 3 repeated groups exercises the dedup window and
+        // its poison point.
+        let jobs: Vec<String> = (0..12)
+            .map(|i| {
+                format!(
+                    r#"{{"problem":{{"type":"independent-set"}},"instance":{{"topology":"torus2","side":6,"ids":{{"kind":"shuffled","seed":{}}}}}}}"#,
+                    i % 3
+                )
+            })
+            .collect();
+        let (status, text) = post(
+            addr,
+            "/solve-batch",
+            &format!(r#"{{"jobs":[{}]}}"#, jobs.join(",")),
+        );
+        assert_eq!(status, 200, "{text}");
+        let report = Json::parse(&text).unwrap();
+        for row in report.get("results").unwrap().as_arr().unwrap() {
+            let code = row
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("ok")
+                .to_string();
+            outcomes.push(format!("row:{code}"));
+        }
+
+        let (_, text) = get(addr, "/metrics");
+        let metrics = Json::parse(&text).unwrap();
+        let injected: Vec<(String, u64)> = match metrics
+            .get("chaos")
+            .and_then(|c| c.get("injected"))
+            .unwrap()
+        {
+            Json::Obj(rows) => rows
+                .iter()
+                .map(|(k, v)| (k.clone(), v.as_u64().unwrap()))
+                .collect(),
+            other => panic!("chaos.injected must be an object, got {other}"),
+        };
+        let recoveries = metrics
+            .get("health")
+            .and_then(|h| h.get("dedup_poison_recoveries"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        server.shutdown();
+        server.wait();
+        (outcomes, injected, recoveries)
+    };
+
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first, second,
+        "same seed + same requests must replay the same fault schedule"
+    );
+
+    // Poison accounting: every detected poisoning maps back to an
+    // injection (an injected poison may go unobserved — the entry can
+    // be evicted first — but never the other way around).
+    let injected_poisons = first
+        .1
+        .iter()
+        .find(|(k, _)| k == "dedup_poison")
+        .map_or(0, |(_, n)| *n);
+    assert!(
+        first.2 <= injected_poisons,
+        "recoveries {} must not exceed injected poisons {injected_poisons}",
+        first.2
+    );
+}
+
+#[test]
+fn slow_bodies_and_midstream_disconnects_leave_the_server_live() {
+    let server = test_server(8, 2);
+    let addr = server.addr();
+
+    // Mid-body disconnect: promise 100 bytes, send 10, hang up.
+    {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.write_all(b"POST /solve HTTP/1.1\r\ncontent-length: 100\r\n\r\n0123456789")
+            .unwrap();
+    }
+
+    // Slow-loris body: trickle a few bytes, then stall. The server's
+    // read timeout reclaims the pinned worker; the other worker keeps
+    // serving throughout.
+    let mut loris = TcpStream::connect(addr).expect("connect");
+    loris
+        .write_all(b"POST /solve HTTP/1.1\r\ncontent-length: 50\r\n\r\n")
+        .unwrap();
+    for _ in 0..3 {
+        loris.write_all(b"x").unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        let (status, _) = get(addr, "/healthz");
+        assert_eq!(status, 200, "server must stay live mid-loris");
+    }
+    // Wait out the 2s read timeout so the stalled worker is reclaimed.
+    std::thread::sleep(Duration::from_millis(2500));
+    drop(loris);
+
+    // Both abuses were counted and answered with nothing worse than a
+    // dropped connection: the service is fully live.
+    let (_, text) = get(addr, "/metrics");
+    let malformed = Json::parse(&text)
+        .unwrap()
+        .get("admission")
+        .and_then(|a| a.get("malformed_requests"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(malformed >= 2, "{text}");
+    let (status, text) = post(
+        addr,
+        "/solve",
+        r#"{"problem":{"type":"independent-set"},"instance":{"topology":"torus2","side":6},"return_labels":false}"#,
+    );
+    assert_eq!(status, 200, "{text}");
+
     server.shutdown();
     server.wait();
 }

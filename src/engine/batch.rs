@@ -23,6 +23,7 @@
 
 use super::registry::fnv1a64;
 use super::{pool, Engine, Instance, Labelling, PreparedProblem, SolveError};
+use lcl_sat::Budget;
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -232,12 +233,14 @@ pub(crate) fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Solves one job, mapping a panicking solver to a typed error.
+/// Solves one job under a budget, mapping a panicking solver to a typed
+/// error.
 pub(crate) fn solve_caught(
     prepared: &PreparedProblem,
     inst: &Instance,
+    budget: &Budget,
 ) -> Result<Labelling, SolveError> {
-    catch_unwind(AssertUnwindSafe(|| prepared.solve(inst))).unwrap_or_else(|payload| {
+    catch_unwind(AssertUnwindSafe(|| prepared.solve_with(inst, budget))).unwrap_or_else(|payload| {
         Err(SolveError::Panicked {
             detail: panic_detail(payload),
         })
@@ -300,26 +303,47 @@ impl Engine {
     /// Results come back in input order; per-instance failures — including
     /// solver panics — stay independent.
     pub fn solve_batch(&self, prepared: &PreparedProblem, instances: &[Instance]) -> BatchReport {
+        self.solve_batch_with(prepared, instances, &Budget::unlimited())
+    }
+
+    /// [`Engine::solve_batch`] under a cooperative [`Budget`]. The budget
+    /// is *joint* across the whole batch (the workers share its clock and
+    /// step counter), so a batch deadline bounds the batch, not each job;
+    /// jobs dispatched after the trip fail fast with the same typed
+    /// error, and per-job failures stay independent as always.
+    pub fn solve_batch_with(
+        &self,
+        prepared: &PreparedProblem,
+        instances: &[Instance],
+        budget: &Budget,
+    ) -> BatchReport {
         let jobs: Vec<JobRef<'_>> = instances.iter().map(|inst| (prepared, inst)).collect();
-        self.run_batch(&jobs)
+        self.run_batch(&jobs, budget)
     }
 
     /// Solves a slice of mixed-problem [`Job`]s with the same contract as
     /// [`Engine::solve_batch`]: input order preserved, per-job failures
     /// independent, dedup namespaced by each job's prepared problem.
     pub fn solve_jobs(&self, jobs: &[Job]) -> BatchReport {
+        self.solve_jobs_with(jobs, &Budget::unlimited())
+    }
+
+    /// [`Engine::solve_jobs`] under a joint cooperative [`Budget`] (see
+    /// [`Engine::solve_batch_with`]).
+    pub fn solve_jobs_with(&self, jobs: &[Job], budget: &Budget) -> BatchReport {
         let refs: Vec<JobRef<'_>> = jobs
             .iter()
             .map(|job| (&*job.prepared, &job.instance))
             .collect();
-        self.run_batch(&refs)
+        self.run_batch(&refs, budget)
     }
 
-    fn run_batch(&self, jobs: &[JobRef<'_>]) -> BatchReport {
+    fn run_batch(&self, jobs: &[JobRef<'_>], budget: &Budget) -> BatchReport {
         if !self.dedup_enabled() {
             let threads = self.batch_threads(jobs.len());
-            let results =
-                pool::run_indexed(threads, jobs.len(), |i| solve_caught(jobs[i].0, jobs[i].1));
+            let results = pool::run_indexed(threads, jobs.len(), |i| {
+                solve_caught(jobs[i].0, jobs[i].1, budget)
+            });
             let fresh = vec![true; jobs.len()];
             let per_problem = per_problem_stats(jobs, &results, &fresh);
             return BatchReport {
@@ -335,7 +359,7 @@ impl Engine {
         let threads = self.batch_threads(reps.len());
         let mut rep_results: Vec<Option<Result<Labelling, SolveError>>> =
             pool::run_indexed(threads, reps.len(), |g| {
-                solve_caught(jobs[reps[g]].0, jobs[reps[g]].1)
+                solve_caught(jobs[reps[g]].0, jobs[reps[g]].1, budget)
             })
             .into_iter()
             .map(Some)

@@ -1,6 +1,7 @@
 //! The typed, panic-free failure surface of the engine.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Everything that can go wrong when preparing a problem on an
 /// [`crate::engine::Engine`] or solving an instance through the prepared
@@ -91,6 +92,23 @@ pub enum SolveError {
         /// The panic payload, if it was a string.
         detail: String,
     },
+    /// The per-call [`lcl_sat::Budget`] (deadline or step quota) tripped
+    /// before any solver finished. `tier` is the first solver that timed
+    /// out; when later (cheaper) tiers exist the engine tries them first
+    /// and only reports this error if none succeeds, recording the
+    /// fallback in the [`super::SolveReport`] otherwise. The engine,
+    /// its caches, and the prepared plan stay fully reusable: a later
+    /// call with a roomier budget starts from intact state.
+    DeadlineExceeded {
+        /// The first solver tier whose budget tripped.
+        tier: String,
+        /// Wall-clock time spent in the call when the budget tripped.
+        elapsed: Duration,
+    },
+    /// The caller cancelled the request through its
+    /// [`lcl_sat::CancelToken`]. Unlike a deadline, cancellation aborts
+    /// immediately — no fallback tiers are tried.
+    Cancelled,
 }
 
 impl fmt::Display for SolveError {
@@ -142,6 +160,14 @@ impl fmt::Display for SolveError {
             SolveError::Panicked { detail } => {
                 write!(f, "solver panicked: {detail}")
             }
+            SolveError::DeadlineExceeded { tier, elapsed } => {
+                write!(
+                    f,
+                    "deadline exceeded in solver {tier} after {:.3}s",
+                    elapsed.as_secs_f64()
+                )
+            }
+            SolveError::Cancelled => write!(f, "request cancelled"),
         }
     }
 }

@@ -60,7 +60,9 @@
 //! variants.
 
 mod batch;
+mod chaos;
 mod error;
+mod health;
 mod instance;
 mod pool;
 mod prepared;
@@ -69,8 +71,13 @@ mod spec;
 mod stream;
 
 pub use batch::{BatchReport, Job, ProblemBatchStats};
+pub use chaos::{ChaosConfig, ChaosState, FaultPoint};
 pub use error::SolveError;
+pub use health::{
+    BreakerSnapshot, BreakerState, Health, TierCounters, BREAKER_BASE_COOLDOWN, BREAKER_THRESHOLD,
+};
 pub use instance::Instance;
+pub use lcl_sat::{Budget, BudgetExceeded, CancelToken};
 pub use prepared::PreparedProblem;
 pub use registry::{PlanOptions, Registry, SynthOrigin, SynthStats};
 pub use spec::{ProblemSpec, Topology};
@@ -219,6 +226,39 @@ pub trait Solve: Send + Sync {
 
     /// Solves one instance, never panicking on bad input.
     fn solve(&self, inst: &Instance) -> Result<Labelling, SolveError>;
+
+    /// Solves one instance under a cooperative [`Budget`]. The default
+    /// checks the budget once and runs the unbudgeted solve — the right
+    /// contract for the closed-form constructions, which finish in
+    /// microseconds. Solvers with unbounded search inside (the SAT
+    /// existence encoders, synthesis) override this to check at
+    /// propagation/fixpoint granularity and surface trips as
+    /// [`SolveError::DeadlineExceeded`] / [`SolveError::Cancelled`].
+    fn solve_budgeted(&self, inst: &Instance, budget: &Budget) -> Result<Labelling, SolveError> {
+        budget
+            .check()
+            .map_err(|e| budget_error(self.name(), budget, e))?;
+        self.solve(inst)
+    }
+}
+
+/// Maps a tripped [`Budget`] to the engine's typed error surface: a
+/// cancellation is [`SolveError::Cancelled`]; deadline and step-quota
+/// trips both surface as [`SolveError::DeadlineExceeded`] attributed to
+/// the solver tier that was running (a step quota *is* a deadline
+/// denominated in work instead of wall-clock).
+pub(crate) fn budget_error(tier: &str, budget: &Budget, e: lcl_sat::BudgetExceeded) -> SolveError {
+    match e {
+        lcl_sat::BudgetExceeded::Cancelled => SolveError::Cancelled,
+        lcl_sat::BudgetExceeded::Deadline { elapsed } => SolveError::DeadlineExceeded {
+            tier: tier.to_string(),
+            elapsed,
+        },
+        lcl_sat::BudgetExceeded::Steps { .. } => SolveError::DeadlineExceeded {
+            tier: tier.to_string(),
+            elapsed: budget.elapsed(),
+        },
+    }
 }
 
 /// Builder for [`Engine`]; start from [`Engine::builder`]. The builder
@@ -238,6 +278,7 @@ pub struct EngineBuilder {
     dedup: bool,
     max_prepared_plans: Option<usize>,
     stream_dedup_window: usize,
+    chaos: Option<ChaosConfig>,
 }
 
 impl EngineBuilder {
@@ -375,6 +416,26 @@ impl EngineBuilder {
         self
     }
 
+    /// Arms deterministic fault injection with the default battery for a
+    /// seed (default: off — chaos is compiled in but inert). See
+    /// [`ChaosConfig::from_seed`] for the battery and the `chaos` module
+    /// for the
+    /// fault points; every injected fault is counted, so tests and the
+    /// `lcl-serve` soak job can reconcile injected faults against
+    /// observed typed errors.
+    pub fn chaos_seed(mut self, seed: u64) -> EngineBuilder {
+        self.chaos = Some(ChaosConfig::from_seed(seed));
+        self
+    }
+
+    /// Arms deterministic fault injection with an explicit config —
+    /// the targeted-single-fault knob ([`ChaosConfig::quiet`] plus the
+    /// one period under test).
+    pub fn chaos_config(mut self, config: ChaosConfig) -> EngineBuilder {
+        self.chaos = Some(config);
+        self
+    }
+
     /// Builds the engine. Infallible: the engine carries no problem of
     /// its own — plans resolve per problem in [`Engine::prepare`], where
     /// misconfiguration surfaces as a typed [`SolveError`].
@@ -383,8 +444,17 @@ impl EngineBuilder {
         if let Some(dir) = self.cache_dir {
             registry.set_cache_dir(Some(dir));
         }
+        let chaos = self.chaos.map(|config| Arc::new(ChaosState::new(config)));
+        if chaos.is_some() {
+            // Like the cache directory, the injector is registry state
+            // (the persist fault points live in the synthesis cache);
+            // with a shared registry the most recently armed engine wins.
+            registry.set_chaos(chaos.clone());
+        }
         Engine {
             registry,
+            health: Arc::new(Health::new()),
+            chaos,
             opts: PlanOptions {
                 profile: self.profile,
                 max_synthesis_k: self.max_synthesis_k,
@@ -451,6 +521,12 @@ pub struct PrepareStats {
 ///   table) share one plan.
 pub struct Engine {
     registry: Arc<Registry>,
+    /// Per-solver circuit breakers and robustness counters, shared with
+    /// every prepared plan this engine resolves.
+    health: Arc<Health>,
+    /// Armed fault injector (None = inert), shared with the registry's
+    /// synthesis cache, every prepared plan, and the stream dedup window.
+    chaos: Option<Arc<ChaosState>>,
     opts: PlanOptions,
     rounds_budget: Option<u64>,
     validate: bool,
@@ -505,12 +581,25 @@ impl Engine {
             dedup: true,
             max_prepared_plans: None,
             stream_dedup_window: 0,
+            chaos: None,
         }
     }
 
     /// The registry backing this engine.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// The engine's health ledger: per-solver circuit breakers, per-tier
+    /// timeout/fallback counters, dedup-poison recoveries.
+    pub fn health(&self) -> &Arc<Health> {
+        &self.health
+    }
+
+    /// The armed fault injector, if any (see
+    /// [`EngineBuilder::chaos_seed`]).
+    pub fn chaos(&self) -> Option<&Arc<ChaosState>> {
+        self.chaos.as_ref()
     }
 
     /// Resolves the solver plan for a problem into an immutable,
@@ -604,6 +693,8 @@ impl Engine {
             self.rounds_budget,
             self.validate,
             self.debug_validation,
+            Arc::clone(&self.health),
+            self.chaos.clone(),
         )))
     }
 
@@ -657,6 +748,22 @@ impl Engine {
         self.prepare(spec)?.solve(inst)
     }
 
+    /// [`Engine::solve`] under a cooperative [`Budget`] (deadline, step
+    /// quota, cancellation token). See [`PreparedProblem::solve_with`]
+    /// for the degradation contract: a timed-out tier falls back to the
+    /// next registry tier when one completes in time, otherwise the call
+    /// returns typed [`SolveError::DeadlineExceeded`] /
+    /// [`SolveError::Cancelled`] — and the engine, its caches, and the
+    /// plan stay fully reusable.
+    pub fn solve_with(
+        &self,
+        spec: &ProblemSpec,
+        inst: &Instance,
+        budget: &Budget,
+    ) -> Result<Labelling, SolveError> {
+        self.prepare(spec)?.solve_with(inst, budget)
+    }
+
     /// Convenience: prepares the problem (memoised) and decides whether it
     /// has *any* valid labelling on the instance's topology and
     /// dimensions. See [`PreparedProblem::solvable`].
@@ -668,6 +775,17 @@ impl Engine {
     /// the torus landscape. See [`PreparedProblem::classify`].
     pub fn classify(&self, spec: &ProblemSpec) -> Result<GridClass, SolveError> {
         self.prepare(spec)?.classify()
+    }
+
+    /// [`Engine::classify`] under a cooperative [`Budget`]. A budget trip
+    /// mid-synthesis returns a typed error *without* memoising a verdict:
+    /// the classification cache only ever holds completed computations.
+    pub fn classify_with(
+        &self,
+        spec: &ProblemSpec,
+        budget: &Budget,
+    ) -> Result<GridClass, SolveError> {
+        self.prepare(spec)?.classify_with(budget)
     }
 
     /// Resolves the configured worker-thread count (`0` = all cores).

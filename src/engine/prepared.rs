@@ -11,17 +11,22 @@
 //! verdict memoises inside the handle on first use, sharing the
 //! registry's synthesis cache with the solve path.
 
+use super::chaos::ChaosState;
+use super::health::Health;
 use super::registry::{self, PlanOptions, Registry};
 use super::spec::{self, ProblemSpec, Topology};
 use super::{
-    Complexity, Instance, Labelling, Solve, SolveError, SolveReport, DEBUG_VALIDATION_MAX_NODES,
+    budget_error, Complexity, Instance, Labelling, Solve, SolveError, SolveReport,
+    DEBUG_VALIDATION_MAX_NODES,
 };
 use lcl_core::classify::GridClass;
 use lcl_core::existence;
 use lcl_grid::CycleGraph;
 use lcl_local::Simulator;
+use lcl_sat::Budget;
 use lcl_symmetry::protocol_validation::CvProtocol;
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 /// A problem whose solver plan has been resolved by
 /// [`Engine::prepare`](crate::engine::Engine::prepare): the immutable,
@@ -46,6 +51,11 @@ pub struct PreparedProblem {
     rounds_budget: Option<u64>,
     validate: bool,
     debug_validation: bool,
+    /// The engine's health ledger: circuit breakers consulted (and fed)
+    /// by every dispatch through this plan.
+    health: Arc<Health>,
+    /// The engine's armed fault injector, if any.
+    chaos: Option<Arc<ChaosState>>,
     /// The classification verdict, memoised on first `classify()` call
     /// (it may cost a synthesis attempt, shared with the solve path
     /// through the registry's synthesis cache).
@@ -63,6 +73,8 @@ impl PreparedProblem {
         rounds_budget: Option<u64>,
         validate: bool,
         debug_validation: bool,
+        health: Arc<Health>,
+        chaos: Option<Arc<ChaosState>>,
     ) -> PreparedProblem {
         PreparedProblem {
             spec,
@@ -73,6 +85,8 @@ impl PreparedProblem {
             rounds_budget,
             validate,
             debug_validation,
+            health,
+            chaos,
             classification: OnceLock::new(),
         }
     }
@@ -107,6 +121,38 @@ impl PreparedProblem {
     /// `(problem, topology)` pair no registered solver covers comes back
     /// as [`SolveError::UnsupportedTopology`].
     pub fn solve(&self, inst: &Instance) -> Result<Labelling, SolveError> {
+        self.solve_with(inst, &Budget::unlimited())
+    }
+
+    /// [`PreparedProblem::solve`] under a cooperative [`Budget`]
+    /// (deadline, step quota, cancellation token), checked at hot-loop
+    /// granularity inside the SAT-backed tiers.
+    ///
+    /// Degradation contract:
+    ///
+    /// * A tier whose budget trips is recorded (first trip wins the
+    ///   attribution) and the walk **continues** to the next tier — the
+    ///   closed-form constructions complete in microseconds, so a solve
+    ///   that times out in synthesis can still be answered exactly. A
+    ///   success after a trip carries `fallback_from` /
+    ///   `fallback_elapsed` details in its [`SolveReport`] and bumps the
+    ///   tier's fallback counter.
+    /// * If no tier succeeds, the first trip is returned as
+    ///   [`SolveError::DeadlineExceeded`] (taking priority over generic
+    ///   fall-through errors).
+    /// * [`SolveError::Cancelled`] aborts the walk immediately — a
+    ///   caller that hung up wants no fallback.
+    /// * Per-solver circuit breakers are consulted before each dispatch:
+    ///   a tier tripped open by repeated infrastructure failures is
+    ///   skipped until its cooldown elapses (see [`super::Health`]).
+    ///
+    /// In every outcome the plan, the engine, and the shared caches stay
+    /// fully reusable: a budget trip never poisons a cache cell or
+    /// wedges a worker.
+    pub fn solve_with(&self, inst: &Instance, budget: &Budget) -> Result<Labelling, SolveError> {
+        budget
+            .check()
+            .map_err(|e| budget_error("pre-dispatch", budget, e))?;
         let lowered = inst.lower_d2();
         let inst = lowered.as_ref().unwrap_or(inst);
         let topology = inst.topology();
@@ -126,6 +172,7 @@ impl PreparedProblem {
         let mut cheapest_over_budget: Option<u64> = None;
         let mut smallest_supported: Option<usize> = None;
         let mut fallthrough: Option<SolveError> = None;
+        let mut timed_out: Option<(String, Duration)> = None;
         for solver in &self.plan {
             let caps = solver.capabilities();
             if !caps.topology.accepts(topology) {
@@ -140,12 +187,32 @@ impl PreparedProblem {
                     Some(smallest_supported.map_or(caps.min_side, |m: usize| m.min(caps.min_side)));
                 continue;
             }
-            match solver.solve(inst) {
+            let name = solver.name();
+            if !self.health.allow(name) {
+                self.health.record_breaker_skip(name);
+                fallthrough.get_or_insert(SolveError::SolverFailed {
+                    solver: name.to_string(),
+                    detail: "circuit breaker open: tier is cooling down after repeated failures"
+                        .to_string(),
+                });
+                continue;
+            }
+            if let Some(chaos) = &self.chaos {
+                if let Some(delay) = chaos.latency() {
+                    std::thread::sleep(delay);
+                }
+                // May panic (deterministically): the batch, stream, and
+                // serve paths contain it via catch_unwind, which is the
+                // point.
+                chaos.maybe_panic(name);
+            }
+            match solver.solve_budgeted(inst, budget) {
                 Ok(mut labelling) => {
                     if self.validate {
                         if let Err(violation) = self.spec.check_instance(inst, &labelling.labels) {
+                            self.health.record_failure(name);
                             fallthrough.get_or_insert(SolveError::ValidationFailed {
-                                solver: solver.name().to_string(),
+                                solver: name.to_string(),
                                 violation,
                             });
                             continue;
@@ -163,15 +230,47 @@ impl PreparedProblem {
                             continue;
                         }
                     }
+                    self.health.record_success(name);
+                    if let Some((tier, elapsed)) = timed_out {
+                        self.health.record_fallback(&tier);
+                        labelling.report = labelling
+                            .report
+                            .with_detail("fallback_from", tier)
+                            .with_detail("fallback_elapsed_ms", elapsed.as_millis());
+                    }
                     return Ok(labelling);
                 }
                 // Unsatisfiability is exact: no other solver can succeed.
-                Err(e @ SolveError::Unsolvable { .. }) => return Err(e),
+                Err(e @ SolveError::Unsolvable { .. }) => {
+                    self.health.record_success(name);
+                    return Err(e);
+                }
+                // Cancellation aborts: the caller hung up.
+                Err(SolveError::Cancelled) => return Err(SolveError::Cancelled),
+                // A tripped budget degrades: later (cheaper) tiers still
+                // get their chance; the first trip owns the attribution.
+                Err(SolveError::DeadlineExceeded { tier, elapsed }) => {
+                    self.health.record_timeout(name);
+                    self.health.record_failure(name);
+                    timed_out.get_or_insert((tier, elapsed));
+                }
                 Err(SolveError::TorusTooSmall { min_side, .. }) => {
+                    self.health.record_success(name);
                     smallest_supported =
                         Some(smallest_supported.map_or(min_side, |m: usize| m.min(min_side)));
                 }
                 Err(e) => {
+                    if matches!(
+                        e,
+                        SolveError::SolverFailed { .. } | SolveError::Panicked { .. }
+                    ) {
+                        self.health.record_failure(name);
+                    } else {
+                        // Domain verdicts (e.g. SynthesisFailed) prove the
+                        // tier's machinery works; crucially they also close
+                        // a half-open probe instead of wedging it.
+                        self.health.record_success(name);
+                    }
                     fallthrough.get_or_insert(e);
                 }
             }
@@ -182,6 +281,11 @@ impl PreparedProblem {
                 topology: topology.to_string(),
                 reason: "no registered solver covers this (problem, topology) pair".to_string(),
             });
+        }
+        // A budget trip outranks the generic fall-through: it is the
+        // actionable outcome (retry with a roomier budget).
+        if let Some((tier, elapsed)) = timed_out {
+            return Err(SolveError::DeadlineExceeded { tier, elapsed });
         }
         if let (Some(needed), Some(budget)) = (cheapest_over_budget, self.rounds_budget) {
             return Err(SolveError::RoundBudgetExceeded { budget, needed });
@@ -294,11 +398,30 @@ impl PreparedProblem {
     /// computed once per prepared problem and cached in the handle.
     pub fn classify(&self) -> Result<GridClass, SolveError> {
         self.classification
-            .get_or_init(|| self.classify_uncached())
+            .get_or_init(|| self.classify_uncached(&Budget::unlimited()))
             .clone()
     }
 
-    fn classify_uncached(&self) -> Result<GridClass, SolveError> {
+    /// [`PreparedProblem::classify`] under a cooperative [`Budget`]. A
+    /// budget trip mid-synthesis returns the typed error **without**
+    /// filling the classification memo (or the registry's synthesis
+    /// cache): an interrupted search is not a `Global` verdict, and the
+    /// next call — with a roomier budget — recomputes from intact state.
+    pub fn classify_with(&self, budget: &Budget) -> Result<GridClass, SolveError> {
+        if let Some(verdict) = self.classification.get() {
+            return verdict.clone();
+        }
+        let verdict = self.classify_uncached(budget);
+        if matches!(
+            verdict,
+            Err(SolveError::DeadlineExceeded { .. }) | Err(SolveError::Cancelled)
+        ) {
+            return verdict;
+        }
+        self.classification.get_or_init(|| verdict).clone()
+    }
+
+    fn classify_uncached(&self, budget: &Budget) -> Result<GridClass, SolveError> {
         if self.spec.home_topology() == Topology::Boundary {
             return Err(SolveError::UnsupportedTopology {
                 problem: self.spec.name().to_string(),
@@ -323,7 +446,8 @@ impl PreparedProblem {
         }
         match self
             .registry
-            .memoised_synthesis(&self.spec, self.opts.max_synthesis_k)
+            .memoised_synthesis_budgeted(&self.spec, self.opts.max_synthesis_k, budget)
+            .map_err(|e| budget_error(registry::SYNTHESIS_SOLVER_NAME, budget, e))?
         {
             Some(_) => Ok(GridClass::LogStar),
             None => Ok(GridClass::Global),

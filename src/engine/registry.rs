@@ -12,20 +12,26 @@
 //! Corner coordination and the d-dimensional algorithms are first-class
 //! registered solvers, not side doors.
 
+use super::chaos::{ChaosState, FaultPoint};
 use super::error::SolveError;
 use super::instance::Instance;
 use super::spec::{ProblemSpec, Topology};
-use super::{Capabilities, Complexity, Labelling, Solve, SolveReport, TopologySupport};
+use super::{
+    budget_error, Capabilities, Complexity, Labelling, Solve, SolveReport, TopologySupport,
+};
 use lcl_algorithms::corner::{self, BoundaryGrid};
 use lcl_algorithms::ddim;
 use lcl_algorithms::edge_colouring::EdgeColouring;
 use lcl_algorithms::four_colouring::FourColouring;
 use lcl_algorithms::{AlgoError, Profile};
 use lcl_core::problems::XSet;
-use lcl_core::synthesis::{persist, synthesize_auto, SynthRunError, SynthesizedAlgorithm};
+use lcl_core::synthesis::{
+    persist, synthesize_auto, synthesize_auto_budgeted, SynthRunError, SynthesizedAlgorithm,
+};
 use lcl_core::{existence, GridProblem};
 use lcl_grid::{Metric, TorusD};
 use lcl_local::{GridInstance, Rounds};
+use lcl_sat::{Budget, BudgetExceeded};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -116,6 +122,10 @@ pub(crate) struct CachedSynth {
 pub(crate) struct SynthCache {
     map: Mutex<HashMap<String, Arc<OnceLock<CachedSynth>>>>,
     dir: Mutex<Option<PathBuf>>,
+    /// Armed fault injector, if any (see [`super::chaos`]): persist
+    /// read/write faults are injected here, at the same call sites a real
+    /// I/O error would surface.
+    chaos: Mutex<Option<Arc<ChaosState>>>,
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
     synthesised: AtomicU64,
@@ -169,6 +179,29 @@ fn synth_path(dir: &Path, key: &str) -> PathBuf {
 }
 
 impl SynthCache {
+    /// Loads a cached outcome from disk, honouring an armed injector:
+    /// a chaos read fault degrades exactly like a real I/O error — cache
+    /// miss, resynthesis.
+    fn load_from_disk(&self, dir: &Path, key: &str) -> Option<Option<SynthesizedAlgorithm>> {
+        if let Some(chaos) = self.chaos() {
+            if chaos.should(FaultPoint::PersistRead) {
+                return None;
+            }
+        }
+        persist::load_outcome(&synth_path(dir, key), key)
+    }
+
+    /// Saves an outcome to disk (best-effort: an unwritable cache dir —
+    /// or a chaos write fault — costs future time, not correctness).
+    fn save_to_disk(&self, dir: &Path, key: &str, outcome: &Option<SynthesizedAlgorithm>) {
+        if let Some(chaos) = self.chaos() {
+            if chaos.should(FaultPoint::PersistWrite) {
+                return;
+            }
+        }
+        let _ = persist::save_outcome(&synth_path(dir, key), key, outcome);
+    }
+
     /// Returns the cached synthesis outcome for `spec` at `max_k`,
     /// loading it from disk or synthesising on the first request.
     fn get_or_synthesize(&self, problem: &GridProblem, name: &str, max_k: usize) -> CachedSynth {
@@ -191,7 +224,7 @@ impl SynthCache {
             initialised_here = true;
             let dir = self.cache_dir();
             if let Some(dir) = &dir {
-                if let Some(outcome) = persist::load_outcome(&synth_path(dir, &key), &key) {
+                if let Some(outcome) = self.load_from_disk(dir, &key) {
                     self.disk_hits.fetch_add(1, Ordering::Relaxed);
                     return CachedSynth {
                         outcome,
@@ -202,9 +235,7 @@ impl SynthCache {
             let outcome = synthesize_auto(problem, max_k);
             self.synthesised.fetch_add(1, Ordering::Relaxed);
             if let Some(dir) = &dir {
-                // Best-effort: an unwritable cache dir costs future time,
-                // not correctness.
-                let _ = persist::save_outcome(&synth_path(dir, &key), &key, &outcome);
+                self.save_to_disk(dir, &key, &outcome);
             }
             CachedSynth {
                 outcome,
@@ -218,6 +249,64 @@ impl SynthCache {
             self.memory_hits.fetch_add(1, Ordering::Relaxed);
         }
         hit.clone()
+    }
+
+    /// The budget-aware variant of [`SynthCache::get_or_synthesize`].
+    ///
+    /// The crucial difference is *where* the computation runs: a budgeted
+    /// synthesis is computed **outside** the `OnceLock`, and the cell is
+    /// filled only when the computation *completes*. A budget trip
+    /// mid-synthesis therefore returns `Err` without caching anything —
+    /// the next request (with a roomier budget) retries from an intact
+    /// cache, instead of reading a spurious "no normal form up to k"
+    /// verdict that was really just an interrupted search.
+    fn get_or_synthesize_budgeted(
+        &self,
+        problem: &GridProblem,
+        name: &str,
+        max_k: usize,
+        budget: &Budget,
+    ) -> Result<CachedSynth, BudgetExceeded> {
+        if budget.is_unlimited() {
+            return Ok(self.get_or_synthesize(problem, name, max_k));
+        }
+        let key = cache_key(problem, name, max_k);
+        let cell = Arc::clone(
+            self.lock_map()
+                .entry(key.clone())
+                .or_insert_with(|| Arc::new(OnceLock::new())),
+        );
+        if let Some(hit) = cell.get() {
+            self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        budget.check()?;
+        let dir = self.cache_dir();
+        let computed = 'computed: {
+            if let Some(dir) = &dir {
+                if let Some(outcome) = self.load_from_disk(dir, &key) {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    break 'computed CachedSynth {
+                        outcome,
+                        origin: SynthOrigin::Disk,
+                    };
+                }
+            }
+            let outcome = synthesize_auto_budgeted(problem, max_k, budget)?;
+            self.synthesised.fetch_add(1, Ordering::Relaxed);
+            if let Some(dir) = &dir {
+                self.save_to_disk(dir, &key, &outcome);
+            }
+            CachedSynth {
+                outcome,
+                origin: SynthOrigin::Sat,
+            }
+        };
+        // Fill the cell with the *completed* outcome. If a concurrent
+        // unlimited request beat us to it, keep its value (the outcomes
+        // are equal; budgeted callers trade the single-flight guarantee
+        // for non-poisoning).
+        Ok(cell.get_or_init(|| computed).clone())
     }
 
     fn lock_map(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<OnceLock<CachedSynth>>>> {
@@ -235,6 +324,17 @@ impl SynthCache {
 
     fn set_cache_dir(&self, dir: Option<PathBuf>) {
         *self.dir.lock().unwrap_or_else(PoisonError::into_inner) = dir;
+    }
+
+    fn chaos(&self) -> Option<Arc<ChaosState>> {
+        self.chaos
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn set_chaos(&self, chaos: Option<Arc<ChaosState>>) {
+        *self.chaos.lock().unwrap_or_else(PoisonError::into_inner) = chaos;
     }
 
     fn stats(&self) -> SynthStats {
@@ -283,6 +383,15 @@ impl Registry {
     /// memo is kept.
     pub fn set_cache_dir(&self, dir: Option<PathBuf>) {
         self.synth_cache.set_cache_dir(dir);
+    }
+
+    /// Arms (or disarms, with `None`) the fault injector on this
+    /// registry's synthesis-cache persistence paths. Set by
+    /// [`crate::engine::EngineBuilder::chaos_seed`]; like the cache
+    /// directory, it is registry state, so engines sharing a registry
+    /// share the injector.
+    pub(crate) fn set_chaos(&self, chaos: Option<Arc<ChaosState>>) {
+        self.synth_cache.set_chaos(chaos);
     }
 
     /// Aggregate synthesis-cache counters (memo hits, disk hits, SAT
@@ -445,20 +554,26 @@ impl Registry {
     }
 
     /// Memoised synthesis for a spec (the adapter [`Engine::classify`]
-    /// and [`SynthesisSolver`] share). Returns `None` without attempting
-    /// synthesis for problems the CNF encoder cannot tabulate.
-    pub(crate) fn memoised_synthesis(
+    /// and [`SynthesisSolver`] share), budget-aware: a
+    /// budget trip returns `Err` *without* memoising anything (see
+    /// [`SynthCache::get_or_synthesize_budgeted`]), so an interrupted
+    /// search can never masquerade as a negative classification verdict.
+    pub(crate) fn memoised_synthesis_budgeted(
         &self,
         spec: &ProblemSpec,
         max_k: usize,
-    ) -> Option<SynthesizedAlgorithm> {
-        let problem = spec.grid_problem()?;
+        budget: &Budget,
+    ) -> Result<Option<SynthesizedAlgorithm>, BudgetExceeded> {
+        let Some(problem) = spec.grid_problem() else {
+            return Ok(None);
+        };
         if !synthesisable(problem) {
-            return None;
+            return Ok(None);
         }
-        self.synth_cache
-            .get_or_synthesize(problem, spec.name(), max_k)
-            .outcome
+        Ok(self
+            .synth_cache
+            .get_or_synthesize_budgeted(problem, spec.name(), max_k, budget)?
+            .outcome)
     }
 }
 
@@ -632,10 +747,25 @@ impl Solve for SynthesisSolver {
     }
 
     fn solve(&self, inst: &Instance) -> Result<Labelling, SolveError> {
-        let inst = expect_torus2(inst, self.name())?;
         let cached = self
             .cache
             .get_or_synthesize(&self.grid_problem, &self.problem, self.max_k);
+        self.run_cached(inst, cached)
+    }
+
+    fn solve_budgeted(&self, inst: &Instance, budget: &Budget) -> Result<Labelling, SolveError> {
+        let cached = self
+            .cache
+            .get_or_synthesize_budgeted(&self.grid_problem, &self.problem, self.max_k, budget)
+            .map_err(|e| budget_error(self.name(), budget, e))?;
+        self.run_cached(inst, cached)
+    }
+}
+
+impl SynthesisSolver {
+    /// Runs a (possibly just memoised) synthesis outcome on one instance.
+    fn run_cached(&self, inst: &Instance, cached: CachedSynth) -> Result<Labelling, SolveError> {
+        let inst = expect_torus2(inst, self.name())?;
         let origin = cached.origin;
         let algo = cached.outcome.ok_or_else(|| SolveError::SynthesisFailed {
             problem: self.problem.clone(),
@@ -881,14 +1011,18 @@ impl Solve for DdimPairwiseSatSolver {
     }
 
     fn solve(&self, inst: &Instance) -> Result<Labelling, SolveError> {
+        self.solve_budgeted(inst, &Budget::unlimited())
+    }
+
+    fn solve_budgeted(&self, inst: &Instance, budget: &Budget) -> Result<Labelling, SolveError> {
         let torus = torus_d_of(inst, self.name())?;
         let labels =
-            existence::solve_pairwise_d(&torus, self.alphabet, &self.pairs).ok_or_else(|| {
-                SolveError::Unsolvable {
+            existence::solve_pairwise_d_budgeted(&torus, self.alphabet, &self.pairs, budget)
+                .map_err(|e| budget_error(self.name(), budget, e))?
+                .ok_or_else(|| SolveError::Unsolvable {
                     problem: self.problem.clone(),
                     dims: inst.dims(),
-                }
-            })?;
+                })?;
         let mut rounds = Rounds::new();
         // Gathering the full instance costs the torus diameter.
         rounds.charge(
@@ -925,16 +1059,18 @@ impl Solve for SatExistenceSolver {
     }
 
     fn solve(&self, inst: &Instance) -> Result<Labelling, SolveError> {
+        self.solve_budgeted(inst, &Budget::unlimited())
+    }
+
+    fn solve_budgeted(&self, inst: &Instance, budget: &Budget) -> Result<Labelling, SolveError> {
         let inst = expect_torus2(inst, self.name())?;
         let torus = inst.torus();
-        let labels = match self.seed {
-            Some(seed) => existence::solve_seeded(&self.grid_problem, &torus, seed),
-            None => existence::solve(&self.grid_problem, &torus),
-        }
-        .ok_or_else(|| SolveError::Unsolvable {
-            problem: self.problem.clone(),
-            dims: vec![torus.width(), torus.height()],
-        })?;
+        let labels = existence::solve_budgeted(&self.grid_problem, &torus, self.seed, budget)
+            .map_err(|e| budget_error(self.name(), budget, e))?
+            .ok_or_else(|| SolveError::Unsolvable {
+                problem: self.problem.clone(),
+                dims: vec![torus.width(), torus.height()],
+            })?;
         let mut rounds = Rounds::new();
         // Gathering the full instance costs the torus diameter.
         rounds.charge(

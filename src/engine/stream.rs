@@ -31,7 +31,11 @@
 //! entry points, which preserve it for free.
 
 use super::batch::{self, panic_detail, Job};
+use super::chaos::{ChaosState, FaultPoint};
+use super::health::Health;
+use super::registry::fnv1a64;
 use super::{Engine, Instance, Labelling, PreparedProblem, SolveError};
+use lcl_sat::Budget;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -71,7 +75,21 @@ struct WindowEntry {
     prepared: Arc<PreparedProblem>,
     instance: Instance,
     result: Result<Labelling, SolveError>,
+    /// FNV checksum of the labels at insertion time. Every lookup
+    /// re-verifies it, so a corrupted entry — bit rot, a buggy in-place
+    /// mutation, or an injected [`FaultPoint::DedupPoison`] — is detected
+    /// and transparently re-solved instead of served.
+    checksum: u64,
     last_used: u64,
+}
+
+/// The integrity checksum of a cached result (errors carry no labels and
+/// checksum to the empty hash).
+fn labels_checksum(result: &Result<Labelling, SolveError>) -> u64 {
+    match result {
+        Ok(labelling) => fnv1a64(labelling.labels.iter().flat_map(|l| l.to_le_bytes())),
+        Err(_) => fnv1a64(std::iter::empty::<u8>()),
+    }
 }
 
 /// The bounded LRU over plan-key × instance-key groups behind
@@ -100,34 +118,57 @@ impl DedupWindow {
     /// Matching follows the batch dedup identity exactly: same prepared
     /// *handle* (pointer identity — differently-configured engines'
     /// key-equal handles never alias) and interchangeable instance.
+    ///
+    /// Every hit is integrity-checked against the entry's insertion-time
+    /// checksum: a poisoned entry is evicted, counted in
+    /// [`Health::dedup_poison_recoveries`], and reported as a miss, so
+    /// the job is transparently re-solved — corruption costs time, never
+    /// a wrong answer.
     fn lookup(
         &mut self,
         fingerprint: u64,
         prepared: &Arc<PreparedProblem>,
         inst: &Instance,
+        health: &Health,
     ) -> Option<Result<Labelling, SolveError>> {
         self.clock += 1;
         let clock = self.clock;
-        self.entries
-            .iter_mut()
-            .find(|e| {
-                e.fingerprint == fingerprint
-                    && Arc::ptr_eq(&e.prepared, prepared)
-                    && e.instance.same_input(inst)
-            })
-            .map(|e| {
-                e.last_used = clock;
-                e.result.clone()
-            })
+        let pos = self.entries.iter().position(|e| {
+            e.fingerprint == fingerprint
+                && Arc::ptr_eq(&e.prepared, prepared)
+                && e.instance.same_input(inst)
+        })?;
+        if labels_checksum(&self.entries[pos].result) != self.entries[pos].checksum {
+            self.entries.swap_remove(pos);
+            health.record_dedup_poison_recovery();
+            return None;
+        }
+        let e = &mut self.entries[pos];
+        e.last_used = clock;
+        Some(e.result.clone())
     }
 
     /// Remembers a freshly solved job, evicting the least-recently-used
     /// entry when the window is full. A concurrent worker may have
     /// inserted the same group while this one was solving; the duplicate
     /// is harmless (identical deterministic results) and ages out.
-    fn insert(&mut self, entry: WindowEntry) {
+    ///
+    /// With chaos armed, [`FaultPoint::DedupPoison`] may corrupt the
+    /// entry *after* its checksum is taken — the injected fault the
+    /// lookup-time integrity check must catch.
+    fn insert(&mut self, mut entry: WindowEntry, chaos: Option<&ChaosState>) {
         if self.cap == 0 {
             return;
+        }
+        entry.checksum = labels_checksum(&entry.result);
+        if let Some(chaos) = chaos {
+            if chaos.should(FaultPoint::DedupPoison) {
+                if let Ok(labelling) = &mut entry.result {
+                    if let Some(first) = labelling.labels.first_mut() {
+                        *first ^= 1;
+                    }
+                }
+            }
         }
         if self.entries.len() >= self.cap {
             if let Some(oldest) = self
@@ -246,6 +287,22 @@ impl Engine {
         I: IntoIterator<Item = Job>,
         I::IntoIter: Send + 'static,
     {
+        self.solve_stream_with(jobs, &Budget::unlimited())
+    }
+
+    /// [`Engine::solve_stream`] under a joint cooperative [`Budget`]: the
+    /// workers share the budget's clock and step counter, so a stream
+    /// deadline bounds the whole drain — jobs dispatched after the trip
+    /// fail fast with the typed error while the stream itself stays live
+    /// and yields every outcome.
+    pub fn solve_stream_with<I>(&self, jobs: I, budget: &Budget) -> SolveStream
+    where
+        I: IntoIterator<Item = Job>,
+        I::IntoIter: Send + 'static,
+    {
+        let budget = budget.clone();
+        let health = Arc::clone(&self.health);
+        let chaos = self.chaos.clone();
         let threads = self.worker_threads();
         let source = Arc::new(Mutex::new(JobSource {
             jobs: Some(jobs.into_iter()),
@@ -266,6 +323,9 @@ impl Engine {
                 let window = window.clone();
                 let stream_hits = Arc::clone(&stream_hits);
                 let engine_hits = Arc::clone(&engine_hits);
+                let budget = budget.clone();
+                let health = Arc::clone(&health);
+                let chaos = chaos.clone();
                 let tx = tx.clone();
                 std::thread::spawn(move || loop {
                     let (index, job) = {
@@ -304,7 +364,8 @@ impl Engine {
                             }
                         }
                     };
-                    let (result, deduped) = solve_windowed(&job, window.as_deref());
+                    let (result, deduped) =
+                        solve_windowed(&job, window.as_deref(), &health, chaos.as_deref(), &budget);
                     if deduped {
                         stream_hits.fetch_add(1, Ordering::Relaxed);
                         engine_hits.fetch_add(1, Ordering::Relaxed);
@@ -333,33 +394,44 @@ impl Engine {
 }
 
 /// Solves one stream job through the dedup window (when one is
-/// configured): window hit → shared result, miss → fresh solve that is
-/// then remembered. Returns the result and whether it was a window hit.
+/// configured): window hit → shared result, miss (including a poisoned
+/// entry recovered by the checksum) → fresh solve that is then
+/// remembered. Returns the result and whether it was a window hit.
 fn solve_windowed(
     job: &Job,
     window: Option<&Mutex<DedupWindow>>,
+    health: &Health,
+    chaos: Option<&ChaosState>,
+    budget: &Budget,
 ) -> (Result<Labelling, SolveError>, bool) {
     let Some(window) = window else {
-        return (batch::solve_caught(&job.prepared, &job.instance), false);
+        return (
+            batch::solve_caught(&job.prepared, &job.instance, budget),
+            false,
+        );
     };
     let fingerprint = batch::job_fingerprint(&job.prepared, &job.instance);
     if let Some(hit) = window
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
-        .lookup(fingerprint, &job.prepared, &job.instance)
+        .lookup(fingerprint, &job.prepared, &job.instance, health)
     {
         return (hit, true);
     }
-    let result = batch::solve_caught(&job.prepared, &job.instance);
+    let result = batch::solve_caught(&job.prepared, &job.instance, budget);
     window
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
-        .insert(WindowEntry {
-            fingerprint,
-            prepared: Arc::clone(&job.prepared),
-            instance: job.instance.clone(),
-            result: result.clone(),
-            last_used: 0, // stamped by insert
-        });
+        .insert(
+            WindowEntry {
+                fingerprint,
+                prepared: Arc::clone(&job.prepared),
+                instance: job.instance.clone(),
+                result: result.clone(),
+                checksum: 0,  // stamped by insert
+                last_used: 0, // stamped by insert
+            },
+            chaos,
+        );
     (result, false)
 }
