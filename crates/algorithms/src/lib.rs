@@ -20,6 +20,7 @@
 //! on failure (DESIGN.md §3.4). Every run is validated by the independent
 //! LCL checkers in `lcl-core`.
 
+#![forbid(unsafe_code)]
 pub mod corner;
 pub mod ddim;
 pub mod edge_colouring;

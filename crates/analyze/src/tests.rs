@@ -1,0 +1,254 @@
+//! Unit and golden tests: one golden (caret text + JSON) per `L0xx`
+//! code, certificate replay, pruning, and the annotation parser.
+
+use crate::{analyze_block, compile, expected_codes, prune_dead_labels, AxisDir, Code, Severity};
+use lcl_core::lcl::{Block, BlockLcl};
+use std::collections::BTreeSet;
+
+/// Replays an `L002` certificate against the original table: each
+/// eliminated block must genuinely lack its recorded support among the
+/// not-yet-eliminated blocks, and the eliminations must exhaust the
+/// allowed set. (Round-based elimination only shrinks support sets, so
+/// sequential replay is a sound independent check.)
+fn replay_certificate(lcl: &BlockLcl, eliminated: &[(Block, AxisDir)]) {
+    let mut live: BTreeSet<Block> = lcl.allowed_blocks().collect();
+    for &(b, dir) in eliminated {
+        assert!(live.contains(&b), "certificate eliminates {b:?} twice");
+        let support_exists = match dir {
+            AxisDir::East => live.iter().any(|c| (c[0], c[2]) == (b[1], b[3])),
+            AxisDir::West => live.iter().any(|c| (c[1], c[3]) == (b[0], b[2])),
+            AxisDir::North => live.iter().any(|c| (c[0], c[1]) == (b[2], b[3])),
+            AxisDir::South => live.iter().any(|c| (c[2], c[3]) == (b[0], b[1])),
+        };
+        assert!(
+            !support_exists,
+            "certificate claims {b:?} has no {dir} support, but one exists"
+        );
+        live.remove(&b);
+    }
+    assert!(live.is_empty(), "certificate does not exhaust the table");
+}
+
+#[test]
+fn l001_dead_source_label_golden() {
+    let src = "problem dead {\n  alphabet { a, b, c }\n  nodes forbid { c }\n}\n";
+    let out = compile(src).unwrap();
+    assert_eq!(out.compiled.alphabet(), 2, "c must be pruned at compile");
+    let analysis = &out.analysis;
+    assert_eq!(analysis.count(Code::L001), 1);
+    let d = &analysis.diagnostics()[0];
+    assert_eq!(d.code, Code::L001);
+    assert_eq!(
+        d.render(src),
+        "warning[L001] at line 2, column 20: dead label: `c` occurs in no allowed window \
+         and was pruned from the compiled alphabet\n\
+         \x20 |    alphabet { a, b, c }\n\
+         \x20 |                     ^"
+    );
+    let json = analysis.to_json(src);
+    assert!(json.contains("\"code\":\"L001\""), "{json}");
+    assert!(json.contains("\"line\":2,\"column\":20"), "{json}");
+    // The surviving table is the all-allowed two-label problem.
+    assert!(analysis.constant_label().is_some());
+    assert!(analysis.unsolvable().is_none());
+}
+
+#[test]
+fn l002_statically_unsolvable_golden() {
+    let src = "problem stuck {\n\
+               \x20 alphabet { a, b }\n\
+               \x20 horizontal allow (a b)\n\
+               \x20 vertical allow (a a) (b b)\n\
+               }\n";
+    let out = compile(src).unwrap();
+    let analysis = &out.analysis;
+    assert_eq!(analysis.count(Code::L002), 1);
+    assert_eq!(analysis.max_severity(), Some(Severity::Error));
+    let cert = analysis.unsolvable().expect("certificate");
+    // The single allowed block [a b / a b] cannot extend east.
+    assert_eq!(cert.eliminated, vec![([0, 1, 0, 1], AxisDir::East)]);
+    replay_certificate(out.compiled.block_lcl(), &cert.eliminated);
+    let text = analysis.render_text(src);
+    assert!(
+        text.starts_with("error[L002] at line 1, column 9: statically unsolvable:"),
+        "{text}"
+    );
+    let json = analysis.to_json(src);
+    assert!(
+        json.contains(
+            "\"unsolvable\":{\"eliminated\":[{\"block\":[0,1,0,1],\"missing\":\"east\"}]}"
+        ),
+        "{json}"
+    );
+    // An unsolvable verdict suppresses the structural notes.
+    assert_eq!(analysis.diagnostics().len(), 1);
+}
+
+#[test]
+fn l003_constant_solvable_golden() {
+    let src = "problem free {\n  alphabet { x, y }\n}\n";
+    let out = compile(src).unwrap();
+    let analysis = &out.analysis;
+    assert_eq!(analysis.count(Code::L003), 1);
+    assert_eq!(analysis.constant_label(), Some(0));
+    let d = analysis
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == Code::L003)
+        .unwrap();
+    assert_eq!(
+        d.render(src),
+        "note[L003] at line 1, column 9: trivially constant-solvable: labelling every \
+         node 0 is valid (O(1))\n\
+         \x20 |  problem free {\n\
+         \x20 |          ^^^^"
+    );
+}
+
+#[test]
+fn l004_shadowed_forbid_golden() {
+    let src = "problem shadowed {\n\
+               \x20 alphabet { a, b }\n\
+               \x20 forbid [ a a ]\n\
+               \x20 forbid [ a a / _ _ ]\n\
+               }\n";
+    let out = compile(src).unwrap();
+    let analysis = &out.analysis;
+    assert_eq!(analysis.count(Code::L004), 1);
+    let d = analysis
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == Code::L004)
+        .unwrap();
+    // The larger pattern on line 4 is shadowed by line 3.
+    let (line, _) = d.span.unwrap().line_col(src);
+    assert_eq!(line, 4);
+    assert_eq!(d.related.len(), 1);
+    let (_, earlier) = &d.related[0];
+    assert_eq!(earlier.line_col(src).0, 3);
+    let text = d.render(src);
+    assert!(text.contains("warning[L004] at line 4"), "{text}");
+    assert!(text.contains("note[L004] at line 3"), "{text}");
+}
+
+#[test]
+fn l004_shadowed_allow_same_shape() {
+    let src = "problem widened {\n\
+               \x20 alphabet { a, b }\n\
+               \x20 horizontal allow (a _)\n\
+               \x20 horizontal allow (a b)\n\
+               }\n";
+    let out = compile(src).unwrap();
+    assert_eq!(out.analysis.count(Code::L004), 1);
+}
+
+#[test]
+fn l005_l006_checkerboard() {
+    let src = "problem chk {\n  alphabet { a, b }\n  edges differ\n}\n";
+    let out = compile(src).unwrap();
+    let analysis = &out.analysis;
+    assert_eq!(analysis.count(Code::L003), 0, "no constant solution");
+    assert_eq!(analysis.count(Code::L005), 1);
+    assert_eq!(analysis.count(Code::L006), 1);
+    let axis = analysis.axis_factorisation().expect("factorisation");
+    assert!(axis.axis_symmetric);
+    // h is the "differ" relation.
+    assert_eq!(axis.h, vec![false, true, true, false]);
+    assert_eq!(axis.h, axis.v);
+    assert!(analysis.h_symmetric() && analysis.v_symmetric());
+}
+
+#[test]
+fn block_level_report_is_byte_stable() {
+    let mut lcl = BlockLcl::new(2);
+    lcl.allow([0, 0, 0, 0]);
+    let analysis = analyze_block("tiny", &lcl);
+    assert_eq!(
+        analysis.to_json(""),
+        "{\"problem\":\"tiny\",\"alphabet\":2,\"blocks\":1,\"diagnostics\":[\
+         {\"code\":\"L001\",\"severity\":\"warning\",\"message\":\"label 1 occurs in no \
+         allowed block; encoders can drop it from the 2-label alphabet\",\
+         \"start\":null,\"end\":null,\"related\":[]},\
+         {\"code\":\"L003\",\"severity\":\"note\",\"message\":\"trivially constant-solvable: \
+         labelling every node 0 is valid (O(1))\",\"start\":null,\"end\":null,\"related\":[]},\
+         {\"code\":\"L005\",\"severity\":\"note\",\"message\":\"axis-decomposable: the block \
+         predicate factors into independent horizontal and vertical pair relations (one \
+         symmetric relation on both axes)\",\"start\":null,\"end\":null,\"related\":[]},\
+         {\"code\":\"L006\",\"severity\":\"note\",\"message\":\"symmetric problem: the \
+         allowed-block set is invariant under horizontal and vertical transposes\",\
+         \"start\":null,\"end\":null,\"related\":[]}],\
+         \"dead_labels\":[1],\"unsolvable\":null,\"constant_label\":0,\
+         \"axis_decomposable\":true,\"axis_symmetric\":true,\
+         \"h_symmetric\":true,\"v_symmetric\":true}"
+    );
+}
+
+#[test]
+fn prune_identity_when_all_live() {
+    let lcl = BlockLcl::from_pairs(3, |a, b| a != b, |a, b| a != b);
+    let (pruned, keep) = prune_dead_labels(&lcl);
+    assert_eq!(keep, vec![0, 1, 2]);
+    assert_eq!(pruned.sorted_blocks(), lcl.sorted_blocks());
+}
+
+#[test]
+fn prune_renumbers_dead_labels_out() {
+    // Label 1 never occurs; 0 and 2 form an all-allowed pair problem.
+    let mut lcl = BlockLcl::new(3);
+    for &a in &[0u16, 2] {
+        for &b in &[0u16, 2] {
+            for &c in &[0u16, 2] {
+                for &d in &[0u16, 2] {
+                    lcl.allow([a, b, c, d]);
+                }
+            }
+        }
+    }
+    let analysis = analyze_block("gap", &lcl);
+    assert_eq!(analysis.dead_labels(), &[1]);
+    let (pruned, keep) = prune_dead_labels(&lcl);
+    assert_eq!(keep, vec![0, 2]);
+    assert_eq!(pruned.alphabet(), 2);
+    assert_eq!(pruned.allowed_count(), 16);
+    assert!(pruned.block_allowed([0, 1, 1, 0]));
+}
+
+#[test]
+fn raw_unsolvable_certificate_replays() {
+    // Neither block's east column matches any west column.
+    let mut lcl = BlockLcl::new(2);
+    lcl.allow([0, 0, 0, 1]);
+    lcl.allow([0, 1, 0, 0]);
+    let analysis = analyze_block("no-vertical", &lcl);
+    let cert = analysis.unsolvable().expect("unsolvable");
+    assert_eq!(cert.eliminated.len(), 2);
+    replay_certificate(&lcl, &cert.eliminated);
+}
+
+#[test]
+fn expected_codes_annotations() {
+    let src = "# expect: L001, L003\n# expect: l002\nproblem p { alphabet { a } }\n";
+    let codes: Vec<Code> = expected_codes(src).into_iter().collect();
+    assert_eq!(codes, vec![Code::L001, Code::L002, Code::L003]);
+    assert!(expected_codes("problem p { alphabet { a } }").is_empty());
+}
+
+#[test]
+fn severity_and_code_parsing() {
+    assert_eq!("warn".parse::<Severity>().unwrap(), Severity::Warning);
+    assert_eq!("note".parse::<Severity>().unwrap(), Severity::Note);
+    assert_eq!("error".parse::<Severity>().unwrap(), Severity::Error);
+    assert!("loud".parse::<Severity>().is_err());
+    assert_eq!("l002".parse::<Code>().unwrap(), Code::L002);
+    assert!("L999".parse::<Code>().is_err());
+    assert!(Severity::Note < Severity::Warning && Severity::Warning < Severity::Error);
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    let src = "problem det {\n  alphabet { a, b, c }\n  edges differ\n  nodes forbid { c }\n}\n";
+    let a = compile(src).unwrap().analysis;
+    let b = compile(src).unwrap().analysis;
+    assert_eq!(a.to_json(src), b.to_json(src));
+    assert_eq!(a.render_text(src), b.render_text(src));
+}

@@ -2,3 +2,5 @@
 //! benches (feature-gated behind `criterion-benches`) and
 //! `src/bin/reproduce.rs` for the table generator that regenerates every
 //! experiment family of DESIGN.md §6 through the unified `Engine` API.
+
+#![forbid(unsafe_code)]

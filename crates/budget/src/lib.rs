@@ -21,6 +21,7 @@
 //! map [`BudgetExceeded`] into their own typed errors (the engine maps
 //! it to `SolveError::DeadlineExceeded` / `SolveError::Cancelled`).
 
+#![forbid(unsafe_code)]
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};

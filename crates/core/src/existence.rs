@@ -274,13 +274,32 @@ fn encode_orientation(solver: &mut Solver, torus: &Torus2, x: crate::problems::X
 }
 
 fn encode_block(solver: &mut Solver, torus: &Torus2, lcl: &crate::lcl::BlockLcl) -> DecodeFn {
-    let a = lcl.alphabet();
+    // Dead labels — labels in no allowed block (`L001` in lcl-analyze
+    // terms) — can never appear in a valid labelling, so per-cell
+    // variables are created for the *live* alphabet only. When every
+    // label is live (all library problems), the live set is `0..a` and
+    // the encoding — variable numbering, clause enumeration order —
+    // is identical to encoding over the full alphabet.
+    let live = lcl.live_labels();
     assert!(
-        a <= 16,
-        "generic block encoding is limited to alphabets of size ≤ 16"
+        live.len() <= 16,
+        "generic block encoding is limited to live alphabets of size ≤ 16"
     );
     let n = torus.node_count();
-    let vars: Vec<Vec<Var>> = (0..n).map(|_| solver.new_vars(a as usize)).collect();
+    let degenerate = torus.width() == 1 || torus.height() == 1;
+    if live.is_empty() {
+        // No allowed blocks at all: every real 2×2 window is forbidden.
+        // Degenerate 1-wide tori have no such window (mirroring the
+        // checker's skip below), so any labelling is valid there;
+        // otherwise the instance is unsatisfiable.
+        if !degenerate {
+            let v = solver.new_vars(1)[0];
+            solver.add_clause([Lit::pos(v)]);
+            solver.add_clause([Lit::neg(v)]);
+        }
+        return Box::new(move |_| vec![0; n]);
+    }
+    let vars: Vec<Vec<Var>> = (0..n).map(|_| solver.new_vars(live.len())).collect();
     for vc in &vars {
         let lits: Vec<Lit> = vc.iter().map(|&x| Lit::pos(x)).collect();
         exactly_one(solver, &lits);
@@ -297,18 +316,18 @@ fn encode_block(solver: &mut Solver, torus: &Torus2, lcl: &crate::lcl::BlockLcl)
         if corners[1] == corners[0] || corners[2] == corners[0] {
             continue;
         }
-        for sw in 0..a {
-            for se in 0..a {
-                for nw in 0..a {
-                    for ne in 0..a {
+        for (isw, &sw) in live.iter().enumerate() {
+            for (ise, &se) in live.iter().enumerate() {
+                for (inw, &nw) in live.iter().enumerate() {
+                    for (ine, &ne) in live.iter().enumerate() {
                         if lcl.block_allowed([sw, se, nw, ne]) {
                             continue;
                         }
                         solver.add_clause([
-                            Lit::neg(vars[corners[0]][sw as usize]),
-                            Lit::neg(vars[corners[1]][se as usize]),
-                            Lit::neg(vars[corners[2]][nw as usize]),
-                            Lit::neg(vars[corners[3]][ne as usize]),
+                            Lit::neg(vars[corners[0]][isw]),
+                            Lit::neg(vars[corners[1]][ise]),
+                            Lit::neg(vars[corners[2]][inw]),
+                            Lit::neg(vars[corners[3]][ine]),
                         ]);
                     }
                 }
@@ -317,7 +336,7 @@ fn encode_block(solver: &mut Solver, torus: &Torus2, lcl: &crate::lcl::BlockLcl)
     }
     Box::new(move |model| {
         vars.iter()
-            .map(|vc| vc.iter().position(|&x| model.value(x)).unwrap() as Label)
+            .map(|vc| live[vc.iter().position(|&x| model.value(x)).unwrap()])
             .collect()
     })
 }

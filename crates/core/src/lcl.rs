@@ -148,6 +148,23 @@ impl BlockLcl {
         self.allowed.iter().copied()
     }
 
+    /// The labels that occur in at least one allowed block, in
+    /// increasing order — the alphabet the SAT existence encoder
+    /// actually needs to encode. A label outside this set (a *dead*
+    /// label, `L001` in `lcl-analyze` terms) provably never appears in a
+    /// valid labelling: any window containing it is forbidden.
+    pub fn live_labels(&self) -> Vec<Label> {
+        let mut seen = vec![false; usize::from(self.alphabet)];
+        for block in &self.allowed {
+            for &l in block {
+                seen[usize::from(l)] = true;
+            }
+        }
+        (0..self.alphabet)
+            .filter(|&l| seen[usize::from(l)])
+            .collect()
+    }
+
     /// The canonical listing of the allowed blocks: sorted
     /// lexicographically in `[sw, se, nw, ne]` order. This is the
     /// deterministic ordering every user-visible rendering (and every

@@ -26,6 +26,7 @@
 //!   `Θ(n)` classification undecidable (Theorem 3).
 //! * [`classify`] — the 1-bit-advice classification front end (§7).
 
+#![forbid(unsafe_code)]
 pub mod classify;
 pub mod cycles;
 pub mod existence;

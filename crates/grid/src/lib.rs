@@ -18,6 +18,7 @@
 //! assert_eq!(t.l1(p, Pos::new(0, 7)), 2);            // toroidal metric
 //! ```
 
+#![forbid(unsafe_code)]
 mod dir;
 mod graph;
 mod torus2;

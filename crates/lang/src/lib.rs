@@ -47,6 +47,7 @@
 //! and it renders back to source ([`CompiledLcl::to_source`]) for
 //! diagnostics.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;

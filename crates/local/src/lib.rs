@@ -15,6 +15,8 @@
 //! * [`Rounds`] — an explicit round-cost ledger for batched algorithm
 //!   implementations, with named phases.
 
+#![cfg_attr(not(test), forbid(unsafe_code))]
+#![cfg_attr(test, deny(unsafe_code))]
 mod ids;
 mod instance;
 mod rounds;

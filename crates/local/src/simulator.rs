@@ -345,6 +345,10 @@ mod tests {
         assert!(err.to_string().contains("exceeded"));
     }
 
+    // The workspace forbids unsafe code outside tests (and denies it
+    // inside them); this module is the one sanctioned exception — a
+    // counting `GlobalAlloc` cannot be written without `unsafe impl`.
+    #[allow(unsafe_code)]
     mod alloc_counting {
         //! A counting global allocator proving the round loop allocates
         //! nothing: two runs that differ only in round count must perform

@@ -15,6 +15,7 @@
 //!   its row invariant `r(i)`;
 //! * [`parity`] — the counting impossibilities (Theorem 21, Lemma 24).
 
+#![forbid(unsafe_code)]
 pub mod orientation_034;
 pub mod parity;
 pub mod qsum;

@@ -23,6 +23,7 @@
 //! assert!(model.value(b));
 //! ```
 
+#![forbid(unsafe_code)]
 mod cnf;
 pub mod dimacs;
 mod solver;

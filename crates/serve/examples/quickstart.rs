@@ -5,6 +5,10 @@
 //! cargo run -p lcl-serve --example quickstart
 //! ```
 
+// The crate denies unwrap/expect in service code; a demo script may
+// simply crash on the unexpected.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use lcl_serve::{ServeConfig, Server};
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -48,6 +52,18 @@ fn main() {
             "return_labels":false}"#,
     );
     println!("solve -> {}\n", solved.lines().last().unwrap_or(""));
+
+    // Ask for the full lcl-analyze lint report (the same diagnostics the
+    // prepare response summarises, plus spans and the unsolvability or
+    // decomposition evidence).
+    let analyzed = post(
+        addr,
+        "/analyze",
+        r#"{"problem":{"type":"dsl","source":
+            "problem quickstart-3-colouring { alphabet { c0, c1, c2 } edges differ }"},
+            "tenant":"quickstart"}"#,
+    );
+    println!("analyze -> {}\n", analyzed.lines().last().unwrap_or(""));
 
     // Classify on the paper's complexity landscape.
     let class = post(

@@ -276,6 +276,7 @@ pub fn solve_error_body(err: &SolveError) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use lcl_grids::engine::Topology;

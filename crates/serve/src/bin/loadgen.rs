@@ -180,11 +180,18 @@ fn main() -> ExitCode {
     } else {
         None
     };
-    let addr = spawned
+    let addr = match spawned
         .as_ref()
         .map(|s| s.addr().to_string())
         .or(opts.addr.clone())
-        .expect("addr resolved above");
+    {
+        Some(addr) => addr,
+        None => {
+            // Unreachable: spawn mode runs exactly when no addr was given.
+            eprintln!("loadgen: no target address");
+            return ExitCode::FAILURE;
+        }
+    };
 
     eprintln!(
         "loadgen: {} clients x {}s against {addr}",
@@ -204,7 +211,13 @@ fn main() -> ExitCode {
         .collect();
     let mut samples: Vec<Sample> = Vec::new();
     for handle in handles {
-        samples.extend(handle.join().expect("client thread panicked"));
+        match handle.join() {
+            Ok(batch) => samples.extend(batch),
+            Err(_) => {
+                eprintln!("loadgen: a client thread panicked");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     let elapsed = started.elapsed();
     let dropped = dropped.load(Ordering::Relaxed);

@@ -271,6 +271,7 @@ pub fn write_response(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use std::io::BufReader;

@@ -305,7 +305,10 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        // The scanned range is ASCII digits/signs by construction, but a
+        // parse error beats a panic if that invariant ever breaks.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid bytes in number"))?;
         text.parse::<f64>()
             .ok()
             .filter(|n| n.is_finite())
@@ -375,7 +378,8 @@ impl<'a> Parser<'a> {
                         c if c >= 0xE0 => 3,
                         _ => 2,
                     };
-                    let text = std::str::from_utf8(&rest[..len]).expect("valid UTF-8 input");
+                    let text = std::str::from_utf8(&rest[..len])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
                     out.push_str(text);
                     self.pos += len;
                 }
@@ -453,6 +457,7 @@ impl fmt::Display for Json {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
 

@@ -71,6 +71,7 @@
 //! real sockets and writes `BENCH_service.json` (p50/p99 latency,
 //! jobs/s) — the service benchmark CI's serve-smoke job replays.
 
+#![forbid(unsafe_code)]
 pub mod api;
 pub mod http;
 pub mod json;

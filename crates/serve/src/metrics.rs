@@ -5,6 +5,7 @@
 //! per-problem solve rows.
 
 use crate::json::Json;
+use lcl_grids::analyze::{Analysis, Code};
 use lcl_grids::engine::Engine;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -181,8 +182,16 @@ pub struct Metrics {
     pub solve_batch: EndpointMetrics,
     /// `POST /classify`.
     pub classify: EndpointMetrics,
+    /// `POST /analyze`.
+    pub analyze: EndpointMetrics,
     /// Everything else (`/metrics`, `/healthz`, `/shutdown`, 404s).
     pub other: EndpointMetrics,
+    /// Per-code lint counters (`L001`…), indexed by [`Code::ALL`]
+    /// position: every diagnostic surfaced through `/analyze` or
+    /// `/prepare` increments its code's counter.
+    diagnostics: [AtomicU64; Code::ALL.len()],
+    /// Analyses whose reports have been folded into `diagnostics`.
+    pub analysis_reports: AtomicU64,
     /// Connections turned away at the admission queue (429s).
     pub busy_rejections: AtomicU64,
     /// Connections currently queued or being served (the admission
@@ -207,7 +216,10 @@ impl Default for Metrics {
             solve: EndpointMetrics::default(),
             solve_batch: EndpointMetrics::default(),
             classify: EndpointMetrics::default(),
+            analyze: EndpointMetrics::default(),
             other: EndpointMetrics::default(),
+            diagnostics: Default::default(),
+            analysis_reports: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             malformed_requests: AtomicU64::new(0),
@@ -226,7 +238,19 @@ impl Metrics {
             "/solve" => &self.solve,
             "/solve-batch" => &self.solve_batch,
             "/classify" => &self.classify,
+            "/analyze" => &self.analyze,
             _ => &self.other,
+        }
+    }
+
+    /// Folds one analysis report into the per-code lint counters.
+    pub fn record_analysis(&self, analysis: &Analysis) {
+        self.analysis_reports.fetch_add(1, Ordering::Relaxed);
+        for (idx, code) in Code::ALL.iter().enumerate() {
+            let n = analysis.count(*code) as u64;
+            if n > 0 {
+                self.diagnostics[idx].fetch_add(n, Ordering::Relaxed);
+            }
         }
     }
 
@@ -266,6 +290,7 @@ impl Metrics {
             &self.solve,
             &self.solve_batch,
             &self.classify,
+            &self.analyze,
             &self.other,
         ];
         let server_errors: u64 = endpoints
@@ -363,8 +388,25 @@ impl Metrics {
                     ("solve", self.solve.to_json()),
                     ("solve_batch", self.solve_batch.to_json()),
                     ("classify", self.classify.to_json()),
+                    ("analyze", self.analyze.to_json()),
                     ("other", self.other.to_json()),
                 ]),
+            ),
+            (
+                "analysis",
+                Json::obj(
+                    std::iter::once((
+                        "reports",
+                        Json::count(self.analysis_reports.load(Ordering::Relaxed)),
+                    ))
+                    .chain(Code::ALL.iter().enumerate().map(|(idx, code)| {
+                        (
+                            code.as_str(),
+                            Json::count(self.diagnostics[idx].load(Ordering::Relaxed)),
+                        )
+                    }))
+                    .collect(),
+                ),
             ),
             (
                 "admission",
@@ -437,6 +479,7 @@ impl Metrics {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
 

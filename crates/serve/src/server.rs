@@ -505,6 +505,7 @@ fn route(shared: &Shared, request: &Request) -> Result<(u16, String), ApiError> 
         ("POST", "/solve") => endpoint_solve(shared, request),
         ("POST", "/solve-batch") => endpoint_solve_batch(shared, request),
         ("POST", "/classify") => endpoint_classify(shared, request),
+        ("POST", "/analyze") => endpoint_analyze(shared, request),
         ("GET", "/metrics") => {
             let doc = shared.metrics.to_json(
                 &shared.engine,
@@ -671,9 +672,65 @@ fn endpoint_prepare(shared: &Shared, request: &Request) -> Result<(u16, String),
             ("plan_key", Json::str(plan_key)),
             ("solvers", Json::Arr(solvers)),
             ("cached", Json::Bool(cached)),
+            ("diagnostics", diagnostics_json(shared, &prepared)),
         ])
         .to_string(),
     ))
+}
+
+/// The `diagnostics` array `/prepare` answers with: one row per lint the
+/// memoised analysis raised (empty for problems without a radius-1 block
+/// form). Also folds the report into the per-code `/metrics` counters.
+fn diagnostics_json(shared: &Shared, prepared: &PreparedProblem) -> Json {
+    let Some(analysis) = prepared.analysis() else {
+        return Json::Arr(Vec::new());
+    };
+    shared.metrics.record_analysis(analysis);
+    Json::Arr(
+        analysis
+            .diagnostics()
+            .iter()
+            .map(|d| {
+                Json::obj(vec![
+                    ("code", Json::str(d.code.as_str())),
+                    ("severity", Json::str(d.severity.to_string())),
+                    ("message", Json::str(d.message.clone())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// `POST /analyze`: runs the full `lcl-analyze` pass on a `"problem"`
+/// object and answers with the complete machine-readable report —
+/// diagnostics with spans, dead labels, the unsolvability certificate,
+/// the constant verdict, and the axis-structure flags. For `dsl`
+/// problems the report carries line/column positions computed against
+/// the submitted source.
+fn endpoint_analyze(shared: &Shared, request: &Request) -> Result<(u16, String), ApiError> {
+    let body = parse_body(request)?;
+    let tenant = tenant_of(request, &body);
+    let problem = require_field(&body, "problem")?;
+    let spec = parse_problem(problem)?;
+    // For DSL problems the submitted source positions the spans.
+    let src = problem.get("source").and_then(Json::as_str).unwrap_or("");
+    let (prepared, _, _) = shared
+        .prepare_for_tenant(&tenant, &spec)
+        .map_err(|e| ApiError {
+            status: solve_error_status(&e),
+            code: "prepare-failed",
+            message: e.to_string(),
+        })?;
+    let analysis = prepared.analysis().ok_or(ApiError {
+        status: 422,
+        code: "no-analysis",
+        message: format!(
+            "problem '{}' has no radius-1 block form to analyse",
+            prepared.spec().name()
+        ),
+    })?;
+    shared.metrics.record_analysis(analysis);
+    Ok((200, analysis.to_json(src)))
 }
 
 fn require_field<'a>(body: &'a Json, key: &str) -> Result<&'a Json, ApiError> {

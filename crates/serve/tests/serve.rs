@@ -4,6 +4,10 @@
 //! answered with a typed 429, concurrent clients, and a graceful
 //! shutdown that drains in-flight requests.
 
+// The crate denies unwrap/expect in service code; in tests a panic is
+// exactly the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use lcl_grids::engine::ChaosConfig;
 use lcl_serve::json::Json;
 use lcl_serve::{ServeConfig, Server};
@@ -824,5 +828,98 @@ fn shutdown_drains_in_flight_requests() {
     );
 
     // And the server winds down completely.
+    server.wait();
+}
+
+#[test]
+fn analyze_endpoint_returns_the_full_report() {
+    let server = test_server(16, 2);
+    let addr = server.addr();
+
+    // A statically unsolvable DSL problem: the report carries the L002
+    // diagnostic with source positions and the elimination certificate.
+    let stuck = r#"{"tenant":"lint","problem":{"type":"dsl","source":"problem stuck {\n  alphabet { a, b }\n  horizontal allow (a b)\n  vertical allow (a a) (b b)\n}\n"}}"#;
+    let (status, body) = post(addr, "/analyze", stuck);
+    assert_eq!(status, 200, "{body}");
+    let report = Json::parse(&body).expect("the report is valid JSON");
+    assert_eq!(report.get("problem").unwrap().as_str(), Some("stuck"));
+    let diags = report.get("diagnostics").unwrap().as_arr().unwrap();
+    assert_eq!(diags.len(), 1, "{body}");
+    assert_eq!(diags[0].get("code").unwrap().as_str(), Some("L002"));
+    assert_eq!(diags[0].get("severity").unwrap().as_str(), Some("error"));
+    assert!(
+        diags[0].get("line").is_some(),
+        "spans carry positions: {body}"
+    );
+    let cert = report.get("unsolvable").unwrap();
+    assert!(
+        !cert.get("eliminated").unwrap().as_arr().unwrap().is_empty(),
+        "{body}"
+    );
+
+    // A built-in problem analyses too (span-free): 2-colouring is
+    // axis-decomposable and transpose-symmetric.
+    let (status, body) = post(
+        addr,
+        "/analyze",
+        r#"{"problem":{"type":"vertex-colouring","k":2}}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let report = Json::parse(&body).unwrap();
+    assert_eq!(
+        report.get("axis_decomposable").unwrap().as_bool(),
+        Some(true)
+    );
+    assert_eq!(report.get("unsolvable").unwrap().as_bool(), None); // null
+
+    // Problems without a radius-1 block form are a typed 422.
+    let (status, body) = post(
+        addr,
+        "/analyze",
+        r#"{"problem":{"type":"mis-power","metric":"l1","k":2}}"#,
+    );
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("no-analysis"), "{body}");
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn prepare_reports_diagnostics_and_metrics_count_codes() {
+    let server = test_server(16, 2);
+    let addr = server.addr();
+
+    // A dead label (L001) and a constant solution (L003) ride the
+    // /prepare response as a diagnostics array.
+    let dead = r#"{"problem":{"type":"dsl","source":"problem dead {\n  alphabet { a, b, c }\n  nodes forbid { c }\n}\n"}}"#;
+    let (status, body) = post(addr, "/prepare", dead);
+    assert_eq!(status, 200, "{body}");
+    let prepared = Json::parse(&body).unwrap();
+    let diags = prepared.get("diagnostics").unwrap().as_arr().unwrap();
+    let codes: Vec<&str> = diags
+        .iter()
+        .map(|d| d.get("code").unwrap().as_str().unwrap())
+        .collect();
+    assert!(codes.contains(&"L001"), "{body}");
+    assert!(codes.contains(&"L003"), "{body}");
+
+    // The per-code counters surface in /metrics.
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let metrics = Json::parse(&body).unwrap();
+    let analysis = metrics.get("analysis").unwrap();
+    assert!(
+        analysis.get("reports").unwrap().as_u64() >= Some(1),
+        "{body}"
+    );
+    assert!(analysis.get("L001").unwrap().as_u64() >= Some(1), "{body}");
+    assert!(analysis.get("L003").unwrap().as_u64() >= Some(1), "{body}");
+    assert!(
+        metrics.get("endpoints").unwrap().get("analyze").is_some(),
+        "{body}"
+    );
+
+    server.shutdown();
     server.wait();
 }

@@ -21,6 +21,7 @@
 //! `n`-dependence of every ledger is genuinely `O(log* n)`; the remaining
 //! charges depend only on the maximum degree.
 
+#![forbid(unsafe_code)]
 mod colour;
 mod cv;
 mod mis;

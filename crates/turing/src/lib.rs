@@ -21,6 +21,7 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
 mod machine;
 pub mod machines;
 mod table;

@@ -1,38 +1,94 @@
-//! `lclc` — the `lcl-lang` compiler driver: parse → compile → report.
+//! `lclc` — the `lcl-lang` compiler driver: parse → compile → lint →
+//! report.
 //!
 //! Reads an `.lcl` problem definition, lowers it to radius-1 block normal
-//! form, prints the compiled problem and its complexity class, and solves
-//! an instance through the engine:
+//! form, runs the `lcl-analyze` semantic lint pass, prints the compiled
+//! problem and its complexity class, and solves an instance through the
+//! engine:
 //!
 //! ```sh
 //! cargo run --release --example lclc -- fixtures/no_mono_3x3.lcl
 //! cargo run --release --example lclc -- path/to/problem.lcl 12
+//! cargo run --release --example lclc -- --lint path/to/problem.lcl
+//! cargo run --release --example lclc -- --lint --deny warn problem.lcl
 //! ```
 //!
-//! The optional second argument is the torus side (default 8). Parse,
-//! semantic, and compile errors are rendered with their source span.
+//! The optional second positional argument is the torus side (default 8).
+//! `--lint` stops after printing the analysis diagnostics; `--deny
+//! <note|warn|error>` exits nonzero when any diagnostic at or above that
+//! severity fires. Sources may declare intentional diagnostics with
+//! `# expect: L001, L002` comment lines: expected codes are exempt from
+//! `--deny`, and an expected code that does *not* fire is itself an
+//! error. Parse, semantic, and compile errors are rendered with their
+//! source span.
+//!
+//! ```text
+//! $ lclc --lint --deny warn fixtures/dead_label_colouring.lcl
+//! warning[L001] at line 8, column 23: dead label: `d` occurs in no
+//! allowed window and was pruned from the compiled alphabet
+//!   |    alphabet { a, b, c, d }
+//!   |                        ^
+//! note[L005] at line 7, column 9: axis-decomposable: the block
+//! predicate factors into independent horizontal and vertical pair
+//! relations (one symmetric relation on both axes)
+//!   |  problem dead-label-colouring {
+//!   |          ^^^^^^^^^^^^^^^^^^^^
+//! ...
+//! lint: 3 diagnostics in dead-label-colouring
+//! ```
+//! (exit 0 there because the fixture's `# expect:` lines cover every
+//! warning; without them the L001 would be denied with exit 1).
 
+use lcl_grids::analyze::{expected_codes, Severity};
 use lcl_grids::engine::{Engine, Instance, ProblemSpec, SolveError};
 use lcl_grids::grid::Pos;
 use lcl_grids::local::IdAssignment;
+use std::collections::BTreeSet;
 use std::process::ExitCode;
 
+fn usage() -> ExitCode {
+    eprintln!("usage: lclc [--lint] [--deny <note|warn|error>] <problem.lcl> [torus-side]");
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
+    let mut lint_only = false;
+    let mut deny: Option<Severity> = None;
+    let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
-    let path = match args.next() {
-        Some(path) => path,
-        None => {
-            eprintln!("usage: lclc <problem.lcl> [torus-side]");
-            return ExitCode::FAILURE;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--lint" => lint_only = true,
+            "--deny" => {
+                let Some(level) = args.next() else {
+                    eprintln!("error: --deny needs a level (note, warn, or error)");
+                    return usage();
+                };
+                match level.parse::<Severity>() {
+                    Ok(level) => deny = Some(level),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return usage();
+                    }
+                }
+            }
+            _ if arg.starts_with("--") => {
+                eprintln!("error: unknown flag {arg}");
+                return usage();
+            }
+            _ => positional.push(arg),
         }
-    };
-    let side: usize = match args.next().map(|s| s.parse()) {
-        None => 8,
-        Some(Ok(n)) if n > 0 => n,
-        Some(_) => {
-            eprintln!("the torus side must be a positive integer");
-            return ExitCode::FAILURE;
-        }
+    }
+    let (path, side) = match positional.as_slice() {
+        [path] => (path.clone(), 8usize),
+        [path, side] => match side.parse::<usize>() {
+            Ok(n) if n > 0 => (path.clone(), n),
+            _ => {
+                eprintln!("the torus side must be a positive integer");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => return usage(),
     };
 
     let src = match std::fs::read_to_string(&path) {
@@ -42,13 +98,57 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let compiled = match lcl_grids::lang::compile(&src) {
-        Ok(compiled) => compiled,
+    let analyzed = match lcl_grids::analyze::compile(&src) {
+        Ok(analyzed) => analyzed,
         Err(e) => {
             eprintln!("{}", e.render(&src));
             return ExitCode::FAILURE;
         }
     };
+    let compiled = &analyzed.compiled;
+    let analysis = &analyzed.analysis;
+
+    // The lint report: every diagnostic with its caret-rendered span.
+    for diag in analysis.diagnostics() {
+        println!("{}", diag.render(&src));
+    }
+
+    // `# expect:` annotations declare intentional diagnostics: they are
+    // exempt from --deny, and an expected code that never fires is an
+    // error in its own right (a stale annotation).
+    let expected = expected_codes(&src);
+    let fired: BTreeSet<_> = analysis.diagnostics().iter().map(|d| d.code).collect();
+    let mut denied = false;
+    for code in &expected {
+        if !fired.contains(code) {
+            println!("error: expected diagnostic {code} did not fire");
+            denied = true;
+        }
+    }
+    if let Some(level) = deny {
+        for diag in analysis.diagnostics() {
+            if diag.severity >= level && !expected.contains(&diag.code) {
+                println!(
+                    "error: denied lint {} at severity {}",
+                    diag.code, diag.severity
+                );
+                denied = true;
+            }
+        }
+    }
+    if denied {
+        return ExitCode::FAILURE;
+    }
+    if lint_only {
+        let n = analysis.diagnostics().len();
+        println!(
+            "lint: {n} diagnostic{} in {}",
+            if n == 1 { "" } else { "s" },
+            compiled.name()
+        );
+        return ExitCode::SUCCESS;
+    }
+
     println!("compiled: {compiled}");
     let blocks = compiled.block_lcl().sorted_blocks();
     print!("normal form (first blocks, sw,se,nw,ne):");
@@ -60,7 +160,7 @@ fn main() -> ExitCode {
     }
     println!();
 
-    let spec = ProblemSpec::compiled(&compiled);
+    let spec = ProblemSpec::compiled(compiled);
     let engine = Engine::builder().max_synthesis_k(2).build();
     let prepared = match engine.prepare(&spec) {
         Ok(prepared) => prepared,

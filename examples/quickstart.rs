@@ -35,6 +35,14 @@ fn main() -> Result<(), SolveError> {
     let five = engine.prepare(&spec)?;
     println!("prepared problem: {}", five.spec());
     println!("solver plan (best first): {:?}", five.solver_names());
+    // Preparing a problem also runs the `lcl-analyze` lint pass; the
+    // prepared handle memoises the report (`lclc --lint` prints the same
+    // diagnostics with caret-rendered source spans).
+    if let Some(analysis) = five.analysis() {
+        for diag in analysis.diagnostics() {
+            println!("lint {}[{}]: {}", diag.severity, diag.code, diag.message);
+        }
+    }
     let inst = Instance::square(24, &IdAssignment::Shuffled { seed: 2026 });
     let labelling = five.solve(&inst)?;
     println!(

@@ -684,6 +684,16 @@ impl Engine {
                 problem: spec.name().to_string(),
             });
         }
+        // Memoise the lcl-analyze report into the handle: DSL-compiled
+        // specs already carry a span-bearing one; raw block specs get a
+        // span-free analysis of their tabulated block table, computed
+        // once here (the handle itself is memoised per cache key).
+        let analysis = match spec.analysis() {
+            Some(a) => Some(Arc::clone(a)),
+            None => spec
+                .to_block_lcl()
+                .map(|lcl| Arc::new(lcl_analyze::analyze_block(spec.name(), &lcl))),
+        };
         Ok(Arc::new(PreparedProblem::new(
             spec.clone(),
             cache_key.to_string(),
@@ -695,6 +705,7 @@ impl Engine {
             self.debug_validation,
             Arc::clone(&self.health),
             self.chaos.clone(),
+            analysis,
         )))
     }
 

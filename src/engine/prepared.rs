@@ -56,6 +56,11 @@ pub struct PreparedProblem {
     health: Arc<Health>,
     /// The engine's armed fault injector, if any.
     chaos: Option<Arc<ChaosState>>,
+    /// The memoised `lcl-analyze` verdicts for the problem's block
+    /// table: `L002` (statically unsolvable) and `L003` (constant)
+    /// short-circuit the tier walk; serve renders the diagnostics.
+    /// `None` for problems without a block normal form.
+    analysis: Option<Arc<lcl_analyze::Analysis>>,
     /// The classification verdict, memoised on first `classify()` call
     /// (it may cost a synthesis attempt, shared with the solve path
     /// through the registry's synthesis cache).
@@ -75,6 +80,7 @@ impl PreparedProblem {
         debug_validation: bool,
         health: Arc<Health>,
         chaos: Option<Arc<ChaosState>>,
+        analysis: Option<Arc<lcl_analyze::Analysis>>,
     ) -> PreparedProblem {
         PreparedProblem {
             spec,
@@ -87,6 +93,7 @@ impl PreparedProblem {
             debug_validation,
             health,
             chaos,
+            analysis,
             classification: OnceLock::new(),
         }
     }
@@ -108,6 +115,15 @@ impl PreparedProblem {
     /// problem has registered solvers on).
     pub fn solver_names(&self) -> Vec<&str> {
         self.plan.iter().map(|s| s.name()).collect()
+    }
+
+    /// The memoised [`lcl-analyze`](lcl_analyze) report for the
+    /// problem's block table — spans included when the spec was compiled
+    /// from `lcl-lang` source, span-free when the engine analysed a raw
+    /// table at prepare time. `None` for problems without a block normal
+    /// form (corner coordination, MIS powers).
+    pub fn analysis(&self) -> Option<&lcl_analyze::Analysis> {
+        self.analysis.as_deref()
     }
 
     /// Solves one instance on any supported topology.
@@ -165,6 +181,23 @@ impl PreparedProblem {
                     self.spec.name(),
                     self.spec.home_topology()
                 ),
+            });
+        }
+        // L002 short-circuit: a statically-unsolvable verdict from the
+        // prepare-time analysis — the arc-consistency closure emptied
+        // the allowed-block set, certificate in `analysis()` — is the
+        // exact verdict the SAT tier would reach, returned here with
+        // zero solver invocations. 2-d tori only: the certificate
+        // argument lives in the 2×2 block semantics.
+        if topology == Topology::Torus2
+            && self
+                .analysis
+                .as_ref()
+                .is_some_and(|a| a.unsolvable().is_some())
+        {
+            return Err(SolveError::Unsolvable {
+                problem: self.spec.name().to_string(),
+                dims: inst.dims(),
             });
         }
         let side = inst.min_side();
@@ -237,6 +270,16 @@ impl PreparedProblem {
                             .report
                             .with_detail("fallback_from", tier)
                             .with_detail("fallback_elapsed_ms", elapsed.as_millis());
+                    }
+                    // L003: record that the O(1) tier was predicted by
+                    // the static analysis, not discovered by the walk.
+                    if name == "constant"
+                        && self
+                            .analysis
+                            .as_ref()
+                            .is_some_and(|a| a.constant_label().is_some())
+                    {
+                        labelling.report = labelling.report.with_detail("analysis", "L003");
                     }
                     return Ok(labelling);
                 }
@@ -442,6 +485,15 @@ impl PreparedProblem {
             return Ok(GridClass::LogStar);
         }
         if self.spec.grid_problem().is_none() {
+            return Ok(GridClass::Global);
+        }
+        // L002: synthesis tiles a valid labelling, which a
+        // statically-unsolvable problem has none of — skip the search.
+        if self
+            .analysis
+            .as_ref()
+            .is_some_and(|a| a.unsolvable().is_some())
+        {
             return Ok(GridClass::Global);
         }
         match self

@@ -497,8 +497,10 @@ impl Registry {
             }
         }
         // SAT existence: exact for every n, Θ(n) rounds, small alphabets
-        // only for the generic encoder (≤ 16).
-        let sat_encodable = !matches!(problem, GridProblem::Block(b) if b.alphabet() > 16);
+        // only for the generic encoder (≤ 16 *live* labels — dead ones
+        // get no variables, so a pruned table may be encodable even when
+        // the declared alphabet is not).
+        let sat_encodable = !matches!(problem, GridProblem::Block(b) if b.live_labels().len() > 16);
         if sat_encodable {
             plan.push(Box::new(SatExistenceSolver {
                 problem: spec.name().to_string(),

@@ -14,6 +14,7 @@
 
 use super::instance::Instance;
 use lcl_algorithms::corner;
+use lcl_analyze::Analysis;
 use lcl_core::lcl::{Block, BlockLcl};
 use lcl_core::problems::{self, XSet};
 use lcl_core::{GridProblem, Label, Violation};
@@ -21,6 +22,7 @@ use lcl_grid::{Metric, Torus2, TorusD};
 use lcl_lang::LangError;
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 
 /// The topology an instance (or a problem family) lives on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -72,6 +74,10 @@ enum SpecKind {
 pub struct ProblemSpec {
     name: String,
     kind: SpecKind,
+    /// The static analysis attached at construction (DSL paths carry a
+    /// span-bearing one; the engine computes a span-free one at
+    /// `prepare` time for raw block specs).
+    analysis: Option<Arc<Analysis>>,
 }
 
 impl ProblemSpec {
@@ -101,6 +107,7 @@ impl ProblemSpec {
         ProblemSpec {
             name: "mis-with-pointers".to_string(),
             kind: SpecKind::Grid(problems::mis_with_pointers()),
+            analysis: None,
         }
     }
 
@@ -109,6 +116,7 @@ impl ProblemSpec {
         ProblemSpec {
             name: "independent-set".to_string(),
             kind: SpecKind::Grid(problems::independent_set()),
+            analysis: None,
         }
     }
 
@@ -128,6 +136,7 @@ impl ProblemSpec {
         ProblemSpec {
             name: format!("mis-power-{tag}-{k}"),
             kind: SpecKind::MisPower { metric, k },
+            analysis: None,
         }
     }
 
@@ -136,6 +145,7 @@ impl ProblemSpec {
         ProblemSpec {
             name: "corner-coordination".to_string(),
             kind: SpecKind::Corner,
+            analysis: None,
         }
     }
 
@@ -144,6 +154,7 @@ impl ProblemSpec {
         ProblemSpec {
             name: name.into(),
             kind: SpecKind::Grid(GridProblem::Block(lcl)),
+            analysis: None,
         }
     }
 
@@ -173,7 +184,16 @@ impl ProblemSpec {
     /// }));
     /// ```
     pub fn compile(src: &str) -> Result<ProblemSpec, LangError> {
-        Ok(ProblemSpec::compiled(&lcl_lang::compile(src)?))
+        // The combined front door of lcl-analyze: parse + compile + the
+        // full static analysis (AST-level passes included, so shadowed
+        // clauses and pruned source labels carry their spans).
+        let out = lcl_analyze::compile(src)?;
+        let mut spec = ProblemSpec::block(
+            out.compiled.name().to_string(),
+            out.compiled.block_lcl().clone(),
+        );
+        spec.analysis = Some(Arc::new(out.analysis));
+        Ok(spec)
     }
 
     /// Reads and [`compile`](ProblemSpec::compile)s an `.lcl` source file;
@@ -188,7 +208,10 @@ impl ProblemSpec {
     /// Wraps an already-compiled [`lcl_lang::CompiledLcl`] under its
     /// source-declared name.
     pub fn compiled(compiled: &lcl_lang::CompiledLcl) -> ProblemSpec {
-        ProblemSpec::block(compiled.name().to_string(), compiled.block_lcl().clone())
+        let mut spec =
+            ProblemSpec::block(compiled.name().to_string(), compiled.block_lcl().clone());
+        spec.analysis = Some(Arc::new(lcl_analyze::analyze_compiled(compiled)));
+        spec
     }
 
     /// Wraps any [`GridProblem`] under its canonical name.
@@ -196,12 +219,23 @@ impl ProblemSpec {
         ProblemSpec {
             name: problem.name(),
             kind: SpecKind::Grid(problem),
+            analysis: None,
         }
     }
 
     /// The stable problem name (also the registry and cache key).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The [`lcl-analyze`](lcl_analyze) static analysis attached to this
+    /// spec. Every DSL-compiled spec ([`ProblemSpec::compile`] /
+    /// [`ProblemSpec::compiled`]) carries a span-bearing one from
+    /// construction; raw block specs start without and gain a span-free
+    /// one when the engine prepares them
+    /// ([`PreparedProblem::analysis`](super::PreparedProblem::analysis)).
+    pub fn analysis(&self) -> Option<&Arc<Analysis>> {
+        self.analysis.as_ref()
     }
 
     /// The problem's home topology: where its canonical definition lives

@@ -109,6 +109,7 @@
 //! for *solving grid LCLs*, the engine is the documented way in. See
 //! DESIGN.md for the architecture and the solver escalation scheme.
 
+#![forbid(unsafe_code)]
 pub mod engine;
 
 pub use engine::{
@@ -117,6 +118,7 @@ pub use engine::{
 };
 
 pub use lcl_algorithms as algorithms;
+pub use lcl_analyze as analyze;
 pub use lcl_core as core;
 pub use lcl_grid as grid;
 pub use lcl_lang as lang;
