@@ -310,17 +310,24 @@ pub fn synthesize_auto_budgeted(
     max_k: usize,
     budget: &Budget,
 ) -> Result<Option<SynthesizedAlgorithm>, BudgetExceeded> {
+    // The deepening loop is the synthesis "fixpoint": trace it with the
+    // number of (k, shape) attempts and the k that finally succeeded.
+    let mut span = lcl_trace::span(lcl_trace::SpanKind::Synthesis, "synthesize-auto");
+    let mut attempts = 0u64;
     for k in 1..=max_k {
         let shapes = [
             TileShape::new(2 * k + 1, (2 * k - 1).max(2)),
             TileShape::new(2 * k + 1, 2 * k + 1),
         ];
         for shape in shapes {
+            attempts += 1;
             if let Some(a) = synthesize_budgeted(problem, &SynthesisConfig { k, shape }, budget)? {
+                span.counters([attempts, 0, k as u64, 0]);
                 return Ok(Some(a));
             }
         }
     }
+    span.counters([attempts, 0, 0, 0]);
     Ok(None)
 }
 

@@ -145,6 +145,10 @@ impl Simulator {
     ) -> Result<SimulationRun<P::Output>, SimulationError> {
         let n = graph.node_count();
         assert_eq!(ids.len(), n, "one identifier per node required");
+        // One span per run (not per round): the round loop's
+        // no-allocation guarantee is untouched, and the span's counters
+        // surface the same numbers the `Rounds` ledger reports.
+        let mut span = lcl_trace::span(lcl_trace::SpanKind::Simulator, "simulate");
 
         // Topology setup, paid once: the CSR adjacency view (slot `i` of
         // node `v` is its port `i`) and, per slot, the reverse port on the
@@ -180,6 +184,7 @@ impl Simulator {
         for round in 1..=self.max_rounds {
             if !unlimited {
                 if let Err(cause) = budget.charge(n as u64) {
+                    span.counters([round - 1, n as u64, 0, 0]);
                     return Err(SimulationError::BudgetExceeded {
                         rounds: round - 1,
                         cause,
@@ -201,6 +206,7 @@ impl Simulator {
                 }
             }
             if done == n {
+                span.counters([round, n as u64, 0, 0]);
                 return Ok(SimulationRun {
                     outputs: outputs.into_iter().map(Option::unwrap).collect(),
                     rounds: round,
@@ -221,6 +227,7 @@ impl Simulator {
             }
             std::mem::swap(&mut inbox, &mut inbox_next);
         }
+        span.counters([self.max_rounds, n as u64, 0, 0]);
         Err(SimulationError::RoundLimitExceeded {
             limit: self.max_rounds,
             unfinished: n - done,

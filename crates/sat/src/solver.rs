@@ -177,6 +177,8 @@ pub struct Solver {
     decisions: u64,
     /// Statistics: literals propagated.
     propagations: u64,
+    /// Statistics: clauses learned from conflict analysis.
+    learned: u64,
 }
 
 impl Default for Solver {
@@ -214,6 +216,7 @@ impl Solver {
             conflicts: 0,
             decisions: 0,
             propagations: 0,
+            learned: 0,
         }
     }
 
@@ -258,6 +261,22 @@ impl Solver {
     /// Literals propagated so far.
     pub fn propagations(&self) -> u64 {
         self.propagations
+    }
+
+    /// Clauses learned from conflict analysis so far (unit learnts
+    /// included).
+    pub fn learned(&self) -> u64 {
+        self.learned
+    }
+
+    /// The solver's cumulative work counters as a typed cost ledger.
+    pub fn cost(&self) -> lcl_trace::SolverCost {
+        lcl_trace::SolverCost {
+            decisions: self.decisions,
+            propagations: self.propagations,
+            conflicts: self.conflicts,
+            learned: self.learned,
+        }
     }
 
     /// Sets the initial branching phase of a variable (the polarity tried
@@ -526,6 +545,26 @@ impl Solver {
     /// trip the solver returns early with the partial search state
     /// intact; the instance can be re-solved with a larger budget.
     pub fn solve_budgeted(&mut self, budget: &Budget) -> Result<SolveOutcome, BudgetExceeded> {
+        // Trace wrapper: attribute this call's counter deltas to a SAT
+        // span and charge them into the thread's pending solver-cost
+        // ledger, so the engine's tier walk can bill the work to the
+        // tier that caused it. Near-free when tracing is off: the span
+        // is one atomic load, the ledger a `Cell` update.
+        let before = self.cost();
+        let mut span = lcl_trace::span(lcl_trace::SpanKind::Sat, "sat-solve");
+        let result = self.run_cdcl(budget);
+        let mut delta = self.cost();
+        delta.decisions -= before.decisions;
+        delta.propagations -= before.propagations;
+        delta.conflicts -= before.conflicts;
+        delta.learned -= before.learned;
+        lcl_trace::charge_solver(delta);
+        span.counters(delta.counters());
+        result
+    }
+
+    /// The CDCL main loop behind [`Solver::solve_budgeted`].
+    fn run_cdcl(&mut self, budget: &Budget) -> Result<SolveOutcome, BudgetExceeded> {
         if self.trivially_unsat {
             return Ok(SolveOutcome::Unsat);
         }
@@ -551,6 +590,7 @@ impl Solver {
                         return Ok(SolveOutcome::Unsat);
                     }
                     let (learnt, backjump) = self.analyze(confl);
+                    self.learned += 1;
                     self.backtrack(backjump);
                     let asserting = learnt[0];
                     if learnt.len() == 1 {

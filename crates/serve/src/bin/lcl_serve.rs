@@ -6,7 +6,8 @@
 //!           [--engine-threads N] [--max-batch-jobs N]
 //!           [--max-instance-nodes N] [--max-tenants N]
 //!           [--default-deadline-ms N] [--chaos-seed N]
-//!           [--port-file PATH]
+//!           [--trace-sample-rate F] [--slow-ms N]
+//!           [--log-level off|info|debug] [--port-file PATH]
 //! ```
 //!
 //! `--port-file` writes the bound `host:port` to a file once the socket
@@ -17,9 +18,14 @@
 //! battery (DESIGN.md §10): disk-cache I/O errors, solver panics,
 //! artificial latency, and poisoned dedup entries, all scheduled purely
 //! by the seed. Off by default; never arm it in production.
+//!
+//! `--trace-sample-rate` / `--slow-ms` enable span tracing (DESIGN.md
+//! §12): sampled and slow requests are captured and served back at
+//! `GET /trace/<id>` as Chrome Trace JSON. `--log-level` turns on
+//! JSON-lines request logging to stderr.
 
 use lcl_grids::engine::ChaosConfig;
-use lcl_serve::{ServeConfig, Server};
+use lcl_serve::{LogLevel, ServeConfig, Server};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -51,6 +57,23 @@ fn main() -> ExitCode {
                     .map(|seed| config.chaos = Some(ChaosConfig::from_seed(seed)))
                     .map_err(|_| format!("'{v}' is not a non-negative integer"))
             }),
+            "--trace-sample-rate" => value("--trace-sample-rate").and_then(|v| {
+                v.parse::<f64>()
+                    .ok()
+                    .filter(|rate| (0.0..=1.0).contains(rate))
+                    .map(|rate| config.trace_sample_rate = rate)
+                    .ok_or_else(|| format!("'{v}' is not a sample rate in 0.0..=1.0"))
+            }),
+            "--slow-ms" => value("--slow-ms").and_then(|v| {
+                v.parse::<u64>()
+                    .map(|ms| config.slow_ms = Some(ms))
+                    .map_err(|_| format!("'{v}' is not a non-negative integer"))
+            }),
+            "--log-level" => value("--log-level").and_then(|v| {
+                LogLevel::parse(&v)
+                    .map(|level| config.log_level = level)
+                    .ok_or_else(|| format!("'{v}' is not off|info|debug"))
+            }),
             "--port-file" => value("--port-file").map(|v| port_file = Some(v)),
             "--help" | "-h" => {
                 println!(
@@ -66,6 +89,9 @@ fn main() -> ExitCode {
                      \x20 --max-tenants N         tenant namespace cap (default 64)\n\
                      \x20 --default-deadline-ms N deadline for requests naming none (default: unlimited)\n\
                      \x20 --chaos-seed N          arm deterministic fault injection (default: off)\n\
+                     \x20 --trace-sample-rate F   capture this fraction of request traces (default 0.0)\n\
+                     \x20 --slow-ms N             also capture requests slower than N ms (default: off)\n\
+                     \x20 --log-level LEVEL       request logging to stderr: off|info|debug (default off)\n\
                      \x20 --port-file PATH        write the bound address here once live"
                 );
                 return ExitCode::SUCCESS;

@@ -241,6 +241,18 @@ fn main() -> ExitCode {
         None
     };
 
+    // Traces the server retained from this run (non-empty only when it
+    // runs with --trace-sample-rate or --slow-ms); reported so the
+    // trace-smoke CI job can assert capture happened under load.
+    let traces_retained = request(&addr, "GET", "/trace/recent", "")
+        .ok()
+        .filter(|(status, _, _)| *status == 200)
+        .and_then(|(_, body, _)| Json::parse(&body).ok())
+        .and_then(|doc| {
+            doc.get("traces")
+                .and_then(|t| t.as_arr().map(<[Json]>::len))
+        });
+
     if opts.shutdown || spawned.is_some() {
         let _ = request(&addr, "POST", "/shutdown", "{}");
     }
@@ -302,6 +314,10 @@ fn main() -> ExitCode {
         (
             "flood_busy_responses",
             flood_busy.map_or(Json::Null, Json::size),
+        ),
+        (
+            "traces_retained",
+            traces_retained.map_or(Json::Null, Json::size),
         ),
     ]);
     if let Err(e) = std::fs::write(&opts.out, format!("{report}\n")) {

@@ -246,7 +246,9 @@ pub fn read_request(
 }
 
 /// Writes one response and flushes. Every response carries
-/// `Connection: close`; the caller drops the stream afterwards.
+/// `Connection: close`; the caller drops the stream afterwards. The
+/// default `content-type: application/json` yields to a `content-type`
+/// in `extra_headers` (the Prometheus exposition is `text/plain`).
 pub fn write_response(
     stream: &mut impl Write,
     status: u16,
@@ -255,9 +257,15 @@ pub fn write_response(
     body: &str,
 ) -> io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        "HTTP/1.1 {status} {reason}\r\ncontent-length: {}\r\nconnection: close\r\n",
         body.len()
     );
+    if !extra_headers
+        .iter()
+        .any(|(name, _)| name.eq_ignore_ascii_case("content-type"))
+    {
+        head.push_str("content-type: application/json\r\n");
+    }
     for (name, value) in extra_headers {
         head.push_str(name);
         head.push_str(": ");
@@ -324,6 +332,23 @@ mod tests {
         assert!(text.contains("content-length: 2\r\n"));
         assert!(text.contains("connection: close\r\n"));
         assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("content-type: application/json\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn extra_content_type_overrides_the_default() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            200,
+            "OK",
+            &[("content-type", "text/plain; version=0.0.4")],
+            "x 1\n",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("content-type: text/plain; version=0.0.4\r\n"));
+        assert!(!text.contains("application/json"));
     }
 }

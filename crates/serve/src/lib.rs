@@ -22,8 +22,23 @@
 //!   keys it prepared itself.
 //! * **Observability** — `GET /metrics` surfaces per-endpoint latency
 //!   histograms (p50/p99), queue depth and rejection counts, the
-//!   engine's prepare/synthesis/dedup counters, and per-problem solve
-//!   rows.
+//!   engine's prepare/synthesis/dedup counters, per-problem solve rows,
+//!   and a `build` block (version, features, thread/core counts); the
+//!   same counters export as the Prometheus text format at
+//!   `GET /metrics?format=prometheus` (or via `Accept: text/plain`).
+//! * **Request tracing** — every request gets an `x-trace-id` (the
+//!   client's, or minted), echoed in the response. With
+//!   [`ServeConfig::trace_sample_rate`] > 0 (or
+//!   [`ServeConfig::slow_ms`] set) the engine's span instrumentation is
+//!   enabled and sampled/slow requests are captured into a bounded LRU:
+//!   `GET /trace/recent` lists them, `GET /trace/<id>` serves one as a
+//!   Chrome Trace Event document you can open in `chrome://tracing` or
+//!   Perfetto. Solve responses carry the per-tier `cost` ledger
+//!   (wall time plus SAT decisions/propagations/conflicts/learned).
+//! * **Request logging** — optional JSON-lines to stderr
+//!   ([`ServeConfig::log_level`], default off): one line per request
+//!   with trace id, tenant, endpoint, status, latency, and solver tier;
+//!   request bodies are never logged.
 //! * **Graceful shutdown** — `POST /shutdown` (or [`Server::shutdown`])
 //!   stops accepting and drains every admitted request before the
 //!   process exits.
@@ -56,14 +71,21 @@
 //! server.wait();
 //! ```
 //!
-//! The same protocol from the shell, against the `lcl-serve` binary:
+//! The same protocol from the shell, against the `lcl-serve` binary —
+//! including pulling a request trace and opening it in a browser:
 //!
 //! ```text
-//! $ lcl-serve --addr 127.0.0.1:7171 &
+//! $ lcl-serve --addr 127.0.0.1:7171 --trace-sample-rate 1.0 &
 //! $ curl -s localhost:7171/classify -d \
 //!     '{"problem":{"type":"orientation","degrees":[1,3,4]}}'
 //! {"problem":"orientation-1-3-4","class":"log-star"}
-//! $ curl -s localhost:7171/metrics | head -c 80
+//! $ curl -s localhost:7171/solve -H 'x-trace-id: beef' -d \
+//!     '{"problem":{"type":"vertex-colouring","k":4},
+//!       "instance":{"topology":"torus2","side":8}}' | head -c 80
+//! $ curl -s localhost:7171/trace/recent
+//! $ curl -s localhost:7171/trace/beef > trace.json   # open in
+//! $ # chrome://tracing or https://ui.perfetto.dev
+//! $ curl -s 'localhost:7171/metrics?format=prometheus' | head -4
 //! $ curl -s -X POST localhost:7171/shutdown
 //! ```
 //!
@@ -75,10 +97,14 @@
 pub mod api;
 pub mod http;
 pub mod json;
+pub mod logging;
 pub mod metrics;
 pub mod server;
+pub mod trace_store;
 
 pub use api::ApiError;
 pub use json::{Json, JsonError};
+pub use logging::LogLevel;
 pub use metrics::{Histogram, Metrics};
 pub use server::{ServeConfig, Server};
+pub use trace_store::{StoredTrace, TraceStore};

@@ -1,0 +1,141 @@
+//! Structured request logging: one JSON line per finished request on
+//! stderr, off by default (`--log-level off|info|debug`).
+//!
+//! The line carries routing facts only — trace id, tenant, endpoint,
+//! status, latency, and the solver tier that answered a solve. Request
+//! *bodies* are never logged at any level: they are client data (DSL
+//! sources, instances) and stderr is often shipped to log aggregators.
+//!
+//! Endpoint handlers run on the worker thread that owns the connection,
+//! one request at a time, so the per-request context (tenant, solver) is
+//! a thread-local the handlers fill in as they learn the facts and the
+//! connection loop drains when it writes the line.
+
+use crate::json::Json;
+use std::cell::RefCell;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// How much the service writes to stderr per request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// No request logging (the default).
+    #[default]
+    Off,
+    /// One JSON line per request: trace id, tenant, endpoint, status,
+    /// latency, solver tier.
+    Info,
+    /// `info` plus the request method, body size, and whether the
+    /// request's trace was captured.
+    Debug,
+}
+
+impl LogLevel {
+    /// Parses a `--log-level` flag value.
+    pub fn parse(value: &str) -> Option<LogLevel> {
+        match value {
+            "off" => Some(LogLevel::Off),
+            "info" => Some(LogLevel::Info),
+            "debug" => Some(LogLevel::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// Per-request facts the endpoint handlers learn mid-flight.
+#[derive(Default)]
+struct ReqCtx {
+    tenant: Option<String>,
+    solver: Option<String>,
+}
+
+thread_local! {
+    static CTX: RefCell<ReqCtx> = RefCell::new(ReqCtx::default());
+}
+
+/// Clears the per-request context; the connection loop calls this before
+/// routing so one request's facts never leak into the next.
+pub(crate) fn reset() {
+    CTX.with(|ctx| *ctx.borrow_mut() = ReqCtx::default());
+}
+
+/// Records the tenant a request resolved to.
+pub(crate) fn set_tenant(tenant: &str) {
+    CTX.with(|ctx| ctx.borrow_mut().tenant = Some(tenant.to_string()));
+}
+
+/// Records the solver tier that answered a solve.
+pub(crate) fn set_solver(solver: &str) {
+    CTX.with(|ctx| ctx.borrow_mut().solver = Some(solver.to_string()));
+}
+
+/// Everything the connection loop knows about a finished request.
+pub(crate) struct RequestLine<'a> {
+    pub trace_id: &'a str,
+    pub method: &'a str,
+    pub endpoint: &'a str,
+    pub status: u16,
+    pub latency_us: u64,
+    pub body_bytes: usize,
+    pub captured: bool,
+}
+
+/// Writes the request's JSON line to stderr (and drains the per-request
+/// context) when the level asks for it.
+pub(crate) fn emit(level: LogLevel, line: &RequestLine<'_>) {
+    let ctx = CTX.with(|ctx| std::mem::take(&mut *ctx.borrow_mut()));
+    if level < LogLevel::Info {
+        return;
+    }
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX));
+    let mut fields = vec![
+        ("ts_ms", Json::count(ts_ms)),
+        ("trace_id", Json::str(line.trace_id)),
+        ("endpoint", Json::str(line.endpoint)),
+        ("status", Json::count(u64::from(line.status))),
+        ("latency_us", Json::count(line.latency_us)),
+        (
+            "tenant",
+            ctx.tenant.as_deref().map_or(Json::Null, Json::str),
+        ),
+        (
+            "solver",
+            ctx.solver.as_deref().map_or(Json::Null, Json::str),
+        ),
+    ];
+    if level >= LogLevel::Debug {
+        fields.push(("method", Json::str(line.method)));
+        fields.push(("body_bytes", Json::size(line.body_bytes)));
+        fields.push(("trace_captured", Json::Bool(line.captured)));
+    }
+    eprintln!("{}", Json::obj(fields));
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(LogLevel::parse("off"), Some(LogLevel::Off));
+        assert_eq!(LogLevel::parse("info"), Some(LogLevel::Info));
+        assert_eq!(LogLevel::parse("debug"), Some(LogLevel::Debug));
+        assert_eq!(LogLevel::parse("verbose"), None);
+        assert!(LogLevel::Off < LogLevel::Info && LogLevel::Info < LogLevel::Debug);
+        assert_eq!(LogLevel::default(), LogLevel::Off);
+    }
+
+    #[test]
+    fn context_drains_per_request() {
+        reset();
+        set_tenant("t1");
+        set_solver("sat-existence");
+        let taken = CTX.with(|ctx| std::mem::take(&mut *ctx.borrow_mut()));
+        assert_eq!(taken.tenant.as_deref(), Some("t1"));
+        assert_eq!(taken.solver.as_deref(), Some("sat-existence"));
+        let empty = CTX.with(|ctx| std::mem::take(&mut *ctx.borrow_mut()));
+        assert!(empty.tenant.is_none() && empty.solver.is_none());
+    }
+}

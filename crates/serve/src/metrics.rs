@@ -81,6 +81,26 @@ impl Histogram {
         None
     }
 
+    /// The histogram's bucket upper bounds in microseconds; the final
+    /// implicit bucket is `+Inf`.
+    pub fn bounds() -> &'static [u64] {
+        &BUCKET_BOUNDS_US
+    }
+
+    /// Per-bucket observation counts (*not* cumulative), one entry per
+    /// bound plus the trailing `+Inf` catch-all.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Sum of every recorded observation, in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
     /// Mean latency in microseconds; `None` when empty.
     pub fn mean_us(&self) -> Option<f64> {
         let count = self.count();
@@ -476,6 +496,188 @@ impl Metrics {
             ("tenants", tenants),
         ])
     }
+
+    /// Renders the Prometheus text exposition (version 0.0.4) of the
+    /// same counters `/metrics` serves as JSON: per-endpoint request
+    /// counters by outcome class, the latency histograms in the
+    /// cumulative `_bucket`/`_sum`/`_count` form, admission and engine
+    /// counters, and an `lcl_build_info` info-gauge carrying the crate
+    /// version. Served at `GET /metrics?format=prometheus` (or via
+    /// `Accept: text/plain`).
+    pub fn to_prometheus(&self, engine: &Engine, queue_cap: usize, version: &str) -> String {
+        let mut out = String::with_capacity(4096);
+        let endpoints: [(&str, &EndpointMetrics); 6] = [
+            ("prepare", &self.prepare),
+            ("solve", &self.solve),
+            ("solve_batch", &self.solve_batch),
+            ("classify", &self.classify),
+            ("analyze", &self.analyze),
+            ("other", &self.other),
+        ];
+
+        out.push_str("# HELP lcl_requests_total Finished requests by endpoint and outcome class.\n# TYPE lcl_requests_total counter\n");
+        for (name, ep) in &endpoints {
+            for (class, counter) in [
+                ("ok", &ep.ok),
+                ("client_error", &ep.client_error),
+                ("server_error", &ep.server_error),
+            ] {
+                let n = counter.load(Ordering::Relaxed);
+                out.push_str(&format!(
+                    "lcl_requests_total{{endpoint=\"{name}\",class=\"{class}\"}} {n}\n"
+                ));
+            }
+        }
+
+        out.push_str("# HELP lcl_request_latency_us End-to-end request latency in microseconds.\n# TYPE lcl_request_latency_us histogram\n");
+        for (name, ep) in &endpoints {
+            let mut cumulative = 0u64;
+            for (bound, count) in Histogram::bounds()
+                .iter()
+                .map(|b| Some(*b))
+                .chain(std::iter::once(None))
+                .zip(ep.latency.bucket_counts())
+            {
+                cumulative += count;
+                let le = bound.map_or("+Inf".to_string(), |b| b.to_string());
+                out.push_str(&format!(
+                    "lcl_request_latency_us_bucket{{endpoint=\"{name}\",le=\"{le}\"}} {cumulative}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "lcl_request_latency_us_sum{{endpoint=\"{name}\"}} {}\n",
+                ep.latency.sum_us()
+            ));
+            out.push_str(&format!(
+                "lcl_request_latency_us_count{{endpoint=\"{name}\"}} {}\n",
+                ep.latency.count()
+            ));
+        }
+
+        let gauge = |out: &mut String, name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+            ));
+        };
+        let counter = |out: &mut String, name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        gauge(
+            &mut out,
+            "lcl_queue_depth",
+            "Connections queued or being served.",
+            self.queue_depth.load(Ordering::Relaxed) as u64,
+        );
+        gauge(
+            &mut out,
+            "lcl_queue_cap",
+            "Admission queue bound.",
+            queue_cap as u64,
+        );
+        counter(
+            &mut out,
+            "lcl_busy_rejections_total",
+            "Connections answered 429 at the admission queue.",
+            self.busy_rejections.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "lcl_malformed_requests_total",
+            "Requests that failed HTTP parsing.",
+            self.malformed_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "lcl_tenant_evictions_total",
+            "Tenant namespaces evicted to stay under max_tenants.",
+            self.tenant_evictions.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "lcl_analysis_reports_total",
+            "Analyses folded into the lint counters.",
+            self.analysis_reports.load(Ordering::Relaxed),
+        );
+        out.push_str("# HELP lcl_diagnostics_total Lint diagnostics surfaced, by code.\n# TYPE lcl_diagnostics_total counter\n");
+        for (idx, code) in Code::ALL.iter().enumerate() {
+            out.push_str(&format!(
+                "lcl_diagnostics_total{{code=\"{}\"}} {}\n",
+                code.as_str(),
+                self.diagnostics[idx].load(Ordering::Relaxed)
+            ));
+        }
+
+        let prepare_stats = engine.prepare_stats();
+        let synth_stats = engine.registry().synth_stats();
+        counter(
+            &mut out,
+            "lcl_engine_prepare_hits_total",
+            "Prepared-plan memo hits.",
+            prepare_stats.hits,
+        );
+        counter(
+            &mut out,
+            "lcl_engine_prepare_resolved_total",
+            "Plans resolved (memo misses).",
+            prepare_stats.resolved,
+        );
+        counter(
+            &mut out,
+            "lcl_engine_synth_memory_hits_total",
+            "Synthesis memory-cache hits.",
+            synth_stats.memory_hits,
+        );
+        counter(
+            &mut out,
+            "lcl_engine_synth_disk_hits_total",
+            "Synthesis disk-cache hits.",
+            synth_stats.disk_hits,
+        );
+        counter(
+            &mut out,
+            "lcl_engine_synthesised_total",
+            "Normal forms synthesised from scratch.",
+            synth_stats.synthesised,
+        );
+        gauge(
+            &mut out,
+            "lcl_engine_prepared_plans",
+            "Prepared plans currently memoised.",
+            engine.prepared_plans() as u64,
+        );
+        counter(
+            &mut out,
+            "lcl_engine_stream_dedup_hits_total",
+            "Batch-stream dedup window hits.",
+            engine.stream_dedup_hits(),
+        );
+        let health = engine.health();
+        gauge(
+            &mut out,
+            "lcl_open_breakers",
+            "Solver-tier circuit breakers currently open or half-open.",
+            health.open_breakers() as u64,
+        );
+        counter(
+            &mut out,
+            "lcl_breaker_trips_total",
+            "Solver-tier circuit-breaker trips.",
+            health.breaker_trips(),
+        );
+        gauge(
+            &mut out,
+            "lcl_uptime_seconds",
+            "Seconds since the metrics registry came up.",
+            self.started.elapsed().as_secs(),
+        );
+        out.push_str(&format!(
+            "# HELP lcl_build_info Build metadata as labels; value is always 1.\n# TYPE lcl_build_info gauge\nlcl_build_info{{version=\"{}\"}} 1\n",
+            version.replace(['"', '\\', '\n'], "_")
+        ));
+        out
+    }
 }
 
 #[cfg(test)]
@@ -512,6 +714,38 @@ mod tests {
         m.record_solve("minted-0", false, false);
         let rows = m.per_problem.lock().unwrap();
         assert_eq!(rows.get("minted-0").unwrap().failed, 1);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_parseable_and_consistent() {
+        let m = Metrics::default();
+        m.endpoint("/solve").record(200, 150);
+        m.endpoint("/solve").record(500, 2_000_000);
+        let engine = lcl_grids::engine::Engine::builder()
+            .max_synthesis_k(1)
+            .build();
+        let text = m.to_prometheus(&engine, 64, "1.2.3");
+        // Every line is a comment or `name{labels} integer`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(
+                name.starts_with("lcl_") && value.parse::<u64>().is_ok(),
+                "unparseable exposition line: {line:?}"
+            );
+        }
+        assert!(text.contains("lcl_requests_total{endpoint=\"solve\",class=\"ok\"} 1\n"));
+        assert!(text.contains("lcl_requests_total{endpoint=\"solve\",class=\"server_error\"} 1\n"));
+        // The cumulative +Inf bucket equals _count, and _sum is exact.
+        assert!(text.contains("lcl_request_latency_us_bucket{endpoint=\"solve\",le=\"+Inf\"} 2\n"));
+        assert!(text.contains("lcl_request_latency_us_count{endpoint=\"solve\"} 2\n"));
+        assert!(text.contains("lcl_request_latency_us_sum{endpoint=\"solve\"} 2000150\n"));
+        // Buckets are cumulative: the 300µs bucket already counts the
+        // 150µs observation.
+        assert!(text.contains("lcl_request_latency_us_bucket{endpoint=\"solve\",le=\"300\"} 1\n"));
+        assert!(text.contains("lcl_build_info{version=\"1.2.3\"} 1\n"));
     }
 
     #[test]

@@ -13,9 +13,12 @@
 use crate::api::{parse_instance, parse_problem, solve_error_body, solve_error_status, ApiError};
 use crate::http::{read_request, write_response, Request};
 use crate::json::Json;
+use crate::logging::{self, LogLevel, RequestLine};
 use crate::metrics::Metrics;
+use crate::trace_store::{self, StoredTrace, TraceStore};
 use lcl_grids::core::classify::GridClass;
 use lcl_grids::engine::{Budget, ChaosConfig, Engine, Job, Labelling, PreparedProblem, SolveError};
+use lcl_trace::SpanKind;
 use std::collections::HashMap;
 use std::io::{self, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -71,6 +74,29 @@ pub struct ServeConfig {
     /// Deterministic fault injection, armed at engine build time. `None`
     /// (the default) leaves every chaos hook inert.
     pub chaos: Option<ChaosConfig>,
+    /// Fraction of requests whose span trace is captured for the
+    /// `/trace` endpoints: a deterministic function of the trace id
+    /// (`trace_store::sampled`), so the same id samples identically on
+    /// every replica and every retry. `0.0` (the default) disables the
+    /// sampler; `>= 1.0` captures everything. The trace collector itself
+    /// is enabled only when this is positive or [`ServeConfig::slow_ms`]
+    /// is set — otherwise tracing stays a single disabled-flag branch
+    /// per request.
+    pub trace_sample_rate: f64,
+    /// Capture every request slower than this many milliseconds end to
+    /// end, regardless of the sampler — the "why was that one slow?"
+    /// workflow. `None` (the default) disables slow capture.
+    pub slow_ms: Option<u64>,
+    /// Span ring-buffer capacity (in events) when tracing is enabled;
+    /// the collector drops oldest events beyond it, with an exact
+    /// dropped count surfaced in `/metrics`.
+    pub trace_ring_capacity: usize,
+    /// Most captured traces retained for `GET /trace/<id>`; beyond it,
+    /// least-recently-touched captures are evicted.
+    pub trace_store_capacity: usize,
+    /// Structured JSON-lines request logging to stderr (off by default;
+    /// request bodies are never logged at any level).
+    pub log_level: LogLevel,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +118,11 @@ impl Default for ServeConfig {
             max_synthesis_k: 3,
             default_deadline: None,
             chaos: None,
+            trace_sample_rate: 0.0,
+            slow_ms: None,
+            trace_ring_capacity: 16_384,
+            trace_store_capacity: 64,
+            log_level: LogLevel::Off,
         }
     }
 }
@@ -125,6 +156,10 @@ struct Shared {
     tenant_clock: AtomicU64,
     shutting_down: AtomicBool,
     addr: SocketAddr,
+    /// Captured request traces served by the `/trace` endpoints.
+    traces: TraceStore,
+    /// Sequence for minting trace ids when the client sends none.
+    trace_seq: AtomicU64,
 }
 
 impl Shared {
@@ -282,6 +317,14 @@ impl Server {
             builder = builder.chaos_config(chaos);
         }
         let engine = builder.build();
+        // Tracing costs one ring buffer when any capture path can fire;
+        // otherwise the collector stays disabled and every span site is a
+        // single branch. The collector is process-global (the engine's
+        // instrumentation cannot know about servers), so all servers in
+        // one process share the ring; snapshots are scoped by trace id.
+        if config.trace_sample_rate > 0.0 || config.slow_ms.is_some() {
+            lcl_trace::enable(config.trace_ring_capacity);
+        }
         let shared = Arc::new(Shared {
             engine,
             config: config.clone(),
@@ -290,6 +333,8 @@ impl Server {
             tenant_clock: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
             addr,
+            traces: TraceStore::new(config.trace_store_capacity),
+            trace_seq: AtomicU64::new(0x0005_ca1e_0000),
         });
 
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue_cap);
@@ -426,6 +471,15 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
 /// Serves one connection: one request, one response, close. A panic in
 /// request handling is caught and answered as a 500 so the worker (and
 /// the queue behind it) survives hostile input.
+///
+/// Tracing contract: every routed request gets a trace id (the client's
+/// `x-trace-id` when it parses, minted otherwise), echoed back in the
+/// `x-trace-id` response header. When the collector is enabled, the
+/// request runs under a [`SpanKind::Request`] span carrying that id, so
+/// every engine span the solve walk emits hangs off it; at the end the
+/// snapshot is captured into the trace store when the deterministic
+/// sampler keeps the id or the request was slower than
+/// [`ServeConfig::slow_ms`].
 fn handle_connection(shared: &Shared, mut conn: TcpStream) {
     let started = Instant::now();
     let _ = conn.set_read_timeout(Some(shared.config.read_timeout));
@@ -455,15 +509,34 @@ fn handle_connection(shared: &Shared, mut conn: TcpStream) {
         }
     };
 
-    let target = request.target.clone();
-    let outcome = catch_unwind(AssertUnwindSafe(|| route(shared, &request)));
-    let (status, reason, headers, body): (u16, &str, Vec<(&str, &str)>, String) = match outcome {
-        Ok(Ok((status, body))) => (status, reason_for(status), Vec::new(), body),
-        Ok(Err(err)) => (err.status, reason_for(err.status), Vec::new(), err.body()),
+    let trace_id = trace_store::request_trace_id(request.header("x-trace-id"), &shared.trace_seq);
+    let trace_hex = format!("{trace_id:016x}");
+    let endpoint = endpoint_name(&request.target);
+    logging::reset();
+    let tracing = lcl_trace::is_enabled();
+    if tracing {
+        lcl_trace::set_current_trace(trace_id);
+    }
+    let outcome = {
+        let mut span = lcl_trace::span(SpanKind::Request, endpoint);
+        let outcome = catch_unwind(AssertUnwindSafe(|| route(shared, &request)));
+        let status = match &outcome {
+            Ok(Ok(routed)) => routed.status,
+            Ok(Err(err)) => err.status,
+            Err(_) => 500,
+        };
+        span.count(0, u64::from(status));
+        outcome
+    };
+    if tracing {
+        lcl_trace::set_current_trace(0);
+    }
+    let (status, content_type, body): (u16, &'static str, String) = match outcome {
+        Ok(Ok(routed)) => (routed.status, routed.content_type, routed.body),
+        Ok(Err(err)) => (err.status, "application/json", err.body()),
         Err(_) => (
             500,
-            "Internal Server Error",
-            Vec::new(),
+            "application/json",
             ApiError {
                 status: 500,
                 code: "panic",
@@ -472,9 +545,67 @@ fn handle_connection(shared: &Shared, mut conn: TcpStream) {
             .body(),
         ),
     };
-    record(shared, &target, status, started);
-    let _ = write_response(&mut conn, status, reason, &headers, &body);
+    let wall_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    shared.metrics.endpoint(endpoint).record(status, wall_us);
+    let slow = shared
+        .config
+        .slow_ms
+        .is_some_and(|ms| wall_us > ms.saturating_mul(1000));
+    let mut captured = false;
+    if tracing && (slow || trace_store::sampled(shared.config.trace_sample_rate, trace_id)) {
+        let trace = lcl_trace::snapshot_for(trace_id);
+        if !trace.is_empty() {
+            shared.traces.insert(StoredTrace {
+                trace_id,
+                endpoint,
+                status,
+                wall_us,
+                slow,
+                trace,
+            });
+            captured = true;
+        }
+    }
+    logging::emit(
+        shared.config.log_level,
+        &RequestLine {
+            trace_id: &trace_hex,
+            method: &request.method,
+            endpoint,
+            status,
+            latency_us: wall_us,
+            body_bytes: request.body.len(),
+            captured,
+        },
+    );
+    let _ = write_response(
+        &mut conn,
+        status,
+        reason_for(status),
+        &[("x-trace-id", &trace_hex), ("content-type", content_type)],
+        &body,
+    );
     let _ = conn.flush();
+}
+
+/// The bounded endpoint label a request is traced, logged, and counted
+/// under — never the raw target, which is client-chosen and would grow
+/// the trace-name interner and log cardinality without bound.
+fn endpoint_name(target: &str) -> &'static str {
+    let path = target.split('?').next().unwrap_or(target);
+    match path {
+        "/prepare" => "/prepare",
+        "/solve" => "/solve",
+        "/solve-batch" => "/solve-batch",
+        "/classify" => "/classify",
+        "/analyze" => "/analyze",
+        "/metrics" => "/metrics",
+        "/healthz" => "/healthz",
+        "/shutdown" => "/shutdown",
+        "/trace/recent" => "/trace/recent",
+        _ if path.starts_with("/trace/") => "/trace",
+        _ => "other",
+    }
 }
 
 fn record(shared: &Shared, target: &str, status: u16, started: Instant) {
@@ -498,21 +629,74 @@ fn reason_for(status: u16) -> &'static str {
     }
 }
 
-/// Dispatches one parsed request to its endpoint handler.
-fn route(shared: &Shared, request: &Request) -> Result<(u16, String), ApiError> {
-    match (request.method.as_str(), request.target.as_str()) {
-        ("POST", "/prepare") => endpoint_prepare(shared, request),
-        ("POST", "/solve") => endpoint_solve(shared, request),
-        ("POST", "/solve-batch") => endpoint_solve_batch(shared, request),
-        ("POST", "/classify") => endpoint_classify(shared, request),
-        ("POST", "/analyze") => endpoint_analyze(shared, request),
+/// One routed response: status, body, and the body's content type
+/// (everything is JSON except the Prometheus exposition).
+struct Routed {
+    status: u16,
+    body: String,
+    content_type: &'static str,
+}
+
+impl Routed {
+    fn json(status: u16, body: String) -> Routed {
+        Routed {
+            status,
+            body,
+            content_type: "application/json",
+        }
+    }
+}
+
+/// Dispatches one parsed request to its endpoint handler. The target is
+/// split at `?` so endpoints can carry a query string (`/metrics?format=
+/// prometheus`); paths are matched without it.
+fn route(shared: &Shared, request: &Request) -> Result<Routed, ApiError> {
+    let (path, query) = match request.target.split_once('?') {
+        Some((path, query)) => (path, Some(query)),
+        None => (request.target.as_str(), None),
+    };
+    let json =
+        |r: Result<(u16, String), ApiError>| r.map(|(status, body)| Routed::json(status, body));
+    match (request.method.as_str(), path) {
+        ("POST", "/prepare") => json(endpoint_prepare(shared, request)),
+        ("POST", "/solve") => json(endpoint_solve(shared, request)),
+        ("POST", "/solve-batch") => json(endpoint_solve_batch(shared, request)),
+        ("POST", "/classify") => json(endpoint_classify(shared, request)),
+        ("POST", "/analyze") => json(endpoint_analyze(shared, request)),
         ("GET", "/metrics") => {
-            let doc = shared.metrics.to_json(
-                &shared.engine,
-                shared.config.queue_cap,
-                shared.tenants_json(),
-            );
-            Ok((200, doc.to_string()))
+            // Content negotiation: an explicit `format=` query parameter
+            // wins; otherwise `Accept: text/plain` selects the
+            // Prometheus exposition and the default stays JSON.
+            let format = query.and_then(|q| q.split('&').find_map(|kv| kv.strip_prefix("format=")));
+            let prometheus = match format {
+                Some("prometheus") => true,
+                Some(_) => false,
+                None => request
+                    .header("accept")
+                    .is_some_and(|a| a.contains("text/plain")),
+            };
+            if prometheus {
+                Ok(Routed {
+                    status: 200,
+                    body: shared.metrics.to_prometheus(
+                        &shared.engine,
+                        shared.config.queue_cap,
+                        env!("CARGO_PKG_VERSION"),
+                    ),
+                    content_type: "text/plain; version=0.0.4",
+                })
+            } else {
+                let mut doc = shared.metrics.to_json(
+                    &shared.engine,
+                    shared.config.queue_cap,
+                    shared.tenants_json(),
+                );
+                if let Json::Obj(rows) = &mut doc {
+                    rows.push(("build".to_string(), build_json(shared)));
+                    rows.push(("traces".to_string(), traces_json(shared)));
+                }
+                Ok(Routed::json(200, doc.to_string()))
+            }
         }
         ("GET", "/healthz") => {
             // `ok` is pure liveness (the process answered); `status`
@@ -520,7 +704,7 @@ fn route(shared: &Shared, request: &Request) -> Result<(u16, String), ApiError> 
             // server-side failures dominate recent traffic.
             let open = shared.engine.health().open_breakers();
             let degraded = open > 0 || shared.metrics.fault_rate_exceeded();
-            Ok((
+            Ok(Routed::json(
                 200,
                 Json::obj(vec![
                     ("ok", Json::Bool(true)),
@@ -529,13 +713,18 @@ fn route(shared: &Shared, request: &Request) -> Result<(u16, String), ApiError> 
                         Json::str(if degraded { "degraded" } else { "ok" }),
                     ),
                     ("open_breakers", Json::size(open)),
+                    ("build", build_json(shared)),
                 ])
                 .to_string(),
             ))
         }
+        ("GET", "/trace/recent") => Ok(Routed::json(200, trace_recent_json(shared).to_string())),
+        ("GET", trace_path) if trace_path.starts_with("/trace/") => {
+            endpoint_trace(shared, &trace_path["/trace/".len()..])
+        }
         ("POST", "/shutdown") => {
             shared.request_shutdown();
-            Ok((
+            Ok(Routed::json(
                 200,
                 Json::obj(vec![("draining", Json::Bool(true))]).to_string(),
             ))
@@ -551,6 +740,99 @@ fn route(shared: &Shared, request: &Request) -> Result<(u16, String), ApiError> 
             message: format!("method {} is not supported", request.method),
         }),
     }
+}
+
+/// The `build` block `/healthz` and `/metrics` carry: crate version,
+/// which optional subsystems this process runs with, and the runtime
+/// shape (worker threads, engine threads, cores).
+fn build_json(shared: &Shared) -> Json {
+    let mut features = Vec::new();
+    if lcl_trace::is_enabled() {
+        features.push(Json::str("tracing"));
+    }
+    if shared.config.chaos.is_some() {
+        features.push(Json::str("chaos"));
+    }
+    if shared.config.log_level > LogLevel::Off {
+        features.push(Json::str("request-logging"));
+    }
+    Json::obj(vec![
+        ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+        ("features", Json::Arr(features)),
+        ("workers", Json::size(shared.config.workers.max(1))),
+        ("engine_threads", Json::size(shared.config.engine_threads)),
+        (
+            "cores",
+            Json::size(std::thread::available_parallelism().map_or(1, usize::from)),
+        ),
+    ])
+}
+
+/// The `traces` block in `/metrics`: collector and store accounting.
+fn traces_json(shared: &Shared) -> Json {
+    Json::obj(vec![
+        ("enabled", Json::Bool(lcl_trace::is_enabled())),
+        ("sample_rate", Json::num(shared.config.trace_sample_rate)),
+        ("stored", Json::size(shared.traces.len())),
+        ("captured", Json::count(shared.traces.captured())),
+        ("store_evictions", Json::count(shared.traces.evicted())),
+        ("ring_recorded", Json::count(lcl_trace::recorded())),
+        ("ring_dropped_events", Json::count(lcl_trace::dropped())),
+    ])
+}
+
+/// `GET /trace/recent`: summaries of every retained capture, newest
+/// first.
+fn trace_recent_json(shared: &Shared) -> Json {
+    Json::obj(vec![(
+        "traces",
+        Json::Arr(
+            shared
+                .traces
+                .recent()
+                .into_iter()
+                .map(|(id, endpoint, status, wall_us, slow, events)| {
+                    Json::obj(vec![
+                        ("trace_id", Json::str(format!("{id:016x}"))),
+                        ("endpoint", Json::str(endpoint)),
+                        ("status", Json::count(u64::from(status))),
+                        ("wall_us", Json::count(wall_us)),
+                        ("slow", Json::Bool(slow)),
+                        ("events", Json::size(events)),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+/// `GET /trace/<id>`: the capture as a Chrome Trace Event document —
+/// save the body to a file and load it in `chrome://tracing` or Perfetto
+/// as-is. The request facts ride along as an `otherData` top-level key,
+/// which the format defines for exactly this purpose.
+fn endpoint_trace(shared: &Shared, id_text: &str) -> Result<Routed, ApiError> {
+    let trace_id = trace_store::parse_trace_id(id_text).ok_or_else(|| {
+        ApiError::bad_request("bad-trace-id", format!("'{id_text}' is not a hex trace id"))
+    })?;
+    let stored = shared.traces.get(trace_id).ok_or(ApiError {
+        status: 404,
+        code: "unknown-trace",
+        message: format!(
+            "no captured trace {trace_id:016x} (capture is sampled; see trace_sample_rate and slow_ms)"
+        ),
+    })?;
+    let chrome = stored.trace.to_chrome_json();
+    let meta = Json::obj(vec![
+        ("trace_id", Json::str(format!("{:016x}", stored.trace_id))),
+        ("endpoint", Json::str(stored.endpoint)),
+        ("status", Json::count(u64::from(stored.status))),
+        ("wall_us", Json::count(stored.wall_us)),
+        ("slow", Json::Bool(stored.slow)),
+    ]);
+    // `to_chrome_json` always renders a non-empty object; splice the
+    // metadata in right after its opening brace.
+    let body = format!("{{\"otherData\":{meta},{}", &chrome[1..]);
+    Ok(Routed::json(200, body))
 }
 
 /// Parses the JSON body of a request.
@@ -612,11 +894,14 @@ fn solve_failure_body(err: &SolveError, prepared: &PreparedProblem) -> String {
 /// The tenant a request belongs to: the body's `"tenant"` field wins,
 /// then the `x-tenant` header, then the shared `"public"` namespace.
 fn tenant_of(request: &Request, body: &Json) -> String {
-    body.get("tenant")
+    let tenant = body
+        .get("tenant")
         .and_then(Json::as_str)
         .or_else(|| request.header("x-tenant"))
         .unwrap_or("public")
-        .to_string()
+        .to_string();
+    logging::set_tenant(&tenant);
+    tenant
 }
 
 /// Resolves the plan a job body names: an inline `"problem"` object
@@ -764,6 +1049,33 @@ fn labelling_json(labelling: &Labelling, return_labels: bool) -> Json {
     Json::obj(fields)
 }
 
+/// The solve's cost ledger on the wire: one row per tier the walk
+/// visited, in order, with the SAT work each was billed.
+fn cost_json(cost: &lcl_grids::engine::Cost) -> Json {
+    Json::obj(vec![
+        ("total_us", Json::count(cost.total_us)),
+        (
+            "tiers",
+            Json::Arr(
+                cost.tiers
+                    .iter()
+                    .map(|t| {
+                        Json::obj(vec![
+                            ("tier", Json::str(t.tier.clone())),
+                            ("outcome", Json::str(t.outcome.to_string())),
+                            ("wall_us", Json::count(t.wall_us)),
+                            ("decisions", Json::count(t.solver.decisions)),
+                            ("propagations", Json::count(t.solver.propagations)),
+                            ("conflicts", Json::count(t.solver.conflicts)),
+                            ("learned", Json::count(t.solver.learned)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// Renders one solve failure as a `/solve-batch` row.
 fn error_json(err: &SolveError) -> Json {
     Json::obj(vec![
@@ -791,7 +1103,12 @@ fn endpoint_solve(shared: &Shared, request: &Request) -> Result<(u16, String), A
             shared
                 .metrics
                 .record_solve(&labelling.report.problem, true, false);
-            Ok((200, labelling_json(&labelling, return_labels).to_string()))
+            logging::set_solver(&labelling.report.solver);
+            let mut row = labelling_json(&labelling, return_labels);
+            if let Json::Obj(fields) = &mut row {
+                fields.push(("cost".to_string(), cost_json(&labelling.report.cost)));
+            }
+            Ok((200, row.to_string()))
         }
         Err(err) => {
             shared

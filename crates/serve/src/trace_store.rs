@@ -1,0 +1,278 @@
+//! Request-trace retention: trace-id minting/parsing, the deterministic
+//! sampler, and a bounded LRU of recently captured traces served at
+//! `GET /trace/<id>` and `GET /trace/recent`.
+//!
+//! The store holds *snapshots* ([`lcl_trace::Trace`]), not live ring
+//! state: a worker captures `snapshot_for(trace_id)` at the end of a
+//! sampled (or slow) request and inserts it here. Memory is bounded two
+//! ways — each snapshot is at most the collector's ring capacity, and
+//! the store keeps at most [`ServeConfig::trace_store_capacity`]
+//! entries, evicting least-recently-*touched* traces (a `GET /trace/<id>`
+//! refreshes its entry) beyond that.
+//!
+//! [`ServeConfig::trace_store_capacity`]: crate::ServeConfig::trace_store_capacity
+
+use lcl_trace::Trace;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// One captured request trace plus the request-level facts the trace
+/// endpoints summarise it by.
+#[derive(Clone, Debug)]
+pub struct StoredTrace {
+    /// The request's trace id (canonical form: 16 lower-case hex digits).
+    pub trace_id: u64,
+    /// The endpoint label the request was routed as (`/solve`, …).
+    pub endpoint: &'static str,
+    /// The HTTP status the request was answered with.
+    pub status: u16,
+    /// End-to-end wall time of the request, in microseconds.
+    pub wall_us: u64,
+    /// True when the capture was triggered by the slow-request threshold
+    /// (`ServeConfig::slow_ms`) rather than the sampler.
+    pub slow: bool,
+    /// The span snapshot itself.
+    pub trace: Trace,
+}
+
+struct Entry {
+    stored: StoredTrace,
+    touched: u64,
+}
+
+/// A bounded least-recently-touched store of captured traces.
+pub struct TraceStore {
+    capacity: usize,
+    clock: AtomicU64,
+    entries: Mutex<HashMap<u64, Entry>>,
+    /// Captures discarded to keep the store under its bound.
+    evicted: AtomicU64,
+    /// Captures ever inserted.
+    captured: AtomicU64,
+}
+
+impl TraceStore {
+    /// An empty store keeping at most `capacity` traces (minimum 1).
+    pub fn new(capacity: usize) -> TraceStore {
+        TraceStore {
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
+            entries: Mutex::new(HashMap::new()),
+            evicted: AtomicU64::new(0),
+            captured: AtomicU64::new(0),
+        }
+    }
+
+    /// Inserts a capture, evicting least-recently-touched entries beyond
+    /// the store bound. Re-capturing an id (a client reusing its trace
+    /// id) replaces the previous snapshot.
+    pub fn insert(&self, stored: StoredTrace) {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        self.captured.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        entries.insert(
+            stored.trace_id,
+            Entry {
+                stored,
+                touched: stamp,
+            },
+        );
+        while entries.len() > self.capacity {
+            let victim = entries
+                .iter()
+                .min_by_key(|(_, e)| e.touched)
+                .map(|(id, _)| *id);
+            match victim {
+                Some(id) => {
+                    entries.remove(&id);
+                    self.evicted.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// The capture for a trace id, refreshing its LRU position.
+    pub fn get(&self, trace_id: u64) -> Option<StoredTrace> {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let entry = entries.get_mut(&trace_id)?;
+        entry.touched = stamp;
+        Some(entry.stored.clone())
+    }
+
+    /// Summaries of every retained capture, most recently captured
+    /// first: `(trace_id, endpoint, status, wall_us, slow, events)`.
+    pub fn recent(&self) -> Vec<(u64, &'static str, u16, u64, bool, usize)> {
+        let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut rows: Vec<_> = entries
+            .values()
+            .map(|e| {
+                (
+                    e.touched,
+                    (
+                        e.stored.trace_id,
+                        e.stored.endpoint,
+                        e.stored.status,
+                        e.stored.wall_us,
+                        e.stored.slow,
+                        e.stored.trace.events.len(),
+                    ),
+                )
+            })
+            .collect();
+        rows.sort_by_key(|row| std::cmp::Reverse(row.0));
+        rows.into_iter().map(|(_, row)| row).collect()
+    }
+
+    /// Captures currently retained.
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// True when no capture is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Captures ever inserted.
+    pub fn captured(&self) -> u64 {
+        self.captured.load(Ordering::Relaxed)
+    }
+
+    /// Captures evicted to keep the store bounded.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+}
+
+/// SplitMix64: the finaliser used both to mint trace ids from a
+/// sequence counter and to hash an id into the sampling decision.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Parses a client-supplied `x-trace-id` header value: 1–16 hex digits,
+/// optionally `0x`-prefixed, case-insensitive; zero and malformed values
+/// are rejected (id 0 means "no trace" in the collector).
+pub fn parse_trace_id(value: &str) -> Option<u64> {
+    let text = value.trim();
+    let text = text
+        .strip_prefix("0x")
+        .or_else(|| text.strip_prefix("0X"))
+        .unwrap_or(text);
+    if text.is_empty() || text.len() > 16 {
+        return None;
+    }
+    match u64::from_str_radix(text, 16) {
+        Ok(0) | Err(_) => None,
+        Ok(id) => Some(id),
+    }
+}
+
+/// The request's trace id: the client's `x-trace-id` when it parses,
+/// otherwise a fresh id minted from the server-lifetime sequence
+/// counter (never 0).
+pub fn request_trace_id(header: Option<&str>, seq: &AtomicU64) -> u64 {
+    if let Some(id) = header.and_then(parse_trace_id) {
+        return id;
+    }
+    loop {
+        let minted = splitmix64(seq.fetch_add(1, Ordering::Relaxed));
+        if minted != 0 {
+            return minted;
+        }
+    }
+}
+
+/// Deterministic sampling decision: a pure function of the trace id and
+/// the configured rate, so the same id samples identically on every
+/// replica and every retry. `rate >= 1.0` keeps everything; `<= 0.0`
+/// keeps nothing.
+pub fn sampled(rate: f64, trace_id: u64) -> bool {
+    if rate >= 1.0 {
+        return true;
+    }
+    if rate <= 0.0 {
+        return false;
+    }
+    // 53 uniform bits → [0, 1): exact in f64, no rounding bias.
+    let unit = (splitmix64(trace_id) >> 11) as f64 / (1u64 << 53) as f64;
+    unit < rate
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
+mod tests {
+    use super::*;
+
+    fn capture(id: u64) -> StoredTrace {
+        StoredTrace {
+            trace_id: id,
+            endpoint: "/solve",
+            status: 200,
+            wall_us: 42,
+            slow: false,
+            trace: Trace::default(),
+        }
+    }
+
+    #[test]
+    fn store_is_a_bounded_lru() {
+        let store = TraceStore::new(2);
+        store.insert(capture(1));
+        store.insert(capture(2));
+        // Touch 1 so 2 becomes the eviction victim.
+        assert!(store.get(1).is_some());
+        store.insert(capture(3));
+        assert_eq!(store.len(), 2);
+        assert!(store.get(2).is_none(), "LRU victim survived");
+        assert!(store.get(1).is_some() && store.get(3).is_some());
+        assert_eq!(store.evicted(), 1);
+        assert_eq!(store.captured(), 3);
+        let recent = store.recent();
+        assert_eq!(recent.len(), 2);
+    }
+
+    #[test]
+    fn trace_id_parsing_accepts_hex_rejects_junk() {
+        assert_eq!(parse_trace_id("00ab"), Some(0xab));
+        assert_eq!(parse_trace_id(" 0xDEADBEEF "), Some(0xdead_beef));
+        assert_eq!(parse_trace_id("ffffffffffffffff"), Some(u64::MAX));
+        for junk in ["", "0", "0x0", "xyz", "123456789012345678", "12 34"] {
+            assert_eq!(parse_trace_id(junk), None, "accepted {junk:?}");
+        }
+    }
+
+    #[test]
+    fn minted_ids_are_nonzero_and_distinct() {
+        let seq = AtomicU64::new(0);
+        let a = request_trace_id(None, &seq);
+        let b = request_trace_id(Some("not-hex"), &seq);
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+        assert_eq!(request_trace_id(Some("beef"), &seq), 0xbeef);
+    }
+
+    #[test]
+    fn sampler_is_deterministic_and_tracks_rate() {
+        assert!(sampled(1.0, 7));
+        assert!(!sampled(0.0, 7));
+        let kept = (0u64..10_000).filter(|id| sampled(0.25, *id)).count();
+        assert!(
+            (2_000..3_000).contains(&kept),
+            "0.25 sampler kept {kept}/10000"
+        );
+        for id in 0..100 {
+            assert_eq!(sampled(0.5, id), sampled(0.5, id), "non-deterministic");
+        }
+    }
+}

@@ -65,6 +65,13 @@ fn post_with_header(
 /// Sends raw bytes, reads the whole response (the server closes the
 /// connection after one response), returns (status, body).
 fn raw(addr: SocketAddr, bytes: &str) -> (u16, String) {
+    let (status, _, body) = raw_full(addr, bytes);
+    (status, body)
+}
+
+/// Like [`raw`], but also returns the response head (status line +
+/// headers) so tests can assert on headers like `x-trace-id`.
+fn raw_full(addr: SocketAddr, bytes: &str) -> (u16, String, String) {
     let mut conn = TcpStream::connect(addr).expect("connect");
     conn.set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
@@ -76,11 +83,19 @@ fn raw(addr: SocketAddr, bytes: &str) -> (u16, String) {
         .and_then(|rest| rest.get(..3))
         .and_then(|code| code.parse().ok())
         .expect("status line");
-    let body = response
+    let (head, body) = response
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    (status, body)
+        .map(|(h, b)| (h.to_string(), b.to_string()))
+        .unwrap_or((response, String::new()));
+    (status, head, body)
+}
+
+/// The value of a response header (lower-cased names), if present.
+fn header_value(head: &str, name: &str) -> Option<String> {
+    head.lines().find_map(|line| {
+        let (n, v) = line.split_once(':')?;
+        n.eq_ignore_ascii_case(name).then(|| v.trim().to_string())
+    })
 }
 
 #[test]
@@ -920,6 +935,230 @@ fn prepare_reports_diagnostics_and_metrics_count_codes() {
         "{body}"
     );
 
+    server.shutdown();
+    server.wait();
+}
+
+/// A server with tracing armed: sample everything, tiny plan budget.
+fn traced_server(sample_rate: f64, slow_ms: Option<u64>) -> Server {
+    Server::start(ServeConfig {
+        workers: 2,
+        queue_cap: 16,
+        engine_threads: 1,
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        max_synthesis_k: 1,
+        trace_sample_rate: sample_rate,
+        slow_ms,
+        ..ServeConfig::default()
+    })
+    .expect("bind traced server")
+}
+
+const SOLVE_BODY: &str = r#"{"problem":{"type":"vertex-colouring","k":4},"instance":{"topology":"torus2","side":8},"return_labels":false}"#;
+
+#[test]
+fn trace_capture_roundtrip() {
+    let server = traced_server(1.0, None);
+    let addr = server.addr();
+
+    // A solve under a client-chosen trace id: the id is echoed in
+    // canonical 16-hex form, and the response carries the cost ledger.
+    let (status, head, body) = raw_full(
+        addr,
+        &format!(
+            "POST /solve HTTP/1.1\r\nx-trace-id: beefcafe\r\ncontent-length: {}\r\n\r\n{SOLVE_BODY}",
+            SOLVE_BODY.len()
+        ),
+    );
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        header_value(&head, "x-trace-id").as_deref(),
+        Some("00000000beefcafe"),
+        "{head}"
+    );
+    let solved = Json::parse(&body).unwrap();
+    let cost = solved.get("cost").expect("solve carries a cost ledger");
+    let tiers = cost.get("tiers").unwrap().as_arr().unwrap();
+    assert!(!tiers.is_empty(), "{body}");
+    assert!(
+        tiers
+            .iter()
+            .any(|t| t.get("outcome").unwrap().as_str() == Some("solved")),
+        "{body}"
+    );
+    // Tier wall times must fit inside the solve's own total.
+    let total_us = cost.get("total_us").unwrap().as_u64().unwrap();
+    let tier_us: u64 = tiers
+        .iter()
+        .map(|t| t.get("wall_us").unwrap().as_u64().unwrap())
+        .sum();
+    assert!(tier_us <= total_us, "{body}");
+
+    // The capture is retrievable as a Chrome Trace document with a
+    // request → tier span tree.
+    let (status, trace_body) = get(addr, "/trace/beefcafe");
+    assert_eq!(status, 200, "{trace_body}");
+    assert!(trace_body.contains("\"traceEvents\""), "{trace_body}");
+    assert!(trace_body.contains("\"otherData\""), "{trace_body}");
+    assert!(trace_body.contains("\"cat\":\"request\""), "{trace_body}");
+    assert!(trace_body.contains("\"cat\":\"solve\""), "{trace_body}");
+    assert!(trace_body.contains("\"cat\":\"tier\""), "{trace_body}");
+    let doc = Json::parse(&trace_body).expect("chrome document is JSON");
+    assert_eq!(
+        doc.get("otherData")
+            .unwrap()
+            .get("endpoint")
+            .unwrap()
+            .as_str(),
+        Some("/solve")
+    );
+    assert!(!doc.get("traceEvents").unwrap().as_arr().unwrap().is_empty());
+
+    // /trace/recent lists it, newest first.
+    let (status, recent) = get(addr, "/trace/recent");
+    assert_eq!(status, 200);
+    assert!(recent.contains("00000000beefcafe"), "{recent}");
+
+    // Unknown and malformed ids answer typed errors.
+    assert_eq!(get(addr, "/trace/123456789abcdef1").0, 404);
+    assert_eq!(get(addr, "/trace/not-hex").0, 400);
+
+    // A request without a client id gets a minted one, echoed back.
+    let (_, head, _) = raw_full(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+    let minted = header_value(&head, "x-trace-id").expect("minted id echoed");
+    assert_eq!(minted.len(), 16, "{head}");
+    assert!(minted.chars().all(|c| c.is_ascii_hexdigit()));
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn slow_requests_are_captured_without_sampling() {
+    // Sampler off; every request is slower than 0 ms, so slow capture
+    // takes all of them.
+    let server = traced_server(0.0, Some(0));
+    let addr = server.addr();
+    let (status, body) = post(addr, "/solve", SOLVE_BODY);
+    assert_eq!(status, 200, "{body}");
+    let (status, recent) = get(addr, "/trace/recent");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&recent).unwrap();
+    let rows = doc.get("traces").unwrap().as_arr().unwrap();
+    assert!(!rows.is_empty(), "{recent}");
+    assert!(
+        rows.iter()
+            .any(|r| r.get("slow").unwrap().as_bool() == Some(true)),
+        "{recent}"
+    );
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn prometheus_exposition_negotiates_and_matches_json() {
+    let server = test_server(16, 2);
+    let addr = server.addr();
+    for _ in 0..3 {
+        let (status, body) = post(addr, "/solve", SOLVE_BODY);
+        assert_eq!(status, 200, "{body}");
+    }
+
+    // JSON document: endpoints plus the new build/traces blocks.
+    let (status, json_body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&json_body).unwrap();
+    let solve_count = doc
+        .get("endpoints")
+        .unwrap()
+        .get("solve")
+        .unwrap()
+        .get("latency")
+        .unwrap()
+        .get("count")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert_eq!(solve_count, 3, "{json_body}");
+    let build = doc.get("build").expect("metrics carries a build block");
+    assert_eq!(
+        build.get("version").unwrap().as_str(),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    assert!(build.get("cores").unwrap().as_u64() >= Some(1));
+    assert!(doc.get("traces").is_some(), "{json_body}");
+
+    // The query parameter selects the text exposition.
+    let (status, head, prom) = raw_full(addr, "GET /metrics?format=prometheus HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(
+        header_value(&head, "content-type").is_some_and(|ct| ct.starts_with("text/plain")),
+        "{head}"
+    );
+    // Every exposition line is a comment or `name{labels} integer`, and
+    // the histogram is self-consistent: cumulative +Inf bucket == _count,
+    // matching the JSON count.
+    let mut inf_bucket = None;
+    let mut count = None;
+    for line in prom.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').expect("sample line");
+        assert!(name.starts_with("lcl_"), "bad line: {line:?}");
+        let value: u64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("bad value: {line:?}"));
+        if name == "lcl_request_latency_us_bucket{endpoint=\"solve\",le=\"+Inf\"}" {
+            inf_bucket = Some(value);
+        }
+        if name == "lcl_request_latency_us_count{endpoint=\"solve\"}" {
+            count = Some(value);
+        }
+    }
+    assert_eq!(count, Some(solve_count), "{prom}");
+    assert_eq!(inf_bucket, count, "{prom}");
+    assert!(
+        prom.contains(&format!(
+            "lcl_build_info{{version=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION")
+        )),
+        "{prom}"
+    );
+
+    // Accept-header negotiation picks the exposition too; an explicit
+    // format=json wins over Accept.
+    let (_, _, via_accept) = raw_full(addr, "GET /metrics HTTP/1.1\r\naccept: text/plain\r\n\r\n");
+    assert!(via_accept.starts_with("# HELP"), "{via_accept}");
+    let (_, head, via_param) = raw_full(
+        addr,
+        "GET /metrics?format=json HTTP/1.1\r\naccept: text/plain\r\n\r\n",
+    );
+    assert!(via_param.starts_with('{'), "{via_param}");
+    assert!(
+        header_value(&head, "content-type").is_some_and(|ct| ct.starts_with("application/json")),
+        "{head}"
+    );
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn healthz_carries_build_block() {
+    let server = test_server(8, 1);
+    let addr = server.addr();
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&body).unwrap();
+    let build = doc.get("build").expect("healthz carries a build block");
+    assert_eq!(
+        build.get("version").unwrap().as_str(),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    assert!(build.get("features").unwrap().as_arr().is_some());
+    assert!(build.get("workers").unwrap().as_u64() >= Some(1));
     server.shutdown();
     server.wait();
 }

@@ -1,0 +1,429 @@
+//! The bounded ring-buffer collector: wait-free writers, torn-read
+//! detection, exact drop accounting — in safe Rust.
+//!
+//! Each event is one fixed-size slot of `AtomicU64` words guarded by a
+//! per-slot sequence counter (a seqlock). A writer claims a slot with a
+//! single `fetch_add` on the ring head — wait-free, no CAS loop — then
+//! stores the words and flips the sequence from *odd* (write in
+//! progress) to *even* (complete). A reader snapshots the sequence,
+//! the words, and the sequence again, and skips the slot on any
+//! mismatch; because every store is an atomic word there is no `unsafe`
+//! and a lost race costs at most one skipped diagnostic event, never
+//! undefined behaviour. When the ring wraps, the oldest slots are
+//! overwritten and [`Collector::dropped`] reports exactly how many
+//! events were lost: `recorded − capacity`, clamped at zero.
+
+use crate::span::SpanKind;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Words per slot: span id, parent id, trace id, kind｜name, start,
+/// end, and four counters.
+const SLOT_WORDS: usize = 10;
+
+/// One recorded event, fully decoded from a ring slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Unique id of the span (process-global, never 0).
+    pub span_id: u64,
+    /// Id of the enclosing span at the time this span opened (0 = root).
+    pub parent_id: u64,
+    /// The request trace this span belongs to (0 = unattributed).
+    pub trace_id: u64,
+    /// What kind of work the span covers.
+    pub kind: SpanKind,
+    /// Interned span name (e.g. the solver tier's name).
+    pub name: String,
+    /// Start timestamp, nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// End timestamp; equals `start_ns` for instant events.
+    pub end_ns: u64,
+    /// Kind-specific counters (see [`SpanKind::counter_names`]).
+    pub counters: [u64; 4],
+}
+
+impl Event {
+    /// The span's duration in nanoseconds (0 for instant events).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// The undecoded wire form of one event, as packed into a slot.
+pub(crate) struct RawEvent {
+    pub span_id: u64,
+    pub parent_id: u64,
+    pub trace_id: u64,
+    pub kind: u32,
+    pub name_id: u32,
+    pub start_ns: u64,
+    pub end_ns: u64,
+    pub counters: [u64; 4],
+}
+
+/// One ring slot: a sequence word plus the event payload words.
+struct Slot {
+    /// `0` = never written; odd = write in progress; even `2k+2` =
+    /// complete write of the ring's `k`-th claimed event.
+    seq: AtomicU64,
+    words: [AtomicU64; SLOT_WORDS],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A bounded ring-buffer event collector. The process-wide instance is
+/// [`global`]; tests construct private ones to pin wraparound
+/// behaviour without cross-test interference.
+pub struct Collector {
+    enabled: AtomicBool,
+    /// Allocated once, on the first [`Collector::enable`]; a disabled
+    /// collector that was never enabled owns no memory at all.
+    slots: OnceLock<Box<[Slot]>>,
+    /// Total events ever claimed (monotonic; `head % capacity` is the
+    /// next slot index).
+    head: AtomicU64,
+}
+
+impl Collector {
+    /// A new, disabled collector. `const` so it can back a `static`.
+    pub const fn new() -> Collector {
+        Collector {
+            enabled: AtomicBool::new(false),
+            slots: OnceLock::new(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Enables collection into a ring of `capacity` events (min 1). The
+    /// ring is allocated on the *first* enable and its capacity is
+    /// fixed for the collector's lifetime; later calls just flip the
+    /// enabled flag back on.
+    pub fn enable(&self, capacity: usize) {
+        self.slots
+            .get_or_init(|| (0..capacity.max(1)).map(|_| Slot::new()).collect());
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Disables collection. Already-recorded events stay readable.
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    /// Whether [`record`](Self::enable) currently accepts events. This
+    /// is the whole cost of a disabled collector: one relaxed load.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Ring capacity in events (0 until first enabled).
+    pub fn capacity(&self) -> usize {
+        self.slots.get().map_or(0, |s| s.len())
+    }
+
+    /// Total events ever recorded (including since-overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Exactly how many events the ring has dropped (overwritten by
+    /// wraparound): `recorded − capacity`, clamped at zero.
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.capacity() as u64)
+    }
+
+    /// Records one event, overwriting the oldest when the ring is full.
+    /// Wait-free: one `fetch_add` plus plain atomic stores.
+    pub(crate) fn record(&self, ev: &RawEvent) {
+        if !self.is_enabled() {
+            return;
+        }
+        let Some(slots) = self.slots.get() else {
+            return;
+        };
+        let claimed = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &slots[(claimed % slots.len() as u64) as usize];
+        // Seqlock write: odd marks the write in progress. Two writers
+        // can only collide on one slot if the ring wraps a full lap
+        // mid-write; the sequence mismatch then voids the slot for
+        // readers rather than serving a torn event.
+        slot.seq.store(2 * claimed + 1, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::Release);
+        let words = [
+            ev.span_id,
+            ev.parent_id,
+            ev.trace_id,
+            (u64::from(ev.kind) << 32) | u64::from(ev.name_id),
+            ev.start_ns,
+            ev.end_ns,
+            ev.counters[0],
+            ev.counters[1],
+            ev.counters[2],
+            ev.counters[3],
+        ];
+        for (cell, word) in slot.words.iter().zip(words) {
+            cell.store(word, Ordering::Relaxed);
+        }
+        slot.seq.store(2 * claimed + 2, Ordering::Release);
+    }
+
+    /// Decodes every completely-written slot, in start-time order.
+    /// Slots mid-write (or overwritten during the read) are skipped —
+    /// a snapshot is always well-formed, never torn.
+    pub fn snapshot_events(&self) -> Vec<Event> {
+        let Some(slots) = self.slots.get() else {
+            return Vec::new();
+        };
+        let names = names_snapshot();
+        let mut events = Vec::new();
+        for slot in slots.iter() {
+            let before = slot.seq.load(Ordering::Acquire);
+            if before == 0 || before % 2 == 1 {
+                continue;
+            }
+            let words: [u64; SLOT_WORDS] =
+                std::array::from_fn(|i| slot.words[i].load(Ordering::Relaxed));
+            std::sync::atomic::fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != before {
+                continue;
+            }
+            let name_id = (words[3] & 0xffff_ffff) as usize;
+            events.push(Event {
+                span_id: words[0],
+                parent_id: words[1],
+                trace_id: words[2],
+                kind: SpanKind::from_u32((words[3] >> 32) as u32),
+                name: names
+                    .get(name_id)
+                    .cloned()
+                    .unwrap_or_else(|| format!("name#{name_id}")),
+                start_ns: words[4],
+                end_ns: words[5],
+                counters: [words[6], words[7], words[8], words[9]],
+            });
+        }
+        events.sort_by_key(|e| (e.start_ns, e.span_id));
+        events
+    }
+}
+
+impl Default for Collector {
+    fn default() -> Collector {
+        Collector::new()
+    }
+}
+
+/// The process-wide collector every [`span`](crate::span)/[`mark`](crate::mark)
+/// records into.
+static GLOBAL: Collector = Collector::new();
+
+/// The process-wide collector instance.
+pub fn global() -> &'static Collector {
+    &GLOBAL
+}
+
+/// Enables the process-wide collector (ring capacity fixed on first
+/// call; see [`Collector::enable`]).
+pub fn enable(capacity: usize) {
+    GLOBAL.enable(capacity);
+}
+
+/// Disables the process-wide collector.
+pub fn disable() {
+    GLOBAL.disable();
+}
+
+/// Whether the process-wide collector is recording.
+#[inline]
+pub fn is_enabled() -> bool {
+    GLOBAL.is_enabled()
+}
+
+/// Total events recorded by the process-wide collector.
+pub fn recorded() -> u64 {
+    GLOBAL.recorded()
+}
+
+/// Events dropped (overwritten) by the process-wide ring.
+pub fn dropped() -> u64 {
+    GLOBAL.dropped()
+}
+
+/// A full snapshot of the process-wide ring.
+pub fn snapshot() -> crate::Trace {
+    crate::Trace {
+        events: GLOBAL.snapshot_events(),
+        dropped: GLOBAL.dropped(),
+    }
+}
+
+/// A snapshot filtered to one request trace id.
+pub fn snapshot_for(trace_id: u64) -> crate::Trace {
+    let mut trace = snapshot();
+    trace.events.retain(|e| e.trace_id == trace_id);
+    trace
+}
+
+/// Span names, interned once per distinct string: ids are indices into
+/// this process-global table, so a u32 fits in half a slot word. The
+/// steady-state set is tiny (tier names plus a dozen fixed labels), so
+/// a linear probe under the lock is cheaper than hashing — and the lock
+/// is only ever touched when tracing is *enabled*.
+static NAMES: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+pub(crate) fn intern(name: &str) -> u32 {
+    let mut names = NAMES.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(i) = names.iter().position(|n| n == name) {
+        return i as u32;
+    }
+    names.push(name.to_string());
+    (names.len() - 1) as u32
+}
+
+fn names_snapshot() -> Vec<String> {
+    NAMES.lock().unwrap_or_else(PoisonError::into_inner).clone()
+}
+
+/// Nanoseconds since the process trace epoch (the first call). A
+/// single monotonic epoch keeps every span in one request on one
+/// comparable timeline.
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Process-global span id mint. Ids start at 1: 0 means "no span".
+pub(crate) fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
+mod tests {
+    use super::*;
+
+    fn raw(i: u64) -> RawEvent {
+        RawEvent {
+            span_id: i + 1,
+            parent_id: 0,
+            trace_id: 42,
+            kind: SpanKind::Mark.into(),
+            name_id: intern("wrap-test"),
+            start_ns: i,
+            end_ns: i,
+            counters: [i, 0, 0, 0],
+        }
+    }
+
+    #[test]
+    fn ring_keeps_everything_until_full() {
+        let c = Collector::new();
+        c.enable(8);
+        for i in 0..8 {
+            c.record(&raw(i));
+        }
+        assert_eq!(c.recorded(), 8);
+        assert_eq!(c.dropped(), 0);
+        assert_eq!(c.snapshot_events().len(), 8);
+    }
+
+    #[test]
+    fn wraparound_drops_oldest_with_exact_accounting() {
+        let c = Collector::new();
+        c.enable(8);
+        for i in 0..21 {
+            c.record(&raw(i));
+        }
+        // 21 recorded into 8 slots: exactly 13 overwritten.
+        assert_eq!(c.recorded(), 21);
+        assert_eq!(c.dropped(), 13);
+        let events = c.snapshot_events();
+        assert_eq!(events.len(), 8);
+        // The survivors are exactly the 8 newest, in order.
+        let starts: Vec<u64> = events.iter().map(|e| e.start_ns).collect();
+        assert_eq!(starts, (13..21).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let c = Collector::new();
+        c.enable(4);
+        c.record(&raw(0));
+        c.disable();
+        c.record(&raw(1));
+        assert_eq!(c.recorded(), 1);
+        assert_eq!(c.snapshot_events().len(), 1);
+        // Re-enabling keeps the original ring and resumes counting.
+        c.enable(4);
+        c.record(&raw(2));
+        assert_eq!(c.recorded(), 2);
+        assert_eq!(c.capacity(), 4);
+    }
+
+    #[test]
+    fn never_enabled_collector_is_inert_and_empty() {
+        let c = Collector::new();
+        c.record(&raw(0));
+        assert_eq!(c.capacity(), 0);
+        assert_eq!(c.recorded(), 0);
+        assert_eq!(c.dropped(), 0);
+        assert!(c.snapshot_events().is_empty());
+    }
+
+    #[test]
+    fn interner_is_stable_per_name() {
+        let a = intern("collector-test-alpha");
+        let b = intern("collector-test-beta");
+        assert_ne!(a, b);
+        assert_eq!(a, intern("collector-test-alpha"));
+        assert_eq!(b, intern("collector-test-beta"));
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear_a_snapshot() {
+        use std::sync::Arc;
+        let c = Arc::new(Collector::new());
+        c.enable(32);
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        c.record(&RawEvent {
+                            span_id: t * 1000 + i,
+                            parent_id: t,
+                            trace_id: t,
+                            kind: SpanKind::Mark.into(),
+                            name_id: 0,
+                            start_ns: i,
+                            end_ns: i,
+                            counters: [t, i, 0, 0],
+                        });
+                    }
+                })
+            })
+            .collect();
+        // Snapshot while the writers hammer the ring: every decoded
+        // event must be internally consistent (counters echo ids).
+        for _ in 0..50 {
+            for e in c.snapshot_events() {
+                assert_eq!(e.counters[0], e.parent_id);
+                assert_eq!(e.trace_id, e.parent_id);
+            }
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(c.recorded(), 2000);
+        assert_eq!(c.dropped(), 2000 - 32);
+    }
+}

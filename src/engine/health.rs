@@ -221,8 +221,11 @@ impl Health {
         self.lock_breakers().values().map(|b| b.trips).sum()
     }
 
-    /// Counts a budget trip in `tier`.
+    /// Counts a budget trip in `tier` (and drops an instant mark on the
+    /// current trace, so timeline views show *where* the walk lost its
+    /// budget).
     pub fn record_timeout(&self, tier: &str) {
+        lcl_trace::mark(lcl_trace::SpanKind::Mark, "tier-timeout", [0; 4]);
         self.lock_tiers()
             .entry(tier.to_string())
             .or_default()
@@ -231,14 +234,17 @@ impl Health {
 
     /// Counts a solve answered by a later tier after `tier` timed out.
     pub fn record_fallback(&self, tier: &str) {
+        lcl_trace::mark(lcl_trace::SpanKind::Mark, "tier-fallback", [0; 4]);
         self.lock_tiers()
             .entry(tier.to_string())
             .or_default()
             .fallbacks += 1;
     }
 
-    /// Counts a dispatch skipped because `tier`'s breaker was open.
+    /// Counts a dispatch skipped because `tier`'s breaker was open
+    /// (marked on the current trace like a timeout).
     pub fn record_breaker_skip(&self, tier: &str) {
+        lcl_trace::mark(lcl_trace::SpanKind::Mark, "breaker-skip", [0; 4]);
         self.lock_tiers()
             .entry(tier.to_string())
             .or_default()

@@ -78,6 +78,7 @@ pub use health::{
 };
 pub use instance::Instance;
 pub use lcl_sat::{Budget, BudgetExceeded, CancelToken};
+pub use lcl_trace::{Cost, SolverCost, TierAttempt, TierOutcome};
 pub use prepared::PreparedProblem;
 pub use registry::{PlanOptions, Registry, SynthOrigin, SynthStats};
 pub use spec::{ProblemSpec, Topology};
@@ -163,7 +164,12 @@ pub struct Capabilities {
 
 /// Metadata accompanying every labelling: which solver ran, what it
 /// charged the LOCAL-round ledger, and whether the output was re-checked.
-#[derive(Clone, Debug)]
+///
+/// `Debug` deliberately omits the [`cost`](SolveReport::cost) ledger:
+/// its wall-clock timings vary run to run, and the engine's determinism
+/// contract (parallel ≡ sequential ≡ deduped, byte-for-byte) is pinned
+/// by tests comparing report `Debug` output.
+#[derive(Clone)]
 pub struct SolveReport {
     /// The problem that was solved.
     pub problem: String,
@@ -177,6 +183,12 @@ pub struct SolveReport {
     /// Solver-specific diagnostics (spacing `ℓ`, anchor counts, measured
     /// gaps, lookup-table sizes, …) as key/value pairs.
     pub details: Vec<(String, String)>,
+    /// The per-solve cost ledger: every tier attempt the walk made (in
+    /// order) with its wall time and attributed SAT work. Populated by
+    /// [`PreparedProblem::solve_with`]; empty for reports produced
+    /// outside the tier walk. Tracing need not be enabled — the ledger
+    /// is always on.
+    pub cost: lcl_trace::Cost,
 }
 
 impl SolveReport {
@@ -187,6 +199,7 @@ impl SolveReport {
             rounds,
             validated: false,
             details: Vec::new(),
+            cost: lcl_trace::Cost::default(),
         }
     }
 
@@ -195,12 +208,33 @@ impl SolveReport {
         self
     }
 
+    /// The per-solve cost ledger (tier attempts with wall time and
+    /// attributed SAT work); empty for reports produced outside the
+    /// tier walk.
+    pub fn cost(&self) -> &lcl_trace::Cost {
+        &self.cost
+    }
+
     /// Looks up a solver-specific diagnostic by key.
     pub fn detail(&self, key: &str) -> Option<&str> {
         self.details
             .iter()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
+    }
+}
+
+impl fmt::Debug for SolveReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `cost` is omitted on purpose: wall-clock fields would make
+        // byte-identical runs print differently (see the struct docs).
+        f.debug_struct("SolveReport")
+            .field("problem", &self.problem)
+            .field("solver", &self.solver)
+            .field("rounds", &self.rounds)
+            .field("validated", &self.validated)
+            .field("details", &self.details)
+            .finish_non_exhaustive()
     }
 }
 
@@ -619,6 +653,7 @@ impl Engine {
     /// spec-taking convenience call. Hot paths should prepare once and
     /// hold the handle rather than re-presenting the spec per request.
     pub fn prepare(&self, spec: &ProblemSpec) -> Result<Arc<PreparedProblem>, SolveError> {
+        let mut span = lcl_trace::span(lcl_trace::SpanKind::Prepare, "prepare");
         let key = self
             .registry
             .plan_cache_key(spec, self.opts.max_synthesis_k);
@@ -643,6 +678,7 @@ impl Engine {
         } else {
             self.plan_hits.fetch_add(1, Ordering::Relaxed);
         }
+        span.count(0, u64::from(!resolved_here)); // cache_hit
         outcome.clone()
     }
 
@@ -678,7 +714,10 @@ impl Engine {
         spec: &ProblemSpec,
         cache_key: &str,
     ) -> Result<Arc<PreparedProblem>, SolveError> {
-        let plan = self.registry.plan(spec, &self.opts);
+        let plan = {
+            let _span = lcl_trace::span(lcl_trace::SpanKind::Resolve, "registry-resolve");
+            self.registry.plan(spec, &self.opts)
+        };
         if plan.is_empty() {
             return Err(SolveError::NoSolver {
                 problem: spec.name().to_string(),
@@ -688,11 +727,14 @@ impl Engine {
         // specs already carry a span-bearing one; raw block specs get a
         // span-free analysis of their tabulated block table, computed
         // once here (the handle itself is memoised per cache key).
-        let analysis = match spec.analysis() {
-            Some(a) => Some(Arc::clone(a)),
-            None => spec
-                .to_block_lcl()
-                .map(|lcl| Arc::new(lcl_analyze::analyze_block(spec.name(), &lcl))),
+        let analysis = {
+            let _span = lcl_trace::span(lcl_trace::SpanKind::Analysis, "analysis");
+            match spec.analysis() {
+                Some(a) => Some(Arc::clone(a)),
+                None => spec
+                    .to_block_lcl()
+                    .map(|lcl| Arc::new(lcl_analyze::analyze_block(spec.name(), &lcl))),
+            }
         };
         Ok(Arc::new(PreparedProblem::new(
             spec.clone(),

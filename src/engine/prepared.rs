@@ -26,7 +26,38 @@ use lcl_local::Simulator;
 use lcl_sat::Budget;
 use lcl_symmetry::protocol_validation::CvProtocol;
 use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Appends a zero-cost skip entry (capability/shape mismatch or an open
+/// breaker) to a solve's cost ledger.
+fn push_skip(cost: &mut lcl_trace::Cost, tier: &str, outcome: lcl_trace::TierOutcome) {
+    cost.tiers.push(lcl_trace::TierAttempt {
+        tier: tier.to_string(),
+        outcome,
+        wall_us: 0,
+        solver: lcl_trace::SolverCost::default(),
+    });
+}
+
+/// Appends a dispatched tier attempt to a solve's cost ledger, draining
+/// the thread's pending solver work so SAT effort is billed to the tier
+/// that caused it, and stamping the tier span's outcome counter.
+fn push_attempt(
+    cost: &mut lcl_trace::Cost,
+    span: &mut lcl_trace::SpanGuard,
+    tier: &str,
+    outcome: lcl_trace::TierOutcome,
+    started: Instant,
+) {
+    let solver = lcl_trace::take_solver_cost();
+    span.count(0, outcome.code());
+    cost.tiers.push(lcl_trace::TierAttempt {
+        tier: tier.to_string(),
+        outcome,
+        wall_us: started.elapsed().as_micros() as u64,
+        solver,
+    });
+}
 
 /// A problem whose solver plan has been resolved by
 /// [`Engine::prepare`](crate::engine::Engine::prepare): the immutable,
@@ -166,6 +197,35 @@ impl PreparedProblem {
     /// fully reusable: a budget trip never poisons a cache cell or
     /// wedges a worker.
     pub fn solve_with(&self, inst: &Instance, budget: &Budget) -> Result<Labelling, SolveError> {
+        // Trace-and-ledger wrapper around the walk: one `Solve` span
+        // (child tier spans record inside `solve_walk`), and a `Cost`
+        // ledger of every tier attempt attached to the returned report.
+        // The ledger is built whether or not tracing is enabled — it is
+        // a handful of µs-stamped pushes per solve.
+        let started = Instant::now();
+        let mut span = lcl_trace::span(lcl_trace::SpanKind::Solve, "solve");
+        let mut cost = lcl_trace::Cost::default();
+        // Drain solver work left pending on this thread by earlier
+        // operations (e.g. a classify), so the first tier attempt is
+        // not billed for it.
+        let _ = lcl_trace::take_solver_cost();
+        let mut result = self.solve_walk(inst, budget, &mut cost);
+        cost.total_us = started.elapsed().as_micros() as u64;
+        span.count(0, cost.tiers.len() as u64);
+        if let Ok(labelling) = &mut result {
+            labelling.report.cost = cost;
+        }
+        result
+    }
+
+    /// The tier walk behind [`PreparedProblem::solve_with`], appending
+    /// one [`lcl_trace::TierAttempt`] per tier it skips or dispatches.
+    fn solve_walk(
+        &self,
+        inst: &Instance,
+        budget: &Budget,
+        cost: &mut lcl_trace::Cost,
+    ) -> Result<Labelling, SolveError> {
         budget
             .check()
             .map_err(|e| budget_error("pre-dispatch", budget, e))?;
@@ -212,17 +272,20 @@ impl PreparedProblem {
                 continue;
             }
             topology_covered = true;
+            let name = solver.name();
             if caps.square_only && !inst.is_square() {
+                push_skip(cost, name, lcl_trace::TierOutcome::Skipped);
                 continue;
             }
             if side < caps.min_side {
                 smallest_supported =
                     Some(smallest_supported.map_or(caps.min_side, |m: usize| m.min(caps.min_side)));
+                push_skip(cost, name, lcl_trace::TierOutcome::Skipped);
                 continue;
             }
-            let name = solver.name();
             if !self.health.allow(name) {
                 self.health.record_breaker_skip(name);
+                push_skip(cost, name, lcl_trace::TierOutcome::BreakerSkip);
                 fallthrough.get_or_insert(SolveError::SolverFailed {
                     solver: name.to_string(),
                     detail: "circuit breaker open: tier is cooling down after repeated failures"
@@ -230,6 +293,8 @@ impl PreparedProblem {
                 });
                 continue;
             }
+            let attempt_started = Instant::now();
+            let mut tier_span = lcl_trace::span(lcl_trace::SpanKind::Tier, name);
             if let Some(chaos) = &self.chaos {
                 if let Some(delay) = chaos.latency() {
                     std::thread::sleep(delay);
@@ -242,8 +307,20 @@ impl PreparedProblem {
             match solver.solve_budgeted(inst, budget) {
                 Ok(mut labelling) => {
                     if self.validate {
-                        if let Err(violation) = self.spec.check_instance(inst, &labelling.labels) {
+                        let valid = {
+                            let _vspan =
+                                lcl_trace::span(lcl_trace::SpanKind::Validation, "validate");
+                            self.spec.check_instance(inst, &labelling.labels)
+                        };
+                        if let Err(violation) = valid {
                             self.health.record_failure(name);
+                            push_attempt(
+                                cost,
+                                &mut tier_span,
+                                name,
+                                lcl_trace::TierOutcome::Failed,
+                                attempt_started,
+                            );
                             fallthrough.get_or_insert(SolveError::ValidationFailed {
                                 solver: name.to_string(),
                                 violation,
@@ -260,10 +337,24 @@ impl PreparedProblem {
                         if needed > budget {
                             cheapest_over_budget =
                                 Some(cheapest_over_budget.map_or(needed, |c: u64| c.min(needed)));
+                            push_attempt(
+                                cost,
+                                &mut tier_span,
+                                name,
+                                lcl_trace::TierOutcome::Skipped,
+                                attempt_started,
+                            );
                             continue;
                         }
                     }
                     self.health.record_success(name);
+                    push_attempt(
+                        cost,
+                        &mut tier_span,
+                        name,
+                        lcl_trace::TierOutcome::Solved,
+                        attempt_started,
+                    );
                     if let Some((tier, elapsed)) = timed_out {
                         self.health.record_fallback(&tier);
                         labelling.report = labelling
@@ -286,19 +377,49 @@ impl PreparedProblem {
                 // Unsatisfiability is exact: no other solver can succeed.
                 Err(e @ SolveError::Unsolvable { .. }) => {
                     self.health.record_success(name);
+                    push_attempt(
+                        cost,
+                        &mut tier_span,
+                        name,
+                        lcl_trace::TierOutcome::Unsolvable,
+                        attempt_started,
+                    );
                     return Err(e);
                 }
                 // Cancellation aborts: the caller hung up.
-                Err(SolveError::Cancelled) => return Err(SolveError::Cancelled),
+                Err(SolveError::Cancelled) => {
+                    push_attempt(
+                        cost,
+                        &mut tier_span,
+                        name,
+                        lcl_trace::TierOutcome::Cancelled,
+                        attempt_started,
+                    );
+                    return Err(SolveError::Cancelled);
+                }
                 // A tripped budget degrades: later (cheaper) tiers still
                 // get their chance; the first trip owns the attribution.
                 Err(SolveError::DeadlineExceeded { tier, elapsed }) => {
                     self.health.record_timeout(name);
                     self.health.record_failure(name);
+                    push_attempt(
+                        cost,
+                        &mut tier_span,
+                        name,
+                        lcl_trace::TierOutcome::Timeout,
+                        attempt_started,
+                    );
                     timed_out.get_or_insert((tier, elapsed));
                 }
                 Err(SolveError::TorusTooSmall { min_side, .. }) => {
                     self.health.record_success(name);
+                    push_attempt(
+                        cost,
+                        &mut tier_span,
+                        name,
+                        lcl_trace::TierOutcome::Skipped,
+                        attempt_started,
+                    );
                     smallest_supported =
                         Some(smallest_supported.map_or(min_side, |m: usize| m.min(min_side)));
                 }
@@ -314,6 +435,13 @@ impl PreparedProblem {
                         // a half-open probe instead of wedging it.
                         self.health.record_success(name);
                     }
+                    push_attempt(
+                        cost,
+                        &mut tier_span,
+                        name,
+                        lcl_trace::TierOutcome::Failed,
+                        attempt_started,
+                    );
                     fallthrough.get_or_insert(e);
                 }
             }

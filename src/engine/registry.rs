@@ -76,6 +76,25 @@ impl SynthOrigin {
             SynthOrigin::Sat => "sat",
         }
     }
+
+    /// Trace-counter code for the synthesis span's `origin` slot:
+    /// `0` = in-process memo, `1` = disk cache, `2` = fresh SAT run.
+    fn trace_code(self) -> u64 {
+        match self {
+            SynthOrigin::Disk => 1,
+            SynthOrigin::Sat => 2,
+        }
+    }
+}
+
+/// Marks a synthesis-cache answer on the current trace: `origin` uses
+/// the [`SynthOrigin::trace_code`] encoding (0 = memo hit).
+fn mark_synth_cache(origin: u64) {
+    lcl_trace::mark(
+        lcl_trace::SpanKind::Synthesis,
+        "synthesis-cache",
+        [0, origin, 0, 0],
+    );
 }
 
 /// Aggregate counters of the synthesis cache: how often a request was
@@ -213,6 +232,7 @@ impl SynthCache {
         );
         if let Some(hit) = cell.get() {
             self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            mark_synth_cache(0);
             return hit.clone();
         }
         // Single-flight initialisation: concurrent requests for the same
@@ -248,6 +268,11 @@ impl SynthCache {
             // memory_hits + disk_hits + synthesised == total requests.
             self.memory_hits.fetch_add(1, Ordering::Relaxed);
         }
+        mark_synth_cache(if initialised_here {
+            hit.origin.trace_code()
+        } else {
+            0
+        });
         hit.clone()
     }
 
@@ -278,6 +303,7 @@ impl SynthCache {
         );
         if let Some(hit) = cell.get() {
             self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            mark_synth_cache(0);
             return Ok(hit.clone());
         }
         budget.check()?;
@@ -306,6 +332,7 @@ impl SynthCache {
         // unlimited request beat us to it, keep its value (the outcomes
         // are equal; budgeted callers trade the single-flight guarantee
         // for non-poisoning).
+        mark_synth_cache(computed.origin.trace_code());
         Ok(cell.get_or_init(|| computed).clone())
     }
 

@@ -411,11 +411,16 @@ fn solve_windowed(
         );
     };
     let fingerprint = batch::job_fingerprint(&job.prepared, &job.instance);
-    if let Some(hit) = window
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .lookup(fingerprint, &job.prepared, &job.instance, health)
-    {
+    let hit = {
+        let mut span = lcl_trace::span(lcl_trace::SpanKind::Dedup, "dedup-lookup");
+        let hit = window
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .lookup(fingerprint, &job.prepared, &job.instance, health);
+        span.count(0, u64::from(hit.is_some()));
+        hit
+    };
+    if let Some(hit) = hit {
         return (hit, true);
     }
     let result = batch::solve_caught(&job.prepared, &job.instance, budget);

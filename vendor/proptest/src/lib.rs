@@ -401,7 +401,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy behind [`vec`].
+    /// The strategy behind [`vec()`](fn@vec).
     #[derive(Clone)]
     pub struct VecStrategy<S> {
         element: S,
