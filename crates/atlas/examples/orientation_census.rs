@@ -1,0 +1,67 @@
+//! The Theorem 22 census: classifies all 32 `X`-orientation problems
+//! through the census pipeline and checks them against the theorem's
+//! prediction — the same budgeted streaming machinery that builds
+//! `fixtures/atlas/`, on an ad-hoc problem list instead of a frontier.
+//!
+//! ```sh
+//! cargo run --release -p lcl-atlas --example orientation_census
+//! ```
+
+use lcl_atlas::{classify_specs, CensusOptions, Verdict};
+use lcl_grids::algorithms::orientations::{predicted_class, OrientationClass};
+use lcl_grids::core::classify::GridClass;
+use lcl_grids::core::problems::XSet;
+use lcl_grids::engine::{Engine, ProblemSpec};
+use std::sync::Arc;
+
+fn main() {
+    // One engine for the whole census: all 32 plans prepare on it.
+    let engine = Arc::new(
+        Engine::builder()
+            .max_synthesis_k(1) // Lemma 23: k = 1 suffices for the log* rows
+            .build(),
+    );
+    // Theorem 22's odd-side probe is n = 5; no step budget — 32 problems
+    // are the whole workload.
+    let options = CensusOptions {
+        step_budget: 0,
+        odd_side: 5,
+        ..CensusOptions::default()
+    };
+    let sets: Vec<XSet> = XSet::all().collect();
+    let specs: Vec<ProblemSpec> = sets.iter().map(|&x| ProblemSpec::orientation(x)).collect();
+    let records = classify_specs(&engine, specs, &options).expect("orientation census");
+
+    println!("X-orientation classification (Theorem 22):");
+    println!(
+        "{:<12} {:>10} {:>14} {:>14}",
+        "X", "predicted", "engine", "solvable n=5"
+    );
+    let mut agreements = 0;
+    for (x, record) in sets.iter().zip(&records) {
+        let predicted = predicted_class(*x);
+        // Unsolvable rows (typed L002 verdict, no class) still need Θ(n)
+        // rounds to *detect*, which is what Theorem 22 predicts for them.
+        let class = record.class.clone().unwrap_or(GridClass::Global);
+        agreements += predicted.agrees_with(&class) as usize;
+        let predicted_str = match predicted {
+            OrientationClass::Trivial => "Θ(1)",
+            OrientationClass::LogStar => "Θ(log* n)",
+            OrientationClass::Global => "global",
+        };
+        let engine_str = match record.verdict {
+            Verdict::Unsolvable => "unsolvable".to_string(),
+            _ => format!("{class:?}"),
+        };
+        println!(
+            "{:<12} {:>10} {:>14} {:>14}",
+            x.to_string(),
+            predicted_str,
+            engine_str,
+            record
+                .solvable_odd
+                .map_or("unknown".to_string(), |b| b.to_string()),
+        );
+    }
+    println!("\nengine classification agreed with Theorem 22 on {agreements}/32 rows");
+}

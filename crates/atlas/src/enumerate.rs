@@ -1,0 +1,375 @@
+//! The census enumerator: every radius-1 block normal-form problem up
+//! to a frontier, each symmetry class exactly once.
+//!
+//! A block problem over alphabet `A` is a subset of the `A⁴` possible
+//! 2×2 blocks, i.e. a bitmask over block indices
+//! ([`lcl_core::canonical::block_index`]). Two problems that differ only
+//! by a label permutation or a dihedral symmetry of the square (or by
+//! dead labels) have the same solvability and round complexity, so the
+//! census classifies one representative per equivalence class: a mask is
+//! emitted iff it is the numeric minimum of its orbit under the combined
+//! group ([`SymmetryGroup::is_canonical`]) and it actually *uses* every
+//! letter of its alphabet (a table with a dead label is the same problem
+//! at a smaller alphabet, and is visited there instead). The one
+//! exception is the empty table, emitted once at alphabet 1 so the
+//! trivially unsolvable problem has a census entry.
+//!
+//! # Enumeration order
+//!
+//! The order is deterministic and documented because the pipeline's
+//! checkpoint journal replays it: alphabets ascending, within an
+//! alphabet block-counts (popcounts) ascending, within a block-count
+//! masks in ascending numeric value (Gosper's hack). Size-major order is
+//! what makes a `max_blocks` frontier cap a *prefix* of the unbounded
+//! walk at each alphabet, and it is mandatory at alphabet 3 where the
+//! full 2⁸¹ mask space is unwalkable but the small-table slices are not.
+//!
+//! Everything is streamed: the iterator holds one mask and one symmetry
+//! group; no table set is ever materialised.
+
+use crate::AtlasError;
+use lcl_core::canonical::{
+    census_name, lcl_from_bits, live_label_count, SymmetryGroup, MAX_ALPHABET,
+};
+use lcl_core::lcl::BlockLcl;
+use lcl_grids::ProblemSpec;
+
+/// How far the census walks: every block problem on alphabets
+/// `1..=max_alphabet`, optionally restricted to tables with at most
+/// `max_blocks` allowed blocks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frontier {
+    /// Largest alphabet enumerated (1..=3).
+    pub max_alphabet: u16,
+    /// Largest allowed-block count per table, `None` for no cap. A cap
+    /// is mandatory at `max_alphabet == 3`: the unbounded alphabet-3
+    /// space has 2⁸¹ tables.
+    pub max_blocks: Option<u32>,
+}
+
+impl Frontier {
+    /// The checked-in artifact's frontier: everything on alphabets ≤ 2.
+    pub fn alphabet(max_alphabet: u16) -> Frontier {
+        Frontier {
+            max_alphabet,
+            max_blocks: None,
+        }
+    }
+
+    /// Caps the allowed-block count per table.
+    pub fn with_max_blocks(mut self, max_blocks: u32) -> Frontier {
+        self.max_blocks = Some(max_blocks);
+        self
+    }
+
+    /// Checks the frontier is walkable; every census entry point calls
+    /// this first.
+    pub fn validate(&self) -> Result<(), AtlasError> {
+        if self.max_alphabet == 0 || self.max_alphabet > MAX_ALPHABET {
+            return Err(AtlasError::Frontier(format!(
+                "max_alphabet must be in 1..={MAX_ALPHABET}, got {}",
+                self.max_alphabet
+            )));
+        }
+        if self.max_alphabet >= 3 && self.max_blocks.is_none() {
+            return Err(AtlasError::Frontier(
+                "alphabet 3 has 2^81 tables; a max_blocks cap is required".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The per-alphabet cap on table size, in block-index-space terms.
+    fn size_cap(&self, alphabet: u16) -> u32 {
+        let n = table_len(alphabet);
+        self.max_blocks.map_or(n, |m| m.min(n))
+    }
+
+    /// How many raw (pre-dedup) tables the frontier spans:
+    /// `Σ_a Σ_{s≤cap} C(a⁴, s)`. Exact in `u128` (the worst case, all of
+    /// alphabet 3, is 2⁸¹). The denominator of the census dedup ratio.
+    pub fn candidate_count(&self) -> u128 {
+        (1..=self.max_alphabet)
+            .map(|a| {
+                let n = table_len(a);
+                (0..=self.size_cap(a)).map(|s| binomial(n, s)).sum::<u128>()
+            })
+            .sum()
+    }
+}
+
+/// `a⁴`, the number of block indices at alphabet `a`.
+fn table_len(alphabet: u16) -> u32 {
+    u32::from(alphabet).pow(4)
+}
+
+/// Exact binomial coefficient in `u128` (n ≤ 81 here, so the
+/// multiply-then-divide at each step never overflows).
+fn binomial(n: u32, k: u32) -> u128 {
+    let k = k.min(n - k.min(n));
+    let mut acc: u128 = 1;
+    for i in 0..u128::from(k) {
+        acc = acc * (u128::from(n) - i) / (i + 1);
+    }
+    acc
+}
+
+/// One canonical census problem: the orbit-minimum table together with
+/// its content-addressed key and dedup diagnostics.
+#[derive(Clone, Debug)]
+pub struct CensusProblem {
+    /// Content-addressed census key, `atlas-a{A}-{hash:016x}`
+    /// ([`lcl_core::canonical::census_name`]).
+    pub key: String,
+    /// Alphabet size.
+    pub alphabet: u16,
+    /// Canonical table bitmask over block indices.
+    pub bits: u128,
+    /// Number of allowed blocks.
+    pub blocks: u32,
+    /// Orbit size of the table under the symmetry group — how many raw
+    /// tables this canonical representative stands for.
+    pub orbit: u64,
+}
+
+impl CensusProblem {
+    /// The block table itself.
+    pub fn lcl(&self) -> BlockLcl {
+        lcl_from_bits(self.alphabet, self.bits)
+    }
+
+    /// The engine-facing problem spec, named by the census key so solve
+    /// reports, plan cache keys, and atlas records all agree.
+    pub fn spec(&self) -> ProblemSpec {
+        ProblemSpec::block(self.key.clone(), self.lcl())
+    }
+}
+
+/// Streaming enumerator over a [`Frontier`]. Construct with
+/// [`enumerate`].
+pub struct Enumerate {
+    frontier: Frontier,
+    /// Current alphabet; > `frontier.max_alphabet` once exhausted.
+    alphabet: u16,
+    group: SymmetryGroup,
+    /// Current popcount stratum.
+    size: u32,
+    /// Next candidate mask within the stratum, or `None` when the
+    /// stratum is exhausted.
+    mask: Option<u128>,
+    candidates: u64,
+    emitted: u64,
+}
+
+impl Enumerate {
+    /// Raw masks examined so far (the dedup-ratio denominator, counted
+    /// rather than computed so partial walks report honestly).
+    pub fn candidates_seen(&self) -> u64 {
+        self.candidates
+    }
+
+    /// Canonical problems yielded so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Advances to the next (size, mask) candidate, rolling over strata
+    /// and alphabets; returns the candidate's alphabet and mask.
+    fn next_candidate(&mut self) -> Option<(u16, u128)> {
+        loop {
+            if self.alphabet > self.frontier.max_alphabet {
+                return None;
+            }
+            let n = table_len(self.alphabet);
+            if let Some(mask) = self.mask {
+                self.mask = next_same_popcount(mask).filter(|&m| fits(m, n));
+                return Some((self.alphabet, mask));
+            }
+            // Stratum exhausted: next size, or next alphabet.
+            if self.size < self.frontier.size_cap(self.alphabet) {
+                self.size += 1;
+                self.mask = Some((1u128 << self.size) - 1);
+            } else {
+                self.alphabet += 1;
+                if self.alphabet <= self.frontier.max_alphabet {
+                    self.group = SymmetryGroup::new(self.alphabet);
+                    self.size = 0;
+                    self.mask = Some(0);
+                }
+            }
+            debug_assert!(self.size <= n);
+        }
+    }
+}
+
+impl Iterator for Enumerate {
+    type Item = CensusProblem;
+
+    fn next(&mut self) -> Option<CensusProblem> {
+        loop {
+            let (alphabet, bits) = self.next_candidate()?;
+            self.candidates += 1;
+            // A table must use its whole alphabet (else it is a smaller-
+            // alphabet problem), except the empty table, which belongs
+            // to alphabet 1 by convention.
+            let live = live_label_count(alphabet, bits);
+            let full = live == alphabet || (alphabet == 1 && bits == 0);
+            if !full || !self.group.is_canonical(bits) {
+                continue;
+            }
+            self.emitted += 1;
+            let lcl = lcl_from_bits(alphabet, bits);
+            let key = census_name(&lcl)
+                .unwrap_or_else(|| unreachable!("alphabet ≤ {MAX_ALPHABET} always has a name"));
+            return Some(CensusProblem {
+                key,
+                alphabet,
+                bits,
+                blocks: bits.count_ones(),
+                orbit: self.group.orbit_size(bits),
+            });
+        }
+    }
+}
+
+/// Lazily walks the frontier, yielding each canonical problem exactly
+/// once in the documented order.
+pub fn enumerate(frontier: &Frontier) -> Result<Enumerate, AtlasError> {
+    frontier.validate()?;
+    Ok(Enumerate {
+        frontier: frontier.clone(),
+        alphabet: 1,
+        group: SymmetryGroup::new(1),
+        size: 0,
+        mask: Some(0),
+        candidates: 0,
+        emitted: 0,
+    })
+}
+
+/// Counts the canonical problems in a frontier without classifying them
+/// (a full dry walk; cheap at the checked-in frontiers).
+pub fn count_problems(frontier: &Frontier) -> Result<u64, AtlasError> {
+    Ok(enumerate(frontier)?.count() as u64)
+}
+
+/// True iff `mask`'s highest set bit is below `n`.
+fn fits(mask: u128, n: u32) -> bool {
+    n >= 128 || mask < (1u128 << n)
+}
+
+/// Gosper's hack: the numerically next mask with the same popcount, or
+/// `None` on overflow (popcount 0 has no successor: the walk visits the
+/// empty mask exactly once per alphabet).
+fn next_same_popcount(mask: u128) -> Option<u128> {
+    if mask == 0 {
+        return None;
+    }
+    let c = mask & mask.wrapping_neg();
+    let r = mask.checked_add(c)?;
+    Some((((r ^ mask) >> 2) / c) | r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Brute force over all alphabet-≤2 masks: the enumerator must emit
+    /// exactly one representative per orbit of the full-alphabet tables
+    /// (plus the alphabet-1 empty table), and its dedup accounting must
+    /// cover the raw space.
+    #[test]
+    fn exactly_one_representative_per_class() {
+        let frontier = Frontier::alphabet(2);
+        let mut iter = enumerate(&frontier).unwrap();
+        let problems: Vec<CensusProblem> = iter.by_ref().collect();
+
+        // Every emitted problem is canonical, full-alphabet, distinct.
+        let mut keys = HashSet::new();
+        let mut canon = HashSet::new();
+        for p in &problems {
+            assert!(keys.insert(p.key.clone()), "duplicate key {}", p.key);
+            assert!(canon.insert((p.alphabet, p.bits)));
+        }
+
+        // Brute-force the alphabet-2 orbits and compare counts.
+        let group = SymmetryGroup::new(2);
+        let mut reps = HashSet::new();
+        for bits in 0u128..(1 << 16) {
+            if live_label_count(2, bits) == 2 {
+                reps.insert(group.canonical_bits(bits));
+            }
+        }
+        let a2 = problems.iter().filter(|p| p.alphabet == 2).count();
+        assert_eq!(a2, reps.len());
+        // Alphabet 1: empty table + the one-block table.
+        assert_eq!(problems.iter().filter(|p| p.alphabet == 1).count(), 2);
+
+        // Orbit sizes sum back to the raw full-alphabet table count.
+        let live_a2 = (0u128..(1 << 16))
+            .filter(|&b| live_label_count(2, b) == 2)
+            .count() as u64;
+        let orbit_sum: u64 = problems
+            .iter()
+            .filter(|p| p.alphabet == 2)
+            .map(|p| p.orbit)
+            .sum();
+        assert_eq!(orbit_sum, live_a2);
+
+        // The counters and the closed-form candidate count agree.
+        assert_eq!(iter.candidates_seen(), 2 + (1 << 16));
+        assert_eq!(frontier.candidate_count(), 2 + (1 << 16));
+        assert_eq!(iter.emitted(), problems.len() as u64);
+    }
+
+    /// A `max_blocks` cap is a size-prefix of the unbounded walk.
+    #[test]
+    fn max_blocks_caps_are_prefixes() {
+        let capped: Vec<u128> = enumerate(&Frontier::alphabet(2).with_max_blocks(3))
+            .unwrap()
+            .filter(|p| p.alphabet == 2)
+            .map(|p| p.bits)
+            .collect();
+        let full: Vec<u128> = enumerate(&Frontier::alphabet(2))
+            .unwrap()
+            .filter(|p| p.alphabet == 2 && p.blocks <= 3)
+            .map(|p| p.bits)
+            .collect();
+        assert_eq!(capped, full);
+        assert!(!capped.is_empty());
+    }
+
+    /// Alphabet 3 without a cap must refuse, with a cap must walk.
+    #[test]
+    fn alphabet_three_requires_a_cap() {
+        assert!(matches!(
+            enumerate(&Frontier::alphabet(3)),
+            Err(AtlasError::Frontier(_))
+        ));
+        let some: Vec<CensusProblem> = enumerate(&Frontier::alphabet(3).with_max_blocks(2))
+            .unwrap()
+            .filter(|p| p.alphabet == 3)
+            .collect();
+        // Alphabet 3 with ≤ 2 blocks: both blocks must jointly use all
+        // three labels.
+        assert!(!some.is_empty());
+        for p in &some {
+            assert_eq!(live_label_count(3, p.bits), 3);
+            assert!(p.blocks <= 2);
+        }
+    }
+
+    /// The spec a census problem mints round-trips to the same table.
+    #[test]
+    fn specs_round_trip() {
+        let p = enumerate(&Frontier::alphabet(2))
+            .unwrap()
+            .find(|p| p.blocks == 4)
+            .unwrap();
+        let spec = p.spec();
+        let lcl = spec.to_block_lcl().unwrap();
+        assert_eq!(lcl, p.lcl());
+        assert_eq!(census_name(&lcl).unwrap(), p.key);
+    }
+}

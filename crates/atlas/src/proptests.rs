@@ -1,0 +1,201 @@
+//! Property-based tests for the census enumerator and its
+//! canonicalisation contract: equivalent presentations of a problem —
+//! label-permuted, transposed, reflected, dead-label-padded, or spelled
+//! as `lcl-lang` source — collapse to one census key, and the enumerator
+//! emits exactly one representative per equivalence class.
+
+use crate::enumerate::{enumerate, Frontier};
+use lcl_core::canonical::{census_name, lcl_from_bits, reflect_h, reflect_v, relabel, transpose};
+use lcl_core::lcl::{BlockLcl, Label};
+use lcl_grids::engine::ProblemSpec;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Expands one seed into a table bitmask over `table_len` block indices
+/// (SplitMix64 — the proptest substitute hands us `u64` seeds, block
+/// tables need up to 81 bits).
+fn bits_from_seed(seed: u64, table_len: u32) -> u128 {
+    let mut state = seed;
+    let mut next = || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let wide = (u128::from(next()) << 64) | u128::from(next());
+    wide & ((1u128 << table_len) - 1)
+}
+
+/// A label permutation of `0..alphabet` derived from a seed
+/// (Fisher–Yates over the identity).
+fn perm_from_seed(seed: u64, alphabet: u16) -> Vec<Label> {
+    let mut perm: Vec<Label> = (0..alphabet).collect();
+    let mut state = seed;
+    for i in (1..perm.len()).rev() {
+        state = state
+            .wrapping_mul(0x2545_f491_4f6c_dd1d)
+            .wrapping_add(0x9e37);
+        perm.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+    perm
+}
+
+fn random_lcl(alphabet: u16, seed: u64) -> BlockLcl {
+    lcl_from_bits(alphabet, bits_from_seed(seed, u32::from(alphabet).pow(4)))
+}
+
+/// Renders a block table as `lcl-lang` source. `declaration` gives the
+/// alphabet declaration order (a permutation of the label indices), so
+/// two renders of one table with different declaration orders compile to
+/// label-permuted block tables; `transposed` writes each block's
+/// transposed pattern instead; `reversed` reverses the clause order.
+fn render_source(
+    lcl: &BlockLcl,
+    declaration: &[Label],
+    transposed: bool,
+    reversed: bool,
+) -> String {
+    use std::fmt::Write as _;
+    let names = ["x0", "x1", "x2"];
+    let mut out = String::from("problem p {\n");
+    let declared: Vec<&str> = declaration.iter().map(|&l| names[usize::from(l)]).collect();
+    let _ = writeln!(out, "  alphabet {{ {} }}", declared.join(", "));
+    let mut blocks = lcl.sorted_blocks();
+    if blocks.is_empty() {
+        out.push_str("  forbid [ _ _ / _ _ ]\n");
+    }
+    if reversed {
+        blocks.reverse();
+    }
+    for block in blocks {
+        // Patterns are written north row first; the transposed render
+        // spells the transposed problem, an equivalent presentation.
+        let [sw, se, nw, ne] = block;
+        let rows: [Label; 4] = if transposed {
+            [se, ne, sw, nw]
+        } else {
+            [nw, ne, sw, se]
+        };
+        let name = |l: Label| names[usize::from(l)];
+        let _ = writeln!(
+            out,
+            "  allow [ {} {} / {} {} ]",
+            name(rows[0]),
+            name(rows[1]),
+            name(rows[2]),
+            name(rows[3])
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn compiled_census_name(src: &str) -> String {
+    let spec = ProblemSpec::compile(src).expect("generated source compiles");
+    let lcl = spec
+        .to_block_lcl()
+        .expect("compiled specs are block tables");
+    census_name(&lcl).expect("compiled alphabet stays within the canonicaliser")
+}
+
+/// The full alphabet-≤2 census keyed by census name, built once per test
+/// process. Construction asserts global key uniqueness — the
+/// exactly-once half of the enumerator contract.
+fn a2_census() -> &'static HashMap<String, (u16, u128)> {
+    static CENSUS: OnceLock<HashMap<String, (u16, u128)>> = OnceLock::new();
+    CENSUS.get_or_init(|| {
+        let mut index = HashMap::new();
+        for problem in enumerate(&Frontier::alphabet(2)).expect("a2 frontier is walkable") {
+            let previous = index.insert(problem.key.clone(), (problem.alphabet, problem.bits));
+            assert!(previous.is_none(), "duplicate census key {}", problem.key);
+        }
+        index
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Renaming labels never changes the census key.
+    #[test]
+    fn label_permutations_preserve_the_census_key(
+        alphabet in 1u16..=3,
+        table_seed in 0u64..1_000_000,
+        perm_seed in 0u64..1_000_000,
+    ) {
+        let base = random_lcl(alphabet, table_seed);
+        let renamed = relabel(&base, &perm_from_seed(perm_seed, alphabet));
+        prop_assert_eq!(census_name(&base), census_name(&renamed));
+    }
+
+    /// Neither do the geometric symmetries of the window, alone or
+    /// composed.
+    #[test]
+    fn geometry_preserves_the_census_key(
+        alphabet in 1u16..=3,
+        table_seed in 0u64..1_000_000,
+    ) {
+        let base = random_lcl(alphabet, table_seed);
+        let key = census_name(&base);
+        prop_assert_eq!(&key, &census_name(&transpose(&base)));
+        prop_assert_eq!(&key, &census_name(&reflect_h(&base)));
+        prop_assert_eq!(&key, &census_name(&reflect_v(&base)));
+        prop_assert_eq!(&key, &census_name(&reflect_v(&transpose(&reflect_h(&base)))));
+    }
+
+    /// Padding the alphabet with labels that occur in no block is
+    /// invisible to the census.
+    #[test]
+    fn dead_label_padding_preserves_the_census_key(
+        alphabet in 1u16..=2,
+        table_seed in 0u64..1_000_000,
+    ) {
+        let base = random_lcl(alphabet, table_seed);
+        let mut padded = BlockLcl::new(base.alphabet() + 1);
+        for block in base.allowed_blocks() {
+            padded.allow(block);
+        }
+        prop_assert_eq!(census_name(&base), census_name(&padded));
+    }
+
+    /// Equivalent `lcl-lang` *sources* — labels declared in a different
+    /// order, patterns transposed, clauses reordered — compile to the
+    /// same census key as the table they denote.
+    #[test]
+    fn compiled_sources_collapse_to_one_census_key(
+        alphabet in 1u16..=3,
+        table_seed in 0u64..1_000_000,
+        perm_seed in 0u64..1_000_000,
+    ) {
+        let base = random_lcl(alphabet, table_seed);
+        let identity: Vec<Label> = (0..alphabet).collect();
+        let straight = render_source(&base, &identity, false, false);
+        let scrambled =
+            render_source(&base, &perm_from_seed(perm_seed, alphabet), true, true);
+        let key = compiled_census_name(&straight);
+        prop_assert_eq!(&key, &compiled_census_name(&scrambled));
+        prop_assert_eq!(
+            Some(key),
+            census_name(&base),
+            "source round trip changed the class of {straight}"
+        );
+    }
+
+    /// Completeness of the enumerator: every alphabet-≤2 table's
+    /// equivalence class appears in the census (exactly once — the index
+    /// construction asserts key uniqueness), and the stored
+    /// representative really is a member of that class.
+    #[test]
+    fn every_small_table_has_exactly_one_census_representative(
+        table_seed in 0u64..1_000_000,
+    ) {
+        let table = random_lcl(2, table_seed);
+        let key = census_name(&table).expect("alphabet 2 is canonicalisable");
+        let &(alphabet, bits) = a2_census()
+            .get(&key)
+            .unwrap_or_else(|| panic!("class {key} missing from the census"));
+        prop_assert_eq!(census_name(&lcl_from_bits(alphabet, bits)), Some(key));
+    }
+}

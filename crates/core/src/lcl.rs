@@ -57,7 +57,7 @@ impl fmt::Display for Violation {
 /// assert!(stripes.block_allowed([0, 0, 1, 1]));
 /// assert!(!stripes.block_allowed([0, 1, 1, 0]));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BlockLcl {
     alphabet: u16,
     allowed: HashSet<Block>,

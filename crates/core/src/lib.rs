@@ -7,6 +7,10 @@
 //! * [`lcl`] — locally checkable labellings on oriented toroidal grids in
 //!   *block normal form*: a problem is a set of allowed 2×2 label windows
 //!   (every radius-1 LCL on oriented grids normalises to this shape; §3).
+//! * [`canonical`] — canonical forms of block tables under label
+//!   permutation, transpose, and reflection symmetries, plus the
+//!   content-addressed census identity used by `lcl-atlas` and the
+//!   engine's atlas lookup.
 //! * [`problems`] — the concrete problem library: vertex and edge
 //!   colourings, `X`-orientations, maximal independent sets.
 //! * [`existence`] — a SAT-based per-`n` existence solver (the `Θ(n)`
@@ -27,6 +31,7 @@
 //! * [`classify`] — the 1-bit-advice classification front end (§7).
 
 #![forbid(unsafe_code)]
+pub mod canonical;
 pub mod classify;
 pub mod cycles;
 pub mod existence;

@@ -7,7 +7,8 @@
 //!           [--max-instance-nodes N] [--max-tenants N]
 //!           [--default-deadline-ms N] [--chaos-seed N]
 //!           [--trace-sample-rate F] [--slow-ms N]
-//!           [--log-level off|info|debug] [--port-file PATH]
+//!           [--log-level off|info|debug] [--atlas PATH]
+//!           [--port-file PATH]
 //! ```
 //!
 //! `--port-file` writes the bound `host:port` to a file once the socket
@@ -74,6 +75,9 @@ fn main() -> ExitCode {
                     .map(|level| config.log_level = level)
                     .ok_or_else(|| format!("'{v}' is not off|info|debug"))
             }),
+            "--atlas" => value("--atlas").map(|v| {
+                config.atlas_path = Some(std::path::PathBuf::from(v));
+            }),
             "--port-file" => value("--port-file").map(|v| port_file = Some(v)),
             "--help" | "-h" => {
                 println!(
@@ -92,6 +96,8 @@ fn main() -> ExitCode {
                      \x20 --trace-sample-rate F   capture this fraction of request traces (default 0.0)\n\
                      \x20 --slow-ms N             also capture requests slower than N ms (default: off)\n\
                      \x20 --log-level LEVEL       request logging to stderr: off|info|debug (default off)\n\
+                     \x20 --atlas PATH            serve a census artifact at GET /atlas/… and seed\n\
+                     \x20                         classification from it (default: off)\n\
                      \x20 --port-file PATH        write the bound address here once live"
                 );
                 return ExitCode::SUCCESS;

@@ -42,6 +42,25 @@
 //! * **Graceful shutdown** — `POST /shutdown` (or [`Server::shutdown`])
 //!   stops accepting and drains every admitted request before the
 //!   process exits.
+//! * **Census lookups** — with [`ServeConfig::atlas_path`] set (CLI
+//!   `--atlas`), the server loads an `lcl-atlas` census artifact once at
+//!   startup, seeds the engine's classification from it
+//!   ([`EngineBuilder::atlas`](lcl_grids::engine::EngineBuilder::atlas)),
+//!   and answers read-only lookups: `GET /atlas/<key>` returns one
+//!   problem's census record, `GET /atlas/summary` the aggregate class
+//!   and orbit histograms. See DESIGN.md §13.
+//!
+//!   ```text
+//!   $ lcl-serve --addr 127.0.0.1:7171 --atlas fixtures/atlas/census-a2.jsonl &
+//!   $ curl -s localhost:7171/atlas/summary | head -4
+//!   {
+//!     "problems": 5056,
+//!     "candidates": 65538,
+//!     "dedup_ratio": "0.077146",
+//!   $ curl -s "localhost:7171/atlas/$(head -2 fixtures/atlas/census-a2.jsonl \
+//!       | tail -1 | sed 's/.*"key":"\([^"]*\)".*/\1/')"
+//!   {"key":"atlas-a1-082f2207b4e88cc4","alphabet":1,...,"verdict":"unsolvable",...}
+//!   ```
 //!
 //! # Quickstart
 //!

@@ -97,6 +97,13 @@ pub struct ServeConfig {
     /// Structured JSON-lines request logging to stderr (off by default;
     /// request bodies are never logged at any level).
     pub log_level: LogLevel,
+    /// Census artifact (`fixtures/atlas/*.jsonl`) to serve read-only at
+    /// `GET /atlas/<key>` / `GET /atlas/summary` and to arm the engine's
+    /// classification seeding with
+    /// ([`lcl_grids::engine::EngineBuilder::atlas`]). `None` (the
+    /// default) leaves both off; the endpoints then answer
+    /// `404 atlas-not-configured`.
+    pub atlas_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -123,6 +130,7 @@ impl Default for ServeConfig {
             trace_ring_capacity: 16_384,
             trace_store_capacity: 64,
             log_level: LogLevel::Off,
+            atlas_path: None,
         }
     }
 }
@@ -160,6 +168,17 @@ struct Shared {
     traces: TraceStore,
     /// Sequence for minting trace ids when the client sends none.
     trace_seq: AtomicU64,
+    /// The loaded census artifact behind the read-only `/atlas/…`
+    /// endpoints, with its aggregate summary pre-rendered (the artifact
+    /// is immutable for the server's lifetime, so the summary document
+    /// never changes).
+    atlas: Option<AtlasStore>,
+}
+
+/// The census artifact plus its pre-rendered summary document.
+struct AtlasStore {
+    atlas: lcl_atlas::Atlas,
+    summary_json: String,
 }
 
 impl Shared {
@@ -316,6 +335,20 @@ impl Server {
         if let Some(chaos) = config.chaos.clone() {
             builder = builder.chaos_config(chaos);
         }
+        // One artifact, two consumers: the engine's seeding table (its
+        // own minimal reader, `k`-gated) and the full census held for
+        // the `/atlas/…` endpoints.
+        let mut atlas = None;
+        if let Some(path) = &config.atlas_path {
+            builder = builder.atlas(path)?;
+            let loaded = lcl_atlas::Atlas::load(path)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            let summary_json = loaded.summary().to_json();
+            atlas = Some(AtlasStore {
+                atlas: loaded,
+                summary_json,
+            });
+        }
         let engine = builder.build();
         // Tracing costs one ring buffer when any capture path can fire;
         // otherwise the collector stays disabled and every span site is a
@@ -335,6 +368,7 @@ impl Server {
             addr,
             traces: TraceStore::new(config.trace_store_capacity),
             trace_seq: AtomicU64::new(0x0005_ca1e_0000),
+            atlas,
         });
 
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue_cap);
@@ -604,6 +638,8 @@ fn endpoint_name(target: &str) -> &'static str {
         "/shutdown" => "/shutdown",
         "/trace/recent" => "/trace/recent",
         _ if path.starts_with("/trace/") => "/trace",
+        "/atlas/summary" => "/atlas/summary",
+        _ if path.starts_with("/atlas/") => "/atlas",
         _ => "other",
     }
 }
@@ -722,6 +758,10 @@ fn route(shared: &Shared, request: &Request) -> Result<Routed, ApiError> {
         ("GET", trace_path) if trace_path.starts_with("/trace/") => {
             endpoint_trace(shared, &trace_path["/trace/".len()..])
         }
+        ("GET", "/atlas/summary") => endpoint_atlas_summary(shared),
+        ("GET", atlas_path) if atlas_path.starts_with("/atlas/") => {
+            endpoint_atlas(shared, &atlas_path["/atlas/".len()..])
+        }
         ("POST", "/shutdown") => {
             shared.request_shutdown();
             Ok(Routed::json(
@@ -755,6 +795,9 @@ fn build_json(shared: &Shared) -> Json {
     }
     if shared.config.log_level > LogLevel::Off {
         features.push(Json::str("request-logging"));
+    }
+    if shared.atlas.is_some() {
+        features.push(Json::str("atlas"));
     }
     Json::obj(vec![
         ("version", Json::str(env!("CARGO_PKG_VERSION"))),
@@ -833,6 +876,35 @@ fn endpoint_trace(shared: &Shared, id_text: &str) -> Result<Routed, ApiError> {
     // metadata in right after its opening brace.
     let body = format!("{{\"otherData\":{meta},{}", &chrome[1..]);
     Ok(Routed::json(200, body))
+}
+
+/// The armed census, or the typed "not configured" answer. The atlas is
+/// loaded once at startup and immutable afterwards, so these endpoints
+/// are lock-free reads.
+fn atlas_store(shared: &Shared) -> Result<&AtlasStore, ApiError> {
+    shared.atlas.as_ref().ok_or(ApiError {
+        status: 404,
+        code: "atlas-not-configured",
+        message: "this server was started without --atlas".to_string(),
+    })
+}
+
+/// `GET /atlas/summary` — the census aggregate (class histogram, orbit
+/// histogram, dedup ratio), pre-rendered at startup.
+fn endpoint_atlas_summary(shared: &Shared) -> Result<Routed, ApiError> {
+    Ok(Routed::json(200, atlas_store(shared)?.summary_json.clone()))
+}
+
+/// `GET /atlas/<key>` — one census record by content-addressed key,
+/// exactly as it appears in the artifact.
+fn endpoint_atlas(shared: &Shared, key: &str) -> Result<Routed, ApiError> {
+    let store = atlas_store(shared)?;
+    let record = store.atlas.get(key).ok_or(ApiError {
+        status: 404,
+        code: "unknown-atlas-key",
+        message: format!("no census record for '{key}'"),
+    })?;
+    Ok(Routed::json(200, record.to_line()))
 }
 
 /// Parses the JSON body of a request.

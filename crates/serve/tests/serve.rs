@@ -1162,3 +1162,83 @@ fn healthz_carries_build_block() {
     server.shutdown();
     server.wait();
 }
+
+/// A census artifact generated on the fly (tiny frontier: alphabet ≤ 2,
+/// at most 2 allowed blocks per table), served read-only at `/atlas/…`.
+#[test]
+fn atlas_endpoints_serve_the_census_artifact() {
+    use lcl_atlas::{run_census, CensusOptions, Frontier};
+    use lcl_grids::engine::Engine;
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir().join(format!("lcl-serve-atlas-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let artifact = dir.join("census.jsonl");
+
+    let engine = Arc::new(Engine::builder().threads(2).max_synthesis_k(1).build());
+    let outcome = run_census(
+        &engine,
+        &Frontier::alphabet(2).with_max_blocks(2),
+        &CensusOptions::default(),
+    )
+    .expect("tiny census");
+    assert!(outcome.stats.complete);
+    outcome.atlas.write(&artifact).unwrap();
+
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        queue_cap: 8,
+        engine_threads: 1,
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        max_synthesis_k: 1,
+        atlas_path: Some(artifact.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind atlas server");
+    let addr = server.addr();
+
+    // The summary aggregates the whole census, deterministically.
+    let (status, body) = get(addr, "/atlas/summary");
+    assert_eq!(status, 200);
+    let summary = Json::parse(&body).unwrap();
+    assert_eq!(
+        summary.get("problems").unwrap().as_u64(),
+        Some(outcome.atlas.len() as u64)
+    );
+    assert!(summary.get("classes").is_some());
+    assert_eq!(body, outcome.atlas.summary().to_json());
+
+    // Each record is served verbatim under its content-addressed key.
+    let record = &outcome.atlas.records()[outcome.atlas.len() - 1];
+    let (status, body) = get(addr, &format!("/atlas/{}", record.key));
+    assert_eq!(status, 200);
+    assert_eq!(body, record.to_line());
+
+    // Unknown keys are a typed 404.
+    let (status, body) = get(addr, "/atlas/atlas-a2-ffffffffffffffff");
+    assert_eq!(status, 404);
+    assert!(body.contains("unknown-atlas-key"));
+
+    // The build block advertises the armed census.
+    let (_, body) = get(addr, "/healthz");
+    assert!(body.contains("\"atlas\""));
+
+    server.shutdown();
+    server.wait();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Without `--atlas`, the endpoints answer a typed "not configured".
+#[test]
+fn atlas_endpoints_without_artifact_are_typed_404s() {
+    let server = test_server(8, 1);
+    let addr = server.addr();
+    for path in ["/atlas/summary", "/atlas/atlas-a2-0000000000000000"] {
+        let (status, body) = get(addr, path);
+        assert_eq!(status, 404, "{path}");
+        assert!(body.contains("atlas-not-configured"), "{path}: {body}");
+    }
+    server.shutdown();
+    server.wait();
+}

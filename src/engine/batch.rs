@@ -39,12 +39,42 @@ pub struct Job {
     pub prepared: Arc<PreparedProblem>,
     /// The instance to solve.
     pub instance: Instance,
+    /// Optional per-job budget (see [`Job::with_budget`]); kept private
+    /// so the dedup paths below are the only arbiters of how budgeted
+    /// jobs share.
+    budget: Option<Budget>,
 }
 
 impl Job {
     /// Pairs a prepared problem with an instance.
     pub fn new(prepared: Arc<PreparedProblem>, instance: Instance) -> Job {
-        Job { prepared, instance }
+        Job {
+            prepared,
+            instance,
+            budget: None,
+        }
+    }
+
+    /// Attaches a per-job cooperative [`Budget`] that **replaces** the
+    /// entry point's shared budget for this job only. This is the
+    /// per-problem-timeout primitive mass pipelines need: a stream can
+    /// give every job its own fresh step quota, so one pathological SAT
+    /// instance gets a typed [`SolveError::DeadlineExceeded`] while its
+    /// neighbours keep their full budgets.
+    ///
+    /// A budgeted job is never dedup-shared (neither by the in-batch
+    /// grouping nor the stream dedup window): its budget is consumable
+    /// state, so two jobs carrying separate budgets are not
+    /// interchangeable — a quota that trips on one must not decide the
+    /// other.
+    pub fn with_budget(mut self, budget: Budget) -> Job {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The per-job budget, if one was attached via [`Job::with_budget`].
+    pub fn budget(&self) -> Option<&Budget> {
+        self.budget.as_ref()
     }
 }
 
@@ -155,8 +185,9 @@ impl fmt::Display for BatchReport {
     }
 }
 
-/// A borrowed batch item: the shape both slice entry points lower to.
-type JobRef<'a> = (&'a PreparedProblem, &'a Instance);
+/// A borrowed batch item: the shape both slice entry points lower to —
+/// prepared problem, instance, and the optional per-job budget override.
+type JobRef<'a> = (&'a PreparedProblem, &'a Instance, Option<&'a Budget>);
 
 /// Groups a batch into equivalence classes of interchangeable jobs: same
 /// prepared problem, same canonical topology, same dimensions, same
@@ -184,10 +215,19 @@ fn dedup_groups(jobs: &[JobRef<'_>]) -> (Vec<usize>, Vec<usize>) {
     let mut reps: Vec<usize> = Vec::new();
     let mut group_of: Vec<usize> = Vec::with_capacity(jobs.len());
     let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
-    for (i, (prepared, inst)) in jobs.iter().enumerate() {
+    for (i, (prepared, inst, budget)) in jobs.iter().enumerate() {
+        // A job with its own budget is never interchangeable: the budget
+        // is consumable state (see `Job::with_budget`), so it forms a
+        // private group — and is not registered as a share target either.
+        if budget.is_some() {
+            let g = reps.len();
+            reps.push(i);
+            group_of.push(g);
+            continue;
+        }
         let bucket = buckets.entry(job_fingerprint(prepared, inst)).or_default();
         let group = bucket.iter().copied().find(|&g| {
-            let (rep_prepared, rep_inst) = jobs[reps[g]];
+            let (rep_prepared, rep_inst, _) = jobs[reps[g]];
             std::ptr::eq(rep_prepared, *prepared) && rep_inst.same_input(inst)
         });
         match group {
@@ -258,7 +298,7 @@ fn per_problem_stats(
 ) -> Vec<ProblemBatchStats> {
     let mut rows: Vec<ProblemBatchStats> = Vec::new();
     let mut row_of: HashMap<*const PreparedProblem, usize> = HashMap::new();
-    for (i, (prepared, _)) in jobs.iter().enumerate() {
+    for (i, (prepared, _, _)) in jobs.iter().enumerate() {
         let row = *row_of
             .entry(std::ptr::from_ref(*prepared))
             .or_insert_with(|| {
@@ -317,7 +357,10 @@ impl Engine {
         instances: &[Instance],
         budget: &Budget,
     ) -> BatchReport {
-        let jobs: Vec<JobRef<'_>> = instances.iter().map(|inst| (prepared, inst)).collect();
+        let jobs: Vec<JobRef<'_>> = instances
+            .iter()
+            .map(|inst| (prepared, inst, None))
+            .collect();
         self.run_batch(&jobs, budget)
     }
 
@@ -333,7 +376,7 @@ impl Engine {
     pub fn solve_jobs_with(&self, jobs: &[Job], budget: &Budget) -> BatchReport {
         let refs: Vec<JobRef<'_>> = jobs
             .iter()
-            .map(|job| (&*job.prepared, &job.instance))
+            .map(|job| (&*job.prepared, &job.instance, job.budget()))
             .collect();
         self.run_batch(&refs, budget)
     }
@@ -342,7 +385,7 @@ impl Engine {
         if !self.dedup_enabled() {
             let threads = self.batch_threads(jobs.len());
             let results = pool::run_indexed(threads, jobs.len(), |i| {
-                solve_caught(jobs[i].0, jobs[i].1, budget)
+                solve_caught(jobs[i].0, jobs[i].1, jobs[i].2.unwrap_or(budget))
             });
             let fresh = vec![true; jobs.len()];
             let per_problem = per_problem_stats(jobs, &results, &fresh);
@@ -359,7 +402,8 @@ impl Engine {
         let threads = self.batch_threads(reps.len());
         let mut rep_results: Vec<Option<Result<Labelling, SolveError>>> =
             pool::run_indexed(threads, reps.len(), |g| {
-                solve_caught(jobs[reps[g]].0, jobs[reps[g]].1, budget)
+                let (prepared, inst, job_budget) = jobs[reps[g]];
+                solve_caught(prepared, inst, job_budget.unwrap_or(budget))
             })
             .into_iter()
             .map(Some)

@@ -59,6 +59,7 @@
 //! budgets, and exceeded round budgets all come back as [`SolveError`]
 //! variants.
 
+mod atlas;
 mod batch;
 mod chaos;
 mod error;
@@ -70,6 +71,7 @@ mod registry;
 mod spec;
 mod stream;
 
+pub use atlas::{AtlasEntry, AtlasSeed, AtlasTable};
 pub use batch::{BatchReport, Job, ProblemBatchStats};
 pub use chaos::{ChaosConfig, ChaosState, FaultPoint};
 pub use error::SolveError;
@@ -313,6 +315,7 @@ pub struct EngineBuilder {
     max_prepared_plans: Option<usize>,
     stream_dedup_window: usize,
     chaos: Option<ChaosConfig>,
+    atlas: Option<Arc<AtlasTable>>,
 }
 
 impl EngineBuilder {
@@ -470,6 +473,28 @@ impl EngineBuilder {
         self
     }
 
+    /// Arms the engine with a census lookup table loaded from an
+    /// `lcl-atlas` artifact (default: none). Every `prepare` then
+    /// canonicalises the spec's block table and, on a census hit, seeds
+    /// the prepared handle's classification from the artifact —
+    /// [`PreparedProblem::classify`] answers without running synthesis,
+    /// and solve reports carry an `atlas` provenance detail. See
+    /// [`AtlasTable`] for the verdict-soundness gate (`Global` census
+    /// verdicts only seed engines whose
+    /// [`max_synthesis_k`](EngineBuilder::max_synthesis_k) is at most
+    /// the census one).
+    pub fn atlas(mut self, path: impl AsRef<std::path::Path>) -> std::io::Result<EngineBuilder> {
+        self.atlas = Some(Arc::new(AtlasTable::load(path)?));
+        Ok(self)
+    }
+
+    /// Arms the engine with an already-loaded census table (the
+    /// share-one-table-across-engines form of [`EngineBuilder::atlas`]).
+    pub fn atlas_table(mut self, table: Arc<AtlasTable>) -> EngineBuilder {
+        self.atlas = Some(table);
+        self
+    }
+
     /// Builds the engine. Infallible: the engine carries no problem of
     /// its own — plans resolve per problem in [`Engine::prepare`], where
     /// misconfiguration surfaces as a typed [`SolveError`].
@@ -489,6 +514,7 @@ impl EngineBuilder {
             registry,
             health: Arc::new(Health::new()),
             chaos,
+            atlas: self.atlas,
             opts: PlanOptions {
                 profile: self.profile,
                 max_synthesis_k: self.max_synthesis_k,
@@ -561,6 +587,9 @@ pub struct Engine {
     /// Armed fault injector (None = inert), shared with the registry's
     /// synthesis cache, every prepared plan, and the stream dedup window.
     chaos: Option<Arc<ChaosState>>,
+    /// Census lookup table (None = no atlas): consulted once per plan
+    /// resolution to seed classifications from the checked-in artifact.
+    atlas: Option<Arc<AtlasTable>>,
     opts: PlanOptions,
     rounds_budget: Option<u64>,
     validate: bool,
@@ -603,6 +632,7 @@ impl Engine {
     /// Starts building an engine.
     pub fn builder() -> EngineBuilder {
         EngineBuilder {
+            atlas: None,
             profile: Profile::Practical,
             rounds_budget: None,
             max_synthesis_k: 3,
@@ -634,6 +664,19 @@ impl Engine {
     /// [`EngineBuilder::chaos_seed`]).
     pub fn chaos(&self) -> Option<&Arc<ChaosState>> {
         self.chaos.as_ref()
+    }
+
+    /// The armed census lookup table, if any (see
+    /// [`EngineBuilder::atlas`]).
+    pub fn atlas(&self) -> Option<&Arc<AtlasTable>> {
+        self.atlas.as_ref()
+    }
+
+    /// The synthesis frontier this engine plans against (see
+    /// [`EngineBuilder::max_synthesis_k`]). Census artifacts record it so
+    /// verdict consumers can apply the `k`-soundness gate.
+    pub fn max_synthesis_k(&self) -> usize {
+        self.opts.max_synthesis_k
     }
 
     /// Resolves the solver plan for a problem into an immutable,
@@ -736,6 +779,13 @@ impl Engine {
                     .map(|lcl| Arc::new(lcl_analyze::analyze_block(spec.name(), &lcl))),
             }
         };
+        // Census lookup: canonicalise the spec's block table and seed
+        // the classification from the atlas artifact on a hit, so
+        // `classify` answers without any synthesis SAT work.
+        let atlas_seed = self
+            .atlas
+            .as_ref()
+            .and_then(|table| table.seed_for(spec, self.opts.max_synthesis_k));
         Ok(Arc::new(PreparedProblem::new(
             spec.clone(),
             cache_key.to_string(),
@@ -748,6 +798,7 @@ impl Engine {
             Arc::clone(&self.health),
             self.chaos.clone(),
             analysis,
+            atlas_seed,
         )))
     }
 

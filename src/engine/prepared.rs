@@ -96,6 +96,12 @@ pub struct PreparedProblem {
     /// (it may cost a synthesis attempt, shared with the solve path
     /// through the registry's synthesis cache).
     classification: OnceLock<Result<GridClass, SolveError>>,
+    /// The census entry that seeded [`classification`], when the engine
+    /// is armed with an [`super::AtlasTable`] and the problem's
+    /// canonical form is in it: the classification above was pre-filled
+    /// from the artifact (no synthesis will ever run for `classify`),
+    /// and solve reports carry an `atlas` provenance detail.
+    atlas_seed: Option<super::atlas::AtlasSeed>,
 }
 
 impl PreparedProblem {
@@ -112,7 +118,16 @@ impl PreparedProblem {
         health: Arc<Health>,
         chaos: Option<Arc<ChaosState>>,
         analysis: Option<Arc<lcl_analyze::Analysis>>,
+        atlas_seed: Option<super::atlas::AtlasSeed>,
     ) -> PreparedProblem {
+        let classification = OnceLock::new();
+        if let Some(seed) = &atlas_seed {
+            // Census hit: the classification is already decided by the
+            // checked-in artifact (soundness-gated by the engine in
+            // `AtlasTable::seed_for`), so `classify` never reaches the
+            // synthesiser for this problem.
+            let _ = classification.set(Ok(seed.class.clone()));
+        }
         PreparedProblem {
             spec,
             cache_key,
@@ -125,7 +140,8 @@ impl PreparedProblem {
             health,
             chaos,
             analysis,
-            classification: OnceLock::new(),
+            classification,
+            atlas_seed,
         }
     }
 
@@ -155,6 +171,15 @@ impl PreparedProblem {
     /// form (corner coordination, MIS powers).
     pub fn analysis(&self) -> Option<&lcl_analyze::Analysis> {
         self.analysis.as_deref()
+    }
+
+    /// The census entry this plan's classification was seeded from, when
+    /// the engine is armed with an [`super::AtlasTable`] and the
+    /// problem's canonical form is in the census: the census name and
+    /// the class it pinned. `None` on engines without an atlas or for
+    /// problems outside the census frontier.
+    pub fn atlas_seed(&self) -> Option<&super::atlas::AtlasSeed> {
+        self.atlas_seed.as_ref()
     }
 
     /// Solves one instance on any supported topology.
@@ -371,6 +396,11 @@ impl PreparedProblem {
                             .is_some_and(|a| a.constant_label().is_some())
                     {
                         labelling.report = labelling.report.with_detail("analysis", "L003");
+                    }
+                    // Census provenance: this plan's classification came
+                    // from the atlas artifact, not a tier-walk discovery.
+                    if let Some(seed) = &self.atlas_seed {
+                        labelling.report = labelling.report.with_detail("atlas", &seed.name);
                     }
                     return Ok(labelling);
                 }

@@ -294,7 +294,10 @@ impl Engine {
     /// workers share the budget's clock and step counter, so a stream
     /// deadline bounds the whole drain — jobs dispatched after the trip
     /// fail fast with the typed error while the stream itself stays live
-    /// and yields every outcome.
+    /// and yields every outcome. A job carrying its own
+    /// [`Job::with_budget`] override is governed by that budget instead
+    /// — the per-problem-timeout shape mass pipelines (the `lcl-atlas`
+    /// census) drive through this entry point.
     pub fn solve_stream_with<I>(&self, jobs: I, budget: &Budget) -> SolveStream
     where
         I: IntoIterator<Item = Job>,
@@ -404,11 +407,19 @@ fn solve_windowed(
     chaos: Option<&ChaosState>,
     budget: &Budget,
 ) -> (Result<Labelling, SolveError>, bool) {
-    let Some(window) = window else {
-        return (
-            batch::solve_caught(&job.prepared, &job.instance, budget),
-            false,
-        );
+    // A per-job budget replaces the stream budget for this job and opts
+    // it out of the dedup window in both directions (no lookup, no
+    // insert): budgets are consumable state, so budgeted jobs are never
+    // interchangeable — see `Job::with_budget`.
+    let budget = job.budget().unwrap_or(budget);
+    let window = match window {
+        Some(window) if job.budget().is_none() => window,
+        _ => {
+            return (
+                batch::solve_caught(&job.prepared, &job.instance, budget),
+                false,
+            );
+        }
     };
     let fingerprint = batch::job_fingerprint(&job.prepared, &job.instance);
     let hit = {
